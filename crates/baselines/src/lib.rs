@@ -1,0 +1,20 @@
+//! # baselines — comparison-platform models for the cross-platform figures
+//!
+//! The paper's §5.3 evaluation compares SCI-MPICH against seven other
+//! machine/MPI configurations (Table 1) running the same two
+//! micro-benchmarks. Those machines (a Cray T3E, a Sun Fire 6800, Xeon
+//! and Pentium-II SMPs with LAM/SCore, a Giganet VIA cluster) are modelled
+//! here analytically: published latency/bandwidth/engine parameters plus
+//! closed-form benchmark math. See [`model`] for the maths and
+//! [`platforms`] for the Table 1 registry with per-parameter provenance
+//! notes.
+//!
+//! The SCI rows of every figure come from the actual simulator
+//! (`scimpi` + `sci-fabric`), never from this crate.
+
+pub mod model;
+pub mod platforms;
+
+pub use model::{
+    NoncontigQuirk, OscModel, OscSupport, Platform, ScalingModel, TwoSidedModel,
+};

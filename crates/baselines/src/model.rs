@@ -1,0 +1,428 @@
+//! Analytic transport models for the comparison platforms.
+//!
+//! The paper evaluates SCI-MPICH against seven other machine/MPI
+//! configurations (Table 1) that we obviously cannot run. Each is modelled
+//! by a small set of published/derivable parameters — message latency,
+//! peak bandwidth, local copy bandwidth, datatype-engine overhead, and
+//! one-sided characteristics — and closed-form benchmark math that mirrors
+//! exactly what the harnesses measure on the simulated SCI cluster:
+//!
+//! * the `noncontig` micro-benchmark (§3.4): strided-vector transfer of a
+//!   fixed payload, non-contiguous vs. contiguous bandwidth;
+//! * the `sparse` micro-benchmark (§4.3, Figure 8): strided one-sided
+//!   accesses with fence synchronisation;
+//! * the scaling experiment (Figure 12): per-process put bandwidth as the
+//!   process count grows.
+//!
+//! The models reproduce the *class* behaviour the paper reports (hardware
+//! RMA vs. message emulation vs. bus-based SMP), not exact numbers.
+
+use simclock::{Bandwidth, SimDuration};
+
+/// Whether/how a platform supports MPI-2 one-sided communication
+/// (Table 1's "OSC" column).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OscSupport {
+    /// Full support.
+    Yes,
+    /// No support (the sparse benchmark cannot run).
+    No,
+    /// Only `MPI_Get` works (`MPI_Put` deadlocked on the Xeon/LAM shm
+    /// configuration — Table 1 footnote b).
+    GetOnly,
+}
+
+/// Two-sided transport parameters.
+#[derive(Clone, Debug)]
+pub struct TwoSidedModel {
+    /// MPI message startup latency (one-way).
+    pub latency: SimDuration,
+    /// Peak contiguous MPI bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Local memory copy bandwidth (pack/unpack buffers).
+    pub copy_bw: Bandwidth,
+    /// Datatype-engine CPU overhead per non-contiguous block.
+    pub per_block: SimDuration,
+    /// Extra copy operations a non-contiguous transfer performs
+    /// (2 = pack + unpack, the generic technique).
+    pub pack_copies: usize,
+}
+
+impl TwoSidedModel {
+    /// Time to move `bytes` as one contiguous message.
+    pub fn contiguous_time(&self, bytes: usize) -> SimDuration {
+        self.latency + self.bandwidth.cost(bytes as u64)
+    }
+
+    /// Contiguous bandwidth for a `bytes`-sized message.
+    pub fn contiguous_bw(&self, bytes: usize) -> Bandwidth {
+        Bandwidth::observed(bytes as u64, self.contiguous_time(bytes))
+    }
+
+    /// Time to move `bytes` of non-contiguous data in blocks of
+    /// `blocksize` with the generic pack-and-send technique.
+    pub fn noncontig_time(&self, bytes: usize, blocksize: usize) -> SimDuration {
+        let blocks = bytes.div_ceil(blocksize.max(1));
+        let pack_one = self.per_block.saturating_mul(blocks as u64)
+            + self.copy_bw.cost(bytes as u64);
+        self.contiguous_time(bytes) + pack_one.saturating_mul(self.pack_copies as u64)
+    }
+
+    /// Non-contiguous bandwidth for the `noncontig` benchmark.
+    pub fn noncontig_bw(&self, bytes: usize, blocksize: usize) -> Bandwidth {
+        Bandwidth::observed(bytes as u64, self.noncontig_time(bytes, blocksize))
+    }
+}
+
+/// Platform-specific quirks in non-contiguous handling, per the paper's
+/// Figure 10 discussion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NoncontigQuirk {
+    /// Plain generic pack-and-send everywhere.
+    None,
+    /// Sun MPI shared memory: constant efficiency that jumps from ~0.5 to
+    /// ~1.0 at the threshold ("a simple optimization has been
+    /// implemented", no documentation available).
+    EfficiencyStep {
+        /// Block size at which the optimisation engages.
+        threshold: usize,
+        /// Efficiency below the threshold.
+        low: f64,
+        /// Efficiency at or above it.
+        high: f64,
+    },
+    /// Cray T3E: efficiency ≈ 1 for mid-size blocks but poor for very
+    /// small (< low_edge) and big (> high_edge) ones.
+    Band {
+        /// Lower edge of the efficient band.
+        low_edge: usize,
+        /// Upper edge of the efficient band.
+        high_edge: usize,
+        /// Efficiency outside the band.
+        outside: f64,
+    },
+}
+
+/// One-sided communication parameters.
+#[derive(Clone, Debug)]
+pub struct OscModel {
+    /// Support level.
+    pub support: OscSupport,
+    /// Per-call latency of a strided put (includes synchronisation
+    /// amortised over many calls, as in the sparse benchmark).
+    pub put_latency: SimDuration,
+    /// Streaming bandwidth of puts.
+    pub put_bw: Bandwidth,
+    /// Per-call latency of a get.
+    pub get_latency: SimDuration,
+    /// Streaming bandwidth of gets.
+    pub get_bw: Bandwidth,
+    /// True if remote memory access is performed by hardware (Figure 12's
+    /// selection criterion).
+    pub hardware_rma: bool,
+}
+
+impl OscModel {
+    /// Sparse-benchmark per-call time for an access of `bytes`.
+    pub fn put_time(&self, bytes: usize) -> SimDuration {
+        self.put_latency + self.put_bw.cost(bytes as u64)
+    }
+
+    /// Sparse-benchmark per-call get time.
+    pub fn get_time(&self, bytes: usize) -> SimDuration {
+        self.get_latency + self.get_bw.cost(bytes as u64)
+    }
+
+    /// Aggregate put bandwidth over a window sweep with `bytes`-sized
+    /// accesses.
+    pub fn put_bandwidth(&self, bytes: usize) -> Bandwidth {
+        Bandwidth::observed(bytes as u64, self.put_time(bytes))
+    }
+
+    /// Aggregate get bandwidth.
+    pub fn get_bandwidth(&self, bytes: usize) -> Bandwidth {
+        Bandwidth::observed(bytes as u64, self.get_time(bytes))
+    }
+}
+
+/// How per-process one-sided bandwidth scales with the number of active
+/// processes (Figure 12).
+#[derive(Clone, Debug)]
+pub enum ScalingModel {
+    /// A shared memory system: all processes share `total` of backplane/
+    /// bus bandwidth; beyond `knee` processes contention overhead shaves
+    /// `degrade` of the remaining share per extra process.
+    SharedBus {
+        /// Aggregate transport capacity.
+        total: Bandwidth,
+        /// Processes the fabric serves at full speed.
+        knee: usize,
+        /// Fractional per-process degradation beyond the knee.
+        degrade: f64,
+    },
+    /// A distributed machine with per-node links: per-process bandwidth is
+    /// constant up to the network's saturation point.
+    Distributed {
+        /// Per-process cap.
+        per_proc: Bandwidth,
+        /// Aggregate network capacity (0 = effectively unlimited in the
+        /// measured range, like the T3E torus).
+        network_total: Bandwidth,
+    },
+}
+
+impl ScalingModel {
+    /// Per-process bandwidth with `n` active processes, each streaming
+    /// accesses of `bytes`.
+    pub fn per_proc_bw(&self, n: usize, single: Bandwidth) -> Bandwidth {
+        let n = n.max(1);
+        match self {
+            ScalingModel::SharedBus {
+                total,
+                knee,
+                degrade,
+            } => {
+                let fair = total.share(n as u64);
+                let mut bw = single.min(fair);
+                if n > *knee {
+                    let over = (n - knee) as f64;
+                    bw = bw.scale((1.0 - degrade * over).max(0.15));
+                }
+                bw
+            }
+            ScalingModel::Distributed {
+                per_proc,
+                network_total,
+            } => {
+                let cap = single.min(*per_proc);
+                if network_total.bytes_per_sec() == 0 {
+                    cap
+                } else {
+                    cap.min(network_total.share(n as u64))
+                }
+            }
+        }
+    }
+}
+
+/// A complete comparison platform (one row of Table 1).
+#[derive(Clone, Debug)]
+pub struct Platform {
+    /// Table 1 ID (e.g. "C", "M-S", "X-f").
+    pub id: &'static str,
+    /// Machine description.
+    pub machine: &'static str,
+    /// Interconnect used for message passing.
+    pub interconnect: &'static str,
+    /// MPI implementation.
+    pub mpi: &'static str,
+    /// Two-sided transport model.
+    pub two_sided: TwoSidedModel,
+    /// Non-contiguous handling quirk.
+    pub quirk: NoncontigQuirk,
+    /// One-sided model.
+    pub osc: OscModel,
+    /// Scaling model for Figure 12.
+    pub scaling: ScalingModel,
+}
+
+impl Platform {
+    /// Non-contiguous bandwidth including platform quirks.
+    pub fn noncontig_bw(&self, bytes: usize, blocksize: usize) -> Bandwidth {
+        let c = self.two_sided.contiguous_bw(bytes);
+        match self.quirk {
+            NoncontigQuirk::None => self.two_sided.noncontig_bw(bytes, blocksize),
+            NoncontigQuirk::EfficiencyStep {
+                threshold,
+                low,
+                high,
+            } => {
+                let eff = if blocksize >= threshold { high } else { low };
+                c.scale(eff)
+            }
+            NoncontigQuirk::Band {
+                low_edge,
+                high_edge,
+                outside,
+            } => {
+                if (low_edge..=high_edge).contains(&blocksize) {
+                    c
+                } else {
+                    // Outside the band the generic engine takes over, with
+                    // a floor at `outside` of contiguous.
+                    self.two_sided
+                        .noncontig_bw(bytes, blocksize)
+                        .min(c.scale(outside))
+                }
+            }
+        }
+    }
+
+    /// Contiguous reference bandwidth.
+    pub fn contiguous_bw(&self, bytes: usize) -> Bandwidth {
+        self.two_sided.contiguous_bw(bytes)
+    }
+
+    /// Non-contiguous efficiency (nc / c).
+    pub fn noncontig_efficiency(&self, bytes: usize, blocksize: usize) -> f64 {
+        let c = self.contiguous_bw(bytes).mib_per_sec();
+        if c == 0.0 {
+            return 0.0;
+        }
+        self.noncontig_bw(bytes, blocksize).mib_per_sec() / c
+    }
+
+    /// Figure 12: per-process put bandwidth with `n` active processes at
+    /// access size `bytes`.
+    pub fn scaled_put_bw(&self, n: usize, bytes: usize) -> Bandwidth {
+        let single = self.osc.put_bandwidth(bytes);
+        self.scaling.per_proc_bw(n, single)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TwoSidedModel {
+        TwoSidedModel {
+            latency: SimDuration::from_us(20),
+            bandwidth: Bandwidth::from_mib_per_sec(100),
+            copy_bw: Bandwidth::from_mib_per_sec(300),
+            per_block: SimDuration::from_ns(400),
+            pack_copies: 2,
+        }
+    }
+
+    #[test]
+    fn contiguous_bandwidth_approaches_peak() {
+        let m = model();
+        let small = m.contiguous_bw(1024).mib_per_sec();
+        let large = m.contiguous_bw(8 << 20).mib_per_sec();
+        assert!(small < 50.0);
+        assert!(large > 95.0);
+    }
+
+    #[test]
+    fn noncontig_slower_and_improves_with_blocksize() {
+        let m = model();
+        let bytes = 256 * 1024;
+        let b8 = m.noncontig_bw(bytes, 8).mib_per_sec();
+        let b1k = m.noncontig_bw(bytes, 1024).mib_per_sec();
+        let c = m.contiguous_bw(bytes).mib_per_sec();
+        assert!(b8 < b1k);
+        assert!(b1k < c);
+        // Even huge blocks can't beat contiguous: the two copies remain.
+        let b128k = m.noncontig_bw(bytes, 128 * 1024).mib_per_sec();
+        assert!(b128k < c);
+    }
+
+    #[test]
+    fn efficiency_step_quirk() {
+        let p = Platform {
+            id: "F-s",
+            machine: "test",
+            interconnect: "shm",
+            mpi: "test",
+            two_sided: model(),
+            quirk: NoncontigQuirk::EfficiencyStep {
+                threshold: 16 * 1024,
+                low: 0.5,
+                high: 1.0,
+            },
+            osc: OscModel {
+                support: OscSupport::Yes,
+                put_latency: SimDuration::from_us(3),
+                put_bw: Bandwidth::from_mib_per_sec(400),
+                get_latency: SimDuration::from_us(3),
+                get_bw: Bandwidth::from_mib_per_sec(400),
+                hardware_rma: true,
+            },
+            scaling: ScalingModel::SharedBus {
+                total: Bandwidth::from_mib_per_sec(2000),
+                knee: 6,
+                degrade: 0.06,
+            },
+        };
+        let bytes = 256 * 1024;
+        let eff_small = p.noncontig_efficiency(bytes, 1024);
+        let eff_big = p.noncontig_efficiency(bytes, 32 * 1024);
+        assert!((eff_small - 0.5).abs() < 0.05, "got {eff_small}");
+        assert!((eff_big - 1.0).abs() < 0.05, "got {eff_big}");
+    }
+
+    #[test]
+    fn band_quirk_peaks_in_middle() {
+        let p = Platform {
+            id: "C",
+            machine: "t",
+            interconnect: "c",
+            mpi: "c",
+            two_sided: model(),
+            quirk: NoncontigQuirk::Band {
+                low_edge: 8 * 1024,
+                high_edge: 32 * 1024,
+                outside: 0.4,
+            },
+            osc: OscModel {
+                support: OscSupport::Yes,
+                put_latency: SimDuration::from_us(2),
+                put_bw: Bandwidth::from_mib_per_sec(300),
+                get_latency: SimDuration::from_us(2),
+                get_bw: Bandwidth::from_mib_per_sec(300),
+                hardware_rma: true,
+            },
+            scaling: ScalingModel::Distributed {
+                per_proc: Bandwidth::from_mib_per_sec(300),
+                network_total: Bandwidth::from_bytes_per_sec(0),
+            },
+        };
+        let bytes = 256 * 1024;
+        assert!(p.noncontig_efficiency(bytes, 16 * 1024) > 0.95);
+        assert!(p.noncontig_efficiency(bytes, 512) < 0.5);
+        assert!(p.noncontig_efficiency(bytes, 128 * 1024) <= 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn shared_bus_scaling_declines() {
+        let s = ScalingModel::SharedBus {
+            total: Bandwidth::from_mib_per_sec(400),
+            knee: 2,
+            degrade: 0.1,
+        };
+        let single = Bandwidth::from_mib_per_sec(150);
+        let b1 = s.per_proc_bw(1, single).mib_per_sec();
+        let b4 = s.per_proc_bw(4, single).mib_per_sec();
+        let b8 = s.per_proc_bw(8, single).mib_per_sec();
+        assert_eq!(b1, 150.0);
+        assert!(b4 < 100.0);
+        assert!(b8 < b4);
+        // Never collapses to zero.
+        assert!(s.per_proc_bw(64, single).mib_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn distributed_scaling_constant_until_saturation() {
+        let s = ScalingModel::Distributed {
+            per_proc: Bandwidth::from_mib_per_sec(120),
+            network_total: Bandwidth::from_mib_per_sec(633),
+        };
+        let single = Bandwidth::from_mib_per_sec(120);
+        assert_eq!(s.per_proc_bw(4, single).mib_per_sec(), 120.0);
+        assert!(s.per_proc_bw(8, single).mib_per_sec() < 120.0);
+    }
+
+    #[test]
+    fn osc_latency_dominates_small_accesses() {
+        let o = OscModel {
+            support: OscSupport::Yes,
+            put_latency: SimDuration::from_us(100),
+            put_bw: Bandwidth::from_mib_per_sec(10),
+            get_latency: SimDuration::from_us(120),
+            get_bw: Bandwidth::from_mib_per_sec(10),
+            hardware_rma: false,
+        };
+        assert!(o.put_bandwidth(8).mib_per_sec() < 0.1);
+        assert!(o.put_time(8) >= SimDuration::from_us(100));
+    }
+}

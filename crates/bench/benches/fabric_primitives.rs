@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the fabric simulator's own primitives:
+//! how fast (host wall-clock) the simulation executes remote writes,
+//! reads and contention queries. These bound the cost of running the
+//! figure harnesses.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sci_fabric::{Fabric, FabricSpec, NodeId};
+use simclock::Clock;
+use std::hint::black_box;
+
+fn bench_pio_write(c: &mut Criterion) {
+    let fabric = Fabric::new(FabricSpec::default());
+    let seg = fabric.export(NodeId(1), 1 << 20);
+    let data = vec![0u8; 64 * 1024];
+
+    let mut group = c.benchmark_group("sim_pio");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("write_64k_contig", |b| {
+        b.iter(|| {
+            let mut clock = Clock::new();
+            let mut s = fabric.pio_stream(NodeId(0), &seg, data.len());
+            s.write(&mut clock, 0, black_box(&data)).unwrap();
+            s.barrier(&mut clock);
+            black_box(clock.now())
+        })
+    });
+    group.bench_function("write_64k_strided_64B", |b| {
+        let chunk = vec![0u8; 64];
+        b.iter(|| {
+            let mut clock = Clock::new();
+            let mut s = fabric.pio_stream(NodeId(0), &seg, 64 * 1024);
+            for i in 0..1024 {
+                s.write(&mut clock, i * 128, black_box(&chunk)).unwrap();
+            }
+            s.barrier(&mut clock);
+            black_box(clock.now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_contention_query(c: &mut Criterion) {
+    let fabric = Fabric::new(FabricSpec::default());
+    let route = fabric.topology().route(NodeId(0), NodeId(4));
+    let guards: Vec<_> = (0..6).map(|_| fabric.links().start_stream(&route)).collect();
+    c.bench_function("effective_bandwidth_query", |b| {
+        b.iter(|| {
+            fabric.links().effective_bandwidth(
+                fabric.params(),
+                black_box(&route),
+                fabric.params().node_injection_cap,
+            )
+        })
+    });
+    drop(guards);
+}
+
+fn bench_dma(c: &mut Criterion) {
+    let fabric = Fabric::new(FabricSpec::default());
+    let seg = fabric.export(NodeId(1), 4 << 20);
+    let data = vec![0u8; 1 << 20];
+    let mut group = c.benchmark_group("sim_dma");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("dma_write_1M", |b| {
+        let dma = fabric.dma_engine(NodeId(0), &seg);
+        b.iter(|| {
+            let mut clock = Clock::new();
+            black_box(dma.write(&mut clock, 0, black_box(&data)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pio_write, bench_contention_query, bench_dma);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion macrobenchmarks of whole simulated runs: host wall-clock
+//! cost of the put/fence and send/recv paths, end to end through the rank
+//! threads. These keep the simulator honest — a figure harness sweeping
+//! dozens of points must complete in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scimpi::{run, ClusterSpec, Source, TagSel, WinMemory};
+use std::hint::black_box;
+
+fn bench_put_fence(c: &mut Criterion) {
+    c.bench_function("sim_put_fence_2ranks", |b| {
+        b.iter(|| {
+            let out = run(ClusterSpec::ringlet(2), |r| {
+                let mem = r.alloc_mem(64 * 1024);
+                let mut win = r.win_create(WinMemory::Alloc(mem));
+                win.fence(r);
+                if r.rank() == 0 {
+                    let data = [1u8; 1024];
+                    for i in 0..32 {
+                        win.put(r, 1, i * 2048, &data).unwrap();
+                    }
+                }
+                win.fence(r);
+                r.now()
+            });
+            black_box(out)
+        })
+    });
+}
+
+fn bench_sendrecv(c: &mut Criterion) {
+    c.bench_function("sim_eager_pingpong", |b| {
+        b.iter(|| {
+            let out = run(ClusterSpec::ringlet(2), |r| {
+                let mut buf = vec![0u8; 1024];
+                for _ in 0..16 {
+                    if r.rank() == 0 {
+                        r.send(1, 0, &buf);
+                        r.recv(Source::Rank(1), TagSel::Value(0), &mut buf);
+                    } else {
+                        r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                        r.send(0, 0, &buf);
+                    }
+                }
+                r.now()
+            });
+            black_box(out)
+        })
+    });
+
+    c.bench_function("sim_rendezvous_256k", |b| {
+        let data = vec![7u8; 256 * 1024];
+        b.iter(|| {
+            let data = data.clone();
+            let out = run(ClusterSpec::ringlet(2), move |r| {
+                if r.rank() == 0 {
+                    r.send(1, 0, &data);
+                } else {
+                    let mut buf = vec![0u8; 256 * 1024];
+                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                }
+                r.now()
+            });
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_put_fence, bench_sendrecv);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion microbenchmarks of the two packing engines (host wall-clock,
+//! not virtual time): the actual CPU efficiency of the Rust
+//! implementations of the generic tree walker and `direct_pack_ff`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpi_datatype::{ff, tree, Committed, Datatype};
+use std::hint::black_box;
+
+fn strided_vector(blocksize: usize, total: usize) -> Datatype {
+    let elems = blocksize / 8;
+    Datatype::vector(total / blocksize, elems, 2 * elems as isize, &Datatype::double())
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let total = 256 * 1024;
+    let mut group = c.benchmark_group("pack_256k");
+    for blocksize in [8usize, 64, 512, 4096, 32768] {
+        let dt = strided_vector(blocksize, total);
+        let committed = Committed::commit(&dt);
+        let src: Vec<u8> = (0..dt.extent()).map(|i| i as u8).collect();
+        group.throughput(Throughput::Bytes(total as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("generic", blocksize),
+            &blocksize,
+            |b, _| {
+                b.iter(|| {
+                    let mut out = Vec::with_capacity(total);
+                    tree::pack(black_box(&dt), 1, black_box(&src), 0, &mut out);
+                    black_box(out)
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("ff", blocksize), &blocksize, |b, _| {
+            b.iter(|| {
+                let mut sink = ff::VecSink::default();
+                ff::pack_ff(
+                    black_box(&committed),
+                    1,
+                    black_box(&src),
+                    0,
+                    0,
+                    usize::MAX,
+                    &mut sink,
+                )
+                .unwrap();
+                black_box(sink.data)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("commit");
+    let chars = Datatype::contiguous(3, &Datatype::byte());
+    let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
+    let cases = [
+        ("vector", Datatype::vector(1024, 4, 8, &Datatype::double())),
+        ("vec_of_struct", Datatype::hvector(256, 1, 16, &s)),
+        (
+            "indexed64",
+            Datatype::indexed(
+                &(0..64).map(|i| (2usize, (i * 5) as isize)).collect::<Vec<_>>(),
+                &Datatype::int(),
+            ),
+        ),
+    ];
+    for (name, dt) in cases {
+        group.bench_function(name, |b| b.iter(|| Committed::commit(black_box(&dt))));
+    }
+    group.finish();
+}
+
+fn bench_find_position(c: &mut Criterion) {
+    let dt = strided_vector(64, 1 << 20);
+    let committed = Committed::commit(&dt);
+    c.bench_function("find_position_mid", |b| {
+        b.iter(|| committed.find_position(black_box(512 * 1024 + 13), 2))
+    });
+}
+
+criterion_group!(benches, bench_pack, bench_commit, bench_find_position);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 7 — non-contiguous data transfers in SCI-MPICH.
+//!
+//! The `noncontig` micro-benchmark: a single-strided vector of doubles,
+//! blocksize swept 8 B → 128 kiB with stride = 2 × blocksize, total
+//! payload 256 kiB per transfer. Curves: generic pack-and-send vs
+//! `direct_pack_ff` vs the contiguous reference, for inter-node (SCI) and
+//! intra-node (shared memory through SMI) communication.
+//!
+//! Run: `cargo run --release -p repro-bench --bin fig7_noncontig`
+
+use repro_bench::{
+    internode_spec, intranode_spec, noncontig_bandwidth, sweep, NoncontigCase, NONCONTIG_TOTAL,
+};
+use simclock::stats::{fmt_bytes, series_table, Series};
+
+fn main() {
+    println!("== Figure 7: noncontig bandwidth [MiB/s], 256 kiB payload ==\n");
+    let mut series = vec![
+        Series::new("SCI generic"),
+        Series::new("SCI direct_pack_ff"),
+        Series::new("SCI contiguous"),
+        Series::new("shm generic"),
+        Series::new("shm direct_pack_ff"),
+        Series::new("shm contiguous"),
+    ];
+    for blocksize in sweep(8, 128 * 1024) {
+        let cases = [
+            (0, internode_spec(), NoncontigCase::Generic),
+            (1, internode_spec(), NoncontigCase::DirectPackFf),
+            (2, internode_spec(), NoncontigCase::Contiguous),
+            (3, intranode_spec(), NoncontigCase::Generic),
+            (4, intranode_spec(), NoncontigCase::DirectPackFf),
+            (5, intranode_spec(), NoncontigCase::Contiguous),
+        ];
+        for (idx, spec, case) in cases {
+            let bw = noncontig_bandwidth(spec, case, blocksize, NONCONTIG_TOTAL);
+            series[idx].push(blocksize as f64, bw.mib_per_sec());
+        }
+        eprint!(".");
+    }
+    eprintln!();
+    println!(
+        "{}",
+        series_table("block[B]", fmt_bytes, &series).render()
+    );
+
+    // The paper's headline observations, checked numerically:
+    let at = |s: &Series, x: usize| s.at(x as f64).unwrap_or(0.0);
+    let ff128 = at(&series[1], 128);
+    let contig128 = at(&series[2], 128);
+    let gen16 = at(&series[0], 16);
+    let ff16 = at(&series[1], 16);
+    let gen8 = at(&series[0], 8);
+    let ff8 = at(&series[1], 8);
+    println!("checks:");
+    println!(
+        "  ff/contiguous at 128 B = {:.2} (paper: ~0.9)",
+        ff128 / contig128
+    );
+    println!("  ff/generic at 16 B    = {:.2} (paper: >= 2)", ff16 / gen16);
+    println!(
+        "  generic vs ff at 8 B  = {:.2} vs {:.2} MiB/s (paper: generic faster inter-node)",
+        gen8, ff8
+    );
+}

@@ -1,0 +1,22 @@
+//! # repro-bench — harnesses regenerating every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §4 for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_raw_sci` | Figure 1 — raw SCI latency & bandwidth (PIO/DMA) |
+//! | `fig7_noncontig` | Figure 7 — generic vs `direct_pack_ff` vs contiguous |
+//! | `fig9_sparse_sci` | Figure 9 — sparse µbench on SCI-MPICH |
+//! | `strided_write_study` | §4.3 — raw strided remote-write bandwidth |
+//! | `fig10_noncontig_platforms` | Figure 10 — noncontig across platforms |
+//! | `fig11_sparse_platforms` | Figure 11 — sparse across platforms |
+//! | `fig12_scaling` | Figure 12 — one-sided scaling with process count |
+//! | `table2_segment_util` | Table 2 — ring-segment utilisation study |
+//! | `ablations` | DESIGN.md §5 — ablation studies |
+//!
+//! This library holds the shared workload generators and measurement
+//! loops so that every binary measures the *same* workloads the same way.
+
+pub mod workloads;
+
+pub use workloads::*;

@@ -1,0 +1,355 @@
+//! Collective operations built on the point-to-point layer.
+//!
+//! SCI-MPICH inherits MPICH's collectives, which are implemented on top of
+//! point-to-point messages. The reproduction provides the ones the
+//! examples and benchmarks need — binomial-tree broadcast and reduce,
+//! gather, and all-reduce — each paying realistic per-hop message costs.
+
+use crate::mailbox::{Source, TagSel};
+use crate::p2p::RecvBuf;
+use crate::runtime::Rank;
+use crate::SendData;
+use mpi_datatype::typed;
+
+/// Internal tag space for collectives (kept out of user tag space).
+const COLL_TAG: i32 = i32::MIN + 7;
+
+/// Reduction operators for the numeric collectives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl Rank {
+    /// Broadcast `buf` from `root` to all ranks (binomial tree).
+    pub fn bcast(&mut self, root: usize, buf: &mut [u8]) {
+        assert!(root < self.size, "bcast root out of range");
+        let size = self.size;
+        if size == 1 {
+            return;
+        }
+        let vrank = (self.rank + size - root) % size;
+        // Receive phase.
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask != 0 {
+                let src = (vrank - mask + root) % size;
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), buf);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Send phase.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < size {
+                let dst = (vrank + mask + root) % size;
+                let copy = buf.to_vec();
+                self.send(dst, COLL_TAG, &copy);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Reduce `values` element-wise onto `root` (binomial tree). Returns
+    /// the result on `root`, `None` elsewhere.
+    pub fn reduce_f64(&mut self, root: usize, values: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+        assert!(root < self.size, "reduce root out of range");
+        let size = self.size;
+        let vrank = (self.rank + size - root) % size;
+        let mut acc = values.to_vec();
+        let mut mask = 1usize;
+        while mask < size {
+            if vrank & mask != 0 {
+                let dst = (vrank - mask + root) % size;
+                let bytes = typed::to_bytes(&acc);
+                self.send(dst, COLL_TAG, &bytes);
+                return None;
+            }
+            if vrank + mask < size {
+                let src = (vrank + mask + root) % size;
+                let mut bytes = vec![0u8; acc.len() * 8];
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut bytes);
+                let other: Vec<f64> = typed::from_bytes(&bytes);
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a = op.apply(*a, b);
+                }
+            }
+            mask <<= 1;
+        }
+        if self.rank == root {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// All-reduce: reduce onto rank 0, then broadcast.
+    pub fn allreduce_f64(&mut self, values: &[f64], op: ReduceOp) -> Vec<f64> {
+        let reduced = self.reduce_f64(0, values, op);
+        let mut bytes = match reduced {
+            Some(v) => typed::to_bytes(&v),
+            None => vec![0u8; values.len() * 8],
+        };
+        self.bcast(0, &mut bytes);
+        typed::from_bytes(&bytes)
+    }
+
+    /// The sender side of [`Rank::gatherv`]'s two-message protocol.
+    fn gather_send(&mut self, root: usize, mine: &[u8]) {
+        let len = (mine.len() as u64).to_le_bytes();
+        self.send(root, COLL_TAG + 1, &len);
+        if !mine.is_empty() {
+            self.send(root, COLL_TAG, mine);
+        }
+    }
+
+    /// Gather with variable sizes (`MPI_Gatherv`-style).
+    pub fn gatherv(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+        assert!(root < self.size, "gather root out of range");
+        if self.rank != root {
+            self.gather_send(root, mine);
+            return None;
+        }
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+        out[root] = mine.to_vec();
+        for src in 0..self.size {
+            if src == root {
+                continue;
+            }
+            let mut len_buf = [0u8; 8];
+            self.recv(Source::Rank(src), TagSel::Value(COLL_TAG + 1), &mut len_buf);
+            let len = u64::from_le_bytes(len_buf) as usize;
+            let mut data = vec![0u8; len];
+            if len > 0 {
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut data);
+            }
+            out[src] = data;
+        }
+        Some(out)
+    }
+
+    /// All-gather: every rank contributes `mine` and receives every
+    /// rank's contribution (gatherv to rank 0 + broadcast of the
+    /// concatenation — MPICH's small-message strategy).
+    pub fn allgather(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
+        let gathered = self.gatherv(0, mine);
+        // Serialise as length-prefixed stream and broadcast.
+        let mut stream = Vec::new();
+        if let Some(parts) = gathered {
+            for p in &parts {
+                stream.extend_from_slice(&(p.len() as u64).to_le_bytes());
+                stream.extend_from_slice(p);
+            }
+        }
+        let mut len_buf = (stream.len() as u64).to_le_bytes();
+        self.bcast(0, &mut len_buf);
+        let total = u64::from_le_bytes(len_buf) as usize;
+        stream.resize(total, 0);
+        self.bcast(0, &mut stream);
+        // Deserialise.
+        let mut out = Vec::with_capacity(self.size);
+        let mut at = 0usize;
+        for _ in 0..self.size {
+            let len = u64::from_le_bytes(stream[at..at + 8].try_into().expect("8 bytes")) as usize;
+            at += 8;
+            out.push(stream[at..at + len].to_vec());
+            at += len;
+        }
+        out
+    }
+
+    /// Inclusive prefix sum (`MPI_Scan` with `MPI_SUM`): rank k receives
+    /// the element-wise sum of the values of ranks `0..=k`.
+    pub fn scan_sum_f64(&mut self, values: &[f64]) -> Vec<f64> {
+        let mut acc = values.to_vec();
+        if self.rank > 0 {
+            let mut bytes = vec![0u8; values.len() * 8];
+            self.recv(
+                Source::Rank(self.rank - 1),
+                TagSel::Value(COLL_TAG + 3),
+                &mut bytes,
+            );
+            let prev: Vec<f64> = typed::from_bytes(&bytes);
+            for (a, p) in acc.iter_mut().zip(prev) {
+                *a += p;
+            }
+        }
+        if self.rank + 1 < self.size {
+            let bytes = typed::to_bytes(&acc);
+            self.send(self.rank + 1, COLL_TAG + 3, &bytes);
+        }
+        acc
+    }
+
+    /// Exchange equal-size byte blocks with every rank (`MPI_Alltoall`,
+    /// pairwise-exchange algorithm).
+    pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        assert_eq!(sendblocks.len(), self.size, "one block per rank");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+        out[self.rank] = sendblocks[self.rank].clone();
+        for step in 1..self.size {
+            let dst = (self.rank + step) % self.size;
+            let src = (self.rank + self.size - step) % self.size;
+            let mut buf = vec![0u8; sendblocks[dst].len().max(1 << 20)];
+            let st = self.sendrecv(
+                dst,
+                COLL_TAG + 2,
+                SendData::Bytes(&sendblocks[dst]),
+                Source::Rank(src),
+                TagSel::Value(COLL_TAG + 2),
+                RecvBuf::Bytes(&mut buf),
+            );
+            buf.truncate(st.len);
+            out[src] = buf;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, ClusterSpec};
+
+    #[test]
+    fn bcast_from_every_root() {
+        for root in 0..5 {
+            let out = run(ClusterSpec::ringlet(5), move |r| {
+                let mut buf = if r.rank() == root {
+                    vec![0xAB; 1000]
+                } else {
+                    vec![0; 1000]
+                };
+                r.bcast(root, &mut buf);
+                buf
+            });
+            for v in out {
+                assert!(v.iter().all(|&b| b == 0xAB), "root {root}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sums_across_ranks() {
+        let out = run(ClusterSpec::ringlet(6), |r| {
+            let values = vec![r.rank() as f64, 1.0];
+            r.reduce_f64(0, &values, ReduceOp::Sum)
+        });
+        assert_eq!(out[0], Some(vec![15.0, 6.0]));
+        assert!(out[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let out = run(ClusterSpec::ringlet(4), |r| {
+            let v = [r.rank() as f64 * 2.0];
+            let mx = r.allreduce_f64(&v, ReduceOp::Max);
+            let mn = r.allreduce_f64(&v, ReduceOp::Min);
+            (mx[0], mn[0])
+        });
+        assert!(out.iter().all(|&(mx, mn)| mx == 6.0 && mn == 0.0));
+    }
+
+    #[test]
+    fn gatherv_collects_ragged_data() {
+        let out = run(ClusterSpec::ringlet(4), |r| {
+            let mine = vec![r.rank() as u8; r.rank()]; // rank k sends k bytes
+            r.gatherv(0, &mine)
+        });
+        let gathered = out[0].as_ref().unwrap();
+        for (k, v) in gathered.iter().enumerate() {
+            assert_eq!(v.len(), k);
+            assert!(v.iter().all(|&b| b == k as u8));
+        }
+    }
+
+    #[test]
+    fn alltoall_exchanges_blocks() {
+        let out = run(ClusterSpec::ringlet(3), |r| {
+            let blocks: Vec<Vec<u8>> = (0..r.size())
+                .map(|d| vec![(r.rank() * 10 + d) as u8; 64])
+                .collect();
+            r.alltoall(&blocks)
+        });
+        for (me, blocks) in out.iter().enumerate() {
+            for (src, b) in blocks.iter().enumerate() {
+                assert_eq!(b.len(), 64);
+                assert!(b.iter().all(|&x| x == (src * 10 + me) as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everything_everywhere() {
+        let out = run(ClusterSpec::ringlet(4), |r| {
+            let mine = vec![r.rank() as u8 + 1; r.rank() + 1]; // ragged
+            r.allgather(&mine)
+        });
+        for per_rank in out {
+            assert_eq!(per_rank.len(), 4);
+            for (k, v) in per_rank.iter().enumerate() {
+                assert_eq!(v.len(), k + 1);
+                assert!(v.iter().all(|&b| b == k as u8 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn scan_gives_prefix_sums() {
+        let out = run(ClusterSpec::ringlet(5), |r| {
+            r.scan_sum_f64(&[r.rank() as f64, 1.0])
+        });
+        for (k, v) in out.iter().enumerate() {
+            let expect0: f64 = (0..=k).map(|i| i as f64).sum();
+            assert_eq!(v[0], expect0, "rank {k}");
+            assert_eq!(v[1], (k + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let out = run(ClusterSpec::ringlet(1), |r| {
+            let mut b = vec![9u8; 10];
+            r.bcast(0, &mut b);
+            let red = r.reduce_f64(0, &[5.0], ReduceOp::Sum).unwrap();
+            let all = r.allreduce_f64(&[3.0], ReduceOp::Max);
+            (b, red, all)
+        });
+        assert_eq!(out[0].0, vec![9u8; 10]);
+        assert_eq!(out[0].1, vec![5.0]);
+        assert_eq!(out[0].2, vec![3.0]);
+    }
+
+    #[test]
+    fn bcast_time_scales_logarithmically() {
+        let time_for = |n: usize| {
+            let out = run(ClusterSpec::ringlet(n), |r| {
+                let mut b = vec![1u8; 4096];
+                r.bcast(0, &mut b);
+                r.barrier();
+                r.now()
+            });
+            out[0]
+        };
+        let t2 = time_for(2);
+        let t8 = time_for(8);
+        // 8 ranks = 3 tree levels; must be well under 7x the 2-rank time.
+        assert!(t8.as_ps() < 5 * t2.as_ps(), "t2={t2:?} t8={t8:?}");
+    }
+}

@@ -1,0 +1,316 @@
+//! Per-rank mailboxes: the transport under the MPI protocols.
+//!
+//! Two queues per rank:
+//!
+//! * the **message queue** holds envelope heads that `recv` matches by
+//!   `(source, tag)` with MPI wildcard and non-overtaking semantics;
+//! * the **protocol queue** holds handle-addressed control packets
+//!   (CTS, rendezvous chunk notifications, one-sided control) that never
+//!   interfere with message matching.
+//!
+//! Every entry carries its virtual *arrival* timestamp; the consumer
+//! merges it into its clock, which is how causality and latency propagate
+//! between rank threads.
+
+use parking_lot::{Condvar, Mutex};
+use simclock::SimTime;
+use std::collections::{HashMap, VecDeque};
+
+/// MPI message tag.
+pub type Tag = i32;
+
+/// Source selector for receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Source {
+    /// Match any source (`MPI_ANY_SOURCE`).
+    Any,
+    /// Match only this rank.
+    Rank(usize),
+}
+
+/// Tag selector for receives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TagSel {
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+    /// Match only this tag.
+    Value(Tag),
+}
+
+/// An envelope in the matching queue.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: Tag,
+    /// Virtual arrival time of the (first packet of the) message.
+    pub arrival: SimTime,
+    /// Protocol-specific head.
+    pub head: Head,
+}
+
+/// The protocol head of a matched message.
+#[derive(Debug)]
+pub enum Head {
+    /// Short/eager: the packed payload travelled with the envelope.
+    Eager {
+        /// Packed payload bytes.
+        data: Vec<u8>,
+        /// Basic blocks the *sender* packed (receiver-side unpack pays a
+        /// matching per-block cost).
+        blocks: usize,
+    },
+    /// Rendezvous request-to-send; data follows through the ring buffer.
+    Rts {
+        /// Total payload bytes.
+        size: usize,
+        /// Protocol handle for the control conversation.
+        handle: u64,
+    },
+}
+
+/// A handle-addressed protocol packet.
+#[derive(Debug)]
+pub enum Ctrl {
+    /// Clear-to-send (receiver → sender).
+    Cts {
+        /// Arrival of the CTS at the sender.
+        arrival: SimTime,
+    },
+    /// One ring chunk is ready (sender → receiver).
+    Chunk {
+        /// Slot index in the pair ring.
+        slot: usize,
+        /// Payload bytes in the slot.
+        len: usize,
+        /// Basic blocks the sender wrote (drives receiver unpack cost).
+        blocks: usize,
+        /// Arrival of the chunk data.
+        arrival: SimTime,
+        /// True on the final chunk.
+        last: bool,
+    },
+    /// Generic completion signal (one-sided emulation and PSCW use this).
+    Signal {
+        /// Arrival time.
+        arrival: SimTime,
+        /// Optional payload.
+        data: Vec<u8>,
+    },
+}
+
+#[derive(Default)]
+struct Queues {
+    msgs: VecDeque<Envelope>,
+    ctrl: HashMap<u64, VecDeque<Ctrl>>,
+}
+
+/// One rank's mailbox.
+#[derive(Default)]
+pub struct Mailbox {
+    q: Mutex<Queues>,
+    cv: Condvar,
+}
+
+impl Mailbox {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Deposit a message envelope (sender side).
+    pub fn post(&self, env: Envelope) {
+        self.q.lock().msgs.push_back(env);
+        self.cv.notify_all();
+    }
+
+    /// Deposit a protocol packet for `handle`.
+    pub fn post_ctrl(&self, handle: u64, ctrl: Ctrl) {
+        self.q
+            .lock()
+            .ctrl
+            .entry(handle)
+            .or_default()
+            .push_back(ctrl);
+        self.cv.notify_all();
+    }
+
+    /// Block until an envelope matching `(src, tag)` is available and
+    /// remove it (first match in arrival order — MPI non-overtaking).
+    pub fn match_recv(&self, src: Source, tag: TagSel) -> Envelope {
+        let mut q = self.q.lock();
+        loop {
+            if let Some(idx) = q.msgs.iter().position(|e| {
+                (match src {
+                    Source::Any => true,
+                    Source::Rank(r) => e.src == r,
+                }) && (match tag {
+                    TagSel::Any => true,
+                    TagSel::Value(t) => e.tag == t,
+                })
+            }) {
+                return q.msgs.remove(idx).expect("index valid under lock");
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe: does a matching envelope exist? Returns its
+    /// `(src, tag, arrival)` without removing it.
+    pub fn probe(&self, src: Source, tag: TagSel) -> Option<(usize, Tag, SimTime)> {
+        let q = self.q.lock();
+        q.msgs
+            .iter()
+            .find(|e| {
+                (match src {
+                    Source::Any => true,
+                    Source::Rank(r) => e.src == r,
+                }) && (match tag {
+                    TagSel::Any => true,
+                    TagSel::Value(t) => e.tag == t,
+                })
+            })
+            .map(|e| (e.src, e.tag, e.arrival))
+    }
+
+    /// Block until a protocol packet for `handle` arrives and remove it.
+    pub fn wait_ctrl(&self, handle: u64) -> Ctrl {
+        let mut q = self.q.lock();
+        loop {
+            if let Some(dq) = q.ctrl.get_mut(&handle) {
+                if let Some(c) = dq.pop_front() {
+                    if dq.is_empty() {
+                        q.ctrl.remove(&handle);
+                    }
+                    return c;
+                }
+            }
+            self.cv.wait(&mut q);
+        }
+    }
+
+    /// Number of queued (unmatched) messages — diagnostics only.
+    pub fn backlog(&self) -> usize {
+        self.q.lock().msgs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn env(src: usize, tag: Tag) -> Envelope {
+        Envelope {
+            src,
+            tag,
+            arrival: SimTime::ZERO,
+            head: Head::Eager {
+                data: vec![],
+                blocks: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn matching_by_source_and_tag() {
+        let mb = Mailbox::new();
+        mb.post(env(1, 10));
+        mb.post(env(2, 10));
+        mb.post(env(1, 20));
+        let e = mb.match_recv(Source::Rank(2), TagSel::Value(10));
+        assert_eq!(e.src, 2);
+        let e = mb.match_recv(Source::Rank(1), TagSel::Value(20));
+        assert_eq!(e.tag, 20);
+        let e = mb.match_recv(Source::Any, TagSel::Any);
+        assert_eq!((e.src, e.tag), (1, 10));
+    }
+
+    #[test]
+    fn non_overtaking_order_per_pair() {
+        let mb = Mailbox::new();
+        for i in 0..5 {
+            let mut e = env(3, 7);
+            e.arrival = SimTime::from_ps(i);
+            mb.post(e);
+        }
+        for i in 0..5 {
+            let e = mb.match_recv(Source::Rank(3), TagSel::Value(7));
+            assert_eq!(e.arrival, SimTime::from_ps(i), "overtook at {i}");
+        }
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_post() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = thread::spawn(move || mb2.match_recv(Source::Any, TagSel::Value(42)));
+        thread::sleep(std::time::Duration::from_millis(20));
+        mb.post(env(0, 41)); // wrong tag: should not satisfy
+        mb.post(env(0, 42));
+        let e = t.join().unwrap();
+        assert_eq!(e.tag, 42);
+        assert_eq!(mb.backlog(), 1); // the tag-41 message still queued
+    }
+
+    #[test]
+    fn ctrl_packets_by_handle() {
+        let mb = Mailbox::new();
+        mb.post_ctrl(
+            9,
+            Ctrl::Cts {
+                arrival: SimTime::ZERO,
+            },
+        );
+        mb.post_ctrl(
+            9,
+            Ctrl::Chunk {
+                slot: 0,
+                len: 10,
+                blocks: 1,
+                arrival: SimTime::ZERO,
+                last: true,
+            },
+        );
+        assert!(matches!(mb.wait_ctrl(9), Ctrl::Cts { .. }));
+        assert!(matches!(mb.wait_ctrl(9), Ctrl::Chunk { last: true, .. }));
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let mb = Mailbox::new();
+        assert!(mb.probe(Source::Any, TagSel::Any).is_none());
+        mb.post(env(4, 2));
+        assert_eq!(mb.probe(Source::Any, TagSel::Any), Some((4, 2, SimTime::ZERO)));
+        assert_eq!(mb.backlog(), 1);
+    }
+
+    #[test]
+    fn cross_thread_ctrl() {
+        let mb = Arc::new(Mailbox::new());
+        let mb2 = Arc::clone(&mb);
+        let t = thread::spawn(move || {
+            for i in 0..100u64 {
+                mb2.post_ctrl(
+                    i % 4,
+                    Ctrl::Signal {
+                        arrival: SimTime::from_ps(i),
+                        data: vec![],
+                    },
+                );
+            }
+        });
+        let mut got = 0;
+        for h in 0..4u64 {
+            for _ in 0..25 {
+                let c = mb.wait_ctrl(h);
+                assert!(matches!(c, Ctrl::Signal { .. }));
+                got += 1;
+            }
+        }
+        t.join().unwrap();
+        assert_eq!(got, 100);
+    }
+}

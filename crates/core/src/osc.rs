@@ -1,0 +1,1203 @@
+//! MPI-2 one-sided communication (paper §4).
+//!
+//! A **window** exposes a contiguous memory area of every rank to all
+//! others. At creation SCI-MPICH remembers which parts of the global
+//! window live in **SCI shared memory** (allocated through
+//! `MPI_Alloc_mem`, [`Rank::alloc_mem`]) and which are **private** process
+//! memory:
+//!
+//! * shared parts are accessed **directly** by transparent remote
+//!   stores/loads, followed by store barriers at synchronisation;
+//! * private parts are accessed by **emulation** — a control message plus
+//!   a remote interrupt invokes a handler at the target that accepts or
+//!   delivers the data with the ordinary transfer protocols.
+//!
+//! Because SCI remote *reads* are far slower than writes (Figure 1),
+//! direct reading pays off only for small amounts; larger `MPI_Get`s are
+//! converted to a **remote-put** performed by the target (§4.2).
+//!
+//! All three MPI-2 synchronisation modes are provided: `fence`,
+//! post/start/complete/wait, and passive-target `lock`/`unlock` built on
+//! the shared-memory locks of [`smi::SmiLock`] (reference 14).
+
+use crate::mailbox::Ctrl;
+use crate::runtime::Rank;
+use mpi_datatype::{ff, Committed};
+use sci_fabric::{PioStream, SciError, SharedMem};
+use simclock::{SimDuration, SimTime};
+use smi::{ProcId, SharedRegion, SmiLock, TimeBarrier};
+use std::sync::Arc;
+
+/// Memory registered with `MPI_Alloc_mem`: a slice of this rank's shared
+/// segment pool, directly accessible to remote CPUs.
+#[derive(Clone, Debug)]
+pub struct AllocMem {
+    pub(crate) rank: usize,
+    pub(crate) region: Arc<SharedRegion>,
+    /// Byte offset inside the pool region.
+    pub offset: usize,
+    /// Allocation length.
+    pub len: usize,
+}
+
+/// What a rank contributes to a window.
+#[derive(Clone)]
+pub enum WinMemory {
+    /// Memory from [`Rank::alloc_mem`] — remotely accessible, enables the
+    /// direct path.
+    Alloc(AllocMem),
+    /// `len` bytes of ordinary (private) process memory — forces the
+    /// emulation path.
+    Private(usize),
+}
+
+/// Reduction operators for `MPI_Accumulate`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccumulateOp {
+    /// Element-wise sum (`MPI_SUM`) over `f64` elements.
+    SumF64,
+    /// Element-wise sum over `i64` elements.
+    SumI64,
+    /// Element-wise maximum over `f64` elements.
+    MaxF64,
+    /// Overwrite (`MPI_REPLACE`).
+    Replace,
+}
+
+#[derive(Clone)]
+enum TargetMem {
+    Shared {
+        region: Arc<SharedRegion>,
+        offset: usize,
+    },
+    Private {
+        mem: Arc<SharedMem>,
+    },
+}
+
+struct WindowShared {
+    id: u64,
+    targets: Vec<(TargetMem, usize)>,
+    locks: Vec<SmiLock>,
+    fence: TimeBarrier,
+}
+
+/// A one-sided communication window (`MPI_Win`).
+pub struct Window {
+    shared: Arc<WindowShared>,
+    /// Open PIO streams to shared targets (kept across ops so consecutive
+    /// ascending accesses merge, and so outstanding writes are tracked).
+    streams: Vec<Option<PioStream>>,
+    /// Per-target busy-until time of the emulation handler: requests to
+    /// one target serialise (each costs a remote interrupt plus handler
+    /// time on the target CPU).
+    emu_busy: Vec<SimTime>,
+    /// Latest completion time of emulated operations.
+    emu_outstanding: SimTime,
+}
+
+/// Cost charged at the target for servicing one emulation request
+/// (handler dispatch, excluding data movement).
+const HANDLER_COST: SimDuration = SimDuration::from_us(3);
+
+fn pscw_handle(win: u64, from: usize, to: usize, phase: u64) -> u64 {
+    // Window ids are globally unique; fold the conversation into a
+    // collision-free 64-bit handle space.
+    (win << 24) ^ ((from as u64) << 14) ^ ((to as u64) << 4) ^ phase
+}
+
+impl Rank {
+    /// `MPI_Alloc_mem`: allocate remotely accessible memory from this
+    /// rank's shared-segment pool.
+    pub fn alloc_mem(&mut self, len: usize) -> AllocMem {
+        let offset = self.world.alloc_pools[self.rank]
+            .lock()
+            .alloc(len)
+            .expect("shared-segment pool exhausted");
+        AllocMem {
+            rank: self.rank,
+            region: Arc::clone(&self.world.alloc_regions[self.rank]),
+            offset,
+            len,
+        }
+    }
+
+    /// `MPI_Free_mem`.
+    pub fn free_mem(&mut self, mem: AllocMem) {
+        self.world.alloc_pools[self.rank]
+            .lock()
+            .free(mem.offset)
+            .expect("double free of alloc_mem");
+    }
+
+    /// `MPI_Win_create` (collective): expose `mem` to all ranks.
+    pub fn win_create(&mut self, mem: WinMemory) -> Window {
+        let contrib: (TargetMem, usize) = match mem {
+            WinMemory::Alloc(am) => {
+                assert_eq!(am.rank, self.rank, "alloc_mem from another rank");
+                (
+                    TargetMem::Shared {
+                        region: am.region,
+                        offset: am.offset,
+                    },
+                    am.len,
+                )
+            }
+            WinMemory::Private(len) => (
+                TargetMem::Private {
+                    mem: Arc::new(SharedMem::new(len)),
+                },
+                len,
+            ),
+        };
+        let targets = self.collective_gather(contrib);
+        let id = self.collective_gather(if self.rank == 0 {
+            self.world.handle()
+        } else {
+            0
+        })[0];
+        if self.rank == 0 {
+            let shared = Arc::new(WindowShared {
+                id,
+                locks: (0..self.size)
+                    .map(|t| SmiLock::new(Arc::clone(&self.world.smi), ProcId(t)))
+                    .collect(),
+                fence: TimeBarrier::new(self.size, self.world.tuning.barrier_hop),
+                targets,
+            });
+            self.world
+                .windows
+                .lock()
+                .insert(id, shared as Arc<dyn std::any::Any + Send + Sync>);
+        }
+        // Make the insert visible to everyone.
+        self.collective_gather(());
+        let shared = self
+            .world
+            .windows
+            .lock()
+            .get(&id)
+            .expect("window registered by rank 0")
+            .clone()
+            .downcast::<WindowShared>()
+            .expect("window type");
+        Window {
+            streams: (0..self.size).map(|_| None).collect(),
+            emu_busy: vec![SimTime::ZERO; self.size],
+            shared,
+            emu_outstanding: SimTime::ZERO,
+        }
+    }
+}
+
+impl Window {
+    /// Window size at `target`.
+    pub fn len(&self, target: usize) -> usize {
+        self.shared.targets[target].1
+    }
+
+    /// True if the window is empty at `target`.
+    pub fn is_empty(&self, target: usize) -> bool {
+        self.len(target) == 0
+    }
+
+    /// True if `target`'s part of the window is directly accessible SCI
+    /// shared memory.
+    pub fn is_shared(&self, target: usize) -> bool {
+        matches!(self.shared.targets[target].0, TargetMem::Shared { .. })
+    }
+
+    fn check(&self, target: usize, offset: usize, len: usize) -> Result<(), SciError> {
+        let winlen = self.len(target);
+        if offset.checked_add(len).is_none_or(|end| end > winlen) {
+            return Err(SciError::OutOfBounds(sci_fabric::mem::OutOfBounds {
+                offset,
+                len,
+                capacity: winlen,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Direct-path stream to a shared target (created lazily, kept open).
+    fn stream<'a>(
+        streams: &'a mut [Option<PioStream>],
+        shared: &WindowShared,
+        rank: &Rank,
+        target: usize,
+        working_set: usize,
+    ) -> (&'a mut PioStream, usize) {
+        let TargetMem::Shared { region, offset } = &shared.targets[target].0 else {
+            panic!("direct stream to private window");
+        };
+        let slot = &mut streams[target];
+        if slot.is_none() {
+            let mut stream = region.map(ProcId(rank.rank())).pio_stream(working_set);
+            // Window streams are long-running: sustained MPI-level puts
+            // saturate at the node injection cap (the Figure 12 plateau),
+            // unlike short raw bursts.
+            stream.cap_demand(rank.world.fabric.params().node_injection_cap);
+            *slot = Some(stream);
+        }
+        (slot.as_mut().expect("just created"), *offset)
+    }
+
+    /// `MPI_Put` of contiguous bytes.
+    pub fn put(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        data: &[u8],
+    ) -> Result<(), SciError> {
+        self.check(target, target_off, data.len())?;
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { .. } => {
+                let (stream, base) =
+                    Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
+                stream.write(&mut rank.clock, base + target_off, data)?;
+                Ok(())
+            }
+            TargetMem::Private { mem } => {
+                // Emulation: control message + remote interrupt + handler
+                // receives the data with the ordinary protocols.
+                mem.write(target_off, data)?;
+                self.emulate(rank, target, data.len());
+                Ok(())
+            }
+        }
+    }
+
+    /// `MPI_Put` of a committed datatype — `direct_pack_ff` streams the
+    /// blocks straight into the remote window.
+    pub fn put_typed(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<(), SciError> {
+        let total = c.size() * count;
+        self.check(target, target_off, c.extent() * count)?;
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { .. } => {
+                let (stream, base) =
+                    Self::stream(&mut self.streams, &self.shared, rank, target, total);
+                // Pack into the window preserving the *layout* (the target
+                // datatype equals the origin datatype here): each block is
+                // written at its own displacement.
+                let mut err = None;
+                let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let src_at = (origin as i64 + disp) as usize;
+                    let dst_at = base + target_off + disp as usize;
+                    match stream.write(&mut rank.clock, dst_at, &buf[src_at..src_at + len]) {
+                        Ok(()) => core::ops::ControlFlow::Continue(()),
+                        Err(e) => {
+                            err = Some(e);
+                            core::ops::ControlFlow::Break(())
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                rank.clock.advance(
+                    rank.world
+                        .tuning
+                        .ff_block_cost
+                        .saturating_mul(stats.blocks as u64),
+                );
+                Ok(())
+            }
+            TargetMem::Private { mem } => {
+                let mut sink = ff::VecSink::default();
+                let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
+                    .expect("VecSink infallible");
+                rank.clock.advance(
+                    rank.world
+                        .tuning
+                        .ff_block_cost
+                        .saturating_mul(stats.blocks as u64),
+                );
+                // Handler unpacks at the target; data keeps its layout.
+                let mut err = None;
+                let mut pos = 0usize;
+                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let at = (target_off as i64 + disp) as usize;
+                    if let Err(e) = mem.write(at, &sink.data[pos..pos + len]) {
+                        err = Some(SciError::OutOfBounds(e));
+                        return core::ops::ControlFlow::Break(());
+                    }
+                    pos += len;
+                    core::ops::ControlFlow::Continue(())
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                self.emulate(rank, target, total);
+                Ok(())
+            }
+        }
+    }
+
+    /// `MPI_Put` of a committed datatype through the **DMA engine's
+    /// scatter/gather descriptor list** — the paper's outlook (§6):
+    /// non-contiguous transfers on DMA-based interconnects pay one setup
+    /// for the whole list and then stream without the CPU. Pays off for
+    /// large payloads of small blocks, where PIO per-block costs dominate.
+    /// Shared windows only.
+    pub fn put_typed_dma(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<(), SciError> {
+        self.check(target, target_off, c.extent() * count)?;
+        let TargetMem::Shared { region, offset } = &self.shared.targets[target].0 else {
+            panic!("put_typed_dma requires a shared window");
+        };
+        let base = offset + target_off;
+        let mut entries = Vec::with_capacity(c.blocks_per_instance() * count);
+        ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+            entries.push(sci_fabric::SgEntry {
+                src_offset: (origin as i64 + disp) as usize,
+                dst_offset: (base as i64 + disp) as usize,
+                len,
+            });
+            core::ops::ControlFlow::Continue(())
+        });
+        let dma = rank
+            .world
+            .fabric
+            .dma_engine(rank.node(), region.segment());
+        let completion = dma.write_sg(&mut rank.clock, &entries, buf)?;
+        self.emu_outstanding = self.emu_outstanding.max(completion.done);
+        Ok(())
+    }
+
+    /// `MPI_Get` of contiguous bytes.
+    pub fn get(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        dst: &mut [u8],
+    ) -> Result<(), SciError> {
+        self.check(target, target_off, dst.len())?;
+        let threshold = rank.world.tuning.get_remote_put_threshold;
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { region, offset } => {
+                if dst.len() < threshold {
+                    // Small: direct remote read (CPU stalls, but latency is
+                    // still low compared to messaging).
+                    let reader = rank
+                        .world
+                        .fabric
+                        .pio_reader(rank.node(), region.segment());
+                    reader.read(&mut rank.clock, offset + target_off, dst)
+                } else {
+                    // Large: remote-put conversion — the target writes the
+                    // data into the origin's address space at SCI write
+                    // bandwidth instead of the origin reading it at SCI
+                    // read bandwidth.
+                    region
+                        .segment()
+                        .mem()
+                        .read(offset + target_off, dst)?;
+                    let params = rank.world.fabric.params();
+                    let t = &rank.world.tuning;
+                    let hops = rank
+                        .world
+                        .fabric
+                        .topology()
+                        .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+                    let cost = t.ctrl_send_cost
+                        + params.remote_interrupt
+                        + HANDLER_COST
+                        + params.txn_overhead
+                        + params
+                            .pio_stream_bw(dst.len())
+                            .min(params.node_injection_cap)
+                            .cost(dst.len() as u64)
+                        + params.wire_latency(hops).saturating_mul(2)
+                        + params.cache.copy_cost(dst.len(), dst.len());
+                    rank.clock.advance(cost);
+                    Ok(())
+                }
+            }
+            TargetMem::Private { mem } => {
+                // Emulation: interrupt the target, handler sends the data
+                // back with the ordinary protocols.
+                mem.read(target_off, dst)?;
+                let params = rank.world.fabric.params();
+                let t = &rank.world.tuning;
+                let hops = rank
+                    .world
+                    .fabric
+                    .topology()
+                    .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+                let cost = t.ctrl_send_cost
+                    + params.remote_interrupt
+                    + HANDLER_COST
+                    + params.txn_overhead
+                    + params
+                        .pio_stream_bw(dst.len())
+                        .min(params.node_injection_cap)
+                        .cost(dst.len() as u64)
+                    + params.wire_latency(hops).saturating_mul(2)
+                    + params.cache.copy_cost(dst.len(), dst.len());
+                rank.clock.advance(cost);
+                Ok(())
+            }
+        }
+    }
+
+    /// `MPI_Get` of a committed datatype: gather the target's
+    /// non-contiguous blocks into the same layout at the origin.
+    ///
+    /// Small totals read each block directly (per-block read stalls make
+    /// this expensive fast — exactly the SCI read-granularity problem);
+    /// large totals convert to a remote-put executed by the target, which
+    /// packs with `direct_pack_ff` on its side.
+    pub fn get_typed(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &mut [u8],
+        origin: usize,
+    ) -> Result<(), SciError> {
+        self.check(target, target_off, c.extent() * count)?;
+        let total = c.size() * count;
+        let threshold = rank.world.tuning.get_remote_put_threshold;
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { region, offset } if total < threshold => {
+                // Direct path: one stalling read per basic block.
+                let reader = rank
+                    .world
+                    .fabric
+                    .pio_reader(rank.node(), region.segment());
+                let base = (offset + target_off) as i64;
+                let mut err = None;
+                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let src = (base + disp) as usize;
+                    let dst = (origin as i64 + disp) as usize;
+                    match reader.read(&mut rank.clock, src, &mut buf[dst..dst + len]) {
+                        Ok(()) => core::ops::ControlFlow::Continue(()),
+                        Err(e) => {
+                            err = Some(e);
+                            core::ops::ControlFlow::Break(())
+                        }
+                    }
+                });
+                err.map_or(Ok(()), Err)
+            }
+            mem => {
+                // Remote-put conversion (or private-window emulation): the
+                // target's handler packs the blocks with direct_pack_ff
+                // and streams them back at write bandwidth.
+                let base = target_off as i64;
+                let mut err = None;
+                let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let src = (base + disp) as usize;
+                    let dst = (origin as i64 + disp) as usize;
+                    let res = match mem {
+                        TargetMem::Shared { region, offset } => region
+                            .segment()
+                            .mem()
+                            .read(offset + src, &mut buf[dst..dst + len])
+                            .map_err(SciError::from),
+                        TargetMem::Private { mem } => mem
+                            .read(src, &mut buf[dst..dst + len])
+                            .map_err(SciError::from),
+                    };
+                    match res {
+                        Ok(()) => core::ops::ControlFlow::Continue(()),
+                        Err(e) => {
+                            err = Some(e);
+                            core::ops::ControlFlow::Break(())
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+                let params = rank.world.fabric.params();
+                let t = &rank.world.tuning;
+                let hops = rank
+                    .world
+                    .fabric
+                    .topology()
+                    .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+                // Target-side ff pack + streamed write back + origin unpack.
+                let cost = t.ctrl_send_cost
+                    + params.remote_interrupt
+                    + HANDLER_COST
+                    + t.ff_block_cost.saturating_mul(stats.blocks as u64)
+                    + params.txn_overhead
+                    + params
+                        .pio_stream_bw(total)
+                        .min(params.node_injection_cap)
+                        .cost(total as u64)
+                    + params.wire_latency(hops).saturating_mul(2)
+                    + params.cache.copy_cost(total, total);
+                rank.clock.advance(cost);
+                Ok(())
+            }
+        }
+    }
+
+    /// `MPI_Accumulate`: combine `data` into the target window.
+    pub fn accumulate(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        op: AccumulateOp,
+        data: &[u8],
+    ) -> Result<(), SciError> {
+        self.check(target, target_off, data.len())?;
+        // Read-modify-write. On the direct path this is a stalling remote
+        // read plus a remote write; on the emulation path the handler does
+        // the combine locally at the target.
+        let mut current = vec![0u8; data.len()];
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { region, offset } => {
+                let reader = rank
+                    .world
+                    .fabric
+                    .pio_reader(rank.node(), region.segment());
+                reader.read(&mut rank.clock, offset + target_off, &mut current)?;
+                apply_op(op, &mut current, data);
+                let (stream, base) =
+                    Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
+                stream.write(&mut rank.clock, base + target_off, &current)?;
+                Ok(())
+            }
+            TargetMem::Private { mem } => {
+                mem.read(target_off, &mut current)?;
+                apply_op(op, &mut current, data);
+                mem.write(target_off, &current)?;
+                self.emulate(rank, target, data.len());
+                Ok(())
+            }
+        }
+    }
+
+    /// Read from this rank's own window memory (local load).
+    pub fn read_local(&self, rank: &mut Rank, offset: usize, dst: &mut [u8]) {
+        self.check(rank.rank(), offset, dst.len()).expect("local read in range");
+        match &self.shared.targets[rank.rank()].0 {
+            TargetMem::Shared { region, offset: base } => {
+                region.segment().mem().read(base + offset, dst).expect("in range");
+            }
+            TargetMem::Private { mem } => {
+                mem.read(offset, dst).expect("in range");
+            }
+        }
+        let cost = rank
+            .world
+            .fabric
+            .params()
+            .cache
+            .copy_cost(dst.len(), dst.len());
+        rank.clock.advance(cost);
+    }
+
+    /// Write into this rank's own window memory (local store).
+    pub fn write_local(&self, rank: &mut Rank, offset: usize, data: &[u8]) {
+        self.check(rank.rank(), offset, data.len()).expect("local write in range");
+        match &self.shared.targets[rank.rank()].0 {
+            TargetMem::Shared { region, offset: base } => {
+                region.segment().mem().write(base + offset, data).expect("in range");
+            }
+            TargetMem::Private { mem } => {
+                mem.write(offset, data).expect("in range");
+            }
+        }
+        let cost = rank
+            .world
+            .fabric
+            .params()
+            .cache
+            .copy_cost(data.len(), data.len());
+        rank.clock.advance(cost);
+    }
+
+    /// Model one emulation round trip (control message + remote interrupt
+    /// + handler + data transfer time). Requests to one target serialise
+    /// on its handler — the paper's private-window latencies are dominated
+    /// by "the required signalling of the remote process and the message
+    /// exchange involved" for every single call.
+    fn emulate(&mut self, rank: &mut Rank, target: usize, len: usize) {
+        let params = rank.world.fabric.params();
+        let t = &rank.world.tuning;
+        let hops = rank
+            .world
+            .fabric
+            .topology()
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+        // Origin: builds the request, pays the transfer.
+        let origin_cost = t.ctrl_send_cost
+            + params.txn_overhead
+            + params
+                .pio_stream_bw(len)
+                .min(params.node_injection_cap)
+                .cost(len as u64)
+            + params.cache.copy_cost(len, len);
+        rank.clock.advance(origin_cost);
+        // Handler at the target: starts once the request has arrived AND
+        // the handler is free (serialisation), then pays the interrupt
+        // dispatch plus the copy-in.
+        let arrival = rank.clock.now() + params.wire_latency(hops);
+        let start = arrival.max(self.emu_busy[target]);
+        let done =
+            start + params.remote_interrupt + HANDLER_COST + params.cache.copy_cost(len, len);
+        self.emu_busy[target] = done;
+        self.emu_outstanding = self.emu_outstanding.max(done);
+    }
+
+    /// Flush: merge all outstanding completions into the clock and reset
+    /// burst state (the store-barrier part of every synchronisation).
+    fn flush(&mut self, rank: &mut Rank) {
+        for stream in self.streams.iter_mut().flatten() {
+            stream.barrier(&mut rank.clock);
+        }
+        rank.clock.merge(self.emu_outstanding);
+        self.emu_outstanding = SimTime::ZERO;
+    }
+
+    /// `MPI_Win_fence`: complete all outstanding accesses and synchronise
+    /// all ranks of the window (active target, collective).
+    pub fn fence(&mut self, rank: &mut Rank) {
+        self.flush(rank);
+        self.shared.fence.wait(&mut rank.clock);
+    }
+
+    /// `MPI_Win_post`: open an exposure epoch for `origins` (active
+    /// target, paired with [`Window::start`] at the origins).
+    pub fn post(&mut self, rank: &mut Rank, origins: &[usize]) {
+        for &o in origins {
+            rank.clock.advance(rank.world.tuning.ctrl_send_cost);
+            let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), o);
+            rank.world.mailboxes[o].post_ctrl(
+                pscw_handle(self.shared.id, rank.rank(), o, 0),
+                Ctrl::Signal {
+                    arrival,
+                    data: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// `MPI_Win_start`: open an access epoch towards `targets` (waits for
+    /// their posts).
+    pub fn start(&mut self, rank: &mut Rank, targets: &[usize]) {
+        for &t in targets {
+            let c = rank.world.mailboxes[rank.rank()]
+                .wait_ctrl(pscw_handle(self.shared.id, t, rank.rank(), 0));
+            let Ctrl::Signal { arrival, .. } = c else {
+                panic!("expected post signal");
+            };
+            rank.clock.merge(arrival);
+            rank.clock.advance(rank.world.tuning.ctrl_recv_cost);
+        }
+    }
+
+    /// `MPI_Win_complete`: close the access epoch (flushes and notifies
+    /// the targets).
+    pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) {
+        self.flush(rank);
+        for &t in targets {
+            rank.clock.advance(rank.world.tuning.ctrl_send_cost);
+            let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), t);
+            rank.world.mailboxes[t].post_ctrl(
+                pscw_handle(self.shared.id, rank.rank(), t, 1),
+                Ctrl::Signal {
+                    arrival,
+                    data: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// `MPI_Win_wait`: close the exposure epoch (waits for all origins'
+    /// completes).
+    pub fn wait(&mut self, rank: &mut Rank, origins: &[usize]) {
+        for &o in origins {
+            let c = rank.world.mailboxes[rank.rank()]
+                .wait_ctrl(pscw_handle(self.shared.id, o, rank.rank(), 1));
+            let Ctrl::Signal { arrival, .. } = c else {
+                panic!("expected complete signal");
+            };
+            rank.clock.merge(arrival);
+            rank.clock.advance(rank.world.tuning.ctrl_recv_cost);
+        }
+    }
+
+    /// `MPI_Win_lock` (exclusive, passive target): acquire the
+    /// shared-memory lock guarding `target`'s window part, run `body`,
+    /// then unlock with completion semantics.
+    ///
+    /// The closure style keeps the real lock guard inside one stack frame,
+    /// mirroring `MPI_Win_lock`/`MPI_Win_unlock` bracketing.
+    pub fn locked<R>(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        body: impl FnOnce(&mut Window, &mut Rank) -> R,
+    ) -> R {
+        let me = ProcId(rank.rank());
+        let shared = Arc::clone(&self.shared);
+        let guard = {
+            let lock = &shared.locks[target];
+            lock.acquire(&mut rank.clock, me)
+        };
+        let result = body(self, rank);
+        // Unlock semantics: all accesses of the epoch must be complete at
+        // the target before the lock is released.
+        self.flush(rank);
+        guard.release(&mut rank.clock);
+        result
+    }
+}
+
+/// Element-wise combine for `MPI_Accumulate`.
+fn apply_op(op: AccumulateOp, current: &mut [u8], incoming: &[u8]) {
+    match op {
+        AccumulateOp::Replace => current.copy_from_slice(incoming),
+        AccumulateOp::SumF64 | AccumulateOp::MaxF64 => {
+            assert!(current.len() % 8 == 0, "f64 accumulate needs 8-byte data");
+            for i in (0..current.len()).step_by(8) {
+                let a = f64::from_le_bytes(current[i..i + 8].try_into().expect("8 bytes"));
+                let b = f64::from_le_bytes(incoming[i..i + 8].try_into().expect("8 bytes"));
+                let r = match op {
+                    AccumulateOp::SumF64 => a + b,
+                    AccumulateOp::MaxF64 => a.max(b),
+                    _ => unreachable!(),
+                };
+                current[i..i + 8].copy_from_slice(&r.to_le_bytes());
+            }
+        }
+        AccumulateOp::SumI64 => {
+            assert!(current.len() % 8 == 0, "i64 accumulate needs 8-byte data");
+            for i in (0..current.len()).step_by(8) {
+                let a = i64::from_le_bytes(current[i..i + 8].try_into().expect("8 bytes"));
+                let b = i64::from_le_bytes(incoming[i..i + 8].try_into().expect("8 bytes"));
+                current[i..i + 8].copy_from_slice(&a.wrapping_add(b).to_le_bytes());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, ClusterSpec};
+    use mpi_datatype::{typed, Datatype};
+
+    fn shared_window(rank: &mut Rank, len: usize) -> Window {
+        let mem = rank.alloc_mem(len);
+        rank.win_create(WinMemory::Alloc(mem))
+    }
+
+    #[test]
+    fn put_fence_get_roundtrip_shared() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 4096);
+            if r.rank() == 0 {
+                win.put(r, 1, 128, b"one-sided put").unwrap();
+            }
+            win.fence(r);
+            if r.rank() == 1 {
+                let mut local = [0u8; 13];
+                win.read_local(r, 128, &mut local);
+                assert_eq!(&local, b"one-sided put");
+            }
+            // And a get back the other way.
+            if r.rank() == 1 {
+                win.write_local(r, 0, b"reply");
+            }
+            win.fence(r);
+            if r.rank() == 0 {
+                let mut buf = [0u8; 5];
+                win.get(r, 1, 0, &mut buf).unwrap();
+                assert_eq!(&buf, b"reply");
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn private_window_uses_emulation_and_works() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let mut win = r.win_create(WinMemory::Private(1024));
+            assert!(!win.is_shared(0));
+            if r.rank() == 0 {
+                win.put(r, 1, 0, &[7u8; 256]).unwrap();
+            }
+            win.fence(r);
+            if r.rank() == 1 {
+                let mut buf = [0u8; 256];
+                win.read_local(r, 0, &mut buf);
+                assert!(buf.iter().all(|&b| b == 7));
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn private_put_costs_more_than_shared_put() {
+        let time_with = |private: bool| {
+            let out = run(ClusterSpec::ringlet(2), move |r| {
+                let mut win = if private {
+                    r.win_create(WinMemory::Private(8192))
+                } else {
+                    shared_window(r, 8192)
+                };
+                win.fence(r);
+                if r.rank() == 0 {
+                    for i in 0..16 {
+                        win.put(r, 1, i * 256, &[1u8; 128]).unwrap();
+                    }
+                }
+                win.fence(r);
+                r.now()
+            });
+            out[0]
+        };
+        let shared = time_with(false);
+        let private = time_with(true);
+        assert!(
+            private.as_ps() > 2 * shared.as_ps(),
+            "emulation {private:?} should cost much more than direct {shared:?}"
+        );
+    }
+
+    #[test]
+    fn large_get_remote_put_beats_direct_read_rate() {
+        // A large get must cost far less than the pure PIO-read model
+        // thanks to the remote-put conversion.
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 256 * 1024);
+            win.fence(r);
+            let mut elapsed = SimDuration::ZERO;
+            if r.rank() == 0 {
+                let mut buf = vec![0u8; 128 * 1024];
+                let t0 = r.now();
+                win.get(r, 1, 0, &mut buf).unwrap();
+                elapsed = r.now() - t0;
+            }
+            win.fence(r);
+            elapsed
+        });
+        let remote_put_time = out[0];
+        // Direct read of 128 kiB at ~18 MiB/s would take ~7 ms.
+        assert!(
+            remote_put_time < SimDuration::from_ms(3),
+            "remote-put get took {remote_put_time}"
+        );
+        assert!(remote_put_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn small_get_direct_read_is_low_latency() {
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 4096);
+            if r.rank() == 1 {
+                win.write_local(r, 64, &[0xEE; 8]);
+            }
+            win.fence(r);
+            let mut lat = SimDuration::ZERO;
+            if r.rank() == 0 {
+                let t0 = r.now();
+                let mut b = [0u8; 8];
+                win.get(r, 1, 64, &mut b).unwrap();
+                lat = r.now() - t0;
+                assert_eq!(b, [0xEE; 8]);
+            }
+            win.fence(r);
+            lat
+        });
+        // One stalling read transaction: a handful of microseconds.
+        assert!(out[0] < SimDuration::from_us(10), "latency {}", out[0]);
+    }
+
+    #[test]
+    fn accumulate_sum_f64() {
+        run(ClusterSpec::ringlet(4), |r| {
+            let mut win = shared_window(r, 64);
+            if r.rank() == 0 {
+                win.write_local(r, 0, &typed::to_bytes(&[10.0f64]));
+            }
+            win.fence(r);
+            // Ranks 1..4 each add their rank value, one after another
+            // under lock (concurrent accumulates to the same location
+            // need mutual exclusion in this implementation).
+            for turn in 1..r.size() {
+                if r.rank() == turn {
+                    let data = typed::to_bytes(&[r.rank() as f64]);
+                    win.locked(r, 0, |w, r| {
+                        w.accumulate(r, 0, 0, AccumulateOp::SumF64, &data).unwrap();
+                    });
+                }
+                win.fence(r);
+            }
+            if r.rank() == 0 {
+                let mut buf = [0u8; 8];
+                win.read_local(r, 0, &mut buf);
+                let v: Vec<f64> = typed::from_bytes(&buf);
+                assert_eq!(v[0], 16.0); // 10 + 1 + 2 + 3
+            }
+        });
+    }
+
+    #[test]
+    fn pscw_epoch_synchronises() {
+        run(ClusterSpec::ringlet(3), |r| {
+            let mut win = shared_window(r, 1024);
+            // Rank 0 is the target; ranks 1 and 2 write disjoint areas.
+            if r.rank() == 0 {
+                win.post(r, &[1, 2]);
+                win.wait(r, &[1, 2]);
+                let mut buf = [0u8; 2];
+                win.read_local(r, 100, &mut buf[..1]);
+                win.read_local(r, 200, &mut buf[1..]);
+                assert_eq!(buf, [11, 22]);
+            } else {
+                win.start(r, &[0]);
+                let v = if r.rank() == 1 { [11u8] } else { [22u8] };
+                let off = if r.rank() == 1 { 100 } else { 200 };
+                win.put(r, 0, off, &v).unwrap();
+                win.complete(r, &[0]);
+            }
+        });
+    }
+
+    #[test]
+    fn lock_unlock_passive_target() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 64);
+            win.fence(r);
+            if r.rank() == 0 {
+                // Passive target: rank 1 takes no action at all.
+                win.locked(r, 1, |w, r| {
+                    w.put(r, 1, 0, &[42u8; 16]).unwrap();
+                });
+                r.send(1, 1, b"done");
+            } else {
+                let mut sig = [0u8; 4];
+                r.recv(crate::Source::Rank(0), crate::TagSel::Value(1), &mut sig);
+                let mut buf = [0u8; 16];
+                win.read_local(r, 0, &mut buf);
+                assert!(buf.iter().all(|&b| b == 42));
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn typed_put_places_strided_blocks() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let dt = Datatype::vector(4, 1, 2, &Datatype::double());
+            let c = Committed::commit(&dt);
+            let mut win = shared_window(r, 256);
+            if r.rank() == 0 {
+                let src: Vec<u8> = (0..c.extent()).map(|i| i as u8).collect();
+                win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
+            }
+            win.fence(r);
+            if r.rank() == 1 {
+                // Extent is 3 full strides + one final block (no trailing
+                // gap): 56 bytes.
+                assert_eq!(c.extent(), 56);
+                let mut buf = vec![0u8; c.extent()];
+                win.read_local(r, 0, &mut buf);
+                // Block bytes landed, gap bytes untouched (zero).
+                for blk in 0..4 {
+                    let at = blk * 16;
+                    let expect: Vec<u8> = (at..at + 8).map(|i| i as u8).collect();
+                    assert_eq!(&buf[at..at + 8], &expect[..], "block {blk}");
+                    if blk < 3 {
+                        assert!(buf[at + 8..at + 16].iter().all(|&b| b == 0), "gap {blk}");
+                    }
+                }
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn out_of_range_access_is_error() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 64);
+            if r.rank() == 0 {
+                assert!(win.put(r, 1, 60, &[0u8; 8]).is_err());
+                let mut buf = [0u8; 8];
+                assert!(win.get(r, 1, 60, &mut buf).is_err());
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn alloc_mem_pool_alloc_free_cycle() {
+        run(ClusterSpec::ringlet(1), |r| {
+            let a = r.alloc_mem(1024);
+            let b = r.alloc_mem(2048);
+            assert_ne!(a.offset, b.offset);
+            r.free_mem(a);
+            let c = r.alloc_mem(512);
+            // First-fit reuses the freed block.
+            assert_eq!(c.offset, 0);
+            r.free_mem(b);
+            r.free_mem(c);
+        });
+    }
+
+    #[test]
+    fn get_typed_gathers_strided_blocks() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let dt = Datatype::vector(8, 2, 4, &Datatype::double()); // 128 B data
+            let c = Committed::commit(&dt);
+            let mut win = shared_window(r, 1024);
+            if r.rank() == 1 {
+                let img: Vec<u8> = (0..c.extent()).map(|i| (i ^ 0x3C) as u8).collect();
+                win.write_local(r, 0, &img);
+            }
+            win.fence(r);
+            if r.rank() == 0 {
+                let mut buf = vec![0u8; c.extent()];
+                win.get_typed(r, 1, 0, &c, 1, &mut buf, 0).unwrap();
+                // Block bytes match the target image; gaps stayed zero.
+                mpi_datatype::tree::for_each_segment(c.datatype(), 1, |d, l| {
+                    let d = d as usize;
+                    for i in d..d + l {
+                        assert_eq!(buf[i], (i ^ 0x3C) as u8, "data byte {i}");
+                    }
+                    core::ops::ControlFlow::Continue(())
+                });
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn get_typed_large_uses_remote_put_rate() {
+        // A large typed get must be far cheaper than per-block stalling
+        // reads.
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            let dt = Datatype::vector(4096, 2, 4, &Datatype::double()); // 64 KiB
+            let c = Committed::commit(&dt);
+            let mut win = shared_window(r, 2 * c.extent());
+            win.fence(r);
+            let mut elapsed = SimDuration::ZERO;
+            if r.rank() == 0 {
+                let mut buf = vec![0u8; c.extent()];
+                let t0 = r.now();
+                win.get_typed(r, 1, 0, &c, 1, &mut buf, 0).unwrap();
+                elapsed = r.now() - t0;
+            }
+            win.fence(r);
+            elapsed
+        });
+        // 4096 stalling reads would cost ~14 ms; remote-put stays ~1 ms.
+        assert!(out[0] < SimDuration::from_ms(3), "took {}", out[0]);
+    }
+
+    #[test]
+    fn dma_sg_put_beats_pio_for_many_small_blocks() {
+        let time_with = |dma: bool| {
+            let out = run(ClusterSpec::ringlet(2), move |r| {
+                // 512 KiB of 64-byte blocks: PIO pays per-block flushes,
+                // DMA pays one descriptor-list setup.
+                let dt = Datatype::vector(8192, 8, 16, &Datatype::double());
+                let c = Committed::commit(&dt);
+                let mut win = shared_window(r, c.extent() + 64);
+                win.fence(r);
+                if r.rank() == 0 {
+                    let src = vec![5u8; c.extent()];
+                    if dma {
+                        win.put_typed_dma(r, 1, 0, &c, 1, &src, 0).unwrap();
+                    } else {
+                        win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
+                    }
+                }
+                win.fence(r);
+                r.now()
+            });
+            out[0]
+        };
+        let pio = time_with(false);
+        let dma = time_with(true);
+        assert!(dma < pio, "dma {dma:?} should beat pio {pio:?} here");
+    }
+
+    #[test]
+    fn dma_sg_put_delivers_correct_layout() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let dt = Datatype::vector(4, 1, 2, &Datatype::double());
+            let c = Committed::commit(&dt);
+            let mut win = shared_window(r, 256);
+            if r.rank() == 0 {
+                let src: Vec<u8> = (0..c.extent()).map(|i| i as u8 + 1).collect();
+                win.put_typed_dma(r, 1, 0, &c, 1, &src, 0).unwrap();
+            }
+            win.fence(r);
+            if r.rank() == 1 {
+                let mut buf = vec![0u8; c.extent()];
+                win.read_local(r, 0, &mut buf);
+                for blk in 0..4usize {
+                    let at = blk * 16;
+                    assert!(buf[at..at + 8]
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &b)| b == (at + i) as u8 + 1));
+                }
+            }
+            win.fence(r);
+        });
+    }
+
+    #[test]
+    fn strided_put_performance_depends_on_alignment() {
+        // §4.3: strides that are multiples of the 32-byte write-combine
+        // buffer are much faster than misaligned ones.
+        let time_with_stride = |stride: usize| {
+            let out = run(ClusterSpec::ringlet(2), move |r| {
+                let mut win = shared_window(r, 1 << 20);
+                win.fence(r);
+                if r.rank() == 0 {
+                    let data = [1u8; 8];
+                    let mut off = 0;
+                    while off + 8 <= (1 << 20) {
+                        win.put(r, 1, off, &data).unwrap();
+                        off += stride;
+                    }
+                }
+                win.fence(r);
+                r.now()
+            });
+            out[0]
+        };
+        let aligned = time_with_stride(64);
+        let misaligned = time_with_stride(72); // not a multiple of 32
+        // Same number of puts is not equal (16384 vs 14563), so compare
+        // per-put cost.
+        let per_aligned = aligned.as_ps() / (1 << 20) * 64;
+        let per_mis = misaligned.as_ps() / (1 << 20) * 72;
+        assert!(
+            per_mis > 2 * per_aligned,
+            "aligned {per_aligned} vs misaligned {per_mis}"
+        );
+    }
+}

@@ -1,0 +1,483 @@
+//! Cluster runtime: rank threads over the simulated fabric.
+//!
+//! [`run`] spawns one OS thread per MPI rank and executes the user
+//! closure in each; ranks communicate through the [`crate::mailbox`]
+//! transport and the SCI fabric. Virtual time lives in each rank's
+//! [`simclock::Clock`]; `MPI_Wtime` reads it.
+
+use crate::mailbox::Mailbox;
+use crate::tuning::Tuning;
+use parking_lot::Mutex;
+use sci_fabric::{Fabric, FabricSpec, FaultConfig, SciParams, Topology};
+use simclock::{Clock, SimDuration, SimTime};
+use smi::{ProcId, SharedRegion, ShregAllocator, SmiWorld, TimeBarrier};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Size of each rank's `MPI_Alloc_mem` shared-segment pool.
+pub const ALLOC_POOL_BYTES: usize = 8 << 20;
+
+/// Everything needed to launch a simulated cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Cluster interconnect topology (single ringlet or multi-ring).
+    pub topology: Topology,
+    /// MPI ranks per node (1 = the paper's standard setup).
+    pub procs_per_node: usize,
+    /// Fabric calibration.
+    pub params: SciParams,
+    /// Fault injection.
+    pub faults: FaultConfig,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Protocol tuning.
+    pub tuning: Tuning,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: `nodes` single-process nodes on one ringlet.
+    pub fn ringlet(nodes: usize) -> Self {
+        ClusterSpec {
+            topology: Topology::ringlet(nodes),
+            procs_per_node: 1,
+            params: SciParams::default(),
+            faults: FaultConfig::default(),
+            seed: 0xC0FFEE,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// The §5.3 outlook: `rings` ringlets of `per_ring` nodes joined by a
+    /// switch fabric (towards the "512 nodes with a 3D-torus" system).
+    pub fn multi_ring(rings: usize, per_ring: usize) -> Self {
+        ClusterSpec {
+            topology: Topology::multi_ring(rings, per_ring),
+            ..ClusterSpec::ringlet(1)
+        }
+    }
+
+    /// Same topology with different protocol tuning.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Same topology with different fabric calibration.
+    pub fn with_params(mut self, params: SciParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Total rank count.
+    pub fn num_ranks(&self) -> usize {
+        self.topology.node_count() * self.procs_per_node
+    }
+}
+
+/// A rendezvous ring buffer for one (sender, receiver) pair, exported by
+/// the receiver's node.
+pub(crate) struct PairRing {
+    /// Backing shared region (receiver-local).
+    pub region: Arc<SharedRegion>,
+    /// Slot bookkeeping: free slot indices with the virtual time they were
+    /// freed. FIFO: the receiver drains slots in ascending virtual time,
+    /// and taking the front slot keeps the sender's virtual wait
+    /// independent of real-time thread interleaving (determinism).
+    free: Mutex<std::collections::VecDeque<(usize, SimTime)>>,
+    cv: parking_lot::Condvar,
+    /// Bytes per slot.
+    pub chunk: usize,
+}
+
+impl PairRing {
+    fn new(region: Arc<SharedRegion>, slots: usize, chunk: usize) -> Self {
+        PairRing {
+            region,
+            free: Mutex::new((0..slots).map(|s| (s, SimTime::ZERO)).collect()),
+            cv: parking_lot::Condvar::new(),
+            chunk,
+        }
+    }
+
+    /// Acquire the earliest-freed slot, blocking (and merging the slot's
+    /// free-time into the clock — the sender virtually waits for the
+    /// receiver to drain).
+    pub fn acquire(&self, clock: &mut Clock) -> usize {
+        let mut free = self.free.lock();
+        loop {
+            if let Some((slot, freed_at)) = free.pop_front() {
+                drop(free);
+                clock.merge(freed_at);
+                return slot;
+            }
+            self.cv.wait(&mut free);
+        }
+    }
+
+    /// Return a slot drained at virtual time `at`.
+    pub fn release(&self, slot: usize, at: SimTime) {
+        self.free.lock().push_back((slot, at));
+        self.cv.notify_all();
+    }
+
+    /// Byte offset of a slot.
+    pub fn slot_offset(&self, slot: usize) -> usize {
+        slot * self.chunk
+    }
+}
+
+/// Shared state of one cluster run.
+pub(crate) struct WorldState {
+    pub fabric: Arc<Fabric>,
+    pub smi: Arc<SmiWorld>,
+    pub tuning: Tuning,
+    pub mailboxes: Vec<Mailbox>,
+    pub barrier: TimeBarrier,
+    pub rings: Mutex<HashMap<(usize, usize), Arc<PairRing>>>,
+    pub next_handle: AtomicU64,
+    pub alloc_pools: Vec<Mutex<ShregAllocator>>,
+    pub alloc_regions: Vec<Arc<SharedRegion>>,
+    pub coll: Mutex<HashMap<u64, CollSlot>>,
+    pub windows: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+}
+
+pub(crate) struct CollSlot {
+    pub values: Vec<Option<Box<dyn Any + Send>>>,
+    pub reads: usize,
+}
+
+impl WorldState {
+    /// Allocate a globally unique protocol handle.
+    pub fn handle(&self) -> u64 {
+        self.next_handle.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The rendezvous ring for messages `src → dst`, created lazily.
+    pub fn ring(self: &Arc<Self>, src: usize, dst: usize) -> Arc<PairRing> {
+        let mut rings = self.rings.lock();
+        Arc::clone(rings.entry((src, dst)).or_insert_with(|| {
+            let slots = self.tuning.ring_slots;
+            let chunk = self.tuning.rendezvous_chunk;
+            let region = self.smi.create_region(ProcId(dst), slots * chunk);
+            Arc::new(PairRing::new(region, slots, chunk))
+        }))
+    }
+
+    /// One-way control-packet latency from rank `src` to rank `dst`.
+    pub fn ctrl_latency(&self, src: usize, dst: usize) -> SimDuration {
+        let hops = self
+            .fabric
+            .topology()
+            .distance(self.smi.node_of(ProcId(src)), self.smi.node_of(ProcId(dst)));
+        self.fabric.params().wire_latency(hops)
+    }
+}
+
+/// The per-rank handle passed to user code: the MPI interface.
+pub struct Rank {
+    pub(crate) rank: usize,
+    pub(crate) size: usize,
+    pub(crate) clock: Clock,
+    pub(crate) world: Arc<WorldState>,
+    pub(crate) coll_seq: u64,
+}
+
+impl Rank {
+    /// This rank's id (`MPI_Comm_rank`).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size (`MPI_Comm_size`).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Virtual wall-clock (`MPI_Wtime`), in seconds.
+    pub fn wtime(&self) -> f64 {
+        self.clock.now().as_secs_f64()
+    }
+
+    /// The raw virtual time point.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Charge local computation to this rank's clock (simulated
+    /// application work between communication calls).
+    pub fn compute(&mut self, cost: SimDuration) {
+        self.clock.advance(cost);
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> sci_fabric::NodeId {
+        self.world.smi.node_of(ProcId(self.rank))
+    }
+
+    /// The active protocol tuning.
+    pub fn tuning(&self) -> &Tuning {
+        &self.world.tuning
+    }
+
+    /// The underlying fabric (benchmarks read link traffic through this).
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.world.fabric
+    }
+
+    /// Total time this rank spent blocked on peers.
+    pub fn waited(&self) -> SimDuration {
+        self.clock.total_waited()
+    }
+
+    /// Barrier over all ranks (`MPI_Barrier` on `MPI_COMM_WORLD`).
+    pub fn barrier(&mut self) {
+        self.world.barrier.wait(&mut self.clock);
+    }
+
+    /// Gather one value from every rank, returning the full vector to all
+    /// (a control-plane helper used by collective constructors; charged a
+    /// barrier, not modelled as a data all-gather).
+    pub(crate) fn collective_gather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let seq = self.coll_seq;
+        self.coll_seq += 1;
+        let size = self.size;
+        {
+            let mut tbl = self.world.coll.lock();
+            let slot = tbl.entry(seq).or_insert_with(|| CollSlot {
+                values: std::iter::repeat_with(|| None).take(size).collect(),
+                reads: 0,
+            });
+            if slot.values.len() != size {
+                slot.values = std::iter::repeat_with(|| None).take(size).collect();
+            }
+            slot.values[self.rank] = Some(Box::new(value));
+        }
+        self.world.barrier.wait(&mut self.clock);
+        let result: Vec<T> = {
+            let tbl = self.world.coll.lock();
+            let slot = tbl.get(&seq).expect("slot deposited");
+            slot.values
+                .iter()
+                .map(|v| {
+                    v.as_ref()
+                        .expect("all ranks deposited before barrier")
+                        .downcast_ref::<T>()
+                        .expect("collective type mismatch across ranks")
+                        .clone()
+                })
+                .collect()
+        };
+        // Cleanup once everyone has read.
+        {
+            let mut tbl = self.world.coll.lock();
+            let done = {
+                let slot = tbl.get_mut(&seq).expect("slot present");
+                slot.reads += 1;
+                slot.reads == size
+            };
+            if done {
+                tbl.remove(&seq);
+            }
+        }
+        result
+    }
+}
+
+/// Launch a simulated cluster and run `f` on every rank. Returns the
+/// per-rank results, indexed by rank.
+///
+/// Panics in any rank are propagated (the run is torn down).
+pub fn run<F, T>(spec: ClusterSpec, f: F) -> Vec<T>
+where
+    F: Fn(&mut Rank) -> T + Send + Sync,
+    T: Send,
+{
+    assert!(
+        spec.topology.node_count() > 0 && spec.procs_per_node > 0,
+        "empty cluster"
+    );
+    let fabric = Fabric::new(FabricSpec {
+        topology: spec.topology.clone(),
+        params: spec.params.clone(),
+        faults: spec.faults.clone(),
+        seed: spec.seed,
+    });
+    let smi = SmiWorld::packed(Arc::clone(&fabric), spec.procs_per_node);
+    let size = spec.num_ranks();
+    let mut mailboxes = Vec::with_capacity(size);
+    mailboxes.resize_with(size, Mailbox::new);
+    let alloc_regions: Vec<Arc<SharedRegion>> = (0..size)
+        .map(|r| smi.create_region(ProcId(r), ALLOC_POOL_BYTES))
+        .collect();
+    let alloc_pools: Vec<Mutex<ShregAllocator>> = (0..size)
+        .map(|_| Mutex::new(ShregAllocator::new(ALLOC_POOL_BYTES)))
+        .collect();
+    let world = Arc::new(WorldState {
+        fabric,
+        smi,
+        tuning: spec.tuning.clone(),
+        mailboxes,
+        barrier: TimeBarrier::new(size, spec.tuning.barrier_hop),
+        rings: Mutex::new(HashMap::new()),
+        next_handle: AtomicU64::new(1),
+        alloc_pools,
+        alloc_regions,
+        coll: Mutex::new(HashMap::new()),
+        windows: Mutex::new(HashMap::new()),
+    });
+
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(size);
+        for rank in 0..size {
+            let world = Arc::clone(&world);
+            let f = &f;
+            joins.push(scope.spawn(move || {
+                let mut r = Rank {
+                    rank,
+                    size,
+                    clock: Clock::new(),
+                    world,
+                    coll_seq: 0,
+                };
+                f(&mut r)
+            }));
+        }
+        joins
+            .into_iter()
+            .map(|j| match j.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_per_rank_results() {
+        let out = run(ClusterSpec::ringlet(4), |r| r.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn ranks_see_world_size_and_nodes() {
+        let mut spec = ClusterSpec::ringlet(2);
+        spec.procs_per_node = 3;
+        let out = run(spec, |r| (r.size(), r.node().0));
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|&(s, _)| s == 6));
+        assert_eq!(out[0].1, 0);
+        assert_eq!(out[5].1, 1);
+    }
+
+    #[test]
+    fn wtime_advances_with_compute() {
+        let out = run(ClusterSpec::ringlet(1), |r| {
+            let t0 = r.wtime();
+            r.compute(SimDuration::from_ms(5));
+            r.wtime() - t0
+        });
+        assert!((out[0] - 0.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_synchronises_virtual_time() {
+        let out = run(ClusterSpec::ringlet(4), |r| {
+            r.compute(SimDuration::from_us(r.rank() as u64 * 100));
+            r.barrier();
+            r.now()
+        });
+        assert!(out.iter().all(|t| *t == out[0]));
+        assert!(out[0] >= SimTime::ZERO + SimDuration::from_us(300));
+    }
+
+    #[test]
+    fn collective_gather_exchanges_values() {
+        let out = run(ClusterSpec::ringlet(3), |r| {
+            r.collective_gather(format!("r{}", r.rank()))
+        });
+        for v in out {
+            assert_eq!(v, vec!["r0", "r1", "r2"]);
+        }
+    }
+
+    #[test]
+    fn collective_gather_reusable_many_times() {
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            let mut acc = 0usize;
+            for i in 0..50 {
+                let vals = r.collective_gather(r.rank() + i);
+                acc += vals.iter().sum::<usize>();
+            }
+            acc
+        });
+        assert_eq!(out[0], out[1]);
+    }
+
+    #[test]
+    fn pair_ring_slots_block_and_release() {
+        let spec = ClusterSpec::ringlet(2);
+        run(spec, |r| {
+            if r.rank() == 0 {
+                let ring = r.world.ring(0, 1);
+                let s0 = ring.acquire(&mut r.clock);
+                let s1 = ring.acquire(&mut r.clock);
+                assert_ne!(s0, s1);
+                // Release with a future timestamp; re-acquiring merges it.
+                let future = r.now() + SimDuration::from_us(50);
+                ring.release(s0, future);
+                let s2 = ring.acquire(&mut r.clock);
+                assert_eq!(s2, s0);
+                assert!(r.now() >= future);
+                ring.release(s1, r.now());
+                ring.release(s2, r.now());
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_panics() {
+        let _ = run(ClusterSpec::ringlet(0), |_| ());
+    }
+
+    #[test]
+    fn multi_ring_cluster_runs() {
+        // Two ringlets of 4 joined by a switch: inter-ring messages cost
+        // more than intra-ring ones.
+        let out = run(ClusterSpec::multi_ring(2, 4), |r| {
+            assert_eq!(r.size(), 8);
+            let payload = vec![1u8; 8 * 1024];
+            let mut buf = vec![0u8; 8 * 1024];
+            match r.rank() {
+                // Intra-ring pair 0 -> 1.
+                0 => {
+                    r.send(1, 0, &payload);
+                    SimDuration::ZERO
+                }
+                1 => {
+                    let t0 = r.now();
+                    r.recv(crate::Source::Rank(0), crate::TagSel::Value(0), &mut buf);
+                    r.now() - t0
+                }
+                // Cross-ring pair 2 -> 6.
+                2 => {
+                    r.send(6, 0, &payload);
+                    SimDuration::ZERO
+                }
+                6 => {
+                    let t0 = r.now();
+                    r.recv(crate::Source::Rank(2), crate::TagSel::Value(0), &mut buf);
+                    r.now() - t0
+                }
+                _ => SimDuration::ZERO,
+            }
+        });
+        assert!(out[6] > out[1], "cross-ring {:?} <= intra-ring {:?}", out[6], out[1]);
+    }
+}

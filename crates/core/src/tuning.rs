@@ -1,0 +1,126 @@
+//! Protocol tuning parameters of the SCI-MPICH reproduction.
+//!
+//! These correspond to the device-configuration knobs of SCI-MPICH's
+//! `ch_smi` device: protocol switch points, ring-buffer geometry, and the
+//! CPU cost constants of the two packing engines. The defaults are
+//! calibrated so the benchmark harnesses reproduce the *shapes* of the
+//! paper's figures (see EXPERIMENTS.md).
+
+use simclock::SimDuration;
+
+/// Which engine a non-contiguous transfer should use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum NoncontigMode {
+    /// Pack into a local buffer, send contiguously, unpack at the receiver
+    /// (stock-MPICH behaviour; Figure 4 top).
+    Generic,
+    /// `direct_pack_ff`: pack straight into the remote ring buffer
+    /// (Figure 4 bottom).
+    DirectPackFf,
+    /// `DirectPackFf` when the committed type's smallest block is at least
+    /// `Tuning::ff_min_block`, `Generic` otherwise (the production
+    /// default; footnote 1 of §3.4).
+    #[default]
+    Auto,
+}
+
+/// Protocol and cost-model knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tuning {
+    /// Messages up to this size travel in the control packet itself
+    /// ("short" protocol).
+    pub short_threshold: usize,
+    /// Messages up to this size are sent eagerly into the receiver's
+    /// pre-posted buffer space; larger ones use rendezvous.
+    pub eager_threshold: usize,
+    /// Rendezvous ring-buffer chunk size. Kept at or below the L2 capacity
+    /// to avoid cache-line thrashing with `direct_pack_ff` (§3.3.2).
+    pub rendezvous_chunk: usize,
+    /// Ring-buffer slots per sender/receiver pair (in-flight chunks).
+    pub ring_slots: usize,
+    /// Non-contiguous engine selection.
+    pub noncontig: NoncontigMode,
+    /// Minimum basic-block size for which `Auto` picks `direct_pack_ff`.
+    /// The paper sets this to 0 to compare the engines across the whole
+    /// sweep; the default 16 avoids the 8-byte-granularity regime where
+    /// the generic engine wins inter-node.
+    pub ff_min_block: usize,
+    /// CPU overhead per basic block in the generic engine (recursive tree
+    /// traversal per block).
+    pub generic_visit_cost: SimDuration,
+    /// CPU overhead per basic block in `direct_pack_ff` (simple stack
+    /// operations).
+    pub ff_block_cost: SimDuration,
+    /// Cost to assemble and send one control packet (RTS/CTS/interrupt
+    /// payloads).
+    pub ctrl_send_cost: SimDuration,
+    /// Cost to parse one received control packet.
+    pub ctrl_recv_cost: SimDuration,
+    /// Per-tree-level cost of the barrier used by collectives and fences.
+    pub barrier_hop: SimDuration,
+    /// `MPI_Get` requests at or above this size are converted to a
+    /// *remote-put* executed by the target (§4.2); below it the origin
+    /// reads directly (reads are slow but low-latency for small data).
+    pub get_remote_put_threshold: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            short_threshold: 128,
+            eager_threshold: 16 * 1024,
+            rendezvous_chunk: 64 * 1024,
+            ring_slots: 2,
+            noncontig: NoncontigMode::Auto,
+            ff_min_block: 16,
+            generic_visit_cost: SimDuration::from_ns(300),
+            ff_block_cost: SimDuration::from_ns(30),
+            ctrl_send_cost: SimDuration::from_ns(900),
+            ctrl_recv_cost: SimDuration::from_ns(500),
+            barrier_hop: SimDuration::from_us_f64(1.6),
+            get_remote_put_threshold: 512,
+        }
+    }
+}
+
+impl Tuning {
+    /// The configuration used for the paper's Figure 7 comparison:
+    /// `ff_min_block = 0` so `direct_pack_ff` is used for every block size.
+    pub fn full_ff_comparison(mut self) -> Self {
+        self.noncontig = NoncontigMode::DirectPackFf;
+        self.ff_min_block = 0;
+        self
+    }
+
+    /// Force the generic engine everywhere (the baseline curve).
+    pub fn generic_only(mut self) -> Self {
+        self.noncontig = NoncontigMode::Generic;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_thresholds_ordered() {
+        let t = Tuning::default();
+        assert!(t.short_threshold < t.eager_threshold);
+        assert!(t.eager_threshold < t.rendezvous_chunk * t.ring_slots);
+        assert!(t.ff_block_cost < t.generic_visit_cost);
+    }
+
+    #[test]
+    fn presets_flip_modes() {
+        assert_eq!(
+            Tuning::default().full_ff_comparison().noncontig,
+            NoncontigMode::DirectPackFf
+        );
+        assert_eq!(Tuning::default().full_ff_comparison().ff_min_block, 0);
+        assert_eq!(
+            Tuning::default().generic_only().noncontig,
+            NoncontigMode::Generic
+        );
+    }
+}

@@ -1,0 +1,608 @@
+//! The committed (flattened) datatype representation of `direct_pack_ff`.
+//!
+//! Committing a datatype walks its tree once and produces a **list of
+//! leaves**: each leaf is a contiguous basic block (`len` bytes at
+//! displacement `first`) plus a **stack** describing its repeat pattern —
+//! one `(count, extent)` entry per tree level that replicates it (paper
+//! §3.3.1, Figure 5). Two merge optimisations shrink the representation:
+//!
+//! * stack entries with a replication count of 1 are deleted;
+//! * a leaf whose innermost stack level strides by exactly the leaf length
+//!   is densified (`len *= count`, level removed);
+//! * adjacent leaves with identical stacks are concatenated (e.g. the
+//!   `int` and `char[3]` fields of Figure 3's struct become one 7-byte
+//!   block).
+//!
+//! Each level also caches the byte count below it (`below`) so
+//! `find_position` runs in O(leaves) + O(depth), as the paper requires for
+//! partial packs.
+
+use crate::tree;
+use crate::types::{Datatype, TypeKind};
+use core::ops::ControlFlow;
+
+/// One level of a leaf's repeat-pattern stack (outermost first).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StackLevel {
+    /// Replication count at this level.
+    pub count: usize,
+    /// Byte distance between consecutive replications.
+    pub extent: i64,
+    /// Payload bytes contributed by one iteration of this level
+    /// (product of inner counts × leaf length). Cached for
+    /// [`Committed::find_position`].
+    pub below: usize,
+}
+
+/// One flattened leaf: a contiguous basic block and its repeat pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlatLeaf {
+    /// Byte displacement of the first block (relative to the instance
+    /// origin).
+    pub first: i64,
+    /// Contiguous bytes per block.
+    pub len: usize,
+    /// Repeat pattern, outermost level first. Empty for a single block.
+    pub stack: Vec<StackLevel>,
+    /// Total payload bytes of this leaf per datatype instance.
+    pub total: usize,
+}
+
+impl FlatLeaf {
+    /// Number of basic blocks this leaf expands to per instance.
+    pub fn block_count(&self) -> usize {
+        self.stack.iter().map(|l| l.count).product::<usize>().max(1)
+    }
+}
+
+/// A position inside the pack stream of a committed type, resolved by
+/// [`Committed::find_position`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FfPosition {
+    /// Datatype instance index.
+    pub instance: usize,
+    /// Leaf index within the instance.
+    pub leaf: usize,
+    /// Odometer indices, one per stack level of that leaf.
+    pub indices: Vec<usize>,
+    /// Byte offset inside the current basic block.
+    pub intra: usize,
+}
+
+/// A committed datatype: the original tree plus the flattened leaf list.
+#[derive(Clone, Debug)]
+pub struct Committed {
+    dt: Datatype,
+    leaves: Vec<FlatLeaf>,
+}
+
+impl Committed {
+    /// Commit `dt`: build and optimise the flattened representation.
+    pub fn commit(dt: &Datatype) -> Committed {
+        let mut leaves = collect(dt, 0);
+        merge_adjacent(&mut leaves);
+        refold(&mut leaves);
+        merge_adjacent(&mut leaves);
+        for leaf in &mut leaves {
+            finalise(leaf);
+        }
+        Committed {
+            dt: dt.clone(),
+            leaves,
+        }
+    }
+
+    /// The committed datatype.
+    pub fn datatype(&self) -> &Datatype {
+        &self.dt
+    }
+
+    /// The flattened leaves.
+    pub fn leaves(&self) -> &[FlatLeaf] {
+        &self.leaves
+    }
+
+    /// Payload bytes per instance.
+    pub fn size(&self) -> usize {
+        self.dt.size()
+    }
+
+    /// Extent (instance stride) in bytes.
+    pub fn extent(&self) -> usize {
+        self.dt.extent()
+    }
+
+    /// Basic blocks per instance after merging (the `N` of the paper's
+    /// complexity bound).
+    pub fn blocks_per_instance(&self) -> usize {
+        self.leaves.iter().map(FlatLeaf::block_count).sum()
+    }
+
+    /// The smallest basic-block length (compared against the
+    /// `min_block_size` protocol knob when choosing the transfer path).
+    pub fn min_block_len(&self) -> usize {
+        self.leaves.iter().map(|l| l.len).min().unwrap_or(0)
+    }
+
+    /// Resolve pack-stream byte offset `skip` to a leaf/odometer position,
+    /// in O(leaves) + O(depth) (paper: O(N) + O(D)).
+    ///
+    /// Returns `None` if the type is empty or `skip` lands beyond the
+    /// requested `count` instances.
+    pub fn find_position(&self, skip: usize, count: usize) -> Option<FfPosition> {
+        let size = self.size();
+        if size == 0 || count == 0 {
+            return None;
+        }
+        let instance = skip / size;
+        if instance >= count {
+            return None;
+        }
+        let mut rem = skip % size;
+        for (k, leaf) in self.leaves.iter().enumerate() {
+            if rem >= leaf.total {
+                rem -= leaf.total;
+                continue;
+            }
+            let mut indices = Vec::with_capacity(leaf.stack.len());
+            for level in &leaf.stack {
+                indices.push(rem / level.below);
+                rem %= level.below;
+            }
+            return Some(FfPosition {
+                instance,
+                leaf: k,
+                indices,
+                intra: rem,
+            });
+        }
+        // skip == multiple of size with rem 0 but empty leaf list.
+        None
+    }
+}
+
+/// Recursive flattening of one instance at displacement `disp`. Returns
+/// leaves in **stream (pack) order**; every stack level on a returned leaf
+/// replicates that single leaf, so iterating each leaf's odometer fully,
+/// leaf by leaf, reproduces canonical MPI pack order exactly.
+///
+/// Replication over a *multi-leaf* subtree cannot be expressed as a stack
+/// level without reordering the stream (all copies of leaf 1 would pack
+/// before any copy of leaf 2), so such replications are **unrolled** at
+/// commit time. The later [`refold`] pass recovers compact levels whenever
+/// adjacent-leaf merging collapses the subtree to a single block (the
+/// common case, e.g. Figure 3's struct).
+fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
+    if dt.size() == 0 {
+        return Vec::new();
+    }
+    if dt.ordered_dense() {
+        return vec![FlatLeaf {
+            first: disp + dt.lb(),
+            len: dt.size(),
+            stack: Vec::new(),
+            total: 0,
+        }];
+    }
+    match dt.kind() {
+        TypeKind::Basic(b) => vec![FlatLeaf {
+            first: disp,
+            len: b.size(),
+            stack: Vec::new(),
+            total: 0,
+        }],
+        TypeKind::Contiguous { count, child } => {
+            let inner = collect(child, 0);
+            replicate(inner, *count, child.extent() as i64, disp)
+        }
+        TypeKind::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        } => {
+            let cext = child.extent() as i64;
+            let block = replicate(collect(child, 0), *blocklen, cext, 0);
+            replicate(block, *count, *stride as i64 * cext, disp)
+        }
+        TypeKind::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        } => {
+            let cext = child.extent() as i64;
+            let block = replicate(collect(child, 0), *blocklen, cext, 0);
+            replicate(block, *count, *stride_bytes, disp)
+        }
+        TypeKind::Indexed { blocks, child } => {
+            let cext = child.extent() as i64;
+            let inner = collect(child, 0);
+            let mut out = Vec::new();
+            for &(bl, d) in blocks {
+                out.extend(replicate(inner.clone(), bl, cext, disp + d as i64 * cext));
+            }
+            out
+        }
+        TypeKind::Hindexed { blocks, child } => {
+            let cext = child.extent() as i64;
+            let inner = collect(child, 0);
+            let mut out = Vec::new();
+            for &(bl, d) in blocks {
+                out.extend(replicate(inner.clone(), bl, cext, disp + d));
+            }
+            out
+        }
+        TypeKind::Struct { fields } => {
+            let mut out = Vec::new();
+            for (bl, d, t) in fields {
+                let inner = collect(t, 0);
+                out.extend(replicate(inner, *bl, t.extent() as i64, disp + d));
+            }
+            out
+        }
+    }
+}
+
+/// Replicate a leaf list `count` times at `extent`-byte intervals starting
+/// at `disp`. Single-leaf lists gain a stack level; multi-leaf lists are
+/// unrolled to preserve stream order.
+fn replicate(mut leaves: Vec<FlatLeaf>, count: usize, extent: i64, disp: i64) -> Vec<FlatLeaf> {
+    if count == 0 || leaves.is_empty() {
+        return Vec::new();
+    }
+    if leaves.len() == 1 {
+        let mut leaf = leaves.pop().expect("len checked");
+        leaf.first += disp;
+        if count > 1 {
+            leaf.stack.insert(
+                0,
+                StackLevel {
+                    count,
+                    extent,
+                    below: 0,
+                },
+            );
+        }
+        return vec![leaf];
+    }
+    let mut out = Vec::with_capacity(leaves.len() * count);
+    for i in 0..count {
+        for leaf in &leaves {
+            let mut l = leaf.clone();
+            l.first += disp + i as i64 * extent;
+            out.push(l);
+        }
+    }
+    out
+}
+
+/// Adjacent-leaf merge: identical stacks and byte-adjacent blocks become
+/// one longer block; densify afterwards since the merge may have closed
+/// the last gap.
+fn merge_adjacent(leaves: &mut Vec<FlatLeaf>) {
+    for leaf in leaves.iter_mut() {
+        optimise(leaf);
+    }
+    let mut merged: Vec<FlatLeaf> = Vec::with_capacity(leaves.len());
+    for leaf in leaves.drain(..) {
+        if let Some(prev) = merged.last_mut() {
+            if prev.stack == leaf.stack && prev.first + prev.len as i64 == leaf.first {
+                prev.len += leaf.len;
+                optimise(prev);
+                continue;
+            }
+        }
+        merged.push(leaf);
+    }
+    *leaves = merged;
+}
+
+/// Recover stack levels from unrolled runs: a run of leaves with equal
+/// `(len, stack)` whose `first` values form an arithmetic progression
+/// folds back into one leaf with a prepended level. This undoes the
+/// unrolling of [`replicate`] wherever merging collapsed a multi-leaf
+/// subtree into a single block per iteration.
+fn refold(leaves: &mut Vec<FlatLeaf>) {
+    let mut out: Vec<FlatLeaf> = Vec::with_capacity(leaves.len());
+    let mut i = 0;
+    while i < leaves.len() {
+        let base = leaves[i].clone();
+        let mut run = 1;
+        let mut stride = 0i64;
+        while i + run < leaves.len() {
+            let next = &leaves[i + run];
+            if next.len != base.len || next.stack != base.stack {
+                break;
+            }
+            let d = next.first - leaves[i + run - 1].first;
+            if run == 1 {
+                stride = d;
+            } else if d != stride {
+                break;
+            }
+            run += 1;
+        }
+        if run > 1 && stride > 0 {
+            let mut folded = base;
+            folded.stack.insert(
+                0,
+                StackLevel {
+                    count: run,
+                    extent: stride,
+                    below: 0,
+                },
+            );
+            optimise(&mut folded);
+            out.push(folded);
+            i += run;
+        } else {
+            out.push(base);
+            i += 1;
+        }
+    }
+    *leaves = out;
+}
+
+/// Remove count-1 levels and densify the innermost level(s).
+fn optimise(leaf: &mut FlatLeaf) {
+    leaf.stack.retain(|l| l.count != 1);
+    while let Some(last) = leaf.stack.last() {
+        if last.extent == leaf.len as i64 {
+            leaf.len *= last.count;
+            leaf.stack.pop();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Fill the cached `below`/`total` byte counts.
+fn finalise(leaf: &mut FlatLeaf) {
+    let mut below = leaf.len;
+    for level in leaf.stack.iter_mut().rev() {
+        level.below = below;
+        below *= level.count;
+    }
+    leaf.total = below;
+}
+
+/// Verify a committed type expands to exactly the same byte stream as the
+/// generic tree walk (diagnostic used by tests and debug assertions).
+pub fn expansion_matches_tree(c: &Committed, count: usize) -> bool {
+    let mut tree_segs: Vec<(i64, usize)> = Vec::new();
+    tree::for_each_segment(c.datatype(), count, |d, l| {
+        tree_segs.push((d, l));
+        ControlFlow::Continue(())
+    });
+    let mut ff_segs: Vec<(i64, usize)> = Vec::new();
+    crate::ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+        // Coalesce adjacent exactly like the tree walker.
+        if let Some(last) = ff_segs.last_mut() {
+            if last.0 + last.1 as i64 == disp {
+                last.1 += len;
+                return ControlFlow::Continue(());
+            }
+        }
+        ff_segs.push((disp, len));
+        ControlFlow::Continue(())
+    });
+    tree_segs == ff_segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_type_is_one_leaf_no_stack() {
+        let t = Datatype::contiguous(100, &Datatype::double());
+        let c = Committed::commit(&t);
+        assert_eq!(c.leaves().len(), 1);
+        let leaf = &c.leaves()[0];
+        assert_eq!(leaf.len, 800);
+        assert!(leaf.stack.is_empty());
+        assert_eq!(leaf.total, 800);
+        assert_eq!(c.blocks_per_instance(), 1);
+    }
+
+    #[test]
+    fn strided_vector_is_one_leaf_one_level() {
+        let t = Datatype::vector(16, 2, 4, &Datatype::double());
+        let c = Committed::commit(&t);
+        assert_eq!(c.leaves().len(), 1);
+        let leaf = &c.leaves()[0];
+        assert_eq!(leaf.len, 16); // 2 doubles
+        assert_eq!(leaf.stack.len(), 1);
+        assert_eq!(leaf.stack[0].count, 16);
+        assert_eq!(leaf.stack[0].extent, 32);
+        assert_eq!(leaf.total, 256);
+        assert_eq!(c.min_block_len(), 16);
+    }
+
+    #[test]
+    fn dense_vector_densifies_completely() {
+        let t = Datatype::vector(16, 4, 4, &Datatype::int());
+        let c = Committed::commit(&t);
+        assert_eq!(c.leaves().len(), 1);
+        assert!(c.leaves()[0].stack.is_empty());
+        assert_eq!(c.leaves()[0].len, 256);
+    }
+
+    #[test]
+    fn figure3_struct_merges_int_and_chars() {
+        // struct { int @0; char[3] @4 } — adjacent fields merge to one
+        // 7-byte block (paper Figure 5).
+        let chars = Datatype::contiguous(3, &Datatype::byte());
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
+        let c = Committed::commit(&s);
+        assert_eq!(c.leaves().len(), 1);
+        assert_eq!(c.leaves()[0].len, 7);
+        assert!(c.leaves()[0].stack.is_empty());
+    }
+
+    #[test]
+    fn figure5_vector_of_structs() {
+        // hvector(4, 1, 16B) of the Figure 3 struct: one leaf, len 7,
+        // stack [(4, 16)].
+        let chars = Datatype::contiguous(3, &Datatype::byte());
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
+        let v = Datatype::hvector(4, 1, 16, &s);
+        let c = Committed::commit(&v);
+        assert_eq!(c.leaves().len(), 1, "leaves: {:?}", c.leaves());
+        let leaf = &c.leaves()[0];
+        assert_eq!(leaf.len, 7);
+        assert_eq!(leaf.stack.len(), 1);
+        assert_eq!(leaf.stack[0], StackLevel { count: 4, extent: 16, below: 7 });
+        assert_eq!(leaf.total, 28);
+        assert_eq!(c.blocks_per_instance(), 4);
+    }
+
+    #[test]
+    fn gapped_struct_refolds_into_strided_leaf() {
+        // Two equal-size fields 8 bytes apart: the refold pass recognises
+        // the arithmetic progression and represents them as one leaf with
+        // a count-2 level — even more compact than two leaves.
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::int())]);
+        let c = Committed::commit(&s);
+        assert_eq!(c.leaves().len(), 1);
+        let leaf = &c.leaves()[0];
+        assert_eq!((leaf.first, leaf.len), (0, 4));
+        assert_eq!(leaf.stack, vec![StackLevel { count: 2, extent: 8, below: 4 }]);
+    }
+
+    #[test]
+    fn unequal_struct_fields_keep_two_leaves() {
+        let s = Datatype::structure(&[
+            (1, 0, Datatype::int()),
+            (1, 8, Datatype::double()),
+        ]);
+        let c = Committed::commit(&s);
+        assert_eq!(c.leaves().len(), 2);
+        assert_eq!(c.leaves()[0].first, 0);
+        assert_eq!(c.leaves()[0].len, 4);
+        assert_eq!(c.leaves()[1].first, 8);
+        assert_eq!(c.leaves()[1].len, 8);
+    }
+
+    #[test]
+    fn interleaved_multi_leaf_replication_preserves_stream_order() {
+        // The proptest-found case: replication over a multi-leaf subtree
+        // must unroll (or refold compatibly), never reorder the stream.
+        let s = Datatype::structure(&[(1, 0, Datatype::byte()), (1, 2, Datatype::byte())]);
+        let h = Datatype::hvector(1, 1, 3, &s);
+        let t = Datatype::contiguous(2, &h);
+        let c = Committed::commit(&t);
+        assert!(expansion_matches_tree(&c, 1));
+        assert!(expansion_matches_tree(&c, 3));
+    }
+
+    #[test]
+    fn count1_levels_are_elided() {
+        // vector(1, 3, 100, int): the count-1 level must vanish, leaving a
+        // dense 12-byte leaf.
+        let t = Datatype::vector(1, 3, 100, &Datatype::int());
+        let c = Committed::commit(&t);
+        assert_eq!(c.leaves().len(), 1);
+        assert_eq!(c.leaves()[0].len, 12);
+        assert!(c.leaves()[0].stack.is_empty());
+    }
+
+    #[test]
+    fn nested_vector_keeps_two_levels() {
+        let inner = Datatype::vector(4, 1, 2, &Datatype::double()); // strided
+        let outer = Datatype::hvector(3, 1, 100, &inner);
+        let c = Committed::commit(&outer);
+        assert_eq!(c.leaves().len(), 1);
+        let leaf = &c.leaves()[0];
+        assert_eq!(leaf.len, 8);
+        assert_eq!(leaf.stack.len(), 2);
+        assert_eq!(leaf.stack[0].count, 3);
+        assert_eq!(leaf.stack[0].extent, 100);
+        assert_eq!(leaf.stack[1].count, 4);
+        assert_eq!(leaf.stack[1].extent, 16);
+        assert_eq!(leaf.stack[1].below, 8);
+        assert_eq!(leaf.stack[0].below, 32);
+        assert_eq!(leaf.total, 96);
+        assert_eq!(c.blocks_per_instance(), 12);
+    }
+
+    #[test]
+    fn find_position_walks_levels() {
+        let t = Datatype::vector(16, 2, 4, &Datatype::double()); // leaf len 16
+        let c = Committed::commit(&t);
+        // Offset 0.
+        let p = c.find_position(0, 2).unwrap();
+        assert_eq!((p.instance, p.leaf, p.intra), (0, 0, 0));
+        assert_eq!(p.indices, vec![0]);
+        // Offset 40 = block 2 (bytes 32..48), intra 8.
+        let p = c.find_position(40, 2).unwrap();
+        assert_eq!(p.indices, vec![2]);
+        assert_eq!(p.intra, 8);
+        // Second instance: offset 256+16 → instance 1, block 1.
+        let p = c.find_position(272, 2).unwrap();
+        assert_eq!(p.instance, 1);
+        assert_eq!(p.indices, vec![1]);
+        assert_eq!(p.intra, 0);
+        // Beyond the data.
+        assert!(c.find_position(512, 2).is_none());
+    }
+
+    #[test]
+    fn find_position_multi_leaf() {
+        // Unequal fields stay as two leaves; stream offset 5 is inside
+        // the second field.
+        let s = Datatype::structure(&[
+            (1, 0, Datatype::int()),
+            (1, 8, Datatype::double()),
+        ]);
+        let c = Committed::commit(&s);
+        let p = c.find_position(5, 1).unwrap();
+        assert_eq!(p.leaf, 1);
+        assert_eq!(p.intra, 1);
+        // And in the refolded equal-field struct, offset 5 maps to the
+        // second odometer position of the single leaf.
+        let s2 = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::int())]);
+        let c2 = Committed::commit(&s2);
+        let p2 = c2.find_position(5, 1).unwrap();
+        assert_eq!(p2.leaf, 0);
+        assert_eq!(p2.indices, vec![1]);
+        assert_eq!(p2.intra, 1);
+    }
+
+    #[test]
+    fn empty_type_has_no_leaves() {
+        let t = Datatype::contiguous(0, &Datatype::double());
+        let c = Committed::commit(&t);
+        assert!(c.leaves().is_empty());
+        assert_eq!(c.blocks_per_instance(), 0);
+        assert!(c.find_position(0, 1).is_none());
+    }
+
+    #[test]
+    fn expansion_matches_tree_for_samples() {
+        let chars = Datatype::contiguous(3, &Datatype::byte());
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
+        let samples = [
+            Datatype::double(),
+            Datatype::contiguous(7, &Datatype::int()),
+            Datatype::vector(5, 2, 3, &Datatype::double()),
+            Datatype::hvector(4, 1, 16, &s),
+            Datatype::indexed(&[(2, 0), (1, 5), (3, 10)], &Datatype::int()),
+            Datatype::hindexed(&[(1, 24), (2, 0)], &Datatype::double()),
+            Datatype::structure(&[
+                (2, 0, Datatype::int()),
+                (1, 16, Datatype::vector(3, 1, 2, &Datatype::double())),
+            ]),
+        ];
+        for t in &samples {
+            let c = Committed::commit(t);
+            for count in [1usize, 2, 3] {
+                assert!(
+                    expansion_matches_tree(&c, count),
+                    "mismatch for {t} count {count}"
+                );
+            }
+        }
+    }
+}

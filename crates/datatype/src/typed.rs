@@ -1,0 +1,107 @@
+//! Byte-view helpers for typed user buffers.
+//!
+//! MPI programs describe typed arrays (`f64` grids, `i32` index lists) that
+//! the library moves as bytes. These helpers give safe little-endian
+//! byte views for the element types the examples and benchmarks use,
+//! without pulling in a bytemuck-style dependency.
+
+/// Element types that can be viewed as plain bytes.
+pub trait Element: Copy {
+    /// Bytes per element.
+    const SIZE: usize;
+    /// Write the element's little-endian bytes into `out`.
+    fn write_le(&self, out: &mut [u8]);
+    /// Read an element from little-endian bytes.
+    fn read_le(input: &[u8]) -> Self;
+}
+
+macro_rules! impl_element {
+    ($($t:ty),*) => {$(
+        impl Element for $t {
+            const SIZE: usize = core::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(&self, out: &mut [u8]) {
+                out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(input: &[u8]) -> Self {
+                let mut b = [0u8; core::mem::size_of::<$t>()];
+                b.copy_from_slice(&input[..Self::SIZE]);
+                <$t>::from_le_bytes(b)
+            }
+        }
+    )*};
+}
+
+impl_element!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+/// Serialise a slice of elements to a byte vector.
+pub fn to_bytes<T: Element>(slice: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; slice.len() * T::SIZE];
+    for (i, v) in slice.iter().enumerate() {
+        v.write_le(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    out
+}
+
+/// Deserialise a byte slice into elements (panics if the length is not a
+/// multiple of the element size).
+pub fn from_bytes<T: Element>(bytes: &[u8]) -> Vec<T> {
+    assert!(
+        bytes.len() % T::SIZE == 0,
+        "byte length {} not a multiple of element size {}",
+        bytes.len(),
+        T::SIZE
+    );
+    bytes
+        .chunks_exact(T::SIZE)
+        .map(|c| T::read_le(c))
+        .collect()
+}
+
+/// Read one element at byte offset `at`.
+pub fn read_at<T: Element>(bytes: &[u8], at: usize) -> T {
+    T::read_le(&bytes[at..at + T::SIZE])
+}
+
+/// Write one element at byte offset `at`.
+pub fn write_at<T: Element>(bytes: &mut [u8], at: usize, v: T) {
+    v.write_le(&mut bytes[at..at + T::SIZE]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64() {
+        let data = [1.5f64, -2.25, 1e300, 0.0];
+        let bytes = to_bytes(&data);
+        assert_eq!(bytes.len(), 32);
+        let back: Vec<f64> = from_bytes(&bytes);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrip_mixed_ints() {
+        let a = [i32::MIN, -1, 0, i32::MAX];
+        assert_eq!(from_bytes::<i32>(&to_bytes(&a)), a);
+        let b = [u16::MAX, 0, 1234];
+        assert_eq!(from_bytes::<u16>(&to_bytes(&b)), b);
+    }
+
+    #[test]
+    fn point_access() {
+        let mut buf = vec![0u8; 64];
+        write_at(&mut buf, 8, 3.75f64);
+        write_at(&mut buf, 0, 42i32);
+        assert_eq!(read_at::<f64>(&buf, 8), 3.75);
+        assert_eq!(read_at::<i32>(&buf, 0), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn misaligned_from_bytes_panics() {
+        let _ = from_bytes::<f64>(&[0u8; 12]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based differential testing of the two pack engines.
+//!
+//! The core correctness claim of `direct_pack_ff` is that it produces
+//! *exactly* the byte stream of the generic recursive engine, for any
+//! datatype, any instance count, and any partial-pack split. These
+//! properties drive randomly constructed datatype trees through both
+//! engines and compare.
+
+use mpi_datatype::{ff, flat, tree, Committed, Datatype};
+use proptest::prelude::*;
+
+/// A strategy producing random (small) datatype trees.
+fn arb_datatype() -> impl Strategy<Value = Datatype> {
+    let leaf = prop_oneof![
+        Just(Datatype::byte()),
+        Just(Datatype::int()),
+        Just(Datatype::double()),
+        Just(Datatype::float()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // contiguous
+            (1usize..5, inner.clone())
+                .prop_map(|(n, c)| Datatype::contiguous(n, &c)),
+            // vector with stride >= blocklen (no overlap)
+            (1usize..5, 1usize..4, 0isize..4, inner.clone()).prop_map(
+                |(count, bl, extra, c)| Datatype::vector(
+                    count,
+                    bl,
+                    bl as isize + extra,
+                    &c
+                )
+            ),
+            // hvector with byte stride >= blocklen * extent
+            (1usize..4, 1usize..4, 0i64..16, inner.clone()).prop_map(
+                |(count, bl, extra, c)| Datatype::hvector(
+                    count,
+                    bl,
+                    (bl * c.extent()) as i64 + extra,
+                    &c
+                )
+            ),
+            // indexed with ascending non-overlapping blocks
+            (proptest::collection::vec((1usize..3, 0isize..3), 1..4), inner.clone()).prop_map(
+                |(raw, c)| {
+                    let mut disp = 0isize;
+                    let blocks: Vec<(usize, isize)> = raw
+                        .into_iter()
+                        .map(|(bl, gap)| {
+                            let b = (bl, disp);
+                            disp += bl as isize + gap;
+                            b
+                        })
+                        .collect();
+                    Datatype::indexed(&blocks, &c)
+                }
+            ),
+            // struct of two fields at ascending displacements
+            (inner.clone(), inner.clone(), 0i64..8, 1usize..3).prop_map(
+                |(a, b, gap, bl)| {
+                    let disp_b = (bl * a.extent()) as i64 + gap;
+                    Datatype::structure(&[(bl, 0, a), (1, disp_b, b)])
+                }
+            ),
+        ]
+    })
+}
+
+fn source_buffer(dt: &Datatype, count: usize) -> Vec<u8> {
+    (0..dt.extent() * count + 16)
+        .map(|i| (i as u32).wrapping_mul(2654435761) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// ff full pack == generic full pack.
+    #[test]
+    fn ff_pack_equals_generic(dt in arb_datatype(), count in 1usize..4) {
+        let src = source_buffer(&dt, count);
+        let mut generic = Vec::new();
+        tree::pack(&dt, count, &src, 0, &mut generic);
+
+        let c = Committed::commit(&dt);
+        let mut sink = ff::VecSink::default();
+        ff::pack_ff(&c, count, &src, 0, 0, usize::MAX, &mut sink).unwrap();
+        prop_assert_eq!(&sink.data, &generic);
+        prop_assert_eq!(generic.len(), dt.size() * count);
+    }
+
+    /// The committed expansion covers exactly the tree segments.
+    #[test]
+    fn flat_expansion_matches_tree(dt in arb_datatype(), count in 1usize..4) {
+        let c = Committed::commit(&dt);
+        prop_assert!(flat::expansion_matches_tree(&c, count));
+    }
+
+    /// Partial ff packs of arbitrary chunk size reassemble to the whole.
+    #[test]
+    fn ff_partial_packs_reassemble(
+        dt in arb_datatype(),
+        count in 1usize..3,
+        chunk in 1usize..64,
+    ) {
+        let src = source_buffer(&dt, count);
+        let mut whole = Vec::new();
+        tree::pack(&dt, count, &src, 0, &mut whole);
+
+        let c = Committed::commit(&dt);
+        let mut pieced = Vec::new();
+        let mut skip = 0usize;
+        while skip < whole.len() {
+            let mut sink = ff::VecSink::default();
+            ff::pack_ff(&c, count, &src, 0, skip, chunk, &mut sink).unwrap();
+            prop_assert!(!sink.data.is_empty(), "pack stalled at {}", skip);
+            skip += sink.data.len();
+            pieced.extend_from_slice(&sink.data);
+        }
+        prop_assert_eq!(pieced, whole);
+    }
+
+    /// Pack then unpack (both engines crossed) restores the data bytes.
+    #[test]
+    fn cross_engine_roundtrip(dt in arb_datatype(), count in 1usize..3) {
+        let src = source_buffer(&dt, count);
+        let c = Committed::commit(&dt);
+
+        // Pack with ff, unpack with generic.
+        let mut sink = ff::VecSink::default();
+        ff::pack_ff(&c, count, &src, 0, 0, usize::MAX, &mut sink).unwrap();
+        let mut dst1 = vec![0u8; src.len()];
+        tree::unpack(&dt, count, &mut dst1, 0, &sink.data);
+
+        // Pack with generic, unpack with ff.
+        let mut generic = Vec::new();
+        tree::pack(&dt, count, &src, 0, &mut generic);
+        let mut dst2 = vec![0u8; src.len()];
+        let mut source = ff::SliceSource::new(&generic);
+        ff::unpack_ff(&c, count, &mut dst2, 0, 0, usize::MAX, &mut source).unwrap();
+
+        prop_assert_eq!(&dst1, &dst2);
+
+        // Re-packing the unpacked buffer yields the same stream.
+        let mut repacked = Vec::new();
+        tree::pack(&dt, count, &dst1, 0, &mut repacked);
+        prop_assert_eq!(repacked, generic);
+    }
+
+    /// find_position agrees with linear stream arithmetic.
+    #[test]
+    fn find_position_consistent(dt in arb_datatype(), count in 1usize..3, frac in 0.0f64..1.0) {
+        let c = Committed::commit(&dt);
+        let total = dt.size() * count;
+        prop_assume!(total > 0);
+        let skip = ((total - 1) as f64 * frac) as usize;
+        let src = source_buffer(&dt, count);
+
+        // Packing from `skip` must equal the tail of the full stream.
+        let mut whole = Vec::new();
+        tree::pack(&dt, count, &src, 0, &mut whole);
+        let mut sink = ff::VecSink::default();
+        ff::pack_ff(&c, count, &src, 0, skip, usize::MAX, &mut sink).unwrap();
+        prop_assert_eq!(&sink.data[..], &whole[skip..]);
+    }
+
+    /// Merging never changes the block count seen by a sink in a way that
+    /// loses bytes, and committed metadata is consistent.
+    #[test]
+    fn committed_metadata_consistent(dt in arb_datatype()) {
+        let c = Committed::commit(&dt);
+        let leaf_total: usize = c.leaves().iter().map(|l| l.total).sum();
+        prop_assert_eq!(leaf_total, dt.size());
+        for leaf in c.leaves() {
+            let blocks = leaf.block_count();
+            prop_assert_eq!(leaf.total, blocks * leaf.len);
+            for level in &leaf.stack {
+                prop_assert!(level.count > 1, "count-1 level survived merge");
+            }
+        }
+    }
+}

@@ -1,0 +1,357 @@
+//! Fault injection and connection monitoring.
+//!
+//! Section 2 of the paper stresses that SCI "is still a network": cables can
+//! be pulled, nodes can fail, and transmission errors cause retried
+//! transfers, which in turn means data can arrive **out of order** unless a
+//! store barrier is issued. This module models those properties:
+//!
+//! * per-transaction error probability → the transaction is retried,
+//!   costing extra latency;
+//! * retried transactions make arrival timestamps non-monotonic (delivery
+//!   jitter), which the PIO layer surfaces so only a store barrier
+//!   guarantees complete delivery;
+//! * links can be administratively failed (cable pulled) and restored;
+//! * a [`ConnectionMonitor`] performs the session checking SCI-MPICH needs
+//!   on top of raw remote memory.
+
+use crate::topology::{LinkId, Route};
+use parking_lot::Mutex;
+use simclock::{SimDuration, SplitMix64};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors surfaced by the fabric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SciError {
+    /// A link on the route is down (cable pulled / node dead).
+    LinkDown(LinkId),
+    /// The connection monitor declared the peer dead.
+    PeerDead(usize),
+    /// Access outside an exported segment.
+    OutOfBounds(crate::mem::OutOfBounds),
+}
+
+impl fmt::Display for SciError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SciError::LinkDown(l) => write!(f, "SCI link {} is down", l.0),
+            SciError::PeerDead(n) => write!(f, "peer node n{n} declared dead"),
+            SciError::OutOfBounds(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SciError {}
+
+impl From<crate::mem::OutOfBounds> for SciError {
+    fn from(e: crate::mem::OutOfBounds) -> Self {
+        SciError::OutOfBounds(e)
+    }
+}
+
+/// Configuration of the fault injector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that one SCI transaction needs a retry.
+    pub error_rate: f64,
+    /// Extra latency per retry (timeout + resend).
+    pub retry_penalty: SimDuration,
+    /// Maximum retries before the transaction errors out hard.
+    pub max_retries: u32,
+    /// Maximum delivery jitter applied to retried transactions (models
+    /// reordering; a store barrier waits past all jitter).
+    pub reorder_jitter: SimDuration,
+}
+
+impl Default for FaultConfig {
+    /// A healthy fabric: no injected faults.
+    fn default() -> Self {
+        FaultConfig {
+            error_rate: 0.0,
+            retry_penalty: SimDuration::from_us(5),
+            max_retries: 8,
+            reorder_jitter: SimDuration::from_us(2),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A mildly lossy fabric for failure-injection tests.
+    pub fn lossy(error_rate: f64) -> Self {
+        FaultConfig {
+            error_rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// Outcome of passing one transaction through the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// Extra latency caused by retries.
+    pub extra_latency: SimDuration,
+    /// Delivery jitter: the transaction may land up to this much *later*
+    /// than its nominal arrival, unordered relative to neighbours.
+    pub jitter: SimDuration,
+    /// Number of retries performed.
+    pub retries: u32,
+}
+
+impl TxnOutcome {
+    /// A clean pass-through.
+    pub const CLEAN: TxnOutcome = TxnOutcome {
+        extra_latency: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        retries: 0,
+    };
+}
+
+/// Deterministic fault injector shared by all nodes of a fabric.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    state: Mutex<InjectorState>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: SplitMix64,
+    down_links: HashSet<usize>,
+    dead_nodes: HashSet<usize>,
+}
+
+impl FaultInjector {
+    /// Build an injector with a deterministic seed.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
+        FaultInjector {
+            config,
+            state: Mutex::new(InjectorState {
+                rng: SplitMix64::new(seed),
+                down_links: HashSet::new(),
+                dead_nodes: HashSet::new(),
+            }),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Administratively fail a link (pull the cable).
+    pub fn fail_link(&self, link: LinkId) {
+        self.state.lock().down_links.insert(link.0);
+    }
+
+    /// Restore a failed link.
+    pub fn restore_link(&self, link: LinkId) {
+        self.state.lock().down_links.remove(&link.0);
+    }
+
+    /// Mark a node as dead (crash).
+    pub fn kill_node(&self, node: usize) {
+        self.state.lock().dead_nodes.insert(node);
+    }
+
+    /// Revive a dead node.
+    pub fn revive_node(&self, node: usize) {
+        self.state.lock().dead_nodes.remove(&node);
+    }
+
+    /// True if the node is currently marked dead.
+    pub fn node_dead(&self, node: usize) -> bool {
+        self.state.lock().dead_nodes.contains(&node)
+    }
+
+    /// Check a route for failed links.
+    pub fn check_route(&self, route: &Route) -> Result<(), SciError> {
+        let st = self.state.lock();
+        for l in &route.links {
+            if st.down_links.contains(&l.0) {
+                return Err(SciError::LinkDown(*l));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pass one transaction through the injector: possibly retries (extra
+    /// latency + delivery jitter). Returns an error only if `max_retries`
+    /// consecutive attempts fail.
+    pub fn transact(&self, route: &Route) -> Result<TxnOutcome, SciError> {
+        self.transact_bulk(route, 1)
+    }
+
+    /// Pass a burst of `txns` SCI transactions through the injector: each
+    /// transaction independently needs a retry with the configured error
+    /// rate. A 64 kiB chunk is ~1000 transactions, so losses scale with
+    /// transfer size, as on the real wire.
+    pub fn transact_bulk(&self, route: &Route, txns: u64) -> Result<TxnOutcome, SciError> {
+        self.check_route(route)?;
+        if self.config.error_rate <= 0.0 || txns == 0 {
+            return Ok(TxnOutcome::CLEAN);
+        }
+        let mut st = self.state.lock();
+        let mut retries = 0u32;
+        for _ in 0..txns {
+            let mut consecutive = 0u32;
+            while st.rng.chance(self.config.error_rate) {
+                consecutive += 1;
+                retries += 1;
+                if consecutive > self.config.max_retries {
+                    // Persistent failure: report the first link as faulty.
+                    let link = route.links.first().copied().unwrap_or(LinkId(0));
+                    return Err(SciError::LinkDown(link));
+                }
+            }
+        }
+        if retries == 0 {
+            return Ok(TxnOutcome::CLEAN);
+        }
+        let jitter_ps = st.rng.next_below(self.config.reorder_jitter.as_ps().max(1));
+        Ok(TxnOutcome {
+            extra_latency: self.config.retry_penalty.saturating_mul(retries as u64),
+            jitter: SimDuration::from_ps(jitter_ps),
+            retries,
+        })
+    }
+}
+
+/// Heartbeat-style connection monitor: SCI-MPICH checks peers before
+/// trusting transparent remote memory, because a hung node looks exactly
+/// like slow memory.
+#[derive(Debug)]
+pub struct ConnectionMonitor<'a> {
+    injector: &'a FaultInjector,
+    /// Probe cost per check (a small remote read round trip).
+    pub probe_cost: SimDuration,
+}
+
+impl<'a> ConnectionMonitor<'a> {
+    /// A monitor bound to a fabric's injector.
+    pub fn new(injector: &'a FaultInjector, probe_cost: SimDuration) -> Self {
+        ConnectionMonitor {
+            injector,
+            probe_cost,
+        }
+    }
+
+    /// Probe a peer: costs `probe_cost` on the caller's clock and errors if
+    /// the peer is dead or the route is severed.
+    pub fn probe(
+        &self,
+        clock: &mut simclock::Clock,
+        peer: usize,
+        route: &Route,
+    ) -> Result<(), SciError> {
+        clock.advance(self.probe_cost);
+        self.injector.check_route(route)?;
+        if self.injector.node_dead(peer) {
+            return Err(SciError::PeerDead(peer));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeId, Topology};
+    use simclock::Clock;
+
+    fn route() -> Route {
+        Topology::ringlet(8).route(NodeId(0), NodeId(3))
+    }
+
+    #[test]
+    fn healthy_fabric_is_clean() {
+        let inj = FaultInjector::new(FaultConfig::default(), 1);
+        for _ in 0..1000 {
+            assert_eq!(inj.transact(&route()).unwrap(), TxnOutcome::CLEAN);
+        }
+    }
+
+    #[test]
+    fn lossy_fabric_retries_sometimes() {
+        let inj = FaultInjector::new(FaultConfig::lossy(0.2), 42);
+        let mut retried = 0;
+        for _ in 0..1000 {
+            let out = inj.transact(&route()).unwrap();
+            if out.retries > 0 {
+                retried += 1;
+                assert!(out.extra_latency >= FaultConfig::default().retry_penalty);
+            }
+        }
+        // ~20% of transactions should see at least one retry.
+        assert!((100..350).contains(&retried), "retried {retried}");
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let run = |seed| {
+            let inj = FaultInjector::new(FaultConfig::lossy(0.3), seed);
+            (0..100)
+                .map(|_| inj.transact(&route()).unwrap().retries)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn pulled_cable_blocks_routes_through_it() {
+        let inj = FaultInjector::new(FaultConfig::default(), 1);
+        inj.fail_link(LinkId(1));
+        let r = route(); // crosses links 0,1,2
+        assert_eq!(inj.transact(&r), Err(SciError::LinkDown(LinkId(1))));
+        inj.restore_link(LinkId(1));
+        assert!(inj.transact(&r).is_ok());
+    }
+
+    #[test]
+    fn unaffected_route_still_works() {
+        let topo = Topology::ringlet(8);
+        let inj = FaultInjector::new(FaultConfig::default(), 1);
+        inj.fail_link(LinkId(6));
+        let r = topo.route(NodeId(0), NodeId(3)); // links 0..2
+        assert!(inj.transact(&r).is_ok());
+    }
+
+    #[test]
+    fn persistent_errors_eventually_fail_hard() {
+        let cfg = FaultConfig {
+            error_rate: 1.0, // every attempt fails
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let inj = FaultInjector::new(cfg, 9);
+        assert!(matches!(
+            inj.transact(&route()),
+            Err(SciError::LinkDown(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_detects_dead_peer() {
+        let inj = FaultInjector::new(FaultConfig::default(), 1);
+        let mon = ConnectionMonitor::new(&inj, SimDuration::from_us(4));
+        let mut clock = Clock::new();
+        assert!(mon.probe(&mut clock, 3, &route()).is_ok());
+        inj.kill_node(3);
+        assert_eq!(
+            mon.probe(&mut clock, 3, &route()),
+            Err(SciError::PeerDead(3))
+        );
+        inj.revive_node(3);
+        assert!(mon.probe(&mut clock, 3, &route()).is_ok());
+        // Three probes cost 12us.
+        assert_eq!(clock.now().as_ps(), SimDuration::from_us(12).as_ps());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = SciError::LinkDown(LinkId(4));
+        assert!(e.to_string().contains("link 4"));
+        let e = SciError::PeerDead(2);
+        assert!(e.to_string().contains("n2"));
+    }
+}

@@ -1,0 +1,202 @@
+//! # sci-fabric — a simulated Scalable Coherent Interface
+//!
+//! This crate is the substrate of the SCI-MPICH reproduction: a
+//! deterministic software model of an SCI-connected cluster as used by the
+//! paper *"Exploiting Transparent Remote Memory Access for Non-Contiguous-
+//! and One-Sided-Communication"* (IPPS 2002).
+//!
+//! **Real data, virtual time.** Exported segments are real byte buffers and
+//! every PIO/DMA operation really moves bytes, so correctness is testable
+//! end-to-end (checksums). Cost, however, is charged to [`simclock::Clock`]
+//! logical clocks by a calibrated model of the Dolphin D330 adapter:
+//! stream buffers, CPU write combining, posted writes with store barriers,
+//! stalling remote reads, DMA setup/streaming, ring-segment contention, and
+//! fault-induced retries. See [`params::SciParams`] for every knob.
+//!
+//! ```
+//! use sci_fabric::{Fabric, FabricSpec, Topology, NodeId};
+//! use simclock::Clock;
+//!
+//! let fabric = Fabric::new(FabricSpec {
+//!     topology: Topology::ringlet(8),
+//!     ..FabricSpec::default()
+//! });
+//! // Node 1 exports a segment; node 0 imports and writes to it.
+//! let seg = fabric.export(NodeId(1), 4096);
+//! let mut stream = fabric.pio_stream(NodeId(0), &seg, 4096);
+//! let mut clock = Clock::new();
+//! stream.write(&mut clock, 0, b"halo exchange").unwrap();
+//! stream.barrier(&mut clock); // store barrier: data guaranteed delivered
+//! let mut buf = [0u8; 13];
+//! seg.mem().read(0, &mut buf).unwrap();
+//! assert_eq!(&buf, b"halo exchange");
+//! ```
+
+pub mod dma;
+pub mod fault;
+pub mod link;
+pub mod mem;
+pub mod params;
+pub mod pio;
+pub mod segment;
+pub mod topology;
+
+pub use dma::{DmaCompletion, DmaEngine, SgEntry};
+pub use fault::{ConnectionMonitor, FaultConfig, FaultInjector, SciError};
+pub use link::{LinkRegistry, TrafficStats};
+pub use mem::SharedMem;
+pub use params::{CacheModel, SciParams};
+pub use pio::{PioReader, PioStream};
+pub use segment::{Mapping, SciAddr, Segment, SegmentId, SegmentRegistry};
+pub use topology::{LinkId, NodeId, Route, Topology};
+
+use std::sync::Arc;
+
+/// Everything needed to build a [`Fabric`].
+#[derive(Clone, Debug)]
+pub struct FabricSpec {
+    /// Cluster topology.
+    pub topology: Topology,
+    /// Calibration constants.
+    pub params: SciParams,
+    /// Fault injection configuration.
+    pub faults: FaultConfig,
+    /// Seed for the (deterministic) fault injector.
+    pub seed: u64,
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec {
+            topology: Topology::ringlet(8),
+            params: SciParams::default(),
+            faults: FaultConfig::default(),
+            seed: 0x5C1_FAB,
+        }
+    }
+}
+
+/// The simulated SCI fabric shared by all nodes of a cluster.
+#[derive(Debug)]
+pub struct Fabric {
+    topology: Topology,
+    params: SciParams,
+    segments: SegmentRegistry,
+    links: Arc<LinkRegistry>,
+    faults: FaultInjector,
+}
+
+impl Fabric {
+    /// Build a fabric from a spec.
+    pub fn new(spec: FabricSpec) -> Arc<Fabric> {
+        let links = Arc::new(LinkRegistry::new(&spec.topology));
+        Arc::new(Fabric {
+            links,
+            faults: FaultInjector::new(spec.faults, spec.seed),
+            segments: SegmentRegistry::new(),
+            params: spec.params,
+            topology: spec.topology,
+        })
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The calibration constants.
+    pub fn params(&self) -> &SciParams {
+        &self.params
+    }
+
+    /// The link contention registry.
+    pub fn links(&self) -> &Arc<LinkRegistry> {
+        &self.links
+    }
+
+    /// The fault injector (tests use this to pull cables).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The segment registry.
+    pub fn segments(&self) -> &SegmentRegistry {
+        &self.segments
+    }
+
+    /// Export `len` bytes of `owner`'s memory as an SCI segment.
+    pub fn export(&self, owner: NodeId, len: usize) -> Arc<Segment> {
+        self.segments.export(owner, len)
+    }
+
+    /// Import a segment at `importer`, computing the route to its owner.
+    pub fn map(&self, importer: NodeId, segment: &Arc<Segment>) -> Mapping {
+        Mapping {
+            segment: Arc::clone(segment),
+            importer,
+            route: self.topology.route(importer, segment.owner()),
+        }
+    }
+
+    /// Open a PIO store stream from `importer` into `segment`.
+    /// `source_working_set` is the size of the data set the stores read
+    /// from (chooses the local-memory bandwidth tier).
+    pub fn pio_stream(
+        self: &Arc<Self>,
+        importer: NodeId,
+        segment: &Arc<Segment>,
+        source_working_set: usize,
+    ) -> PioStream {
+        PioStream::new(
+            Arc::clone(self),
+            self.map(importer, segment),
+            source_working_set,
+        )
+    }
+
+    /// Open a PIO load handle from `importer` into `segment`.
+    pub fn pio_reader(self: &Arc<Self>, importer: NodeId, segment: &Arc<Segment>) -> PioReader {
+        PioReader::new(Arc::clone(self), self.map(importer, segment))
+    }
+
+    /// Open a DMA handle from `importer` into `segment`.
+    pub fn dma_engine(self: &Arc<Self>, importer: NodeId, segment: &Arc<Segment>) -> DmaEngine {
+        DmaEngine::new(Arc::clone(self), self.map(importer, segment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::Clock;
+
+    #[test]
+    fn doc_example_works() {
+        let fabric = Fabric::new(FabricSpec::default());
+        let seg = fabric.export(NodeId(1), 4096);
+        let mut stream = fabric.pio_stream(NodeId(0), &seg, 4096);
+        let mut clock = Clock::new();
+        stream.write(&mut clock, 0, b"halo exchange").unwrap();
+        stream.barrier(&mut clock);
+        let mut buf = [0u8; 13];
+        seg.mem().read(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"halo exchange");
+    }
+
+    #[test]
+    fn map_computes_route() {
+        let fabric = Fabric::new(FabricSpec::default());
+        let seg = fabric.export(NodeId(3), 64);
+        let m = fabric.map(NodeId(0), &seg);
+        assert_eq!(m.route.hops(), 3);
+        let local = fabric.map(NodeId(3), &seg);
+        assert!(local.is_local());
+    }
+
+    #[test]
+    fn spec_default_is_paper_testbed() {
+        let spec = FabricSpec::default();
+        assert_eq!(spec.topology.node_count(), 8);
+        assert_eq!(spec.params, SciParams::dolphin_d330());
+    }
+}

@@ -1,0 +1,337 @@
+//! Calibration constants for the simulated SCI fabric.
+//!
+//! The defaults model the paper's testbed: Dolphin D330 PCI-SCI adapters in
+//! dual Pentium-III 800 MHz nodes (ServerWorks ServerSet III LE, 64 bit /
+//! 66 MHz PCI) on a single 166 MHz SCI ringlet. Every constant is a knob so
+//! ablation benches and the 200 MHz-link experiment of Table 2 can vary them.
+//!
+//! The model reproduces the *mechanisms* the paper attributes its results
+//! to, rather than hard-coding end results:
+//!
+//! * **Stream buffers** on the PCI-SCI adapter gather consecutive ascending
+//!   stores into large (64 B) SCI transactions; non-consecutive stores each
+//!   pay a transaction emission overhead.
+//! * **Write combining** in the P-III CPU uses 32-byte buffers; strided
+//!   stores whose start is not 32-byte aligned split into partial
+//!   transactions with a hefty penalty (§4.3 of the paper: 5–28 MiB/s at
+//!   8 B access depending on stride).
+//! * **Remote reads stall the CPU** until data returns, so read bandwidth
+//!   is a small fraction of write bandwidth (Figure 1).
+//! * **DMA** needs an expensive descriptor post but then streams
+//!   independently of the CPU.
+//! * The **local memory system** bounds everything: the LE chipset's modest
+//!   copy bandwidth causes the PIO-write dip beyond 128 kiB in Figure 1.
+
+use simclock::{Bandwidth, SimDuration};
+
+/// Size classes of the node's cache hierarchy, used to model copy bandwidth
+/// as a function of working-set size (this produces the paper's observation
+/// that intra-node `direct_pack_ff` can beat contiguous copies for
+/// cache-resident block sizes, §3.4).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CacheModel {
+    /// L1 data cache capacity in bytes (P-III: 16 kiB).
+    pub l1_bytes: usize,
+    /// L2 cache capacity in bytes (P-III Coppermine: 256 kiB).
+    pub l2_bytes: usize,
+    /// Copy bandwidth when the working set fits in L1.
+    pub l1_copy: Bandwidth,
+    /// Copy bandwidth when the working set fits in L2.
+    pub l2_copy: Bandwidth,
+    /// Copy bandwidth from/to main memory (ServerSet III LE: ~290 MiB/s).
+    pub mem_copy: Bandwidth,
+    /// Fixed per-copy-call overhead (loop setup, address arithmetic).
+    pub per_block_overhead: SimDuration,
+}
+
+impl CacheModel {
+    /// P-III 800 / ServerSet III LE defaults.
+    pub fn pentium3_serverset_le() -> Self {
+        CacheModel {
+            l1_bytes: 16 * 1024,
+            l2_bytes: 256 * 1024,
+            l1_copy: Bandwidth::from_mib_per_sec(1600),
+            l2_copy: Bandwidth::from_mib_per_sec(800),
+            mem_copy: Bandwidth::from_mib_per_sec(290),
+            per_block_overhead: SimDuration::from_ns(40),
+        }
+    }
+
+    /// Copy bandwidth for a given working-set size.
+    pub fn copy_bw(&self, working_set: usize) -> Bandwidth {
+        if working_set <= self.l1_bytes {
+            self.l1_copy
+        } else if working_set <= self.l2_bytes {
+            self.l2_copy
+        } else {
+            self.mem_copy
+        }
+    }
+
+    /// Cost of one local copy of `len` bytes with working set `working_set`.
+    pub fn copy_cost(&self, len: usize, working_set: usize) -> SimDuration {
+        self.per_block_overhead + self.copy_bw(working_set).cost(len as u64)
+    }
+}
+
+/// All calibration constants of the SCI fabric model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SciParams {
+    // ---- PIO write path (transparent remote stores) ----
+    /// SCI transaction payload gathered by the adapter's stream buffers.
+    pub stream_buffer_bytes: usize,
+    /// CPU write-combine buffer size (P-III: 32 bytes). Strided stores not
+    /// aligned to this granularity pay `wc_misalign_factor`.
+    pub write_combine_bytes: usize,
+    /// Peak remote-write bandwidth for long consecutive ascending streams.
+    pub pio_write_peak: Bandwidth,
+    /// Remote-write bandwidth once the source working set exceeds L2 and
+    /// the local memory system becomes the bottleneck (Figure 1 dip).
+    pub pio_write_mem_limited: Bandwidth,
+    /// Overhead to emit one SCI transaction that was *not* merged into an
+    /// ongoing stream (stream-buffer flush + new burst setup).
+    pub txn_overhead: SimDuration,
+    /// Multiplier on `txn_overhead` for write-combine-misaligned bursts.
+    /// A value of 1.0 means write combining is disabled (no misalignment
+    /// cliff exists without WC buffers).
+    pub wc_misalign_factor: f64,
+    /// Cost of one uncombined 8-byte store when a misaligned burst
+    /// thrashes the write-combine buffers: the whole access degrades to
+    /// individual partial flushes (§4.3: 256 B accesses drop to ~7 MiB/s
+    /// at misaligned strides while aligned ones reach 162 MiB/s).
+    pub uncombined_store_cost: SimDuration,
+    /// Smallest efficient SCI transaction payload (16 B); consecutive
+    /// stores smaller than this cannot fill even one transaction before
+    /// the stream buffer's gather window closes.
+    pub min_txn_bytes: usize,
+    /// Flush penalty for a burst-continuing store below `min_txn_bytes`:
+    /// the gap while the CPU gathers the next scattered source block
+    /// forces the adapter to emit a padded minimum-size transaction
+    /// ("the relatively high latency of remote memory accesses with
+    /// 8 byte granularity", §3.4).
+    pub sub_txn_flush: SimDuration,
+    /// Per missing byte below `stream_buffer_bytes`, for continuing
+    /// stores between `min_txn_bytes` and the stream-buffer size: partial
+    /// stream-buffer flushes cost proportionally to the unfilled part.
+    pub partial_flush_per_byte: SimDuration,
+    /// CPU cost to restart the copy loop for every burst-continuing store
+    /// (address generation, load of the next scattered source block).
+    pub block_issue_overhead: SimDuration,
+    /// Bandwidth factor when write combining is disabled entirely
+    /// (the paper measured roughly −50 %).
+    pub wc_disabled_factor: f64,
+    /// One-way wire propagation per ring segment (cable + LC-2 hop).
+    pub hop_latency: SimDuration,
+    /// Fixed PCI-bridge + adapter traversal latency per transaction.
+    pub adapter_latency: SimDuration,
+
+    // ---- PIO read path ----
+    /// CPU stall for one remote read transaction (round trip through the
+    /// fabric; dominates read bandwidth).
+    pub read_stall: SimDuration,
+    /// Payload returned per read transaction.
+    pub read_txn_bytes: usize,
+
+    // ---- DMA engine ----
+    /// Cost to post a DMA descriptor (ioctl + doorbell).
+    pub dma_setup: SimDuration,
+    /// DMA streaming bandwidth.
+    pub dma_bandwidth: Bandwidth,
+    /// Minimum DMA alignment; unaligned requests fall back to PIO.
+    pub dma_align: usize,
+
+    // ---- Synchronisation ----
+    /// Cost of a store barrier (flush stream buffers, check error counters).
+    pub store_barrier: SimDuration,
+    /// Cost to trigger + deliver a remote interrupt (used by the emulation
+    /// path of one-sided communication).
+    pub remote_interrupt: SimDuration,
+
+    // ---- Ring / link model ----
+    /// Nominal per-link bandwidth (166 MHz: 633 MiB/s).
+    pub link_bandwidth: Bandwidth,
+    /// Sustained injection cap of one node doing MPI-level remote stores
+    /// (PCI arbitration + protocol engine; the paper's 120 MiB/s plateau).
+    pub node_injection_cap: Bandwidth,
+    /// Offered-load level (fraction of nominal) at which goodput starts to
+    /// degrade from flow control and retries.
+    pub saturation_onset: f64,
+    /// Goodput slope beyond the onset: goodput = 1 − slope·(load − onset).
+    pub saturation_slope: f64,
+    /// Fraction of data traffic echoed as flow-control packets.
+    pub flow_control_overhead: f64,
+
+    // ---- Local node ----
+    /// Cache/copy model of the host CPU.
+    pub cache: CacheModel,
+}
+
+impl SciParams {
+    /// The paper's testbed: Dolphin D330 on a 166 MHz ringlet.
+    pub fn dolphin_d330() -> Self {
+        SciParams {
+            stream_buffer_bytes: 64,
+            write_combine_bytes: 32,
+            pio_write_peak: Bandwidth::from_mib_per_sec(230),
+            pio_write_mem_limited: Bandwidth::from_mib_per_sec(160),
+            txn_overhead: SimDuration::from_ns(290),
+            wc_misalign_factor: 4.5,
+            uncombined_store_cost: SimDuration::from_ns(1050),
+            min_txn_bytes: 16,
+            sub_txn_flush: SimDuration::from_ns(620),
+            partial_flush_per_byte: SimDuration::from_ps(1500),
+            block_issue_overhead: SimDuration::from_ns(40),
+            wc_disabled_factor: 0.5,
+            hop_latency: SimDuration::from_ns(55),
+            adapter_latency: SimDuration::from_ns(480),
+            read_stall: SimDuration::from_us_f64(3.4),
+            read_txn_bytes: 64,
+            dma_setup: SimDuration::from_us(22),
+            dma_bandwidth: Bandwidth::from_mib_per_sec(185),
+            dma_align: 8,
+            store_barrier: SimDuration::from_ns(600),
+            remote_interrupt: SimDuration::from_us(14),
+            link_bandwidth: Bandwidth::from_mib_per_sec(633),
+            node_injection_cap: Bandwidth::from_mib_per_sec(121),
+            saturation_onset: 0.90,
+            saturation_slope: 0.336,
+            flow_control_overhead: 0.08,
+            cache: CacheModel::pentium3_serverset_le(),
+        }
+    }
+
+    /// The Table 2 follow-up experiment: link frequency raised to 200 MHz
+    /// (nominal 762 MiB/s), everything else unchanged.
+    pub fn with_link_200mhz(mut self) -> Self {
+        self.link_bandwidth = Bandwidth::from_mib_per_sec(762);
+        self
+    }
+
+    /// Footnote 2 of the paper: on the HE variant of the ServerSet III the
+    /// local memory system no longer limits PIO writes beyond 128 kiB.
+    pub fn with_he_chipset(mut self) -> Self {
+        self.pio_write_mem_limited = self.pio_write_peak;
+        self.cache.mem_copy = Bandwidth::from_mib_per_sec(520);
+        self
+    }
+
+    /// Disable CPU write combining (§4.3: avoids the stride-dependent
+    /// performance drops but halves overall bandwidth).
+    pub fn with_write_combining_disabled(mut self) -> Self {
+        self.pio_write_peak = self.pio_write_peak.scale(self.wc_disabled_factor);
+        self.pio_write_mem_limited = self.pio_write_mem_limited.scale(self.wc_disabled_factor);
+        // Without WC there is no misalignment cliff.
+        self.wc_misalign_factor = 1.0;
+        self
+    }
+
+    /// Effective PIO write streaming bandwidth given the size of the source
+    /// working set. Models the Figure 1 dip "beyond 128 kiB": source reads
+    /// and the write stream together exceed the L2 capacity once the
+    /// working set passes half of it, and the LE chipset's memory system
+    /// becomes the bottleneck.
+    pub fn pio_stream_bw(&self, source_working_set: usize) -> Bandwidth {
+        if source_working_set * 2 > self.cache.l2_bytes {
+            self.pio_write_mem_limited
+        } else {
+            self.pio_write_peak
+        }
+    }
+
+    /// One-way propagation latency across `hops` ring segments.
+    pub fn wire_latency(&self, hops: usize) -> SimDuration {
+        self.adapter_latency + self.hop_latency.saturating_mul(hops as u64)
+    }
+
+    /// Ring goodput fraction at a given offered load (fraction of nominal
+    /// link bandwidth). Calibrated against Table 2: ~79 % goodput at 152 %
+    /// load.
+    pub fn ring_goodput(&self, offered_load: f64) -> f64 {
+        if offered_load <= self.saturation_onset {
+            1.0
+        } else {
+            (1.0 - self.saturation_slope * (offered_load - self.saturation_onset)).max(0.25)
+        }
+    }
+}
+
+impl Default for SciParams {
+    fn default() -> Self {
+        SciParams::dolphin_d330()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_model_tiers() {
+        let c = CacheModel::pentium3_serverset_le();
+        assert_eq!(c.copy_bw(1024), c.l1_copy);
+        assert_eq!(c.copy_bw(64 * 1024), c.l2_copy);
+        assert_eq!(c.copy_bw(1024 * 1024), c.mem_copy);
+    }
+
+    #[test]
+    fn copy_cost_includes_overhead() {
+        let c = CacheModel::pentium3_serverset_le();
+        let zero = c.copy_cost(0, 0);
+        assert_eq!(zero, c.per_block_overhead);
+        assert!(c.copy_cost(4096, 4096) > zero);
+    }
+
+    #[test]
+    fn read_is_much_slower_than_write() {
+        let p = SciParams::default();
+        let read_bw = p.read_txn_bytes as f64 / p.read_stall.as_secs_f64() / (1024.0 * 1024.0);
+        // Figure 1: remote read bandwidth is a small fraction of write.
+        assert!(read_bw * 5.0 < p.pio_write_peak.mib_per_sec());
+    }
+
+    #[test]
+    fn write_bandwidth_dips_past_l2() {
+        let p = SciParams::default();
+        assert!(p.pio_stream_bw(16 * 1024) > p.pio_stream_bw(1024 * 1024));
+        let he = SciParams::default().with_he_chipset();
+        assert_eq!(he.pio_stream_bw(16 * 1024), he.pio_stream_bw(1024 * 1024));
+    }
+
+    #[test]
+    fn goodput_curve_matches_table2_anchor() {
+        let p = SciParams::default();
+        assert_eq!(p.ring_goodput(0.5), 1.0);
+        assert_eq!(p.ring_goodput(0.9), 1.0);
+        let g = p.ring_goodput(1.525);
+        assert!((g - 0.79).abs() < 0.01, "goodput at 152.5% load was {g}");
+        // Never collapses to zero.
+        assert!(p.ring_goodput(10.0) >= 0.25);
+    }
+
+    #[test]
+    fn wc_disabled_halves_bandwidth_but_flattens() {
+        let p = SciParams::default();
+        let q = p.clone().with_write_combining_disabled();
+        assert!(q.pio_write_peak.mib_per_sec() < 0.6 * p.pio_write_peak.mib_per_sec());
+        assert_eq!(q.wc_misalign_factor, 1.0);
+    }
+
+    #[test]
+    fn link_upgrade_changes_only_link() {
+        let p = SciParams::default();
+        let q = p.clone().with_link_200mhz();
+        assert_eq!(q.link_bandwidth, Bandwidth::from_mib_per_sec(762));
+        assert_eq!(q.node_injection_cap, p.node_injection_cap);
+    }
+
+    #[test]
+    fn wire_latency_scales_with_hops() {
+        let p = SciParams::default();
+        let one = p.wire_latency(1);
+        let four = p.wire_latency(4);
+        assert_eq!(
+            four.as_ps() - p.adapter_latency.as_ps(),
+            4 * (one.as_ps() - p.adapter_latency.as_ps())
+        );
+    }
+}

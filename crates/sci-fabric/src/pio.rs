@@ -1,0 +1,460 @@
+//! PIO remote memory access: transparent CPU stores and loads.
+//!
+//! This is the mechanism the whole paper is built on. Stores to imported
+//! remote memory are *posted*: the CPU issues them and moves on
+//! ("write-and-forget"), the adapter's **stream buffers** gather consecutive
+//! ascending stores into large SCI transactions. Only a **store barrier**
+//! guarantees the data has arrived — until then transactions may still be
+//! in flight and, after a retry, may even arrive out of order.
+//!
+//! Loads from remote memory **stall the CPU** until data returns, which
+//! makes read bandwidth a small fraction of write bandwidth (Figure 1) and
+//! motivates the *remote-put* conversion for large `MPI_Get`s (§4.2).
+//!
+//! Cost model per store burst (a maximal run of consecutive ascending
+//! bytes):
+//!
+//! ```text
+//! cost = txn_overhead · align_factor + len / min(stream_bw, link_share)
+//! ```
+//!
+//! where `align_factor` is 1 for bursts starting on a write-combine
+//! boundary (32 B on the P-III) and `wc_misalign_factor` otherwise — this
+//! reproduces the strong stride sensitivity measured in §4.3. Consecutive
+//! writes (where the next store continues the previous burst) pay no new
+//! overhead, which is exactly why `direct_pack_ff` insists on packing into
+//! *consecutive ascending* remote addresses.
+
+use crate::fault::SciError;
+use crate::link::StreamGuard;
+use crate::segment::Mapping;
+use crate::Fabric;
+use simclock::{Clock, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// A stream of remote stores through one mapping, modelling the adapter's
+/// stream buffers. Create one per logical transfer; drop (or
+/// [`PioStream::barrier`]) to flush.
+#[derive(Debug)]
+pub struct PioStream {
+    fabric: Arc<Fabric>,
+    mapping: Mapping,
+    /// Size of the data set the CPU is reading from (selects the memory-
+    /// bandwidth tier that feeds the stores — Figure 1's dip past L2).
+    source_working_set: usize,
+    /// Expected offset of the next store if it continues the current burst.
+    next_offset: Option<usize>,
+    /// Latest arrival time of any issued transaction.
+    outstanding: SimTime,
+    /// Total bytes issued through this stream.
+    bytes: u64,
+    /// Optional demand cap below the raw adapter rate (MPI-level sustained
+    /// transfers are limited by PCI arbitration and protocol-engine
+    /// overhead — the paper's 120 MiB/s per-node plateau).
+    demand_cap: Option<simclock::Bandwidth>,
+    /// Link-contention registration for the stream's lifetime.
+    _guard: Option<StreamGuard>,
+}
+
+impl PioStream {
+    pub(crate) fn new(fabric: Arc<Fabric>, mapping: Mapping, source_working_set: usize) -> Self {
+        let guard = if mapping.is_local() {
+            None
+        } else {
+            Some(fabric.links().start_stream(&mapping.route))
+        };
+        PioStream {
+            fabric,
+            mapping,
+            source_working_set,
+            next_offset: None,
+            outstanding: SimTime::ZERO,
+            bytes: 0,
+            demand_cap: None,
+            _guard: guard,
+        }
+    }
+
+    /// Cap this stream's demand below the raw adapter rate. Used for
+    /// sustained MPI-level transfers (one-sided windows): PCI arbitration
+    /// and the protocol engine bound long-running store streams at the
+    /// node injection cap even though short raw bursts reach the adapter
+    /// peak (Figure 1 vs Figure 12).
+    pub fn cap_demand(&mut self, cap: simclock::Bandwidth) {
+        self.demand_cap = Some(cap);
+    }
+
+    /// Total bytes issued so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True if the mapping is intra-node (plain memory, no fabric cost).
+    pub fn is_local(&self) -> bool {
+        self.mapping.is_local()
+    }
+
+    /// Issue stores of `data` to `offset`. Advances `clock` by the CPU
+    /// issue cost; the data is in flight until a [`Self::barrier`].
+    ///
+    /// Consecutive ascending writes (where `offset` equals the end of the
+    /// previous write) merge into the ongoing burst and pay no new
+    /// transaction overhead.
+    pub fn write(&mut self, clock: &mut Clock, offset: usize, data: &[u8]) -> Result<(), SciError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let params = self.fabric.params();
+        // Move the actual bytes.
+        self.mapping.segment.mem().write(offset, data)?;
+        self.bytes += data.len() as u64;
+
+        if self.mapping.is_local() {
+            // Intra-node: a plain memcpy through the cache hierarchy.
+            let cost = params
+                .cache
+                .copy_cost(data.len(), self.source_working_set.max(data.len()));
+            clock.advance(cost);
+            self.outstanding = self.outstanding.max(clock.now());
+            return Ok(());
+        }
+
+        // Fabric path: burst accounting.
+        let continues = self.next_offset == Some(offset);
+        let misaligned_thrash = !continues
+            && offset % params.write_combine_bytes != 0
+            && params.wc_misalign_factor > 1.0;
+        if misaligned_thrash {
+            // The write-combine buffers never fill in phase: every 8-byte
+            // store flushes partially and becomes its own (padded) SCI
+            // transaction. This is the §4.3 misaligned-stride cliff.
+            let stores = data.len().div_ceil(8) as u64;
+            let cost = params.txn_overhead
+                + params.uncombined_store_cost.saturating_mul(stores);
+            let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, stores)?;
+            clock.advance(cost + outcome.extra_latency);
+            let arrival = clock.now()
+                + params.wire_latency(self.mapping.route.hops())
+                + outcome.jitter;
+            self.outstanding = self.outstanding.max(arrival);
+            self.next_offset = Some(offset + data.len());
+            self.fabric
+                .links()
+                .account(params, &self.mapping.route, data.len() as u64);
+            return Ok(());
+        }
+        let mut cost = SimDuration::ZERO;
+        if !continues {
+            cost += params.txn_overhead;
+        } else {
+            // Burst-continuing store from a scattered source: the copy
+            // loop restarts, and small blocks cannot keep the stream
+            // buffer's gather window open (§3.4's 8-byte-granularity
+            // penalty).
+            cost += params.block_issue_overhead;
+            if data.len() < params.min_txn_bytes {
+                cost += params.sub_txn_flush;
+            } else if data.len() < params.stream_buffer_bytes {
+                let missing = (params.stream_buffer_bytes - data.len()) as u64;
+                cost += params.partial_flush_per_byte.saturating_mul(missing);
+            }
+        }
+        let mut demand = params.pio_stream_bw(self.source_working_set.max(data.len()));
+        if let Some(cap) = self.demand_cap {
+            demand = demand.min(cap);
+        }
+        let stream_bw = self
+            .fabric
+            .links()
+            .effective_bandwidth(params, &self.mapping.route, demand);
+        cost += stream_bw.cost(data.len() as u64);
+
+        // Fault injection: retries add latency and delivery jitter, one
+        // die roll per SCI transaction.
+        let txns = data.len().div_ceil(params.stream_buffer_bytes) as u64;
+        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        cost += outcome.extra_latency;
+
+        clock.advance(cost);
+        let arrival = clock.now()
+            + self
+                .fabric
+                .params()
+                .wire_latency(self.mapping.route.hops())
+            + outcome.jitter;
+        self.outstanding = self.outstanding.max(arrival);
+        self.next_offset = Some(offset + data.len());
+
+        self.fabric
+            .links()
+            .account(params, &self.mapping.route, data.len() as u64);
+        Ok(())
+    }
+
+    /// Convenience: a strided series of equal-sized writes starting at
+    /// `base`, `count` blocks of `block` bytes spaced `stride` bytes apart,
+    /// sourced from `data` (contiguous). Used by the §4.3 strided-write
+    /// study.
+    pub fn write_strided(
+        &mut self,
+        clock: &mut Clock,
+        base: usize,
+        block: usize,
+        stride: usize,
+        count: usize,
+        data: &[u8],
+    ) -> Result<(), SciError> {
+        assert!(data.len() >= block * count, "source too small");
+        for i in 0..count {
+            let src = &data[i * block..(i + 1) * block];
+            self.write(clock, base + i * stride, src)?;
+        }
+        Ok(())
+    }
+
+    /// Store barrier: wait until every issued transaction has arrived.
+    /// Advances the clock past the latest outstanding arrival plus the
+    /// barrier cost, and resets burst state.
+    pub fn barrier(&mut self, clock: &mut Clock) -> SimTime {
+        clock.merge(self.outstanding);
+        clock.advance(self.fabric.params().store_barrier);
+        self.next_offset = None;
+        clock.now()
+    }
+
+    /// The latest in-flight arrival time (for tests and the runtime's
+    /// completion bookkeeping).
+    pub fn outstanding(&self) -> SimTime {
+        self.outstanding
+    }
+}
+
+/// Remote loads through a mapping. Each read transaction stalls the CPU for
+/// the full round trip.
+#[derive(Debug)]
+pub struct PioReader {
+    fabric: Arc<Fabric>,
+    mapping: Mapping,
+}
+
+impl PioReader {
+    pub(crate) fn new(fabric: Arc<Fabric>, mapping: Mapping) -> Self {
+        PioReader { fabric, mapping }
+    }
+
+    /// True if the mapping is intra-node.
+    pub fn is_local(&self) -> bool {
+        self.mapping.is_local()
+    }
+
+    /// Read `dst.len()` bytes from `offset`. The clock advances by the full
+    /// stall time (reads are synchronous) — no barrier needed afterwards.
+    pub fn read(&self, clock: &mut Clock, offset: usize, dst: &mut [u8]) -> Result<(), SciError> {
+        if dst.is_empty() {
+            return Ok(());
+        }
+        let params = self.fabric.params();
+        self.mapping.segment.mem().read(offset, dst)?;
+
+        if self.mapping.is_local() {
+            clock.advance(params.cache.copy_cost(dst.len(), dst.len()));
+            return Ok(());
+        }
+        let txns = dst.len().div_ceil(params.read_txn_bytes) as u64;
+        let mut cost = params.read_stall.saturating_mul(txns);
+        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        cost += outcome.extra_latency;
+        clock.advance(cost);
+        self.fabric
+            .links()
+            .account(params, &self.mapping.route, dst.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{NodeId, Topology};
+    use crate::{Fabric, FabricSpec};
+    use simclock::Bandwidth;
+
+    fn fabric() -> Arc<Fabric> {
+        Fabric::new(FabricSpec {
+            topology: Topology::ringlet(8),
+            ..FabricSpec::default()
+        })
+    }
+
+    #[test]
+    fn write_moves_bytes_and_costs_time() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 4096);
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut clock = Clock::new();
+        s.write(&mut clock, 0, &[7u8; 1024]).unwrap();
+        assert!(clock.now() > SimTime::ZERO);
+        let mut out = [0u8; 1024];
+        seg.mem().read(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 7));
+        assert_eq!(s.bytes_written(), 1024);
+    }
+
+    #[test]
+    fn consecutive_writes_merge_into_one_burst() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 1 << 20);
+        // Two streams, same total bytes: one as a contiguous run of
+        // consecutive 64 B stores, the other strided (each write its own
+        // burst).
+        let mut contig = f.pio_stream(NodeId(0), &seg, 8192);
+        let mut strided = f.pio_stream(NodeId(0), &seg, 8192);
+        let mut c1 = Clock::new();
+        let mut c2 = Clock::new();
+        let chunk = [0u8; 64];
+        for i in 0..128 {
+            contig.write(&mut c1, i * 64, &chunk).unwrap();
+        }
+        for i in 0..128 {
+            strided.write(&mut c2, i * 256, &chunk).unwrap();
+        }
+        // Strided pays the full new-burst transaction overhead per write;
+        // consecutive writes pay only the (smaller) loop-restart cost.
+        assert!(
+            c2.now().as_ps() * 10 > c1.now().as_ps() * 14,
+            "strided {:?} should be clearly slower than consecutive {:?}",
+            c2.now(),
+            c1.now()
+        );
+        // And one single big write beats both by avoiding per-block costs.
+        let mut single = f.pio_stream(NodeId(0), &seg, 8192);
+        let mut c3 = Clock::new();
+        single.write(&mut c3, 0, &[0u8; 8192]).unwrap();
+        assert!(c3.now().as_ps() * 2 < c1.now().as_ps() * 3);
+    }
+
+    #[test]
+    fn misaligned_bursts_pay_wc_penalty() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 1 << 20);
+        let chunk = [0u8; 8];
+        // Aligned strided writes (stride 32).
+        let mut aligned = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c1 = Clock::new();
+        for i in 0..256 {
+            aligned.write(&mut c1, i * 32, &chunk).unwrap();
+        }
+        // Misaligned strided writes (stride 40 — not a multiple of 32).
+        let mut misaligned = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c2 = Clock::new();
+        for i in 0..256 {
+            misaligned.write(&mut c2, i * 40, &chunk).unwrap();
+        }
+        let ratio = c2.now().as_ps() as f64 / c1.now().as_ps() as f64;
+        assert!(ratio > 2.0, "misalignment penalty ratio was {ratio}");
+    }
+
+    #[test]
+    fn barrier_waits_for_arrival() {
+        let f = fabric();
+        let seg = f.export(NodeId(4), 4096);
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut clock = Clock::new();
+        s.write(&mut clock, 0, &[1u8; 64]).unwrap();
+        let before = clock.now();
+        let outstanding = s.outstanding();
+        assert!(outstanding > before, "writes are posted, arrival is later");
+        s.barrier(&mut clock);
+        assert!(clock.now() >= outstanding);
+    }
+
+    #[test]
+    fn local_mapping_costs_memcpy_not_fabric() {
+        let f = fabric();
+        let seg = f.export(NodeId(2), 1 << 20);
+        let mut local = f.pio_stream(NodeId(2), &seg, 1 << 20);
+        let mut remote = f.pio_stream(NodeId(0), &seg, 1 << 20);
+        assert!(local.is_local());
+        assert!(!remote.is_local());
+        let data = vec![3u8; 256 * 1024];
+        let mut cl = Clock::new();
+        let mut cr = Clock::new();
+        local.write(&mut cl, 0, &data).unwrap();
+        remote.write(&mut cr, 0, &data).unwrap();
+        // Local memcpy (~290 MiB/s) beats remote PIO (~160 at this size).
+        assert!(cl.now() < cr.now());
+    }
+
+    #[test]
+    fn reads_are_much_slower_than_writes() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 1 << 20);
+        let len = 64 * 1024;
+        let mut s = f.pio_stream(NodeId(0), &seg, len);
+        let mut wc = Clock::new();
+        s.write(&mut wc, 0, &vec![1u8; len]).unwrap();
+        s.barrier(&mut wc);
+
+        let r = f.pio_reader(NodeId(0), &seg);
+        let mut rc = Clock::new();
+        let mut buf = vec![0u8; len];
+        r.read(&mut rc, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 1));
+        let ratio = rc.now().as_ps() as f64 / wc.now().as_ps() as f64;
+        assert!(ratio > 5.0, "read/write cost ratio only {ratio}");
+    }
+
+    #[test]
+    fn write_bandwidth_dips_for_large_working_sets() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 4 << 20);
+        let small = 64 * 1024; // fits L2
+        let large = 1 << 20; // exceeds L2
+        let bw = |ws: usize| {
+            let mut s = f.pio_stream(NodeId(0), &seg, ws);
+            let mut c = Clock::new();
+            s.write(&mut c, 0, &vec![0u8; ws]).unwrap();
+            s.barrier(&mut c);
+            Bandwidth::observed(ws as u64, c.now() - SimTime::ZERO).mib_per_sec()
+        };
+        assert!(bw(small) > bw(large), "no Figure-1 dip past L2");
+    }
+
+    #[test]
+    fn strided_helper_equivalent_to_loop() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 1 << 16);
+        let data: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        let mut s = f.pio_stream(NodeId(0), &seg, 1024);
+        let mut c = Clock::new();
+        s.write_strided(&mut c, 0, 64, 128, 16, &data).unwrap();
+        // Verify placement of block 3.
+        let mut out = [0u8; 64];
+        seg.mem().read(3 * 128, &mut out).unwrap();
+        assert_eq!(&out[..], &data[3 * 64..4 * 64]);
+    }
+
+    #[test]
+    fn out_of_bounds_write_is_error_not_panic() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 128);
+        let mut s = f.pio_stream(NodeId(0), &seg, 128);
+        let mut c = Clock::new();
+        assert!(matches!(
+            s.write(&mut c, 100, &[0u8; 64]),
+            Err(SciError::OutOfBounds(_))
+        ));
+    }
+
+    #[test]
+    fn empty_write_and_read_are_free() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 128);
+        let mut s = f.pio_stream(NodeId(0), &seg, 0);
+        let r = f.pio_reader(NodeId(0), &seg);
+        let mut c = Clock::new();
+        s.write(&mut c, 0, &[]).unwrap();
+        r.read(&mut c, 0, &mut []).unwrap();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

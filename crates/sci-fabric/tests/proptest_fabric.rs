@@ -1,0 +1,135 @@
+//! Property-based tests of the fabric cost model's sanity invariants:
+//! costs are monotone in bytes, contention never *increases* a stream's
+//! bandwidth, routes are well-formed on arbitrary topologies, and data
+//! integrity holds under any split of a transfer.
+
+use proptest::prelude::*;
+use sci_fabric::{Fabric, FabricSpec, NodeId, Topology};
+use simclock::{Clock, SimTime};
+
+fn fabric(nodes: usize) -> std::sync::Arc<Fabric> {
+    Fabric::new(FabricSpec {
+        topology: Topology::ringlet(nodes),
+        ..FabricSpec::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Writing more bytes never costs less virtual time.
+    #[test]
+    fn write_cost_monotone_in_bytes(a in 1usize..32768, b in 1usize..32768) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let f = fabric(4);
+        let seg = f.export(NodeId(1), 64 * 1024);
+        let cost = |len: usize| {
+            let mut s = f.pio_stream(NodeId(0), &seg, len);
+            let mut c = Clock::new();
+            s.write(&mut c, 0, &vec![0u8; len]).unwrap();
+            s.barrier(&mut c);
+            c.now()
+        };
+        prop_assert!(cost(small) <= cost(large), "cost not monotone: {small} vs {large}");
+    }
+
+    /// A transfer split into consecutive pieces costs at least as much as
+    /// one contiguous write (per-burst overheads never help), and the data
+    /// lands identically.
+    #[test]
+    fn split_writes_cost_more_but_deliver_same(len in 64usize..16384, pieces in 1usize..16) {
+        let f = fabric(2);
+        let seg_a = f.export(NodeId(1), 64 * 1024);
+        let seg_b = f.export(NodeId(1), 64 * 1024);
+        let data: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+
+        let mut c1 = Clock::new();
+        let mut s1 = f.pio_stream(NodeId(0), &seg_a, len);
+        s1.write(&mut c1, 0, &data).unwrap();
+        s1.barrier(&mut c1);
+
+        let mut c2 = Clock::new();
+        let mut s2 = f.pio_stream(NodeId(0), &seg_b, len);
+        let chunk = len.div_ceil(pieces);
+        let mut off = 0;
+        while off < len {
+            let end = (off + chunk).min(len);
+            s2.write(&mut c2, off, &data[off..end]).unwrap();
+            off = end;
+        }
+        s2.barrier(&mut c2);
+
+        prop_assert!(c2.now() >= c1.now(), "splitting made it cheaper");
+        let mut out_a = vec![0u8; len];
+        let mut out_b = vec![0u8; len];
+        seg_a.mem().read(0, &mut out_a).unwrap();
+        seg_b.mem().read(0, &mut out_b).unwrap();
+        prop_assert_eq!(out_a, out_b);
+    }
+
+    /// Contention never increases a stream's effective bandwidth.
+    #[test]
+    fn contention_is_monotone(extra in 0u32..12) {
+        let f = fabric(8);
+        let route = f.topology().route(NodeId(0), NodeId(3));
+        let demand = f.params().node_injection_cap;
+        let base = f.links().effective_bandwidth(f.params(), &route, demand);
+        let _guards: Vec<_> = (0..extra)
+            .map(|_| f.links().start_stream(&route))
+            .collect();
+        let contended = f.links().effective_bandwidth(f.params(), &route, demand);
+        prop_assert!(contended <= base, "contention increased bandwidth");
+    }
+
+    /// Routes on arbitrary ring sizes: request + echo cover the ring
+    /// exactly once; distances are consistent with link counts.
+    #[test]
+    fn ring_routes_well_formed(nodes in 2usize..32, a in 0usize..32, b in 0usize..32) {
+        let t = Topology::ringlet(nodes);
+        let src = NodeId(a % nodes);
+        let dst = NodeId(b % nodes);
+        let r = t.route(src, dst);
+        if src == dst {
+            prop_assert!(r.is_local());
+        } else {
+            let mut all: Vec<usize> =
+                r.links.iter().chain(r.echo_links.iter()).map(|l| l.0).collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..nodes).collect::<Vec<_>>());
+            prop_assert_eq!(r.hops(), (dst.0 + nodes - src.0) % nodes);
+        }
+    }
+
+    /// Multi-ring routes never index outside the link table and cross at
+    /// most one switch.
+    #[test]
+    fn multi_ring_routes_bounded(rings in 1usize..6, per in 1usize..8, a in 0usize..48, b in 0usize..48) {
+        let t = Topology::multi_ring(rings, per);
+        let n = t.node_count();
+        let src = NodeId(a % n);
+        let dst = NodeId(b % n);
+        let r = t.route(src, dst);
+        for l in r.links.iter().chain(r.echo_links.iter()) {
+            prop_assert!(l.0 < t.link_count(), "link {} out of range", l.0);
+        }
+        prop_assert!(r.switch_crossings <= 1);
+    }
+
+    /// Reads return exactly what was written for arbitrary offsets/sizes.
+    #[test]
+    fn read_after_write_integrity(off in 0usize..1000, len in 1usize..4096) {
+        let f = fabric(3);
+        let seg = f.export(NodeId(2), 8192);
+        prop_assume!(off + len <= 8192);
+        let data: Vec<u8> = (0..len).map(|i| (i ^ off) as u8).collect();
+        let mut c = Clock::new();
+        let mut s = f.pio_stream(NodeId(0), &seg, len);
+        s.write(&mut c, off, &data).unwrap();
+        s.barrier(&mut c);
+        let r = f.pio_reader(NodeId(1), &seg);
+        let mut out = vec![0u8; len];
+        r.read(&mut c, off, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+        prop_assert!(c.now() > SimTime::ZERO);
+    }
+}

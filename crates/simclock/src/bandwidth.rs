@@ -1,0 +1,203 @@
+//! Byte-rate type used by all fabric cost models.
+//!
+//! A [`Bandwidth`] converts a byte count into a [`SimDuration`] exactly
+//! (per-byte picosecond cost computed in 128-bit arithmetic), so repeated
+//! small transfers accumulate the same virtual time as one large transfer at
+//! the same rate.
+
+use crate::time::{SimDuration, PS_PER_SEC};
+use core::fmt;
+
+/// Bytes per mebibyte.
+pub const MIB: u64 = 1024 * 1024;
+
+/// A transfer rate in bytes per second.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth {
+    bytes_per_sec: u64,
+}
+
+impl Bandwidth {
+    /// A rate of `bps` bytes per second. Zero is allowed and means
+    /// "infinitely slow"; [`Bandwidth::cost`] saturates in that case.
+    #[inline]
+    pub const fn from_bytes_per_sec(bps: u64) -> Self {
+        Bandwidth { bytes_per_sec: bps }
+    }
+
+    /// A rate of `mibs` MiB/s (the unit the paper reports).
+    #[inline]
+    pub const fn from_mib_per_sec(mibs: u64) -> Self {
+        Bandwidth {
+            bytes_per_sec: mibs.saturating_mul(MIB),
+        }
+    }
+
+    /// A rate from fractional MiB/s.
+    #[inline]
+    pub fn from_mib_per_sec_f64(mibs: f64) -> Self {
+        if !mibs.is_finite() || mibs <= 0.0 {
+            return Bandwidth { bytes_per_sec: 0 };
+        }
+        Bandwidth {
+            bytes_per_sec: (mibs * MIB as f64).round() as u64,
+        }
+    }
+
+    /// The rate in bytes per second.
+    #[inline]
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// The rate in MiB/s.
+    #[inline]
+    pub fn mib_per_sec(self) -> f64 {
+        self.bytes_per_sec as f64 / MIB as f64
+    }
+
+    /// Virtual time needed to move `bytes` at this rate.
+    ///
+    /// Computed as `bytes * PS_PER_SEC / rate` in 128-bit arithmetic so there
+    /// is no overflow and no per-call rounding drift. A zero rate yields
+    /// [`SimDuration::MAX`].
+    #[inline]
+    pub fn cost(self, bytes: u64) -> SimDuration {
+        if self.bytes_per_sec == 0 {
+            return if bytes == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::MAX
+            };
+        }
+        let ps = (bytes as u128 * PS_PER_SEC as u128) / self.bytes_per_sec as u128;
+        if ps >= u64::MAX as u128 {
+            SimDuration::MAX
+        } else {
+            SimDuration::from_ps(ps as u64)
+        }
+    }
+
+    /// The rate that moves `bytes` in `elapsed` (used by harnesses to report
+    /// achieved bandwidth). Zero elapsed time yields a zero rate rather than
+    /// infinity so tables stay printable.
+    #[inline]
+    pub fn observed(bytes: u64, elapsed: SimDuration) -> Self {
+        if elapsed.is_zero() {
+            return Bandwidth { bytes_per_sec: 0 };
+        }
+        let bps = (bytes as u128 * PS_PER_SEC as u128) / elapsed.as_ps() as u128;
+        Bandwidth {
+            bytes_per_sec: bps.min(u64::MAX as u128) as u64,
+        }
+    }
+
+    /// Split this rate between `streams` concurrent users (fair share).
+    #[inline]
+    pub fn share(self, streams: u64) -> Self {
+        Bandwidth {
+            bytes_per_sec: self.bytes_per_sec / streams.max(1),
+        }
+    }
+
+    /// The slower of two rates (bottleneck composition).
+    #[inline]
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        if self.bytes_per_sec <= other.bytes_per_sec {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale the rate by a factor (e.g. protocol efficiency).
+    #[inline]
+    pub fn scale(self, factor: f64) -> Bandwidth {
+        Bandwidth::from_mib_per_sec_f64(self.mib_per_sec() * factor)
+    }
+}
+
+impl fmt::Debug for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} MiB/s", self.mib_per_sec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_linear_in_bytes() {
+        let bw = Bandwidth::from_mib_per_sec(100);
+        let one = bw.cost(MIB);
+        let ten = bw.cost(10 * MIB);
+        assert_eq!(one.as_ps() * 10, ten.as_ps());
+    }
+
+    #[test]
+    fn cost_of_one_mib_at_one_mib_per_sec_is_one_sec() {
+        let bw = Bandwidth::from_mib_per_sec(1);
+        assert_eq!(bw.cost(MIB), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn zero_rate_saturates() {
+        let bw = Bandwidth::from_bytes_per_sec(0);
+        assert_eq!(bw.cost(0), SimDuration::ZERO);
+        assert_eq!(bw.cost(1), SimDuration::MAX);
+    }
+
+    #[test]
+    fn observed_inverts_cost() {
+        let bw = Bandwidth::from_mib_per_sec(85);
+        let bytes = 256 * 1024;
+        let elapsed = bw.cost(bytes);
+        let back = Bandwidth::observed(bytes, elapsed);
+        let err = (back.mib_per_sec() - 85.0).abs();
+        assert!(err < 0.01, "round-trip error {err}");
+    }
+
+    #[test]
+    fn observed_with_zero_elapsed_is_zero() {
+        assert_eq!(
+            Bandwidth::observed(100, SimDuration::ZERO).bytes_per_sec(),
+            0
+        );
+    }
+
+    #[test]
+    fn share_and_min_compose() {
+        let link = Bandwidth::from_mib_per_sec(633);
+        let node = Bandwidth::from_mib_per_sec(120);
+        // 8 concurrent streams on the link: each gets ~79 MiB/s, below the
+        // node cap, so the link is the bottleneck.
+        let eff = link.share(8).min(node);
+        assert!(eff.mib_per_sec() < 80.0);
+        // 4 streams: each could get ~158, capped by the node at 120.
+        let eff = link.share(4).min(node);
+        assert_eq!(eff, node);
+    }
+
+    #[test]
+    fn share_by_zero_clamps_to_one() {
+        let bw = Bandwidth::from_mib_per_sec(10);
+        assert_eq!(bw.share(0), bw);
+    }
+
+    #[test]
+    fn fractional_mib_rates() {
+        let bw = Bandwidth::from_mib_per_sec_f64(0.5);
+        assert_eq!(bw.bytes_per_sec(), MIB / 2);
+        assert_eq!(
+            Bandwidth::from_mib_per_sec_f64(-3.0).bytes_per_sec(),
+            0
+        );
+    }
+}

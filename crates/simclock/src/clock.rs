@@ -1,0 +1,165 @@
+//! Per-rank logical clocks.
+//!
+//! Each simulated MPI rank owns one [`Clock`]. Local work advances the clock
+//! by a model cost; receiving a message (or passing a barrier) *merges* the
+//! sender's timestamp so causality is preserved: an event can never be
+//! observed before it happened on the peer.
+//!
+//! This is the classic Lamport-style logical-time construction specialised
+//! for performance simulation: clocks carry durations, not just ordering.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A logical clock for one simulated execution context (rank, DMA engine,
+/// interrupt handler, ...).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: SimTime,
+    /// Total time spent in explicit waits (merges that moved the clock
+    /// forward). Useful for harnesses reporting synchronisation overhead.
+    waited: SimDuration,
+}
+
+impl Clock {
+    /// A clock at the simulation epoch.
+    #[inline]
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// A clock starting at `t`.
+    #[inline]
+    pub fn starting_at(t: SimTime) -> Self {
+        Clock {
+            now: t,
+            waited: SimDuration::ZERO,
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total time this clock was pushed forward by merges (blocked waiting
+    /// on peers) rather than by its own work.
+    #[inline]
+    pub fn total_waited(&self) -> SimDuration {
+        self.waited
+    }
+
+    /// Advance the clock by a local cost and return the new time.
+    #[inline]
+    pub fn advance(&mut self, cost: SimDuration) -> SimTime {
+        self.now += cost;
+        self.now
+    }
+
+    /// Merge an externally observed timestamp: the clock jumps to
+    /// `max(now, t)`. Returns how far the clock was pushed forward
+    /// (the wait time, zero if `t` was already in the past).
+    #[inline]
+    pub fn merge(&mut self, t: SimTime) -> SimDuration {
+        let wait = t.duration_since(self.now);
+        if !wait.is_zero() {
+            self.now = t;
+            self.waited += wait;
+        }
+        wait
+    }
+
+    /// Merge then advance — the common "receive message, pay overhead"
+    /// sequence. Returns the new time.
+    #[inline]
+    pub fn merge_advance(&mut self, t: SimTime, cost: SimDuration) -> SimTime {
+        self.merge(t);
+        self.advance(cost)
+    }
+
+    /// Reset the clock to the epoch, clearing wait accounting. Benchmarks
+    /// use this between repetitions.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self = Clock::new();
+    }
+}
+
+/// Compute the barrier release time for a set of participant times: the
+/// maximum arrival plus a per-participant fan-in/fan-out cost.
+///
+/// `per_hop` models one step of the (logarithmic) barrier tree; `n` is the
+/// number of participants. This helper keeps all collectives in the
+/// simulation using the same timing rule.
+pub fn barrier_release(arrivals: &[SimTime], per_hop: SimDuration, n: usize) -> SimTime {
+    let latest = arrivals
+        .iter()
+        .copied()
+        .fold(SimTime::ZERO, SimTime::max);
+    let hops = usize::BITS - n.max(1).leading_zeros(); // ceil(log2(n)) + 1-ish
+    latest + per_hop.saturating_mul(hops as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_us(2));
+        c.advance(SimDuration::from_us(3));
+        assert_eq!(c.now(), SimTime::ZERO + SimDuration::from_us(5));
+        assert_eq!(c.total_waited(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_moves_forward_only() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_us(10));
+        // Timestamp in the past: no effect.
+        let w = c.merge(SimTime::ZERO + SimDuration::from_us(4));
+        assert_eq!(w, SimDuration::ZERO);
+        assert_eq!(c.now(), SimTime::ZERO + SimDuration::from_us(10));
+        // Timestamp in the future: jump and record the wait.
+        let w = c.merge(SimTime::ZERO + SimDuration::from_us(15));
+        assert_eq!(w, SimDuration::from_us(5));
+        assert_eq!(c.total_waited(), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn merge_advance_orders_operations() {
+        let mut c = Clock::new();
+        let t = c.merge_advance(
+            SimTime::ZERO + SimDuration::from_us(8),
+            SimDuration::from_us(1),
+        );
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_us(9));
+    }
+
+    #[test]
+    fn barrier_release_takes_latest() {
+        let t = |us| SimTime::ZERO + SimDuration::from_us(us);
+        let arrivals = [t(3), t(9), t(5), t(1)];
+        let rel = barrier_release(&arrivals, SimDuration::from_us(1), 4);
+        // latest (9us) + 3 hops (ceil(log2(4))+1) of 1us
+        assert!(rel > t(9));
+        assert!(rel <= t(9 + 4));
+    }
+
+    #[test]
+    fn barrier_release_empty_is_epochish() {
+        let rel = barrier_release(&[], SimDuration::from_us(1), 1);
+        assert!(rel.as_ps() <= SimDuration::from_us(1).as_ps());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_us(10));
+        c.merge(SimTime::ZERO + SimDuration::from_us(20));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+        assert_eq!(c.total_waited(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,176 @@
+//! A tiny deterministic RNG (SplitMix64).
+//!
+//! The fault-injection layer and the workload generators need randomness
+//! that is (a) fully reproducible from a seed, and (b) dependency-free in
+//! hot paths. SplitMix64 passes BigCrush for these purposes and is four
+//! lines long.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal sequences.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound == 0` returns 0.
+    ///
+    /// Uses the widening-multiply technique (Lemire) which is unbiased
+    /// enough for simulation workloads.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive). Swapped bounds are
+    /// normalised.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if !(p > 0.0) {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Fork a statistically independent generator (for per-rank streams
+    /// derived from one master seed).
+    #[inline]
+    pub fn fork(&mut self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ stream.wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(13) < 13);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn next_range_inclusive_and_swapped() {
+        let mut r = SplitMix64::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v = r.next_range(10, 3); // swapped on purpose
+            assert!((3..=10).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 10;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(1234);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SplitMix64::new(5);
+        assert!(!r.chance(0.0));
+        assert!(!r.chance(-1.0));
+        assert!(!r.chance(f64::NAN));
+        assert!(r.chance(1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rate_roughly_matches_p() {
+        let mut r = SplitMix64::new(77);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut master = SplitMix64::new(100);
+        let mut s1 = master.fork(1);
+        let mut s2 = master.fork(2);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+}

@@ -1,0 +1,405 @@
+//! Picosecond-resolution virtual time points and spans.
+//!
+//! Picoseconds were chosen so that sub-nanosecond per-byte costs (e.g. one
+//! byte at 5 GiB/s is ~186 ps) accumulate without rounding drift, while a
+//! `u64` still covers more than 200 days of simulated time.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// A span of virtual time, in picoseconds.
+///
+/// All arithmetic saturates: a cost model can never wrap a clock around.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The maximum representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// A span of `ps` picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    /// A span of `ns` nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns.saturating_mul(PS_PER_NS))
+    }
+
+    /// A span of `us` microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us.saturating_mul(PS_PER_US))
+    }
+
+    /// A span of `ms` milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms.saturating_mul(PS_PER_MS))
+    }
+
+    /// A span of `s` seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s.saturating_mul(PS_PER_SEC))
+    }
+
+    /// A span from fractional microseconds (handy for calibration tables).
+    ///
+    /// Negative or non-finite inputs are clamped to zero.
+    #[inline]
+    pub fn from_us_f64(us: f64) -> Self {
+        if !us.is_finite() || us <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// A span from fractional nanoseconds.
+    ///
+    /// Negative or non-finite inputs are clamped to zero.
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        if !ns.is_finite() || ns <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole nanoseconds (truncating).
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// The span in fractional microseconds.
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// The span in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// True if this span is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    #[inline]
+    pub const fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply the span by an integer factor, saturating.
+    #[inline]
+    pub const fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+
+    /// Scale the span by a non-negative float factor (calibration knobs).
+    ///
+    /// Non-finite or negative factors are treated as zero.
+    #[inline]
+    pub fn scale(self, factor: f64) -> SimDuration {
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let scaled = self.0 as f64 * factor;
+        if scaled >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(scaled.round() as u64)
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs.max(1))
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps < PS_PER_NS {
+            write!(f, "{ps}ps")
+        } else if ps < PS_PER_US {
+            write!(f, "{:.2}ns", ps as f64 / PS_PER_NS as f64)
+        } else if ps < PS_PER_MS {
+            write!(f, "{:.2}us", ps as f64 / PS_PER_US as f64)
+        } else if ps < PS_PER_SEC {
+            write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+        } else {
+            write!(f, "{:.4}s", ps as f64 / PS_PER_SEC as f64)
+        }
+    }
+}
+
+/// A point in virtual time, measured from the start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time point `ps` picoseconds after the epoch.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Raw picosecond count since the epoch.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch (used for `MPI_Wtime`).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// The span from `earlier` to `self`, clamped at zero if `earlier` is
+    /// actually later.
+    #[inline]
+    pub const fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two time points.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two time points.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_ps()))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_roundtrip() {
+        assert_eq!(SimDuration::from_ns(5).as_ps(), 5_000);
+        assert_eq!(SimDuration::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimDuration::from_ms(2).as_ps(), 2 * PS_PER_MS);
+        assert_eq!(SimDuration::from_secs(1).as_ps(), PS_PER_SEC);
+    }
+
+    #[test]
+    fn duration_from_f64_clamps() {
+        assert_eq!(SimDuration::from_us_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_us_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_us_f64(1.5).as_ns(), 1_500);
+        assert_eq!(SimDuration::from_ns_f64(0.5).as_ps(), 500);
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        let max = SimDuration::MAX;
+        assert_eq!(max + SimDuration::from_ns(1), SimDuration::MAX);
+        assert_eq!(SimDuration::ZERO - SimDuration::from_ns(1), SimDuration::ZERO);
+        assert_eq!(max.saturating_mul(2), SimDuration::MAX);
+    }
+
+    #[test]
+    fn scale_handles_edge_factors() {
+        let d = SimDuration::from_us(10);
+        assert_eq!(d.scale(0.5), SimDuration::from_us(5));
+        assert_eq!(d.scale(-1.0), SimDuration::ZERO);
+        assert_eq!(d.scale(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX.scale(2.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn time_ordering_and_spans() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_us(7);
+        assert!(t1 > t0);
+        assert_eq!(t1 - t0, SimDuration::from_us(7));
+        // Reversed subtraction clamps instead of panicking.
+        assert_eq!(t0 - t1, SimDuration::ZERO);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+    }
+
+    #[test]
+    fn display_picks_sane_units() {
+        assert_eq!(format!("{}", SimDuration::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", SimDuration::from_ns(1)), "1.00ns");
+        assert_eq!(format!("{}", SimDuration::from_us(2)), "2.00us");
+        assert_eq!(format!("{}", SimDuration::from_ms(3)), "3.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(4)), "4.0000s");
+    }
+
+    #[test]
+    fn division_never_panics() {
+        let d = SimDuration::from_us(10);
+        assert_eq!(d / 0, d); // divisor clamped to 1
+        assert_eq!(d / 2, SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4u64).map(SimDuration::from_ns).sum();
+        assert_eq!(total, SimDuration::from_ns(10));
+    }
+}

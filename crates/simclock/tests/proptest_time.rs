@@ -1,0 +1,95 @@
+//! Property tests of the virtual-time arithmetic: the entire simulation's
+//! accounting rests on these invariants.
+
+use proptest::prelude::*;
+use simclock::{clock::barrier_release, Bandwidth, Clock, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Duration addition is commutative, associative (within saturation)
+    /// and monotone.
+    #[test]
+    fn duration_addition_properties(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+        let (da, db, dc) = (
+            SimDuration::from_ps(a),
+            SimDuration::from_ps(b),
+            SimDuration::from_ps(c),
+        );
+        prop_assert_eq!(da + db, db + da);
+        prop_assert_eq!((da + db) + dc, da + (db + dc));
+        prop_assert!(da + db >= da);
+    }
+
+    /// Saturating subtraction never underflows and inverts addition when
+    /// no clamping occurred.
+    #[test]
+    fn duration_sub_inverts_add(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (da, db) = (SimDuration::from_ps(a), SimDuration::from_ps(b));
+        prop_assert_eq!((da + db) - db, da);
+        if a < b {
+            prop_assert_eq!(da - db, SimDuration::ZERO);
+        }
+    }
+
+    /// Bandwidth cost is additive in bytes: moving n+m bytes costs within
+    /// 1 ps of moving n then m (integer division remainder).
+    #[test]
+    fn bandwidth_cost_additive(bps in 1u64..u64::MAX / (1 << 22), n in 0u64..1 << 20, m in 0u64..1 << 20) {
+        let bw = Bandwidth::from_bytes_per_sec(bps);
+        let whole = bw.cost(n + m).as_ps() as i128;
+        let split = bw.cost(n).as_ps() as i128 + bw.cost(m).as_ps() as i128;
+        prop_assert!((whole - split).abs() <= 1, "whole {whole} split {split}");
+    }
+
+    /// observed() inverts cost() to within rounding for sane rates.
+    #[test]
+    fn bandwidth_roundtrip(mibs in 1u64..100_000, bytes in 1u64..1 << 30) {
+        let bw = Bandwidth::from_mib_per_sec(mibs);
+        let elapsed = bw.cost(bytes);
+        prop_assume!(!elapsed.is_zero());
+        let back = Bandwidth::observed(bytes, elapsed);
+        let rel = (back.bytes_per_sec() as f64 - bw.bytes_per_sec() as f64).abs()
+            / bw.bytes_per_sec() as f64;
+        prop_assert!(rel < 1e-6, "relative error {rel}");
+    }
+
+    /// Clock merge is idempotent and monotone; wait accounting only grows.
+    #[test]
+    fn clock_merge_properties(advances in proptest::collection::vec(0u64..1 << 40, 1..50),
+                              merges in proptest::collection::vec(0u64..1 << 44, 1..50)) {
+        let mut clock = Clock::new();
+        let mut last = SimTime::ZERO;
+        let mut last_wait = SimDuration::ZERO;
+        for (adv, mrg) in advances.iter().zip(merges.iter()) {
+            clock.advance(SimDuration::from_ps(*adv));
+            prop_assert!(clock.now() >= last);
+            let t = SimTime::from_ps(*mrg);
+            clock.merge(t);
+            prop_assert!(clock.now() >= t, "merge went backwards");
+            // Merging the same time again is a no-op.
+            let before = clock.now();
+            let w = clock.merge(t);
+            prop_assert_eq!(w, SimDuration::ZERO);
+            prop_assert_eq!(clock.now(), before);
+            prop_assert!(clock.total_waited() >= last_wait);
+            last = clock.now();
+            last_wait = clock.total_waited();
+        }
+    }
+
+    /// Barrier release is at or after every arrival, and permutation-
+    /// independent.
+    #[test]
+    fn barrier_release_properties(mut times in proptest::collection::vec(0u64..1 << 40, 1..16)) {
+        let hop = SimDuration::from_ns(100);
+        let arrivals: Vec<SimTime> = times.iter().map(|&t| SimTime::from_ps(t)).collect();
+        let rel = barrier_release(&arrivals, hop, arrivals.len());
+        for a in &arrivals {
+            prop_assert!(rel >= *a);
+        }
+        times.reverse();
+        let rev: Vec<SimTime> = times.iter().map(|&t| SimTime::from_ps(t)).collect();
+        prop_assert_eq!(barrier_release(&rev, hop, rev.len()), rel);
+    }
+}

@@ -1,0 +1,256 @@
+//! Sub-allocation inside a shared region.
+//!
+//! On real SCI clusters, remotely accessible memory must come from segments
+//! allocated through the SCI kernel driver — an MPI process cannot export
+//! arbitrary heap memory (§4.2; reference 13 later lifted this). `MPI_Alloc_mem`
+//! therefore hands out pieces of a pre-exported region. This module
+//! provides the free-list allocator behind it: first-fit with coalescing,
+//! fixed alignment, O(free-list) operations — plenty for the allocation
+//! patterns of an MPI process.
+
+use core::fmt;
+
+/// Alignment of every returned offset (covers SCI transaction alignment).
+pub const ALLOC_ALIGN: usize = 64;
+
+/// Allocation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough contiguous free space.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Largest free block currently available.
+        largest_free: usize,
+    },
+    /// Freeing an offset that was never allocated (or double free).
+    InvalidFree(usize),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "shared region exhausted: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            AllocError::InvalidFree(off) => write!(f, "invalid free at offset {off}"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit free-list allocator over `[0, capacity)`.
+#[derive(Debug, Clone)]
+pub struct ShregAllocator {
+    capacity: usize,
+    /// Sorted, non-adjacent free intervals `(offset, len)`.
+    free: Vec<(usize, usize)>,
+    /// Live allocations `(offset, len)`, sorted by offset.
+    live: Vec<(usize, usize)>,
+}
+
+impl ShregAllocator {
+    /// An allocator over a region of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        ShregAllocator {
+            capacity,
+            free: if capacity > 0 {
+                vec![(0, capacity)]
+            } else {
+                Vec::new()
+            },
+            live: Vec::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated (including alignment padding).
+    pub fn used(&self) -> usize {
+        self.live.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Largest currently free contiguous block.
+    pub fn largest_free(&self) -> usize {
+        self.free.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// Number of live allocations.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Allocate `len` bytes (rounded up to [`ALLOC_ALIGN`]); returns the
+    /// offset.
+    pub fn alloc(&mut self, len: usize) -> Result<usize, AllocError> {
+        let len = len.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        let slot = self
+            .free
+            .iter()
+            .position(|&(_, flen)| flen >= len)
+            .ok_or(AllocError::OutOfMemory {
+                requested: len,
+                largest_free: self.largest_free(),
+            })?;
+        let (off, flen) = self.free[slot];
+        if flen == len {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = (off + len, flen - len);
+        }
+        let pos = self.live.partition_point(|&(o, _)| o < off);
+        self.live.insert(pos, (off, len));
+        Ok(off)
+    }
+
+    /// Free the allocation starting at `offset`.
+    pub fn free(&mut self, offset: usize) -> Result<(), AllocError> {
+        let idx = self
+            .live
+            .iter()
+            .position(|&(o, _)| o == offset)
+            .ok_or(AllocError::InvalidFree(offset))?;
+        let (off, len) = self.live.remove(idx);
+        // Insert into the sorted free list and coalesce neighbours.
+        let pos = self.free.partition_point(|&(o, _)| o < off);
+        self.free.insert(pos, (off, len));
+        self.coalesce(pos);
+        Ok(())
+    }
+
+    fn coalesce(&mut self, pos: usize) {
+        // Merge with successor first (indices stay valid), then predecessor.
+        if pos + 1 < self.free.len() {
+            let (o, l) = self.free[pos];
+            let (no, nl) = self.free[pos + 1];
+            if o + l == no {
+                self.free[pos] = (o, l + nl);
+                self.free.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (po, pl) = self.free[pos - 1];
+            let (o, l) = self.free[pos];
+            if po + pl == o {
+                self.free[pos - 1] = (po, pl + l);
+                self.free.remove(pos);
+            }
+        }
+    }
+
+    /// True if `offset` is the start of a live allocation.
+    pub fn is_live(&self, offset: usize) -> bool {
+        self.live.iter().any(|&(o, _)| o == offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_aligned_offsets() {
+        let mut a = ShregAllocator::new(4096);
+        let o1 = a.alloc(10).unwrap();
+        let o2 = a.alloc(100).unwrap();
+        assert_eq!(o1 % ALLOC_ALIGN, 0);
+        assert_eq!(o2 % ALLOC_ALIGN, 0);
+        assert_ne!(o1, o2);
+        assert_eq!(a.used(), 64 + 128);
+    }
+
+    #[test]
+    fn zero_sized_alloc_takes_one_unit() {
+        let mut a = ShregAllocator::new(256);
+        let o = a.alloc(0).unwrap();
+        assert!(a.is_live(o));
+        assert_eq!(a.used(), ALLOC_ALIGN);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_block() {
+        let mut a = ShregAllocator::new(256);
+        a.alloc(128).unwrap();
+        let err = a.alloc(256).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::OutOfMemory {
+                requested: 256,
+                largest_free: 128
+            }
+        );
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = ShregAllocator::new(256);
+        let o1 = a.alloc(128).unwrap();
+        let _o2 = a.alloc(128).unwrap();
+        assert!(a.alloc(1).is_err());
+        a.free(o1).unwrap();
+        let o3 = a.alloc(64).unwrap();
+        assert_eq!(o3, o1, "first fit should reuse the freed block");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = ShregAllocator::new(256);
+        let o = a.alloc(64).unwrap();
+        a.free(o).unwrap();
+        assert_eq!(a.free(o), Err(AllocError::InvalidFree(o)));
+        assert_eq!(a.free(999), Err(AllocError::InvalidFree(999)));
+    }
+
+    #[test]
+    fn coalescing_restores_full_capacity() {
+        let mut a = ShregAllocator::new(1024);
+        let offs: Vec<usize> = (0..8).map(|_| a.alloc(128).unwrap()).collect();
+        assert_eq!(a.largest_free(), 0);
+        // Free in a scrambled order.
+        for &i in &[3usize, 0, 7, 1, 5, 2, 6, 4] {
+            a.free(offs[i]).unwrap();
+        }
+        assert_eq!(a.largest_free(), 1024);
+        assert_eq!(a.used(), 0);
+        // One big allocation fits again.
+        assert!(a.alloc(1024).is_ok());
+    }
+
+    #[test]
+    fn interleaved_pattern_keeps_invariants() {
+        let mut a = ShregAllocator::new(64 * 1024);
+        let mut live = Vec::new();
+        for round in 0..100 {
+            if round % 3 != 2 {
+                if let Ok(o) = a.alloc(64 * (1 + round % 7)) {
+                    live.push(o);
+                }
+            } else if !live.is_empty() {
+                let o = live.remove(round % live.len());
+                a.free(o).unwrap();
+            }
+            // Used + free never exceeds capacity.
+            assert!(a.used() <= a.capacity());
+            assert_eq!(a.live_count(), live.len());
+        }
+        for o in live {
+            a.free(o).unwrap();
+        }
+        assert_eq!(a.largest_free(), 64 * 1024);
+    }
+
+    #[test]
+    fn zero_capacity_allocator() {
+        let mut a = ShregAllocator::new(0);
+        assert!(a.alloc(1).is_err());
+        assert_eq!(a.largest_free(), 0);
+    }
+}

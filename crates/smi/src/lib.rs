@@ -1,0 +1,149 @@
+//! # smi — the Shared Memory Interface
+//!
+//! A reproduction of the SMI library (reference 26 in the paper): the abstraction
+//! layer that lets SCI-MPICH treat **intra-node shared memory and
+//! inter-node SCI memory uniformly**. The paper points out (§6) that every
+//! optimisation built on SCI applies unchanged to intra-node shared memory
+//! thanks to this layer — our Figure 7 "shm" curves use exactly that.
+//!
+//! Concepts:
+//!
+//! * an [`SmiWorld`] binds a set of *processes* to cluster *nodes* over one
+//!   [`sci_fabric::Fabric`];
+//! * a [`region::SharedRegion`] is memory exported by one process and
+//!   mappable by all (remote access costs SCI time, local access costs
+//!   memcpy time);
+//! * [`region::RegionHandle`] provides the transfer engine with PIO / DMA /
+//!   automatic mode selection;
+//! * [`sync`] provides the shared-memory spinlocks and barriers of
+//!   Schulz (reference 14) that SCI-MPICH uses for one-sided synchronisation;
+//! * [`alloc::ShregAllocator`] manages sub-allocations inside a region —
+//!   the machinery behind `MPI_Alloc_mem`.
+
+pub mod alloc;
+pub mod region;
+pub mod sync;
+
+pub use alloc::ShregAllocator;
+pub use region::{RegionHandle, SharedRegion, TransferMode};
+pub use sync::{SmiLock, TimeBarrier};
+
+use sci_fabric::{Fabric, NodeId};
+use std::sync::Arc;
+
+/// Identifies one SMI process (maps 1:1 to an MPI rank above this layer).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub usize);
+
+impl core::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The process-to-node binding of a cluster run.
+#[derive(Debug)]
+pub struct SmiWorld {
+    fabric: Arc<Fabric>,
+    proc_nodes: Vec<NodeId>,
+}
+
+impl SmiWorld {
+    /// Bind `proc_nodes[p]` as the node hosting process `p`.
+    pub fn new(fabric: Arc<Fabric>, proc_nodes: Vec<NodeId>) -> Arc<Self> {
+        let max = proc_nodes.iter().map(|n| n.0).max().unwrap_or(0);
+        assert!(
+            max < fabric.topology().node_count(),
+            "process mapped to node {max} outside the topology"
+        );
+        Arc::new(SmiWorld { fabric, proc_nodes })
+    }
+
+    /// One process per node, in order — the paper's standard setup.
+    pub fn one_per_node(fabric: Arc<Fabric>) -> Arc<Self> {
+        let nodes: Vec<NodeId> = fabric.topology().nodes().collect();
+        SmiWorld::new(fabric, nodes)
+    }
+
+    /// `ppn` processes on each node, packed.
+    pub fn packed(fabric: Arc<Fabric>, ppn: usize) -> Arc<Self> {
+        assert!(ppn > 0);
+        let mut nodes = Vec::new();
+        for n in fabric.topology().nodes() {
+            for _ in 0..ppn {
+                nodes.push(n);
+            }
+        }
+        SmiWorld::new(fabric, nodes)
+    }
+
+    /// Number of processes.
+    pub fn num_procs(&self) -> usize {
+        self.proc_nodes.len()
+    }
+
+    /// Node hosting a process.
+    pub fn node_of(&self, p: ProcId) -> NodeId {
+        self.proc_nodes[p.0]
+    }
+
+    /// True if two processes share a node (intra-node shared memory).
+    pub fn same_node(&self, a: ProcId, b: ProcId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Create a shared region owned by process `owner`.
+    pub fn create_region(self: &Arc<Self>, owner: ProcId, len: usize) -> Arc<SharedRegion> {
+        SharedRegion::create(Arc::clone(self), owner, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_fabric::{FabricSpec, Topology};
+
+    fn world() -> Arc<SmiWorld> {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(4),
+            ..FabricSpec::default()
+        });
+        SmiWorld::one_per_node(fabric)
+    }
+
+    #[test]
+    fn one_per_node_mapping() {
+        let w = world();
+        assert_eq!(w.num_procs(), 4);
+        assert_eq!(w.node_of(ProcId(2)), NodeId(2));
+        assert!(!w.same_node(ProcId(0), ProcId(1)));
+    }
+
+    #[test]
+    fn packed_mapping() {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(2),
+            ..FabricSpec::default()
+        });
+        let w = SmiWorld::packed(fabric, 2);
+        assert_eq!(w.num_procs(), 4);
+        assert!(w.same_node(ProcId(0), ProcId(1)));
+        assert!(!w.same_node(ProcId(1), ProcId(2)));
+        assert_eq!(w.node_of(ProcId(3)), NodeId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the topology")]
+    fn bad_mapping_panics() {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(2),
+            ..FabricSpec::default()
+        });
+        let _ = SmiWorld::new(fabric, vec![NodeId(0), NodeId(5)]);
+    }
+}

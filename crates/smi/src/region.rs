@@ -1,0 +1,320 @@
+//! Shared regions and the transfer engine.
+//!
+//! A [`SharedRegion`] is the SMI unit of remotely accessible memory: one
+//! process exports it, everyone can map it. A [`RegionHandle`] is one
+//! process's mapping, through which reads/writes are charged intra-node
+//! memcpy cost or inter-node SCI cost as appropriate. The handle also picks
+//! between PIO and DMA per transfer ([`TransferMode::Auto`] switches to DMA
+//! above a threshold, like SCI-MPICH's protocol parameters).
+
+use crate::{ProcId, SmiWorld};
+use sci_fabric::{DmaCompletion, SciError, Segment};
+use simclock::{Clock, SimTime};
+use std::sync::Arc;
+
+/// How a transfer should move its bytes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TransferMode {
+    /// Transparent CPU stores/loads (low latency, CPU-bound).
+    #[default]
+    Pio,
+    /// The adapter's DMA engine (high setup, streams without the CPU).
+    Dma,
+    /// PIO below `auto_dma_threshold` bytes, DMA at or above it.
+    Auto,
+}
+
+/// Transfers at or above this many bytes use DMA in [`TransferMode::Auto`].
+/// Chosen near the PIO/DMA crossover of Figure 1.
+pub const AUTO_DMA_THRESHOLD: usize = 512 * 1024;
+
+/// A chunk of memory exported by one process for remote access.
+#[derive(Debug)]
+pub struct SharedRegion {
+    world: Arc<SmiWorld>,
+    owner: ProcId,
+    segment: Arc<Segment>,
+}
+
+impl SharedRegion {
+    pub(crate) fn create(world: Arc<SmiWorld>, owner: ProcId, len: usize) -> Arc<Self> {
+        let node = world.node_of(owner);
+        let segment = world.fabric().export(node, len);
+        Arc::new(SharedRegion {
+            world,
+            owner,
+            segment,
+        })
+    }
+
+    /// The exporting process.
+    pub fn owner(&self) -> ProcId {
+        self.owner
+    }
+
+    /// Capacity in bytes.
+    pub fn len(&self) -> usize {
+        self.segment.len()
+    }
+
+    /// True if the region has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.segment.is_empty()
+    }
+
+    /// The backing fabric segment.
+    pub fn segment(&self) -> &Arc<Segment> {
+        &self.segment
+    }
+
+    /// Map the region at process `p`.
+    pub fn map(self: &Arc<Self>, p: ProcId) -> RegionHandle {
+        RegionHandle {
+            region: Arc::clone(self),
+            proc: p,
+        }
+    }
+}
+
+/// One process's mapping of a [`SharedRegion`]: the transfer engine.
+#[derive(Debug, Clone)]
+pub struct RegionHandle {
+    region: Arc<SharedRegion>,
+    proc: ProcId,
+}
+
+impl RegionHandle {
+    /// The mapping process.
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The mapped region.
+    pub fn region(&self) -> &Arc<SharedRegion> {
+        &self.region
+    }
+
+    /// True if this mapping is intra-node (plain shared memory).
+    pub fn is_local(&self) -> bool {
+        self.region
+            .world
+            .same_node(self.proc, self.region.owner)
+    }
+
+    fn node(&self) -> sci_fabric::NodeId {
+        self.region.world.node_of(self.proc)
+    }
+
+    /// Open a raw PIO store stream into the region (the `direct_pack_ff`
+    /// sink uses this to stream many small blocks with burst-merge
+    /// semantics).
+    pub fn pio_stream(&self, source_working_set: usize) -> sci_fabric::PioStream {
+        self.region
+            .world
+            .fabric()
+            .pio_stream(self.node(), &self.region.segment, source_working_set)
+    }
+
+    /// Write `data` at `offset`, charging `clock`, using `mode`.
+    /// PIO writes include the store barrier so the data is delivered on
+    /// return (synchronous semantics); use [`Self::pio_stream`] for posted
+    /// writes.
+    pub fn write(
+        &self,
+        clock: &mut Clock,
+        offset: usize,
+        data: &[u8],
+        mode: TransferMode,
+    ) -> Result<(), SciError> {
+        match self.resolve(mode, data.len()) {
+            TransferMode::Dma => {
+                let done = self.dma_write(clock, offset, data)?;
+                clock.merge(done.done);
+                Ok(())
+            }
+            _ => {
+                let mut s = self.pio_stream(data.len());
+                s.write(clock, offset, data)?;
+                s.barrier(clock);
+                Ok(())
+            }
+        }
+    }
+
+    /// Read into `dst` from `offset`, charging `clock`, using `mode`.
+    pub fn read(
+        &self,
+        clock: &mut Clock,
+        offset: usize,
+        dst: &mut [u8],
+        mode: TransferMode,
+    ) -> Result<(), SciError> {
+        match self.resolve(mode, dst.len()) {
+            TransferMode::Dma => {
+                let dma = self
+                    .region
+                    .world
+                    .fabric()
+                    .dma_engine(self.node(), &self.region.segment);
+                let done = dma.read(clock, offset, dst)?;
+                clock.merge(done.done);
+                Ok(())
+            }
+            _ => {
+                let r = self
+                    .region
+                    .world
+                    .fabric()
+                    .pio_reader(self.node(), &self.region.segment);
+                r.read(clock, offset, dst)
+            }
+        }
+    }
+
+    /// Posted DMA write; returns the completion for callers that overlap.
+    pub fn dma_write(
+        &self,
+        clock: &mut Clock,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<DmaCompletion, SciError> {
+        let dma = self
+            .region
+            .world
+            .fabric()
+            .dma_engine(self.node(), &self.region.segment);
+        dma.write(clock, offset, data)
+    }
+
+    fn resolve(&self, mode: TransferMode, len: usize) -> TransferMode {
+        match mode {
+            TransferMode::Auto => {
+                if len >= AUTO_DMA_THRESHOLD && !self.is_local() {
+                    TransferMode::Dma
+                } else {
+                    TransferMode::Pio
+                }
+            }
+            m => m,
+        }
+    }
+}
+
+/// Timestamped completion of a region write, used by protocol code.
+#[derive(Clone, Copy, Debug)]
+pub struct WriteReceipt {
+    /// When the data is fully visible at the owner.
+    pub delivered: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_fabric::{Fabric, FabricSpec, Topology};
+
+    fn world(nodes: usize) -> Arc<SmiWorld> {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(nodes),
+            ..FabricSpec::default()
+        });
+        SmiWorld::one_per_node(fabric)
+    }
+
+    #[test]
+    fn write_read_roundtrip_remote() {
+        let w = world(4);
+        let region = w.create_region(ProcId(1), 4096);
+        let writer = region.map(ProcId(0));
+        let reader = region.map(ProcId(2));
+        assert!(!writer.is_local());
+
+        let mut c = Clock::new();
+        writer
+            .write(&mut c, 100, b"one-sided", TransferMode::Pio)
+            .unwrap();
+        let t_write = c.now();
+        assert!(t_write > SimTime::ZERO);
+
+        let mut buf = [0u8; 9];
+        reader
+            .read(&mut c, 100, &mut buf, TransferMode::Pio)
+            .unwrap();
+        assert_eq!(&buf, b"one-sided");
+    }
+
+    #[test]
+    fn local_mapping_detected() {
+        let w = world(2);
+        let region = w.create_region(ProcId(0), 64);
+        assert!(region.map(ProcId(0)).is_local());
+        assert!(!region.map(ProcId(1)).is_local());
+    }
+
+    #[test]
+    fn intra_node_procs_share_locality() {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(2),
+            ..FabricSpec::default()
+        });
+        let w = SmiWorld::packed(fabric, 2); // procs 0,1 on node 0
+        let region = w.create_region(ProcId(0), 64);
+        assert!(region.map(ProcId(1)).is_local());
+        assert!(!region.map(ProcId(2)).is_local());
+    }
+
+    #[test]
+    fn auto_mode_picks_dma_for_large_remote() {
+        let w = world(2);
+        let region = w.create_region(ProcId(1), 2 << 20);
+        let h = region.map(ProcId(0));
+        assert_eq!(h.resolve(TransferMode::Auto, 1024), TransferMode::Pio);
+        assert_eq!(
+            h.resolve(TransferMode::Auto, AUTO_DMA_THRESHOLD),
+            TransferMode::Dma
+        );
+        // Local mappings never use the DMA engine.
+        let l = region.map(ProcId(1));
+        assert_eq!(
+            l.resolve(TransferMode::Auto, AUTO_DMA_THRESHOLD),
+            TransferMode::Pio
+        );
+    }
+
+    #[test]
+    fn dma_and_pio_both_deliver_bytes() {
+        let w = world(2);
+        let region = w.create_region(ProcId(1), 2 << 20);
+        let h = region.map(ProcId(0));
+        let data = vec![0xCDu8; 1 << 20];
+        let mut c = Clock::new();
+        h.write(&mut c, 0, &data, TransferMode::Dma).unwrap();
+        let mut out = vec![0u8; 1 << 20];
+        region.segment().mem().read(0, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn remote_read_slower_than_remote_write() {
+        let w = world(2);
+        let region = w.create_region(ProcId(1), 64 * 1024);
+        let h = region.map(ProcId(0));
+        let data = vec![1u8; 32 * 1024];
+        let mut cw = Clock::new();
+        h.write(&mut cw, 0, &data, TransferMode::Pio).unwrap();
+        let mut cr = Clock::new();
+        let mut buf = vec![0u8; 32 * 1024];
+        h.read(&mut cr, 0, &mut buf, TransferMode::Pio).unwrap();
+        assert!(cr.now() > cw.now(), "PIO read should cost more than write");
+    }
+
+    #[test]
+    fn out_of_bounds_surfaces_error() {
+        let w = world(2);
+        let region = w.create_region(ProcId(0), 16);
+        let h = region.map(ProcId(1));
+        let mut c = Clock::new();
+        assert!(h
+            .write(&mut c, 10, &[0u8; 16], TransferMode::Pio)
+            .is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Shared-memory synchronisation: spinlocks and barriers.
+//!
+//! SCI-MPICH performs the mutual exclusion required by passive- and
+//! active-target one-sided synchronisation "via shared memory locks and
+//! barriers" (§4.2, citing Schulz (reference 14)): the lock word lives in an SCI
+//! segment and is manipulated by transparent remote accesses. These
+//! primitives have very low latency under little contention — and the
+//! paper explicitly warns that contended locks should be avoided.
+//!
+//! In the simulation the *mutual exclusion itself* is provided by real
+//! process-wide primitives (the rank threads genuinely block), while the
+//! *cost* is charged to virtual clocks: a local acquisition costs an atomic
+//! RMW, a remote acquisition costs an SCI read (check) plus an SCI write
+//! (set); contended acquisitions additionally wait for the holder's
+//! virtual release time.
+
+use crate::{ProcId, SmiWorld};
+use parking_lot::{Condvar, Mutex};
+use simclock::{clock::barrier_release, Clock, SimDuration, SimTime};
+use std::sync::Arc;
+
+/// A lock whose lock word lives in the shared memory of `owner`'s node.
+#[derive(Debug)]
+pub struct SmiLock {
+    world: Arc<SmiWorld>,
+    owner: ProcId,
+    /// Virtual time at which the lock was last released, protected by the
+    /// real mutex that provides actual exclusion between rank threads.
+    state: Mutex<SimTime>,
+}
+
+/// Exclusive access to an [`SmiLock`]. Call [`SmiLockGuard::release`] to
+/// unlock with correct virtual-time accounting; dropping the guard without
+/// releasing unlocks too (so poisoned paths cannot deadlock) but then the
+/// next holder does not observe this holder's critical-section time.
+#[derive(Debug)]
+pub struct SmiLockGuard<'a> {
+    inner: Option<parking_lot::MutexGuard<'a, SimTime>>,
+}
+
+impl SmiLock {
+    /// Cost of a local (same-node) lock operation: one atomic RMW.
+    const LOCAL_OP: SimDuration = SimDuration::from_ns(120);
+
+    /// Create a lock resident at `owner`.
+    pub fn new(world: Arc<SmiWorld>, owner: ProcId) -> Self {
+        SmiLock {
+            world,
+            owner,
+            state: Mutex::new(SimTime::ZERO),
+        }
+    }
+
+    fn acquire_cost(&self, p: ProcId) -> SimDuration {
+        if self.world.same_node(p, self.owner) {
+            Self::LOCAL_OP
+        } else {
+            // Remote check (stalling read) + remote set (posted write +
+            // barrier).
+            let params = self.world.fabric().params();
+            let hops = self
+                .world
+                .fabric()
+                .topology()
+                .distance(self.world.node_of(p), self.world.node_of(self.owner));
+            params.read_stall + params.txn_overhead + params.wire_latency(hops)
+                + params.store_barrier
+        }
+    }
+
+    /// Acquire the lock for process `p`, blocking the calling thread until
+    /// the real mutex is free and charging `clock` for the SCI traffic and
+    /// for any virtual wait on the previous holder.
+    pub fn acquire<'a>(&'a self, clock: &mut Clock, p: ProcId) -> SmiLockGuard<'a> {
+        let guard = self.state.lock();
+        // Wait (in virtual time) for the previous holder's release.
+        clock.merge(*guard);
+        clock.advance(self.acquire_cost(p));
+        SmiLockGuard {
+            inner: Some(guard),
+        }
+    }
+
+    /// Try to acquire without blocking the thread. Charges the probe cost
+    /// either way (the remote check happens regardless of success).
+    pub fn try_acquire<'a>(&'a self, clock: &mut Clock, p: ProcId) -> Option<SmiLockGuard<'a>> {
+        let probe = self.acquire_cost(p);
+        match self.state.try_lock() {
+            Some(guard) => {
+                clock.merge(*guard);
+                clock.advance(probe);
+                Some(SmiLockGuard {
+                    inner: Some(guard),
+                })
+            }
+            None => {
+                clock.advance(probe);
+                None
+            }
+        }
+    }
+
+    /// The process whose node hosts the lock word.
+    pub fn owner(&self) -> ProcId {
+        self.owner
+    }
+}
+
+impl SmiLockGuard<'_> {
+    /// Unlock, recording the holder's current virtual time so the next
+    /// acquirer waits for it.
+    pub fn release(mut self, clock: &mut Clock) {
+        clock.advance(SmiLock::LOCAL_OP);
+        if let Some(mut inner) = self.inner.take() {
+            *inner = clock.now();
+        }
+    }
+}
+
+/// A barrier that synchronises both the real rank threads and their
+/// virtual clocks: everyone leaves with `clock.now()` equal to the common
+/// release time (latest arrival plus a logarithmic fan-in cost).
+#[derive(Debug)]
+pub struct TimeBarrier {
+    n: usize,
+    per_hop: SimDuration,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    max_arrival: SimTime,
+    release: SimTime,
+}
+
+impl TimeBarrier {
+    /// A barrier for `n` participants with a per-tree-level cost of
+    /// `per_hop` (use the fabric's store latency for SCI barriers).
+    pub fn new(n: usize, per_hop: SimDuration) -> Self {
+        assert!(n > 0, "a barrier needs at least one participant");
+        TimeBarrier {
+            n,
+            per_hop,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Enter the barrier; blocks the thread until all `n` participants
+    /// arrive, then merges every clock to the common release time.
+    /// Returns `true` on the "leader" (last arriver), mirroring
+    /// `std::sync::Barrier`.
+    pub fn wait(&self, clock: &mut Clock) -> bool {
+        let mut st = self.state.lock();
+        st.arrived += 1;
+        st.max_arrival = st.max_arrival.max(clock.now());
+        if st.arrived == self.n {
+            let arrivals = [st.max_arrival];
+            st.release = barrier_release(&arrivals, self.per_hop, self.n);
+            st.arrived = 0;
+            st.max_arrival = SimTime::ZERO;
+            st.generation += 1;
+            let release = st.release;
+            drop(st);
+            self.cv.notify_all();
+            clock.merge(release);
+            true
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            let release = st.release;
+            drop(st);
+            clock.merge(release);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sci_fabric::{Fabric, FabricSpec, Topology};
+    use std::thread;
+
+    fn world(nodes: usize) -> Arc<SmiWorld> {
+        let fabric = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(nodes),
+            ..FabricSpec::default()
+        });
+        SmiWorld::one_per_node(fabric)
+    }
+
+    #[test]
+    fn lock_provides_exclusion_across_threads() {
+        let w = world(4);
+        let lock = Arc::new(SmiLock::new(Arc::clone(&w), ProcId(0)));
+        let counter = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                let mut clock = Clock::new();
+                for _ in 0..250 {
+                    let g = lock.acquire(&mut clock, ProcId(p));
+                    {
+                        let mut c = counter.lock();
+                        *c += 1;
+                    }
+                    clock.advance(SimDuration::from_ns(50));
+                    g.release(&mut clock);
+                }
+                clock.now()
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 1000);
+    }
+
+    #[test]
+    fn remote_acquire_costs_more_than_local() {
+        let w = world(4);
+        let lock = SmiLock::new(Arc::clone(&w), ProcId(0));
+        let mut local = Clock::new();
+        lock.acquire(&mut local, ProcId(0)).release(&mut local);
+        let mut remote = Clock::new();
+        lock.acquire(&mut remote, ProcId(3)).release(&mut remote);
+        assert!(
+            remote.now().as_ps() > 3 * local.now().as_ps(),
+            "remote {:?} vs local {:?}",
+            remote.now(),
+            local.now()
+        );
+    }
+
+    #[test]
+    fn second_holder_waits_virtually_for_first() {
+        let w = world(2);
+        let lock = SmiLock::new(Arc::clone(&w), ProcId(0));
+        let mut c0 = Clock::new();
+        let g = lock.acquire(&mut c0, ProcId(0));
+        c0.advance(SimDuration::from_us(100)); // long critical section
+        g.release(&mut c0);
+
+        let mut c1 = Clock::new(); // starts at t=0
+        let g = lock.acquire(&mut c1, ProcId(1));
+        g.release(&mut c1);
+        assert!(
+            c1.now() >= SimTime::ZERO + SimDuration::from_us(100),
+            "waiter did not observe holder's critical section: {:?}",
+            c1.now()
+        );
+    }
+
+    #[test]
+    fn try_acquire_fails_when_held() {
+        let w = world(2);
+        let lock = SmiLock::new(Arc::clone(&w), ProcId(0));
+        let mut c0 = Clock::new();
+        let g = lock.acquire(&mut c0, ProcId(0));
+        let mut c1 = Clock::new();
+        assert!(lock.try_acquire(&mut c1, ProcId(1)).is_none());
+        // The failed probe still cost time.
+        assert!(c1.now() > SimTime::ZERO);
+        g.release(&mut c0);
+        assert!(lock.try_acquire(&mut c1, ProcId(1)).is_some());
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let barrier = Arc::new(TimeBarrier::new(4, SimDuration::from_us(1)));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let barrier = Arc::clone(&barrier);
+            handles.push(thread::spawn(move || {
+                let mut clock = Clock::new();
+                clock.advance(SimDuration::from_us(10 * i)); // skewed arrivals
+                barrier.wait(&mut clock);
+                clock.now()
+            }));
+        }
+        let times: Vec<SimTime> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Everyone leaves at the same virtual time, at or after the latest
+        // arrival (30us).
+        assert!(times.iter().all(|t| *t == times[0]));
+        assert!(times[0] >= SimTime::ZERO + SimDuration::from_us(30));
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let barrier = Arc::new(TimeBarrier::new(2, SimDuration::from_us(1)));
+        for round in 0..3u64 {
+            let b = Arc::clone(&barrier);
+            let t = thread::spawn(move || {
+                let mut c = Clock::new();
+                c.advance(SimDuration::from_us(round * 5));
+                b.wait(&mut c);
+                c.now()
+            });
+            let mut c = Clock::new();
+            c.advance(SimDuration::from_us(100));
+            barrier.wait(&mut c);
+            let other = t.join().unwrap();
+            assert_eq!(other, c.now(), "round {round}");
+        }
+    }
+
+    #[test]
+    fn single_party_barrier_is_nonblocking() {
+        let barrier = TimeBarrier::new(1, SimDuration::from_us(1));
+        let mut c = Clock::new();
+        assert!(barrier.wait(&mut c));
+        assert!(barrier.wait(&mut c));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_party_barrier_panics() {
+        let _ = TimeBarrier::new(0, SimDuration::ZERO);
+    }
+}

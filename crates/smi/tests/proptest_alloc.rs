@@ -1,0 +1,101 @@
+//! Property-based tests of the shared-region allocator: any interleaving
+//! of allocations and frees preserves the free-list invariants, never
+//! hands out overlapping blocks, and always recovers the full capacity.
+
+use proptest::prelude::*;
+use smi::alloc::ALLOC_ALIGN;
+use smi::ShregAllocator;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(usize),
+    FreeIdx(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..5000).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeIdx),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn allocator_never_overlaps_and_recovers(ops in ops(), cap_kib in 1usize..64) {
+        let capacity = cap_kib * 1024;
+        let mut a = ShregAllocator::new(capacity);
+        let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, requested)
+
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Ok(off) = a.alloc(len) {
+                        prop_assert_eq!(off % ALLOC_ALIGN, 0, "misaligned offset");
+                        let rounded = len.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+                        prop_assert!(off + rounded <= capacity, "block outside region");
+                        // No overlap with any live block.
+                        for &(o, l) in &live {
+                            let r = l.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+                            prop_assert!(
+                                off + rounded <= o || o + r <= off,
+                                "overlap: [{off},{}) with [{o},{})",
+                                off + rounded,
+                                o + r
+                            );
+                        }
+                        live.push((off, len));
+                    }
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let (off, _) = live.remove(i % live.len());
+                        prop_assert!(a.free(off).is_ok(), "valid free rejected");
+                    }
+                }
+            }
+            prop_assert!(a.used() <= a.capacity());
+            prop_assert_eq!(a.live_count(), live.len());
+        }
+
+        // Free the rest; full capacity must come back as one block.
+        for (off, _) in live {
+            prop_assert!(a.free(off).is_ok());
+        }
+        prop_assert_eq!(a.used(), 0);
+        prop_assert_eq!(a.largest_free(), capacity);
+    }
+
+    #[test]
+    fn double_free_always_rejected(len in 1usize..1000) {
+        let mut a = ShregAllocator::new(1 << 16);
+        let off = a.alloc(len).unwrap();
+        a.free(off).unwrap();
+        prop_assert!(a.free(off).is_err());
+    }
+
+    #[test]
+    fn alloc_respects_exhaustion(lens in proptest::collection::vec(1usize..2048, 1..100)) {
+        let capacity = 16 * 1024;
+        let mut a = ShregAllocator::new(capacity);
+        let mut total = 0usize;
+        for len in lens {
+            let rounded = len.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+            match a.alloc(len) {
+                Ok(_) => {
+                    total += rounded;
+                    prop_assert!(total <= capacity, "over-allocated");
+                }
+                Err(_) => {
+                    // Exhaustion must be consistent with accounting:
+                    // a failure means no free block of `rounded` exists.
+                    prop_assert!(a.largest_free() < rounded);
+                }
+            }
+        }
+    }
+}

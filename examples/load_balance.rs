@@ -1,0 +1,93 @@
+//! Dynamic load balancing with passive-target RMA — the paper's second
+//! motivating use case (§4: "dynamic load balancing with strongly varying
+//! task sizes, e.g. in computational chemistry").
+//!
+//! A global task counter lives in rank 0's window. Workers grab the next
+//! task index with a lock/accumulate/read critical section (an atomic
+//! fetch-and-add built from MPI-2 primitives) and process tasks of wildly
+//! varying cost. No rank ever polls for requests — exactly the point of
+//! one-sided communication.
+//!
+//! Run: `cargo run --release --example load_balance`
+
+use mpi_datatype::typed;
+use scimpi::{run, AccumulateOp, ClusterSpec, ReduceOp, WinMemory};
+use simclock::{SimDuration, SplitMix64};
+
+const TASKS: usize = 200;
+
+fn main() {
+    let ranks = 4;
+    let results = run(ClusterSpec::ringlet(ranks), move |r| {
+        let me = r.rank();
+        // Window: one i64 counter at rank 0 (everyone contributes their
+        // 8 bytes so the window exists everywhere; only rank 0's is used).
+        let mem = r.alloc_mem(8);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.write_local(r, 0, &0i64.to_le_bytes());
+        win.fence(r);
+
+        // Deterministic per-task costs, heavy-tailed: most tasks cheap,
+        // a few 50x more expensive.
+        let mut rng = SplitMix64::new(777);
+        let costs: Vec<u64> = (0..TASKS)
+            .map(|_| {
+                if rng.chance(0.08) {
+                    2500 + rng.next_below(2500)
+                } else {
+                    30 + rng.next_below(90)
+                }
+            })
+            .collect();
+
+        let mut done = Vec::new();
+        loop {
+            // Atomic fetch-and-add(1) on the global counter: lock the
+            // target, read the value, bump it, unlock.
+            let task = win.locked(r, 0, |w, r| {
+                let mut cur = [0u8; 8];
+                w.get(r, 0, 0, &mut cur).expect("counter read");
+                let t = i64::from_le_bytes(cur);
+                w.accumulate(r, 0, 0, AccumulateOp::SumI64, &1i64.to_le_bytes())
+                    .expect("counter bump");
+                t
+            });
+            if task as usize >= TASKS {
+                break;
+            }
+            // "Process" the task: charge its virtual cost.
+            r.compute(SimDuration::from_us(costs[task as usize]));
+            done.push(task as usize);
+        }
+        r.barrier();
+        let my_work: f64 = done.iter().map(|&t| costs[t] as f64).sum();
+        let totals = r.allreduce_f64(&[my_work, done.len() as f64], ReduceOp::Sum);
+        let finish = r.now();
+        (me, done, my_work, totals, finish)
+    });
+
+    println!("dynamic load balancing: {TASKS} heavy-tailed tasks over {ranks} workers\n");
+    let mut all_tasks: Vec<usize> = Vec::new();
+    let total_work = results[0].3[0];
+    for (me, done, my_work, totals, finish) in &results {
+        assert_eq!(totals[1] as usize, TASKS, "task count mismatch");
+        println!(
+            "rank {me}: {:>3} tasks, {:>7.0} us work ({:>4.1}% of total), finished at {}",
+            done.len(),
+            my_work.abs(),
+            (100.0 * my_work / total_work).abs(),
+            finish
+        );
+        all_tasks.extend(done.iter().copied());
+    }
+    // Every task executed exactly once.
+    all_tasks.sort_unstable();
+    let expected: Vec<usize> = (0..TASKS).collect();
+    assert_eq!(all_tasks, expected, "tasks lost or duplicated");
+
+    let finishes: Vec<f64> = results.iter().map(|r| r.4.as_ps() as f64).collect();
+    let imbalance = finishes.iter().cloned().fold(0.0, f64::max)
+        / (finishes.iter().sum::<f64>() / finishes.len() as f64);
+    println!("\nevery task ran exactly once; finish-time imbalance {imbalance:.3}");
+    println!("(self-scheduling keeps it near 1.0 despite the 50x cost spread)");
+}

@@ -1,0 +1,103 @@
+//! Sparse matrix-vector product with one-sided communication — the
+//! irregular-data use case that motivates MPI-2 RMA in §4 of the paper.
+//!
+//! The vector `x` is distributed across ranks; the sparse matrix rows
+//! owned by each rank reference arbitrary (irregular) entries of `x`.
+//! With two-sided communication every rank would need to service
+//! requests for its piece; with one-sided `MPI_Get` each rank simply
+//! fetches the entries it needs from the exposed windows.
+//!
+//! Run: `cargo run --release --example sparse_matrix`
+
+use mpi_datatype::typed;
+use scimpi::{run, ClusterSpec, WinMemory};
+use simclock::{SimDuration, SplitMix64};
+
+const N: usize = 2048; // global vector length
+const ROWS_PER_RANK: usize = 128;
+const NNZ_PER_ROW: usize = 12;
+
+fn main() {
+    let ranks = 4;
+    let local_n = N / ranks;
+    let results = run(ClusterSpec::ringlet(ranks), move |r| {
+        let me = r.rank();
+        // --- distributed vector x in a window -------------------------
+        let x_local: Vec<f64> = (0..local_n)
+            .map(|i| ((me * local_n + i) as f64).sin())
+            .collect();
+        let mem = r.alloc_mem(local_n * 8);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.write_local(r, 0, &typed::to_bytes(&x_local));
+        win.fence(r);
+
+        // --- my sparse rows (deterministic random pattern) ------------
+        let mut rng = SplitMix64::new(0xBEEF + me as u64);
+        let rows: Vec<Vec<(usize, f64)>> = (0..ROWS_PER_RANK)
+            .map(|_| {
+                (0..NNZ_PER_ROW)
+                    .map(|_| {
+                        let col = rng.next_below(N as u64) as usize;
+                        let val = rng.next_f64() * 2.0 - 1.0;
+                        (col, val)
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // --- one-sided gather of the needed x entries ------------------
+        let t0 = r.now();
+        let mut fetched = std::collections::HashMap::<usize, f64>::new();
+        for row in &rows {
+            for &(col, _) in row {
+                if fetched.contains_key(&col) {
+                    continue;
+                }
+                let owner = col / local_n;
+                let off = (col % local_n) * 8;
+                let v = if owner == me {
+                    x_local[col % local_n]
+                } else {
+                    let mut buf = [0u8; 8];
+                    win.get(r, owner, off, &mut buf).expect("get in range");
+                    f64::from_le_bytes(buf)
+                };
+                fetched.insert(col, v);
+            }
+        }
+        win.fence(r);
+        let gather_time = r.now() - t0;
+
+        // --- local SpMV ------------------------------------------------
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|row| row.iter().map(|&(c, v)| v * fetched[&c]).sum())
+            .collect();
+        r.compute(SimDuration::from_us(30));
+
+        // --- verification against a serial reference -------------------
+        let x_global: Vec<f64> = (0..N).map(|i| (i as f64).sin()).collect();
+        let y_ref: Vec<f64> = rows
+            .iter()
+            .map(|row| row.iter().map(|&(c, v)| v * x_global[c]).sum())
+            .collect();
+        let max_err = y
+            .iter()
+            .zip(&y_ref)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        let remote = fetched.len();
+        (me, gather_time, remote, max_err)
+    });
+
+    println!("sparse matrix-vector product, {ranks} ranks, {N} global entries");
+    println!("{ROWS_PER_RANK} rows x {NNZ_PER_ROW} nnz per rank, one-sided gathers\n");
+    for (me, t, fetched, err) in results {
+        assert!(err < 1e-12, "rank {me} verification failed: err {err}");
+        println!(
+            "rank {me}: fetched {fetched:>4} distinct entries in {:>10}  (max err {err:.1e})",
+            format!("{t}")
+        );
+    }
+    println!("\nall ranks verified against the serial reference.");
+}

@@ -1,0 +1,30 @@
+//! # sci-mpich-repro — umbrella crate
+//!
+//! A reproduction of *"Exploiting Transparent Remote Memory Access for
+//! Non-Contiguous- and One-Sided-Communication"* (Worringen, Gäer, Reker;
+//! IPPS 2002) as a Rust workspace. This umbrella crate re-exports the
+//! member crates and hosts the runnable examples and the cross-crate
+//! integration tests.
+//!
+//! Layer map (bottom-up):
+//!
+//! * [`simclock`] — virtual time, clocks, statistics;
+//! * [`sci_fabric`] — the simulated SCI interconnect (segments, PIO
+//!   streams, DMA, ring contention, fault injection);
+//! * [`smi`] — the Shared Memory Interface abstraction (regions, locks,
+//!   barriers, allocator);
+//! * [`mpi_datatype`] — derived datatypes, generic pack engine, and
+//!   `direct_pack_ff`;
+//! * [`scimpi`] — the MPI runtime (two-sided protocols, collectives,
+//!   MPI-2 one-sided communication);
+//! * [`baselines`] — analytic models of the paper's comparison platforms.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use baselines;
+pub use mpi_datatype;
+pub use sci_fabric;
+pub use scimpi;
+pub use simclock;
+pub use smi;

@@ -1,0 +1,106 @@
+//! The §5.3 outlook: systems built from multiple 8-node ringlets
+//! ("with 3D-torus topology … a 512 nodes system"). These tests exercise
+//! the multi-ring topology end to end: routing, switch-crossing costs,
+//! and whole-application correctness on 2–4 ringlets.
+
+use scimpi::{run, ClusterSpec, ReduceOp, Source, TagSel, WinMemory};
+use simclock::SimDuration;
+
+#[test]
+fn collectives_across_rings() {
+    // 3 ringlets of 4: collectives span the switch transparently.
+    let out = run(ClusterSpec::multi_ring(3, 4), |r| {
+        assert_eq!(r.size(), 12);
+        let sum = r.allreduce_f64(&[r.rank() as f64], ReduceOp::Sum);
+        let mut token = vec![0u8; 8];
+        if r.rank() == 0 {
+            token = 0xDEADBEEFu64.to_le_bytes().to_vec();
+        }
+        r.bcast(0, &mut token);
+        (sum[0], u64::from_le_bytes(token.try_into().expect("8 bytes")))
+    });
+    let expect: f64 = (0..12).map(|i| i as f64).sum();
+    assert!(out.iter().all(|&(s, t)| s == expect && t == 0xDEADBEEF));
+}
+
+#[test]
+fn one_sided_across_the_switch() {
+    run(ClusterSpec::multi_ring(2, 4), |r| {
+        let mem = r.alloc_mem(256);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        // Rank 0 (ring 0) puts into rank 5 (ring 1) and vice versa.
+        if r.rank() == 0 {
+            win.put(r, 5, 0, &[0xA1; 32]).unwrap();
+        } else if r.rank() == 5 {
+            win.put(r, 0, 0, &[0xB2; 32]).unwrap();
+        }
+        win.fence(r);
+        if r.rank() == 5 {
+            let mut b = [0u8; 32];
+            win.read_local(r, 0, &mut b);
+            assert!(b.iter().all(|&x| x == 0xA1));
+        }
+        if r.rank() == 0 {
+            let mut b = [0u8; 32];
+            win.read_local(r, 0, &mut b);
+            assert!(b.iter().all(|&x| x == 0xB2));
+        }
+        win.fence(r);
+    });
+}
+
+#[test]
+fn cross_ring_latency_exceeds_intra_ring() {
+    let out = run(ClusterSpec::multi_ring(2, 4), |r| {
+        let mut lat = SimDuration::ZERO;
+        // Intra-ring pingpong 0<->1; cross-ring pingpong 2<->6.
+        let pairs = [(0usize, 1usize, 10), (2, 6, 20)];
+        for &(a, b, tag) in &pairs {
+            let mut buf = [0u8; 64];
+            if r.rank() == a {
+                let t0 = r.now();
+                r.send(b, tag, &buf);
+                r.recv(Source::Rank(b), TagSel::Value(tag), &mut buf);
+                lat = r.now() - t0;
+            } else if r.rank() == b {
+                r.recv(Source::Rank(a), TagSel::Value(tag), &mut buf);
+                r.send(a, tag, &buf);
+            }
+            r.barrier();
+        }
+        lat
+    });
+    assert!(
+        out[2] > out[0],
+        "cross-ring rtt {:?} should exceed intra-ring {:?}",
+        out[2],
+        out[0]
+    );
+}
+
+#[test]
+fn large_system_smoke() {
+    // 8 ringlets of 8 = 64 ranks: a slice of the 512-node outlook.
+    let out = run(ClusterSpec::multi_ring(8, 8), |r| {
+        let n = r.size();
+        assert_eq!(n, 64);
+        // Nearest-neighbour exchange plus a global reduction.
+        let next = (r.rank() + 1) % n;
+        let prev = (r.rank() + n - 1) % n;
+        let mine = vec![r.rank() as u8; 512];
+        let mut got = vec![0u8; 512];
+        r.sendrecv(
+            next,
+            3,
+            scimpi::SendData::Bytes(&mine),
+            Source::Rank(prev),
+            TagSel::Value(3),
+            scimpi::RecvBuf::Bytes(&mut got),
+        );
+        assert!(got.iter().all(|&b| b == prev as u8));
+        let total = r.allreduce_f64(&[1.0], ReduceOp::Sum);
+        total[0] as usize
+    });
+    assert!(out.iter().all(|&v| v == 64));
+}
