@@ -15,6 +15,4 @@
 pub mod model;
 pub mod platforms;
 
-pub use model::{
-    NoncontigQuirk, OscModel, OscSupport, Platform, ScalingModel, TwoSidedModel,
-};
+pub use model::{NoncontigQuirk, OscModel, OscSupport, Platform, ScalingModel, TwoSidedModel};

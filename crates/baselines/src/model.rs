@@ -63,8 +63,8 @@ impl TwoSidedModel {
     /// `blocksize` with the generic pack-and-send technique.
     pub fn noncontig_time(&self, bytes: usize, blocksize: usize) -> SimDuration {
         let blocks = bytes.div_ceil(blocksize.max(1));
-        let pack_one = self.per_block.saturating_mul(blocks as u64)
-            + self.copy_bw.cost(bytes as u64);
+        let pack_one =
+            self.per_block.saturating_mul(blocks as u64) + self.copy_bw.cost(bytes as u64);
         self.contiguous_time(bytes) + pack_one.saturating_mul(self.pack_copies as u64)
     }
 

@@ -9,9 +9,7 @@
 //! PCI ~110 MiB/s, T3E links ~300 MiB/s, Sun Fire 6800 backplane in the
 //! GB/s class). Shapes matter, not decimals — see DESIGN.md.
 
-use crate::model::{
-    NoncontigQuirk, OscModel, OscSupport, Platform, ScalingModel, TwoSidedModel,
-};
+use crate::model::{NoncontigQuirk, OscModel, OscSupport, Platform, ScalingModel, TwoSidedModel};
 use simclock::{Bandwidth, SimDuration};
 
 /// Cray T3E-1200, custom interconnect, Cray MPI (ID "C").

@@ -9,7 +9,8 @@
 
 use baselines::platforms;
 use repro_bench::{
-    internode_spec, intranode_spec, noncontig_bandwidth, sweep, NoncontigCase, NONCONTIG_TOTAL,
+    internode_spec, intranode_spec, noncontig_bandwidth, sweep, BenchDoc, NoncontigCase,
+    NONCONTIG_TOTAL,
 };
 use simclock::stats::{fmt_bytes, series_table, Series, Table};
 
@@ -52,23 +53,43 @@ fn main() {
     for &b in &blocks {
         sci_nc.push(
             b as f64,
-            noncontig_bandwidth(internode_spec(), NoncontigCase::DirectPackFf, b, NONCONTIG_TOTAL)
-                .mib_per_sec(),
+            noncontig_bandwidth(
+                internode_spec(),
+                NoncontigCase::DirectPackFf,
+                b,
+                NONCONTIG_TOTAL,
+            )
+            .mib_per_sec(),
         );
         sci_c.push(
             b as f64,
-            noncontig_bandwidth(internode_spec(), NoncontigCase::Contiguous, b, NONCONTIG_TOTAL)
-                .mib_per_sec(),
+            noncontig_bandwidth(
+                internode_spec(),
+                NoncontigCase::Contiguous,
+                b,
+                NONCONTIG_TOTAL,
+            )
+            .mib_per_sec(),
         );
         shm_nc.push(
             b as f64,
-            noncontig_bandwidth(intranode_spec(), NoncontigCase::DirectPackFf, b, NONCONTIG_TOTAL)
-                .mib_per_sec(),
+            noncontig_bandwidth(
+                intranode_spec(),
+                NoncontigCase::DirectPackFf,
+                b,
+                NONCONTIG_TOTAL,
+            )
+            .mib_per_sec(),
         );
         shm_c.push(
             b as f64,
-            noncontig_bandwidth(intranode_spec(), NoncontigCase::Contiguous, b, NONCONTIG_TOTAL)
-                .mib_per_sec(),
+            noncontig_bandwidth(
+                intranode_spec(),
+                NoncontigCase::Contiguous,
+                b,
+                NONCONTIG_TOTAL,
+            )
+            .mib_per_sec(),
         );
         eprint!(".");
     }
@@ -89,6 +110,12 @@ fn main() {
         series.push(c);
     }
     println!("{}", series_table("block[B]", fmt_bytes, &series).render());
+
+    let mut doc = BenchDoc::new("fig10_noncontig_platforms");
+    for s in &series {
+        doc.push_bw_series(s);
+    }
+    doc.write_and_report();
 
     println!("observations reproduced (paper section 5.3):");
     println!("  - no platform's generic engine keeps nc near c across the sweep;");

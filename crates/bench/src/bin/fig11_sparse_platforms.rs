@@ -5,7 +5,7 @@
 
 use baselines::platforms;
 use baselines::OscSupport;
-use repro_bench::{internode_spec, sparse, sweep, SparseDir, SPARSE_WINDOW};
+use repro_bench::{internode_spec, sparse, sweep, BenchDoc, BenchPoint, SparseDir, SPARSE_WINDOW};
 use simclock::stats::{fmt_bytes, series_table, Series};
 
 fn main() {
@@ -58,6 +58,16 @@ fn main() {
     println!("{}", series_table("access[B]", fmt_bytes, &lat).render());
     println!("== Figure 11 (bottom): bandwidth [MiB/s] ==\n");
     println!("{}", series_table("access[B]", fmt_bytes, &bw).render());
+
+    // Latency and bandwidth curves share labels and x values: merge each
+    // pair into one series of complete points.
+    let mut doc = BenchDoc::new("fig11_sparse_platforms");
+    for (l, b) in lat.iter().zip(&bw) {
+        for (&(x, us), &(_, mbps)) in l.points.iter().zip(&b.points) {
+            doc.push(&l.label, BenchPoint::at(x).mean_us(us).mbps(mbps));
+        }
+    }
+    doc.write_and_report();
 
     // §5.3 VIA comparison at 1024 B.
     let via = platforms::by_id("VIA").expect("VIA model present");

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release -p repro-bench --bin fig12_scaling`
 
 use baselines::platforms;
-use repro_bench::scaling_put_bandwidth;
+use repro_bench::{scaling_put_bandwidth, BenchDoc};
 use scimpi::ClusterSpec;
 use simclock::stats::{series_table, Series};
 
@@ -40,8 +40,14 @@ fn main() {
     let mut series = vec![sci, sci200];
     for id in ["C", "F-s", "X-s"] {
         let p = platforms::by_id(id).expect("platform");
-        let mut s = Series::new(format!("{id}"));
-        let max_n = if id == "C" { 32 } else if id == "F-s" { 24 } else { 4 };
+        let mut s = Series::new(id.to_string());
+        let max_n = if id == "C" {
+            32
+        } else if id == "F-s" {
+            24
+        } else {
+            4
+        };
         let mut n = 2usize;
         while n <= max_n {
             s.push(n as f64, p.scaled_put_bw(n, access).mib_per_sec());
@@ -53,6 +59,12 @@ fn main() {
         "{}",
         series_table("procs", |x| format!("{}", x as usize), &series).render()
     );
+
+    let mut doc = BenchDoc::new("fig12_scaling");
+    for s in &series {
+        doc.push_bw_series(s);
+    }
+    doc.write_and_report();
 
     println!("observations reproduced:");
     println!("  - SCI constant ~120 MiB/s per node up to 5 nodes, then the 166 MHz");

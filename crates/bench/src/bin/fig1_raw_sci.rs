@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p repro-bench --bin fig1_raw_sci`
 
-use repro_bench::sweep;
+use repro_bench::{sweep, BenchDoc, BenchPoint};
 use sci_fabric::{Fabric, FabricSpec, NodeId};
 use simclock::stats::{fmt_bytes, series_table, Series};
 use simclock::{Bandwidth, Clock, SimTime};
@@ -39,9 +39,10 @@ fn main() {
         let c = dma.write(&mut clock, 0, &data).unwrap();
         lat_dma.push(size as f64, (c.done - SimTime::ZERO).as_us_f64());
     }
+    let lat_series = [lat_write, lat_read, lat_dma];
     println!(
         "{}",
-        series_table("size[B]", fmt_bytes, &[lat_write, lat_read, lat_dma]).render()
+        series_table("size[B]", fmt_bytes, &lat_series).render()
     );
 
     println!("== Figure 1 (bottom): bandwidth [MiB/s] ==\n");
@@ -86,10 +87,29 @@ fn main() {
             Bandwidth::observed(size as u64, clock.now() - SimTime::ZERO).mib_per_sec(),
         );
     }
+    let bw_series = [bw_write, bw_read, bw_dma, bw_local];
     println!(
         "{}",
-        series_table("size[B]", fmt_bytes, &[bw_write, bw_read, bw_dma, bw_local]).render()
+        series_table("size[B]", fmt_bytes, &bw_series).render()
     );
+
+    // The two sweeps use different size ranges, so keep them apart.
+    let mut doc = BenchDoc::new("fig1_raw_sci");
+    for s in &lat_series {
+        for &(x, y) in &s.points {
+            doc.push(
+                &format!("latency {}", s.label),
+                BenchPoint::at(x).mean_us(y),
+            );
+        }
+    }
+    for s in &bw_series {
+        for &(x, y) in &s.points {
+            doc.push(&format!("bandwidth {}", s.label), BenchPoint::at(x).mbps(y));
+        }
+    }
+    doc.write_and_report();
+
     println!("note: PIO-write dip past 128k reproduces the ServerSet III LE");
     println!("memory-bandwidth ceiling (paper footnote 2); PIO read is the");
     println!("stalling path that motivates remote-put gets (section 4.2).");

@@ -9,8 +9,10 @@
 //! Run: `cargo run --release -p repro-bench --bin fig7_noncontig`
 
 use repro_bench::{
-    internode_spec, intranode_spec, noncontig_bandwidth, sweep, NoncontigCase, NONCONTIG_TOTAL,
+    internode_spec, intranode_spec, noncontig_bandwidth, sweep, BenchDoc, BenchPoint,
+    NoncontigCase, NONCONTIG_TOTAL,
 };
+use scimpi::ObsConfig;
 use simclock::stats::{fmt_bytes, series_table, Series};
 
 fn main() {
@@ -39,10 +41,27 @@ fn main() {
         eprint!(".");
     }
     eprintln!();
-    println!(
-        "{}",
-        series_table("block[B]", fmt_bytes, &series).render()
+    println!("{}", series_table("block[B]", fmt_bytes, &series).render());
+
+    let mut doc = BenchDoc::new("fig7_noncontig");
+    for s in &series {
+        for &(x, mbps) in &s.points {
+            // One transfer moves the full 256 kiB payload; its mean
+            // virtual time follows from the bandwidth.
+            let mean_us = NONCONTIG_TOTAL as f64 / (mbps * 1024.0 * 1024.0) * 1e6;
+            doc.push(&s.label, BenchPoint::at(x).mbps(mbps).mean_us(mean_us));
+        }
+    }
+    doc.write_and_report();
+
+    // A representative traced run: rerun one point with the recorder on
+    // so the Chrome trace and counter dump land next to the JSON table.
+    let traced = internode_spec().with_obs(
+        ObsConfig::with_trace("TRACE_fig7_noncontig.json")
+            .and_counters("COUNTERS_fig7_noncontig.jsonl"),
     );
+    noncontig_bandwidth(traced, NoncontigCase::DirectPackFf, 128, NONCONTIG_TOTAL);
+    println!("wrote TRACE_fig7_noncontig.json, COUNTERS_fig7_noncontig.jsonl");
 
     // The paper's headline observations, checked numerically:
     let at = |s: &Series, x: usize| s.at(x as f64).unwrap_or(0.0);
@@ -57,7 +76,10 @@ fn main() {
         "  ff/contiguous at 128 B = {:.2} (paper: ~0.9)",
         ff128 / contig128
     );
-    println!("  ff/generic at 16 B    = {:.2} (paper: >= 2)", ff16 / gen16);
+    println!(
+        "  ff/generic at 16 B    = {:.2} (paper: >= 2)",
+        ff16 / gen16
+    );
     println!(
         "  generic vs ff at 8 B  = {:.2} vs {:.2} MiB/s (paper: generic faster inter-node)",
         gen8, ff8

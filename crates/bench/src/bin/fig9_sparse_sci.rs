@@ -10,7 +10,8 @@
 //!
 //! Run: `cargo run --release -p repro-bench --bin fig9_sparse_sci`
 
-use repro_bench::{internode_spec, sparse, sweep, SparseDir, SPARSE_WINDOW};
+use repro_bench::{internode_spec, sparse, sweep, BenchDoc, BenchPoint, SparseDir, SPARSE_WINDOW};
+use scimpi::ObsConfig;
 use simclock::stats::{fmt_bytes, series_table, Series};
 
 fn main() {
@@ -22,16 +23,32 @@ fn main() {
     ];
     let mut lat: Vec<Series> = configs.iter().map(|(n, _, _)| Series::new(*n)).collect();
     let mut bw: Vec<Series> = configs.iter().map(|(n, _, _)| Series::new(*n)).collect();
+    let mut doc = BenchDoc::new("fig9_sparse_sci");
 
     for access in sweep(8, 64 * 1024) {
-        for (i, (_, dir, shared)) in configs.iter().enumerate() {
+        for (i, (name, dir, shared)) in configs.iter().enumerate() {
             let res = sparse(internode_spec(), *dir, access, SPARSE_WINDOW, *shared);
             lat[i].push(access as f64, res.latency.as_us_f64());
             bw[i].push(access as f64, res.bandwidth.mib_per_sec());
+            doc.push(
+                name,
+                BenchPoint::at(access as f64)
+                    .mean_us(res.latency.as_us_f64())
+                    .mbps(res.bandwidth.mib_per_sec()),
+            );
         }
         eprint!(".");
     }
     eprintln!();
+    doc.write_and_report();
+
+    // Representative traced run (shared-window puts at 4 kiB accesses).
+    let traced = internode_spec().with_obs(
+        ObsConfig::with_trace("TRACE_fig9_sparse_sci.json")
+            .and_counters("COUNTERS_fig9_sparse_sci.jsonl"),
+    );
+    sparse(traced, SparseDir::Put, 4096, SPARSE_WINDOW, true);
+    println!("wrote TRACE_fig9_sparse_sci.json, COUNTERS_fig9_sparse_sci.jsonl");
 
     println!("== Figure 9 (top): latency per call [us] ==\n");
     println!("{}", series_table("access[B]", fmt_bytes, &lat).render());

@@ -11,11 +11,12 @@
 //! Run: `cargo run --release -p repro-bench --bin strided_write_study`
 //! Pass `--no-wc` for the write-combining-disabled variant.
 
+use repro_bench::BenchDoc;
 use sci_fabric::{Fabric, FabricSpec, NodeId, SciParams};
 use simclock::stats::{series_table, Series};
 use simclock::{Bandwidth, Clock, SimTime};
 
-fn run_study(params: SciParams, label: &str) {
+fn run_study(params: SciParams, label: &str, doc: &mut BenchDoc) {
     let fabric = Fabric::new(FabricSpec {
         params,
         ..FabricSpec::default()
@@ -41,10 +42,7 @@ fn run_study(params: SciParams, label: &str) {
                 .write_strided(&mut clock, 0, access, stride, count, &data)
                 .unwrap();
             stream.barrier(&mut clock);
-            let bw = Bandwidth::observed(
-                (access * count) as u64,
-                clock.now() - SimTime::ZERO,
-            );
+            let bw = Bandwidth::observed((access * count) as u64, clock.now() - SimTime::ZERO);
             s.push(stride as f64, bw.mib_per_sec());
         }
         series.push(s);
@@ -53,10 +51,17 @@ fn run_study(params: SciParams, label: &str) {
         "{}",
         series_table("stride[B]", |x| format!("{}", x as usize), &series).render()
     );
+    for s in &series {
+        doc.push_bw_series(s);
+    }
 
     // The paper's summary numbers.
     let min_max = |s: &Series| {
-        let min = s.points.iter().map(|(_, y)| *y).fold(f64::INFINITY, f64::min);
+        let min = s
+            .points
+            .iter()
+            .map(|(_, y)| *y)
+            .fold(f64::INFINITY, f64::min);
         (min, s.max_y())
     };
     let (min8, max8) = min_max(&series[0]);
@@ -68,14 +73,19 @@ fn run_study(params: SciParams, label: &str) {
 fn main() {
     let no_wc = std::env::args().any(|a| a == "--no-wc");
     if no_wc {
+        let mut doc = BenchDoc::new("strided_write_study_no_wc");
         run_study(
             SciParams::default().with_write_combining_disabled(),
             "write combining disabled",
+            &mut doc,
         );
         println!("\n(paper: disabling WC avoids the drops but costs ~50% bandwidth)");
+        doc.write_and_report();
     } else {
-        run_study(SciParams::default(), "write combining enabled");
+        let mut doc = BenchDoc::new("strided_write_study");
+        run_study(SciParams::default(), "write combining enabled", &mut doc);
         println!("\nstrides that are multiples of 32 (the P-III write-combine");
         println!("buffer) deliver the maxima; rerun with --no-wc to compare.");
+        doc.write_and_report();
     }
 }

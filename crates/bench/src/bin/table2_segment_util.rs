@@ -9,12 +9,12 @@
 //!
 //! Run: `cargo run --release -p repro-bench --bin table2_segment_util`
 
-use repro_bench::scaling_put_bandwidth;
+use repro_bench::{scaling_put_bandwidth, BenchDoc, BenchPoint};
 use sci_fabric::SciParams;
 use scimpi::ClusterSpec;
 use simclock::stats::Table;
 
-fn measure(params: SciParams, label: &str) {
+fn measure(params: SciParams, label: &str, doc: &mut BenchDoc) {
     let nominal = params.link_bandwidth.mib_per_sec();
     println!("== Table 2 ({label}, nominal link {nominal:.0} MiB/s) ==\n");
     let mut t = Table::new(vec![
@@ -32,6 +32,14 @@ fn measure(params: SciParams, label: &str) {
         let spec = || ClusterSpec::ringlet(8).with_params(params.clone());
         let neigh = scaling_put_bandwidth(spec(), n, 1, access, winsize).mib_per_sec();
         let sat = scaling_put_bandwidth(spec(), n, 7, access, winsize).mib_per_sec();
+        doc.push(
+            &format!("{label} 1 transfer per segment"),
+            BenchPoint::at(n as f64).mbps(neigh),
+        );
+        doc.push(
+            &format!("{label} saturating"),
+            BenchPoint::at(n as f64).mbps(sat),
+        );
         let offered_load = n as f64 * neigh / nominal;
         let eff = n as f64 * sat / nominal;
         t.push_row(vec![
@@ -50,12 +58,18 @@ fn measure(params: SciParams, label: &str) {
 }
 
 fn main() {
-    measure(SciParams::default(), "166 MHz links");
+    let mut doc = BenchDoc::new("table2_segment_util");
+    measure(SciParams::default(), "166 MHz links", &mut doc);
     println!("paper anchors: 1tr p.node constant ~120.8; sat p.node 120.7 ->");
     println!("62.78 from 4 to 8 nodes; load 152.5% with eff 79.3% at 8 nodes.\n");
 
-    measure(SciParams::default().with_link_200mhz(), "200 MHz links");
+    measure(
+        SciParams::default().with_link_200mhz(),
+        "200 MHz links",
+        &mut doc,
+    );
     println!("paper: the worst-case bandwidth increases linearly with the ring");
     println!("bandwidth, so 8 nodes per ringlet become reasonable (512-node");
     println!("systems with a 3D-torus of ringlets).");
+    doc.write_and_report();
 }

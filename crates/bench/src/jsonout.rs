@@ -1,0 +1,186 @@
+//! Machine-readable bench output — `BENCH_<name>.json` next to the text
+//! tables.
+//!
+//! Every binary emits one JSON document describing the same series the
+//! rendered table shows, so plots and regression checks can consume the
+//! numbers without scraping text:
+//!
+//! ```json
+//! {"bench":"fig7_noncontig","series":[
+//!   {"label":"SCI direct_pack_ff","points":[
+//!     {"x":8,"mean_us":1942.3,"stddev":null,"mbps":128.7}, ...]}, ...]}
+//! ```
+//!
+//! Fields that a benchmark does not measure are `null`. `mbps` carries
+//! the MiB/s value the tables print (the paper's unit); `mean_us` is the
+//! mean virtual time in microseconds; `stddev` is the sample standard
+//! deviation of that time where repetitions are measured individually.
+
+use obs::json::{escape, num};
+use simclock::stats::Series;
+use std::path::PathBuf;
+
+/// One measured point of one series.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchPoint {
+    /// Sweep coordinate (block size, access size, process count, ...).
+    pub x: f64,
+    /// Mean virtual latency in microseconds, if measured.
+    pub mean_us: Option<f64>,
+    /// Sample standard deviation of the latency, if measured.
+    pub stddev: Option<f64>,
+    /// Bandwidth in MiB/s, if measured.
+    pub mbps: Option<f64>,
+}
+
+impl BenchPoint {
+    /// A point at sweep coordinate `x` with no measurements yet.
+    pub fn at(x: f64) -> Self {
+        BenchPoint {
+            x,
+            ..Default::default()
+        }
+    }
+
+    /// Set the mean latency [µs].
+    pub fn mean_us(mut self, v: f64) -> Self {
+        self.mean_us = Some(v);
+        self
+    }
+
+    /// Set the latency standard deviation [µs].
+    pub fn stddev(mut self, v: f64) -> Self {
+        self.stddev = Some(v);
+        self
+    }
+
+    /// Set the bandwidth [MiB/s].
+    pub fn mbps(mut self, v: f64) -> Self {
+        self.mbps = Some(v);
+        self
+    }
+
+    fn to_json(self) -> String {
+        fn opt(v: Option<f64>) -> String {
+            v.map(num).unwrap_or_else(|| "null".to_string())
+        }
+        format!(
+            "{{\"x\":{},\"mean_us\":{},\"stddev\":{},\"mbps\":{}}}",
+            num(self.x),
+            opt(self.mean_us),
+            opt(self.stddev),
+            opt(self.mbps)
+        )
+    }
+}
+
+/// The JSON document one bench binary writes.
+#[derive(Debug, Default)]
+pub struct BenchDoc {
+    name: String,
+    series: Vec<(String, Vec<BenchPoint>)>,
+}
+
+impl BenchDoc {
+    /// A document for the binary `name` (`BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchDoc {
+            name: name.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Append `point` to the series `label`, creating it if new.
+    pub fn push(&mut self, label: &str, point: BenchPoint) {
+        match self.series.iter_mut().find(|(l, _)| l == label) {
+            Some((_, pts)) => pts.push(point),
+            None => self.series.push((label.to_string(), vec![point])),
+        }
+    }
+
+    /// Copy a whole bandwidth [`Series`] (y = MiB/s).
+    pub fn push_bw_series(&mut self, s: &Series) {
+        for &(x, y) in &s.points {
+            self.push(&s.label, BenchPoint::at(x).mbps(y));
+        }
+    }
+
+    /// Copy a whole latency [`Series`] (y = µs).
+    pub fn push_lat_series(&mut self, s: &Series) {
+        for &(x, y) in &s.points {
+            self.push(&s.label, BenchPoint::at(x).mean_us(y));
+        }
+    }
+
+    /// Render the whole document.
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|(label, pts)| {
+                let points: Vec<String> = pts.iter().map(|p| p.to_json()).collect();
+                format!(
+                    "{{\"label\":\"{}\",\"points\":[{}]}}",
+                    escape(label),
+                    points.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"{}\",\"series\":[\n{}\n]}}\n",
+            escape(&self.name),
+            series.join(",\n")
+        )
+    }
+
+    /// Write `BENCH_<name>.json` in the current directory and return the
+    /// path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// [`BenchDoc::write`], reporting the path (or the error) on stdout.
+    pub fn write_and_report(&self) {
+        match self.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("BENCH_{}.json not written: {e}", self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape() {
+        let mut doc = BenchDoc::new("unit");
+        doc.push("a", BenchPoint::at(8.0).mbps(12.5).mean_us(3.0));
+        doc.push("a", BenchPoint::at(16.0).mbps(25.0));
+        doc.push("b", BenchPoint::at(8.0).stddev(0.25));
+        let j = doc.to_json();
+        assert!(j.contains("\"bench\":\"unit\""));
+        assert!(j.contains("\"label\":\"a\""));
+        assert!(j.contains("{\"x\":8,\"mean_us\":3,\"stddev\":null,\"mbps\":12.500000}"));
+        assert!(j.contains("{\"x\":8,\"mean_us\":null,\"stddev\":0.250000,\"mbps\":null}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn series_copies() {
+        let mut s = Series::new("bw");
+        s.push(8.0, 100.0);
+        s.push(16.0, 200.0);
+        let mut doc = BenchDoc::new("unit");
+        doc.push_bw_series(&s);
+        doc.push_lat_series(&s);
+        let j = doc.to_json();
+        // Both copies land in the same labelled series, bandwidth first.
+        assert_eq!(j.matches("\"label\":\"bw\"").count(), 1);
+        assert!(j.contains("\"mbps\":200"));
+        assert!(j.contains("\"mean_us\":200"));
+    }
+}

@@ -17,6 +17,8 @@
 //! This library holds the shared workload generators and measurement
 //! loops so that every binary measures the *same* workloads the same way.
 
+pub mod jsonout;
 pub mod workloads;
 
+pub use jsonout::{BenchDoc, BenchPoint};
 pub use workloads::*;

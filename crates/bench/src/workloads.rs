@@ -17,7 +17,10 @@ pub const SPARSE_WINDOW: usize = 256 * 1024;
 /// bytes of doubles, stride twice the blocksize (equal data and gap),
 /// totalling `total` payload bytes.
 pub fn noncontig_type(blocksize: usize, total: usize) -> Committed {
-    assert!(blocksize % 8 == 0, "blocksize must hold whole doubles");
+    assert!(
+        blocksize.is_multiple_of(8),
+        "blocksize must hold whole doubles"
+    );
     let elems_per_block = blocksize / 8;
     let blocks = total / blocksize;
     let dt = Datatype::vector(
@@ -93,7 +96,14 @@ pub fn noncontig_bandwidth(
                 r.barrier();
                 let t0 = r.now();
                 for _ in 0..reps {
-                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &committed, 1, &mut buf, 0);
+                    r.recv_typed(
+                        Source::Rank(0),
+                        TagSel::Value(0),
+                        &committed,
+                        1,
+                        &mut buf,
+                        0,
+                    );
                 }
                 let elapsed = r.now() - t0;
                 r.barrier();
@@ -311,8 +321,12 @@ mod tests {
     #[test]
     fn ff_bandwidth_rises_with_blocksize() {
         let b16 = noncontig_bandwidth(internode_spec(), NoncontigCase::DirectPackFf, 16, 64 * 1024);
-        let b1k =
-            noncontig_bandwidth(internode_spec(), NoncontigCase::DirectPackFf, 1024, 64 * 1024);
+        let b1k = noncontig_bandwidth(
+            internode_spec(),
+            NoncontigCase::DirectPackFf,
+            1024,
+            64 * 1024,
+        );
         assert!(b1k.mib_per_sec() > 2.0 * b16.mib_per_sec());
     }
 

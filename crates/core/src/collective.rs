@@ -128,6 +128,9 @@ impl Rank {
         }
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[root] = mine.to_vec();
+        // Indexed loop: the body needs `&mut self` for recv, which rules
+        // out iterating `out` directly.
+        #[allow(clippy::needless_range_loop)]
         for src in 0..self.size {
             if src == root {
                 continue;

@@ -42,8 +42,8 @@ pub mod tuning;
 
 pub use collective::ReduceOp;
 pub use mailbox::{Source, Tag, TagSel};
-pub use osc::{AccumulateOp, Window, WinMemory};
+pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};
-pub use runtime::{run, ClusterSpec, Rank};
+pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource};
 pub use tuning::{NoncontigMode, Tuning};

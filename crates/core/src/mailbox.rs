@@ -12,9 +12,9 @@
 //! merges it into its clock, which is how causality and latency propagate
 //! between rank threads.
 
-use parking_lot::{Condvar, Mutex};
 use simclock::SimTime;
 use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
 
 /// MPI message tag.
 pub type Tag = i32;
@@ -121,7 +121,7 @@ impl Mailbox {
 
     /// Deposit a message envelope (sender side).
     pub fn post(&self, env: Envelope) {
-        self.q.lock().msgs.push_back(env);
+        self.q.lock().unwrap().msgs.push_back(env);
         self.cv.notify_all();
     }
 
@@ -129,6 +129,7 @@ impl Mailbox {
     pub fn post_ctrl(&self, handle: u64, ctrl: Ctrl) {
         self.q
             .lock()
+            .unwrap()
             .ctrl
             .entry(handle)
             .or_default()
@@ -139,7 +140,7 @@ impl Mailbox {
     /// Block until an envelope matching `(src, tag)` is available and
     /// remove it (first match in arrival order — MPI non-overtaking).
     pub fn match_recv(&self, src: Source, tag: TagSel) -> Envelope {
-        let mut q = self.q.lock();
+        let mut q = self.q.lock().unwrap();
         loop {
             if let Some(idx) = q.msgs.iter().position(|e| {
                 (match src {
@@ -152,14 +153,14 @@ impl Mailbox {
             }) {
                 return q.msgs.remove(idx).expect("index valid under lock");
             }
-            self.cv.wait(&mut q);
+            q = self.cv.wait(q).unwrap();
         }
     }
 
     /// Non-blocking probe: does a matching envelope exist? Returns its
     /// `(src, tag, arrival)` without removing it.
     pub fn probe(&self, src: Source, tag: TagSel) -> Option<(usize, Tag, SimTime)> {
-        let q = self.q.lock();
+        let q = self.q.lock().unwrap();
         q.msgs
             .iter()
             .find(|e| {
@@ -176,7 +177,7 @@ impl Mailbox {
 
     /// Block until a protocol packet for `handle` arrives and remove it.
     pub fn wait_ctrl(&self, handle: u64) -> Ctrl {
-        let mut q = self.q.lock();
+        let mut q = self.q.lock().unwrap();
         loop {
             if let Some(dq) = q.ctrl.get_mut(&handle) {
                 if let Some(c) = dq.pop_front() {
@@ -186,13 +187,13 @@ impl Mailbox {
                     return c;
                 }
             }
-            self.cv.wait(&mut q);
+            q = self.cv.wait(q).unwrap();
         }
     }
 
     /// Number of queued (unmatched) messages — diagnostics only.
     pub fn backlog(&self) -> usize {
-        self.q.lock().msgs.len()
+        self.q.lock().unwrap().msgs.len()
     }
 }
 
@@ -283,7 +284,10 @@ mod tests {
         let mb = Mailbox::new();
         assert!(mb.probe(Source::Any, TagSel::Any).is_none());
         mb.post(env(4, 2));
-        assert_eq!(mb.probe(Source::Any, TagSel::Any), Some((4, 2, SimTime::ZERO)));
+        assert_eq!(
+            mb.probe(Source::Any, TagSel::Any),
+            Some((4, 2, SimTime::ZERO))
+        );
         assert_eq!(mb.backlog(), 1);
     }
 

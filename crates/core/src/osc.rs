@@ -100,6 +100,30 @@ pub struct Window {
 /// (handler dispatch, excluding data movement).
 const HANDLER_COST: SimDuration = SimDuration::from_us(3);
 
+/// Record an OSC operation span (a single relaxed load when recording is
+/// off).
+fn osc_span(
+    rank: &Rank,
+    name: &'static str,
+    start: SimTime,
+    bytes: usize,
+    target: usize,
+    path: &'static str,
+) {
+    if obs::is_enabled() {
+        obs::span(
+            name,
+            start,
+            rank.clock.now(),
+            vec![
+                ("bytes", obs::Arg::U64(bytes as u64)),
+                ("target", obs::Arg::U64(target as u64)),
+                ("path", obs::Arg::Str(path.into())),
+            ],
+        );
+    }
+}
+
 fn pscw_handle(win: u64, from: usize, to: usize, phase: u64) -> u64 {
     // Window ids are globally unique; fold the conversation into a
     // collision-free 64-bit handle space.
@@ -112,6 +136,7 @@ impl Rank {
     pub fn alloc_mem(&mut self, len: usize) -> AllocMem {
         let offset = self.world.alloc_pools[self.rank]
             .lock()
+            .unwrap()
             .alloc(len)
             .expect("shared-segment pool exhausted");
         AllocMem {
@@ -126,6 +151,7 @@ impl Rank {
     pub fn free_mem(&mut self, mem: AllocMem) {
         self.world.alloc_pools[self.rank]
             .lock()
+            .unwrap()
             .free(mem.offset)
             .expect("double free of alloc_mem");
     }
@@ -168,6 +194,7 @@ impl Rank {
             self.world
                 .windows
                 .lock()
+                .unwrap()
                 .insert(id, shared as Arc<dyn std::any::Any + Send + Sync>);
         }
         // Make the insert visible to everyone.
@@ -176,6 +203,7 @@ impl Rank {
             .world
             .windows
             .lock()
+            .unwrap()
             .get(&id)
             .expect("window registered by rank 0")
             .clone()
@@ -251,18 +279,23 @@ impl Window {
         data: &[u8],
     ) -> Result<(), SciError> {
         self.check(target, target_off, data.len())?;
+        let start = rank.clock.now();
         match &self.shared.targets[target].0 {
             TargetMem::Shared { .. } => {
+                obs::inc(obs::Counter::OscPutShared);
                 let (stream, base) =
                     Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
                 stream.write(&mut rank.clock, base + target_off, data)?;
+                osc_span(rank, "osc.put", start, data.len(), target, "shared");
                 Ok(())
             }
             TargetMem::Private { mem } => {
+                obs::inc(obs::Counter::OscPutEmulated);
                 // Emulation: control message + remote interrupt + handler
                 // receives the data with the ordinary protocols.
                 mem.write(target_off, data)?;
                 self.emulate(rank, target, data.len());
+                osc_span(rank, "osc.put", start, data.len(), target, "emulated");
                 Ok(())
             }
         }
@@ -270,6 +303,7 @@ impl Window {
 
     /// `MPI_Put` of a committed datatype — `direct_pack_ff` streams the
     /// blocks straight into the remote window.
+    #[allow(clippy::too_many_arguments)]
     pub fn put_typed(
         &mut self,
         rank: &mut Rank,
@@ -282,8 +316,10 @@ impl Window {
     ) -> Result<(), SciError> {
         let total = c.size() * count;
         self.check(target, target_off, c.extent() * count)?;
+        let start = rank.clock.now();
         match &self.shared.targets[target].0 {
             TargetMem::Shared { .. } => {
+                obs::inc(obs::Counter::OscPutShared);
                 let (stream, base) =
                     Self::stream(&mut self.streams, &self.shared, rank, target, total);
                 // Pack into the window preserving the *layout* (the target
@@ -310,9 +346,11 @@ impl Window {
                         .ff_block_cost
                         .saturating_mul(stats.blocks as u64),
                 );
+                osc_span(rank, "osc.put_typed", start, total, target, "shared");
                 Ok(())
             }
             TargetMem::Private { mem } => {
+                obs::inc(obs::Counter::OscPutEmulated);
                 let mut sink = ff::VecSink::default();
                 let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
                     .expect("VecSink infallible");
@@ -338,6 +376,7 @@ impl Window {
                     return Err(e);
                 }
                 self.emulate(rank, target, total);
+                osc_span(rank, "osc.put_typed", start, total, target, "emulated");
                 Ok(())
             }
         }
@@ -349,6 +388,7 @@ impl Window {
     /// for the whole list and then stream without the CPU. Pays off for
     /// large payloads of small blocks, where PIO per-block costs dominate.
     /// Shared windows only.
+    #[allow(clippy::too_many_arguments)]
     pub fn put_typed_dma(
         &mut self,
         rank: &mut Rank,
@@ -360,6 +400,7 @@ impl Window {
         origin: usize,
     ) -> Result<(), SciError> {
         self.check(target, target_off, c.extent() * count)?;
+        obs::inc(obs::Counter::OscPutShared);
         let TargetMem::Shared { region, offset } = &self.shared.targets[target].0 else {
             panic!("put_typed_dma requires a shared window");
         };
@@ -373,10 +414,7 @@ impl Window {
             });
             core::ops::ControlFlow::Continue(())
         });
-        let dma = rank
-            .world
-            .fabric
-            .dma_engine(rank.node(), region.segment());
+        let dma = rank.world.fabric.dma_engine(rank.node(), region.segment());
         let completion = dma.write_sg(&mut rank.clock, &entries, buf)?;
         self.emu_outstanding = self.emu_outstanding.max(completion.done);
         Ok(())
@@ -392,25 +430,24 @@ impl Window {
     ) -> Result<(), SciError> {
         self.check(target, target_off, dst.len())?;
         let threshold = rank.world.tuning.get_remote_put_threshold;
+        let start = rank.clock.now();
         match &self.shared.targets[target].0 {
             TargetMem::Shared { region, offset } => {
                 if dst.len() < threshold {
+                    obs::inc(obs::Counter::OscGetDirect);
                     // Small: direct remote read (CPU stalls, but latency is
                     // still low compared to messaging).
-                    let reader = rank
-                        .world
-                        .fabric
-                        .pio_reader(rank.node(), region.segment());
-                    reader.read(&mut rank.clock, offset + target_off, dst)
+                    let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
+                    reader.read(&mut rank.clock, offset + target_off, dst)?;
+                    osc_span(rank, "osc.get", start, dst.len(), target, "direct");
+                    Ok(())
                 } else {
+                    obs::inc(obs::Counter::OscGetRemotePut);
                     // Large: remote-put conversion — the target writes the
                     // data into the origin's address space at SCI write
                     // bandwidth instead of the origin reading it at SCI
                     // read bandwidth.
-                    region
-                        .segment()
-                        .mem()
-                        .read(offset + target_off, dst)?;
+                    region.segment().mem().read(offset + target_off, dst)?;
                     let params = rank.world.fabric.params();
                     let t = &rank.world.tuning;
                     let hops = rank
@@ -429,10 +466,12 @@ impl Window {
                         + params.wire_latency(hops).saturating_mul(2)
                         + params.cache.copy_cost(dst.len(), dst.len());
                     rank.clock.advance(cost);
+                    osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
                     Ok(())
                 }
             }
             TargetMem::Private { mem } => {
+                obs::inc(obs::Counter::OscGetRemotePut);
                 // Emulation: interrupt the target, handler sends the data
                 // back with the ordinary protocols.
                 mem.read(target_off, dst)?;
@@ -454,6 +493,7 @@ impl Window {
                     + params.wire_latency(hops).saturating_mul(2)
                     + params.cache.copy_cost(dst.len(), dst.len());
                 rank.clock.advance(cost);
+                osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
                 Ok(())
             }
         }
@@ -466,6 +506,7 @@ impl Window {
     /// this expensive fast — exactly the SCI read-granularity problem);
     /// large totals convert to a remote-put executed by the target, which
     /// packs with `direct_pack_ff` on its side.
+    #[allow(clippy::too_many_arguments)]
     pub fn get_typed(
         &mut self,
         rank: &mut Rank,
@@ -481,11 +522,9 @@ impl Window {
         let threshold = rank.world.tuning.get_remote_put_threshold;
         match &self.shared.targets[target].0 {
             TargetMem::Shared { region, offset } if total < threshold => {
+                obs::inc(obs::Counter::OscGetDirect);
                 // Direct path: one stalling read per basic block.
-                let reader = rank
-                    .world
-                    .fabric
-                    .pio_reader(rank.node(), region.segment());
+                let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
                 let base = (offset + target_off) as i64;
                 let mut err = None;
                 ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
@@ -502,6 +541,7 @@ impl Window {
                 err.map_or(Ok(()), Err)
             }
             mem => {
+                obs::inc(obs::Counter::OscGetRemotePut);
                 // Remote-put conversion (or private-window emulation): the
                 // target's handler packs the blocks with direct_pack_ff
                 // and streams them back at write bandwidth.
@@ -570,24 +610,33 @@ impl Window {
         // read plus a remote write; on the emulation path the handler does
         // the combine locally at the target.
         let mut current = vec![0u8; data.len()];
+        let start = rank.clock.now();
         match &self.shared.targets[target].0 {
             TargetMem::Shared { region, offset } => {
-                let reader = rank
-                    .world
-                    .fabric
-                    .pio_reader(rank.node(), region.segment());
+                obs::inc(obs::Counter::OscAccShared);
+                let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
                 reader.read(&mut rank.clock, offset + target_off, &mut current)?;
                 apply_op(op, &mut current, data);
                 let (stream, base) =
                     Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
                 stream.write(&mut rank.clock, base + target_off, &current)?;
+                osc_span(rank, "osc.accumulate", start, data.len(), target, "shared");
                 Ok(())
             }
             TargetMem::Private { mem } => {
+                obs::inc(obs::Counter::OscAccEmulated);
                 mem.read(target_off, &mut current)?;
                 apply_op(op, &mut current, data);
                 mem.write(target_off, &current)?;
                 self.emulate(rank, target, data.len());
+                osc_span(
+                    rank,
+                    "osc.accumulate",
+                    start,
+                    data.len(),
+                    target,
+                    "emulated",
+                );
                 Ok(())
             }
         }
@@ -595,10 +644,18 @@ impl Window {
 
     /// Read from this rank's own window memory (local load).
     pub fn read_local(&self, rank: &mut Rank, offset: usize, dst: &mut [u8]) {
-        self.check(rank.rank(), offset, dst.len()).expect("local read in range");
+        self.check(rank.rank(), offset, dst.len())
+            .expect("local read in range");
         match &self.shared.targets[rank.rank()].0 {
-            TargetMem::Shared { region, offset: base } => {
-                region.segment().mem().read(base + offset, dst).expect("in range");
+            TargetMem::Shared {
+                region,
+                offset: base,
+            } => {
+                region
+                    .segment()
+                    .mem()
+                    .read(base + offset, dst)
+                    .expect("in range");
             }
             TargetMem::Private { mem } => {
                 mem.read(offset, dst).expect("in range");
@@ -615,10 +672,18 @@ impl Window {
 
     /// Write into this rank's own window memory (local store).
     pub fn write_local(&self, rank: &mut Rank, offset: usize, data: &[u8]) {
-        self.check(rank.rank(), offset, data.len()).expect("local write in range");
+        self.check(rank.rank(), offset, data.len())
+            .expect("local write in range");
         match &self.shared.targets[rank.rank()].0 {
-            TargetMem::Shared { region, offset: base } => {
-                region.segment().mem().write(base + offset, data).expect("in range");
+            TargetMem::Shared {
+                region,
+                offset: base,
+            } => {
+                region
+                    .segment()
+                    .mem()
+                    .write(base + offset, data)
+                    .expect("in range");
             }
             TargetMem::Private { mem } => {
                 mem.write(offset, data).expect("in range");
@@ -633,10 +698,10 @@ impl Window {
         rank.clock.advance(cost);
     }
 
-    /// Model one emulation round trip (control message + remote interrupt
-    /// + handler + data transfer time). Requests to one target serialise
-    /// on its handler — the paper's private-window latencies are dominated
-    /// by "the required signalling of the remote process and the message
+    /// Model one emulation round trip (control message + remote interrupt +
+    /// handler + data transfer time). Requests to one target serialise on
+    /// its handler — the paper's private-window latencies are dominated by
+    /// "the required signalling of the remote process and the message
     /// exchange involved" for every single call.
     fn emulate(&mut self, rank: &mut Rank, target: usize, len: usize) {
         let params = rank.world.fabric.params();
@@ -703,8 +768,12 @@ impl Window {
     /// their posts).
     pub fn start(&mut self, rank: &mut Rank, targets: &[usize]) {
         for &t in targets {
-            let c = rank.world.mailboxes[rank.rank()]
-                .wait_ctrl(pscw_handle(self.shared.id, t, rank.rank(), 0));
+            let c = rank.world.mailboxes[rank.rank()].wait_ctrl(pscw_handle(
+                self.shared.id,
+                t,
+                rank.rank(),
+                0,
+            ));
             let Ctrl::Signal { arrival, .. } = c else {
                 panic!("expected post signal");
             };
@@ -734,8 +803,12 @@ impl Window {
     /// completes).
     pub fn wait(&mut self, rank: &mut Rank, origins: &[usize]) {
         for &o in origins {
-            let c = rank.world.mailboxes[rank.rank()]
-                .wait_ctrl(pscw_handle(self.shared.id, o, rank.rank(), 1));
+            let c = rank.world.mailboxes[rank.rank()].wait_ctrl(pscw_handle(
+                self.shared.id,
+                o,
+                rank.rank(),
+                1,
+            ));
             let Ctrl::Signal { arrival, .. } = c else {
                 panic!("expected complete signal");
             };
@@ -776,7 +849,10 @@ fn apply_op(op: AccumulateOp, current: &mut [u8], incoming: &[u8]) {
     match op {
         AccumulateOp::Replace => current.copy_from_slice(incoming),
         AccumulateOp::SumF64 | AccumulateOp::MaxF64 => {
-            assert!(current.len() % 8 == 0, "f64 accumulate needs 8-byte data");
+            assert!(
+                current.len().is_multiple_of(8),
+                "f64 accumulate needs 8-byte data"
+            );
             for i in (0..current.len()).step_by(8) {
                 let a = f64::from_le_bytes(current[i..i + 8].try_into().expect("8 bytes"));
                 let b = f64::from_le_bytes(incoming[i..i + 8].try_into().expect("8 bytes"));
@@ -789,7 +865,10 @@ fn apply_op(op: AccumulateOp, current: &mut [u8], incoming: &[u8]) {
             }
         }
         AccumulateOp::SumI64 => {
-            assert!(current.len() % 8 == 0, "i64 accumulate needs 8-byte data");
+            assert!(
+                current.len().is_multiple_of(8),
+                "i64 accumulate needs 8-byte data"
+            );
             for i in (0..current.len()).step_by(8) {
                 let a = i64::from_le_bytes(current[i..i + 8].try_into().expect("8 bytes"));
                 let b = i64::from_le_bytes(incoming[i..i + 8].try_into().expect("8 bytes"));
@@ -1081,8 +1160,8 @@ mod tests {
                 // Block bytes match the target image; gaps stayed zero.
                 mpi_datatype::tree::for_each_segment(c.datatype(), 1, |d, l| {
                     let d = d as usize;
-                    for i in d..d + l {
-                        assert_eq!(buf[i], (i ^ 0x3C) as u8, "data byte {i}");
+                    for (i, b) in buf.iter().enumerate().skip(d).take(l) {
+                        assert_eq!(*b, (i ^ 0x3C) as u8, "data byte {i}");
                     }
                     core::ops::ControlFlow::Continue(())
                 });
@@ -1191,8 +1270,8 @@ mod tests {
         };
         let aligned = time_with_stride(64);
         let misaligned = time_with_stride(72); // not a multiple of 32
-        // Same number of puts is not equal (16384 vs 14563), so compare
-        // per-put cost.
+                                               // Same number of puts is not equal (16384 vs 14563), so compare
+                                               // per-put cost.
         let per_aligned = aligned.as_ps() / (1 << 20) * 64;
         let per_mis = misaligned.as_ps() / (1 << 20) * 72;
         assert!(

@@ -126,7 +126,13 @@ fn local_copy_cost(
 /// Pack the byte range `[skip, skip+max)` of `data` into a local buffer,
 /// charging pack CPU cost to `clock`. Used by the eager path and the
 /// generic rendezvous path.
-fn pack_local(world: &WorldState, clock: &mut Clock, data: &SendData<'_>, skip: usize, max: usize) -> Vec<u8> {
+fn pack_local(
+    world: &WorldState,
+    clock: &mut Clock,
+    data: &SendData<'_>,
+    skip: usize,
+    max: usize,
+) -> Vec<u8> {
     match data {
         SendData::Bytes(b) => {
             let end = b.len().min(skip.saturating_add(max));
@@ -195,11 +201,13 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
     let ring = world.ring(rank, dst);
     let total = op.data.total_len();
     let chunk_size = ring.chunk;
+    let data_start = clock.now();
     // One PIO stream per message; each chunk is a fresh burst.
     let working_set = total.min(chunk_size);
     let mut stream = ring.region.map(ProcId(rank)).pio_stream(working_set);
     let mut skip = 0usize;
     while skip < total {
+        obs::inc(obs::Counter::RendezvousChunks);
         let this = chunk_size.min(total - skip);
         let slot = ring.acquire(clock);
         let slot_off = ring.slot_offset(slot);
@@ -258,6 +266,23 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
             },
         );
     }
+    if obs::is_enabled() {
+        let hops = world.fabric.topology().distance(
+            world.smi.node_of(ProcId(rank)),
+            world.smi.node_of(ProcId(dst)),
+        );
+        obs::span(
+            "p2p.rendezvous_data",
+            data_start,
+            clock.now(),
+            vec![
+                ("bytes", obs::Arg::U64(total as u64)),
+                ("chunks", obs::Arg::U64(total.div_ceil(chunk_size) as u64)),
+                ("dst", obs::Arg::U64(dst as u64)),
+                ("hops", obs::Arg::U64(hops as u64)),
+            ],
+        );
+    }
 }
 
 impl Rank {
@@ -297,13 +322,28 @@ impl Rank {
         let t = &self.world.tuning;
         let len = data.total_len();
         if len <= t.eager_threshold {
+            obs::inc(obs::Counter::EagerSends);
+            let start = self.clock.now();
             self.send_eager(dst, tag, &data);
+            if obs::is_enabled() {
+                obs::span(
+                    "p2p.send",
+                    start,
+                    self.clock.now(),
+                    vec![
+                        ("bytes", obs::Arg::U64(len as u64)),
+                        ("dst", obs::Arg::U64(dst as u64)),
+                        ("path", obs::Arg::Str("eager".into())),
+                    ],
+                );
+            }
             SendOp {
                 dst,
                 data,
                 kind: SendOpKind::Done,
             }
         } else {
+            obs::inc(obs::Counter::RendezvousSends);
             let handle = self.world.handle();
             self.clock.advance(t.ctrl_send_cost);
             let arrival = self.clock.now() + self.world.ctrl_latency(self.rank, dst);
@@ -313,6 +353,16 @@ impl Rank {
                 arrival,
                 head: Head::Rts { size: len, handle },
             });
+            if obs::is_enabled() {
+                obs::instant(
+                    "p2p.rts",
+                    self.clock.now(),
+                    vec![
+                        ("bytes", obs::Arg::U64(len as u64)),
+                        ("dst", obs::Arg::U64(dst as u64)),
+                    ],
+                );
+            }
             SendOp {
                 dst,
                 data,
@@ -335,10 +385,7 @@ impl Rank {
         let len = payload.len();
         // Model the PIO write of the payload into the receiver's eager
         // buffer space.
-        let same_node = self
-            .world
-            .smi
-            .same_node(ProcId(self.rank), ProcId(dst));
+        let same_node = self.world.smi.same_node(ProcId(self.rank), ProcId(dst));
         let cpu = if same_node {
             params.cache.copy_cost(len, len)
         } else {
@@ -386,6 +433,7 @@ impl Rank {
 
     /// Receive into either buffer shape.
     pub fn recv_into(&mut self, src: Source, tag: TagSel, mut into: RecvBuf<'_>) -> RecvStatus {
+        let recv_start = self.clock.now();
         let env = self.world.mailboxes[self.rank].match_recv(src, tag);
         self.clock.merge(env.arrival);
         self.clock.advance(self.world.tuning.ctrl_recv_cost);
@@ -393,6 +441,18 @@ impl Rank {
             Head::Eager { data, .. } => {
                 let len = data.len();
                 self.unpack_into(&mut into, 0, &data, len > self.world.tuning.short_threshold);
+                if obs::is_enabled() {
+                    obs::span(
+                        "p2p.recv",
+                        recv_start,
+                        self.clock.now(),
+                        vec![
+                            ("bytes", obs::Arg::U64(len as u64)),
+                            ("src", obs::Arg::U64(env.src as u64)),
+                            ("path", obs::Arg::Str("eager".into())),
+                        ],
+                    );
+                }
                 RecvStatus {
                     src: env.src,
                     tag: env.tag,
@@ -403,8 +463,12 @@ impl Rank {
                 // Clear-to-send.
                 self.clock.advance(self.world.tuning.ctrl_send_cost);
                 let cts_arrival = self.clock.now() + self.world.ctrl_latency(self.rank, env.src);
-                self.world.mailboxes[env.src]
-                    .post_ctrl(sender_handle(handle), Ctrl::Cts { arrival: cts_arrival });
+                self.world.mailboxes[env.src].post_ctrl(
+                    sender_handle(handle),
+                    Ctrl::Cts {
+                        arrival: cts_arrival,
+                    },
+                );
                 let ring = self.world.ring(env.src, self.rank);
                 let mut skip = 0usize;
                 loop {
@@ -435,6 +499,18 @@ impl Rank {
                     if last {
                         break;
                     }
+                }
+                if obs::is_enabled() {
+                    obs::span(
+                        "p2p.recv",
+                        recv_start,
+                        self.clock.now(),
+                        vec![
+                            ("bytes", obs::Arg::U64(size as u64)),
+                            ("src", obs::Arg::U64(env.src as u64)),
+                            ("path", obs::Arg::Str("rendezvous".into())),
+                        ],
+                    );
                 }
                 RecvStatus {
                     src: env.src,
@@ -483,12 +559,8 @@ impl Rank {
                 } else {
                     tree::unpack_range(c.datatype(), *count, buf, *origin, skip, data)
                 };
-                let cost = local_copy_cost(
-                    &self.world,
-                    &stats,
-                    total.min(data.len().max(1)),
-                    ff_engine,
-                );
+                let cost =
+                    local_copy_cost(&self.world, &stats, total.min(data.len().max(1)), ff_engine);
                 self.clock.advance(cost);
             }
         }
@@ -557,7 +629,14 @@ mod tests {
                 let mut buf = [0u8; 9];
                 let st = r.recv(Source::Rank(0), TagSel::Value(7), &mut buf);
                 assert_eq!(&buf, b"hello sci");
-                assert_eq!(st, RecvStatus { src: 0, tag: 7, len: 9 });
+                assert_eq!(
+                    st,
+                    RecvStatus {
+                        src: 0,
+                        tag: 7,
+                        len: 9
+                    }
+                );
                 assert!(r.now() > SimTime::ZERO);
             }
         });
@@ -581,7 +660,10 @@ mod tests {
 
     #[test]
     fn typed_roundtrip_both_engines() {
-        for tuning in [Tuning::default().generic_only(), Tuning::default().full_ff_comparison()] {
+        for tuning in [
+            Tuning::default().generic_only(),
+            Tuning::default().full_ff_comparison(),
+        ] {
             let dt = Datatype::vector(512, 16, 32, &Datatype::double()); // 64 KiB data
             let c = Committed::commit(&dt);
             let src_buf: Vec<u8> = (0..dt.extent()).map(|i| (i * 7) as u8).collect();

@@ -7,14 +7,14 @@
 
 use crate::mailbox::Mailbox;
 use crate::tuning::Tuning;
-use parking_lot::Mutex;
+pub use obs::ObsConfig;
 use sci_fabric::{Fabric, FabricSpec, FaultConfig, SciParams, Topology};
 use simclock::{Clock, SimDuration, SimTime};
 use smi::{ProcId, SharedRegion, ShregAllocator, SmiWorld, TimeBarrier};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Size of each rank's `MPI_Alloc_mem` shared-segment pool.
 pub const ALLOC_POOL_BYTES: usize = 8 << 20;
@@ -34,6 +34,8 @@ pub struct ClusterSpec {
     pub seed: u64,
     /// Protocol tuning.
     pub tuning: Tuning,
+    /// Observability: event tracing, counters and exports.
+    pub obs: ObsConfig,
 }
 
 impl ClusterSpec {
@@ -46,6 +48,7 @@ impl ClusterSpec {
             faults: FaultConfig::default(),
             seed: 0xC0FFEE,
             tuning: Tuning::default(),
+            obs: ObsConfig::disabled(),
         }
     }
 
@@ -70,6 +73,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Same cluster with a different observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Total rank count.
     pub fn num_ranks(&self) -> usize {
         self.topology.node_count() * self.procs_per_node
@@ -86,7 +95,7 @@ pub(crate) struct PairRing {
     /// and taking the front slot keeps the sender's virtual wait
     /// independent of real-time thread interleaving (determinism).
     free: Mutex<std::collections::VecDeque<(usize, SimTime)>>,
-    cv: parking_lot::Condvar,
+    cv: Condvar,
     /// Bytes per slot.
     pub chunk: usize,
 }
@@ -96,7 +105,7 @@ impl PairRing {
         PairRing {
             region,
             free: Mutex::new((0..slots).map(|s| (s, SimTime::ZERO)).collect()),
-            cv: parking_lot::Condvar::new(),
+            cv: Condvar::new(),
             chunk,
         }
     }
@@ -105,20 +114,20 @@ impl PairRing {
     /// free-time into the clock — the sender virtually waits for the
     /// receiver to drain).
     pub fn acquire(&self, clock: &mut Clock) -> usize {
-        let mut free = self.free.lock();
+        let mut free = self.free.lock().unwrap();
         loop {
             if let Some((slot, freed_at)) = free.pop_front() {
                 drop(free);
                 clock.merge(freed_at);
                 return slot;
             }
-            self.cv.wait(&mut free);
+            free = self.cv.wait(free).unwrap();
         }
     }
 
     /// Return a slot drained at virtual time `at`.
     pub fn release(&self, slot: usize, at: SimTime) {
-        self.free.lock().push_back((slot, at));
+        self.free.lock().unwrap().push_back((slot, at));
         self.cv.notify_all();
     }
 
@@ -156,7 +165,7 @@ impl WorldState {
 
     /// The rendezvous ring for messages `src → dst`, created lazily.
     pub fn ring(self: &Arc<Self>, src: usize, dst: usize) -> Arc<PairRing> {
-        let mut rings = self.rings.lock();
+        let mut rings = self.rings.lock().unwrap();
         Arc::clone(rings.entry((src, dst)).or_insert_with(|| {
             let slots = self.tuning.ring_slots;
             let chunk = self.tuning.rendezvous_chunk;
@@ -244,7 +253,7 @@ impl Rank {
         self.coll_seq += 1;
         let size = self.size;
         {
-            let mut tbl = self.world.coll.lock();
+            let mut tbl = self.world.coll.lock().unwrap();
             let slot = tbl.entry(seq).or_insert_with(|| CollSlot {
                 values: std::iter::repeat_with(|| None).take(size).collect(),
                 reads: 0,
@@ -256,7 +265,7 @@ impl Rank {
         }
         self.world.barrier.wait(&mut self.clock);
         let result: Vec<T> = {
-            let tbl = self.world.coll.lock();
+            let tbl = self.world.coll.lock().unwrap();
             let slot = tbl.get(&seq).expect("slot deposited");
             slot.values
                 .iter()
@@ -271,7 +280,7 @@ impl Rank {
         };
         // Cleanup once everyone has read.
         {
-            let mut tbl = self.world.coll.lock();
+            let mut tbl = self.world.coll.lock().unwrap();
             let done = {
                 let slot = tbl.get_mut(&seq).expect("slot present");
                 slot.reads += 1;
@@ -298,6 +307,14 @@ where
         spec.topology.node_count() > 0 && spec.procs_per_node > 0,
         "empty cluster"
     );
+    if spec.obs.enabled {
+        if spec.obs.reset_on_start {
+            obs::reset();
+        }
+        obs::enable();
+    } else {
+        obs::disable();
+    }
     let fabric = Fabric::new(FabricSpec {
         topology: spec.topology.clone(),
         params: spec.params.clone(),
@@ -328,12 +345,13 @@ where
         windows: Mutex::new(HashMap::new()),
     });
 
-    std::thread::scope(|scope| {
+    let results = std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(size);
         for rank in 0..size {
             let world = Arc::clone(&world);
             let f = &f;
             joins.push(scope.spawn(move || {
+                obs::set_thread_rank(rank as u32);
                 let mut r = Rank {
                     rank,
                     size,
@@ -351,7 +369,32 @@ where
                 Err(p) => std::panic::resume_unwind(p),
             })
             .collect()
-    })
+    });
+
+    if spec.obs.enabled {
+        obs::record_link_snapshot(
+            "end-of-run".to_string(),
+            world
+                .fabric
+                .links()
+                .traffic()
+                .per_link()
+                .iter()
+                .map(|(id, t)| (id.0, t.data_bytes, t.fc_bytes))
+                .collect(),
+        );
+        if let Some(path) = &spec.obs.trace_path {
+            if let Err(e) = obs::write_chrome_trace(path) {
+                eprintln!("obs: failed to write trace {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &spec.obs.counters_path {
+            if let Err(e) = obs::write_counters_jsonl(path) {
+                eprintln!("obs: failed to write counters {}: {e}", path.display());
+            }
+        }
+    }
+    results
 }
 
 #[cfg(test)]
@@ -478,6 +521,11 @@ mod tests {
                 _ => SimDuration::ZERO,
             }
         });
-        assert!(out[6] > out[1], "cross-ring {:?} <= intra-ring {:?}", out[6], out[1]);
+        assert!(
+            out[6] > out[1],
+            "cross-ring {:?} <= intra-ring {:?}",
+            out[6],
+            out[1]
+        );
     }
 }

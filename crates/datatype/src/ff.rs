@@ -187,6 +187,10 @@ pub fn pack_ff<S: PackSink>(
     max: usize,
     sink: &mut S,
 ) -> Result<PackStats, S::Error> {
+    obs::inc(obs::Counter::FfPackCalls);
+    if skip > 0 {
+        obs::inc(obs::Counter::FfPartialResumes);
+    }
     let mut err = None;
     let stats = for_each_block(c, count, skip, max, |disp, len| {
         let start = origin as i64 + disp;
@@ -223,6 +227,10 @@ pub fn unpack_ff<S: UnpackSource>(
     max: usize,
     source: &mut S,
 ) -> Result<PackStats, S::Error> {
+    obs::inc(obs::Counter::FfPackCalls);
+    if skip > 0 {
+        obs::inc(obs::Counter::FfPartialResumes);
+    }
     let mut err = None;
     let stats = for_each_block(c, count, skip, max, |disp, len| {
         let start = origin as i64 + disp;
@@ -258,7 +266,9 @@ mod tests {
     }
 
     fn buffer_for(dt: &Datatype, count: usize) -> Vec<u8> {
-        (0..dt.extent() * count).map(|i| (i * 13 + 7) as u8).collect()
+        (0..dt.extent() * count)
+            .map(|i| (i * 13 + 7) as u8)
+            .collect()
     }
 
     fn generic_pack(dt: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
@@ -287,7 +297,11 @@ mod tests {
                 let mut sink = VecSink::default();
                 let stats = pack_ff(&c, count, &src, 0, 0, usize::MAX, &mut sink).unwrap();
                 assert_eq!(stats.bytes, dt.size() * count);
-                assert_eq!(sink.data, generic_pack(dt, count, &src), "type {dt} count {count}");
+                assert_eq!(
+                    sink.data,
+                    generic_pack(dt, count, &src),
+                    "type {dt} count {count}"
+                );
             }
         }
     }

@@ -288,6 +288,7 @@ fn merge_adjacent(leaves: &mut Vec<FlatLeaf>) {
     for leaf in leaves.drain(..) {
         if let Some(prev) = merged.last_mut() {
             if prev.stack == leaf.stack && prev.first + prev.len as i64 == leaf.first {
+                obs::inc(obs::Counter::FfLeafMerges);
                 prev.len += leaf.len;
                 optimise(prev);
                 continue;
@@ -453,7 +454,14 @@ mod tests {
         let leaf = &c.leaves()[0];
         assert_eq!(leaf.len, 7);
         assert_eq!(leaf.stack.len(), 1);
-        assert_eq!(leaf.stack[0], StackLevel { count: 4, extent: 16, below: 7 });
+        assert_eq!(
+            leaf.stack[0],
+            StackLevel {
+                count: 4,
+                extent: 16,
+                below: 7
+            }
+        );
         assert_eq!(leaf.total, 28);
         assert_eq!(c.blocks_per_instance(), 4);
     }
@@ -468,15 +476,19 @@ mod tests {
         assert_eq!(c.leaves().len(), 1);
         let leaf = &c.leaves()[0];
         assert_eq!((leaf.first, leaf.len), (0, 4));
-        assert_eq!(leaf.stack, vec![StackLevel { count: 2, extent: 8, below: 4 }]);
+        assert_eq!(
+            leaf.stack,
+            vec![StackLevel {
+                count: 2,
+                extent: 8,
+                below: 4
+            }]
+        );
     }
 
     #[test]
     fn unequal_struct_fields_keep_two_leaves() {
-        let s = Datatype::structure(&[
-            (1, 0, Datatype::int()),
-            (1, 8, Datatype::double()),
-        ]);
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]);
         let c = Committed::commit(&s);
         assert_eq!(c.leaves().len(), 2);
         assert_eq!(c.leaves()[0].first, 0);
@@ -552,10 +564,7 @@ mod tests {
     fn find_position_multi_leaf() {
         // Unequal fields stay as two leaves; stream offset 5 is inside
         // the second field.
-        let s = Datatype::structure(&[
-            (1, 0, Datatype::int()),
-            (1, 8, Datatype::double()),
-        ]);
+        let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]);
         let c = Committed::commit(&s);
         let p = c.find_position(5, 1).unwrap();
         assert_eq!(p.leaf, 1);

@@ -174,7 +174,10 @@ mod tests {
         let mut dst = vec![0u8; c.extent()];
         let mut pos = 5;
         let err = c.unpack(&small, &mut pos, &mut dst, 0, 1).unwrap_err();
-        assert!(matches!(err, PackError::InputExhausted { available: 5, .. }));
+        assert!(matches!(
+            err,
+            PackError::InputExhausted { available: 5, .. }
+        ));
     }
 
     #[test]

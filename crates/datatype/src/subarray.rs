@@ -137,7 +137,13 @@ mod tests {
         // Same logical window; in Fortran order the FIRST dim is
         // contiguous.
         let c = subarray(&[4, 6], &[2, 3], &[1, 2], ArrayOrder::C, &Datatype::int());
-        let f = subarray(&[6, 4], &[3, 2], &[2, 1], ArrayOrder::Fortran, &Datatype::int());
+        let f = subarray(
+            &[6, 4],
+            &[3, 2],
+            &[2, 1],
+            ArrayOrder::Fortran,
+            &Datatype::int(),
+        );
         assert_eq!(segments(&c), segments(&f));
     }
 

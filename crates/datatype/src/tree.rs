@@ -189,7 +189,13 @@ fn index(origin: usize, disp: i64, len: usize, buf_len: usize) -> usize {
 
 /// Pack `count` instances of `dt` from `src` (displacement 0 at byte
 /// `origin`) into `out`. Returns the stats.
-pub fn pack(dt: &Datatype, count: usize, src: &[u8], origin: usize, out: &mut Vec<u8>) -> PackStats {
+pub fn pack(
+    dt: &Datatype,
+    count: usize,
+    src: &[u8],
+    origin: usize,
+    out: &mut Vec<u8>,
+) -> PackStats {
     pack_range(dt, count, src, origin, 0, usize::MAX, out)
 }
 
@@ -204,6 +210,7 @@ pub fn pack_range(
     max: usize,
     out: &mut Vec<u8>,
 ) -> PackStats {
+    obs::inc(obs::Counter::GenericPackCalls);
     let mut stats = PackStats::default();
     let mut cursor = 0usize;
     let end = skip.saturating_add(max);
@@ -242,6 +249,7 @@ pub fn unpack_range(
     skip: usize,
     data: &[u8],
 ) -> PackStats {
+    obs::inc(obs::Counter::GenericPackCalls);
     let mut stats = PackStats::default();
     let mut cursor = 0usize;
     let end = skip.saturating_add(data.len());
@@ -272,7 +280,13 @@ pub fn unpack_range(
 }
 
 /// Unpack a full stream (convenience wrapper).
-pub fn unpack(dt: &Datatype, count: usize, dst: &mut [u8], origin: usize, data: &[u8]) -> PackStats {
+pub fn unpack(
+    dt: &Datatype,
+    count: usize,
+    dst: &mut [u8],
+    origin: usize,
+    data: &[u8],
+) -> PackStats {
     unpack_range(dt, count, dst, origin, 0, data)
 }
 
@@ -316,10 +330,7 @@ mod tests {
         let s = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
         // int at 0..4 and chars at 4..7 are adjacent → coalesce.
         assert_eq!(segs(&s, 1), vec![(0, 7)]);
-        let gapped = Datatype::structure(&[
-            (1, 0, Datatype::int()),
-            (1, 8, Datatype::int()),
-        ]);
+        let gapped = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::int())]);
         assert_eq!(segs(&gapped, 1), vec![(0, 4), (8, 4)]);
     }
 

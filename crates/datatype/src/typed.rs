@@ -48,15 +48,12 @@ pub fn to_bytes<T: Element>(slice: &[T]) -> Vec<u8> {
 /// multiple of the element size).
 pub fn from_bytes<T: Element>(bytes: &[u8]) -> Vec<T> {
     assert!(
-        bytes.len() % T::SIZE == 0,
+        bytes.len().is_multiple_of(T::SIZE),
         "byte length {} not a multiple of element size {}",
         bytes.len(),
         T::SIZE
     );
-    bytes
-        .chunks_exact(T::SIZE)
-        .map(|c| T::read_le(c))
-        .collect()
+    bytes.chunks_exact(T::SIZE).map(|c| T::read_le(c)).collect()
 }
 
 /// Read one element at byte offset `at`.

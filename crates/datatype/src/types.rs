@@ -140,12 +140,7 @@ impl Datatype {
                 child,
             } => span_of_blocks(
                 child,
-                (0..*count).map(|i| {
-                    (
-                        *blocklen,
-                        i as i64 * *stride as i64 * child.extent() as i64,
-                    )
-                }),
+                (0..*count).map(|i| (*blocklen, i as i64 * *stride as i64 * child.extent() as i64)),
             ),
             TypeKind::Hvector {
                 count,
@@ -174,8 +169,9 @@ impl Datatype {
                     size += t.size() * bl;
                     if *bl > 0 {
                         lb = lb.min(*disp + t.lb());
-                        ub = ub
-                            .max(*disp + t.lb() + t.extent() as i64 * (*bl as i64 - 1) + t.true_span());
+                        ub = ub.max(
+                            *disp + t.lb() + t.extent() as i64 * (*bl as i64 - 1) + t.true_span(),
+                        );
                     }
                     depth = depth.max(t.depth());
                 }
@@ -199,10 +195,7 @@ impl Datatype {
                     blocklen,
                     stride,
                     child,
-                } => {
-                    child.ordered_dense()
-                        && (*count <= 1 || *stride == *blocklen as isize)
-                }
+                } => child.ordered_dense() && (*count <= 1 || *stride == *blocklen as isize),
                 TypeKind::Hvector {
                     count,
                     blocklen,
@@ -210,8 +203,7 @@ impl Datatype {
                     child,
                 } => {
                     child.ordered_dense()
-                        && (*count <= 1
-                            || *stride_bytes == (*blocklen * child.extent()) as i64)
+                        && (*count <= 1 || *stride_bytes == (*blocklen * child.extent()) as i64)
                 }
                 TypeKind::Indexed { blocks, child } => {
                     child.ordered_dense()
@@ -223,11 +215,7 @@ impl Datatype {
                 }
                 TypeKind::Hindexed { blocks, child } => {
                     child.ordered_dense()
-                        && adjacent_ascending(
-                            blocks.iter().copied(),
-                            1,
-                            child.extent() as i64,
-                        )
+                        && adjacent_ascending(blocks.iter().copied(), 1, child.extent() as i64)
                 }
                 TypeKind::Struct { fields } => {
                     let mut cursor: Option<i64> = None;
@@ -309,12 +297,7 @@ impl Datatype {
     }
 
     /// `MPI_Type_hvector`: like [`Datatype::vector`] with a byte stride.
-    pub fn hvector(
-        count: usize,
-        blocklen: usize,
-        stride_bytes: i64,
-        child: &Datatype,
-    ) -> Datatype {
+    pub fn hvector(count: usize, blocklen: usize, stride_bytes: i64, child: &Datatype) -> Datatype {
         Datatype::build(TypeKind::Hvector {
             count,
             blocklen,
@@ -624,15 +607,9 @@ mod tests {
 
     #[test]
     fn adjacent_struct_is_ordered_dense() {
-        let t = Datatype::structure(&[
-            (1, 0, Datatype::int()),
-            (4, 4, Datatype::byte()),
-        ]);
+        let t = Datatype::structure(&[(1, 0, Datatype::int()), (4, 4, Datatype::byte())]);
         assert!(t.ordered_dense());
-        let gapped = Datatype::structure(&[
-            (1, 0, Datatype::int()),
-            (4, 8, Datatype::byte()),
-        ]);
+        let gapped = Datatype::structure(&[(1, 0, Datatype::int()), (4, 8, Datatype::byte())]);
         assert!(!gapped.ordered_dense());
     }
 }

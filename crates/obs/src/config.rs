@@ -1,0 +1,78 @@
+//! [`ObsConfig`] — the knob that lives in `scimpi::ClusterSpec` next to
+//! `Tuning` and `FaultConfig`.
+
+use std::path::PathBuf;
+
+/// Observability configuration for one simulated run.
+///
+/// `scimpi::run` applies this before spawning rank threads: it enables or
+/// disables the global recorder, and at teardown writes the requested
+/// export files (after recording an end-of-run per-link traffic
+/// snapshot).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch. When `false`, every hook in the stack is one
+    /// relaxed atomic load and a branch.
+    pub enabled: bool,
+    /// If set, write a Chrome `trace_event` JSON here at teardown.
+    pub trace_path: Option<PathBuf>,
+    /// If set, write the JSONL counter dump here at teardown.
+    pub counters_path: Option<PathBuf>,
+    /// Reset counters/events when the run starts (default `true`), so a
+    /// run's exports describe only that run. Set to `false` to
+    /// accumulate across several `run` calls.
+    pub reset_on_start: bool,
+}
+
+impl ObsConfig {
+    /// Recording off — the default, and the zero-overhead mode.
+    pub fn disabled() -> Self {
+        ObsConfig::default()
+    }
+
+    /// Recording on, nothing written to disk (inspect via the `obs` API).
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            trace_path: None,
+            counters_path: None,
+            reset_on_start: true,
+        }
+    }
+
+    /// Recording on, with a Chrome trace written to `path` at teardown.
+    pub fn with_trace(path: impl Into<PathBuf>) -> Self {
+        ObsConfig {
+            trace_path: Some(path.into()),
+            ..ObsConfig::enabled()
+        }
+    }
+
+    /// Add a JSONL counter dump at `path`.
+    pub fn and_counters(mut self, path: impl Into<PathBuf>) -> Self {
+        self.counters_path = Some(path.into());
+        self.enabled = true;
+        self
+    }
+
+    /// Keep counters/events from previous runs instead of resetting.
+    pub fn accumulate(mut self) -> Self {
+        self.reset_on_start = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert!(!ObsConfig::disabled().enabled);
+        assert!(ObsConfig::enabled().enabled);
+        let c = ObsConfig::with_trace("/tmp/t.json").and_counters("/tmp/c.jsonl");
+        assert!(c.enabled && c.trace_path.is_some() && c.counters_path.is_some());
+        assert!(c.reset_on_start);
+        assert!(!c.accumulate().reset_on_start);
+    }
+}

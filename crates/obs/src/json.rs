@@ -1,0 +1,56 @@
+//! Minimal hand-rolled JSON emission.
+//!
+//! The build is fully self-contained (no external crates), so the
+//! exporters format JSON by hand. Only what the trace/bench dumps need:
+//! string escaping and finite-float formatting.
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number. JSON has no NaN/Inf, so non-finite
+/// values become `null`.
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Enough digits to round-trip a measurement, short for integers.
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.6}")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(3.25), "3.250000");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+}

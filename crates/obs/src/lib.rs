@@ -1,0 +1,50 @@
+//! # scimpi-obs — observability for the SCI-MPICH reproduction
+//!
+//! The paper's entire argument is made through measurements that compare
+//! *protocol paths*: eager vs. rendezvous, `direct_pack_ff` vs. the
+//! buffered generic engine, shared-window direct access vs. message-based
+//! emulation, get-as-remote-put. This crate makes those paths observable:
+//!
+//! * an **event tracer** recording spans and instants stamped with virtual
+//!   [`simclock::SimTime`] (protocol phase, message size, path taken,
+//!   route hops), one lane per rank;
+//! * a **counter registry** for the decision points that define the paper
+//!   (see [`Counter`]);
+//! * per-link **traffic snapshots** taken from the fabric's link registry;
+//! * **exporters**: Chrome `trace_event` JSON (open in `chrome://tracing`
+//!   or [Perfetto](https://ui.perfetto.dev)) and a JSONL counter dump.
+//!
+//! The recorder is a process-wide static so instrumentation hooks deep in
+//! the pack/protocol code never thread a handle through their signatures.
+//! When disabled (the default) every hook bails after **one relaxed atomic
+//! load** — no locks, no allocation, no formatting. `scimpi::run` flips
+//! the switch from [`ObsConfig`] in `ClusterSpec` and writes the export
+//! files at teardown.
+//!
+//! ```
+//! use simclock::SimTime;
+//!
+//! obs::reset();
+//! obs::enable();
+//! obs::set_thread_rank(0);
+//! obs::inc(obs::Counter::EagerSends);
+//! obs::span("send", SimTime::ZERO, SimTime::from_ps(2_000_000), vec![
+//!     ("bytes", obs::Arg::U64(128)),
+//!     ("path", obs::Arg::Str("eager".into())),
+//! ]);
+//! assert_eq!(obs::counter_value(obs::Counter::EagerSends), 1);
+//! obs::disable();
+//! ```
+
+pub mod config;
+pub mod export;
+pub mod json;
+pub mod recorder;
+
+pub use config::ObsConfig;
+pub use export::{chrome_trace_json, counters_jsonl, write_chrome_trace, write_counters_jsonl};
+pub use recorder::{
+    add, counter_value, counters_snapshot, disable, enable, inc, instant, is_enabled,
+    link_snapshots, record_link_snapshot, reset, set_thread_rank, span, take_events, Arg, Counter,
+    EventKind, LinkSnapshot, TraceEvent,
+};

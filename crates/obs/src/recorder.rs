@@ -1,0 +1,326 @@
+//! The process-wide recorder: enabled flag, counters, trace events and
+//! link snapshots.
+//!
+//! Everything funnels through one static [`Recorder`]. Hooks check the
+//! enabled flag with a single `Relaxed` atomic load before doing any
+//! work, so a disabled recorder costs one predictable branch per hook.
+
+use simclock::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The protocol decision points counted by the registry.
+///
+/// Each variant is one named counter; [`Counter::NAMES`] gives the stable
+/// string used in exports and assertions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Two-sided sends that took the eager path (`len <= eager_threshold`).
+    EagerSends,
+    /// Two-sided sends that took the rendezvous (RTS/CTS) path.
+    RendezvousSends,
+    /// Ring-buffer chunks streamed by rendezvous transfers.
+    RendezvousChunks,
+    /// Calls into the `direct_pack_ff` pack/unpack engine.
+    FfPackCalls,
+    /// Leaf blocks merged away while committing a datatype (adjacent
+    /// blocks fused into longer copies — the "flattening" in
+    /// flattening-on-the-fly).
+    FfLeafMerges,
+    /// `pack_ff`/`unpack_ff` invocations that resumed mid-stream
+    /// (`skip > 0`), i.e. partial-pack continuations across chunks.
+    FfPartialResumes,
+    /// Pack/unpack operations routed to the generic recursive engine.
+    GenericPackCalls,
+    /// One-sided puts that wrote directly into a shared (SCI-exported)
+    /// window via PIO.
+    OscPutShared,
+    /// One-sided puts emulated with two-sided messages (private window).
+    OscPutEmulated,
+    /// One-sided gets served by a direct stalling remote read.
+    OscGetDirect,
+    /// One-sided gets converted to a remote put by the target
+    /// (`len >= get_remote_put_threshold`).
+    OscGetRemotePut,
+    /// One-sided accumulates applied directly on a shared window.
+    OscAccShared,
+    /// One-sided accumulates emulated with two-sided messages.
+    OscAccEmulated,
+    /// SMI shared-lock acquisitions.
+    SmiLockAcquires,
+    /// Time-barrier crossings (one per rank per barrier).
+    BarrierCrossings,
+}
+
+impl Counter {
+    /// Stable export names, indexable by `Counter as usize`.
+    pub const NAMES: [&'static str; COUNTER_COUNT] = [
+        "eager_sends",
+        "rendezvous_sends",
+        "rendezvous_chunks",
+        "ff_pack_calls",
+        "ff_leaf_merges",
+        "ff_partial_resumes",
+        "generic_pack_calls",
+        "osc_put_shared",
+        "osc_put_emulated",
+        "osc_get_direct",
+        "osc_get_remote_put",
+        "osc_acc_shared",
+        "osc_acc_emulated",
+        "smi_lock_acquires",
+        "barrier_crossings",
+    ];
+
+    /// The export name of this counter.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+}
+
+/// Number of counters in the registry.
+pub const COUNTER_COUNT: usize = 15;
+
+/// A trace-event argument value.
+#[derive(Clone, Debug)]
+pub enum Arg {
+    /// Unsigned integer (sizes, counts, hops).
+    U64(u64),
+    /// Float (rates, ratios).
+    F64(f64),
+    /// Free-form label (path names).
+    Str(String),
+}
+
+/// Span or instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase with a duration (Chrome `ph:"X"`).
+    Span {
+        /// Duration in picoseconds of virtual time.
+        dur_ps: u64,
+    },
+    /// A point event (Chrome `ph:"i"`).
+    Instant,
+}
+
+/// One recorded event, stamped with virtual time.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Rank whose lane this event belongs to.
+    pub rank: u32,
+    /// Event name (one of a small set of static protocol phases).
+    pub name: &'static str,
+    /// Span-with-duration or instant.
+    pub kind: EventKind,
+    /// Virtual timestamp in picoseconds.
+    pub ts_ps: u64,
+    /// Key/value annotations (message size, path, hops, ...).
+    pub args: Vec<(&'static str, Arg)>,
+}
+
+/// A per-link traffic snapshot (from `sci_fabric::link::TrafficStats`).
+#[derive(Clone, Debug)]
+pub struct LinkSnapshot {
+    /// Where in the run the snapshot was taken (e.g. `"end-of-run"`).
+    pub label: String,
+    /// `(link index, data bytes, flow-control bytes)` per link.
+    pub per_link: Vec<(usize, u64, u64)>,
+}
+
+struct Recorder {
+    enabled: AtomicBool,
+    counters: [AtomicU64; COUNTER_COUNT],
+    events: Mutex<Vec<TraceEvent>>,
+    links: Mutex<Vec<LinkSnapshot>>,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+static GLOBAL: Recorder = Recorder {
+    enabled: AtomicBool::new(false),
+    counters: [ZERO; COUNTER_COUNT],
+    events: Mutex::new(Vec::new()),
+    links: Mutex::new(Vec::new()),
+};
+
+thread_local! {
+    static THREAD_RANK: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Bind the calling thread to a rank lane. `scimpi::run` calls this at
+/// the top of every rank thread; events recorded on the thread land in
+/// that rank's lane.
+pub fn set_thread_rank(rank: u32) {
+    THREAD_RANK.with(|r| r.set(rank));
+}
+
+/// Turn recording on.
+pub fn enable() {
+    GLOBAL.enabled.store(true, Ordering::Relaxed);
+}
+
+/// Turn recording off. Hooks become a single load-and-branch.
+pub fn disable() {
+    GLOBAL.enabled.store(false, Ordering::Relaxed);
+}
+
+/// Is the recorder currently enabled?
+#[inline]
+pub fn is_enabled() -> bool {
+    GLOBAL.enabled.load(Ordering::Relaxed)
+}
+
+/// Zero every counter and drop all buffered events and snapshots.
+/// Does not change the enabled flag.
+pub fn reset() {
+    for c in &GLOBAL.counters {
+        c.store(0, Ordering::Relaxed);
+    }
+    GLOBAL.events.lock().unwrap().clear();
+    GLOBAL.links.lock().unwrap().clear();
+}
+
+/// Increment a counter by one. No-op when disabled.
+#[inline]
+pub fn inc(counter: Counter) {
+    add(counter, 1);
+}
+
+/// Increment a counter by `n`. No-op when disabled.
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if !is_enabled() {
+        return;
+    }
+    GLOBAL.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of a counter.
+pub fn counter_value(counter: Counter) -> u64 {
+    GLOBAL.counters[counter as usize].load(Ordering::Relaxed)
+}
+
+/// Snapshot of all counters as `(name, value)` pairs, in declaration
+/// order.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    Counter::NAMES
+        .iter()
+        .zip(&GLOBAL.counters)
+        .map(|(&n, c)| (n, c.load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Record a span covering `[start, end)` of virtual time on the calling
+/// thread's rank lane. No-op when disabled.
+pub fn span(name: &'static str, start: SimTime, end: SimTime, args: Vec<(&'static str, Arg)>) {
+    if !is_enabled() {
+        return;
+    }
+    let dur_ps = end.as_ps().saturating_sub(start.as_ps());
+    push_event(TraceEvent {
+        rank: THREAD_RANK.with(|r| r.get()),
+        name,
+        kind: EventKind::Span { dur_ps },
+        ts_ps: start.as_ps(),
+        args,
+    });
+}
+
+/// Record an instant at virtual time `at` on the calling thread's rank
+/// lane. No-op when disabled.
+pub fn instant(name: &'static str, at: SimTime, args: Vec<(&'static str, Arg)>) {
+    if !is_enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        rank: THREAD_RANK.with(|r| r.get()),
+        name,
+        kind: EventKind::Instant,
+        ts_ps: at.as_ps(),
+        args,
+    });
+}
+
+fn push_event(ev: TraceEvent) {
+    GLOBAL.events.lock().unwrap().push(ev);
+}
+
+/// Record a per-link traffic snapshot. No-op when disabled.
+pub fn record_link_snapshot(label: String, per_link: Vec<(usize, u64, u64)>) {
+    if !is_enabled() {
+        return;
+    }
+    GLOBAL
+        .links
+        .lock()
+        .unwrap()
+        .push(LinkSnapshot { label, per_link });
+}
+
+/// Drain and return all buffered trace events (oldest first).
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *GLOBAL.events.lock().unwrap())
+}
+
+/// Clone the recorded link snapshots.
+pub fn link_snapshots() -> Vec<LinkSnapshot> {
+    GLOBAL.links.lock().unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests in this module serialize on
+    // a lock so their deltas do not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        disable();
+        let before = counter_value(Counter::EagerSends);
+        inc(Counter::EagerSends);
+        span("x", SimTime::ZERO, SimTime::from_ps(10), vec![]);
+        instant("y", SimTime::ZERO, vec![]);
+        record_link_snapshot("s".into(), vec![(0, 1, 2)]);
+        assert_eq!(counter_value(Counter::EagerSends), before);
+        assert!(take_events().is_empty());
+        assert!(link_snapshots().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_counts_and_buffers() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        set_thread_rank(3);
+        inc(Counter::RendezvousSends);
+        add(Counter::RendezvousChunks, 4);
+        span(
+            "send",
+            SimTime::from_ps(100),
+            SimTime::from_ps(400),
+            vec![("bytes", Arg::U64(64))],
+        );
+        assert_eq!(counter_value(Counter::RendezvousSends), 1);
+        assert_eq!(counter_value(Counter::RendezvousChunks), 4);
+        let evs = take_events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].rank, 3);
+        assert_eq!(evs[0].kind, EventKind::Span { dur_ps: 300 });
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn counter_names_cover_all_variants() {
+        assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
+        assert_eq!(Counter::BarrierCrossings as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");
+    }
+}

@@ -72,11 +72,16 @@ impl DmaEngine {
         offset: usize,
         data: &[u8],
     ) -> Result<DmaCompletion, SciError> {
-        self.transfer(clock, &[SgEntry {
-            src_offset: 0,
-            dst_offset: offset,
-            len: data.len(),
-        }], data, true)
+        self.transfer(
+            clock,
+            &[SgEntry {
+                src_offset: 0,
+                dst_offset: offset,
+                len: data.len(),
+            }],
+            data,
+            true,
+        )
     }
 
     /// Read `dst.len()` bytes from `offset` by DMA (the engine can fetch
@@ -99,9 +104,15 @@ impl DmaEngine {
                 done: clock.now(),
             });
         }
-        self.mapping.segment.mem().read(entries[0].src_offset, dst)?;
+        self.mapping
+            .segment
+            .mem()
+            .read(entries[0].src_offset, dst)?;
         let txns = dst.len().div_ceil(params.stream_buffer_bytes) as u64;
-        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        let outcome = self
+            .fabric
+            .faults()
+            .transact_bulk(&self.mapping.route, txns)?;
         clock.advance(params.dma_setup);
         let cpu_free = clock.now();
         let done = cpu_free
@@ -152,7 +163,10 @@ impl DmaEngine {
                 .write(e.dst_offset, &src[e.src_offset..end])?;
         }
         let txns = (total.div_ceil(params.stream_buffer_bytes)) as u64;
-        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        let outcome = self
+            .fabric
+            .faults()
+            .transact_bulk(&self.mapping.route, txns)?;
         // Descriptor build cost grows mildly with list length.
         let setup = params.dma_setup
             + SimDuration::from_ns(200).saturating_mul(entries.len().saturating_sub(1) as u64);
@@ -191,7 +205,10 @@ mod tests {
         let mut c = Clock::new();
         let done = dma.write(&mut c, 128, &[9u8; 512]).unwrap();
         assert!(done.done > done.cpu_free);
-        assert_eq!(seg.mem().checksum(128, 512).unwrap(), crate::mem::fnv1a(&[9u8; 512]));
+        assert_eq!(
+            seg.mem().checksum(128, 512).unwrap(),
+            crate::mem::fnv1a(&[9u8; 512])
+        );
     }
 
     #[test]

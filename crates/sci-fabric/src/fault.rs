@@ -15,10 +15,10 @@
 //!   on top of raw remote memory.
 
 use crate::topology::{LinkId, Route};
-use parking_lot::Mutex;
 use simclock::{SimDuration, SplitMix64};
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Errors surfaced by the fabric.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -140,32 +140,32 @@ impl FaultInjector {
 
     /// Administratively fail a link (pull the cable).
     pub fn fail_link(&self, link: LinkId) {
-        self.state.lock().down_links.insert(link.0);
+        self.state.lock().unwrap().down_links.insert(link.0);
     }
 
     /// Restore a failed link.
     pub fn restore_link(&self, link: LinkId) {
-        self.state.lock().down_links.remove(&link.0);
+        self.state.lock().unwrap().down_links.remove(&link.0);
     }
 
     /// Mark a node as dead (crash).
     pub fn kill_node(&self, node: usize) {
-        self.state.lock().dead_nodes.insert(node);
+        self.state.lock().unwrap().dead_nodes.insert(node);
     }
 
     /// Revive a dead node.
     pub fn revive_node(&self, node: usize) {
-        self.state.lock().dead_nodes.remove(&node);
+        self.state.lock().unwrap().dead_nodes.remove(&node);
     }
 
     /// True if the node is currently marked dead.
     pub fn node_dead(&self, node: usize) -> bool {
-        self.state.lock().dead_nodes.contains(&node)
+        self.state.lock().unwrap().dead_nodes.contains(&node)
     }
 
     /// Check a route for failed links.
     pub fn check_route(&self, route: &Route) -> Result<(), SciError> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         for l in &route.links {
             if st.down_links.contains(&l.0) {
                 return Err(SciError::LinkDown(*l));
@@ -190,7 +190,7 @@ impl FaultInjector {
         if self.config.error_rate <= 0.0 || txns == 0 {
             return Ok(TxnOutcome::CLEAN);
         }
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let mut retries = 0u32;
         for _ in 0..txns {
             let mut consecutive = 0u32;
@@ -324,10 +324,7 @@ mod tests {
             ..FaultConfig::default()
         };
         let inj = FaultInjector::new(cfg, 9);
-        assert!(matches!(
-            inj.transact(&route()),
-            Err(SciError::LinkDown(_))
-        ));
+        assert!(matches!(inj.transact(&route()), Err(SciError::LinkDown(_))));
     }
 
     #[test]

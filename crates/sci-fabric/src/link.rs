@@ -116,7 +116,9 @@ impl LinkRegistry {
     pub fn account(&self, params: &SciParams, route: &Route, payload: u64) {
         let fc = (payload as f64 * params.flow_control_overhead) as u64;
         for l in &route.links {
-            self.links[l.0].data_bytes.fetch_add(payload, Ordering::Relaxed);
+            self.links[l.0]
+                .data_bytes
+                .fetch_add(payload, Ordering::Relaxed);
         }
         for l in &route.echo_links {
             self.links[l.0].fc_bytes.fetch_add(fc, Ordering::Relaxed);
@@ -156,7 +158,9 @@ pub struct StreamGuard {
 impl Drop for StreamGuard {
     fn drop(&mut self) {
         for l in &self.links {
-            self.registry.links[l.0].active.fetch_sub(1, Ordering::Relaxed);
+            self.registry.links[l.0]
+                .active
+                .fetch_sub(1, Ordering::Relaxed);
         }
     }
 }
@@ -187,7 +191,11 @@ pub struct TrafficStats {
 impl TrafficStats {
     /// The busiest segment's total bytes.
     pub fn max_link_bytes(&self) -> u64 {
-        self.per_link.iter().map(LinkTraffic::total).max().unwrap_or(0)
+        self.per_link
+            .iter()
+            .map(LinkTraffic::total)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of payload bytes over all segments.
@@ -198,6 +206,38 @@ impl TrafficStats {
     /// Sum of flow-control bytes over all segments.
     pub fn total_fc(&self) -> u64 {
         self.per_link.iter().map(|l| l.fc_bytes).sum()
+    }
+
+    /// Per-segment traffic as explicit `(LinkId, LinkTraffic)` pairs, so
+    /// tests and the tracer can assert on individual segment utilisation
+    /// instead of only the totals.
+    pub fn per_link(&self) -> Vec<(LinkId, LinkTraffic)> {
+        self.per_link
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (LinkId(i), *t))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for TrafficStats {
+    /// One line per segment (`L3: 4096 data + 327 fc B`), then a totals
+    /// line. Segments that carried nothing are elided.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (id, t) in self.per_link() {
+            if t.total() == 0 {
+                continue;
+            }
+            writeln!(f, "L{}: {} data + {} fc B", id.0, t.data_bytes, t.fc_bytes)?;
+        }
+        write!(
+            f,
+            "total: {} data + {} fc B over {} links (busiest {} B)",
+            self.total_data(),
+            self.total_fc(),
+            self.per_link.len(),
+            self.max_link_bytes()
+        )
     }
 }
 
@@ -273,6 +313,27 @@ mod tests {
         assert_eq!(traffic.total_data(), 2000);
         reg.reset_traffic();
         assert_eq!(reg.traffic().total_data(), 0);
+    }
+
+    #[test]
+    fn per_link_pairs_and_display() {
+        let (p, t, reg) = setup();
+        let route = t.route(NodeId(0), NodeId(2));
+        reg.account(&p, &route, 1000);
+        let traffic = reg.traffic();
+        let pairs = traffic.per_link();
+        assert_eq!(pairs.len(), traffic.per_link.len());
+        assert_eq!(pairs[0], (LinkId(0), traffic.per_link[0]));
+        assert_eq!(pairs[1].1.data_bytes, 1000);
+        let rendered = traffic.to_string();
+        assert!(rendered.contains("L0: 1000 data + 0 fc B"), "{rendered}");
+        assert!(rendered.contains("L2: 0 data + 80 fc B"), "{rendered}");
+        assert!(
+            rendered.contains("total: 2000 data + 480 fc B"),
+            "{rendered}"
+        );
+        // Idle links are elided.
+        assert!(!rendered.contains("L1: 0 data + 0"), "{rendered}");
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl SharedMem {
 
     #[inline]
     fn check(&self, offset: usize, len: usize) -> Result<(), OutOfBounds> {
-        if offset.checked_add(len).is_none_or(|end| end > self.buf.len()) {
+        if offset
+            .checked_add(len)
+            .is_none_or(|end| end > self.buf.len())
+        {
             return Err(OutOfBounds {
                 offset,
                 len,
@@ -231,7 +234,10 @@ mod tests {
         m.write(64, &[9]).unwrap();
         let after = m.checksum(0, 128).unwrap();
         assert_ne!(before, after);
-        assert_eq!(m.checksum(0, 64).unwrap(), SharedMem::new(64).checksum(0, 64).unwrap());
+        assert_eq!(
+            m.checksum(0, 64).unwrap(),
+            SharedMem::new(64).checksum(0, 64).unwrap()
+        );
     }
 
     #[test]
@@ -251,7 +257,9 @@ mod tests {
         }
         let snap = m.snapshot();
         for t in 0..4usize {
-            assert!(snap[t * 1024..(t + 1) * 1024].iter().all(|&b| b == t as u8 + 1));
+            assert!(snap[t * 1024..(t + 1) * 1024]
+                .iter()
+                .all(|&b| b == t as u8 + 1));
         }
     }
 

@@ -122,20 +122,21 @@ impl PioStream {
         // Fabric path: burst accounting.
         let continues = self.next_offset == Some(offset);
         let misaligned_thrash = !continues
-            && offset % params.write_combine_bytes != 0
+            && !offset.is_multiple_of(params.write_combine_bytes)
             && params.wc_misalign_factor > 1.0;
         if misaligned_thrash {
             // The write-combine buffers never fill in phase: every 8-byte
             // store flushes partially and becomes its own (padded) SCI
             // transaction. This is the §4.3 misaligned-stride cliff.
             let stores = data.len().div_ceil(8) as u64;
-            let cost = params.txn_overhead
-                + params.uncombined_store_cost.saturating_mul(stores);
-            let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, stores)?;
+            let cost = params.txn_overhead + params.uncombined_store_cost.saturating_mul(stores);
+            let outcome = self
+                .fabric
+                .faults()
+                .transact_bulk(&self.mapping.route, stores)?;
             clock.advance(cost + outcome.extra_latency);
-            let arrival = clock.now()
-                + params.wire_latency(self.mapping.route.hops())
-                + outcome.jitter;
+            let arrival =
+                clock.now() + params.wire_latency(self.mapping.route.hops()) + outcome.jitter;
             self.outstanding = self.outstanding.max(arrival);
             self.next_offset = Some(offset + data.len());
             self.fabric
@@ -163,24 +164,24 @@ impl PioStream {
         if let Some(cap) = self.demand_cap {
             demand = demand.min(cap);
         }
-        let stream_bw = self
-            .fabric
-            .links()
-            .effective_bandwidth(params, &self.mapping.route, demand);
+        let stream_bw =
+            self.fabric
+                .links()
+                .effective_bandwidth(params, &self.mapping.route, demand);
         cost += stream_bw.cost(data.len() as u64);
 
         // Fault injection: retries add latency and delivery jitter, one
         // die roll per SCI transaction.
         let txns = data.len().div_ceil(params.stream_buffer_bytes) as u64;
-        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        let outcome = self
+            .fabric
+            .faults()
+            .transact_bulk(&self.mapping.route, txns)?;
         cost += outcome.extra_latency;
 
         clock.advance(cost);
         let arrival = clock.now()
-            + self
-                .fabric
-                .params()
-                .wire_latency(self.mapping.route.hops())
+            + self.fabric.params().wire_latency(self.mapping.route.hops())
             + outcome.jitter;
         self.outstanding = self.outstanding.max(arrival);
         self.next_offset = Some(offset + data.len());
@@ -262,7 +263,10 @@ impl PioReader {
         }
         let txns = dst.len().div_ceil(params.read_txn_bytes) as u64;
         let mut cost = params.read_stall.saturating_mul(txns);
-        let outcome = self.fabric.faults().transact_bulk(&self.mapping.route, txns)?;
+        let outcome = self
+            .fabric
+            .faults()
+            .transact_bulk(&self.mapping.route, txns)?;
         cost += outcome.extra_latency;
         clock.advance(cost);
         self.fabric

@@ -7,10 +7,10 @@
 
 use crate::mem::SharedMem;
 use crate::topology::{NodeId, Route};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 
 /// Globally unique identifier of an exported segment.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -87,24 +87,27 @@ impl SegmentRegistry {
     pub fn export(&self, owner: NodeId, len: usize) -> Arc<Segment> {
         let id = SegmentId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let seg = Arc::new(Segment::new(id, owner, len));
-        self.segments.write().insert(id.0, Arc::clone(&seg));
+        self.segments
+            .write()
+            .unwrap()
+            .insert(id.0, Arc::clone(&seg));
         seg
     }
 
     /// Look up a segment by id.
     pub fn get(&self, id: SegmentId) -> Option<Arc<Segment>> {
-        self.segments.read().get(&id.0).cloned()
+        self.segments.read().unwrap().get(&id.0).cloned()
     }
 
     /// Withdraw a segment from remote access (unexport). Outstanding
     /// `Arc` handles keep the memory alive but new imports fail.
     pub fn unexport(&self, id: SegmentId) -> bool {
-        self.segments.write().remove(&id.0).is_some()
+        self.segments.write().unwrap().remove(&id.0).is_some()
     }
 
     /// Number of currently exported segments.
     pub fn count(&self) -> usize {
-        self.segments.read().len()
+        self.segments.read().unwrap().len()
     }
 }
 

@@ -1,0 +1,168 @@
+//! Randomized tests of the fabric cost model's sanity invariants: costs
+//! are monotone in bytes, contention never *increases* a stream's
+//! bandwidth, routes are well-formed on arbitrary topologies, and data
+//! integrity holds under any split of a transfer.
+//!
+//! Deterministic seeded randomness (`SplitMix64`) replaces an external
+//! property-testing framework.
+
+use sci_fabric::{Fabric, FabricSpec, NodeId, Topology};
+use simclock::{Clock, SimTime, SplitMix64};
+
+fn fabric(nodes: usize) -> std::sync::Arc<Fabric> {
+    Fabric::new(FabricSpec {
+        topology: Topology::ringlet(nodes),
+        ..FabricSpec::default()
+    })
+}
+
+/// Writing more bytes never costs less virtual time.
+#[test]
+fn write_cost_monotone_in_bytes() {
+    let mut rng = SplitMix64::new(0xFAB1);
+    for _ in 0..64 {
+        let a = rng.next_range(1, 32767) as usize;
+        let b = rng.next_range(1, 32767) as usize;
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let f = fabric(4);
+        let seg = f.export(NodeId(1), 64 * 1024);
+        let cost = |len: usize| {
+            let mut s = f.pio_stream(NodeId(0), &seg, len);
+            let mut c = Clock::new();
+            s.write(&mut c, 0, &vec![0u8; len]).unwrap();
+            s.barrier(&mut c);
+            c.now()
+        };
+        assert!(
+            cost(small) <= cost(large),
+            "cost not monotone: {small} vs {large}"
+        );
+    }
+}
+
+/// A transfer split into consecutive pieces costs at least as much as one
+/// contiguous write (per-burst overheads never help), and the data lands
+/// identically.
+#[test]
+fn split_writes_cost_more_but_deliver_same() {
+    let mut rng = SplitMix64::new(0xFAB2);
+    for _ in 0..128 {
+        let len = rng.next_range(64, 16383) as usize;
+        let pieces = rng.next_range(1, 15) as usize;
+        let f = fabric(2);
+        let seg_a = f.export(NodeId(1), 64 * 1024);
+        let seg_b = f.export(NodeId(1), 64 * 1024);
+        let data: Vec<u8> = (0..len).map(|i| (i * 31) as u8).collect();
+
+        let mut c1 = Clock::new();
+        let mut s1 = f.pio_stream(NodeId(0), &seg_a, len);
+        s1.write(&mut c1, 0, &data).unwrap();
+        s1.barrier(&mut c1);
+
+        let mut c2 = Clock::new();
+        let mut s2 = f.pio_stream(NodeId(0), &seg_b, len);
+        let chunk = len.div_ceil(pieces);
+        let mut off = 0;
+        while off < len {
+            let end = (off + chunk).min(len);
+            s2.write(&mut c2, off, &data[off..end]).unwrap();
+            off = end;
+        }
+        s2.barrier(&mut c2);
+
+        assert!(c2.now() >= c1.now(), "splitting made it cheaper");
+        let mut out_a = vec![0u8; len];
+        let mut out_b = vec![0u8; len];
+        seg_a.mem().read(0, &mut out_a).unwrap();
+        seg_b.mem().read(0, &mut out_b).unwrap();
+        assert_eq!(out_a, out_b);
+    }
+}
+
+/// Contention never increases a stream's effective bandwidth.
+#[test]
+fn contention_is_monotone() {
+    let mut rng = SplitMix64::new(0xFAB3);
+    for _ in 0..64 {
+        let extra = rng.next_below(12) as u32;
+        let f = fabric(8);
+        let route = f.topology().route(NodeId(0), NodeId(3));
+        let demand = f.params().node_injection_cap;
+        let base = f.links().effective_bandwidth(f.params(), &route, demand);
+        let _guards: Vec<_> = (0..extra).map(|_| f.links().start_stream(&route)).collect();
+        let contended = f.links().effective_bandwidth(f.params(), &route, demand);
+        assert!(contended <= base, "contention increased bandwidth");
+    }
+}
+
+/// Routes on arbitrary ring sizes: request + echo cover the ring exactly
+/// once; distances are consistent with link counts.
+#[test]
+fn ring_routes_well_formed() {
+    let mut rng = SplitMix64::new(0xFAB4);
+    for _ in 0..512 {
+        let nodes = rng.next_range(2, 31) as usize;
+        let src = NodeId(rng.next_below(32) as usize % nodes);
+        let dst = NodeId(rng.next_below(32) as usize % nodes);
+        let t = Topology::ringlet(nodes);
+        let r = t.route(src, dst);
+        if src == dst {
+            assert!(r.is_local());
+        } else {
+            let mut all: Vec<usize> = r
+                .links
+                .iter()
+                .chain(r.echo_links.iter())
+                .map(|l| l.0)
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..nodes).collect::<Vec<_>>());
+            assert_eq!(r.hops(), (dst.0 + nodes - src.0) % nodes);
+        }
+    }
+}
+
+/// Multi-ring routes never index outside the link table and cross at most
+/// one switch.
+#[test]
+fn multi_ring_routes_bounded() {
+    let mut rng = SplitMix64::new(0xFAB5);
+    for _ in 0..512 {
+        let rings = rng.next_range(1, 5) as usize;
+        let per = rng.next_range(1, 7) as usize;
+        let t = Topology::multi_ring(rings, per);
+        let n = t.node_count();
+        let src = NodeId(rng.next_below(48) as usize % n);
+        let dst = NodeId(rng.next_below(48) as usize % n);
+        let r = t.route(src, dst);
+        for l in r.links.iter().chain(r.echo_links.iter()) {
+            assert!(l.0 < t.link_count(), "link {} out of range", l.0);
+        }
+        assert!(r.switch_crossings <= 1);
+    }
+}
+
+/// Reads return exactly what was written for arbitrary offsets/sizes.
+#[test]
+fn read_after_write_integrity() {
+    let mut rng = SplitMix64::new(0xFAB6);
+    for _ in 0..128 {
+        let off = rng.next_below(1000) as usize;
+        let len = rng.next_range(1, 4095) as usize;
+        if off + len > 8192 {
+            continue;
+        }
+        let f = fabric(3);
+        let seg = f.export(NodeId(2), 8192);
+        let data: Vec<u8> = (0..len).map(|i| (i ^ off) as u8).collect();
+        let mut c = Clock::new();
+        let mut s = f.pio_stream(NodeId(0), &seg, len);
+        s.write(&mut c, off, &data).unwrap();
+        s.barrier(&mut c);
+        let r = f.pio_reader(NodeId(1), &seg);
+        let mut out = vec![0u8; len];
+        r.read(&mut c, off, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(c.now() > SimTime::ZERO);
+    }
+}

@@ -195,9 +195,6 @@ mod tests {
     fn fractional_mib_rates() {
         let bw = Bandwidth::from_mib_per_sec_f64(0.5);
         assert_eq!(bw.bytes_per_sec(), MIB / 2);
-        assert_eq!(
-            Bandwidth::from_mib_per_sec_f64(-3.0).bytes_per_sec(),
-            0
-        );
+        assert_eq!(Bandwidth::from_mib_per_sec_f64(-3.0).bytes_per_sec(), 0);
     }
 }

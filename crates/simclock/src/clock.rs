@@ -92,10 +92,7 @@ impl Clock {
 /// number of participants. This helper keeps all collectives in the
 /// simulation using the same timing rule.
 pub fn barrier_release(arrivals: &[SimTime], per_hop: SimDuration, n: usize) -> SimTime {
-    let latest = arrivals
-        .iter()
-        .copied()
-        .fold(SimTime::ZERO, SimTime::max);
+    let latest = arrivals.iter().copied().fold(SimTime::ZERO, SimTime::max);
     let hops = usize::BITS - n.max(1).leading_zeros(); // ceil(log2(n)) + 1-ish
     latest + per_hop.saturating_mul(hops as u64)
 }

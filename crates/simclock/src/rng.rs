@@ -58,7 +58,7 @@ impl SplitMix64 {
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn chance(&mut self, p: f64) -> bool {
-        if !(p > 0.0) {
+        if p.is_nan() || p <= 0.0 {
             return false;
         }
         if p >= 1.0 {

@@ -91,6 +91,29 @@ impl OnlineStats {
             self.max
         }
     }
+
+    /// Serialize as a JSON object `{"n":..,"mean":..,"stddev":..,"min":..,
+    /// "max":..}`. Hand-rolled because the build is fully self-contained
+    /// (no serde); non-finite values become `null`.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if !v.is_finite() {
+                "null".to_string()
+            } else if v == v.trunc() && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v:.6}")
+            }
+        }
+        format!(
+            "{{\"n\":{},\"mean\":{},\"stddev\":{},\"min\":{},\"max\":{}}}",
+            self.count(),
+            num(self.mean()),
+            num(self.stddev()),
+            num(self.min()),
+            num(self.max())
+        )
+    }
 }
 
 /// One labelled curve of `(x, y)` points, e.g. "direct_pack_ff inter-node"
@@ -230,9 +253,9 @@ pub fn series_table(x_label: &str, x_fmt: impl Fn(f64) -> String, series: &[Seri
 /// (8, 64, "1k", "128k", ...).
 pub fn fmt_bytes(bytes: f64) -> String {
     let b = bytes as u64;
-    if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+    if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
         format!("{}M", b / (1024 * 1024))
-    } else if b >= 1024 && b % 1024 == 0 {
+    } else if b >= 1024 && b.is_multiple_of(1024) {
         format!("{}k", b / 1024)
     } else {
         format!("{b}")
@@ -312,11 +335,26 @@ mod tests {
         s1.push(16.0, 2.0);
         let mut s2 = Series::new("two");
         s2.push(16.0, 4.0);
-        let t = series_table("size", |x| fmt_bytes(x), &[s1, s2]);
+        let t = series_table("size", fmt_bytes, &[s1, s2]);
         let r = t.render();
         assert!(r.contains("one"));
         assert!(r.contains("two"));
         assert!(r.contains("16"));
+    }
+
+    #[test]
+    fn online_stats_to_json() {
+        let mut s = OnlineStats::new();
+        assert_eq!(
+            s.to_json(),
+            "{\"n\":0,\"mean\":0,\"stddev\":0,\"min\":0,\"max\":0}"
+        );
+        s.push(1.0);
+        s.push(3.0);
+        let j = s.to_json();
+        assert!(j.starts_with("{\"n\":2,\"mean\":2,"), "{j}");
+        assert!(j.contains("\"stddev\":1.414214"), "{j}");
+        assert!(j.ends_with("\"min\":1,\"max\":3}"), "{j}");
     }
 
     #[test]

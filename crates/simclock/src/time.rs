@@ -356,7 +356,10 @@ mod tests {
     fn saturating_arithmetic() {
         let max = SimDuration::MAX;
         assert_eq!(max + SimDuration::from_ns(1), SimDuration::MAX);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_ns(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_ns(1),
+            SimDuration::ZERO
+        );
         assert_eq!(max.saturating_mul(2), SimDuration::MAX);
     }
 

@@ -1,0 +1,130 @@
+//! Randomized tests of the virtual-time arithmetic: the entire
+//! simulation's accounting rests on these invariants.
+//!
+//! Deterministic seeded randomness (`SplitMix64`) replaces an external
+//! property-testing framework; case counts are fixed, so failures
+//! reproduce exactly.
+
+use simclock::{clock::barrier_release, Bandwidth, Clock, SimDuration, SimTime, SplitMix64};
+
+/// Duration addition is commutative, associative (within saturation) and
+/// monotone.
+#[test]
+fn duration_addition_properties() {
+    let mut rng = SplitMix64::new(0xDA7E1);
+    for _ in 0..512 {
+        let (a, b, c) = (
+            rng.next_below(u64::MAX / 4),
+            rng.next_below(u64::MAX / 4),
+            rng.next_below(u64::MAX / 4),
+        );
+        let (da, db, dc) = (
+            SimDuration::from_ps(a),
+            SimDuration::from_ps(b),
+            SimDuration::from_ps(c),
+        );
+        assert_eq!(da + db, db + da);
+        assert_eq!((da + db) + dc, da + (db + dc));
+        assert!(da + db >= da);
+    }
+}
+
+/// Saturating subtraction never underflows and inverts addition when no
+/// clamping occurred.
+#[test]
+fn duration_sub_inverts_add() {
+    let mut rng = SplitMix64::new(0xDA7E2);
+    for _ in 0..512 {
+        let a = rng.next_below(u64::MAX / 2);
+        let b = rng.next_below(u64::MAX / 2);
+        let (da, db) = (SimDuration::from_ps(a), SimDuration::from_ps(b));
+        assert_eq!((da + db) - db, da);
+        if a < b {
+            assert_eq!(da - db, SimDuration::ZERO);
+        }
+    }
+}
+
+/// Bandwidth cost is additive in bytes: moving n+m bytes costs within
+/// 1 ps of moving n then m (integer division remainder).
+#[test]
+fn bandwidth_cost_additive() {
+    let mut rng = SplitMix64::new(0xDA7E3);
+    for _ in 0..512 {
+        let bps = 1 + rng.next_below(u64::MAX / (1 << 22) - 1);
+        let n = rng.next_below(1 << 20);
+        let m = rng.next_below(1 << 20);
+        let bw = Bandwidth::from_bytes_per_sec(bps);
+        let whole = bw.cost(n + m).as_ps() as i128;
+        let split = bw.cost(n).as_ps() as i128 + bw.cost(m).as_ps() as i128;
+        assert!((whole - split).abs() <= 1, "whole {whole} split {split}");
+    }
+}
+
+/// observed() inverts cost() to within rounding for sane rates.
+#[test]
+fn bandwidth_roundtrip() {
+    let mut rng = SplitMix64::new(0xDA7E4);
+    for _ in 0..512 {
+        let mibs = rng.next_range(1, 99_999);
+        let bytes = 1 + rng.next_below(1 << 30);
+        let bw = Bandwidth::from_mib_per_sec(mibs);
+        let elapsed = bw.cost(bytes);
+        if elapsed.is_zero() {
+            continue;
+        }
+        let back = Bandwidth::observed(bytes, elapsed);
+        let rel = (back.bytes_per_sec() as f64 - bw.bytes_per_sec() as f64).abs()
+            / bw.bytes_per_sec() as f64;
+        assert!(rel < 1e-6, "relative error {rel}");
+    }
+}
+
+/// Clock merge is idempotent and monotone; wait accounting only grows.
+#[test]
+fn clock_merge_properties() {
+    let mut rng = SplitMix64::new(0xDA7E5);
+    for _ in 0..256 {
+        let steps = rng.next_range(1, 49) as usize;
+        let mut clock = Clock::new();
+        let mut last = SimTime::ZERO;
+        let mut last_wait = SimDuration::ZERO;
+        for _ in 0..steps {
+            let adv = rng.next_below(1 << 40);
+            let mrg = rng.next_below(1 << 44);
+            clock.advance(SimDuration::from_ps(adv));
+            assert!(clock.now() >= last);
+            let t = SimTime::from_ps(mrg);
+            clock.merge(t);
+            assert!(clock.now() >= t, "merge went backwards");
+            // Merging the same time again is a no-op.
+            let before = clock.now();
+            let w = clock.merge(t);
+            assert_eq!(w, SimDuration::ZERO);
+            assert_eq!(clock.now(), before);
+            assert!(clock.total_waited() >= last_wait);
+            last = clock.now();
+            last_wait = clock.total_waited();
+        }
+    }
+}
+
+/// Barrier release is at or after every arrival, and permutation-
+/// independent.
+#[test]
+fn barrier_release_properties() {
+    let mut rng = SplitMix64::new(0xDA7E6);
+    for _ in 0..512 {
+        let n = rng.next_range(1, 15) as usize;
+        let mut times: Vec<u64> = (0..n).map(|_| rng.next_below(1 << 40)).collect();
+        let hop = SimDuration::from_ns(100);
+        let arrivals: Vec<SimTime> = times.iter().map(|&t| SimTime::from_ps(t)).collect();
+        let rel = barrier_release(&arrivals, hop, arrivals.len());
+        for a in &arrivals {
+            assert!(rel >= *a);
+        }
+        times.reverse();
+        let rev: Vec<SimTime> = times.iter().map(|&t| SimTime::from_ps(t)).collect();
+        assert_eq!(barrier_release(&rev, hop, rev.len()), rel);
+    }
+}

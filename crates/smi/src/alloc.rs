@@ -92,14 +92,14 @@ impl ShregAllocator {
     /// offset.
     pub fn alloc(&mut self, len: usize) -> Result<usize, AllocError> {
         let len = len.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-        let slot = self
-            .free
-            .iter()
-            .position(|&(_, flen)| flen >= len)
-            .ok_or(AllocError::OutOfMemory {
-                requested: len,
-                largest_free: self.largest_free(),
-            })?;
+        let slot =
+            self.free
+                .iter()
+                .position(|&(_, flen)| flen >= len)
+                .ok_or(AllocError::OutOfMemory {
+                    requested: len,
+                    largest_free: self.largest_free(),
+                })?;
         let (off, flen) = self.free[slot];
         if flen == len {
             self.free.remove(slot);

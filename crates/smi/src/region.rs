@@ -96,9 +96,7 @@ impl RegionHandle {
 
     /// True if this mapping is intra-node (plain shared memory).
     pub fn is_local(&self) -> bool {
-        self.region
-            .world
-            .same_node(self.proc, self.region.owner)
+        self.region.world.same_node(self.proc, self.region.owner)
     }
 
     fn node(&self) -> sci_fabric::NodeId {
@@ -313,8 +311,6 @@ mod tests {
         let region = w.create_region(ProcId(0), 16);
         let h = region.map(ProcId(1));
         let mut c = Clock::new();
-        assert!(h
-            .write(&mut c, 10, &[0u8; 16], TransferMode::Pio)
-            .is_err());
+        assert!(h.write(&mut c, 10, &[0u8; 16], TransferMode::Pio).is_err());
     }
 }

@@ -15,9 +15,9 @@
 //! virtual release time.
 
 use crate::{ProcId, SmiWorld};
-use parking_lot::{Condvar, Mutex};
 use simclock::{clock::barrier_release, Clock, SimDuration, SimTime};
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A lock whose lock word lives in the shared memory of `owner`'s node.
 #[derive(Debug)]
@@ -35,7 +35,7 @@ pub struct SmiLock {
 /// next holder does not observe this holder's critical-section time.
 #[derive(Debug)]
 pub struct SmiLockGuard<'a> {
-    inner: Option<parking_lot::MutexGuard<'a, SimTime>>,
+    inner: Option<MutexGuard<'a, SimTime>>,
 }
 
 impl SmiLock {
@@ -63,7 +63,9 @@ impl SmiLock {
                 .fabric()
                 .topology()
                 .distance(self.world.node_of(p), self.world.node_of(self.owner));
-            params.read_stall + params.txn_overhead + params.wire_latency(hops)
+            params.read_stall
+                + params.txn_overhead
+                + params.wire_latency(hops)
                 + params.store_barrier
         }
     }
@@ -72,13 +74,12 @@ impl SmiLock {
     /// the real mutex is free and charging `clock` for the SCI traffic and
     /// for any virtual wait on the previous holder.
     pub fn acquire<'a>(&'a self, clock: &mut Clock, p: ProcId) -> SmiLockGuard<'a> {
-        let guard = self.state.lock();
+        let guard = self.state.lock().unwrap();
+        obs::inc(obs::Counter::SmiLockAcquires);
         // Wait (in virtual time) for the previous holder's release.
         clock.merge(*guard);
         clock.advance(self.acquire_cost(p));
-        SmiLockGuard {
-            inner: Some(guard),
-        }
+        SmiLockGuard { inner: Some(guard) }
     }
 
     /// Try to acquire without blocking the thread. Charges the probe cost
@@ -86,14 +87,13 @@ impl SmiLock {
     pub fn try_acquire<'a>(&'a self, clock: &mut Clock, p: ProcId) -> Option<SmiLockGuard<'a>> {
         let probe = self.acquire_cost(p);
         match self.state.try_lock() {
-            Some(guard) => {
+            Ok(guard) => {
+                obs::inc(obs::Counter::SmiLockAcquires);
                 clock.merge(*guard);
                 clock.advance(probe);
-                Some(SmiLockGuard {
-                    inner: Some(guard),
-                })
+                Some(SmiLockGuard { inner: Some(guard) })
             }
-            None => {
+            Err(_) => {
                 clock.advance(probe);
                 None
             }
@@ -159,7 +159,8 @@ impl TimeBarrier {
     /// Returns `true` on the "leader" (last arriver), mirroring
     /// `std::sync::Barrier`.
     pub fn wait(&self, clock: &mut Clock) -> bool {
-        let mut st = self.state.lock();
+        obs::inc(obs::Counter::BarrierCrossings);
+        let mut st = self.state.lock().unwrap();
         st.arrived += 1;
         st.max_arrival = st.max_arrival.max(clock.now());
         if st.arrived == self.n {
@@ -176,7 +177,7 @@ impl TimeBarrier {
         } else {
             let gen = st.generation;
             while st.generation == gen {
-                self.cv.wait(&mut st);
+                st = self.cv.wait(st).unwrap();
             }
             let release = st.release;
             drop(st);
@@ -214,7 +215,7 @@ mod tests {
                 for _ in 0..250 {
                     let g = lock.acquire(&mut clock, ProcId(p));
                     {
-                        let mut c = counter.lock();
+                        let mut c = counter.lock().unwrap();
                         *c += 1;
                     }
                     clock.advance(SimDuration::from_ns(50));
@@ -226,7 +227,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(*counter.lock(), 1000);
+        assert_eq!(*counter.lock().unwrap(), 1000);
     }
 
     #[test]

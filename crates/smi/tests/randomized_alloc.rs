@@ -1,8 +1,11 @@
-//! Property-based tests of the shared-region allocator: any interleaving
-//! of allocations and frees preserves the free-list invariants, never
-//! hands out overlapping blocks, and always recovers the full capacity.
+//! Randomized tests of the shared-region allocator: any interleaving of
+//! allocations and frees preserves the free-list invariants, never hands
+//! out overlapping blocks, and always recovers the full capacity.
+//!
+//! Deterministic seeded randomness (`SplitMix64`) replaces an external
+//! property-testing framework.
 
-use proptest::prelude::*;
+use simclock::SplitMix64;
 use smi::alloc::ALLOC_ALIGN;
 use smi::ShregAllocator;
 
@@ -12,22 +15,25 @@ enum Op {
     FreeIdx(usize),
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (1usize..5000).prop_map(Op::Alloc),
-            (0usize..64).prop_map(Op::FreeIdx),
-        ],
-        1..200,
-    )
+fn random_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let n = rng.next_range(1, 199) as usize;
+    (0..n)
+        .map(|_| {
+            if rng.chance(0.5) {
+                Op::Alloc(rng.next_range(1, 4999) as usize)
+            } else {
+                Op::FreeIdx(rng.next_below(64) as usize)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn allocator_never_overlaps_and_recovers(ops in ops(), cap_kib in 1usize..64) {
-        let capacity = cap_kib * 1024;
+#[test]
+fn allocator_never_overlaps_and_recovers() {
+    let mut rng = SplitMix64::new(0xA110C);
+    for _ in 0..256 {
+        let ops = random_ops(&mut rng);
+        let capacity = rng.next_range(1, 63) as usize * 1024;
         let mut a = ShregAllocator::new(capacity);
         let mut live: Vec<(usize, usize)> = Vec::new(); // (offset, requested)
 
@@ -35,13 +41,13 @@ proptest! {
             match op {
                 Op::Alloc(len) => {
                     if let Ok(off) = a.alloc(len) {
-                        prop_assert_eq!(off % ALLOC_ALIGN, 0, "misaligned offset");
+                        assert_eq!(off % ALLOC_ALIGN, 0, "misaligned offset");
                         let rounded = len.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-                        prop_assert!(off + rounded <= capacity, "block outside region");
+                        assert!(off + rounded <= capacity, "block outside region");
                         // No overlap with any live block.
                         for &(o, l) in &live {
                             let r = l.max(1).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
-                            prop_assert!(
+                            assert!(
                                 off + rounded <= o || o + r <= off,
                                 "overlap: [{off},{}) with [{o},{})",
                                 off + rounded,
@@ -54,46 +60,55 @@ proptest! {
                 Op::FreeIdx(i) => {
                     if !live.is_empty() {
                         let (off, _) = live.remove(i % live.len());
-                        prop_assert!(a.free(off).is_ok(), "valid free rejected");
+                        assert!(a.free(off).is_ok(), "valid free rejected");
                     }
                 }
             }
-            prop_assert!(a.used() <= a.capacity());
-            prop_assert_eq!(a.live_count(), live.len());
+            assert!(a.used() <= a.capacity());
+            assert_eq!(a.live_count(), live.len());
         }
 
         // Free the rest; full capacity must come back as one block.
         for (off, _) in live {
-            prop_assert!(a.free(off).is_ok());
+            assert!(a.free(off).is_ok());
         }
-        prop_assert_eq!(a.used(), 0);
-        prop_assert_eq!(a.largest_free(), capacity);
+        assert_eq!(a.used(), 0);
+        assert_eq!(a.largest_free(), capacity);
     }
+}
 
-    #[test]
-    fn double_free_always_rejected(len in 1usize..1000) {
+#[test]
+fn double_free_always_rejected() {
+    let mut rng = SplitMix64::new(0xA110D);
+    for _ in 0..256 {
+        let len = rng.next_range(1, 999) as usize;
         let mut a = ShregAllocator::new(1 << 16);
         let off = a.alloc(len).unwrap();
         a.free(off).unwrap();
-        prop_assert!(a.free(off).is_err());
+        assert!(a.free(off).is_err());
     }
+}
 
-    #[test]
-    fn alloc_respects_exhaustion(lens in proptest::collection::vec(1usize..2048, 1..100)) {
+#[test]
+fn alloc_respects_exhaustion() {
+    let mut rng = SplitMix64::new(0xA110E);
+    for _ in 0..256 {
         let capacity = 16 * 1024;
         let mut a = ShregAllocator::new(capacity);
         let mut total = 0usize;
-        for len in lens {
+        let n = rng.next_range(1, 99) as usize;
+        for _ in 0..n {
+            let len = rng.next_range(1, 2047) as usize;
             let rounded = len.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
             match a.alloc(len) {
                 Ok(_) => {
                     total += rounded;
-                    prop_assert!(total <= capacity, "over-allocated");
+                    assert!(total <= capacity, "over-allocated");
                 }
                 Err(_) => {
                     // Exhaustion must be consistent with accounting:
                     // a failure means no free block of `rounded` exists.
-                    prop_assert!(a.largest_free() < rounded);
+                    assert!(a.largest_free() < rounded);
                 }
             }
         }

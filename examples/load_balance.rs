@@ -10,7 +10,6 @@
 //!
 //! Run: `cargo run --release --example load_balance`
 
-use mpi_datatype::typed;
 use scimpi::{run, AccumulateOp, ClusterSpec, ReduceOp, WinMemory};
 use simclock::{SimDuration, SplitMix64};
 

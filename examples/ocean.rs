@@ -64,8 +64,7 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
         for z in 0..NZ {
             for y in 1..NY - 1 {
                 for x in 1..NX - 1 {
-                    grid[idx(x, y, z)] =
-                        ((x * 7 + y * 13 + z * 29 + me * 31) % 97) as f64 / 97.0;
+                    grid[idx(x, y, z)] = ((x * 7 + y * 13 + z * 29 + me * 31) % 97) as f64 / 97.0;
                 }
             }
         }
@@ -87,20 +86,40 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
             r.sendrecv(
                 west,
                 10,
-                SendData::Typed { c: &ew, count: 1, buf: &bytes.clone(), origin: send_off },
+                SendData::Typed {
+                    c: &ew,
+                    count: 1,
+                    buf: &bytes.clone(),
+                    origin: send_off,
+                },
                 Source::Rank(west),
                 TagSel::Value(10),
-                RecvBuf::Typed { c: &ew, count: 1, buf: &mut bytes, origin: recv_off },
+                RecvBuf::Typed {
+                    c: &ew,
+                    count: 1,
+                    buf: &mut bytes,
+                    origin: recv_off,
+                },
             );
             let send_off = idx(NX - 2, 0, 0) * 8;
             let recv_off = idx(0, 0, 0) * 8;
             r.sendrecv(
                 west,
                 11,
-                SendData::Typed { c: &ew, count: 1, buf: &bytes.clone(), origin: send_off },
+                SendData::Typed {
+                    c: &ew,
+                    count: 1,
+                    buf: &bytes.clone(),
+                    origin: send_off,
+                },
                 Source::Rank(west),
                 TagSel::Value(11),
-                RecvBuf::Typed { c: &ew, count: 1, buf: &mut bytes, origin: recv_off },
+                RecvBuf::Typed {
+                    c: &ew,
+                    count: 1,
+                    buf: &mut bytes,
+                    origin: recv_off,
+                },
             );
             // North-south: row y=1 down, row y=NY-2 up.
             let send_off = idx(0, 1, 0) * 8;
@@ -108,20 +127,40 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
             r.sendrecv(
                 north,
                 12,
-                SendData::Typed { c: &ns, count: 1, buf: &bytes.clone(), origin: send_off },
+                SendData::Typed {
+                    c: &ns,
+                    count: 1,
+                    buf: &bytes.clone(),
+                    origin: send_off,
+                },
                 Source::Rank(north),
                 TagSel::Value(12),
-                RecvBuf::Typed { c: &ns, count: 1, buf: &mut bytes, origin: recv_off },
+                RecvBuf::Typed {
+                    c: &ns,
+                    count: 1,
+                    buf: &mut bytes,
+                    origin: recv_off,
+                },
             );
             let send_off = idx(0, NY - 2, 0) * 8;
             let recv_off = idx(0, 0, 0) * 8;
             r.sendrecv(
                 north,
                 13,
-                SendData::Typed { c: &ns, count: 1, buf: &bytes.clone(), origin: send_off },
+                SendData::Typed {
+                    c: &ns,
+                    count: 1,
+                    buf: &bytes.clone(),
+                    origin: send_off,
+                },
                 Source::Rank(north),
                 TagSel::Value(13),
-                RecvBuf::Typed { c: &ns, count: 1, buf: &mut bytes, origin: recv_off },
+                RecvBuf::Typed {
+                    c: &ns,
+                    count: 1,
+                    buf: &mut bytes,
+                    origin: recv_off,
+                },
             );
             comm += r.now() - t0;
             grid = typed::from_bytes(&bytes);
@@ -162,7 +201,10 @@ fn main() {
             f.checksum
         );
     }
-    println!("numerics identical across engines (checksum {:.6})\n", generic[0].checksum);
+    println!(
+        "numerics identical across engines (checksum {:.6})\n",
+        generic[0].checksum
+    );
 
     println!("virtual halo-exchange time per rank:");
     println!("rank   generic      direct_pack_ff   speedup");

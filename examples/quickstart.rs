@@ -46,7 +46,14 @@ fn main() {
             ));
         } else if me == 1 {
             let mut data = vec![0u8; committed.extent()];
-            rank.recv_typed(Source::Rank(0), TagSel::Value(2), &committed, 1, &mut data, 0);
+            rank.recv_typed(
+                Source::Rank(0),
+                TagSel::Value(2),
+                &committed,
+                1,
+                &mut data,
+                0,
+            );
             log.push("received strided vector via direct_pack_ff".to_string());
         }
         rank.barrier();

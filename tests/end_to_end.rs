@@ -2,9 +2,7 @@
 //! public API (fabric → SMI → datatypes → MPI runtime).
 
 use mpi_datatype::{typed, Committed, Datatype};
-use scimpi::{
-    run, AccumulateOp, ClusterSpec, ReduceOp, Source, TagSel, Tuning, WinMemory,
-};
+use scimpi::{run, AccumulateOp, ClusterSpec, ReduceOp, Source, TagSel, Tuning, WinMemory};
 use simclock::SimDuration;
 
 /// The same deterministic seed and workload must produce bit-identical
@@ -136,7 +134,10 @@ fn engines_agree_on_data_disagree_on_time() {
     };
     let generic = payload_for(Tuning::default().generic_only());
     let ff = payload_for(Tuning::default().full_ff_comparison());
-    assert_eq!(generic[1].0, ff[1].0, "received bytes differ between engines");
+    assert_eq!(
+        generic[1].0, ff[1].0,
+        "received bytes differ between engines"
+    );
     assert_ne!(generic[1].1, ff[1].1, "virtual cost should differ");
 }
 

@@ -49,7 +49,8 @@ fn fault_injection_is_deterministic() {
         let mut spec = ClusterSpec::ringlet(2);
         spec.faults = FaultConfig::lossy(0.1);
         spec.seed = 1234;
-        let out = run(spec, |r| {
+
+        run(spec, |r| {
             if r.rank() == 0 {
                 r.send(1, 0, &vec![9u8; 100_000]);
             } else {
@@ -58,8 +59,7 @@ fn fault_injection_is_deterministic() {
             }
             r.barrier();
             r.now()
-        });
-        out
+        })
     };
     assert_eq!(run_once(), run_once());
 }

@@ -15,7 +15,7 @@ use simclock::{Bandwidth, Clock, SimTime};
 fn fig1_write_read_dma_ordering() {
     let fabric = Fabric::new(FabricSpec::default());
     let seg = fabric.export(NodeId(1), 8 << 20);
-    let bw_of = |f: &dyn Fn(&mut Clock) -> ()| {
+    let bw_of = |f: &dyn Fn(&mut Clock)| {
         let mut clock = Clock::new();
         f(&mut clock);
         clock.now() - SimTime::ZERO
@@ -34,7 +34,10 @@ fn fig1_write_read_dma_ordering() {
         r.read(c, 0, &mut buf).unwrap();
     });
     // Figure 1: read bandwidth is an order of magnitude below write.
-    assert!(read.as_ps() > 8 * write.as_ps(), "write {write}, read {read}");
+    assert!(
+        read.as_ps() > 8 * write.as_ps(),
+        "write {write}, read {read}"
+    );
 
     // DMA has high setup: tiny transfers lose to PIO.
     let tiny_pio = bw_of(&|c| {
@@ -66,7 +69,10 @@ fn fig1_pio_write_dips_past_l2() {
     let at_64k = bw(64 * 1024);
     let at_1m = bw(1 << 20);
     assert!(at_64k > 200.0, "peak region should be >200, got {at_64k}");
-    assert!(at_1m < 170.0, "memory-limited region should dip, got {at_1m}");
+    assert!(
+        at_1m < 170.0,
+        "memory-limited region should dip, got {at_1m}"
+    );
 }
 
 // ---- Figure 7: noncontig crossovers ------------------------------------
@@ -140,7 +146,10 @@ fn fig9_put_get_shared_private_ordering() {
     assert!(put_s.bandwidth.mib_per_sec() > get_s.bandwidth.mib_per_sec());
     assert!(put_s.bandwidth.mib_per_sec() > put_p.bandwidth.mib_per_sec());
     let ratio = get_s.bandwidth.mib_per_sec() / put_p.bandwidth.mib_per_sec();
-    assert!((0.5..2.0).contains(&ratio), "message paths diverge: {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "message paths diverge: {ratio}"
+    );
 
     // Small accesses: direct put latency is order(s) below emulation.
     let put_s8 = sparse(internode_spec(), SparseDir::Put, 8, win, true);
@@ -158,8 +167,7 @@ fn fig9_put_get_shared_private_ordering() {
 fn fig12_sci_knee_at_five_to_six_nodes() {
     use repro_bench::scaling_put_bandwidth;
     let bw = |n: usize| {
-        scaling_put_bandwidth(ClusterSpec::ringlet(n), n, n - 1, 16 * 1024, 64 * 1024)
-            .mib_per_sec()
+        scaling_put_bandwidth(ClusterSpec::ringlet(n), n, n - 1, 16 * 1024, 64 * 1024).mib_per_sec()
     };
     let b4 = bw(4);
     let b5 = bw(5);
@@ -205,7 +213,10 @@ fn table2_neighbour_traffic_never_saturates() {
     };
     let b4 = bw(4);
     let b8 = bw(8);
-    assert!((b4 - b8).abs() < 0.05 * b4, "neighbour pattern degraded: {b4} vs {b8}");
+    assert!(
+        (b4 - b8).abs() < 0.05 * b4,
+        "neighbour pattern degraded: {b4} vs {b8}"
+    );
 }
 
 // ---- §4.3: write-combine stride sensitivity ------------------------------
@@ -219,7 +230,8 @@ fn strided_write_ranges_match_paper() {
         let data = vec![0u8; access * count];
         let mut c = Clock::new();
         let mut s = fabric.pio_stream(NodeId(0), &seg, access * count);
-        s.write_strided(&mut c, 0, access, stride, count, &data).unwrap();
+        s.write_strided(&mut c, 0, access, stride, count, &data)
+            .unwrap();
         s.barrier(&mut c);
         Bandwidth::observed((access * count) as u64, c.now() - SimTime::ZERO).mib_per_sec()
     };
@@ -247,7 +259,8 @@ fn disabling_write_combining_flattens_and_halves() {
         let data = vec![0u8; 64 * count];
         let mut c = Clock::new();
         let mut s = fabric.pio_stream(NodeId(0), &seg, 64 * count);
-        s.write_strided(&mut c, 0, 64, stride, count, &data).unwrap();
+        s.write_strided(&mut c, 0, 64, stride, count, &data)
+            .unwrap();
         s.barrier(&mut c);
         Bandwidth::observed((64 * count) as u64, c.now() - SimTime::ZERO).mib_per_sec()
     };

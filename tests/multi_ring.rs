@@ -17,7 +17,10 @@ fn collectives_across_rings() {
             token = 0xDEADBEEFu64.to_le_bytes().to_vec();
         }
         r.bcast(0, &mut token);
-        (sum[0], u64::from_le_bytes(token.try_into().expect("8 bytes")))
+        (
+            sum[0],
+            u64::from_le_bytes(token.try_into().expect("8 bytes")),
+        )
     });
     let expect: f64 = (0..12).map(|i| i as f64).sum();
     assert!(out.iter().all(|&(s, t)| s == expect && t == 0xDEADBEEF));

@@ -106,13 +106,26 @@ fn accumulate_operators() {
         }
         win.fence(r);
         if r.rank() == 0 {
-            win.accumulate(r, 1, 0, AccumulateOp::SumF64, &typed::to_bytes(&[2.5f64, 4.0]))
-                .unwrap();
-            win.accumulate(r, 1, 0, AccumulateOp::MaxF64, &typed::to_bytes(&[5.0f64, -100.0]))
-                .unwrap();
+            win.accumulate(
+                r,
+                1,
+                0,
+                AccumulateOp::SumF64,
+                &typed::to_bytes(&[2.5f64, 4.0]),
+            )
+            .unwrap();
+            win.accumulate(
+                r,
+                1,
+                0,
+                AccumulateOp::MaxF64,
+                &typed::to_bytes(&[5.0f64, -100.0]),
+            )
+            .unwrap();
             win.accumulate(r, 1, 16, AccumulateOp::SumI64, &(-7i64).to_le_bytes())
                 .unwrap();
-            win.accumulate(r, 1, 24, AccumulateOp::Replace, &[9u8; 8]).unwrap();
+            win.accumulate(r, 1, 24, AccumulateOp::Replace, &[9u8; 8])
+                .unwrap();
         }
         win.fence(r);
         if r.rank() == 1 {

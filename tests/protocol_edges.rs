@@ -46,8 +46,10 @@ fn messages_at_protocol_thresholds() {
                 let mut buf = vec![0u8; len];
                 let st = r.recv(Source::Rank(0), TagSel::Value(i as i32), &mut buf);
                 assert_eq!(st.len, len);
-                assert!(buf.iter().enumerate().all(|(j, &b)| b == (j ^ i) as u8),
-                        "payload corrupted at size {len}");
+                assert!(
+                    buf.iter().enumerate().all(|(j, &b)| b == (j ^ i) as u8),
+                    "payload corrupted at size {len}"
+                );
             }
         }
     });
@@ -62,7 +64,7 @@ fn self_sendrecv_works() {
         let st = r.sendrecv(
             me,
             1,
-            SendData::Bytes(&vec![me as u8; 64]),
+            SendData::Bytes(&[me as u8; 64]),
             Source::Rank(me),
             TagSel::Value(1),
             RecvBuf::Bytes(&mut buf),
@@ -123,11 +125,11 @@ fn typed_message_with_offset_origin() {
             let mut buf = vec![0u8; 64];
             r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 24);
             // Blocks at 24-16=8..24 and 24+16=40..56.
-            for i in 8..24 {
-                assert_eq!(buf[i], i as u8);
+            for (i, b) in buf.iter().enumerate().take(24).skip(8) {
+                assert_eq!(*b, i as u8);
             }
-            for i in 40..56 {
-                assert_eq!(buf[i], i as u8);
+            for (i, b) in buf.iter().enumerate().take(56).skip(40) {
+                assert_eq!(*b, i as u8);
             }
             assert!(buf[24..40].iter().all(|&b| b == 0), "gap written");
         }
