@@ -1,0 +1,151 @@
+//! Throughput degradation under injected fabric faults.
+//!
+//! Sweeps the transaction error rate over a multi-ring cluster while every
+//! rank streams large one-sided puts at its ring neighbour, and reports
+//! how aggregate throughput degrades as the fault-tolerant protocol layer
+//! absorbs retries, route failovers, and direct→emulated fallbacks. The
+//! recovery counters for each rate ride along in the JSON document so a
+//! regression check can assert the machinery actually engaged (all zero at
+//! rate 0, nonzero above).
+//!
+//! `max_retries` is pinned low so a realistic share of bursts escalates
+//! from soft retry to hard failure, and `osc_fallback_threshold` to 1 so a
+//! single hard failure demotes the target — the bench then measures the
+//! cost of the *recovery paths*, not just the retry latency.
+//!
+//! Run: `cargo run --release -p repro-bench --bin fault_degradation`
+
+use obs::json::num;
+use obs::Counter;
+use sci_fabric::FaultConfig;
+use scimpi::{ClusterSpec, ErrorMode, ObsConfig, Tuning, WinMemory};
+use simclock::stats::Table;
+use simclock::SimTime;
+
+const PUT_SIZE: usize = 128 * 1024;
+const ROUNDS: usize = 8;
+const RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
+
+/// The recovery-counter totals of one run, in JSON field order.
+const RECOVERY: [(&str, Counter); 7] = [
+    ("link_txn_retries", Counter::LinkTxnRetries),
+    ("link_hard_failures", Counter::LinkHardFailures),
+    ("route_failovers", Counter::RouteFailovers),
+    ("route_heals", Counter::RouteHeals),
+    ("osc_fallbacks", Counter::OscFallbacks),
+    ("osc_repromotions", Counter::OscRepromotions),
+    ("peers_declared_dead", Counter::PeersDeclaredDead),
+];
+
+fn spec_for(rate: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::multi_ring(2, 4)
+        .with_errors(ErrorMode::ErrorsReturn)
+        .with_tuning(Tuning {
+            osc_fallback_threshold: 1,
+            ..Tuning::default()
+        })
+        .with_obs(ObsConfig::enabled());
+    spec.faults = FaultConfig {
+        error_rate: rate,
+        max_retries: 1,
+        ..FaultConfig::default()
+    };
+    spec.seed = 20020415; // IPPS 2002
+    spec
+}
+
+/// Run the workload and return aggregate throughput in MiB/s.
+fn throughput_at(rate: f64) -> f64 {
+    let times: Vec<SimTime> = scimpi::run(spec_for(rate), |r| {
+        let size = r.size();
+        let mem = r.alloc_mem(PUT_SIZE);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        let data = vec![r.rank() as u8; PUT_SIZE];
+        win.fence(r);
+        for _ in 0..ROUNDS {
+            let target = (r.rank() + 1) % size;
+            // With `osc_fallback_threshold: 1` a hard failure demotes the
+            // target and the same call is served by the emulation path, so
+            // the put itself never errors — its *cost* is what degrades.
+            win.try_put(r, target, 0, &data)
+                .expect("fallback absorbs hard failures");
+            // The fence re-promotes demoted targets (the admin route is
+            // healthy; only random transaction faults are injected), so
+            // every round re-attempts the direct path first.
+            win.fence(r);
+        }
+        r.now()
+    });
+    let total_bytes = (times.len() * ROUNDS * PUT_SIZE) as f64;
+    let max_time = times.into_iter().max().expect("nonempty cluster");
+    total_bytes / (1024.0 * 1024.0) / max_time.as_secs_f64()
+}
+
+fn main() {
+    let mut table = Table::new(vec![
+        "error rate",
+        "throughput [MiB/s]",
+        "degradation",
+        "hard failures",
+        "failovers",
+        "fallbacks",
+        "repromotions",
+    ]);
+    let mut points = Vec::new();
+    let mut baseline = 0.0;
+    for &rate in &RATES {
+        let mbps = throughput_at(rate);
+        let counters: Vec<(&str, u64)> = RECOVERY
+            .iter()
+            .map(|&(name, c)| (name, obs::counter_value(c)))
+            .collect();
+        let total_recoveries: u64 = counters.iter().map(|&(_, v)| v).sum();
+        if rate == 0.0 {
+            baseline = mbps;
+            assert_eq!(
+                total_recoveries, 0,
+                "a healthy fabric must not trip any recovery counter"
+            );
+        } else {
+            assert!(
+                total_recoveries > 0,
+                "error rate {rate} engaged no recovery machinery"
+            );
+        }
+        let find = |name: &str| counters.iter().find(|&&(n, _)| n == name).unwrap().1;
+        table.push_row(vec![
+            format!("{rate}"),
+            format!("{mbps:.1}"),
+            format!("{:.1}%", (1.0 - mbps / baseline) * 100.0),
+            format!("{}", find("link_hard_failures")),
+            format!("{}", find("route_failovers")),
+            format!("{}", find("osc_fallbacks")),
+            format!("{}", find("osc_repromotions")),
+        ]);
+        let recovery_json = counters
+            .iter()
+            .map(|&(name, v)| format!("\"{name}\":{v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        points.push(format!(
+            "{{\"error_rate\":{},\"mbps\":{},\"degradation_pct\":{},\"recovery\":{{{}}}}}",
+            num(rate),
+            num(mbps),
+            num((1.0 - mbps / baseline) * 100.0),
+            recovery_json
+        ));
+    }
+
+    println!("== One-sided throughput vs injected fault rate ==\n");
+    println!("{}", table.render());
+    // Hand-built document: the recovery-counter objects don't fit the
+    // shared BenchPoint shape, but the envelope matches the other benches.
+    let json = format!(
+        "{{\"bench\":\"fault_degradation\",\"put_bytes\":{PUT_SIZE},\"rounds\":{ROUNDS},\"points\":[\n{}\n]}}\n",
+        points.join(",\n")
+    );
+    match std::fs::write("BENCH_fault_degradation.json", &json) {
+        Ok(()) => println!("wrote BENCH_fault_degradation.json"),
+        Err(e) => eprintln!("BENCH_fault_degradation.json not written: {e}"),
+    }
+}

@@ -5,6 +5,7 @@
 //! examples and benchmarks need — binomial-tree broadcast and reduce,
 //! gather, and all-reduce — each paying realistic per-hop message costs.
 
+use crate::error::ScimpiError;
 use crate::mailbox::{Source, TagSel};
 use crate::p2p::RecvBuf;
 use crate::runtime::Rank;
@@ -203,6 +204,16 @@ impl Rank {
     /// Exchange equal-size byte blocks with every rank (`MPI_Alltoall`,
     /// pairwise-exchange algorithm).
     pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        match self.try_alltoall(sendblocks) {
+            Ok(out) => out,
+            Err(e) => panic!("alltoall failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Rank::alltoall`]: the pairwise exchange
+    /// aborts at the first failed step (a dead partner surfaces as
+    /// [`ScimpiError::PeerDead`] instead of hanging the collective).
+    pub fn try_alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
         assert_eq!(sendblocks.len(), self.size, "one block per rank");
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = sendblocks[self.rank].clone();
@@ -210,18 +221,18 @@ impl Rank {
             let dst = (self.rank + step) % self.size;
             let src = (self.rank + self.size - step) % self.size;
             let mut buf = vec![0u8; sendblocks[dst].len().max(1 << 20)];
-            let st = self.sendrecv(
+            let st = self.try_sendrecv(
                 dst,
                 COLL_TAG + 2,
                 SendData::Bytes(&sendblocks[dst]),
                 Source::Rank(src),
                 TagSel::Value(COLL_TAG + 2),
                 RecvBuf::Bytes(&mut buf),
-            );
+            )?;
             buf.truncate(st.len);
             out[src] = buf;
         }
-        out
+        Ok(out)
     }
 }
 

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod collective;
+pub mod error;
 pub mod mailbox;
 pub mod osc;
 pub mod p2p;
@@ -41,6 +42,7 @@ pub mod sink;
 pub mod tuning;
 
 pub use collective::ReduceOp;
+pub use error::{death_delay, ErrorMode, ScimpiError};
 pub use mailbox::{Source, Tag, TagSel};
 pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};

@@ -157,6 +157,41 @@ impl Mailbox {
         }
     }
 
+    /// Like [`Self::match_recv`], but give up after `timeout` of *real*
+    /// time. Returns `None` on expiry without removing anything.
+    ///
+    /// The timeout is a polling slice, not a protocol decision: callers
+    /// loop on it, checking peer liveness between slices, and charge
+    /// virtual time only from the deterministic timeout schedule — never
+    /// from real-time expiry.
+    pub fn match_recv_for(
+        &self,
+        src: Source,
+        tag: TagSel,
+        timeout: std::time::Duration,
+    ) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(idx) = q.msgs.iter().position(|e| {
+                (match src {
+                    Source::Any => true,
+                    Source::Rank(r) => e.src == r,
+                }) && (match tag {
+                    TagSel::Any => true,
+                    TagSel::Value(t) => e.tag == t,
+                })
+            }) {
+                return Some(q.msgs.remove(idx).expect("index valid under lock"));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            q = self.cv.wait_timeout(q, deadline - now).unwrap().0;
+        }
+    }
+
     /// Non-blocking probe: does a matching envelope exist? Returns its
     /// `(src, tag, arrival)` without removing it.
     pub fn probe(&self, src: Source, tag: TagSel) -> Option<(usize, Tag, SimTime)> {
@@ -188,6 +223,29 @@ impl Mailbox {
                 }
             }
             q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Like [`Self::wait_ctrl`], but give up after `timeout` of *real*
+    /// time. Returns `None` on expiry. See [`Self::match_recv_for`] for
+    /// the virtual-time contract.
+    pub fn wait_ctrl_for(&self, handle: u64, timeout: std::time::Duration) -> Option<Ctrl> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(dq) = q.ctrl.get_mut(&handle) {
+                if let Some(c) = dq.pop_front() {
+                    if dq.is_empty() {
+                        q.ctrl.remove(&handle);
+                    }
+                    return Some(c);
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            q = self.cv.wait_timeout(q, deadline - now).unwrap().0;
         }
     }
 

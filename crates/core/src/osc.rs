@@ -20,10 +20,11 @@
 //! post/start/complete/wait, and passive-target `lock`/`unlock` built on
 //! the shared-memory locks of [`smi::SmiLock`] (reference 14).
 
+use crate::error::ScimpiError;
 use crate::mailbox::Ctrl;
 use crate::runtime::Rank;
 use mpi_datatype::{ff, Committed};
-use sci_fabric::{PioStream, SciError, SharedMem};
+use sci_fabric::{ConnectionMonitor, PioStream, SciError, SharedMem};
 use simclock::{SimDuration, SimTime};
 use smi::{ProcId, SharedRegion, SmiLock, TimeBarrier};
 use std::sync::Arc;
@@ -82,12 +83,27 @@ struct WindowShared {
     fence: TimeBarrier,
 }
 
+/// Per-target direct-path health, driving the graceful degradation of §4:
+/// when transparent remote access to a shared target keeps failing (both
+/// the primary and any alternate route), the window falls back to the
+/// control-message emulation path for that target until a fence-time
+/// connection probe shows the direct path healthy again.
+#[derive(Clone, Copy, Default)]
+struct FallbackState {
+    /// Direct access disabled — operations go through emulation.
+    active: bool,
+    /// Consecutive direct-path failures observed so far.
+    consecutive: u32,
+}
+
 /// A one-sided communication window (`MPI_Win`).
 pub struct Window {
     shared: Arc<WindowShared>,
     /// Open PIO streams to shared targets (kept across ops so consecutive
     /// ascending accesses merge, and so outstanding writes are tracked).
     streams: Vec<Option<PioStream>>,
+    /// Per-target direct→emulated degradation state.
+    fallback: Vec<FallbackState>,
     /// Per-target busy-until time of the emulation handler: requests to
     /// one target serialise (each costs a remote interrupt plus handler
     /// time on the target CPU).
@@ -134,17 +150,31 @@ impl Rank {
     /// `MPI_Alloc_mem`: allocate remotely accessible memory from this
     /// rank's shared-segment pool.
     pub fn alloc_mem(&mut self, len: usize) -> AllocMem {
+        match self.try_alloc_mem(len) {
+            Ok(mem) => mem,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Rank::alloc_mem`]: pool exhaustion comes back
+    /// as [`ScimpiError::WindowError`] instead of panicking.
+    pub fn try_alloc_mem(&mut self, len: usize) -> Result<AllocMem, ScimpiError> {
         let offset = self.world.alloc_pools[self.rank]
             .lock()
             .unwrap()
             .alloc(len)
-            .expect("shared-segment pool exhausted");
-        AllocMem {
+            .map_err(|e| {
+                ScimpiError::WindowError(format!(
+                    "shared-segment pool exhausted allocating {len} bytes on rank {}: {e:?}",
+                    self.rank
+                ))
+            })?;
+        Ok(AllocMem {
             rank: self.rank,
             region: Arc::clone(&self.world.alloc_regions[self.rank]),
             offset,
             len,
-        }
+        })
     }
 
     /// `MPI_Free_mem`.
@@ -158,6 +188,15 @@ impl Rank {
 
     /// `MPI_Win_create` (collective): expose `mem` to all ranks.
     pub fn win_create(&mut self, mem: WinMemory) -> Window {
+        match self.try_win_create(mem) {
+            Ok(win) => win,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Rank::win_create`]: registration failures
+    /// come back as [`ScimpiError::WindowError`] instead of panicking.
+    pub fn try_win_create(&mut self, mem: WinMemory) -> Result<Window, ScimpiError> {
         let contrib: (TargetMem, usize) = match mem {
             WinMemory::Alloc(am) => {
                 assert_eq!(am.rank, self.rank, "alloc_mem from another rank");
@@ -205,16 +244,21 @@ impl Rank {
             .lock()
             .unwrap()
             .get(&id)
-            .expect("window registered by rank 0")
+            .ok_or_else(|| {
+                ScimpiError::WindowError(format!("window {id} was not registered by rank 0"))
+            })?
             .clone()
             .downcast::<WindowShared>()
-            .expect("window type");
-        Window {
+            .map_err(|_| {
+                ScimpiError::WindowError(format!("window {id} registered with a mismatched type"))
+            })?;
+        Ok(Window {
             streams: (0..self.size).map(|_| None).collect(),
             emu_busy: vec![SimTime::ZERO; self.size],
+            fallback: vec![FallbackState::default(); self.size],
             shared,
             emu_outstanding: SimTime::ZERO,
-        }
+        })
     }
 }
 
@@ -245,6 +289,81 @@ impl Window {
             }));
         }
         Ok(())
+    }
+
+    /// Is the direct transparent-remote-access path in use for `target`?
+    fn direct_active(&self, target: usize) -> bool {
+        self.is_shared(target) && !self.fallback[target].active
+    }
+
+    /// A successful direct access clears the failure streak.
+    fn note_direct_success(&mut self, target: usize) {
+        self.fallback[target].consecutive = 0;
+    }
+
+    /// Record a direct-path failure. Returns `Ok(())` when the failure
+    /// streak reached `Tuning::osc_fallback_threshold` and the target has
+    /// been demoted to the emulation path (the caller then serves the
+    /// current operation through it); below the threshold the error is
+    /// returned for the application to retry.
+    fn note_direct_failure(
+        &mut self,
+        rank: &Rank,
+        target: usize,
+        e: SciError,
+    ) -> Result<(), SciError> {
+        let threshold = rank.world.tuning.osc_fallback_threshold;
+        let fb = &mut self.fallback[target];
+        fb.consecutive += 1;
+        if fb.consecutive < threshold {
+            return Err(e);
+        }
+        fb.active = true;
+        self.streams[target] = None;
+        obs::inc(obs::Counter::OscFallbacks);
+        if obs::is_enabled() {
+            obs::instant(
+                "ft.osc_fallback",
+                rank.clock.now(),
+                vec![("target", obs::Arg::U64(target as u64))],
+            );
+        }
+        Ok(())
+    }
+
+    /// Every emulated round trip needs the target's CPU to run the
+    /// handler — a dead target is an error, not a hang.
+    fn ensure_alive(rank: &Rank, target: usize) -> Result<(), SciError> {
+        if rank.world.peer_dead(target) {
+            return Err(SciError::PeerDead(target));
+        }
+        Ok(())
+    }
+
+    /// Write into `target`'s backing window memory (the data movement of
+    /// the emulated path — the handler's copy on the target side).
+    fn backing_write(&self, target: usize, at: usize, data: &[u8]) -> Result<(), SciError> {
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { region, offset } => region
+                .segment()
+                .mem()
+                .write(offset + at, data)
+                .map_err(SciError::from),
+            TargetMem::Private { mem } => mem.write(at, data).map_err(SciError::from),
+        }
+    }
+
+    /// Read from `target`'s backing window memory (see
+    /// [`Window::backing_write`]).
+    fn backing_read(&self, target: usize, at: usize, dst: &mut [u8]) -> Result<(), SciError> {
+        match &self.shared.targets[target].0 {
+            TargetMem::Shared { region, offset } => region
+                .segment()
+                .mem()
+                .read(offset + at, dst)
+                .map_err(SciError::from),
+            TargetMem::Private { mem } => mem.read(at, dst).map_err(SciError::from),
+        }
     }
 
     /// Direct-path stream to a shared target (created lazily, kept open).
@@ -280,25 +399,30 @@ impl Window {
     ) -> Result<(), SciError> {
         self.check(target, target_off, data.len())?;
         let start = rank.clock.now();
-        match &self.shared.targets[target].0 {
-            TargetMem::Shared { .. } => {
-                obs::inc(obs::Counter::OscPutShared);
-                let (stream, base) =
-                    Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
-                stream.write(&mut rank.clock, base + target_off, data)?;
-                osc_span(rank, "osc.put", start, data.len(), target, "shared");
-                Ok(())
-            }
-            TargetMem::Private { mem } => {
-                obs::inc(obs::Counter::OscPutEmulated);
-                // Emulation: control message + remote interrupt + handler
-                // receives the data with the ordinary protocols.
-                mem.write(target_off, data)?;
-                self.emulate(rank, target, data.len());
-                osc_span(rank, "osc.put", start, data.len(), target, "emulated");
-                Ok(())
+        if self.direct_active(target) {
+            obs::inc(obs::Counter::OscPutShared);
+            let (stream, base) =
+                Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
+            match stream.write(&mut rank.clock, base + target_off, data) {
+                Ok(()) => {
+                    self.note_direct_success(target);
+                    osc_span(rank, "osc.put", start, data.len(), target, "shared");
+                    return Ok(());
+                }
+                Err(e) => self.note_direct_failure(rank, target, e)?,
             }
         }
+        // Emulation (private windows, or shared targets under fallback):
+        // control message + remote interrupt + handler receives the data
+        // with the ordinary protocols. A failed direct write above may
+        // already have moved some bytes; the handler's copy lands the full
+        // payload either way.
+        obs::inc(obs::Counter::OscPutEmulated);
+        Self::ensure_alive(rank, target)?;
+        self.backing_write(target, target_off, data)?;
+        self.emulate(rank, target, data.len());
+        osc_span(rank, "osc.put", start, data.len(), target, "emulated");
+        Ok(())
     }
 
     /// `MPI_Put` of a committed datatype — `direct_pack_ff` streams the
@@ -317,69 +441,69 @@ impl Window {
         let total = c.size() * count;
         self.check(target, target_off, c.extent() * count)?;
         let start = rank.clock.now();
-        match &self.shared.targets[target].0 {
-            TargetMem::Shared { .. } => {
-                obs::inc(obs::Counter::OscPutShared);
-                let (stream, base) =
-                    Self::stream(&mut self.streams, &self.shared, rank, target, total);
-                // Pack into the window preserving the *layout* (the target
-                // datatype equals the origin datatype here): each block is
-                // written at its own displacement.
-                let mut err = None;
-                let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                    let src_at = (origin as i64 + disp) as usize;
-                    let dst_at = base + target_off + disp as usize;
-                    match stream.write(&mut rank.clock, dst_at, &buf[src_at..src_at + len]) {
-                        Ok(()) => core::ops::ControlFlow::Continue(()),
-                        Err(e) => {
-                            err = Some(e);
-                            core::ops::ControlFlow::Break(())
-                        }
+        if self.direct_active(target) {
+            obs::inc(obs::Counter::OscPutShared);
+            let (stream, base) = Self::stream(&mut self.streams, &self.shared, rank, target, total);
+            // Pack into the window preserving the *layout* (the target
+            // datatype equals the origin datatype here): each block is
+            // written at its own displacement.
+            let mut err = None;
+            let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                let src_at = (origin as i64 + disp) as usize;
+                let dst_at = base + target_off + disp as usize;
+                match stream.write(&mut rank.clock, dst_at, &buf[src_at..src_at + len]) {
+                    Ok(()) => core::ops::ControlFlow::Continue(()),
+                    Err(e) => {
+                        err = Some(e);
+                        core::ops::ControlFlow::Break(())
                     }
-                });
-                if let Some(e) = err {
-                    return Err(e);
                 }
-                rank.clock.advance(
-                    rank.world
-                        .tuning
-                        .ff_block_cost
-                        .saturating_mul(stats.blocks as u64),
-                );
-                osc_span(rank, "osc.put_typed", start, total, target, "shared");
-                Ok(())
-            }
-            TargetMem::Private { mem } => {
-                obs::inc(obs::Counter::OscPutEmulated);
-                let mut sink = ff::VecSink::default();
-                let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
-                    .expect("VecSink infallible");
-                rank.clock.advance(
-                    rank.world
-                        .tuning
-                        .ff_block_cost
-                        .saturating_mul(stats.blocks as u64),
-                );
-                // Handler unpacks at the target; data keeps its layout.
-                let mut err = None;
-                let mut pos = 0usize;
-                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                    let at = (target_off as i64 + disp) as usize;
-                    if let Err(e) = mem.write(at, &sink.data[pos..pos + len]) {
-                        err = Some(SciError::OutOfBounds(e));
-                        return core::ops::ControlFlow::Break(());
-                    }
-                    pos += len;
-                    core::ops::ControlFlow::Continue(())
-                });
-                if let Some(e) = err {
-                    return Err(e);
+            });
+            match err {
+                None => {
+                    rank.clock.advance(
+                        rank.world
+                            .tuning
+                            .ff_block_cost
+                            .saturating_mul(stats.blocks as u64),
+                    );
+                    self.note_direct_success(target);
+                    osc_span(rank, "osc.put_typed", start, total, target, "shared");
+                    return Ok(());
                 }
-                self.emulate(rank, target, total);
-                osc_span(rank, "osc.put_typed", start, total, target, "emulated");
-                Ok(())
+                Some(e) => self.note_direct_failure(rank, target, e)?,
             }
         }
+        // Emulation (private windows, or shared targets under fallback).
+        obs::inc(obs::Counter::OscPutEmulated);
+        Self::ensure_alive(rank, target)?;
+        let mut sink = ff::VecSink::default();
+        let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
+            .expect("VecSink infallible");
+        rank.clock.advance(
+            rank.world
+                .tuning
+                .ff_block_cost
+                .saturating_mul(stats.blocks as u64),
+        );
+        // Handler unpacks at the target; data keeps its layout.
+        let mut err = None;
+        let mut pos = 0usize;
+        ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+            let at = (target_off as i64 + disp) as usize;
+            if let Err(e) = self.backing_write(target, at, &sink.data[pos..pos + len]) {
+                err = Some(e);
+                return core::ops::ControlFlow::Break(());
+            }
+            pos += len;
+            core::ops::ControlFlow::Continue(())
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.emulate(rank, target, total);
+        osc_span(rank, "osc.put_typed", start, total, target, "emulated");
+        Ok(())
     }
 
     /// `MPI_Put` of a committed datatype through the **DMA engine's
@@ -431,72 +555,104 @@ impl Window {
         self.check(target, target_off, dst.len())?;
         let threshold = rank.world.tuning.get_remote_put_threshold;
         let start = rank.clock.now();
-        match &self.shared.targets[target].0 {
-            TargetMem::Shared { region, offset } => {
-                if dst.len() < threshold {
-                    obs::inc(obs::Counter::OscGetDirect);
-                    // Small: direct remote read (CPU stalls, but latency is
-                    // still low compared to messaging).
-                    let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
-                    reader.read(&mut rank.clock, offset + target_off, dst)?;
-                    osc_span(rank, "osc.get", start, dst.len(), target, "direct");
-                    Ok(())
-                } else {
-                    obs::inc(obs::Counter::OscGetRemotePut);
-                    // Large: remote-put conversion — the target writes the
-                    // data into the origin's address space at SCI write
-                    // bandwidth instead of the origin reading it at SCI
-                    // read bandwidth.
-                    region.segment().mem().read(offset + target_off, dst)?;
-                    let params = rank.world.fabric.params();
-                    let t = &rank.world.tuning;
-                    let hops = rank
-                        .world
-                        .fabric
-                        .topology()
-                        .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
-                    let cost = t.ctrl_send_cost
-                        + params.remote_interrupt
-                        + HANDLER_COST
-                        + params.txn_overhead
-                        + params
-                            .pio_stream_bw(dst.len())
-                            .min(params.node_injection_cap)
-                            .cost(dst.len() as u64)
-                        + params.wire_latency(hops).saturating_mul(2)
-                        + params.cache.copy_cost(dst.len(), dst.len());
-                    rank.clock.advance(cost);
-                    osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
-                    Ok(())
+        if self.direct_active(target) {
+            let (region, offset) = match &self.shared.targets[target].0 {
+                TargetMem::Shared { region, offset } => (Arc::clone(region), *offset),
+                TargetMem::Private { .. } => unreachable!("direct_active implies shared"),
+            };
+            if dst.len() < threshold {
+                obs::inc(obs::Counter::OscGetDirect);
+                // Small: direct remote read (CPU stalls, but latency is
+                // still low compared to messaging).
+                let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
+                match reader.read(&mut rank.clock, offset + target_off, dst) {
+                    Ok(()) => {
+                        self.note_direct_success(target);
+                        osc_span(rank, "osc.get", start, dst.len(), target, "direct");
+                        return Ok(());
+                    }
+                    Err(e) => self.note_direct_failure(rank, target, e)?,
                 }
-            }
-            TargetMem::Private { mem } => {
+            } else {
                 obs::inc(obs::Counter::OscGetRemotePut);
-                // Emulation: interrupt the target, handler sends the data
-                // back with the ordinary protocols.
-                mem.read(target_off, dst)?;
-                let params = rank.world.fabric.params();
-                let t = &rank.world.tuning;
-                let hops = rank
-                    .world
-                    .fabric
-                    .topology()
-                    .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
-                let cost = t.ctrl_send_cost
-                    + params.remote_interrupt
-                    + HANDLER_COST
-                    + params.txn_overhead
-                    + params
-                        .pio_stream_bw(dst.len())
-                        .min(params.node_injection_cap)
-                        .cost(dst.len() as u64)
-                    + params.wire_latency(hops).saturating_mul(2)
-                    + params.cache.copy_cost(dst.len(), dst.len());
-                rank.clock.advance(cost);
-                osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
-                Ok(())
+                // Large: remote-put conversion — the target writes the
+                // data into the origin's address space at SCI write
+                // bandwidth instead of the origin reading it at SCI
+                // read bandwidth (needs the target's CPU).
+                Self::ensure_alive(rank, target)?;
+                region.segment().mem().read(offset + target_off, dst)?;
+                rank.clock
+                    .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+                osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
+                return Ok(());
             }
         }
+        // Emulation (private windows, or shared targets under fallback —
+        // the remote-put conversion rides the direct path, so it is
+        // disabled too): interrupt the target, handler sends the data back
+        // with the ordinary protocols.
+        obs::inc(obs::Counter::OscGetRemotePut);
+        Self::ensure_alive(rank, target)?;
+        self.backing_read(target, target_off, dst)?;
+        rank.clock
+            .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+        osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
+        Ok(())
+    }
+
+    /// Cost of one target-executed data return (remote-put conversion or
+    /// emulation): request + interrupt + handler + streamed write back.
+    fn handler_roundtrip_cost(rank: &Rank, target: usize, len: usize) -> SimDuration {
+        let params = rank.world.fabric.params();
+        let t = &rank.world.tuning;
+        let hops = rank
+            .world
+            .fabric
+            .topology()
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+        t.ctrl_send_cost
+            + params.remote_interrupt
+            + HANDLER_COST
+            + params.txn_overhead
+            + params
+                .pio_stream_bw(len)
+                .min(params.node_injection_cap)
+                .cost(len as u64)
+            + params.wire_latency(hops).saturating_mul(2)
+            + params.cache.copy_cost(len, len)
+    }
+
+    /// Fallible variant of [`Window::put`] in [`ScimpiError`] terms:
+    /// out-of-bounds errors are returned directly (a caller bug, not a
+    /// communication fault); fabric errors go through the error-handler
+    /// machinery ([`crate::ErrorMode`]).
+    pub fn try_put(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        data: &[u8],
+    ) -> Result<(), ScimpiError> {
+        self.put(rank, target, target_off, data)
+            .map_err(|e| match e {
+                SciError::OutOfBounds(_) => ScimpiError::Fabric(e),
+                other => rank.world.escalate(ScimpiError::Fabric(other)),
+            })
+    }
+
+    /// Fallible variant of [`Window::get`] (see [`Window::try_put`]).
+    pub fn try_get(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        dst: &mut [u8],
+    ) -> Result<(), ScimpiError> {
+        self.get(rank, target, target_off, dst)
+            .map_err(|e| match e {
+                SciError::OutOfBounds(_) => ScimpiError::Fabric(e),
+                other => rank.world.escalate(ScimpiError::Fabric(other)),
+            })
     }
 
     /// `MPI_Get` of a committed datatype: gather the target's
@@ -520,80 +676,78 @@ impl Window {
         self.check(target, target_off, c.extent() * count)?;
         let total = c.size() * count;
         let threshold = rank.world.tuning.get_remote_put_threshold;
-        match &self.shared.targets[target].0 {
-            TargetMem::Shared { region, offset } if total < threshold => {
-                obs::inc(obs::Counter::OscGetDirect);
-                // Direct path: one stalling read per basic block.
-                let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
-                let base = (offset + target_off) as i64;
-                let mut err = None;
-                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                    let src = (base + disp) as usize;
-                    let dst = (origin as i64 + disp) as usize;
-                    match reader.read(&mut rank.clock, src, &mut buf[dst..dst + len]) {
-                        Ok(()) => core::ops::ControlFlow::Continue(()),
-                        Err(e) => {
-                            err = Some(e);
-                            core::ops::ControlFlow::Break(())
-                        }
+        if self.direct_active(target) && total < threshold {
+            let (region, offset) = match &self.shared.targets[target].0 {
+                TargetMem::Shared { region, offset } => (Arc::clone(region), *offset),
+                TargetMem::Private { .. } => unreachable!("direct_active implies shared"),
+            };
+            obs::inc(obs::Counter::OscGetDirect);
+            // Direct path: one stalling read per basic block.
+            let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
+            let base = (offset + target_off) as i64;
+            let mut err = None;
+            ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                let src = (base + disp) as usize;
+                let dst = (origin as i64 + disp) as usize;
+                match reader.read(&mut rank.clock, src, &mut buf[dst..dst + len]) {
+                    Ok(()) => core::ops::ControlFlow::Continue(()),
+                    Err(e) => {
+                        err = Some(e);
+                        core::ops::ControlFlow::Break(())
                     }
-                });
-                err.map_or(Ok(()), Err)
-            }
-            mem => {
-                obs::inc(obs::Counter::OscGetRemotePut);
-                // Remote-put conversion (or private-window emulation): the
-                // target's handler packs the blocks with direct_pack_ff
-                // and streams them back at write bandwidth.
-                let base = target_off as i64;
-                let mut err = None;
-                let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                    let src = (base + disp) as usize;
-                    let dst = (origin as i64 + disp) as usize;
-                    let res = match mem {
-                        TargetMem::Shared { region, offset } => region
-                            .segment()
-                            .mem()
-                            .read(offset + src, &mut buf[dst..dst + len])
-                            .map_err(SciError::from),
-                        TargetMem::Private { mem } => mem
-                            .read(src, &mut buf[dst..dst + len])
-                            .map_err(SciError::from),
-                    };
-                    match res {
-                        Ok(()) => core::ops::ControlFlow::Continue(()),
-                        Err(e) => {
-                            err = Some(e);
-                            core::ops::ControlFlow::Break(())
-                        }
-                    }
-                });
-                if let Some(e) = err {
-                    return Err(e);
                 }
-                let params = rank.world.fabric.params();
-                let t = &rank.world.tuning;
-                let hops = rank
-                    .world
-                    .fabric
-                    .topology()
-                    .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
-                // Target-side ff pack + streamed write back + origin unpack.
-                let cost = t.ctrl_send_cost
-                    + params.remote_interrupt
-                    + HANDLER_COST
-                    + t.ff_block_cost.saturating_mul(stats.blocks as u64)
-                    + params.txn_overhead
-                    + params
-                        .pio_stream_bw(total)
-                        .min(params.node_injection_cap)
-                        .cost(total as u64)
-                    + params.wire_latency(hops).saturating_mul(2)
-                    + params.cache.copy_cost(total, total);
-                rank.clock.advance(cost);
-                Ok(())
+            });
+            match err {
+                None => {
+                    self.note_direct_success(target);
+                    return Ok(());
+                }
+                Some(e) => self.note_direct_failure(rank, target, e)?,
             }
         }
+        obs::inc(obs::Counter::OscGetRemotePut);
+        // Remote-put conversion (or emulation for private windows and
+        // shared targets under fallback): the target's handler packs the
+        // blocks with direct_pack_ff and streams them back at write
+        // bandwidth.
+        Self::ensure_alive(rank, target)?;
+        let base = target_off as i64;
+        let mut err = None;
+        let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+            let src = (base + disp) as usize;
+            let dst = (origin as i64 + disp) as usize;
+            match self.backing_read(target, src, &mut buf[dst..dst + len]) {
+                Ok(()) => core::ops::ControlFlow::Continue(()),
+                Err(e) => {
+                    err = Some(e);
+                    core::ops::ControlFlow::Break(())
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        let params = rank.world.fabric.params();
+        let t = &rank.world.tuning;
+        let hops = rank
+            .world
+            .fabric
+            .topology()
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+        // Target-side ff pack + streamed write back + origin unpack.
+        let cost = t.ctrl_send_cost
+            + params.remote_interrupt
+            + HANDLER_COST
+            + t.ff_block_cost.saturating_mul(stats.blocks as u64)
+            + params.txn_overhead
+            + params
+                .pio_stream_bw(total)
+                .min(params.node_injection_cap)
+                .cost(total as u64)
+            + params.wire_latency(hops).saturating_mul(2)
+            + params.cache.copy_cost(total, total);
+        rank.clock.advance(cost);
+        Ok(())
     }
 
     /// `MPI_Accumulate`: combine `data` into the target window.
@@ -611,35 +765,45 @@ impl Window {
         // the combine locally at the target.
         let mut current = vec![0u8; data.len()];
         let start = rank.clock.now();
-        match &self.shared.targets[target].0 {
-            TargetMem::Shared { region, offset } => {
-                obs::inc(obs::Counter::OscAccShared);
-                let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
-                reader.read(&mut rank.clock, offset + target_off, &mut current)?;
-                apply_op(op, &mut current, data);
-                let (stream, base) =
-                    Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
-                stream.write(&mut rank.clock, base + target_off, &current)?;
-                osc_span(rank, "osc.accumulate", start, data.len(), target, "shared");
-                Ok(())
-            }
-            TargetMem::Private { mem } => {
-                obs::inc(obs::Counter::OscAccEmulated);
-                mem.read(target_off, &mut current)?;
-                apply_op(op, &mut current, data);
-                mem.write(target_off, &current)?;
-                self.emulate(rank, target, data.len());
-                osc_span(
-                    rank,
-                    "osc.accumulate",
-                    start,
-                    data.len(),
-                    target,
-                    "emulated",
-                );
-                Ok(())
+        if self.direct_active(target) {
+            let (region, offset) = match &self.shared.targets[target].0 {
+                TargetMem::Shared { region, offset } => (Arc::clone(region), *offset),
+                TargetMem::Private { .. } => unreachable!("direct_active implies shared"),
+            };
+            obs::inc(obs::Counter::OscAccShared);
+            let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
+            match reader.read(&mut rank.clock, offset + target_off, &mut current) {
+                Ok(()) => {
+                    apply_op(op, &mut current, data);
+                    let (stream, base) =
+                        Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
+                    match stream.write(&mut rank.clock, base + target_off, &current) {
+                        Ok(()) => {
+                            self.note_direct_success(target);
+                            osc_span(rank, "osc.accumulate", start, data.len(), target, "shared");
+                            return Ok(());
+                        }
+                        Err(e) => self.note_direct_failure(rank, target, e)?,
+                    }
+                }
+                Err(e) => self.note_direct_failure(rank, target, e)?,
             }
         }
+        obs::inc(obs::Counter::OscAccEmulated);
+        Self::ensure_alive(rank, target)?;
+        self.backing_read(target, target_off, &mut current)?;
+        apply_op(op, &mut current, data);
+        self.backing_write(target, target_off, &current)?;
+        self.emulate(rank, target, data.len());
+        osc_span(
+            rank,
+            "osc.accumulate",
+            start,
+            data.len(),
+            target,
+            "emulated",
+        );
+        Ok(())
     }
 
     /// Read from this rank's own window memory (local load).
@@ -745,7 +909,38 @@ impl Window {
     /// all ranks of the window (active target, collective).
     pub fn fence(&mut self, rank: &mut Rank) {
         self.flush(rank);
+        self.maybe_repromote(rank);
         self.shared.fence.wait(&mut rank.clock);
+    }
+
+    /// At synchronisation, probe the primary route to every demoted target
+    /// and re-promote the ones whose direct path has healed. Probes cost
+    /// `Tuning::probe_cost` and run only for targets under fallback, so
+    /// healthy runs stay bit-identical.
+    fn maybe_repromote(&mut self, rank: &mut Rank) {
+        for target in 0..self.fallback.len() {
+            if !self.fallback[target].active {
+                continue;
+            }
+            let TargetMem::Shared { region, .. } = &self.shared.targets[target].0 else {
+                continue;
+            };
+            let owner = region.segment().owner();
+            let primary = rank.world.fabric.topology().route(rank.node(), owner);
+            let monitor =
+                ConnectionMonitor::new(rank.world.fabric.faults(), rank.world.tuning.probe_cost);
+            if monitor.probe(&mut rank.clock, owner.0, &primary).is_ok() {
+                self.fallback[target] = FallbackState::default();
+                obs::inc(obs::Counter::OscRepromotions);
+                if obs::is_enabled() {
+                    obs::instant(
+                        "ft.osc_repromote",
+                        rank.clock.now(),
+                        vec![("target", obs::Arg::U64(target as u64))],
+                    );
+                }
+            }
+        }
     }
 
     /// `MPI_Win_post`: open an exposure epoch for `origins` (active
@@ -775,7 +970,13 @@ impl Window {
                 0,
             ));
             let Ctrl::Signal { arrival, .. } = c else {
-                panic!("expected post signal");
+                panic!(
+                    "{}",
+                    ScimpiError::ProtocolViolation {
+                        expected: "post signal",
+                        got: format!("{c:?}"),
+                    }
+                );
             };
             rank.clock.merge(arrival);
             rank.clock.advance(rank.world.tuning.ctrl_recv_cost);
@@ -810,7 +1011,13 @@ impl Window {
                 1,
             ));
             let Ctrl::Signal { arrival, .. } = c else {
-                panic!("expected complete signal");
+                panic!(
+                    "{}",
+                    ScimpiError::ProtocolViolation {
+                        expected: "complete signal",
+                        got: format!("{c:?}"),
+                    }
+                );
             };
             rank.clock.merge(arrival);
             rank.clock.advance(rank.world.tuning.ctrl_recv_cost);

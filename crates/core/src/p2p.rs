@@ -16,8 +16,9 @@
 //! while the receiver drains slot *i*; slot reuse carries the receiver's
 //! drain time back to the sender's clock.
 
+use crate::error::ScimpiError;
 use crate::mailbox::{Ctrl, Envelope, Head, Source, Tag, TagSel};
-use crate::runtime::{Rank, WorldState};
+use crate::runtime::{Rank, WorldState, POLL_SLICE};
 use crate::sink::PioSink;
 use crate::tuning::{NoncontigMode, Tuning};
 use mpi_datatype::{ff, tree, Committed, PackStats, SliceSource};
@@ -185,18 +186,32 @@ fn receiver_handle(h: u64) -> u64 {
 /// own thread ([`Rank::finish_send`]) or on a helper thread with a forked
 /// clock ([`Rank::sendrecv`] — MPI_Sendrecv semantics let both transfers
 /// progress concurrently).
-fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op: SendOp<'_>) {
+fn try_finish_send_inner(
+    world: &Arc<WorldState>,
+    rank: usize,
+    clock: &mut Clock,
+    op: SendOp<'_>,
+) -> Result<(), ScimpiError> {
     let SendOpKind::Rendezvous { handle } = op.kind else {
-        return;
+        return Ok(());
     };
     let dst = op.dst;
-    // Wait for clear-to-send (sender-side handle space).
-    match world.mailboxes[rank].wait_ctrl(sender_handle(handle)) {
+    // Wait for clear-to-send (sender-side handle space), guarding against
+    // the receiver dying before it answers.
+    match world
+        .await_ctrl(rank, clock, sender_handle(handle), dst, "CTS")
+        .map_err(|e| world.escalate(e))?
+    {
         Ctrl::Cts { arrival } => {
             clock.merge(arrival);
             clock.advance(world.tuning.ctrl_recv_cost);
         }
-        other => panic!("expected CTS, got {other:?}"),
+        other => {
+            return Err(world.escalate(ScimpiError::ProtocolViolation {
+                expected: "CTS",
+                got: format!("{other:?}"),
+            }))
+        }
     }
     let ring = world.ring(rank, dst);
     let total = op.data.total_len();
@@ -209,13 +224,27 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
     while skip < total {
         obs::inc(obs::Counter::RendezvousChunks);
         let this = chunk_size.min(total - skip);
-        let slot = ring.acquire(clock);
+        // Ring-slot acquisition with the same liveness guard: if the
+        // receiver dies while holding every slot, the sender must not
+        // wait forever.
+        let slot = loop {
+            if let Some(s) = ring.acquire_for(clock, POLL_SLICE) {
+                break s;
+            }
+            if !world.peer_dead(dst) {
+                continue;
+            }
+            if let Some(s) = ring.acquire_for(clock, std::time::Duration::ZERO) {
+                break s;
+            }
+            return Err(world.escalate(world.declare_dead(clock, dst, "ring slot")));
+        };
         let slot_off = ring.slot_offset(slot);
         let blocks = match &op.data {
             SendData::Bytes(b) => {
                 stream
                     .write(clock, slot_off, &b[skip..skip + this])
-                    .expect("ring write in range");
+                    .map_err(|e| world.escalate(e.into()))?;
                 1
             }
             SendData::Typed {
@@ -230,7 +259,7 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
                     let stats = {
                         let mut sink = PioSink::new(&mut stream, clock, slot_off);
                         ff::pack_ff(c, *count, buf, *origin, skip, this, &mut sink)
-                            .expect("ring write in range")
+                            .map_err(|e| world.escalate(e.into()))?
                     };
                     clock.advance(
                         world
@@ -244,7 +273,7 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
                     let packed = pack_local(world, clock, &op.data, skip, this);
                     stream
                         .write(clock, slot_off, &packed)
-                        .expect("ring write in range");
+                        .map_err(|e| world.escalate(e.into()))?;
                     1
                 }
             }
@@ -283,6 +312,7 @@ fn finish_send_inner(world: &Arc<WorldState>, rank: usize, clock: &mut Clock, op
             ],
         );
     }
+    Ok(())
 }
 
 impl Rank {
@@ -373,8 +403,46 @@ impl Rank {
 
     /// Complete a send started with [`Rank::start_send`].
     pub fn finish_send(&mut self, op: SendOp<'_>) {
+        if let Err(e) = self.try_finish_send(op) {
+            panic!("send failed: {e}");
+        }
+    }
+
+    /// Fallible variant of [`Rank::finish_send`]: under
+    /// [`crate::ErrorMode::ErrorsReturn`] communication errors come back
+    /// as values instead of panicking.
+    pub fn try_finish_send(&mut self, op: SendOp<'_>) -> Result<(), ScimpiError> {
         let world = Arc::clone(&self.world);
-        finish_send_inner(&world, self.rank, &mut self.clock, op);
+        try_finish_send_inner(&world, self.rank, &mut self.clock, op)
+    }
+
+    /// Fallible variant of [`Rank::send`].
+    pub fn try_send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<(), ScimpiError> {
+        let op = self.start_send(dst, tag, SendData::Bytes(data));
+        self.try_finish_send(op)
+    }
+
+    /// Fallible variant of [`Rank::send_typed`].
+    pub fn try_send_typed(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<(), ScimpiError> {
+        let op = self.start_send(
+            dst,
+            tag,
+            SendData::Typed {
+                c,
+                count,
+                buf,
+                origin,
+            },
+        );
+        self.try_finish_send(op)
     }
 
     fn send_eager(&mut self, dst: usize, tag: Tag, data: &SendData<'_>) {
@@ -431,10 +499,84 @@ impl Rank {
         )
     }
 
+    /// Fallible variant of [`Rank::recv`].
+    pub fn try_recv(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        buf: &mut [u8],
+    ) -> Result<RecvStatus, ScimpiError> {
+        self.try_recv_into(src, tag, RecvBuf::Bytes(buf))
+    }
+
+    /// Fallible variant of [`Rank::recv_typed`].
+    pub fn try_recv_typed(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        c: &Committed,
+        count: usize,
+        buf: &mut [u8],
+        origin: usize,
+    ) -> Result<RecvStatus, ScimpiError> {
+        self.try_recv_into(
+            src,
+            tag,
+            RecvBuf::Typed {
+                c,
+                count,
+                buf,
+                origin,
+            },
+        )
+    }
+
     /// Receive into either buffer shape.
-    pub fn recv_into(&mut self, src: Source, tag: TagSel, mut into: RecvBuf<'_>) -> RecvStatus {
+    pub fn recv_into(&mut self, src: Source, tag: TagSel, into: RecvBuf<'_>) -> RecvStatus {
+        match self.try_recv_into(src, tag, into) {
+            Ok(st) => st,
+            Err(e) => panic!("receive failed: {e}"),
+        }
+    }
+
+    /// Fallible receive into either buffer shape.
+    ///
+    /// With a specific [`Source::Rank`], a sender that dies before its
+    /// message (or the next rendezvous chunk) arrives is detected and
+    /// reported as [`ScimpiError::PeerDead`] after the deterministic
+    /// [`crate::death_delay`] virtual-time schedule. `Source::Any` has no
+    /// single peer to monitor, so it blocks until a message arrives.
+    pub fn try_recv_into(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        mut into: RecvBuf<'_>,
+    ) -> Result<RecvStatus, ScimpiError> {
         let recv_start = self.clock.now();
-        let env = self.world.mailboxes[self.rank].match_recv(src, tag);
+        let env = match src {
+            Source::Any => self.world.mailboxes[self.rank].match_recv(src, tag),
+            Source::Rank(peer) => loop {
+                if let Some(e) =
+                    self.world.mailboxes[self.rank].match_recv_for(src, tag, POLL_SLICE)
+                {
+                    break e;
+                }
+                if !self.world.peer_dead(peer) {
+                    continue;
+                }
+                // Final drain: the message may have landed between the
+                // last poll slice and the death check.
+                if let Some(e) = self.world.mailboxes[self.rank].match_recv_for(
+                    src,
+                    tag,
+                    std::time::Duration::ZERO,
+                ) {
+                    break e;
+                }
+                let err = self.world.declare_dead(&mut self.clock, peer, "message");
+                return Err(self.world.escalate(err));
+            },
+        };
         self.clock.merge(env.arrival);
         self.clock.advance(self.world.tuning.ctrl_recv_cost);
         match env.head {
@@ -453,11 +595,11 @@ impl Rank {
                         ],
                     );
                 }
-                RecvStatus {
+                Ok(RecvStatus {
                     src: env.src,
                     tag: env.tag,
                     len,
-                }
+                })
             }
             Head::Rts { size, handle } => {
                 // Clear-to-send.
@@ -470,9 +612,18 @@ impl Rank {
                     },
                 );
                 let ring = self.world.ring(env.src, self.rank);
+                let world = Arc::clone(&self.world);
                 let mut skip = 0usize;
                 loop {
-                    let c = self.world.mailboxes[self.rank].wait_ctrl(receiver_handle(handle));
+                    let c = world
+                        .await_ctrl(
+                            self.rank,
+                            &mut self.clock,
+                            receiver_handle(handle),
+                            env.src,
+                            "chunk",
+                        )
+                        .map_err(|e| world.escalate(e))?;
                     let Ctrl::Chunk {
                         slot,
                         len,
@@ -481,7 +632,10 @@ impl Rank {
                         last,
                     } = c
                     else {
-                        panic!("expected chunk, got {c:?}");
+                        return Err(world.escalate(ScimpiError::ProtocolViolation {
+                            expected: "chunk",
+                            got: format!("{c:?}"),
+                        }));
                     };
                     self.clock.merge(arrival);
                     self.clock.advance(self.world.tuning.ctrl_recv_cost);
@@ -512,11 +666,11 @@ impl Rank {
                         ],
                     );
                 }
-                RecvStatus {
+                Ok(RecvStatus {
                     src: env.src,
                     tag: env.tag,
                     len: size,
-                }
+                })
             }
         }
     }
@@ -584,22 +738,41 @@ impl Rank {
         rtag: TagSel,
         rbuf: RecvBuf<'_>,
     ) -> RecvStatus {
+        match self.try_sendrecv(dst, stag, sdata, src, rtag, rbuf) {
+            Ok(st) => st,
+            Err(e) => panic!("sendrecv failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Rank::sendrecv`]. If both halves fail, the
+    /// send-side error wins (it is reported first in MPI practice too —
+    /// the sendrecv completes as a unit either way).
+    pub fn try_sendrecv(
+        &mut self,
+        dst: usize,
+        stag: Tag,
+        sdata: SendData<'_>,
+        src: Source,
+        rtag: TagSel,
+        rbuf: RecvBuf<'_>,
+    ) -> Result<RecvStatus, ScimpiError> {
         let op = self.start_send(dst, stag, sdata);
         if matches!(op.kind, SendOpKind::Done) {
             // Eager sends already completed locally.
-            return self.recv_into(src, rtag, rbuf);
+            return self.try_recv_into(src, rtag, rbuf);
         }
         let world = Arc::clone(&self.world);
         let rank = self.rank;
         let mut send_clock = self.clock.clone();
         std::thread::scope(|scope| {
             let sender = scope.spawn(move || {
-                finish_send_inner(&world, rank, &mut send_clock, op);
-                send_clock
+                let res = try_finish_send_inner(&world, rank, &mut send_clock, op);
+                (res, send_clock)
             });
-            let status = self.recv_into(src, rtag, rbuf);
-            let send_clock = sender.join().expect("send side panicked");
+            let status = self.try_recv_into(src, rtag, rbuf);
+            let (send_res, send_clock) = sender.join().expect("send side panicked");
             self.clock.merge(send_clock.now());
+            send_res?;
             status
         })
     }

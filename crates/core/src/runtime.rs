@@ -5,6 +5,7 @@
 //! transport and the SCI fabric. Virtual time lives in each rank's
 //! [`simclock::Clock`]; `MPI_Wtime` reads it.
 
+use crate::error::{ErrorMode, ScimpiError};
 use crate::mailbox::Mailbox;
 use crate::tuning::Tuning;
 pub use obs::ObsConfig;
@@ -18,6 +19,10 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// Size of each rank's `MPI_Alloc_mem` shared-segment pool.
 pub const ALLOC_POOL_BYTES: usize = 8 << 20;
+
+/// Real-time polling slice for liveness-guarded protocol waits. Purely a
+/// responsiveness/CPU trade-off: virtual time never depends on it.
+pub(crate) const POLL_SLICE: std::time::Duration = std::time::Duration::from_millis(10);
 
 /// Everything needed to launch a simulated cluster run.
 #[derive(Clone, Debug)]
@@ -36,6 +41,9 @@ pub struct ClusterSpec {
     pub tuning: Tuning,
     /// Observability: event tracing, counters and exports.
     pub obs: ObsConfig,
+    /// MPI-style error-handler semantics: abort on communication error
+    /// (the default) or return errors from the `try_*` call variants.
+    pub errors: ErrorMode,
 }
 
 impl ClusterSpec {
@@ -49,6 +57,7 @@ impl ClusterSpec {
             seed: 0xC0FFEE,
             tuning: Tuning::default(),
             obs: ObsConfig::disabled(),
+            errors: ErrorMode::default(),
         }
     }
 
@@ -76,6 +85,12 @@ impl ClusterSpec {
     /// Same cluster with a different observability configuration.
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Same cluster with different error-handler semantics.
+    pub fn with_errors(mut self, errors: ErrorMode) -> Self {
+        self.errors = errors;
         self
     }
 
@@ -110,18 +125,26 @@ impl PairRing {
         }
     }
 
-    /// Acquire the earliest-freed slot, blocking (and merging the slot's
-    /// free-time into the clock — the sender virtually waits for the
-    /// receiver to drain).
-    pub fn acquire(&self, clock: &mut Clock) -> usize {
+    /// Acquire the earliest-freed slot (merging the slot's free-time into
+    /// the clock — the sender virtually waits for the receiver to drain),
+    /// giving up after `timeout` of *real* time. Returns `None` on expiry
+    /// without touching the clock — callers loop, checking receiver
+    /// liveness between slices, and charge virtual time only from the
+    /// deterministic timeout schedule.
+    pub fn acquire_for(&self, clock: &mut Clock, timeout: std::time::Duration) -> Option<usize> {
+        let deadline = std::time::Instant::now() + timeout;
         let mut free = self.free.lock().unwrap();
         loop {
             if let Some((slot, freed_at)) = free.pop_front() {
                 drop(free);
                 clock.merge(freed_at);
-                return slot;
+                return Some(slot);
             }
-            free = self.cv.wait(free).unwrap();
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            free = self.cv.wait_timeout(free, deadline - now).unwrap().0;
         }
     }
 
@@ -150,6 +173,7 @@ pub(crate) struct WorldState {
     pub alloc_regions: Vec<Arc<SharedRegion>>,
     pub coll: Mutex<HashMap<u64, CollSlot>>,
     pub windows: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
+    pub errors: ErrorMode,
 }
 
 pub(crate) struct CollSlot {
@@ -172,6 +196,85 @@ impl WorldState {
             let region = self.smi.create_region(ProcId(dst), slots * chunk);
             Arc::new(PairRing::new(region, slots, chunk))
         }))
+    }
+
+    /// The node hosting rank `r`.
+    pub fn node_of(&self, r: usize) -> sci_fabric::NodeId {
+        self.smi.node_of(ProcId(r))
+    }
+
+    /// True if the node hosting rank `r` is currently marked dead.
+    pub fn peer_dead(&self, r: usize) -> bool {
+        self.fabric.faults().node_dead(self.node_of(r).0)
+    }
+
+    /// Wait for a protocol packet for `handle` on `rank`'s mailbox,
+    /// guarding against `peer` dying mid-handshake.
+    ///
+    /// Real time is polled in slices; a healthy-but-slow peer costs no
+    /// virtual time (determinism). Only when `peer`'s node is confirmed
+    /// dead does the waiter charge the full timeout/backoff schedule and
+    /// report [`ScimpiError::PeerDead`].
+    pub fn await_ctrl(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        handle: u64,
+        peer: usize,
+        what: &'static str,
+    ) -> Result<crate::mailbox::Ctrl, ScimpiError> {
+        loop {
+            if let Some(c) = self.mailboxes[rank].wait_ctrl_for(handle, POLL_SLICE) {
+                return Ok(c);
+            }
+            if !self.peer_dead(peer) {
+                continue;
+            }
+            // The peer is dead: drain once more to close the race where
+            // its last packet arrived between expiry and the check.
+            if let Some(c) = self.mailboxes[rank].wait_ctrl_for(handle, std::time::Duration::ZERO) {
+                return Ok(c);
+            }
+            return Err(self.declare_dead(clock, peer, what));
+        }
+    }
+
+    /// Charge the deterministic timeout/backoff schedule for a peer that
+    /// stopped responding and report it dead. The schedule is a pure
+    /// function of [`Tuning`] ([`crate::error::death_delay`]), so the
+    /// waiting rank's clock ends up bit-identical across runs.
+    pub fn declare_dead(&self, clock: &mut Clock, peer: usize, what: &'static str) -> ScimpiError {
+        let t = &self.tuning;
+        let start = clock.now();
+        let mut window = t.ctrl_timeout;
+        for _ in 0..=t.max_protocol_retries {
+            clock.advance(window);
+            obs::inc(obs::Counter::ProtocolTimeouts);
+            clock.advance(t.probe_cost);
+            window = crate::error::scale_window(window, t.timeout_backoff);
+        }
+        obs::inc(obs::Counter::PeersDeclaredDead);
+        obs::span(
+            "ft.peer_dead",
+            start,
+            clock.now(),
+            vec![
+                ("peer", obs::Arg::U64(peer as u64)),
+                ("what", obs::Arg::Str(what.to_string())),
+            ],
+        );
+        ScimpiError::PeerDead { peer }
+    }
+
+    /// Route a detected error through the configured error handler:
+    /// under [`ErrorMode::ErrorsAreFatal`] the rank panics (tearing the
+    /// run down, like `MPI_ERRORS_ARE_FATAL`); under
+    /// [`ErrorMode::ErrorsReturn`] the error comes back as a value.
+    pub fn escalate(&self, e: ScimpiError) -> ScimpiError {
+        match self.errors {
+            ErrorMode::ErrorsAreFatal => panic!("fatal communication error: {e}"),
+            ErrorMode::ErrorsReturn => e,
+        }
     }
 
     /// One-way control-packet latency from rank `src` to rank `dst`.
@@ -343,6 +446,7 @@ where
         alloc_regions,
         coll: Mutex::new(HashMap::new()),
         windows: Mutex::new(HashMap::new()),
+        errors: spec.errors,
     });
 
     let results = std::thread::scope(|scope| {
@@ -467,14 +571,17 @@ mod tests {
         let spec = ClusterSpec::ringlet(2);
         run(spec, |r| {
             if r.rank() == 0 {
+                let grab = |ring: &PairRing, clock: &mut Clock| {
+                    ring.acquire_for(clock, POLL_SLICE).expect("slot free")
+                };
                 let ring = r.world.ring(0, 1);
-                let s0 = ring.acquire(&mut r.clock);
-                let s1 = ring.acquire(&mut r.clock);
+                let s0 = grab(&ring, &mut r.clock);
+                let s1 = grab(&ring, &mut r.clock);
                 assert_ne!(s0, s1);
                 // Release with a future timestamp; re-acquiring merges it.
                 let future = r.now() + SimDuration::from_us(50);
                 ring.release(s0, future);
-                let s2 = ring.acquire(&mut r.clock);
+                let s2 = grab(&ring, &mut r.clock);
                 assert_eq!(s2, s0);
                 assert!(r.now() >= future);
                 ring.release(s1, r.now());

@@ -62,6 +62,21 @@ pub struct Tuning {
     /// *remote-put* executed by the target (§4.2); below it the origin
     /// reads directly (reads are slow but low-latency for small data).
     pub get_remote_put_threshold: usize,
+    /// First virtual-time timeout window for protocol waits (rendezvous
+    /// handshake, ring slots, one-sided control). Only charged when the
+    /// peer turns out dead — a healthy-but-slow peer costs nothing extra.
+    pub ctrl_timeout: SimDuration,
+    /// Multiplier applied to the timeout window after each expiry
+    /// (exponential backoff).
+    pub timeout_backoff: f64,
+    /// Timeout windows to run through before declaring a peer dead.
+    pub max_protocol_retries: u32,
+    /// Cost of one connection-monitor probe after a timeout window
+    /// expires (small remote read round trip).
+    pub probe_cost: SimDuration,
+    /// Consecutive direct-path failures on a one-sided target before the
+    /// window falls back to the emulated control-message path for it.
+    pub osc_fallback_threshold: u32,
 }
 
 impl Default for Tuning {
@@ -79,6 +94,11 @@ impl Default for Tuning {
             ctrl_recv_cost: SimDuration::from_ns(500),
             barrier_hop: SimDuration::from_us_f64(1.6),
             get_remote_put_threshold: 512,
+            ctrl_timeout: SimDuration::from_us(200),
+            timeout_backoff: 2.0,
+            max_protocol_retries: 4,
+            probe_cost: SimDuration::from_us(4),
+            osc_fallback_threshold: 2,
         }
     }
 }

@@ -51,6 +51,27 @@ pub enum Counter {
     SmiLockAcquires,
     /// Time-barrier crossings (one per rank per barrier).
     BarrierCrossings,
+    /// SCI transaction retries absorbed by the link layer (transient
+    /// transmission errors that were resent successfully).
+    LinkTxnRetries,
+    /// Transactions that errored out hard after exhausting `max_retries`.
+    LinkHardFailures,
+    /// Route failovers: a stream switched to an alternate (degraded) route
+    /// after its primary route failed.
+    RouteFailovers,
+    /// Route heals: a degraded stream switched back to its primary route.
+    RouteHeals,
+    /// Protocol-level virtual-time timeouts (rendezvous handshake, ring
+    /// slots, one-sided control) that expired while probing a peer.
+    ProtocolTimeouts,
+    /// Peers declared dead after the timeout/backoff schedule ran out.
+    PeersDeclaredDead,
+    /// One-sided targets demoted from the direct shared-segment path to
+    /// the emulated control-message path.
+    OscFallbacks,
+    /// One-sided targets re-promoted to the direct path after a
+    /// successful connection probe.
+    OscRepromotions,
 }
 
 impl Counter {
@@ -71,6 +92,14 @@ impl Counter {
         "osc_acc_emulated",
         "smi_lock_acquires",
         "barrier_crossings",
+        "link_txn_retries",
+        "link_hard_failures",
+        "route_failovers",
+        "route_heals",
+        "protocol_timeouts",
+        "peers_declared_dead",
+        "osc_fallbacks",
+        "osc_repromotions",
     ];
 
     /// The export name of this counter.
@@ -80,7 +109,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 15;
+pub const COUNTER_COUNT: usize = 23;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -320,7 +349,8 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::BarrierCrossings as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::OscRepromotions as usize, COUNTER_COUNT - 1);
         assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");
+        assert_eq!(Counter::RouteFailovers.name(), "route_failovers");
     }
 }

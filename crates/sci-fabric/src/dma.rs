@@ -109,10 +109,17 @@ impl DmaEngine {
             .mem()
             .read(entries[0].src_offset, dst)?;
         let txns = dst.len().div_ceil(params.stream_buffer_bytes) as u64;
-        let outcome = self
+        let outcome = match self
             .fabric
             .faults()
-            .transact_bulk(&self.mapping.route, txns)?;
+            .transact_bulk(&self.mapping.route, txns)
+        {
+            Ok(o) => o,
+            Err(f) => {
+                clock.advance(f.wasted);
+                return Err(f.error);
+            }
+        };
         clock.advance(params.dma_setup);
         let cpu_free = clock.now();
         let done = cpu_free
@@ -163,10 +170,17 @@ impl DmaEngine {
                 .write(e.dst_offset, &src[e.src_offset..end])?;
         }
         let txns = (total.div_ceil(params.stream_buffer_bytes)) as u64;
-        let outcome = self
+        let outcome = match self
             .fabric
             .faults()
-            .transact_bulk(&self.mapping.route, txns)?;
+            .transact_bulk(&self.mapping.route, txns)
+        {
+            Ok(o) => o,
+            Err(f) => {
+                clock.advance(f.wasted);
+                return Err(f.error);
+            }
+        };
         // Descriptor build cost grows mildly with list length.
         let setup = params.dma_setup
             + SimDuration::from_ns(200).saturating_mul(entries.len().saturating_sub(1) as u64);

@@ -49,6 +49,47 @@ impl From<crate::mem::OutOfBounds> for SciError {
     }
 }
 
+/// A transaction (or burst) that errored out hard, together with the
+/// virtual time the failed attempts consumed before giving up.
+///
+/// Callers that surface the error must charge `wasted` to their clock so
+/// a hard failure after `max_retries` attempts costs the same virtual
+/// time the retries would have on a recovering link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FailedTransaction {
+    /// The underlying fabric error.
+    pub error: SciError,
+    /// Virtual time burned by the attempts that preceded the hard failure.
+    pub wasted: SimDuration,
+    /// Retries performed before the failure.
+    pub retries: u32,
+}
+
+impl From<SciError> for FailedTransaction {
+    /// An immediate failure (e.g. a severed route) that cost no retries.
+    fn from(error: SciError) -> Self {
+        FailedTransaction {
+            error,
+            wasted: SimDuration::ZERO,
+            retries: 0,
+        }
+    }
+}
+
+impl fmt::Display for FailedTransaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (after {} retries, {} ps wasted)",
+            self.error,
+            self.retries,
+            self.wasted.as_ps()
+        )
+    }
+}
+
+impl std::error::Error for FailedTransaction {}
+
 /// Configuration of the fault injector.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultConfig {
@@ -177,7 +218,7 @@ impl FaultInjector {
     /// Pass one transaction through the injector: possibly retries (extra
     /// latency + delivery jitter). Returns an error only if `max_retries`
     /// consecutive attempts fail.
-    pub fn transact(&self, route: &Route) -> Result<TxnOutcome, SciError> {
+    pub fn transact(&self, route: &Route) -> Result<TxnOutcome, FailedTransaction> {
         self.transact_bulk(route, 1)
     }
 
@@ -185,7 +226,11 @@ impl FaultInjector {
     /// transaction independently needs a retry with the configured error
     /// rate. A 64 kiB chunk is ~1000 transactions, so losses scale with
     /// transfer size, as on the real wire.
-    pub fn transact_bulk(&self, route: &Route, txns: u64) -> Result<TxnOutcome, SciError> {
+    ///
+    /// On hard failure the returned [`FailedTransaction`] carries the
+    /// virtual time the failed attempts burned (`retry_penalty` each), so
+    /// an unrecoverable transfer is not free.
+    pub fn transact_bulk(&self, route: &Route, txns: u64) -> Result<TxnOutcome, FailedTransaction> {
         self.check_route(route)?;
         if self.config.error_rate <= 0.0 || txns == 0 {
             return Ok(TxnOutcome::CLEAN);
@@ -198,15 +243,23 @@ impl FaultInjector {
                 consecutive += 1;
                 retries += 1;
                 if consecutive > self.config.max_retries {
-                    // Persistent failure: report the first link as faulty.
+                    // Persistent failure: report the first link as faulty,
+                    // charging the time the failed attempts consumed.
                     let link = route.links.first().copied().unwrap_or(LinkId(0));
-                    return Err(SciError::LinkDown(link));
+                    obs::inc(obs::Counter::LinkHardFailures);
+                    obs::add(obs::Counter::LinkTxnRetries, retries as u64);
+                    return Err(FailedTransaction {
+                        error: SciError::LinkDown(link),
+                        wasted: self.config.retry_penalty.saturating_mul(retries as u64),
+                        retries,
+                    });
                 }
             }
         }
         if retries == 0 {
             return Ok(TxnOutcome::CLEAN);
         }
+        obs::add(obs::Counter::LinkTxnRetries, retries as u64);
         let jitter_ps = st.rng.next_below(self.config.reorder_jitter.as_ps().max(1));
         Ok(TxnOutcome {
             extra_latency: self.config.retry_penalty.saturating_mul(retries as u64),
@@ -302,7 +355,10 @@ mod tests {
         let inj = FaultInjector::new(FaultConfig::default(), 1);
         inj.fail_link(LinkId(1));
         let r = route(); // crosses links 0,1,2
-        assert_eq!(inj.transact(&r), Err(SciError::LinkDown(LinkId(1))));
+        assert_eq!(
+            inj.transact(&r),
+            Err(FailedTransaction::from(SciError::LinkDown(LinkId(1))))
+        );
         inj.restore_link(LinkId(1));
         assert!(inj.transact(&r).is_ok());
     }
@@ -324,7 +380,32 @@ mod tests {
             ..FaultConfig::default()
         };
         let inj = FaultInjector::new(cfg, 9);
-        assert!(matches!(inj.transact(&route()), Err(SciError::LinkDown(_))));
+        let err = inj.transact(&route()).unwrap_err();
+        assert!(matches!(err.error, SciError::LinkDown(_)));
+    }
+
+    /// Regression: a transaction that errors out hard must still charge
+    /// the virtual time its failed attempts consumed — a dead link is not
+    /// a free path, the adapter spent `retry_penalty` per attempt before
+    /// giving up.
+    #[test]
+    fn hard_failure_charges_wasted_retry_time() {
+        let cfg = FaultConfig {
+            error_rate: 1.0, // every attempt fails
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let penalty = cfg.retry_penalty;
+        let inj = FaultInjector::new(cfg, 9);
+        let err = inj.transact(&route()).unwrap_err();
+        // max_retries + 1 attempts burned a retry_penalty each.
+        assert_eq!(err.retries, 4);
+        assert_eq!(err.wasted, penalty.saturating_mul(4));
+        // An administratively severed route fails instantly and free.
+        inj.fail_link(LinkId(0));
+        let err = inj.transact(&route()).unwrap_err();
+        assert_eq!(err.wasted, SimDuration::ZERO);
+        assert_eq!(err.retries, 0);
     }
 
     #[test]

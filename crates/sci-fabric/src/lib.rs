@@ -42,7 +42,7 @@ pub mod segment;
 pub mod topology;
 
 pub use dma::{DmaCompletion, DmaEngine, SgEntry};
-pub use fault::{ConnectionMonitor, FaultConfig, FaultInjector, SciError};
+pub use fault::{ConnectionMonitor, FailedTransaction, FaultConfig, FaultInjector, SciError};
 pub use link::{LinkRegistry, TrafficStats};
 pub use mem::SharedMem;
 pub use params::{CacheModel, SciParams};

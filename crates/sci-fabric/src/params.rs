@@ -147,6 +147,12 @@ pub struct SciParams {
     /// path of one-sided communication).
     pub remote_interrupt: SimDuration,
 
+    /// Extra latency per remote access while riding a degraded failover
+    /// route (maintenance bypass through the switch ports after a link
+    /// failure): the bypass direction has no stream-buffer affinity, so
+    /// each access pays an extra arbitration round.
+    pub degraded_route_latency: SimDuration,
+
     // ---- Ring / link model ----
     /// Nominal per-link bandwidth (166 MHz: 633 MiB/s).
     pub link_bandwidth: Bandwidth,
@@ -191,6 +197,7 @@ impl SciParams {
             dma_align: 8,
             store_barrier: SimDuration::from_ns(600),
             remote_interrupt: SimDuration::from_us(14),
+            degraded_route_latency: SimDuration::from_us(2),
             link_bandwidth: Bandwidth::from_mib_per_sec(633),
             node_injection_cap: Bandwidth::from_mib_per_sec(121),
             saturation_onset: 0.90,

@@ -25,7 +25,7 @@
 //! overhead, which is exactly why `direct_pack_ff` insists on packing into
 //! *consecutive ascending* remote addresses.
 
-use crate::fault::SciError;
+use crate::fault::{SciError, TxnOutcome};
 use crate::link::StreamGuard;
 use crate::segment::Mapping;
 use crate::Fabric;
@@ -94,6 +94,97 @@ impl PioStream {
         self.mapping.is_local()
     }
 
+    /// True while the stream rides a degraded failover route.
+    pub fn is_degraded(&self) -> bool {
+        self.mapping.route.degraded
+    }
+
+    /// Swap the stream onto `route`: re-register link contention and
+    /// reset burst state (the adapter's stream buffers cannot continue a
+    /// burst across a route change).
+    fn switch_route(&mut self, route: crate::topology::Route) {
+        self.mapping.route = route;
+        self._guard = Some(self.fabric.links().start_stream(&self.mapping.route));
+        self.next_offset = None;
+    }
+
+    /// After a hard transaction failure, try to switch to the other route
+    /// between importer and owner (the degraded bypass, or back to the
+    /// primary when already degraded). Returns `true` if a healthy
+    /// candidate was found and adopted.
+    fn try_failover(&mut self) -> bool {
+        if self.mapping.is_local() {
+            return false;
+        }
+        let topo = self.fabric.topology();
+        let src = self.mapping.importer;
+        let dst = self.mapping.segment.owner();
+        let candidate = if self.mapping.route.degraded {
+            Some(topo.route(src, dst))
+        } else {
+            topo.alternate_route(src, dst)
+        };
+        let Some(candidate) = candidate else {
+            return false;
+        };
+        if self.fabric.faults().check_route(&candidate).is_err() {
+            return false;
+        }
+        self.switch_route(candidate);
+        obs::inc(obs::Counter::RouteFailovers);
+        true
+    }
+
+    /// Pass a burst through the injector on the current route; on a hard
+    /// failure charge the wasted retry time, attempt a route failover and
+    /// retry the burst once on the new route.
+    fn transact_with_failover(
+        &mut self,
+        clock: &mut Clock,
+        txns: u64,
+    ) -> Result<TxnOutcome, SciError> {
+        match self
+            .fabric
+            .faults()
+            .transact_bulk(&self.mapping.route, txns)
+        {
+            Ok(o) => Ok(o),
+            Err(f) => {
+                clock.advance(f.wasted);
+                if !self.try_failover() {
+                    return Err(f.error);
+                }
+                match self
+                    .fabric
+                    .faults()
+                    .transact_bulk(&self.mapping.route, txns)
+                {
+                    Ok(o) => Ok(o),
+                    Err(f2) => {
+                        clock.advance(f2.wasted);
+                        Err(f2.error)
+                    }
+                }
+            }
+        }
+    }
+
+    /// While degraded, switch back to the primary route as soon as it is
+    /// healthy again.
+    fn maybe_heal(&mut self) {
+        if !self.mapping.route.degraded {
+            return;
+        }
+        let primary = self
+            .fabric
+            .topology()
+            .route(self.mapping.importer, self.mapping.segment.owner());
+        if self.fabric.faults().check_route(&primary).is_ok() {
+            self.switch_route(primary);
+            obs::inc(obs::Counter::RouteHeals);
+        }
+    }
+
     /// Issue stores of `data` to `offset`. Advances `clock` by the CPU
     /// issue cost; the data is in flight until a [`Self::barrier`].
     ///
@@ -104,7 +195,8 @@ impl PioStream {
         if data.is_empty() {
             return Ok(());
         }
-        let params = self.fabric.params();
+        let fabric = Arc::clone(&self.fabric);
+        let params = fabric.params();
         // Move the actual bytes.
         self.mapping.segment.mem().write(offset, data)?;
         self.bytes += data.len() as u64;
@@ -119,7 +211,9 @@ impl PioStream {
             return Ok(());
         }
 
-        // Fabric path: burst accounting.
+        // Fabric path. A degraded stream returns to its primary route the
+        // moment that route is healthy again.
+        self.maybe_heal();
         let continues = self.next_offset == Some(offset);
         let misaligned_thrash = !continues
             && !offset.is_multiple_of(params.write_combine_bytes)
@@ -129,11 +223,12 @@ impl PioStream {
             // store flushes partially and becomes its own (padded) SCI
             // transaction. This is the §4.3 misaligned-stride cliff.
             let stores = data.len().div_ceil(8) as u64;
-            let cost = params.txn_overhead + params.uncombined_store_cost.saturating_mul(stores);
-            let outcome = self
-                .fabric
-                .faults()
-                .transact_bulk(&self.mapping.route, stores)?;
+            let mut cost =
+                params.txn_overhead + params.uncombined_store_cost.saturating_mul(stores);
+            if self.mapping.route.degraded {
+                cost += params.degraded_route_latency;
+            }
+            let outcome = self.transact_with_failover(clock, stores)?;
             clock.advance(cost + outcome.extra_latency);
             let arrival =
                 clock.now() + params.wire_latency(self.mapping.route.hops()) + outcome.jitter;
@@ -145,6 +240,9 @@ impl PioStream {
             return Ok(());
         }
         let mut cost = SimDuration::ZERO;
+        if self.mapping.route.degraded {
+            cost += params.degraded_route_latency;
+        }
         if !continues {
             cost += params.txn_overhead;
         } else {
@@ -173,10 +271,7 @@ impl PioStream {
         // Fault injection: retries add latency and delivery jitter, one
         // die roll per SCI transaction.
         let txns = data.len().div_ceil(params.stream_buffer_bytes) as u64;
-        let outcome = self
-            .fabric
-            .faults()
-            .transact_bulk(&self.mapping.route, txns)?;
+        let outcome = self.transact_with_failover(clock, txns)?;
         cost += outcome.extra_latency;
 
         clock.advance(cost);
@@ -263,10 +358,20 @@ impl PioReader {
         }
         let txns = dst.len().div_ceil(params.read_txn_bytes) as u64;
         let mut cost = params.read_stall.saturating_mul(txns);
-        let outcome = self
+        // Reads stall synchronously: a hard failure still cost the CPU the
+        // time of the failed attempts. No failover here — the one-sided
+        // layer reacts to reader errors by falling back to emulation.
+        let outcome = match self
             .fabric
             .faults()
-            .transact_bulk(&self.mapping.route, txns)?;
+            .transact_bulk(&self.mapping.route, txns)
+        {
+            Ok(o) => o,
+            Err(f) => {
+                clock.advance(f.wasted);
+                return Err(f.error);
+            }
+        };
         cost += outcome.extra_latency;
         clock.advance(cost);
         self.fabric

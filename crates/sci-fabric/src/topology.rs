@@ -38,6 +38,9 @@ pub struct Route {
     pub echo_links: Vec<LinkId>,
     /// Inter-ring switch crossings (0 on a single ringlet).
     pub switch_crossings: usize,
+    /// True for a failover route computed by [`Topology::alternate_route`]:
+    /// traffic pays a degraded-path latency penalty while riding it.
+    pub degraded: bool,
 }
 
 impl Route {
@@ -158,6 +161,7 @@ impl Topology {
                 links,
                 echo_links,
                 switch_crossings: 0,
+                degraded: false,
             }
         } else {
             // Cross-ring: ride the source ring to its switch port (position
@@ -170,6 +174,63 @@ impl Topology {
                 links,
                 echo_links,
                 switch_crossings: 1,
+                degraded: false,
+            }
+        }
+    }
+
+    /// Compute a failover route from `src` to `dst` that avoids the
+    /// request links of the primary [`Topology::route`], or `None` when
+    /// the topology offers no alternative.
+    ///
+    /// A single ringlet is unidirectional — there is exactly one way
+    /// around, so no alternate exists. On a multi-ring fabric the switch
+    /// ports give a second path: within a ring the alternate rides the
+    /// complement arc *backwards* (modelling a maintenance bypass through
+    /// the switch ports), and across rings it rides both ring arcs the
+    /// other way. Alternate routes are marked [`Route::degraded`]; the
+    /// fabric charges `degraded_route_latency` per access on them.
+    pub fn alternate_route(&self, src: NodeId, dst: NodeId) -> Option<Route> {
+        if src == dst {
+            return None;
+        }
+        match *self {
+            Topology::Ringlet { .. } => None,
+            Topology::MultiRing { .. } => {
+                let (ring_s, pos_s, len_s) = self.locate(src);
+                let (ring_d, pos_d, len_d) = self.locate(dst);
+                if ring_s == ring_d {
+                    let fwd = (pos_d + len_s - pos_s) % len_s;
+                    // The complement arc dst→src reversed: the same
+                    // segments, traversed in the bypass direction, none
+                    // shared with the primary request path.
+                    let mut links = self.walk(ring_s, pos_d, len_s - fwd, len_s);
+                    links.reverse();
+                    let mut echo_links = self.walk(ring_s, pos_s, fwd, len_s);
+                    echo_links.reverse();
+                    Some(Route {
+                        links,
+                        echo_links,
+                        switch_crossings: 0,
+                        degraded: true,
+                    })
+                } else {
+                    // Ride the source ring backwards to its switch port
+                    // and the target ring backwards from the port — the
+                    // arcs the primary route does not touch.
+                    let mut links = self.walk(ring_s, 0, pos_s, len_s);
+                    links.reverse();
+                    let mut tail = self.walk(ring_d, pos_d, (len_d - pos_d) % len_d, len_d);
+                    tail.reverse();
+                    links.extend(tail);
+                    let echo_links = self.walk(ring_d, 0, pos_d, len_d);
+                    Some(Route {
+                        links,
+                        echo_links,
+                        switch_crossings: 1,
+                        degraded: true,
+                    })
+                }
             }
         }
     }
@@ -275,6 +336,45 @@ mod tests {
         let t = Topology::multi_ring(3, 5);
         assert_eq!(t.nodes().count(), 15);
         assert_eq!(t.nodes().next(), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn ringlet_has_no_alternate_route() {
+        let t = Topology::ringlet(8);
+        assert!(t.alternate_route(NodeId(0), NodeId(3)).is_none());
+        assert!(t.alternate_route(NodeId(3), NodeId(3)).is_none());
+    }
+
+    #[test]
+    fn multi_ring_alternate_avoids_primary_links() {
+        let t = Topology::multi_ring(2, 4);
+        for s in 0..8 {
+            for d in 0..8 {
+                if s == d {
+                    continue;
+                }
+                let primary = t.route(NodeId(s), NodeId(d));
+                let alt = t.alternate_route(NodeId(s), NodeId(d)).unwrap();
+                assert!(alt.degraded);
+                for l in &alt.links {
+                    assert!(
+                        !primary.links.contains(l),
+                        "{s}->{d}: alternate reuses primary link {l:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_ring_alternate_same_ring_rides_other_arc() {
+        let t = Topology::multi_ring(2, 4);
+        // Primary 0→2 uses links 0,1; alternate must use 2,3.
+        let alt = t.alternate_route(NodeId(0), NodeId(2)).unwrap();
+        let mut links: Vec<usize> = alt.links.iter().map(|l| l.0).collect();
+        links.sort_unstable();
+        assert_eq!(links, vec![2, 3]);
+        assert_eq!(alt.switch_crossings, 0);
     }
 
     #[test]
