@@ -27,7 +27,7 @@ const ROUNDS: usize = 8;
 const RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
 
 /// The recovery-counter totals of one run, in JSON field order.
-const RECOVERY: [(&str, Counter); 7] = [
+const RECOVERY: [(&str, Counter); 8] = [
     ("link_txn_retries", Counter::LinkTxnRetries),
     ("link_hard_failures", Counter::LinkHardFailures),
     ("route_failovers", Counter::RouteFailovers),
@@ -35,6 +35,7 @@ const RECOVERY: [(&str, Counter); 7] = [
     ("osc_fallbacks", Counter::OscFallbacks),
     ("osc_repromotions", Counter::OscRepromotions),
     ("peers_declared_dead", Counter::PeersDeclaredDead),
+    ("protocol_timeouts", Counter::ProtocolTimeouts),
 ];
 
 fn spec_for(rate: f64) -> ClusterSpec {
@@ -105,6 +106,11 @@ fn main() {
             assert_eq!(
                 total_recoveries, 0,
                 "a healthy fabric must not trip any recovery counter"
+            );
+            assert_eq!(
+                obs::counter_value(Counter::Retransmits),
+                0,
+                "a healthy fabric must not trip an integrity retransmission"
             );
         } else {
             assert!(

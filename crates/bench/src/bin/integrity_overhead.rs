@@ -1,0 +1,164 @@
+//! The price of data integrity: virtual-time overhead of the three
+//! [`IntegrityMode`]s over a mixed p2p + one-sided workload.
+//!
+//! Sweeps `integrity_mode` at a healthy fabric (pure protocol tax:
+//! sequence-guard charges for `SequenceCheck`, CRC framing for
+//! `EndToEnd`) and then raises the silent-corruption rate to show the two
+//! failure philosophies: `Off` keeps its full speed but delivers corrupt
+//! bytes (the `undetected` column), while `EndToEnd` keeps every byte
+//! exact and pays for it in retransmissions.
+//!
+//! `SequenceCheck` runs only on the healthy fabric: at any positive rate
+//! it (correctly) aborts the transfers instead of degrading, so there is
+//! no throughput to report.
+//!
+//! Run: `cargo run --release -p repro-bench --bin integrity_overhead`
+
+use obs::json::num;
+use obs::Counter;
+use sci_fabric::FaultConfig;
+use scimpi::{ClusterSpec, IntegrityMode, ObsConfig, Source, TagSel, Tuning, WinMemory};
+use simclock::stats::Table;
+use simclock::SimTime;
+
+const MSG_SIZE: usize = 256 * 1024;
+const PUT_SIZE: usize = 128 * 1024;
+const ROUNDS: usize = 4;
+
+/// (mode, corrupt_rate) points, in table order. Dropped-store rate rides
+/// along at a quarter of the corruption rate.
+const POINTS: [(IntegrityMode, f64); 6] = [
+    (IntegrityMode::Off, 0.0),
+    (IntegrityMode::SequenceCheck, 0.0),
+    (IntegrityMode::EndToEnd, 0.0),
+    (IntegrityMode::Off, 1e-3),
+    (IntegrityMode::EndToEnd, 1e-4),
+    (IntegrityMode::EndToEnd, 1e-3),
+];
+
+fn mode_name(mode: IntegrityMode) -> &'static str {
+    match mode {
+        IntegrityMode::Off => "off",
+        IntegrityMode::SequenceCheck => "sequence_check",
+        IntegrityMode::EndToEnd => "end_to_end",
+    }
+}
+
+fn spec_for(mode: IntegrityMode, corrupt: f64) -> ClusterSpec {
+    let mut spec = ClusterSpec::ringlet(4)
+        .with_tuning(Tuning {
+            integrity_mode: mode,
+            max_retransmits: 64,
+            ..Tuning::default()
+        })
+        .with_obs(ObsConfig::enabled());
+    spec.faults = FaultConfig::silent(corrupt, corrupt / 4.0);
+    spec.seed = 20020415; // IPPS 2002
+    spec
+}
+
+/// Ring-shift rendezvous messages plus fenced one-sided puts; returns
+/// aggregate goodput in MiB/s.
+fn throughput(mode: IntegrityMode, corrupt: f64) -> f64 {
+    let times: Vec<SimTime> = scimpi::run(spec_for(mode, corrupt), |r| {
+        let size = r.size();
+        let right = (r.rank() + 1) % size;
+        let left = (r.rank() + size - 1) % size;
+        let msg = vec![r.rank() as u8; MSG_SIZE];
+        let put = vec![0x5A; PUT_SIZE];
+        let mem = r.alloc_mem(PUT_SIZE);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        for _ in 0..ROUNDS {
+            let mut buf = vec![0u8; MSG_SIZE];
+            // Even ranks send first — a deadlock-free ring shift through
+            // the rendezvous protocol (ringlet sizes are even).
+            if r.rank() % 2 == 0 {
+                r.send(right, 7, &msg);
+                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf);
+            } else {
+                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf);
+                r.send(right, 7, &msg);
+            }
+            win.put(r, right, 0, &put).expect("put");
+            win.fence(r);
+        }
+        r.now()
+    });
+    let total_bytes = (times.len() * ROUNDS * (MSG_SIZE + PUT_SIZE)) as f64;
+    let max_time = times.into_iter().max().expect("nonempty cluster");
+    total_bytes / (1024.0 * 1024.0) / max_time.as_secs_f64()
+}
+
+fn main() {
+    let mut table = Table::new(vec![
+        "mode",
+        "corrupt rate",
+        "goodput [MiB/s]",
+        "overhead",
+        "injected",
+        "detected",
+        "retransmits",
+        "undetected",
+    ]);
+    let mut points = Vec::new();
+    let mut baseline = 0.0;
+    for &(mode, corrupt) in &POINTS {
+        let mbps = throughput(mode, corrupt);
+        let injected = obs::counter_value(Counter::CorruptionsInjected);
+        let detected = obs::counter_value(Counter::CorruptionsDetected);
+        let retransmits = obs::counter_value(Counter::Retransmits);
+        let undetected = obs::counter_value(Counter::UndetectedAtOff);
+        if corrupt == 0.0 {
+            assert_eq!(injected, 0, "a healthy fabric must not inject");
+            assert_eq!(
+                retransmits,
+                0,
+                "{}: zero corruption must mean zero retransmissions",
+                mode_name(mode)
+            );
+        }
+        if mode == IntegrityMode::EndToEnd {
+            assert_eq!(undetected, 0, "EndToEnd leaves no fault uncovered");
+        }
+        if mode == IntegrityMode::Off && corrupt > 0.0 {
+            assert!(undetected > 0, "Off must expose the injected faults");
+        }
+        if mode == IntegrityMode::Off && corrupt == 0.0 {
+            baseline = mbps;
+        }
+        table.push_row(vec![
+            mode_name(mode).into(),
+            format!("{corrupt}"),
+            format!("{mbps:.1}"),
+            format!("{:.1}%", (1.0 - mbps / baseline) * 100.0),
+            format!("{injected}"),
+            format!("{detected}"),
+            format!("{retransmits}"),
+            format!("{undetected}"),
+        ]);
+        points.push(format!(
+            "{{\"mode\":\"{}\",\"corrupt_rate\":{},\"mbps\":{},\"overhead_pct\":{},\
+             \"corruptions_injected\":{injected},\"corruptions_detected\":{detected},\
+             \"retransmits\":{retransmits},\"undetected_at_off\":{undetected}}}",
+            mode_name(mode),
+            num(corrupt),
+            num(mbps),
+            num((1.0 - mbps / baseline) * 100.0),
+        ));
+    }
+
+    println!("== Integrity-mode overhead over a mixed p2p + one-sided workload ==\n");
+    println!("{}", table.render());
+    // Hand-built document: the per-point counter fields don't fit the
+    // shared BenchPoint shape, but the envelope matches the other benches.
+    let json = format!(
+        "{{\"bench\":\"integrity_overhead\",\"msg_bytes\":{MSG_SIZE},\"put_bytes\":{PUT_SIZE},\
+         \"rounds\":{ROUNDS},\"points\":[\n{}\n]}}\n",
+        points.join(",\n")
+    );
+    match std::fs::write("BENCH_integrity_overhead.json", &json) {
+        Ok(()) => println!("wrote BENCH_integrity_overhead.json"),
+        Err(e) => eprintln!("BENCH_integrity_overhead.json not written: {e}"),
+    }
+}

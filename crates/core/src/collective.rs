@@ -4,6 +4,13 @@
 //! point-to-point messages. The reproduction provides the ones the
 //! examples and benchmarks need — binomial-tree broadcast and reduce,
 //! gather, and all-reduce — each paying realistic per-hop message costs.
+//!
+//! Because every byte a collective moves rides [`Rank::send`]/[`Rank::recv`],
+//! the data-integrity machinery ([`crate::IntegrityMode`], see
+//! `docs/INTEGRITY.md`) covers collectives with no code of their own: under
+//! `EndToEnd` each hop of the tree is individually checksummed and
+//! retransmitted, so a corrupted link taints at most one edge, not the
+//! whole reduction.
 
 use crate::error::ScimpiError;
 use crate::mailbox::{Source, TagSel};

@@ -52,6 +52,18 @@ pub enum ScimpiError {
     /// Window creation or registration failed (missing registration,
     /// type mismatch, exhausted shared-segment pool).
     WindowError(String),
+    /// Payload corruption detected by the integrity machinery (sequence
+    /// check or CRC mismatch) that the retransmission budget could not
+    /// repair. In `SequenceCheck` mode `retransmits` is always 0: the
+    /// guard detects but never repairs.
+    DataCorruption {
+        /// The peer rank on the other end of the corrupted transfer.
+        peer: usize,
+        /// Which transfer path was corrupted.
+        what: &'static str,
+        /// Retransmissions attempted before giving up.
+        retransmits: u32,
+    },
 }
 
 impl fmt::Display for ScimpiError {
@@ -68,6 +80,14 @@ impl fmt::Display for ScimpiError {
                 write!(f, "protocol violation: expected {expected}, got {got}")
             }
             ScimpiError::WindowError(msg) => write!(f, "window error: {msg}"),
+            ScimpiError::DataCorruption {
+                peer,
+                what,
+                retransmits,
+            } => write!(
+                f,
+                "data corruption on {what} with rank {peer} ({retransmits} retransmissions attempted)"
+            ),
         }
     }
 }
@@ -155,6 +175,13 @@ mod tests {
         assert!(e.to_string().contains("expected CTS"));
         let e = ScimpiError::from(SciError::PeerDead(2));
         assert!(matches!(e, ScimpiError::Fabric(_)));
+        let e = ScimpiError::DataCorruption {
+            peer: 1,
+            what: "rendezvous chunk",
+            retransmits: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rendezvous chunk") && s.contains("rank 1") && s.contains('4'));
     }
 
     #[test]

@@ -48,4 +48,4 @@ pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};
 pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource};
-pub use tuning::{NoncontigMode, Tuning};
+pub use tuning::{IntegrityMode, NoncontigMode, Tuning};

@@ -60,6 +60,9 @@ pub enum Head {
         /// Basic blocks the *sender* packed (receiver-side unpack pays a
         /// matching per-block cost).
         blocks: usize,
+        /// CRC32 of `data` as computed by the sender, when the integrity
+        /// mode frames payloads (`EndToEnd`); `None` otherwise.
+        crc: Option<u32>,
     },
     /// Rendezvous request-to-send; data follows through the ring buffer.
     Rts {
@@ -90,6 +93,28 @@ pub enum Ctrl {
         arrival: SimTime,
         /// True on the final chunk.
         last: bool,
+        /// CRC32 of the chunk payload (`EndToEnd` framing); `None`
+        /// otherwise.
+        crc: Option<u32>,
+    },
+    /// Chunk acknowledgement (receiver → sender), only exchanged in
+    /// `EndToEnd` integrity mode: `ok: false` is a NACK demanding a
+    /// retransmission of the same slot.
+    ChunkAck {
+        /// Arrival of the ack at the sender.
+        arrival: SimTime,
+        /// True if the chunk's CRC verified; false requests a resend.
+        ok: bool,
+    },
+    /// The sender detected corruption it could not (or, in
+    /// `SequenceCheck` mode, would not) repair and abandoned the
+    /// transfer; the receiver should surface a corruption error instead
+    /// of waiting forever.
+    Abort {
+        /// Arrival of the abort notification.
+        arrival: SimTime,
+        /// Retransmissions the sender attempted before giving up.
+        retransmits: u32,
     },
     /// Generic completion signal (one-sided emulation and PSCW use this).
     Signal {
@@ -269,6 +294,7 @@ mod tests {
             head: Head::Eager {
                 data: vec![],
                 blocks: 0,
+                crc: None,
             },
         }
     }
@@ -331,6 +357,7 @@ mod tests {
                 blocks: 1,
                 arrival: SimTime::ZERO,
                 last: true,
+                crc: None,
             },
         );
         assert!(matches!(mb.wait_ctrl(9), Ctrl::Cts { .. }));

@@ -23,8 +23,9 @@
 use crate::error::ScimpiError;
 use crate::mailbox::Ctrl;
 use crate::runtime::Rank;
+use crate::tuning::IntegrityMode;
 use mpi_datatype::{ff, Committed};
-use sci_fabric::{ConnectionMonitor, PioStream, SciError, SharedMem};
+use sci_fabric::{crc32, ConnectionMonitor, PioStream, SciError, SeqStatus, SharedMem};
 use simclock::{SimDuration, SimTime};
 use smi::{ProcId, SharedRegion, SmiLock, TimeBarrier};
 use std::sync::Arc;
@@ -96,6 +97,19 @@ struct FallbackState {
     consecutive: u32,
 }
 
+/// One put of an `EndToEnd` integrity epoch: the intended target image
+/// and its CRC32, verified against the target region at synchronisation
+/// and rewritten (bounded) on mismatch.
+struct PutRecord {
+    target: usize,
+    /// Window-relative byte offset at the target.
+    offset: usize,
+    /// CRC32 of `data`, computed (and charged) at put time.
+    crc: u32,
+    /// The intended bytes, kept for retransmission.
+    data: Vec<u8>,
+}
+
 /// A one-sided communication window (`MPI_Win`).
 pub struct Window {
     shared: Arc<WindowShared>,
@@ -110,6 +124,9 @@ pub struct Window {
     emu_busy: Vec<SimTime>,
     /// Latest completion time of emulated operations.
     emu_outstanding: SimTime,
+    /// Epoch ledger of puts awaiting `EndToEnd` verification (empty in
+    /// the other integrity modes).
+    put_records: Vec<PutRecord>,
 }
 
 /// Cost charged at the target for servicing one emulation request
@@ -258,6 +275,7 @@ impl Rank {
             fallback: vec![FallbackState::default(); self.size],
             shared,
             emu_outstanding: SimTime::ZERO,
+            put_records: Vec::new(),
         })
     }
 }
@@ -340,6 +358,190 @@ impl Window {
         Ok(())
     }
 
+    /// Apply the fabric's silent faults to a wire image travelling
+    /// between the node `pair` (emulation packets and target-executed
+    /// returns move through plain messages, not `SharedMem`, so the
+    /// per-pair fault streams are applied here). Returns the fault count.
+    fn corrupt_wire(rank: &mut Rank, pair: (usize, usize), wire: &mut [u8]) -> usize {
+        let txn = rank.world.fabric.params().stream_buffer_bytes;
+        rank.world.fabric.faults().corrupt_buffer(pair, txn, wire)
+    }
+
+    /// Count corruption that landed with no covering check (`Off`
+    /// everywhere; paths outside the sequence guard in `SequenceCheck`).
+    fn note_uncovered(rank: &Rank, n: usize, path: &'static str) {
+        if n > 0 {
+            obs::add(obs::Counter::UndetectedAtOff, n as u64);
+            if obs::is_enabled() {
+                obs::instant(
+                    "ft.integrity.silent",
+                    rank.clock.now(),
+                    vec![
+                        ("path", obs::Arg::Str(path.into())),
+                        ("faults", obs::Arg::U64(n as u64)),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// A detected corruption: counter plus trace instant.
+    fn note_detected(rank: &Rank, path: &'static str, peer: usize) {
+        obs::inc(obs::Counter::CorruptionsDetected);
+        obs::instant(
+            "ft.integrity.detected",
+            rank.clock.now(),
+            vec![
+                ("path", obs::Arg::Str(path.into())),
+                ("peer", obs::Arg::U64(peer as u64)),
+            ],
+        );
+    }
+
+    /// A retransmission: counter plus trace instant.
+    fn note_retransmit(rank: &Rank, path: &'static str, attempt: u32) {
+        obs::inc(obs::Counter::Retransmits);
+        obs::instant(
+            "ft.integrity.retransmit",
+            rank.clock.now(),
+            vec![
+                ("path", obs::Arg::Str(path.into())),
+                ("attempt", obs::Arg::U64(attempt as u64)),
+            ],
+        );
+    }
+
+    /// Record a put for `EndToEnd` epoch verification, charging the
+    /// origin's CRC computation over the intended image. A later access
+    /// overwriting an earlier one's region within the same epoch (ordered
+    /// accumulates, notably) supersedes its record — only the final image
+    /// can verify against memory.
+    fn record_put(&mut self, rank: &mut Rank, target: usize, offset: usize, data: &[u8]) {
+        rank.clock.advance(rank.world.crc_cost(data.len()));
+        let (lo, hi) = (offset, offset + data.len());
+        self.put_records
+            .retain(|r| r.target != target || r.offset + r.data.len() <= lo || hi <= r.offset);
+        self.put_records.push(PutRecord {
+            target,
+            offset,
+            crc: crc32(data),
+            data: data.to_vec(),
+        });
+    }
+
+    /// Verified delivery of one emulation packet (`EndToEnd`): each
+    /// attempt sends a fresh wire image; the target's CRC verdict is
+    /// collapsed into this loop (the simulator knows ground truth),
+    /// charging a CRC per attempt and one handler round trip per
+    /// retransmission. Returns the delivered (clean) payload.
+    fn deliver_packet(
+        rank: &mut Rank,
+        target: usize,
+        data: &[u8],
+        what: &'static str,
+    ) -> Result<Vec<u8>, ScimpiError> {
+        let pair = (rank.node().0, rank.world.node_of(target).0);
+        let mut retransmits = 0u32;
+        loop {
+            rank.clock.advance(rank.world.crc_cost(data.len()));
+            let mut wire = data.to_vec();
+            let n = Self::corrupt_wire(rank, pair, &mut wire);
+            if n == 0 {
+                return Ok(wire);
+            }
+            Self::note_detected(rank, "osc.emulated", target);
+            if retransmits >= rank.world.tuning.max_retransmits {
+                return Err(ScimpiError::DataCorruption {
+                    peer: target,
+                    what,
+                    retransmits,
+                });
+            }
+            retransmits += 1;
+            Self::note_retransmit(rank, "osc.emulated", retransmits);
+            rank.clock
+                .advance(Self::handler_roundtrip_cost(rank, target, data.len()));
+        }
+    }
+
+    /// Return-path (target → origin) integrity for data a target-executed
+    /// transfer landed in `dst`: `EndToEnd` re-requests a corrupted
+    /// return (bounded); the other modes let the flips stand, counted as
+    /// uncovered.
+    fn verify_return(
+        rank: &mut Rank,
+        target: usize,
+        dst: &mut [u8],
+        clean: &[u8],
+        what: &'static str,
+    ) -> Result<(), ScimpiError> {
+        let pair = (rank.world.node_of(target).0, rank.node().0);
+        let mode = rank.world.tuning.integrity_mode;
+        let mut retransmits = 0u32;
+        loop {
+            dst.copy_from_slice(clean);
+            let n = Self::corrupt_wire(rank, pair, dst);
+            if mode != IntegrityMode::EndToEnd {
+                Self::note_uncovered(rank, n, what);
+                return Ok(());
+            }
+            rank.clock.advance(rank.world.crc_cost(dst.len()));
+            if n == 0 {
+                return Ok(());
+            }
+            Self::note_detected(rank, what, target);
+            if retransmits >= rank.world.tuning.max_retransmits {
+                return Err(ScimpiError::DataCorruption {
+                    peer: target,
+                    what,
+                    retransmits,
+                });
+            }
+            retransmits += 1;
+            Self::note_retransmit(rank, what, retransmits);
+            rank.clock
+                .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+        }
+    }
+
+    /// Direct remote read with integrity handling: `EndToEnd` re-reads a
+    /// faulted interval (a modeled CRC handshake per attempt) up to the
+    /// retransmission budget; the other modes count flips as uncovered.
+    fn read_direct(
+        rank: &mut Rank,
+        reader: &sci_fabric::PioReader,
+        at: usize,
+        dst: &mut [u8],
+        target: usize,
+        what: &'static str,
+    ) -> Result<(), ScimpiError> {
+        let mode = rank.world.tuning.integrity_mode;
+        let mut retransmits = 0u32;
+        loop {
+            let n = reader
+                .read_counted(&mut rank.clock, at, dst)
+                .map_err(ScimpiError::Fabric)?;
+            if mode != IntegrityMode::EndToEnd {
+                Self::note_uncovered(rank, n as usize, what);
+                return Ok(());
+            }
+            rank.clock.advance(rank.world.crc_cost(dst.len()));
+            if n == 0 {
+                return Ok(());
+            }
+            Self::note_detected(rank, what, target);
+            if retransmits >= rank.world.tuning.max_retransmits {
+                return Err(ScimpiError::DataCorruption {
+                    peer: target,
+                    what,
+                    retransmits,
+                });
+            }
+            retransmits += 1;
+            Self::note_retransmit(rank, what, retransmits);
+        }
+    }
+
     /// Write into `target`'s backing window memory (the data movement of
     /// the emulated path — the handler's copy on the target side).
     fn backing_write(&self, target: usize, at: usize, data: &[u8]) -> Result<(), SciError> {
@@ -396,7 +598,7 @@ impl Window {
         target: usize,
         target_off: usize,
         data: &[u8],
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         self.check(target, target_off, data.len())?;
         let start = rank.clock.now();
         if self.direct_active(target) {
@@ -406,6 +608,9 @@ impl Window {
             match stream.write(&mut rank.clock, base + target_off, data) {
                 Ok(()) => {
                     self.note_direct_success(target);
+                    if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                        self.record_put(rank, target, target_off, data);
+                    }
                     osc_span(rank, "osc.put", start, data.len(), target, "shared");
                     return Ok(());
                 }
@@ -419,7 +624,16 @@ impl Window {
         // payload either way.
         obs::inc(obs::Counter::OscPutEmulated);
         Self::ensure_alive(rank, target)?;
-        self.backing_write(target, target_off, data)?;
+        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+            let wire = Self::deliver_packet(rank, target, data, "one-sided put")?;
+            self.backing_write(target, target_off, &wire)?;
+        } else {
+            let mut wire = data.to_vec();
+            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let n = Self::corrupt_wire(rank, pair, &mut wire);
+            Self::note_uncovered(rank, n, "osc.put");
+            self.backing_write(target, target_off, &wire)?;
+        }
         self.emulate(rank, target, data.len());
         osc_span(rank, "osc.put", start, data.len(), target, "emulated");
         Ok(())
@@ -437,7 +651,7 @@ impl Window {
         count: usize,
         buf: &[u8],
         origin: usize,
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         let total = c.size() * count;
         self.check(target, target_off, c.extent() * count)?;
         let start = rank.clock.now();
@@ -468,6 +682,20 @@ impl Window {
                             .saturating_mul(stats.blocks as u64),
                     );
                     self.note_direct_success(target);
+                    if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                        // One epoch record per block: verification needs
+                        // the layout, not the packed stream.
+                        ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                            let src_at = (origin as i64 + disp) as usize;
+                            self.record_put(
+                                rank,
+                                target,
+                                (target_off as i64 + disp) as usize,
+                                &buf[src_at..src_at + len],
+                            );
+                            core::ops::ControlFlow::Continue(())
+                        });
+                    }
                     osc_span(rank, "osc.put_typed", start, total, target, "shared");
                     return Ok(());
                 }
@@ -486,12 +714,21 @@ impl Window {
                 .ff_block_cost
                 .saturating_mul(stats.blocks as u64),
         );
+        // The packed stream is one emulation packet on the wire.
+        let mut payload = sink.data;
+        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+            payload = Self::deliver_packet(rank, target, &payload, "one-sided put")?;
+        } else {
+            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let n = Self::corrupt_wire(rank, pair, &mut payload);
+            Self::note_uncovered(rank, n, "osc.put_typed");
+        }
         // Handler unpacks at the target; data keeps its layout.
         let mut err = None;
         let mut pos = 0usize;
         ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
             let at = (target_off as i64 + disp) as usize;
-            if let Err(e) = self.backing_write(target, at, &sink.data[pos..pos + len]) {
+            if let Err(e) = self.backing_write(target, at, &payload[pos..pos + len]) {
                 err = Some(e);
                 return core::ops::ControlFlow::Break(());
             }
@@ -499,7 +736,7 @@ impl Window {
             core::ops::ControlFlow::Continue(())
         });
         if let Some(e) = err {
-            return Err(e);
+            return Err(e.into());
         }
         self.emulate(rank, target, total);
         osc_span(rank, "osc.put_typed", start, total, target, "emulated");
@@ -522,12 +759,13 @@ impl Window {
         count: usize,
         buf: &[u8],
         origin: usize,
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         self.check(target, target_off, c.extent() * count)?;
         obs::inc(obs::Counter::OscPutShared);
         let TargetMem::Shared { region, offset } = &self.shared.targets[target].0 else {
             panic!("put_typed_dma requires a shared window");
         };
+        let region = Arc::clone(region);
         let base = offset + target_off;
         let mut entries = Vec::with_capacity(c.blocks_per_instance() * count);
         ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
@@ -541,6 +779,22 @@ impl Window {
         let dma = rank.world.fabric.dma_engine(rank.node(), region.segment());
         let completion = dma.write_sg(&mut rank.clock, &entries, buf)?;
         self.emu_outstanding = self.emu_outstanding.max(completion.done);
+        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+            // The DMA engine has no sequence guard; epoch verification is
+            // the only net under the descriptor-list path.
+            ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                let src_at = (origin as i64 + disp) as usize;
+                self.record_put(
+                    rank,
+                    target,
+                    (target_off as i64 + disp) as usize,
+                    &buf[src_at..src_at + len],
+                );
+                core::ops::ControlFlow::Continue(())
+            });
+        } else {
+            Self::note_uncovered(rank, completion.silent_faults as usize, "osc.put_dma");
+        }
         Ok(())
     }
 
@@ -551,7 +805,7 @@ impl Window {
         target: usize,
         target_off: usize,
         dst: &mut [u8],
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         self.check(target, target_off, dst.len())?;
         let threshold = rank.world.tuning.get_remote_put_threshold;
         let start = rank.clock.now();
@@ -565,13 +819,21 @@ impl Window {
                 // Small: direct remote read (CPU stalls, but latency is
                 // still low compared to messaging).
                 let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
-                match reader.read(&mut rank.clock, offset + target_off, dst) {
+                match Self::read_direct(
+                    rank,
+                    &reader,
+                    offset + target_off,
+                    dst,
+                    target,
+                    "one-sided get",
+                ) {
                     Ok(()) => {
                         self.note_direct_success(target);
                         osc_span(rank, "osc.get", start, dst.len(), target, "direct");
                         return Ok(());
                     }
-                    Err(e) => self.note_direct_failure(rank, target, e)?,
+                    Err(ScimpiError::Fabric(e)) => self.note_direct_failure(rank, target, e)?,
+                    Err(other) => return Err(other),
                 }
             } else {
                 obs::inc(obs::Counter::OscGetRemotePut);
@@ -580,9 +842,15 @@ impl Window {
                 // bandwidth instead of the origin reading it at SCI
                 // read bandwidth (needs the target's CPU).
                 Self::ensure_alive(rank, target)?;
-                region.segment().mem().read(offset + target_off, dst)?;
+                region
+                    .segment()
+                    .mem()
+                    .read(offset + target_off, dst)
+                    .map_err(SciError::from)?;
                 rank.clock
                     .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+                let clean = dst.to_vec();
+                Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
                 osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
                 return Ok(());
             }
@@ -596,6 +864,8 @@ impl Window {
         self.backing_read(target, target_off, dst)?;
         rank.clock
             .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+        let clean = dst.to_vec();
+        Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
         osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
         Ok(())
     }
@@ -633,11 +903,13 @@ impl Window {
         target_off: usize,
         data: &[u8],
     ) -> Result<(), ScimpiError> {
-        self.put(rank, target, target_off, data)
-            .map_err(|e| match e {
-                SciError::OutOfBounds(_) => ScimpiError::Fabric(e),
-                other => rank.world.escalate(ScimpiError::Fabric(other)),
-            })
+        self.put(rank, target, target_off, data).map_err(|e| {
+            if matches!(e, ScimpiError::Fabric(SciError::OutOfBounds(_))) {
+                e
+            } else {
+                rank.world.escalate(e)
+            }
+        })
     }
 
     /// Fallible variant of [`Window::get`] (see [`Window::try_put`]).
@@ -648,11 +920,13 @@ impl Window {
         target_off: usize,
         dst: &mut [u8],
     ) -> Result<(), ScimpiError> {
-        self.get(rank, target, target_off, dst)
-            .map_err(|e| match e {
-                SciError::OutOfBounds(_) => ScimpiError::Fabric(e),
-                other => rank.world.escalate(ScimpiError::Fabric(other)),
-            })
+        self.get(rank, target, target_off, dst).map_err(|e| {
+            if matches!(e, ScimpiError::Fabric(SciError::OutOfBounds(_))) {
+                e
+            } else {
+                rank.world.escalate(e)
+            }
+        })
     }
 
     /// `MPI_Get` of a committed datatype: gather the target's
@@ -672,7 +946,7 @@ impl Window {
         count: usize,
         buf: &mut [u8],
         origin: usize,
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         self.check(target, target_off, c.extent() * count)?;
         let total = c.size() * count;
         let threshold = rank.world.tuning.get_remote_put_threshold;
@@ -682,22 +956,53 @@ impl Window {
                 TargetMem::Private { .. } => unreachable!("direct_active implies shared"),
             };
             obs::inc(obs::Counter::OscGetDirect);
-            // Direct path: one stalling read per basic block.
+            // Direct path: one stalling read per basic block. `EndToEnd`
+            // re-reads the whole gather on a faulted pass (a modeled CRC
+            // handshake per attempt), bounded by the retransmit budget.
             let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
             let base = (offset + target_off) as i64;
-            let mut err = None;
-            ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                let src = (base + disp) as usize;
-                let dst = (origin as i64 + disp) as usize;
-                match reader.read(&mut rank.clock, src, &mut buf[dst..dst + len]) {
-                    Ok(()) => core::ops::ControlFlow::Continue(()),
-                    Err(e) => {
-                        err = Some(e);
-                        core::ops::ControlFlow::Break(())
+            let mode = rank.world.tuning.integrity_mode;
+            let mut retransmits = 0u32;
+            let outcome = loop {
+                let mut err = None;
+                let mut faults = 0u64;
+                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let src = (base + disp) as usize;
+                    let dst = (origin as i64 + disp) as usize;
+                    match reader.read_counted(&mut rank.clock, src, &mut buf[dst..dst + len]) {
+                        Ok(n) => {
+                            faults += n;
+                            core::ops::ControlFlow::Continue(())
+                        }
+                        Err(e) => {
+                            err = Some(e);
+                            core::ops::ControlFlow::Break(())
+                        }
                     }
+                });
+                if let Some(e) = err {
+                    break Some(e);
                 }
-            });
-            match err {
+                if mode != IntegrityMode::EndToEnd {
+                    Self::note_uncovered(rank, faults as usize, "osc.get_typed");
+                    break None;
+                }
+                rank.clock.advance(rank.world.crc_cost(total));
+                if faults == 0 {
+                    break None;
+                }
+                Self::note_detected(rank, "osc.get_typed", target);
+                if retransmits >= rank.world.tuning.max_retransmits {
+                    return Err(ScimpiError::DataCorruption {
+                        peer: target,
+                        what: "one-sided get",
+                        retransmits,
+                    });
+                }
+                retransmits += 1;
+                Self::note_retransmit(rank, "osc.get_typed", retransmits);
+            };
+            match outcome {
                 None => {
                     self.note_direct_success(target);
                     return Ok(());
@@ -709,15 +1014,21 @@ impl Window {
         // Remote-put conversion (or emulation for private windows and
         // shared targets under fallback): the target's handler packs the
         // blocks with direct_pack_ff and streams them back at write
-        // bandwidth.
+        // bandwidth. The packed stream is the wire image: it is gathered
+        // first, checked as one return, then scattered into the origin
+        // layout.
         Self::ensure_alive(rank, target)?;
         let base = target_off as i64;
+        let mut packed = vec![0u8; total];
         let mut err = None;
+        let mut pos = 0usize;
         let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
             let src = (base + disp) as usize;
-            let dst = (origin as i64 + disp) as usize;
-            match self.backing_read(target, src, &mut buf[dst..dst + len]) {
-                Ok(()) => core::ops::ControlFlow::Continue(()),
+            match self.backing_read(target, src, &mut packed[pos..pos + len]) {
+                Ok(()) => {
+                    pos += len;
+                    core::ops::ControlFlow::Continue(())
+                }
                 Err(e) => {
                     err = Some(e);
                     core::ops::ControlFlow::Break(())
@@ -725,7 +1036,7 @@ impl Window {
             }
         });
         if let Some(e) = err {
-            return Err(e);
+            return Err(e.into());
         }
         let params = rank.world.fabric.params();
         let t = &rank.world.tuning;
@@ -747,6 +1058,15 @@ impl Window {
             + params.wire_latency(hops).saturating_mul(2)
             + params.cache.copy_cost(total, total);
         rank.clock.advance(cost);
+        let clean = packed.clone();
+        Self::verify_return(rank, target, &mut packed, &clean, "one-sided get")?;
+        let mut pos = 0usize;
+        ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+            let dst = (origin as i64 + disp) as usize;
+            buf[dst..dst + len].copy_from_slice(&packed[pos..pos + len]);
+            pos += len;
+            core::ops::ControlFlow::Continue(())
+        });
         Ok(())
     }
 
@@ -758,7 +1078,7 @@ impl Window {
         target_off: usize,
         op: AccumulateOp,
         data: &[u8],
-    ) -> Result<(), SciError> {
+    ) -> Result<(), ScimpiError> {
         self.check(target, target_off, data.len())?;
         // Read-modify-write. On the direct path this is a stalling remote
         // read plus a remote write; on the emulation path the handler does
@@ -772,7 +1092,14 @@ impl Window {
             };
             obs::inc(obs::Counter::OscAccShared);
             let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
-            match reader.read(&mut rank.clock, offset + target_off, &mut current) {
+            match Self::read_direct(
+                rank,
+                &reader,
+                offset + target_off,
+                &mut current,
+                target,
+                "one-sided accumulate",
+            ) {
                 Ok(()) => {
                     apply_op(op, &mut current, data);
                     let (stream, base) =
@@ -780,19 +1107,34 @@ impl Window {
                     match stream.write(&mut rank.clock, base + target_off, &current) {
                         Ok(()) => {
                             self.note_direct_success(target);
+                            if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                                // Record the *combined* image: a verify-pass
+                                // rewrite then replaces rather than re-adds.
+                                self.record_put(rank, target, target_off, &current);
+                            }
                             osc_span(rank, "osc.accumulate", start, data.len(), target, "shared");
                             return Ok(());
                         }
                         Err(e) => self.note_direct_failure(rank, target, e)?,
                     }
                 }
-                Err(e) => self.note_direct_failure(rank, target, e)?,
+                Err(ScimpiError::Fabric(e)) => self.note_direct_failure(rank, target, e)?,
+                Err(other) => return Err(other),
             }
         }
         obs::inc(obs::Counter::OscAccEmulated);
         Self::ensure_alive(rank, target)?;
+        let incoming = if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+            Self::deliver_packet(rank, target, data, "one-sided accumulate")?
+        } else {
+            let mut wire = data.to_vec();
+            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let n = Self::corrupt_wire(rank, pair, &mut wire);
+            Self::note_uncovered(rank, n, "osc.accumulate");
+            wire
+        };
         self.backing_read(target, target_off, &mut current)?;
-        apply_op(op, &mut current, data);
+        apply_op(op, &mut current, &incoming);
         self.backing_write(target, target_off, &current)?;
         self.emulate(rank, target, data.len());
         osc_span(
@@ -897,7 +1239,7 @@ impl Window {
 
     /// Flush: merge all outstanding completions into the clock and reset
     /// burst state (the store-barrier part of every synchronisation).
-    fn flush(&mut self, rank: &mut Rank) {
+    fn flush_streams(&mut self, rank: &mut Rank) {
         for stream in self.streams.iter_mut().flatten() {
             stream.barrier(&mut rank.clock);
         }
@@ -905,12 +1247,129 @@ impl Window {
         self.emu_outstanding = SimTime::ZERO;
     }
 
+    /// Flush with integrity handling per [`crate::IntegrityMode`]: `Off`
+    /// counts silent stream faults as uncovered; `SequenceCheck` polls the
+    /// adapter's sequence guard per stream (detects, never repairs);
+    /// `EndToEnd` verifies the epoch ledger against the remote windows and
+    /// rewrites corrupted regions within the retransmit budget.
+    fn try_flush(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
+        self.flush_streams(rank);
+        match rank.world.tuning.integrity_mode {
+            IntegrityMode::Off => {
+                for stream in self.streams.iter_mut().flatten() {
+                    let n = stream.take_silent_faults();
+                    Self::note_uncovered(rank, n as usize, "osc.flush");
+                }
+                Ok(())
+            }
+            IntegrityMode::SequenceCheck => {
+                let mut tainted = None;
+                for (target, stream) in self.streams.iter_mut().enumerate() {
+                    let Some(stream) = stream else { continue };
+                    if stream.check_sequence(&mut rank.clock) == SeqStatus::Tainted {
+                        Self::note_detected(rank, "osc.flush", target);
+                        tainted.get_or_insert(target);
+                    }
+                    stream.start_sequence(&mut rank.clock);
+                }
+                match tainted {
+                    None => Ok(()),
+                    Some(target) => Err(ScimpiError::DataCorruption {
+                        peer: target,
+                        what: "one-sided epoch",
+                        retransmits: 0,
+                    }),
+                }
+            }
+            IntegrityMode::EndToEnd => self.verify_epoch(rank),
+        }
+    }
+
+    /// `EndToEnd` epoch verification: a target-side CRC over every
+    /// recorded put region is compared with the origin's record (the
+    /// simulator reads the backing memory directly — in hardware the
+    /// target checksums its own window and returns the digest).
+    /// Mismatched regions are rewritten — re-subject to faults — within
+    /// the retransmit budget.
+    fn verify_epoch(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
+        // The CRC comparison supersedes per-stream fault bookkeeping.
+        for stream in self.streams.iter_mut().flatten() {
+            stream.take_silent_faults();
+        }
+        let records = std::mem::take(&mut self.put_records);
+        for rec in &records {
+            let mut retransmits = 0u32;
+            loop {
+                rank.clock.advance(rank.world.crc_cost(rec.data.len()));
+                let mut image = vec![0u8; rec.data.len()];
+                self.backing_read(rec.target, rec.offset, &mut image)?;
+                if crc32(&image) == rec.crc {
+                    break;
+                }
+                Self::note_detected(rank, "osc.epoch", rec.target);
+                if retransmits >= rank.world.tuning.max_retransmits {
+                    return Err(ScimpiError::DataCorruption {
+                        peer: rec.target,
+                        what: "one-sided epoch",
+                        retransmits,
+                    });
+                }
+                retransmits += 1;
+                Self::note_retransmit(rank, "osc.epoch", retransmits);
+                self.rewrite(rank, rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrite one corrupted put region — the epoch-level retransmission.
+    /// The fresh write is itself subject to faults; the caller re-verifies.
+    fn rewrite(&mut self, rank: &mut Rank, rec: &PutRecord) -> Result<(), ScimpiError> {
+        if self.direct_active(rec.target) {
+            let (stream, base) = Self::stream(
+                &mut self.streams,
+                &self.shared,
+                rank,
+                rec.target,
+                rec.data.len(),
+            );
+            stream
+                .write(&mut rank.clock, base + rec.offset, &rec.data)
+                .map_err(ScimpiError::Fabric)?;
+            stream.barrier(&mut rank.clock);
+            stream.take_silent_faults();
+        } else {
+            Self::ensure_alive(rank, rec.target)?;
+            let pair = (rank.node().0, rank.world.node_of(rec.target).0);
+            let mut wire = rec.data.clone();
+            Self::corrupt_wire(rank, pair, &mut wire);
+            self.backing_write(rec.target, rec.offset, &wire)?;
+            self.emulate(rank, rec.target, rec.data.len());
+            rank.clock.merge(self.emu_outstanding);
+            self.emu_outstanding = SimTime::ZERO;
+        }
+        Ok(())
+    }
+
     /// `MPI_Win_fence`: complete all outstanding accesses and synchronise
     /// all ranks of the window (active target, collective).
+    ///
+    /// Panics on a detected integrity failure; see [`Window::try_fence`].
     pub fn fence(&mut self, rank: &mut Rank) {
-        self.flush(rank);
+        if let Err(e) = self.try_fence(rank) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible fence. The collective synchronisation itself always runs —
+    /// even when this rank's flush detects corruption — so peers are not
+    /// deadlocked; the error goes through the error-handler machinery
+    /// after the barrier.
+    pub fn try_fence(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
+        let res = self.try_flush(rank);
         self.maybe_repromote(rank);
         self.shared.fence.wait(&mut rank.clock);
+        res.map_err(|e| rank.world.escalate(e))
     }
 
     /// At synchronisation, probe the primary route to every demoted target
@@ -985,8 +1444,20 @@ impl Window {
 
     /// `MPI_Win_complete`: close the access epoch (flushes and notifies
     /// the targets).
+    ///
+    /// Panics on a detected integrity failure; see [`Window::try_complete`].
     pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) {
-        self.flush(rank);
+        if let Err(e) = self.try_complete(rank, targets) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible complete: the targets are notified even when this rank's
+    /// flush detects corruption, so their [`Window::wait`] is not
+    /// deadlocked; the error goes through the error-handler machinery
+    /// after the notifications.
+    pub fn try_complete(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
+        let res = self.try_flush(rank);
         for &t in targets {
             rank.clock.advance(rank.world.tuning.ctrl_send_cost);
             let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), t);
@@ -998,6 +1469,7 @@ impl Window {
                 },
             );
         }
+        res.map_err(|e| rank.world.escalate(e))
     }
 
     /// `MPI_Win_wait`: close the exposure epoch (waits for all origins'
@@ -1036,6 +1508,22 @@ impl Window {
         target: usize,
         body: impl FnOnce(&mut Window, &mut Rank) -> R,
     ) -> R {
+        match self.try_locked(rank, target, body) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible lock-unlock epoch: the lock is always released — even when
+    /// the unlock flush detects corruption — so waiting ranks are not
+    /// deadlocked; the error goes through the error-handler machinery
+    /// after the release.
+    pub fn try_locked<R>(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        body: impl FnOnce(&mut Window, &mut Rank) -> R,
+    ) -> Result<R, ScimpiError> {
         let me = ProcId(rank.rank());
         let shared = Arc::clone(&self.shared);
         let guard = {
@@ -1045,9 +1533,10 @@ impl Window {
         let result = body(self, rank);
         // Unlock semantics: all accesses of the epoch must be complete at
         // the target before the lock is released.
-        self.flush(rank);
+        let res = self.try_flush(rank);
         guard.release(&mut rank.clock);
-        result
+        res.map_err(|e| rank.world.escalate(e))?;
+        Ok(result)
     }
 }
 

@@ -20,8 +20,9 @@ use crate::error::ScimpiError;
 use crate::mailbox::{Ctrl, Envelope, Head, Source, Tag, TagSel};
 use crate::runtime::{Rank, WorldState, POLL_SLICE};
 use crate::sink::PioSink;
-use crate::tuning::{NoncontigMode, Tuning};
+use crate::tuning::{IntegrityMode, NoncontigMode, Tuning};
 use mpi_datatype::{ff, tree, Committed, PackStats, SliceSource};
+use sci_fabric::{crc32, SeqStatus};
 use simclock::{Clock, SimDuration};
 use smi::ProcId;
 use std::sync::Arc;
@@ -240,60 +241,199 @@ fn try_finish_send_inner(
             return Err(world.escalate(world.declare_dead(clock, dst, "ring slot")));
         };
         let slot_off = ring.slot_offset(slot);
-        let blocks = match &op.data {
-            SendData::Bytes(b) => {
+        let mode = world.tuning.integrity_mode;
+        // `EndToEnd` frames each chunk with a CRC32 over its packed image,
+        // so the image must exist contiguously at the sender: typed data
+        // forgoes direct ff streaming here and pays the pack through the
+        // engine's normal cost model (part of the integrity tax measured
+        // by the `integrity_overhead` bench).
+        let staged: Option<(u32, Vec<u8>)> = if mode == IntegrityMode::EndToEnd {
+            let packed = pack_local(world, clock, &op.data, skip, this);
+            clock.advance(world.crc_cost(packed.len()));
+            Some((crc32(&packed), packed))
+        } else {
+            None
+        };
+        let mut retransmits = 0u32;
+        let blocks = loop {
+            if mode == IntegrityMode::SequenceCheck {
+                stream.start_sequence(clock);
+            }
+            let blocks = if let Some((_, packed)) = &staged {
                 stream
-                    .write(clock, slot_off, &b[skip..skip + this])
+                    .write(clock, slot_off, packed)
                     .map_err(|e| world.escalate(e.into()))?;
                 1
-            }
-            SendData::Typed {
-                c,
-                count,
-                buf,
-                origin,
-            } => {
-                if use_ff(&world.tuning, c) {
-                    // direct_pack_ff straight into the remote ring: no
-                    // intermediate copy.
-                    let stats = {
-                        let mut sink = PioSink::new(&mut stream, clock, slot_off);
-                        ff::pack_ff(c, *count, buf, *origin, skip, this, &mut sink)
-                            .map_err(|e| world.escalate(e.into()))?
-                    };
-                    clock.advance(
-                        world
-                            .tuning
-                            .ff_block_cost
-                            .saturating_mul(stats.blocks as u64),
+            } else {
+                match &op.data {
+                    SendData::Bytes(b) => {
+                        stream
+                            .write(clock, slot_off, &b[skip..skip + this])
+                            .map_err(|e| world.escalate(e.into()))?;
+                        1
+                    }
+                    SendData::Typed {
+                        c,
+                        count,
+                        buf,
+                        origin,
+                    } => {
+                        if use_ff(&world.tuning, c) {
+                            // direct_pack_ff straight into the remote ring:
+                            // no intermediate copy.
+                            let stats = {
+                                let mut sink = PioSink::new(&mut stream, clock, slot_off);
+                                ff::pack_ff(c, *count, buf, *origin, skip, this, &mut sink)
+                                    .map_err(|e| world.escalate(e.into()))?
+                            };
+                            clock.advance(
+                                world
+                                    .tuning
+                                    .ff_block_cost
+                                    .saturating_mul(stats.blocks as u64),
+                            );
+                            stats.blocks
+                        } else {
+                            // Generic: pack locally, then one contiguous
+                            // write.
+                            let packed = pack_local(world, clock, &op.data, skip, this);
+                            stream
+                                .write(clock, slot_off, &packed)
+                                .map_err(|e| world.escalate(e.into()))?;
+                            1
+                        }
+                    }
+                }
+            };
+            // Store barrier: the chunk must be fully delivered before the
+            // notification overtakes it (§2).
+            stream.barrier(clock);
+            match mode {
+                IntegrityMode::Off => {
+                    let n = stream.take_silent_faults();
+                    if n > 0 {
+                        obs::add(obs::Counter::UndetectedAtOff, n);
+                        obs::instant(
+                            "ft.integrity.silent",
+                            clock.now(),
+                            vec![
+                                ("bytes", obs::Arg::U64(this as u64)),
+                                ("faults", obs::Arg::U64(n)),
+                            ],
+                        );
+                    }
+                    break blocks;
+                }
+                IntegrityMode::SequenceCheck => {
+                    stream.take_silent_faults();
+                    if stream.check_sequence(clock) == SeqStatus::Tainted {
+                        obs::inc(obs::Counter::CorruptionsDetected);
+                        obs::instant(
+                            "ft.integrity.detected",
+                            clock.now(),
+                            vec![
+                                ("path", obs::Arg::Str("rendezvous".into())),
+                                ("peer", obs::Arg::U64(dst as u64)),
+                            ],
+                        );
+                        // Unblock the receiver before surfacing the error:
+                        // the sequence guard detects but never repairs.
+                        world.mailboxes[dst].post_ctrl(
+                            receiver_handle(handle),
+                            Ctrl::Abort {
+                                arrival: clock.now() + world.ctrl_latency(rank, dst),
+                                retransmits: 0,
+                            },
+                        );
+                        return Err(world.escalate(ScimpiError::DataCorruption {
+                            peer: dst,
+                            what: "rendezvous chunk",
+                            retransmits: 0,
+                        }));
+                    }
+                    break blocks;
+                }
+                IntegrityMode::EndToEnd => {
+                    stream.take_silent_faults();
+                    let (crc, _) = staged.as_ref().expect("EndToEnd staged the chunk");
+                    // Stop-and-wait: every chunk is acknowledged before the
+                    // next slot fills (the pipelining loss is part of the
+                    // integrity tax).
+                    clock.advance(world.tuning.ctrl_send_cost);
+                    let arrival = clock.now() + world.ctrl_latency(rank, dst);
+                    world.mailboxes[dst].post_ctrl(
+                        receiver_handle(handle),
+                        Ctrl::Chunk {
+                            slot,
+                            len: this,
+                            blocks,
+                            arrival,
+                            last: skip + this >= total,
+                            crc: Some(*crc),
+                        },
                     );
-                    stats.blocks
-                } else {
-                    // Generic: pack locally, then one contiguous write.
-                    let packed = pack_local(world, clock, &op.data, skip, this);
-                    stream
-                        .write(clock, slot_off, &packed)
-                        .map_err(|e| world.escalate(e.into()))?;
-                    1
+                    match world
+                        .await_ctrl(rank, clock, sender_handle(handle), dst, "chunk ack")
+                        .map_err(|e| world.escalate(e))?
+                    {
+                        Ctrl::ChunkAck { arrival, ok } => {
+                            clock.merge(arrival);
+                            clock.advance(world.tuning.ctrl_recv_cost);
+                            if ok {
+                                break blocks;
+                            }
+                            if retransmits >= world.tuning.max_retransmits {
+                                world.mailboxes[dst].post_ctrl(
+                                    receiver_handle(handle),
+                                    Ctrl::Abort {
+                                        arrival: clock.now() + world.ctrl_latency(rank, dst),
+                                        retransmits,
+                                    },
+                                );
+                                return Err(world.escalate(ScimpiError::DataCorruption {
+                                    peer: dst,
+                                    what: "rendezvous chunk",
+                                    retransmits,
+                                }));
+                            }
+                            retransmits += 1;
+                            obs::inc(obs::Counter::Retransmits);
+                            obs::instant(
+                                "ft.integrity.retransmit",
+                                clock.now(),
+                                vec![
+                                    ("path", obs::Arg::Str("rendezvous".into())),
+                                    ("attempt", obs::Arg::U64(retransmits as u64)),
+                                ],
+                            );
+                            // Loop: rewrite the same slot.
+                        }
+                        other => {
+                            return Err(world.escalate(ScimpiError::ProtocolViolation {
+                                expected: "chunk ack",
+                                got: format!("{other:?}"),
+                            }))
+                        }
+                    }
                 }
             }
         };
-        // Store barrier: the chunk must be fully delivered before the
-        // notification overtakes it (§2).
-        stream.barrier(clock);
-        clock.advance(world.tuning.ctrl_send_cost);
-        let arrival = clock.now() + world.ctrl_latency(rank, dst);
         skip += this;
-        world.mailboxes[dst].post_ctrl(
-            receiver_handle(handle),
-            Ctrl::Chunk {
-                slot,
-                len: this,
-                blocks,
-                arrival,
-                last: skip >= total,
-            },
-        );
+        if mode != IntegrityMode::EndToEnd {
+            clock.advance(world.tuning.ctrl_send_cost);
+            let arrival = clock.now() + world.ctrl_latency(rank, dst);
+            world.mailboxes[dst].post_ctrl(
+                receiver_handle(handle),
+                Ctrl::Chunk {
+                    slot,
+                    len: this,
+                    blocks,
+                    arrival,
+                    last: skip >= total,
+                    crc: None,
+                },
+            );
+        }
     }
     if obs::is_enabled() {
         let hops = world.fabric.topology().distance(
@@ -348,13 +488,27 @@ impl Rank {
     /// Start a send: eager sends complete immediately, rendezvous sends
     /// post their RTS and return an op to [`Rank::finish_send`].
     pub fn start_send<'a>(&mut self, dst: usize, tag: Tag, data: SendData<'a>) -> SendOp<'a> {
+        match self.try_start_send(dst, tag, data) {
+            Ok(op) => op,
+            Err(e) => panic!("send failed: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Rank::start_send`]: eager sends can detect
+    /// unrepairable corruption while starting.
+    pub fn try_start_send<'a>(
+        &mut self,
+        dst: usize,
+        tag: Tag,
+        data: SendData<'a>,
+    ) -> Result<SendOp<'a>, ScimpiError> {
         assert!(dst < self.size, "destination rank {dst} out of range");
         let t = &self.world.tuning;
         let len = data.total_len();
         if len <= t.eager_threshold {
             obs::inc(obs::Counter::EagerSends);
             let start = self.clock.now();
-            self.send_eager(dst, tag, &data);
+            self.send_eager(dst, tag, &data)?;
             if obs::is_enabled() {
                 obs::span(
                     "p2p.send",
@@ -367,11 +521,11 @@ impl Rank {
                     ],
                 );
             }
-            SendOp {
+            Ok(SendOp {
                 dst,
                 data,
                 kind: SendOpKind::Done,
-            }
+            })
         } else {
             obs::inc(obs::Counter::RendezvousSends);
             let handle = self.world.handle();
@@ -393,11 +547,11 @@ impl Rank {
                     ],
                 );
             }
-            SendOp {
+            Ok(SendOp {
                 dst,
                 data,
                 kind: SendOpKind::Rendezvous { handle },
-            }
+            })
         }
     }
 
@@ -418,7 +572,7 @@ impl Rank {
 
     /// Fallible variant of [`Rank::send`].
     pub fn try_send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<(), ScimpiError> {
-        let op = self.start_send(dst, tag, SendData::Bytes(data));
+        let op = self.try_start_send(dst, tag, SendData::Bytes(data))?;
         self.try_finish_send(op)
     }
 
@@ -432,7 +586,7 @@ impl Rank {
         buf: &[u8],
         origin: usize,
     ) -> Result<(), ScimpiError> {
-        let op = self.start_send(
+        let op = self.try_start_send(
             dst,
             tag,
             SendData::Typed {
@@ -441,35 +595,134 @@ impl Rank {
                 buf,
                 origin,
             },
-        );
+        )?;
         self.try_finish_send(op)
     }
 
-    fn send_eager(&mut self, dst: usize, tag: Tag, data: &SendData<'_>) {
+    fn send_eager(&mut self, dst: usize, tag: Tag, data: &SendData<'_>) -> Result<(), ScimpiError> {
         let world = Arc::clone(&self.world);
         let ctrl_cost = world.tuning.ctrl_send_cost;
-        let payload = pack_local(&world, &mut self.clock, data, 0, usize::MAX);
-        let params = self.world.fabric.params();
+        let mut payload = pack_local(&world, &mut self.clock, data, 0, usize::MAX);
+        let params = world.fabric.params();
         let len = payload.len();
         // Model the PIO write of the payload into the receiver's eager
         // buffer space.
-        let same_node = self.world.smi.same_node(ProcId(self.rank), ProcId(dst));
+        let same_node = world.smi.same_node(ProcId(self.rank), ProcId(dst));
         let cpu = if same_node {
             params.cache.copy_cost(len, len)
         } else {
             params.txn_overhead + params.pio_stream_bw(len).cost(len as u64) + params.store_barrier
         };
         self.clock.advance(ctrl_cost + cpu);
-        let arrival = self.clock.now() + self.world.ctrl_latency(self.rank, dst);
-        self.world.mailboxes[dst].post(Envelope {
+        // The eager payload travels with the envelope rather than through
+        // `SharedMem`, so the fabric's silent faults are applied to the
+        // wire image here (same per-pair streams, same burst geometry).
+        // Intra-node transfers are plain memory copies and never fault.
+        let mut crc = None;
+        if !same_node && len > 0 {
+            let pair = (world.node_of(self.rank).0, world.node_of(dst).0);
+            let faults = world.fabric.faults();
+            match world.tuning.integrity_mode {
+                IntegrityMode::Off => {
+                    let n = faults.corrupt_buffer(pair, params.stream_buffer_bytes, &mut payload);
+                    if n > 0 {
+                        obs::add(obs::Counter::UndetectedAtOff, n as u64);
+                        obs::instant(
+                            "ft.integrity.silent",
+                            self.clock.now(),
+                            vec![
+                                ("bytes", obs::Arg::U64(len as u64)),
+                                ("faults", obs::Arg::U64(n as u64)),
+                            ],
+                        );
+                    }
+                }
+                IntegrityMode::SequenceCheck => {
+                    // Bracket the modeled PIO burst with the sequence guard
+                    // (one CSR read before, one after).
+                    self.clock
+                        .advance(params.sequence_check_cost + params.sequence_check_cost);
+                    let n = faults.corrupt_buffer(pair, params.stream_buffer_bytes, &mut payload);
+                    if n > 0 {
+                        obs::inc(obs::Counter::CorruptionsDetected);
+                        obs::instant(
+                            "ft.integrity.detected",
+                            self.clock.now(),
+                            vec![
+                                ("path", obs::Arg::Str("eager".into())),
+                                ("peer", obs::Arg::U64(dst as u64)),
+                            ],
+                        );
+                        // Detect-only: the message is not delivered.
+                        return Err(world.escalate(ScimpiError::DataCorruption {
+                            peer: dst,
+                            what: "eager message",
+                            retransmits: 0,
+                        }));
+                    }
+                }
+                IntegrityMode::EndToEnd => {
+                    // Verified delivery: each attempt sends a fresh wire
+                    // image; the receiver-side CRC verdict is collapsed
+                    // into this loop (the simulator knows ground truth),
+                    // charging a status round trip per retransmission.
+                    let clean = payload.clone();
+                    let mut retransmits = 0u32;
+                    loop {
+                        self.clock.advance(world.crc_cost(len));
+                        let mut wire = clean.clone();
+                        let n = faults.corrupt_buffer(pair, params.stream_buffer_bytes, &mut wire);
+                        if n == 0 {
+                            payload = wire;
+                            break;
+                        }
+                        obs::inc(obs::Counter::CorruptionsDetected);
+                        obs::instant(
+                            "ft.integrity.detected",
+                            self.clock.now(),
+                            vec![
+                                ("path", obs::Arg::Str("eager".into())),
+                                ("peer", obs::Arg::U64(dst as u64)),
+                            ],
+                        );
+                        let rtt = world.ctrl_latency(self.rank, dst);
+                        self.clock.advance(rtt + rtt);
+                        if retransmits >= world.tuning.max_retransmits {
+                            return Err(world.escalate(ScimpiError::DataCorruption {
+                                peer: dst,
+                                what: "eager message",
+                                retransmits,
+                            }));
+                        }
+                        retransmits += 1;
+                        obs::inc(obs::Counter::Retransmits);
+                        obs::instant(
+                            "ft.integrity.retransmit",
+                            self.clock.now(),
+                            vec![
+                                ("path", obs::Arg::Str("eager".into())),
+                                ("attempt", obs::Arg::U64(retransmits as u64)),
+                            ],
+                        );
+                        // Resend the payload burst.
+                        self.clock.advance(cpu);
+                    }
+                    crc = Some(crc32(&payload));
+                }
+            }
+        }
+        let arrival = self.clock.now() + world.ctrl_latency(self.rank, dst);
+        world.mailboxes[dst].post(Envelope {
             src: self.rank,
             tag,
             arrival,
             head: Head::Eager {
                 data: payload,
                 blocks: 1,
+                crc,
             },
         });
+        Ok(())
     }
 
     /// Blocking receive (`MPI_Recv`) into contiguous bytes.
@@ -580,8 +833,22 @@ impl Rank {
         self.clock.merge(env.arrival);
         self.clock.advance(self.world.tuning.ctrl_recv_cost);
         match env.head {
-            Head::Eager { data, .. } => {
+            Head::Eager { data, crc, .. } => {
                 let len = data.len();
+                if let Some(expect) = crc {
+                    // Defensive re-verification of the sender-verified
+                    // payload: a mismatch here means the framing itself is
+                    // broken, not the fabric.
+                    self.clock.advance(self.world.crc_cost(len));
+                    if crc32(&data) != expect {
+                        obs::inc(obs::Counter::CorruptionsDetected);
+                        return Err(self.world.escalate(ScimpiError::DataCorruption {
+                            peer: env.src,
+                            what: "eager message",
+                            retransmits: 0,
+                        }));
+                    }
+                }
                 self.unpack_into(&mut into, 0, &data, len > self.world.tuning.short_threshold);
                 if obs::is_enabled() {
                     obs::span(
@@ -624,18 +891,35 @@ impl Rank {
                             "chunk",
                         )
                         .map_err(|e| world.escalate(e))?;
-                    let Ctrl::Chunk {
-                        slot,
-                        len,
-                        blocks: _,
-                        arrival,
-                        last,
-                    } = c
-                    else {
-                        return Err(world.escalate(ScimpiError::ProtocolViolation {
-                            expected: "chunk",
-                            got: format!("{c:?}"),
-                        }));
+                    let (slot, len, arrival, last, crc) = match c {
+                        Ctrl::Chunk {
+                            slot,
+                            len,
+                            blocks: _,
+                            arrival,
+                            last,
+                            crc,
+                        } => (slot, len, arrival, last, crc),
+                        Ctrl::Abort {
+                            arrival,
+                            retransmits,
+                        } => {
+                            // The sender detected corruption it could not
+                            // repair and gave up on the transfer.
+                            self.clock.merge(arrival);
+                            self.clock.advance(self.world.tuning.ctrl_recv_cost);
+                            return Err(world.escalate(ScimpiError::DataCorruption {
+                                peer: env.src,
+                                what: "rendezvous transfer",
+                                retransmits,
+                            }));
+                        }
+                        other => {
+                            return Err(world.escalate(ScimpiError::ProtocolViolation {
+                                expected: "chunk",
+                                got: format!("{other:?}"),
+                            }));
+                        }
                     };
                     self.clock.merge(arrival);
                     self.clock.advance(self.world.tuning.ctrl_recv_cost);
@@ -647,6 +931,34 @@ impl Rank {
                         .mem()
                         .read(slot_off, &mut data)
                         .expect("slot read in range");
+                    if let Some(expect) = crc {
+                        // EndToEnd framing: verify the slot image and
+                        // acknowledge. A NACK keeps the slot held so the
+                        // sender can rewrite it in place.
+                        self.clock.advance(self.world.crc_cost(len));
+                        let ok = crc32(&data) == expect;
+                        self.clock.advance(self.world.tuning.ctrl_send_cost);
+                        let ack_arrival = self.clock.now() + world.ctrl_latency(self.rank, env.src);
+                        world.mailboxes[env.src].post_ctrl(
+                            sender_handle(handle),
+                            Ctrl::ChunkAck {
+                                arrival: ack_arrival,
+                                ok,
+                            },
+                        );
+                        if !ok {
+                            obs::inc(obs::Counter::CorruptionsDetected);
+                            obs::instant(
+                                "ft.integrity.detected",
+                                self.clock.now(),
+                                vec![
+                                    ("path", obs::Arg::Str("rendezvous".into())),
+                                    ("peer", obs::Arg::U64(env.src as u64)),
+                                ],
+                            );
+                            continue; // await the retransmission (or abort)
+                        }
+                    }
                     self.unpack_into(&mut into, skip, &data, true);
                     ring.release(slot, self.clock.now());
                     skip += len;
@@ -756,7 +1068,7 @@ impl Rank {
         rtag: TagSel,
         rbuf: RecvBuf<'_>,
     ) -> Result<RecvStatus, ScimpiError> {
-        let op = self.start_send(dst, stag, sdata);
+        let op = self.try_start_send(dst, stag, sdata)?;
         if matches!(op.kind, SendOpKind::Done) {
             // Eager sends already completed locally.
             return self.try_recv_into(src, rtag, rbuf);

@@ -277,6 +277,12 @@ impl WorldState {
         }
     }
 
+    /// CPU cost of computing or verifying a CRC32 over `len` payload
+    /// bytes (`EndToEnd` integrity framing).
+    pub fn crc_cost(&self, len: usize) -> SimDuration {
+        self.tuning.crc_cost_per_byte.saturating_mul(len as u64)
+    }
+
     /// One-way control-packet latency from rank `src` to rank `dst`.
     pub fn ctrl_latency(&self, src: usize, dst: usize) -> SimDuration {
         let hops = self

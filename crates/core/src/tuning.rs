@@ -24,6 +24,34 @@ pub enum NoncontigMode {
     Auto,
 }
 
+/// Data-integrity checking level for every transfer path.
+///
+/// See `docs/INTEGRITY.md` for the full mode matrix. In short:
+///
+/// * `Off` — trust the fabric. Silent faults (if injected) land in user
+///   buffers unnoticed; zero overhead. The default, and bit-identical to
+///   the pre-integrity protocol.
+/// * `SequenceCheck` — bracket PIO bursts with the SISCI-style
+///   `start_sequence`/`check_sequence` guard: corruption on checked paths
+///   is *detected* and surfaces as [`crate::ScimpiError::DataCorruption`],
+///   but nothing is repaired (and paths that ride plain messages — the
+///   one-sided emulation packets — stay unchecked).
+/// * `EndToEnd` — CRC32 framing on every eager payload, rendezvous chunk
+///   and emulation packet, epoch-level verification of direct one-sided
+///   transfers at synchronisation points, and bounded
+///   retransmit-on-mismatch. Delivers bit-identical payloads or errors
+///   out after `max_retransmits`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IntegrityMode {
+    /// No checking: corruption sails through silently.
+    #[default]
+    Off,
+    /// Detect-and-error via sequence checks on PIO paths.
+    SequenceCheck,
+    /// Checksummed framing with bounded retransmission everywhere.
+    EndToEnd,
+}
+
 /// Protocol and cost-model knobs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuning {
@@ -77,6 +105,15 @@ pub struct Tuning {
     /// Consecutive direct-path failures on a one-sided target before the
     /// window falls back to the emulated control-message path for it.
     pub osc_fallback_threshold: u32,
+    /// Data-integrity checking level (see [`IntegrityMode`]).
+    pub integrity_mode: IntegrityMode,
+    /// Bounded retransmission budget per protocol unit (eager message,
+    /// rendezvous chunk, one-sided epoch region) in `EndToEnd` mode.
+    /// Exhausting it surfaces [`crate::ScimpiError::DataCorruption`].
+    pub max_retransmits: u32,
+    /// CPU cost per byte of computing/verifying a CRC32 (software
+    /// checksumming on the P-III: roughly 300 MiB/s).
+    pub crc_cost_per_byte: SimDuration,
 }
 
 impl Default for Tuning {
@@ -99,6 +136,9 @@ impl Default for Tuning {
             max_protocol_retries: 4,
             probe_cost: SimDuration::from_us(4),
             osc_fallback_threshold: 2,
+            integrity_mode: IntegrityMode::Off,
+            max_retransmits: 4,
+            crc_cost_per_byte: SimDuration::from_ps(3200),
         }
     }
 }

@@ -72,6 +72,15 @@ pub enum Counter {
     /// One-sided targets re-promoted to the direct path after a
     /// successful connection probe.
     OscRepromotions,
+    /// Silent faults (bit flips / dropped stores) injected by the fabric.
+    CorruptionsInjected,
+    /// Corruptions caught by a sequence check or a CRC mismatch.
+    CorruptionsDetected,
+    /// Retransmissions performed after a detected corruption.
+    Retransmits,
+    /// Silent faults that sailed through a path with integrity checking
+    /// off (bookkeeping: the modelled program never sees these).
+    UndetectedAtOff,
 }
 
 impl Counter {
@@ -100,6 +109,10 @@ impl Counter {
         "peers_declared_dead",
         "osc_fallbacks",
         "osc_repromotions",
+        "corruptions_injected",
+        "corruptions_detected",
+        "retransmits",
+        "undetected_at_off",
     ];
 
     /// The export name of this counter.
@@ -109,7 +122,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 23;
+pub const COUNTER_COUNT: usize = 27;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -349,7 +362,9 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::OscRepromotions as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::UndetectedAtOff as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::CorruptionsInjected.name(), "corruptions_injected");
+        assert_eq!(Counter::Retransmits.name(), "retransmits");
         assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");
         assert_eq!(Counter::RouteFailovers.name(), "route_failovers");
     }

@@ -6,7 +6,7 @@
 //! future work (§6) — we implement both directions plus a scatter/gather
 //! descriptor list so that future-work path can be exercised.
 
-use crate::fault::SciError;
+use crate::fault::{write_with_faults, SciError, SilentFault};
 use crate::segment::Mapping;
 use crate::Fabric;
 use simclock::{Clock, SimDuration, SimTime};
@@ -19,6 +19,10 @@ pub struct DmaCompletion {
     pub cpu_free: SimTime,
     /// When the last byte arrived at the destination.
     pub done: SimTime,
+    /// Silent faults injected into this transfer (simulation bookkeeping
+    /// for the integrity layer; the modelled program cannot see this
+    /// without a checksum).
+    pub silent_faults: u64,
 }
 
 /// One entry of a scatter/gather descriptor list.
@@ -102,6 +106,7 @@ impl DmaEngine {
             return Ok(DmaCompletion {
                 cpu_free: clock.now(),
                 done: clock.now(),
+                silent_faults: 0,
             });
         }
         self.mapping
@@ -120,6 +125,18 @@ impl DmaEngine {
                 return Err(f.error);
             }
         };
+        // Silent read faults: data flows owner → importer; only bit flips
+        // (a lost read transaction retries inside the engine).
+        let pair = (self.mapping.segment.owner().0, self.mapping.importer.0);
+        let faults =
+            self.fabric
+                .faults()
+                .silent_faults(pair, params.stream_buffer_bytes, dst.len(), false);
+        for f in &faults {
+            if let SilentFault::BitFlip { pos, mask } = *f {
+                dst[pos] ^= mask;
+            }
+        }
         clock.advance(params.dma_setup);
         let cpu_free = clock.now();
         let done = cpu_free
@@ -129,7 +146,11 @@ impl DmaEngine {
         self.fabric
             .links()
             .account(params, &self.mapping.route, dst.len() as u64);
-        Ok(DmaCompletion { cpu_free, done })
+        Ok(DmaCompletion {
+            cpu_free,
+            done,
+            silent_faults: faults.len() as u64,
+        })
     }
 
     /// Scatter/gather write: one descriptor list, one setup cost, one
@@ -158,16 +179,18 @@ impl DmaEngine {
             return Ok(DmaCompletion {
                 cpu_free: clock.now(),
                 done: clock.now(),
+                silent_faults: 0,
             });
         }
-        // Move bytes first so errors surface before any time is charged.
+        // Validate every entry first so errors surface before any time is
+        // charged or fault dice roll.
         for e in entries {
             let end = e.src_offset + e.len;
             assert!(end <= src.len(), "scatter/gather source out of range");
             self.mapping
                 .segment
                 .mem()
-                .write(e.dst_offset, &src[e.src_offset..end])?;
+                .check_range(e.dst_offset, e.len)?;
         }
         let txns = (total.div_ceil(params.stream_buffer_bytes)) as u64;
         let outcome = match self
@@ -181,6 +204,26 @@ impl DmaEngine {
                 return Err(f.error);
             }
         };
+        // Land the bytes, applying silent faults rolled over the gathered
+        // byte stream (fault positions are stream positions, so a dropped
+        // transaction can straddle scatter/gather entry boundaries).
+        let pair = (self.mapping.importer.0, self.mapping.segment.owner().0);
+        let faults =
+            self.fabric
+                .faults()
+                .silent_faults(pair, params.stream_buffer_bytes, total, true);
+        let mut stream_pos = 0usize;
+        for e in entries {
+            let end = e.src_offset + e.len;
+            write_with_faults(
+                self.mapping.segment.mem(),
+                e.dst_offset,
+                &src[e.src_offset..end],
+                stream_pos,
+                &faults,
+            )?;
+            stream_pos += e.len;
+        }
         // Descriptor build cost grows mildly with list length.
         let setup = params.dma_setup
             + SimDuration::from_ns(200).saturating_mul(entries.len().saturating_sub(1) as u64);
@@ -193,7 +236,11 @@ impl DmaEngine {
         self.fabric
             .links()
             .account(params, &self.mapping.route, total as u64);
-        Ok(DmaCompletion { cpu_free, done })
+        Ok(DmaCompletion {
+            cpu_free,
+            done,
+            silent_faults: faults.len() as u64,
+        })
     }
 }
 
@@ -317,6 +364,39 @@ mod tests {
         assert_eq!(comp.done, SimTime::ZERO);
         let comp = dma.read(&mut c, 0, &mut []).unwrap();
         assert_eq!(comp.done, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dma_applies_silent_faults_across_sg_entries() {
+        let f = Fabric::new(FabricSpec {
+            topology: Topology::ringlet(4),
+            faults: crate::fault::FaultConfig::silent(1.0, 0.0),
+            ..FabricSpec::default()
+        });
+        let seg = f.export(NodeId(1), 1 << 16);
+        let dma = f.dma_engine(NodeId(0), &seg);
+        let src = vec![0u8; 4096];
+        let entries: Vec<SgEntry> = (0..16)
+            .map(|i| SgEntry {
+                src_offset: i * 256,
+                dst_offset: i * 1024,
+                len: 256,
+            })
+            .collect();
+        let mut c = Clock::new();
+        let comp = dma.write_sg(&mut c, &entries, &src).unwrap();
+        // 4096 bytes / 64 B transactions at rate 1.0 ⇒ 64 flips.
+        assert_eq!(comp.silent_faults, 64);
+        let snap = seg.mem().snapshot();
+        let flipped: usize = (0..16)
+            .map(|i| {
+                snap[i * 1024..i * 1024 + 256]
+                    .iter()
+                    .filter(|&&b| b != 0)
+                    .count()
+            })
+            .sum();
+        assert_eq!(flipped, 64, "flips land inside the scattered blocks");
     }
 
     #[test]

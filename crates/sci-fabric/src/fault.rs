@@ -14,9 +14,10 @@
 //! * a [`ConnectionMonitor`] performs the session checking SCI-MPICH needs
 //!   on top of raw remote memory.
 
+use crate::mem::{OutOfBounds, SharedMem};
 use crate::topology::{LinkId, Route};
 use simclock::{SimDuration, SplitMix64};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -102,6 +103,15 @@ pub struct FaultConfig {
     /// Maximum delivery jitter applied to retried transactions (models
     /// reordering; a store barrier waits past all jitter).
     pub reorder_jitter: SimDuration,
+    /// Probability that one SCI transaction *succeeds* at the protocol
+    /// level yet delivers a flipped bit — the silent corruption real
+    /// Dolphin adapters are exposed to and the reason SISCI ships
+    /// `SCIStartSequence`/`SCICheckSequence`.
+    pub corrupt_rate: f64,
+    /// Probability that one posted store transaction is silently
+    /// discarded: the destination keeps its previous content and nothing
+    /// signals the loss.
+    pub drop_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -112,6 +122,8 @@ impl Default for FaultConfig {
             retry_penalty: SimDuration::from_us(5),
             max_retries: 8,
             reorder_jitter: SimDuration::from_us(2),
+            corrupt_rate: 0.0,
+            drop_rate: 0.0,
         }
     }
 }
@@ -124,6 +136,39 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// A fabric that silently corrupts or drops posted stores: every
+    /// transaction still *succeeds*, but with probability `corrupt_rate`
+    /// a bit flips and with probability `drop_rate` the store vanishes.
+    pub fn silent(corrupt_rate: f64, drop_rate: f64) -> Self {
+        FaultConfig {
+            corrupt_rate,
+            drop_rate,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A silent fault applied to one transaction of a burst. Positions are
+/// byte offsets into the burst's logical byte stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SilentFault {
+    /// The transaction delivered, but the byte at `pos` arrived with
+    /// `mask` XOR-ed in.
+    BitFlip { pos: usize, mask: u8 },
+    /// The posted store transaction covering `[pos, pos+len)` was
+    /// discarded; the destination keeps whatever bytes were there.
+    DroppedStore { pos: usize, len: usize },
+}
+
+/// Result of a SISCI-style sequence check over a transfer interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeqStatus {
+    /// No transmission error occurred in the checked interval.
+    Ok,
+    /// At least one transaction of the interval was silently corrupted
+    /// or dropped. SISCI only *detects* this; repair is the caller's job.
+    Tainted,
 }
 
 /// Outcome of passing one transaction through the injector.
@@ -151,6 +196,7 @@ impl TxnOutcome {
 #[derive(Debug)]
 pub struct FaultInjector {
     config: FaultConfig,
+    seed: u64,
     state: Mutex<InjectorState>,
 }
 
@@ -159,6 +205,13 @@ struct InjectorState {
     rng: SplitMix64,
     down_links: HashSet<usize>,
     dead_nodes: HashSet<usize>,
+    /// One RNG stream per ordered (source node, destination node) pair,
+    /// forked lazily off the master seed. Silent-fault draws come from
+    /// these: transfers between one pair of nodes are ordered by the
+    /// protocol, so per-pair streams make silent faults reproducible even
+    /// when many rank threads transfer concurrently (unlike retry draws,
+    /// which share `rng` and interleave nondeterministically).
+    pair_rngs: HashMap<(usize, usize), SplitMix64>,
 }
 
 impl FaultInjector {
@@ -166,10 +219,12 @@ impl FaultInjector {
     pub fn new(config: FaultConfig, seed: u64) -> Self {
         FaultInjector {
             config,
+            seed,
             state: Mutex::new(InjectorState {
                 rng: SplitMix64::new(seed),
                 down_links: HashSet::new(),
                 dead_nodes: HashSet::new(),
+                pair_rngs: HashMap::new(),
             }),
         }
     }
@@ -267,6 +322,118 @@ impl FaultInjector {
             retries,
         })
     }
+
+    /// Roll silent faults for a burst of `total_bytes` moved in SCI
+    /// transactions of `txn_bytes` each, flowing between the ordered node
+    /// `pair` (source, destination). `stores` selects whether dropped-store
+    /// faults apply: a lost *read* transaction stalls and retries inside
+    /// the adapter (it cannot be silent), so read paths only see bit flips.
+    ///
+    /// Intra-node transfers (`pair.0 == pair.1`) never fault, and when
+    /// both silent rates are zero this returns without drawing or locking
+    /// — existing traces stay bit-identical.
+    pub fn silent_faults(
+        &self,
+        pair: (usize, usize),
+        txn_bytes: usize,
+        total_bytes: usize,
+        stores: bool,
+    ) -> Vec<SilentFault> {
+        let corrupt = self.config.corrupt_rate;
+        let drop = if stores { self.config.drop_rate } else { 0.0 };
+        if (corrupt <= 0.0 && drop <= 0.0) || total_bytes == 0 || pair.0 == pair.1 {
+            return Vec::new();
+        }
+        let txn_bytes = txn_bytes.max(1);
+        let mut st = self.state.lock().unwrap();
+        let seed = self.seed;
+        let rng = st.pair_rngs.entry(pair).or_insert_with(|| {
+            let key = ((pair.0 as u64) << 32) | pair.1 as u64;
+            SplitMix64::new(seed).fork(key)
+        });
+        let mut faults = Vec::new();
+        let mut pos = 0usize;
+        while pos < total_bytes {
+            let len = txn_bytes.min(total_bytes - pos);
+            if corrupt > 0.0 && rng.chance(corrupt) {
+                let byte = pos + rng.next_below(len as u64) as usize;
+                let mask = 1u8 << rng.next_below(8);
+                faults.push(SilentFault::BitFlip { pos: byte, mask });
+            } else if drop > 0.0 && rng.chance(drop) {
+                faults.push(SilentFault::DroppedStore { pos, len });
+            }
+            pos += len;
+        }
+        if !faults.is_empty() {
+            obs::add(obs::Counter::CorruptionsInjected, faults.len() as u64);
+        }
+        faults
+    }
+
+    /// Apply silent store faults directly to a burst carried in `data`
+    /// (for protocol paths that model a PIO burst without moving bytes
+    /// through a mapped segment, e.g. the eager path and the one-sided
+    /// emulation packets). A dropped store leaves the pre-posted receive
+    /// buffer's zeroed content. Returns the number of faults applied.
+    pub fn corrupt_buffer(&self, pair: (usize, usize), txn_bytes: usize, data: &mut [u8]) -> usize {
+        let faults = self.silent_faults(pair, txn_bytes, data.len(), true);
+        for f in &faults {
+            match *f {
+                SilentFault::BitFlip { pos, mask } => data[pos] ^= mask,
+                SilentFault::DroppedStore { pos, len } => data[pos..pos + len].fill(0),
+            }
+        }
+        faults.len()
+    }
+}
+
+/// Land `data` at `mem[dst_offset..]` with `faults` applied. Fault
+/// positions are relative to the burst's byte stream; `stream_pos` is the
+/// stream position of `data[0]` (nonzero for scatter/gather entries in the
+/// middle of a DMA descriptor list). Dropped transactions leave the
+/// destination's previous content in place — exactly what a vanished
+/// posted store does.
+pub fn write_with_faults(
+    mem: &SharedMem,
+    dst_offset: usize,
+    data: &[u8],
+    stream_pos: usize,
+    faults: &[SilentFault],
+) -> Result<(), OutOfBounds> {
+    if faults.is_empty() {
+        return mem.write(dst_offset, data);
+    }
+    mem.check_range(dst_offset, data.len())?;
+    let window = stream_pos..stream_pos + data.len();
+    let mut scratch = data.to_vec();
+    let mut dropped: Vec<(usize, usize)> = Vec::new();
+    for f in faults {
+        match *f {
+            SilentFault::BitFlip { pos, mask } if window.contains(&pos) => {
+                scratch[pos - stream_pos] ^= mask;
+            }
+            SilentFault::DroppedStore { pos, len } => {
+                let lo = pos.max(window.start);
+                let hi = (pos + len).min(window.end);
+                if lo < hi {
+                    dropped.push((lo - stream_pos, hi - stream_pos));
+                }
+            }
+            _ => {}
+        }
+    }
+    dropped.sort_unstable();
+    let mut cur = 0usize;
+    for (lo, hi) in dropped {
+        if lo > cur {
+            mem.write(dst_offset + cur, &scratch[cur..lo])?;
+        }
+        cur = cur.max(hi);
+    }
+    if cur < scratch.len() {
+        mem.write(dst_offset + cur, &scratch[cur..])?;
+    }
+    Ok(())
 }
 
 /// Heartbeat-style connection monitor: SCI-MPICH checks peers before
@@ -431,5 +598,89 @@ mod tests {
         assert!(e.to_string().contains("link 4"));
         let e = SciError::PeerDead(2);
         assert!(e.to_string().contains("n2"));
+    }
+
+    #[test]
+    fn silent_faults_default_off_and_draw_free() {
+        let inj = FaultInjector::new(FaultConfig::default(), 3);
+        assert!(inj.silent_faults((0, 3), 64, 1 << 20, true).is_empty());
+        // The shared retry RNG must be untouched by silent-fault queries:
+        // two injectors, one queried and one not, stay in lockstep.
+        let a = FaultInjector::new(FaultConfig::lossy(0.3), 5);
+        let b = FaultInjector::new(FaultConfig::lossy(0.3), 5);
+        a.silent_faults((0, 1), 64, 4096, true);
+        let draws_a: Vec<u32> = (0..50)
+            .map(|_| a.transact(&route()).unwrap().retries)
+            .collect();
+        let draws_b: Vec<u32> = (0..50)
+            .map(|_| b.transact(&route()).unwrap().retries)
+            .collect();
+        assert_eq!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn silent_faults_are_per_pair_deterministic() {
+        let roll = |pair| {
+            let inj = FaultInjector::new(FaultConfig::silent(0.1, 0.05), 77);
+            inj.silent_faults(pair, 64, 64 * 1024, true)
+        };
+        assert_eq!(roll((0, 2)), roll((0, 2)));
+        assert_ne!(roll((0, 2)), roll((2, 0)), "pairs are ordered");
+        // Interleaving with another pair's draws must not perturb a pair's
+        // own sequence.
+        let inj = FaultInjector::new(FaultConfig::silent(0.1, 0.05), 77);
+        inj.silent_faults((1, 3), 64, 64 * 1024, true);
+        assert_eq!(inj.silent_faults((0, 2), 64, 64 * 1024, true), roll((0, 2)));
+    }
+
+    #[test]
+    fn intra_node_transfers_never_fault() {
+        let inj = FaultInjector::new(FaultConfig::silent(1.0, 1.0), 1);
+        assert!(inj.silent_faults((2, 2), 64, 4096, true).is_empty());
+    }
+
+    #[test]
+    fn read_paths_see_flips_but_no_drops() {
+        let inj = FaultInjector::new(FaultConfig::silent(0.0, 1.0), 1);
+        assert!(inj.silent_faults((0, 1), 64, 4096, false).is_empty());
+        let inj = FaultInjector::new(FaultConfig::silent(1.0, 0.0), 1);
+        let faults = inj.silent_faults((0, 1), 64, 4096, false);
+        assert_eq!(faults.len(), 64, "one flip per transaction at rate 1");
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f, SilentFault::BitFlip { .. })));
+    }
+
+    #[test]
+    fn write_with_faults_flips_and_drops() {
+        let mem = SharedMem::new(256);
+        mem.fill(0, 256, 0xEE).unwrap();
+        let data = vec![0x00u8; 128];
+        let faults = [
+            SilentFault::BitFlip { pos: 5, mask: 0x80 },
+            SilentFault::DroppedStore { pos: 64, len: 64 },
+        ];
+        write_with_faults(&mem, 0, &data, 0, &faults).unwrap();
+        let snap = mem.snapshot();
+        assert_eq!(snap[5], 0x80, "bit flip landed");
+        assert!(snap[..5].iter().all(|&b| b == 0), "clean bytes landed");
+        assert!(
+            snap[64..128].iter().all(|&b| b == 0xEE),
+            "dropped store left previous content"
+        );
+        assert!(snap[128..].iter().all(|&b| b == 0xEE), "untouched tail");
+    }
+
+    #[test]
+    fn corrupt_buffer_applies_in_place() {
+        let inj = FaultInjector::new(FaultConfig::silent(1.0, 0.0), 4);
+        let mut data = vec![0xFFu8; 64]; // one transaction
+        let n = inj.corrupt_buffer((0, 1), 64, &mut data);
+        assert_eq!(n, 1);
+        assert_eq!(
+            data.iter().filter(|&&b| b != 0xFF).count(),
+            1,
+            "exactly one flipped byte"
+        );
     }
 }

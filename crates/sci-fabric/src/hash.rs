@@ -1,0 +1,101 @@
+//! Shared hash/checksum routines.
+//!
+//! Two independent functions serve two independent jobs:
+//!
+//! * [`fnv1a`] is the *oracle* checksum: tests and `SharedMem::checksum`
+//!   use it to ask "did the modelled transfer really move these bytes?".
+//! * [`crc32`] is the *protocol* checksum: the verified-delivery framing
+//!   (eager payloads, rendezvous chunks, one-sided emulation packets)
+//!   carries it on the wire, exactly as SCI-MPICH must verify transfers
+//!   on hardware that can silently drop or corrupt a posted store.
+//!
+//! Keeping them distinct means a bug in the protocol CRC cannot hide from
+//! the FNV-based test oracle.
+
+/// FNV-1a over a byte slice (64-bit).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// CRC-32 (ISO-HDLC / zlib polynomial, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Byte-at-a-time lookup table for the reflected polynomial 0xEDB88320.
+const CRC32_TABLE: [u32; 256] = build_crc32_table();
+
+const fn build_crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_known_values() {
+        // FNV offset basis for the empty input.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        // Order sensitivity.
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let mut data = vec![0xA5u8; 4096];
+        let clean = crc32(&data);
+        for pos in [0usize, 1, 63, 64, 4095] {
+            for bit in 0..8 {
+                data[pos] ^= 1 << bit;
+                assert_ne!(crc32(&data), clean, "flip at {pos}:{bit} undetected");
+                data[pos] ^= 1 << bit;
+            }
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn crc_and_fnv_are_independent() {
+        // Different algorithms: a payload's CRC is not derivable from its
+        // FNV value (spot check that they diverge).
+        assert_ne!(crc32(b"payload") as u64, fnv1a(b"payload") & 0xFFFF_FFFF);
+    }
+}

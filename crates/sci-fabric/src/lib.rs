@@ -34,6 +34,7 @@
 
 pub mod dma;
 pub mod fault;
+pub mod hash;
 pub mod link;
 pub mod mem;
 pub mod params;
@@ -42,7 +43,11 @@ pub mod segment;
 pub mod topology;
 
 pub use dma::{DmaCompletion, DmaEngine, SgEntry};
-pub use fault::{ConnectionMonitor, FailedTransaction, FaultConfig, FaultInjector, SciError};
+pub use fault::{
+    ConnectionMonitor, FailedTransaction, FaultConfig, FaultInjector, SciError, SeqStatus,
+    SilentFault,
+};
+pub use hash::{crc32, fnv1a};
 pub use link::{LinkRegistry, TrafficStats};
 pub use mem::SharedMem;
 pub use params::{CacheModel, SciParams};

@@ -72,6 +72,15 @@ impl SharedMem {
         self.buf.is_empty()
     }
 
+    /// Validate that `[offset, offset+len)` lies inside the buffer without
+    /// touching any bytes. The fault-aware transfer paths use this to
+    /// surface out-of-bounds accesses *before* rolling fault dice or
+    /// charging virtual time.
+    #[inline]
+    pub fn check_range(&self, offset: usize, len: usize) -> Result<(), OutOfBounds> {
+        self.check(offset, len)
+    }
+
     #[inline]
     fn check(&self, offset: usize, len: usize) -> Result<(), OutOfBounds> {
         if offset
@@ -159,15 +168,9 @@ impl fmt::Debug for SharedMem {
     }
 }
 
-/// FNV-1a over a byte slice.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
-}
+/// FNV-1a over a byte slice. Re-exported from [`crate::hash`], where it
+/// moved so protocol framing and tests share one implementation.
+pub use crate::hash::fnv1a;
 
 #[cfg(test)]
 mod tests {

@@ -143,6 +143,10 @@ pub struct SciParams {
     // ---- Synchronisation ----
     /// Cost of a store barrier (flush stream buffers, check error counters).
     pub store_barrier: SimDuration,
+    /// Cost of one SISCI sequence-check CSR round trip
+    /// (`SCIStartSequence`/`SCICheckSequence`): a PCI config-space read of
+    /// the adapter's error counters.
+    pub sequence_check_cost: SimDuration,
     /// Cost to trigger + deliver a remote interrupt (used by the emulation
     /// path of one-sided communication).
     pub remote_interrupt: SimDuration,
@@ -196,6 +200,7 @@ impl SciParams {
             dma_bandwidth: Bandwidth::from_mib_per_sec(185),
             dma_align: 8,
             store_barrier: SimDuration::from_ns(600),
+            sequence_check_cost: SimDuration::from_us_f64(1.1),
             remote_interrupt: SimDuration::from_us(14),
             degraded_route_latency: SimDuration::from_us(2),
             link_bandwidth: Bandwidth::from_mib_per_sec(633),

@@ -25,7 +25,7 @@
 //! overhead, which is exactly why `direct_pack_ff` insists on packing into
 //! *consecutive ascending* remote addresses.
 
-use crate::fault::{SciError, TxnOutcome};
+use crate::fault::{write_with_faults, SciError, SeqStatus, TxnOutcome};
 use crate::link::StreamGuard;
 use crate::segment::Mapping;
 use crate::Fabric;
@@ -52,6 +52,11 @@ pub struct PioStream {
     /// transfers are limited by PCI arbitration and protocol-engine
     /// overhead — the paper's 120 MiB/s per-node plateau).
     demand_cap: Option<simclock::Bandwidth>,
+    /// Silent faults applied since the last [`Self::take_silent_faults`]
+    /// (simulation bookkeeping — *not* observable by the modelled program).
+    silent_faults: u64,
+    /// True if a silent fault hit the current sequence-check interval.
+    seq_tainted: bool,
     /// Link-contention registration for the stream's lifetime.
     _guard: Option<StreamGuard>,
 }
@@ -71,6 +76,8 @@ impl PioStream {
             outstanding: SimTime::ZERO,
             bytes: 0,
             demand_cap: None,
+            silent_faults: 0,
+            seq_tainted: false,
             _guard: guard,
         }
     }
@@ -185,6 +192,59 @@ impl PioStream {
         }
     }
 
+    /// Land `data` in the target segment, applying any silent faults the
+    /// injector rolls for this burst (`txn_bytes` is the transaction
+    /// granularity of the burst — 8 for write-combine-thrashed stores,
+    /// the stream-buffer size otherwise).
+    fn land(&mut self, offset: usize, data: &[u8], txn_bytes: usize) -> Result<(), SciError> {
+        let pair = (self.mapping.importer.0, self.mapping.segment.owner().0);
+        let faults = self
+            .fabric
+            .faults()
+            .silent_faults(pair, txn_bytes, data.len(), true);
+        if !faults.is_empty() {
+            self.silent_faults += faults.len() as u64;
+            self.seq_tainted = true;
+        }
+        write_with_faults(self.mapping.segment.mem(), offset, data, 0, &faults)?;
+        self.bytes += data.len() as u64;
+        Ok(())
+    }
+
+    /// SISCI-style `SCIStartSequence`: open a checked transfer interval.
+    /// Costs one adapter CSR round trip ([`sequence_check_cost`]) and
+    /// clears the taint state of the previous interval.
+    ///
+    /// [`sequence_check_cost`]: crate::params::SciParams::sequence_check_cost
+    pub fn start_sequence(&mut self, clock: &mut Clock) {
+        clock.advance(self.fabric.params().sequence_check_cost);
+        self.seq_tainted = false;
+    }
+
+    /// SISCI-style `SCICheckSequence`: close the interval opened by
+    /// [`Self::start_sequence`] and report whether any transaction in it
+    /// was silently corrupted or dropped. Costs one adapter CSR round
+    /// trip. Detection only — repairing a tainted interval (retransmit)
+    /// is the caller's job, exactly as in SISCI.
+    pub fn check_sequence(&mut self, clock: &mut Clock) -> SeqStatus {
+        clock.advance(self.fabric.params().sequence_check_cost);
+        let status = if self.seq_tainted {
+            SeqStatus::Tainted
+        } else {
+            SeqStatus::Ok
+        };
+        self.seq_tainted = false;
+        status
+    }
+
+    /// Silent faults applied through this stream since the last call.
+    /// Simulation bookkeeping (free, invisible to the modelled program):
+    /// the protocol layer uses it to count corruption that sailed through
+    /// unchecked when integrity checking is off.
+    pub fn take_silent_faults(&mut self) -> u64 {
+        std::mem::take(&mut self.silent_faults)
+    }
+
     /// Issue stores of `data` to `offset`. Advances `clock` by the CPU
     /// issue cost; the data is in flight until a [`Self::barrier`].
     ///
@@ -197,12 +257,12 @@ impl PioStream {
         }
         let fabric = Arc::clone(&self.fabric);
         let params = fabric.params();
-        // Move the actual bytes.
-        self.mapping.segment.mem().write(offset, data)?;
-        self.bytes += data.len() as u64;
 
         if self.mapping.is_local() {
-            // Intra-node: a plain memcpy through the cache hierarchy.
+            // Intra-node: a plain memcpy through the cache hierarchy —
+            // never subject to fabric faults.
+            self.mapping.segment.mem().write(offset, data)?;
+            self.bytes += data.len() as u64;
             let cost = params
                 .cache
                 .copy_cost(data.len(), self.source_working_set.max(data.len()));
@@ -211,8 +271,11 @@ impl PioStream {
             return Ok(());
         }
 
-        // Fabric path. A degraded stream returns to its primary route the
-        // moment that route is healthy again.
+        // Fabric path. Validate the target range up front so out-of-bounds
+        // accesses surface before any time is charged or fault dice roll.
+        self.mapping.segment.mem().check_range(offset, data.len())?;
+        // A degraded stream returns to its primary route the moment that
+        // route is healthy again.
         self.maybe_heal();
         let continues = self.next_offset == Some(offset);
         let misaligned_thrash = !continues
@@ -229,6 +292,7 @@ impl PioStream {
                 cost += params.degraded_route_latency;
             }
             let outcome = self.transact_with_failover(clock, stores)?;
+            self.land(offset, data, 8)?;
             clock.advance(cost + outcome.extra_latency);
             let arrival =
                 clock.now() + params.wire_latency(self.mapping.route.hops()) + outcome.jitter;
@@ -272,6 +336,7 @@ impl PioStream {
         // die roll per SCI transaction.
         let txns = data.len().div_ceil(params.stream_buffer_bytes) as u64;
         let outcome = self.transact_with_failover(clock, txns)?;
+        self.land(offset, data, params.stream_buffer_bytes)?;
         cost += outcome.extra_latency;
 
         clock.advance(cost);
@@ -346,15 +411,27 @@ impl PioReader {
     /// Read `dst.len()` bytes from `offset`. The clock advances by the full
     /// stall time (reads are synchronous) — no barrier needed afterwards.
     pub fn read(&self, clock: &mut Clock, offset: usize, dst: &mut [u8]) -> Result<(), SciError> {
+        self.read_counted(clock, offset, dst).map(|_| ())
+    }
+
+    /// Like [`Self::read`], but reports how many read transactions were
+    /// silently corrupted (simulation bookkeeping for the integrity layer;
+    /// the modelled program cannot see this without a checksum).
+    pub fn read_counted(
+        &self,
+        clock: &mut Clock,
+        offset: usize,
+        dst: &mut [u8],
+    ) -> Result<u64, SciError> {
         if dst.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
         let params = self.fabric.params();
         self.mapping.segment.mem().read(offset, dst)?;
 
         if self.mapping.is_local() {
             clock.advance(params.cache.copy_cost(dst.len(), dst.len()));
-            return Ok(());
+            return Ok(0);
         }
         let txns = dst.len().div_ceil(params.read_txn_bytes) as u64;
         let mut cost = params.read_stall.saturating_mul(txns);
@@ -374,10 +451,23 @@ impl PioReader {
         };
         cost += outcome.extra_latency;
         clock.advance(cost);
+        // Silent read faults: the data flows owner → importer. Only bit
+        // flips apply (a lost read transaction retries inside the adapter
+        // and shows up as latency, never silently).
+        let pair = (self.mapping.segment.owner().0, self.mapping.importer.0);
+        let faults =
+            self.fabric
+                .faults()
+                .silent_faults(pair, params.read_txn_bytes, dst.len(), false);
+        for f in &faults {
+            if let crate::fault::SilentFault::BitFlip { pos, mask } = *f {
+                dst[pos] ^= mask;
+            }
+        }
         self.fabric
             .links()
             .account(params, &self.mapping.route, dst.len() as u64);
-        Ok(())
+        Ok(faults.len() as u64)
     }
 }
 
@@ -565,5 +655,108 @@ mod tests {
         s.write(&mut c, 0, &[]).unwrap();
         r.read(&mut c, 0, &mut []).unwrap();
         assert_eq!(c.now(), SimTime::ZERO);
+    }
+
+    fn silent_fabric(corrupt: f64, drop: f64) -> Arc<Fabric> {
+        Fabric::new(FabricSpec {
+            topology: Topology::ringlet(8),
+            faults: crate::fault::FaultConfig::silent(corrupt, drop),
+            ..FabricSpec::default()
+        })
+    }
+
+    #[test]
+    fn silent_corruption_lands_wrong_bytes() {
+        let f = silent_fabric(1.0, 0.0);
+        let seg = f.export(NodeId(1), 4096);
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c = Clock::new();
+        s.write(&mut c, 0, &[0u8; 1024]).unwrap();
+        s.barrier(&mut c);
+        let snap = &seg.mem().snapshot()[..1024];
+        let flipped = snap.iter().filter(|&&b| b != 0).count();
+        // Rate 1.0 ⇒ one flip in every 64 B transaction.
+        assert_eq!(flipped, 16, "one flipped byte per transaction");
+        assert_eq!(s.take_silent_faults(), 16);
+        assert_eq!(s.take_silent_faults(), 0, "taken counters reset");
+    }
+
+    #[test]
+    fn dropped_stores_leave_previous_content() {
+        let f = silent_fabric(0.0, 1.0);
+        let seg = f.export(NodeId(1), 4096);
+        seg.mem().fill(0, 4096, 0xEE).unwrap();
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c = Clock::new();
+        s.write(&mut c, 0, &[0x11; 1024]).unwrap();
+        s.barrier(&mut c);
+        let snap = &seg.mem().snapshot()[..1024];
+        assert!(
+            snap.iter().all(|&b| b == 0xEE),
+            "every store dropped ⇒ nothing lands"
+        );
+    }
+
+    #[test]
+    fn sequence_check_detects_taint_and_charges_cost() {
+        let f = silent_fabric(1.0, 0.0);
+        let seg = f.export(NodeId(1), 4096);
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c = Clock::new();
+        s.start_sequence(&mut c);
+        let t0 = c.now();
+        s.write(&mut c, 0, &[0u8; 256]).unwrap();
+        s.barrier(&mut c);
+        let before_check = c.now();
+        assert_eq!(s.check_sequence(&mut c), SeqStatus::Tainted);
+        assert_eq!(
+            c.now() - before_check,
+            f.params().sequence_check_cost,
+            "check charges the CSR round trip"
+        );
+        assert!(t0 > SimTime::ZERO, "start charges too");
+        // The next interval starts clean.
+        assert_eq!(
+            f.pio_stream(NodeId(0), &seg, 0).check_sequence(&mut c),
+            SeqStatus::Ok
+        );
+    }
+
+    #[test]
+    fn sequence_check_clean_on_healthy_fabric() {
+        let f = fabric();
+        let seg = f.export(NodeId(1), 4096);
+        let mut s = f.pio_stream(NodeId(0), &seg, 4096);
+        let mut c = Clock::new();
+        s.start_sequence(&mut c);
+        s.write(&mut c, 0, &[7u8; 1024]).unwrap();
+        s.barrier(&mut c);
+        assert_eq!(s.check_sequence(&mut c), SeqStatus::Ok);
+    }
+
+    #[test]
+    fn reader_applies_silent_flips() {
+        let f = silent_fabric(1.0, 0.0);
+        let seg = f.export(NodeId(1), 4096);
+        seg.mem().fill(0, 4096, 0x00).unwrap();
+        let r = f.pio_reader(NodeId(0), &seg);
+        let mut c = Clock::new();
+        let mut buf = [0u8; 512];
+        let n = r.read_counted(&mut c, 0, &mut buf).unwrap();
+        assert_eq!(n, 8, "one flip per 64 B read transaction");
+        assert_eq!(buf.iter().filter(|&&b| b != 0).count(), 8);
+        // The segment itself is untouched — reads corrupt in flight.
+        assert!(seg.mem().snapshot().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn local_streams_are_immune_to_silent_faults() {
+        let f = silent_fabric(1.0, 1.0);
+        let seg = f.export(NodeId(2), 4096);
+        let mut s = f.pio_stream(NodeId(2), &seg, 4096);
+        let mut c = Clock::new();
+        s.write(&mut c, 0, &[0x42; 1024]).unwrap();
+        assert!(seg.mem().snapshot()[..1024].iter().all(|&b| b == 0x42));
+        assert_eq!(s.take_silent_faults(), 0);
     }
 }

@@ -9,11 +9,17 @@
 //! All fault schedules here are *administrative* (fail/restore/kill/revive
 //! at barrier-separated points) with `error_rate == 0`: random injection
 //! draws from one shared RNG whose interleaving across rank threads is not
-//! deterministic, while admin faults are.
+//! deterministic, while admin faults are. Silent corruption is the one
+//! exception — its per-pair RNG streams are deterministic — so CI also
+//! runs this binary with `CHAOS_CORRUPT_RATE` set, layering bit flips and
+//! dropped stores under `EndToEnd` integrity on top of every admin
+//! schedule; all the bit-perfect assertions must keep holding.
 
+use mpi_datatype::{Committed, Datatype};
 use sci_fabric::LinkId;
 use scimpi::{
-    death_delay, run, ClusterSpec, ErrorMode, ScimpiError, Source, TagSel, Tuning, WinMemory,
+    death_delay, run, AccumulateOp, ClusterSpec, ErrorMode, IntegrityMode, ScimpiError, Source,
+    TagSel, Tuning, WinMemory,
 };
 use std::sync::Mutex;
 
@@ -22,11 +28,24 @@ use std::sync::Mutex;
 static OBS_SERIAL: Mutex<()> = Mutex::new(());
 
 /// CI sweeps `CHAOS_SEED` to exercise the fault schedules under several
-/// RNG streams; the scenarios themselves are seed-independent.
+/// RNG streams; the scenarios themselves are seed-independent. When
+/// `CHAOS_CORRUPT_RATE` is set, silent bit flips (plus dropped stores at a
+/// quarter of the rate) ride under `EndToEnd` integrity, so every
+/// bit-perfect assertion doubles as a corruption-recovery check.
 fn chaos_spec() -> ClusterSpec {
     let mut spec = ClusterSpec::multi_ring(2, 4).with_errors(ErrorMode::ErrorsReturn);
     if let Ok(seed) = std::env::var("CHAOS_SEED") {
         spec.seed = seed.parse().expect("CHAOS_SEED must be an integer");
+    }
+    if let Ok(rate) = std::env::var("CHAOS_CORRUPT_RATE") {
+        let rate: f64 = rate.parse().expect("CHAOS_CORRUPT_RATE must be a float");
+        spec.faults.corrupt_rate = rate;
+        spec.faults.drop_rate = rate / 4.0;
+        spec = spec.with_tuning(Tuning {
+            integrity_mode: IntegrityMode::EndToEnd,
+            max_retransmits: 64,
+            ..Tuning::default()
+        });
     }
     spec
 }
@@ -154,6 +173,102 @@ fn one_sided_falls_back_to_emulation_and_repromotes() {
     assert!(
         obs::counter_value(obs::Counter::OscRepromotions) > 0,
         "the fence-time probe must re-promote the healed target"
+    );
+}
+
+/// Sustained one-sided traffic over the *emulated* path: with both ring
+/// directions severed, a multi-round put/get/accumulate/typed-put sweep
+/// keeps delivering bit-perfect data via control-message emulation, then
+/// re-promotes once the cables are back. CI also runs this binary under
+/// `CHAOS_CORRUPT_RATE`, layering silent corruption (absorbed by
+/// `EndToEnd` retransmission) on top of the severed-route emulation.
+#[test]
+fn emulated_one_sided_sweep_under_link_failure() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = chaos_spec().with_obs(obs::ObsConfig::enabled());
+    run(spec, move |r| {
+        let mem = r.alloc_mem(1 << 16);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        if r.rank() == 0 {
+            // No direct route 0→2 at all (see the fallback test above).
+            r.fabric().faults().fail_link(LinkId(1));
+            r.fabric().faults().fail_link(LinkId(2));
+            let first = win.try_put(r, 2, 0, &[0x01; 512]);
+            assert!(first.is_err(), "no route: first direct put must fail");
+            win.try_put(r, 2, 0, &[0x01; 512]).expect("demoted retry");
+            // Multi-round emulated put/get round trips, each bit-checked.
+            for round in 0..4usize {
+                let off = round * 4096;
+                let pattern: Vec<u8> = (0..2048)
+                    .map(|i: usize| (i * 13 + round * 7) as u8)
+                    .collect();
+                win.try_put(r, 2, off, &pattern).expect("emulated put");
+                let mut back = vec![0u8; 2048];
+                win.try_get(r, 2, off, &mut back).expect("emulated get");
+                assert_eq!(back, pattern, "round {round}: emulated round trip");
+            }
+            // Emulated read-modify-write: ordered accumulates in one epoch.
+            let ones: Vec<u8> = (0..8).flat_map(|_| 1i64.to_le_bytes()).collect();
+            win.accumulate(r, 2, 16384, AccumulateOp::Replace, &[0u8; 64])
+                .expect("emulated replace");
+            win.accumulate(r, 2, 16384, AccumulateOp::SumI64, &ones)
+                .expect("emulated sum");
+            win.accumulate(r, 2, 16384, AccumulateOp::SumI64, &ones)
+                .expect("emulated sum");
+            // Emulated non-contiguous put: strided doubles.
+            let dt = Datatype::vector(4, 1, 2, &Datatype::double());
+            let c = Committed::commit(&dt);
+            let src: Vec<u8> = (0..c.extent()).map(|i| (i + 1) as u8).collect();
+            win.put_typed(r, 2, 20480, &c, 1, &src, 0)
+                .expect("emulated typed put");
+            r.fabric().faults().restore_link(LinkId(1));
+            r.fabric().faults().restore_link(LinkId(2));
+        }
+        win.fence(r); // fence probes the healed primary and re-promotes
+        if r.rank() == 0 {
+            win.try_put(r, 2, 24576, &[0x44; 64]).expect("direct again");
+        }
+        win.fence(r);
+        if r.rank() == 2 {
+            for round in 0..4usize {
+                let off = round * 4096;
+                let expect: Vec<u8> = (0..2048)
+                    .map(|i: usize| (i * 13 + round * 7) as u8)
+                    .collect();
+                let mut buf = vec![0u8; 2048];
+                win.read_local(r, off, &mut buf);
+                assert_eq!(buf, expect, "round {round}: put landed in backing memory");
+            }
+            let mut acc = [0u8; 64];
+            win.read_local(r, 16384, &mut acc);
+            for (i, chunk) in acc.chunks(8).enumerate() {
+                assert_eq!(
+                    i64::from_le_bytes(chunk.try_into().unwrap()),
+                    2,
+                    "accumulate word {i}"
+                );
+            }
+            let mut typed = [0u8; 56];
+            win.read_local(r, 20480, &mut typed);
+            for blk in 0..4 {
+                let at = blk * 16;
+                let expect: Vec<u8> = (at..at + 8).map(|i| (i + 1) as u8).collect();
+                assert_eq!(&typed[at..at + 8], &expect[..], "typed block {blk}");
+            }
+            let mut direct = [0u8; 64];
+            win.read_local(r, 24576, &mut direct);
+            assert_eq!(direct, [0x44; 64]);
+        }
+        win.fence(r);
+    });
+    assert!(
+        obs::counter_value(obs::Counter::OscFallbacks) > 0,
+        "the severed routes must demote the target"
+    );
+    assert!(
+        obs::counter_value(obs::Counter::OscRepromotions) > 0,
+        "the healed fence must re-promote"
     );
 }
 

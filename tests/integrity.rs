@@ -1,0 +1,336 @@
+//! End-to-end data-integrity integration tests: silent fault injection
+//! (bit flips and dropped stores drawn from deterministic per-pair RNG
+//! streams) against the three [`IntegrityMode`]s.
+//!
+//! - `Off` — faults land; payloads observably corrupt; the
+//!   `UndetectedAtOff` counter records what a checksummed stack would
+//!   have caught.
+//! - `SequenceCheck` — the SISCI `SCIStartSequence`/`SCICheckSequence`
+//!   guard detects PIO-path corruption and surfaces `DataCorruption`
+//!   through the error-handler machinery; it never repairs.
+//! - `EndToEnd` — CRC32-framed protocols with bounded retransmission
+//!   deliver bit-identical payloads on every p2p, collective, and
+//!   one-sided path.
+
+use sci_fabric::FaultConfig;
+use scimpi::{
+    run, AccumulateOp, ClusterSpec, ErrorMode, IntegrityMode, ScimpiError, Source, TagSel, Tuning,
+    WinMemory,
+};
+use std::sync::Mutex;
+
+/// The obs recorder (counters and the enable switch `run` flips per spec)
+/// is process-global: every test in this binary serialises on this mutex.
+static OBS_SERIAL: Mutex<()> = Mutex::new(());
+
+/// CI sweeps `INTEGRITY_SEED` to exercise the fault streams under several
+/// RNGs; the assertions themselves are seed-independent.
+fn seed() -> u64 {
+    std::env::var("INTEGRITY_SEED")
+        .map(|s| s.parse().expect("INTEGRITY_SEED must be an integer"))
+        .unwrap_or(20020415)
+}
+
+/// A ringlet with silent faults at the given rates and a retransmission
+/// budget generous enough that `EndToEnd` delivery never exhausts it at
+/// the rates used here.
+fn lossy_spec(ranks: usize, mode: IntegrityMode, corrupt: f64, drop: f64) -> ClusterSpec {
+    let tuning = Tuning {
+        integrity_mode: mode,
+        max_retransmits: 64,
+        ..Tuning::default()
+    };
+    let mut spec = ClusterSpec::ringlet(ranks).with_tuning(tuning);
+    spec.faults = FaultConfig::silent(corrupt, drop);
+    spec.seed = seed();
+    spec
+}
+
+/// `EndToEnd` delivers bit-identical payloads over a lossy fabric on both
+/// p2p protocols: eager (sender-verified delivery) and rendezvous
+/// (per-chunk CRC handshake with retransmission).
+#[test]
+fn end_to_end_delivers_bit_identical_p2p() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec =
+        lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4).with_obs(obs::ObsConfig::enabled());
+    let eager: Vec<u8> = (0..4096).map(|i| (i * 13) as u8).collect();
+    let large: Vec<u8> = (0..600_000).map(|i| (i * 31) as u8).collect();
+    run(spec, move |r| {
+        if r.rank() == 0 {
+            r.send(1, 1, &eager);
+            r.send(1, 2, &large);
+        } else {
+            let mut a = vec![0u8; eager.len()];
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut a);
+            assert_eq!(a, eager, "eager payload must be bit-identical");
+            let mut b = vec![0u8; large.len()];
+            r.recv(Source::Rank(0), TagSel::Value(2), &mut b);
+            assert_eq!(b, large, "rendezvous payload must be bit-identical");
+        }
+    });
+    assert!(
+        obs::counter_value(obs::Counter::CorruptionsInjected) > 0,
+        "the fault streams must actually have injected corruption"
+    );
+    assert!(
+        obs::counter_value(obs::Counter::CorruptionsDetected) > 0,
+        "every injected fault on a checked path must be detected"
+    );
+    assert_eq!(
+        obs::counter_value(obs::Counter::UndetectedAtOff),
+        0,
+        "EndToEnd leaves no path uncovered"
+    );
+}
+
+/// Collectives ride the p2p layer, so `EndToEnd` covers every hop of the
+/// broadcast tree with no collective-specific code.
+#[test]
+fn end_to_end_collective_delivers() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = lossy_spec(4, IntegrityMode::EndToEnd, 3e-4, 1e-4);
+    let expect: Vec<u8> = (0..100_000).map(|i| (i * 17) as u8).collect();
+    run(spec, move |r| {
+        let mut buf = if r.rank() == 0 {
+            expect.clone()
+        } else {
+            vec![0u8; expect.len()]
+        };
+        r.bcast(0, &mut buf);
+        assert_eq!(buf, expect, "bcast must be bit-identical on every rank");
+    });
+}
+
+/// Every one-sided path — direct put (epoch-verified at the fence),
+/// direct and remote-put gets, read-modify-write accumulate, and the
+/// emulated path of a private window — delivers exactly under faults.
+#[test]
+fn end_to_end_one_sided_paths_deliver() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4);
+    run(spec, |r| {
+        let mem = r.alloc_mem(1 << 16);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        let pat: Vec<u8> = (0..32_768).map(|i| (i * 7) as u8).collect();
+        if r.rank() == 0 {
+            win.put(r, 1, 0, &pat).unwrap();
+        }
+        win.fence(r);
+        if r.rank() == 1 {
+            let mut got = vec![0u8; pat.len()];
+            win.read_local(r, 0, &mut got);
+            assert_eq!(got, pat, "direct put must survive epoch verification");
+        }
+        win.fence(r);
+        // Gets: small rides the direct read, large the remote-put
+        // conversion; both returns are integrity-checked.
+        if r.rank() == 0 {
+            let mut small = [0u8; 64];
+            win.get(r, 1, 0, &mut small).unwrap();
+            assert_eq!(&small[..], &pat[..64], "direct get must be exact");
+            let mut big = vec![0u8; 4096];
+            win.get(r, 1, 0, &mut big).unwrap();
+            assert_eq!(big, pat[..4096], "remote-put get must be exact");
+        }
+        win.fence(r);
+        // Ordered accumulates within one epoch: the ledger keeps only the
+        // final image per region, and the combine stays exact.
+        let ones: Vec<u8> = (0..8i64).flat_map(|i| (i + 1).to_le_bytes()).collect();
+        if r.rank() == 0 {
+            win.accumulate(r, 1, 0, AccumulateOp::Replace, &[0u8; 64])
+                .unwrap();
+            win.accumulate(r, 1, 0, AccumulateOp::SumI64, &ones)
+                .unwrap();
+            win.accumulate(r, 1, 0, AccumulateOp::SumI64, &ones)
+                .unwrap();
+        }
+        win.fence(r);
+        if r.rank() == 1 {
+            let mut got = [0u8; 64];
+            win.read_local(r, 0, &mut got);
+            for i in 0..8usize {
+                let v = i64::from_le_bytes(got[i * 8..i * 8 + 8].try_into().unwrap());
+                assert_eq!(v, 2 * (i as i64 + 1), "accumulate must be exact");
+            }
+        }
+        win.fence(r);
+        // Private window: the one-sided emulation packet path.
+        let mut priv_win = r.win_create(WinMemory::Private(8192));
+        priv_win.fence(r);
+        if r.rank() == 0 {
+            priv_win.put(r, 1, 16, &pat[..4096]).unwrap();
+        }
+        priv_win.fence(r);
+        if r.rank() == 1 {
+            let mut got = vec![0u8; 4096];
+            priv_win.read_local(r, 16, &mut got);
+            assert_eq!(got, pat[..4096], "emulated put must be bit-identical");
+        }
+        priv_win.fence(r);
+    });
+}
+
+/// With integrity off, faults land silently: payloads observably differ
+/// and the `UndetectedAtOff` counter records the exposure.
+#[test]
+fn off_mode_observably_corrupts() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = lossy_spec(2, IntegrityMode::Off, 1.0, 0.0).with_obs(obs::ObsConfig::enabled());
+    let payload: Vec<u8> = (0..4096).map(|i| (i * 11) as u8).collect();
+    run(spec, move |r| {
+        let mem = r.alloc_mem(8192);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        if r.rank() == 0 {
+            r.send(1, 1, &payload);
+            win.put(r, 1, 0, &[0xAB; 2048]).unwrap();
+        } else {
+            let mut buf = vec![0u8; payload.len()];
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut buf);
+            assert_ne!(buf, payload, "Off must deliver the corrupted eager bytes");
+        }
+        win.fence(r);
+        if r.rank() == 1 {
+            let mut local = [0u8; 2048];
+            win.read_local(r, 0, &mut local);
+            assert_ne!(
+                local[..],
+                [0xABu8; 2048][..],
+                "Off must land corrupted puts"
+            );
+        }
+        win.fence(r);
+    });
+    assert!(
+        obs::counter_value(obs::Counter::CorruptionsInjected) > 0,
+        "rate 1.0 must inject"
+    );
+    assert!(
+        obs::counter_value(obs::Counter::UndetectedAtOff) > 0,
+        "Off-mode faults must be counted as uncovered"
+    );
+    assert_eq!(
+        obs::counter_value(obs::Counter::Retransmits),
+        0,
+        "Off never retransmits"
+    );
+}
+
+/// `SequenceCheck` detects and errors — never repairs: the eager bracket
+/// trips at the sender, the rendezvous guard aborts the transfer at both
+/// ends, and the one-sided epoch guard trips at the fence.
+#[test]
+fn sequence_check_detects_and_errors() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = lossy_spec(2, IntegrityMode::SequenceCheck, 1.0, 0.0)
+        .with_errors(ErrorMode::ErrorsReturn)
+        .with_obs(obs::ObsConfig::enabled());
+    run(spec, |r| {
+        // Eager: the sender's sequence bracket catches the flipped burst
+        // before posting; nothing is delivered.
+        if r.rank() == 0 {
+            let err = r
+                .try_send(1, 1, &[1u8; 4096][..])
+                .expect_err("eager corruption must be detected");
+            assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
+        }
+        r.barrier();
+        // Rendezvous: the sender aborts the chunk stream; the receiver
+        // translates the abort into the same error.
+        let big = vec![2u8; 200_000];
+        if r.rank() == 0 {
+            let err = r
+                .try_send(1, 2, &big)
+                .expect_err("rendezvous corruption must be detected");
+            assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
+        } else {
+            let mut buf = vec![0u8; big.len()];
+            let err = r
+                .try_recv(Source::Rank(0), TagSel::Value(2), &mut buf)
+                .expect_err("the abort must reach the receiver");
+            assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
+        }
+        r.barrier();
+        // One-sided: the put lands unchecked; the guard trips at the
+        // synchronisation, after the collective part has completed (no
+        // deadlocked peers).
+        let mem = r.alloc_mem(4096);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.try_fence(r).expect("empty epoch");
+        if r.rank() == 0 {
+            win.try_put(r, 1, 0, &[7u8; 1024])
+                .expect("detection happens at the fence, not the put");
+            let err = win
+                .try_fence(r)
+                .expect_err("the epoch sequence guard must trip");
+            assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
+        } else {
+            win.try_fence(r).expect("no accesses, no taint");
+        }
+        r.barrier();
+    });
+    assert!(obs::counter_value(obs::Counter::CorruptionsDetected) > 0);
+    assert_eq!(
+        obs::counter_value(obs::Counter::Retransmits),
+        0,
+        "SequenceCheck detects but never repairs"
+    );
+}
+
+/// At fault rate zero, `EndToEnd` is pure overhead: no injections, no
+/// detections, and — the contract the bench relies on — zero retransmits.
+#[test]
+fn zero_fault_rate_end_to_end_never_retransmits() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = lossy_spec(2, IntegrityMode::EndToEnd, 0.0, 0.0).with_obs(obs::ObsConfig::enabled());
+    run(spec, |r| {
+        let mem = r.alloc_mem(8192);
+        let mut win = r.win_create(WinMemory::Alloc(mem));
+        win.fence(r);
+        if r.rank() == 0 {
+            r.send(1, 1, &[3u8; 4096]);
+            r.send(1, 2, &vec![4u8; 100_000]);
+            win.put(r, 1, 0, &[5u8; 2048]).unwrap();
+        } else {
+            let mut a = [0u8; 4096];
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut a);
+            let mut b = vec![0u8; 100_000];
+            r.recv(Source::Rank(0), TagSel::Value(2), &mut b);
+        }
+        win.fence(r);
+    });
+    assert_eq!(obs::counter_value(obs::Counter::CorruptionsInjected), 0);
+    assert_eq!(obs::counter_value(obs::Counter::CorruptionsDetected), 0);
+    assert_eq!(obs::counter_value(obs::Counter::Retransmits), 0);
+    assert_eq!(obs::counter_value(obs::Counter::UndetectedAtOff), 0);
+}
+
+/// Identical seeds give identical virtual-time traces even while faults
+/// are injected, detected, and retransmitted.
+#[test]
+fn lossy_end_to_end_is_deterministic() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let payload: Vec<u8> = (0..150_000).map(|i| (i * 3) as u8).collect();
+    let scenario = |payload: Vec<u8>| {
+        run(
+            lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4),
+            move |r| {
+                let mut digest = 0u64;
+                if r.rank() == 0 {
+                    r.send(1, 9, &payload);
+                } else {
+                    let mut buf = vec![0u8; payload.len()];
+                    r.recv(Source::Rank(0), TagSel::Value(9), &mut buf);
+                    digest = buf.iter().map(|&b| u64::from(b)).sum();
+                }
+                r.barrier();
+                (r.now(), digest)
+            },
+        )
+    };
+    let a = scenario(payload.clone());
+    let b = scenario(payload);
+    assert_eq!(a, b, "same seed ⇒ same virtual-time trace, same payloads");
+}
