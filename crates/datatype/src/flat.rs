@@ -20,6 +20,7 @@
 use crate::tree;
 use crate::types::{Datatype, TypeKind};
 use core::ops::ControlFlow;
+use std::sync::Arc;
 
 /// One level of a leaf's repeat-pattern stack (outermost first).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,26 +70,63 @@ pub struct FfPosition {
     pub intra: usize,
 }
 
-/// A committed datatype: the original tree plus the flattened leaf list.
+/// Density metrics of a flattened layout, computed once at commit time.
+/// The adaptive protocol selector uses these (instead of re-deriving them
+/// per message) to pick between direct ff-pack, staged pack-buffer, and
+/// DMA transfer paths.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutDensity {
+    /// `size / extent` — the fraction of the instance footprint that is
+    /// payload. 1.0 means gap-free.
+    pub contiguity: f64,
+    /// Mean contiguous run length in bytes (`size / blocks`). 0.0 for an
+    /// empty type.
+    pub avg_block_len: f64,
+}
+
+/// The memoised product of flattening one datatype: the optimised leaf
+/// list plus the index tables `find_position` needs. Shared by `Arc`
+/// between every [`Committed`] of a structurally equal type when the
+/// [`layout_cache`] is enabled, so repeated commits of the same type skip
+/// the tree walk entirely.
+#[derive(Debug)]
+pub struct Layout {
+    leaves: Vec<FlatLeaf>,
+    /// `prefix[k]` = payload bytes per instance in `leaves[..k]` (length
+    /// `leaves.len() + 1`). Lets [`Committed::find_position`] locate the
+    /// leaf by binary search in O(log N) instead of a linear scan.
+    prefix: Vec<usize>,
+    /// Tree-walk operations the flattening performed (recursion steps plus
+    /// unrolled leaf copies) — the work a send would re-do per transfer
+    /// without the cache; the protocol layer charges virtual time
+    /// proportional to it when the cache is off.
+    flatten_ops: usize,
+    density: LayoutDensity,
+    /// Revalidation fields: a 64-bit signature collision would hand back
+    /// the layout of a different type, so every cache hit cross-checks
+    /// size and extent before accepting it.
+    size: usize,
+    extent: usize,
+}
+
+/// A committed datatype: the original tree plus the (possibly cached)
+/// flattened layout.
 #[derive(Clone, Debug)]
 pub struct Committed {
     dt: Datatype,
-    leaves: Vec<FlatLeaf>,
+    layout: Arc<Layout>,
+    cache_hit: bool,
 }
 
 impl Committed {
-    /// Commit `dt`: build and optimise the flattened representation.
+    /// Commit `dt`: resolve the flattened representation through the
+    /// [`layout_cache`] (building and optimising it on a miss).
     pub fn commit(dt: &Datatype) -> Committed {
-        let mut leaves = collect(dt, 0);
-        merge_adjacent(&mut leaves);
-        refold(&mut leaves);
-        merge_adjacent(&mut leaves);
-        for leaf in &mut leaves {
-            finalise(leaf);
-        }
+        let (layout, cache_hit) = layout_cache::resolve(dt);
         Committed {
             dt: dt.clone(),
-            leaves,
+            layout,
+            cache_hit,
         }
     }
 
@@ -99,7 +137,25 @@ impl Committed {
 
     /// The flattened leaves.
     pub fn leaves(&self) -> &[FlatLeaf] {
-        &self.leaves
+        &self.layout.leaves
+    }
+
+    /// True if this commit was served from the layout cache rather than by
+    /// flattening the tree.
+    pub fn cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+
+    /// Tree-walk operations the flattening cost (or would have cost — the
+    /// value is memoised with the layout). The protocol layer uses this to
+    /// charge per-transfer re-flattening time when the cache is disabled.
+    pub fn flatten_ops(&self) -> usize {
+        self.layout.flatten_ops
+    }
+
+    /// Commit-time density metrics driving the adaptive path selector.
+    pub fn density(&self) -> LayoutDensity {
+        self.layout.density
     }
 
     /// Payload bytes per instance.
@@ -115,17 +171,20 @@ impl Committed {
     /// Basic blocks per instance after merging (the `N` of the paper's
     /// complexity bound).
     pub fn blocks_per_instance(&self) -> usize {
-        self.leaves.iter().map(FlatLeaf::block_count).sum()
+        self.leaves().iter().map(FlatLeaf::block_count).sum()
     }
 
     /// The smallest basic-block length (compared against the
     /// `min_block_size` protocol knob when choosing the transfer path).
     pub fn min_block_len(&self) -> usize {
-        self.leaves.iter().map(|l| l.len).min().unwrap_or(0)
+        self.leaves().iter().map(|l| l.len).min().unwrap_or(0)
     }
 
-    /// Resolve pack-stream byte offset `skip` to a leaf/odometer position,
-    /// in O(leaves) + O(depth) (paper: O(N) + O(D)).
+    /// Resolve pack-stream byte offset `skip` to a leaf/odometer position.
+    /// The leaf is found by binary search over the cached prefix-sum table
+    /// (O(log N)), then the odometer resolves in O(depth) — so a partial
+    /// pack resumes in O(log N) + O(D), tightening the paper's
+    /// O(N) + O(D) bound for multi-leaf types.
     ///
     /// Returns `None` if the type is empty or `skip` lands beyond the
     /// requested `count` instances.
@@ -138,26 +197,149 @@ impl Committed {
         if instance >= count {
             return None;
         }
-        let mut rem = skip % size;
-        for (k, leaf) in self.leaves.iter().enumerate() {
-            if rem >= leaf.total {
-                rem -= leaf.total;
-                continue;
-            }
-            let mut indices = Vec::with_capacity(leaf.stack.len());
-            for level in &leaf.stack {
-                indices.push(rem / level.below);
-                rem %= level.below;
-            }
-            return Some(FfPosition {
-                instance,
-                leaf: k,
-                indices,
-                intra: rem,
-            });
+        let rem = skip % size;
+        // Last k with prefix[k] <= rem; prefix[leaves.len()] == size > rem,
+        // so k indexes a real leaf (empty leaf lists never reach here:
+        // size > 0 implies at least one leaf).
+        let prefix = &self.layout.prefix;
+        let leaf_idx = prefix.partition_point(|&p| p <= rem) - 1;
+        let leaf = self.leaves().get(leaf_idx)?;
+        let mut rem = rem - prefix[leaf_idx];
+        let mut indices = Vec::with_capacity(leaf.stack.len());
+        for level in &leaf.stack {
+            indices.push(rem / level.below);
+            rem %= level.below;
         }
-        // skip == multiple of size with rem 0 but empty leaf list.
-        None
+        Some(FfPosition {
+            instance,
+            leaf: leaf_idx,
+            indices,
+            intra: rem,
+        })
+    }
+}
+
+/// Flatten `dt` from scratch: collect, merge, refold, drop degenerate
+/// leaves, and fill the cached index tables.
+fn build_layout(dt: &Datatype) -> Layout {
+    let mut ops = 0usize;
+    let mut leaves = collect(dt, 0, &mut ops);
+    merge_adjacent(&mut leaves);
+    refold(&mut leaves);
+    merge_adjacent(&mut leaves);
+    // Commit-time invariant: no zero-length blocks and no count-0 levels.
+    // None of the current constructors can produce them (empty subtrees
+    // collapse before they reach here), but a degenerate leaf that slipped
+    // through the merge passes would emit empty stores on every transfer,
+    // so they are dropped defensively and the invariant is pinned by a
+    // regression test.
+    leaves.retain(|l| l.len != 0 && l.stack.iter().all(|lvl| lvl.count != 0));
+    for leaf in &mut leaves {
+        finalise(leaf);
+    }
+    let mut prefix = Vec::with_capacity(leaves.len() + 1);
+    let mut acc = 0usize;
+    prefix.push(0);
+    for leaf in &leaves {
+        acc += leaf.total;
+        prefix.push(acc);
+    }
+    let blocks: usize = leaves.iter().map(FlatLeaf::block_count).sum();
+    let size = dt.size();
+    let extent = dt.extent();
+    let density = LayoutDensity {
+        contiguity: if extent == 0 {
+            1.0
+        } else {
+            size as f64 / extent as f64
+        },
+        avg_block_len: if blocks == 0 {
+            0.0
+        } else {
+            size as f64 / blocks as f64
+        },
+    };
+    Layout {
+        leaves,
+        prefix,
+        flatten_ops: ops,
+        density,
+        size,
+        extent,
+    }
+}
+
+/// Process-global commit-time layout cache, keyed by the structural
+/// [`Datatype::signature`]. A hit returns the shared `Arc<Layout>` without
+/// re-walking the type tree; `layout_cache_hits`/`layout_cache_misses`
+/// counters record the behaviour. Enabled by default; benches toggle it to
+/// measure the cost of re-flattening (the protocol layer charges virtual
+/// time from `Tuning`, so the flag here only controls memoisation, never
+/// simulated-time determinism).
+pub mod layout_cache {
+    use super::{build_layout, Layout};
+    use crate::types::Datatype;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    fn table() -> &'static Mutex<HashMap<u64, Arc<Layout>>> {
+        static TABLE: OnceLock<Mutex<HashMap<u64, Arc<Layout>>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Turn memoisation on or off (process-wide). Off, every commit
+    /// re-flattens; entries already cached are kept but not consulted.
+    pub fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether commits currently consult the cache.
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Drop all cached layouts (used by benches to measure cold commits).
+    pub fn clear() {
+        table().lock().expect("layout cache poisoned").clear();
+    }
+
+    /// Number of distinct layouts currently cached.
+    pub fn len() -> usize {
+        table().lock().expect("layout cache poisoned").len()
+    }
+
+    /// Resolve `dt`'s layout: cached `Arc` on a hit, freshly built (and
+    /// inserted) on a miss. The second tuple field reports whether the
+    /// cache served the layout.
+    pub(super) fn resolve(dt: &Datatype) -> (Arc<Layout>, bool) {
+        if !is_enabled() {
+            obs::inc(obs::Counter::LayoutCacheMisses);
+            return (Arc::new(build_layout(dt)), false);
+        }
+        let sig = dt.signature();
+        if let Some(hit) = table()
+            .lock()
+            .expect("layout cache poisoned")
+            .get(&sig)
+            .cloned()
+        {
+            // Reject (astronomically unlikely) signature collisions: the
+            // cached layout must describe a type of identical footprint.
+            if hit.size == dt.size() && hit.extent == dt.extent() {
+                obs::inc(obs::Counter::LayoutCacheHits);
+                return (hit, true);
+            }
+        }
+        obs::inc(obs::Counter::LayoutCacheMisses);
+        let layout = Arc::new(build_layout(dt));
+        table()
+            .lock()
+            .expect("layout cache poisoned")
+            .insert(sig, Arc::clone(&layout));
+        (layout, false)
     }
 }
 
@@ -172,7 +354,12 @@ impl Committed {
 /// commit time. The later [`refold`] pass recovers compact levels whenever
 /// adjacent-leaf merging collapses the subtree to a single block (the
 /// common case, e.g. Figure 3's struct).
-fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
+///
+/// `ops` tallies the flattening work (one per node visited, one per
+/// unrolled leaf copy) — the basis of the re-flattening time charge when
+/// the layout cache is off.
+fn collect(dt: &Datatype, disp: i64, ops: &mut usize) -> Vec<FlatLeaf> {
+    *ops += 1;
     if dt.size() == 0 {
         return Vec::new();
     }
@@ -192,8 +379,8 @@ fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
             total: 0,
         }],
         TypeKind::Contiguous { count, child } => {
-            let inner = collect(child, 0);
-            replicate(inner, *count, child.extent() as i64, disp)
+            let inner = collect(child, 0, ops);
+            replicate(inner, *count, child.extent() as i64, disp, ops)
         }
         TypeKind::Vector {
             count,
@@ -202,8 +389,8 @@ fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
             child,
         } => {
             let cext = child.extent() as i64;
-            let block = replicate(collect(child, 0), *blocklen, cext, 0);
-            replicate(block, *count, *stride as i64 * cext, disp)
+            let block = replicate(collect(child, 0, ops), *blocklen, cext, 0, ops);
+            replicate(block, *count, *stride as i64 * cext, disp, ops)
         }
         TypeKind::Hvector {
             count,
@@ -212,32 +399,40 @@ fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
             child,
         } => {
             let cext = child.extent() as i64;
-            let block = replicate(collect(child, 0), *blocklen, cext, 0);
-            replicate(block, *count, *stride_bytes, disp)
+            let block = replicate(collect(child, 0, ops), *blocklen, cext, 0, ops);
+            replicate(block, *count, *stride_bytes, disp, ops)
         }
         TypeKind::Indexed { blocks, child } => {
             let cext = child.extent() as i64;
-            let inner = collect(child, 0);
+            let inner = collect(child, 0, ops);
             let mut out = Vec::new();
             for &(bl, d) in blocks {
-                out.extend(replicate(inner.clone(), bl, cext, disp + d as i64 * cext));
+                *ops += 1;
+                out.extend(replicate(
+                    inner.clone(),
+                    bl,
+                    cext,
+                    disp + d as i64 * cext,
+                    ops,
+                ));
             }
             out
         }
         TypeKind::Hindexed { blocks, child } => {
             let cext = child.extent() as i64;
-            let inner = collect(child, 0);
+            let inner = collect(child, 0, ops);
             let mut out = Vec::new();
             for &(bl, d) in blocks {
-                out.extend(replicate(inner.clone(), bl, cext, disp + d));
+                *ops += 1;
+                out.extend(replicate(inner.clone(), bl, cext, disp + d, ops));
             }
             out
         }
         TypeKind::Struct { fields } => {
             let mut out = Vec::new();
             for (bl, d, t) in fields {
-                let inner = collect(t, 0);
-                out.extend(replicate(inner, *bl, t.extent() as i64, disp + d));
+                let inner = collect(t, 0, ops);
+                out.extend(replicate(inner, *bl, t.extent() as i64, disp + d, ops));
             }
             out
         }
@@ -246,12 +441,20 @@ fn collect(dt: &Datatype, disp: i64) -> Vec<FlatLeaf> {
 
 /// Replicate a leaf list `count` times at `extent`-byte intervals starting
 /// at `disp`. Single-leaf lists gain a stack level; multi-leaf lists are
-/// unrolled to preserve stream order.
-fn replicate(mut leaves: Vec<FlatLeaf>, count: usize, extent: i64, disp: i64) -> Vec<FlatLeaf> {
+/// unrolled to preserve stream order (each unrolled copy tallies one
+/// flattening op).
+fn replicate(
+    mut leaves: Vec<FlatLeaf>,
+    count: usize,
+    extent: i64,
+    disp: i64,
+    ops: &mut usize,
+) -> Vec<FlatLeaf> {
     if count == 0 || leaves.is_empty() {
         return Vec::new();
     }
     if leaves.len() == 1 {
+        *ops += 1;
         let mut leaf = leaves.pop().expect("len checked");
         leaf.first += disp;
         if count > 1 {
@@ -269,6 +472,7 @@ fn replicate(mut leaves: Vec<FlatLeaf>, count: usize, extent: i64, disp: i64) ->
     let mut out = Vec::with_capacity(leaves.len() * count);
     for i in 0..count {
         for leaf in &leaves {
+            *ops += 1;
             let mut l = leaf.clone();
             l.first += disp + i as i64 * extent;
             out.push(l);
@@ -586,6 +790,121 @@ mod tests {
         assert!(c.leaves().is_empty());
         assert_eq!(c.blocks_per_instance(), 0);
         assert!(c.find_position(0, 1).is_none());
+    }
+
+    #[test]
+    fn layout_cache_shares_layout_across_commits() {
+        // Two commits of structurally equal (but separately built) types
+        // must share one Arc'd layout when the cache is on. This test
+        // keeps the global flag enabled (other tests in this binary run
+        // concurrently); an unusual stride keeps the key private to it.
+        let a = Datatype::vector(13, 3, 11, &Datatype::double());
+        let b = Datatype::vector(13, 3, 11, &Datatype::double());
+        let ca = Committed::commit(&a);
+        let cb = Committed::commit(&b);
+        assert!(Arc::ptr_eq(&ca.layout, &cb.layout));
+        assert!(cb.cache_hit());
+        assert_eq!(ca.leaves(), cb.leaves());
+        assert_eq!(ca.flatten_ops(), cb.flatten_ops());
+    }
+
+    #[test]
+    fn cold_commit_reports_miss_and_correct_metadata() {
+        let t = Datatype::vector(9, 2, 7, &Datatype::int());
+        let c = Committed::commit(&t);
+        assert!(!c.cache_hit() || Committed::commit(&t).cache_hit());
+        assert!(c.flatten_ops() > 0);
+        let d = c.density();
+        // 9 blocks of 8 bytes, extent 8*7*8 + ... — payload fraction < 1.
+        assert!(d.contiguity > 0.0 && d.contiguity < 1.0);
+        assert!((d.avg_block_len - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_of_contiguous_type_is_full() {
+        let t = Datatype::contiguous(64, &Datatype::double());
+        let c = Committed::commit(&t);
+        assert_eq!(c.density().contiguity, 1.0);
+        assert_eq!(c.density().avg_block_len, 512.0);
+        // Empty types report a harmless density.
+        let e = Committed::commit(&Datatype::contiguous(0, &Datatype::int()));
+        assert_eq!(e.density().avg_block_len, 0.0);
+    }
+
+    #[test]
+    fn no_zero_length_leaves_survive_commit() {
+        // Regression: degenerate blocks (zero count, zero blocklen,
+        // empty children) must never leave a zero-length leaf behind —
+        // such a leaf would emit empty stores on every transfer. Mix
+        // degenerate entries through every constructor that takes them.
+        let empty = Datatype::contiguous(0, &Datatype::double());
+        let cases = [
+            Datatype::indexed(&[(0, 3), (2, 0), (0, 9)], &Datatype::int()),
+            Datatype::hindexed(&[(1, 8), (0, 0)], &Datatype::double()),
+            Datatype::structure(&[
+                (0, 0, Datatype::int()),
+                (1, 4, Datatype::int()),
+                (3, 16, empty.clone()),
+            ]),
+            Datatype::vector(4, 2, 3, &Datatype::structure(&[(1, 0, Datatype::byte())])),
+            Datatype::hvector(3, 2, 64, &empty),
+            Datatype::contiguous(5, &Datatype::structure(&[])),
+        ];
+        for t in &cases {
+            let c = Committed::commit(t);
+            for leaf in c.leaves() {
+                assert!(leaf.len > 0, "zero-length leaf for {t}: {leaf:?}");
+                assert!(
+                    leaf.stack.iter().all(|l| l.count > 0),
+                    "count-0 level for {t}: {leaf:?}"
+                );
+            }
+            // And the expansion emits no empty stores.
+            crate::ff::for_each_block(&c, 2, 0, usize::MAX, |_, len| {
+                assert!(len > 0, "empty store emitted for {t}");
+                ControlFlow::Continue(())
+            });
+            assert!(expansion_matches_tree(&c, 2), "expansion broke for {t}");
+        }
+    }
+
+    #[test]
+    fn find_position_agrees_with_linear_scan_on_multi_leaf_types() {
+        // The prefix-sum binary search must match the old linear walk at
+        // every stream offset, including leaf boundaries.
+        let chars = Datatype::contiguous(3, &Datatype::byte());
+        let s = Datatype::structure(&[
+            (1, 0, Datatype::int()),
+            (1, 8, Datatype::double()),
+            (2, 24, chars),
+        ]);
+        let c = Committed::commit(&s);
+        let size = c.size();
+        for skip in 0..size * 2 {
+            let p = c.find_position(skip, 2).expect("in range");
+            // Reference: linear scan over leaves.
+            let mut rem = skip % size;
+            let mut leaf_idx = 0;
+            for (k, leaf) in c.leaves().iter().enumerate() {
+                if rem >= leaf.total {
+                    rem -= leaf.total;
+                } else {
+                    leaf_idx = k;
+                    break;
+                }
+            }
+            assert_eq!(p.instance, skip / size, "skip {skip}");
+            assert_eq!(p.leaf, leaf_idx, "skip {skip}");
+            let mut expect_rem = rem;
+            let mut expect_indices = Vec::new();
+            for level in &c.leaves()[leaf_idx].stack {
+                expect_indices.push(expect_rem / level.below);
+                expect_rem %= level.below;
+            }
+            assert_eq!(p.indices, expect_indices, "skip {skip}");
+            assert_eq!(p.intra, expect_rem, "skip {skip}");
+        }
+        assert!(c.find_position(size * 2, 2).is_none());
     }
 
     #[test]

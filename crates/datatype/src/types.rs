@@ -108,6 +108,12 @@ pub(crate) struct TypeNode {
     /// descending order is contiguous in *coverage* but not in *pack
     /// order*.
     ordered_dense: bool,
+    /// Structural fingerprint: equal trees (same constructors, same
+    /// parameters, structurally equal children) hash to the same value.
+    /// Child signatures fold in O(1), so construction stays linear in the
+    /// constructor's own argument list. Keys the commit-time layout cache
+    /// (see [`crate::flat::layout_cache`]).
+    signature: u64,
 }
 
 /// An MPI datatype: an immutable, cheaply clonable tree.
@@ -240,6 +246,7 @@ impl Datatype {
                 }
             }
         };
+        let signature = signature_of(&kind);
         Datatype {
             node: Arc::new(TypeNode {
                 kind,
@@ -248,6 +255,7 @@ impl Datatype {
                 ub,
                 depth,
                 ordered_dense,
+                signature,
             }),
         }
     }
@@ -381,6 +389,79 @@ impl Datatype {
     /// [`crate::tree`] for why order matters.
     pub fn ordered_dense(&self) -> bool {
         self.node.ordered_dense
+    }
+
+    /// Structural fingerprint of the constructor tree. Two independently
+    /// built types with the same constructors and parameters share a
+    /// signature; it is the key of the commit-time layout cache. Collisions
+    /// are possible in principle (64-bit FNV fold) — the cache revalidates
+    /// size/extent on every hit as a cheap sanity check.
+    pub fn signature(&self) -> u64 {
+        self.node.signature
+    }
+}
+
+/// One FNV-1a step over a 64-bit word.
+fn sig_word(acc: u64, word: u64) -> u64 {
+    (acc ^ word).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// Fold a structural fingerprint of `kind`: a constructor tag, the
+/// constructor's own parameters, and the children's already-computed
+/// signatures. Children fold in O(1), so building a depth-`D` tree costs
+/// O(total constructor arguments), not O(tree size).
+fn signature_of(kind: &TypeKind) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    match kind {
+        TypeKind::Basic(b) => sig_word(sig_word(BASIS, 1), b.size() as u64),
+        TypeKind::Contiguous { count, child } => {
+            let acc = sig_word(sig_word(BASIS, 2), *count as u64);
+            sig_word(acc, child.signature())
+        }
+        TypeKind::Vector {
+            count,
+            blocklen,
+            stride,
+            child,
+        } => {
+            let mut acc = sig_word(sig_word(BASIS, 3), *count as u64);
+            acc = sig_word(acc, *blocklen as u64);
+            acc = sig_word(acc, *stride as u64);
+            sig_word(acc, child.signature())
+        }
+        TypeKind::Hvector {
+            count,
+            blocklen,
+            stride_bytes,
+            child,
+        } => {
+            let mut acc = sig_word(sig_word(BASIS, 4), *count as u64);
+            acc = sig_word(acc, *blocklen as u64);
+            acc = sig_word(acc, *stride_bytes as u64);
+            sig_word(acc, child.signature())
+        }
+        TypeKind::Indexed { blocks, child } => {
+            let mut acc = sig_word(sig_word(BASIS, 5), blocks.len() as u64);
+            for &(bl, d) in blocks {
+                acc = sig_word(sig_word(acc, bl as u64), d as u64);
+            }
+            sig_word(acc, child.signature())
+        }
+        TypeKind::Hindexed { blocks, child } => {
+            let mut acc = sig_word(sig_word(BASIS, 6), blocks.len() as u64);
+            for &(bl, d) in blocks {
+                acc = sig_word(sig_word(acc, bl as u64), d as u64);
+            }
+            sig_word(acc, child.signature())
+        }
+        TypeKind::Struct { fields } => {
+            let mut acc = sig_word(sig_word(BASIS, 7), fields.len() as u64);
+            for (bl, disp, t) in fields {
+                acc = sig_word(sig_word(acc, *bl as u64), *disp as u64);
+                acc = sig_word(acc, t.signature());
+            }
+            acc
+        }
     }
 }
 
@@ -603,6 +684,44 @@ mod tests {
         let t = Datatype::indexed(&[(1, 1), (1, 0)], &Datatype::int());
         assert!(t.is_contiguous());
         assert!(!t.ordered_dense());
+    }
+
+    #[test]
+    fn signatures_are_structural() {
+        // Independently built but structurally identical trees share a
+        // signature — that is what makes the layout cache hit across
+        // separate `commit` calls.
+        let a = Datatype::vector(16, 2, 4, &Datatype::double());
+        let b = Datatype::vector(16, 2, 4, &Datatype::double());
+        assert!(!Arc::ptr_eq(&a.node, &b.node));
+        assert_eq!(a.signature(), b.signature());
+
+        // Any parameter change moves the signature.
+        assert_ne!(
+            a.signature(),
+            Datatype::vector(16, 2, 5, &Datatype::double()).signature()
+        );
+        assert_ne!(
+            a.signature(),
+            Datatype::vector(16, 2, 4, &Datatype::float()).signature()
+        );
+        // Different constructors with the same span differ too.
+        assert_ne!(
+            Datatype::indexed(&[(2, 0)], &Datatype::int()).signature(),
+            Datatype::hindexed(&[(2, 0)], &Datatype::int()).signature()
+        );
+    }
+
+    #[test]
+    fn signature_distinguishes_nesting() {
+        let inner = Datatype::vector(2, 1, 2, &Datatype::int());
+        let nested = Datatype::vector(3, 1, 2, &inner);
+        let flat = Datatype::vector(3, 1, 2, &Datatype::int());
+        assert_ne!(nested.signature(), flat.signature());
+        // Struct field order matters (pack order differs).
+        let s1 = Datatype::structure(&[(1, 0, Datatype::int()), (1, 8, Datatype::double())]);
+        let s2 = Datatype::structure(&[(1, 8, Datatype::double()), (1, 0, Datatype::int())]);
+        assert_ne!(s1.signature(), s2.signature());
     }
 
     #[test]

@@ -81,6 +81,20 @@ pub enum Counter {
     /// Silent faults that sailed through a path with integrity checking
     /// off (bookkeeping: the modelled program never sees these).
     UndetectedAtOff,
+    /// Commits served from the layout cache (flattening skipped).
+    LayoutCacheHits,
+    /// Commits that flattened the type tree (cache cold or disabled).
+    LayoutCacheMisses,
+    /// Leaf stores absorbed into a pending write-combining batch instead
+    /// of issuing their own SCI transaction.
+    WcCoalescedStores,
+    /// Typed transfers routed to the direct flattening-on-the-fly path by
+    /// the adaptive selector.
+    PathSelectedDirectFf,
+    /// Typed transfers routed through a staged pack buffer.
+    PathSelectedStaged,
+    /// Typed transfers routed to DMA scatter/gather.
+    PathSelectedDma,
 }
 
 impl Counter {
@@ -113,6 +127,12 @@ impl Counter {
         "corruptions_detected",
         "retransmits",
         "undetected_at_off",
+        "layout_cache_hits",
+        "layout_cache_misses",
+        "wc_coalesced_stores",
+        "path_selected_direct_ff",
+        "path_selected_staged",
+        "path_selected_dma",
     ];
 
     /// The export name of this counter.
@@ -122,7 +142,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 27;
+pub const COUNTER_COUNT: usize = 33;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -362,10 +382,13 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::UndetectedAtOff as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::PathSelectedDma as usize, COUNTER_COUNT - 1);
         assert_eq!(Counter::CorruptionsInjected.name(), "corruptions_injected");
         assert_eq!(Counter::Retransmits.name(), "retransmits");
         assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");
         assert_eq!(Counter::RouteFailovers.name(), "route_failovers");
+        assert_eq!(Counter::LayoutCacheHits.name(), "layout_cache_hits");
+        assert_eq!(Counter::WcCoalescedStores.name(), "wc_coalesced_stores");
+        assert_eq!(Counter::PathSelectedStaged.name(), "path_selected_staged");
     }
 }

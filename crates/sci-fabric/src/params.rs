@@ -120,6 +120,17 @@ pub struct SciParams {
     /// Bandwidth factor when write combining is disabled entirely
     /// (the paper measured roughly −50 %).
     pub wc_disabled_factor: f64,
+    /// Coalescing window of the host-side store batcher: adjacent or
+    /// overlapping leaf stores are staged until a batch-aligned boundary
+    /// is crossed, then flushed as one SCI transaction burst. Matches the
+    /// adapter's stream-buffer payload so every flushed chunk fills a
+    /// whole transaction.
+    pub wc_batch_bytes: usize,
+    /// CPU cost to append one leaf store to a pending batch (bounds check
+    /// plus a register-speed copy into the write-combine window) — the
+    /// batched replacement for the per-store issue/flush penalties that
+    /// small scattered stores otherwise pay.
+    pub wc_store_cost: SimDuration,
     /// One-way wire propagation per ring segment (cable + LC-2 hop).
     pub hop_latency: SimDuration,
     /// Fixed PCI-bridge + adapter traversal latency per transaction.
@@ -192,6 +203,8 @@ impl SciParams {
             partial_flush_per_byte: SimDuration::from_ps(1500),
             block_issue_overhead: SimDuration::from_ns(40),
             wc_disabled_factor: 0.5,
+            wc_batch_bytes: 64,
+            wc_store_cost: SimDuration::from_ns(8),
             hop_latency: SimDuration::from_ns(55),
             adapter_latency: SimDuration::from_ns(480),
             read_stall: SimDuration::from_us_f64(3.4),
@@ -326,6 +339,17 @@ mod tests {
         let q = p.clone().with_write_combining_disabled();
         assert!(q.pio_write_peak.mib_per_sec() < 0.6 * p.pio_write_peak.mib_per_sec());
         assert_eq!(q.wc_misalign_factor, 1.0);
+    }
+
+    #[test]
+    fn wc_batch_matches_stream_buffer_and_beats_per_store_penalties() {
+        let p = SciParams::default();
+        // The batch window fills whole SCI transactions.
+        assert_eq!(p.wc_batch_bytes, p.stream_buffer_bytes);
+        // Appending to a batch must be far cheaper than the penalties it
+        // replaces, or batching could never win.
+        assert!(p.wc_store_cost < p.sub_txn_flush);
+        assert!(p.wc_store_cost < p.block_issue_overhead);
     }
 
     #[test]

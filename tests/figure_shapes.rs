@@ -83,8 +83,17 @@ fn fig7_crossovers() {
     let total = 64 * 1024;
     let bw = |case, block| noncontig_bandwidth(internode_spec(), case, block, total).mib_per_sec();
 
-    // 8 B: generic wins inter-node (paper's only generic win).
-    assert!(bw(NoncontigCase::Generic, 8) > bw(NoncontigCase::DirectPackFf, 8));
+    // 8 B: generic wins inter-node (paper's only generic win). The 2002
+    // stack had no software store batcher, so this shape is asserted with
+    // the pack engine off; with WC batching on, tiny adjacent ff stores
+    // coalesce into full transactions and the win inverts (checked below).
+    let bw_paper = |case, block| {
+        let mut spec = internode_spec();
+        spec.tuning = spec.tuning.without_pack_engine();
+        noncontig_bandwidth(spec, case, block, total).mib_per_sec()
+    };
+    assert!(bw_paper(NoncontigCase::Generic, 8) > bw_paper(NoncontigCase::DirectPackFf, 8));
+    assert!(bw(NoncontigCase::DirectPackFf, 8) > bw(NoncontigCase::Generic, 8));
     // 16..128 B: ff at least ~2x generic. (The paper claims 2x "for 16
     // bytes and above"; our generic baseline is a more efficient
     // implementation than 2001-era MPICH's, so past ~256 B the advantage

@@ -1,0 +1,257 @@
+//! Differential pack oracle (seeded property tests, tier-1 adjacent).
+//!
+//! Random datatype trees — including zero-count and zero-extent
+//! degenerate shapes that the ordinary constructors allow — are driven
+//! through `direct_pack_ff` and compared bit-for-bit against the naive
+//! generic engine, with the flattened-layout cache both enabled and
+//! disabled. A second suite sweeps *every* byte-offset boundary of the
+//! datatype-gallery types through `find_position`, checking that resumed
+//! partial packs splice back into the full stream bit-identically.
+//!
+//! `PACK_ORACLE_SEED=<n>` re-seeds the random trees (CI runs three fixed
+//! seeds); the default seed is used otherwise.
+
+use mpi_datatype::{ff, layout_cache, subarray, tree, ArrayOrder, Committed, Datatype, FfPosition};
+use simclock::SplitMix64;
+
+fn oracle_seed() -> u64 {
+    std::env::var("PACK_ORACLE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x0AC1E)
+}
+
+/// A random datatype tree of at most `depth` nested levels. Unlike the
+/// in-crate randomized suite, this generator deliberately mixes in
+/// zero-count blocks and zero-extent children (the degenerate shapes the
+/// commit-time leaf filter must absorb).
+fn random_datatype(rng: &mut SplitMix64, depth: usize) -> Datatype {
+    let leaf = |rng: &mut SplitMix64| match rng.next_below(4) {
+        0 => Datatype::byte(),
+        1 => Datatype::int(),
+        2 => Datatype::double(),
+        _ => Datatype::float(),
+    };
+    if depth == 0 || rng.chance(0.3) {
+        return leaf(rng);
+    }
+    let inner = if rng.chance(0.08) {
+        // Zero-extent child: contiguous(0, _) has no bytes at all.
+        Datatype::contiguous(0, &leaf(rng))
+    } else {
+        random_datatype(rng, depth - 1)
+    };
+    match rng.next_below(5) {
+        0 => Datatype::contiguous(rng.next_range(1, 4) as usize, &inner),
+        // vector with stride >= blocklen (no overlap)
+        1 => {
+            let bl = rng.next_range(1, 3) as usize;
+            let extra = rng.next_below(4) as isize;
+            Datatype::vector(
+                rng.next_range(1, 4) as usize,
+                bl,
+                bl as isize + extra,
+                &inner,
+            )
+        }
+        // hvector with byte stride >= blocklen * extent
+        2 => {
+            let bl = rng.next_range(1, 3) as usize;
+            let extra = rng.next_below(16) as i64;
+            Datatype::hvector(
+                rng.next_range(1, 3) as usize,
+                bl,
+                (bl * inner.extent()) as i64 + extra,
+                &inner,
+            )
+        }
+        // indexed with ascending non-overlapping blocks; some zero-count
+        3 => {
+            let n = rng.next_range(1, 4) as usize;
+            let mut disp = 0isize;
+            let blocks: Vec<(usize, isize)> = (0..n)
+                .map(|_| {
+                    let bl = if rng.chance(0.2) {
+                        0
+                    } else {
+                        rng.next_range(1, 2) as usize
+                    };
+                    let gap = rng.next_below(3) as isize;
+                    let b = (bl, disp);
+                    disp += bl as isize + gap;
+                    b
+                })
+                .collect();
+            Datatype::indexed(&blocks, &inner)
+        }
+        // struct of two fields at ascending displacements; field A may be
+        // zero-count
+        _ => {
+            let a = inner;
+            let b = random_datatype(rng, depth - 1);
+            let gap = rng.next_below(8) as i64;
+            let bl = if rng.chance(0.15) {
+                0
+            } else {
+                rng.next_range(1, 2) as usize
+            };
+            let disp_b = (bl * a.extent()) as i64 + gap;
+            Datatype::structure(&[(bl, 0, a), (1, disp_b, b)])
+        }
+    }
+}
+
+fn source_buffer(dt: &Datatype, count: usize) -> Vec<u8> {
+    // Zero-count leading blocks give some generated types lb > 0, so the
+    // footprint of `count` instances is (count-1)*extent + ub, not
+    // count*extent.
+    let span = count.saturating_sub(1) * dt.extent() + dt.ub().max(0) as usize;
+    (0..span + 16)
+        .map(|i| (i as u32).wrapping_mul(2654435761) as u8)
+        .collect()
+}
+
+/// The naive reference: the generic recursive tree engine.
+fn reference_pack(dt: &Datatype, count: usize, src: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    tree::pack(dt, count, src, 0, &mut out);
+    out
+}
+
+/// ff pack over one commit == reference, and the packed stream is the
+/// right length even for degenerate (zero-size) types.
+fn assert_ff_matches_reference(dt: &Datatype, count: usize) {
+    let src = source_buffer(dt, count);
+    let reference = reference_pack(dt, count, &src);
+    assert_eq!(reference.len(), dt.size() * count);
+
+    let c = Committed::commit(dt);
+    let mut sink = ff::VecSink::default();
+    ff::pack_ff(&c, count, &src, 0, 0, usize::MAX, &mut sink).unwrap();
+    assert_eq!(sink.data, reference, "ff diverged from reference for {dt}");
+
+    // Commit-time invariant: the zero-extent shapes above must never
+    // leave a zero-length leaf that would emit empty stores.
+    for leaf in c.leaves() {
+        assert!(leaf.len > 0, "zero-length leaf survived commit for {dt}");
+    }
+}
+
+/// Differential oracle with the layout cache ON (the default).
+#[test]
+fn oracle_ff_equals_reference_with_cache() {
+    let mut rng = SplitMix64::new(oracle_seed());
+    for _ in 0..300 {
+        let dt = random_datatype(&mut rng, 3);
+        let count = rng.next_range(1, 3) as usize;
+        assert_ff_matches_reference(&dt, count);
+        // A second commit of the identical tree (a cache hit whenever the
+        // global cache is on) must behave identically too.
+        assert_ff_matches_reference(&dt, count);
+    }
+}
+
+/// Differential oracle with the layout cache OFF: memoisation must be a
+/// pure performance artefact, never a behavioural one.
+#[test]
+fn oracle_ff_equals_reference_without_cache() {
+    // The cache flag is global to the process; run this suite's commits
+    // in a scope that disables it and always restore on exit.
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            layout_cache::set_enabled(true);
+        }
+    }
+    let _restore = Restore;
+    layout_cache::set_enabled(false);
+    let mut rng = SplitMix64::new(oracle_seed() ^ 0x5EED);
+    for _ in 0..300 {
+        let dt = random_datatype(&mut rng, 3);
+        let count = rng.next_range(1, 3) as usize;
+        let c = Committed::commit(&dt);
+        assert!(!c.cache_hit(), "disabled cache must never report a hit");
+        assert_ff_matches_reference(&dt, count);
+    }
+}
+
+/// The datatype-gallery types: every committed shape the worked example
+/// tours (contiguous run, the Fig. 7 vector, the Fig. 3 struct, its
+/// hvector, a ragged indexed, and the ocean-boundary subarray).
+fn gallery() -> Vec<Datatype> {
+    let chars = Datatype::contiguous(3, &Datatype::byte());
+    let fig3 = Datatype::structure(&[(1, 0, Datatype::int()), (1, 4, chars)]);
+    vec![
+        Datatype::contiguous(12, &Datatype::double()),
+        Datatype::vector(16, 2, 4, &Datatype::double()),
+        fig3.clone(),
+        Datatype::hvector(4, 1, 16, &fig3),
+        Datatype::indexed(&[(2, 0), (3, 2), (1, 9)], &Datatype::int()),
+        subarray(
+            &[4, 6, 8],
+            &[4, 6, 1],
+            &[0, 0, 7],
+            ArrayOrder::C,
+            &Datatype::double(),
+        ),
+    ]
+}
+
+/// Partial-pack resume sweep: for every byte offset of every gallery
+/// type, `find_position` resolves, and a pack resumed there splices
+/// bit-identically onto the prefix.
+#[test]
+fn resume_splices_bit_identically_at_every_offset() {
+    for dt in gallery() {
+        let count = 2usize;
+        let c = Committed::commit(&dt);
+        let total = c.size() * count;
+        let src = source_buffer(&dt, count);
+        let whole = reference_pack(&dt, count, &src);
+        assert_eq!(whole.len(), total);
+
+        for split in 0..=total {
+            // The resume point must resolve for every in-range offset…
+            let pos: Option<FfPosition> = c.find_position(split, count);
+            if split < total {
+                assert!(pos.is_some(), "find_position failed at {split} for {dt}");
+            }
+            // …and the two halves packed separately must splice into the
+            // full stream.
+            let mut head = ff::VecSink::default();
+            ff::pack_ff(&c, count, &src, 0, 0, split, &mut head).unwrap();
+            let mut tail = ff::VecSink::default();
+            ff::pack_ff(&c, count, &src, 0, split, usize::MAX, &mut tail).unwrap();
+            assert_eq!(head.data.len(), split, "short head at {split} for {dt}");
+            let mut spliced = head.data;
+            spliced.extend_from_slice(&tail.data);
+            assert_eq!(spliced, whole, "splice mismatch at {split} for {dt}");
+        }
+    }
+}
+
+/// Zero-count and zero-extent fixed cases, spelled out (the random
+/// generator reaches these shapes probabilistically; these always run).
+#[test]
+fn degenerate_types_pack_to_empty_or_exact_streams() {
+    let empty = Datatype::contiguous(0, &Datatype::double());
+    let cases = [
+        Datatype::indexed(&[(0, 3), (2, 0), (0, 9)], &Datatype::int()),
+        Datatype::hindexed(&[(1, 8), (0, 0)], &Datatype::double()),
+        Datatype::structure(&[(0, 0, Datatype::int()), (1, 4, Datatype::int())]),
+        Datatype::hvector(3, 2, 64, &empty),
+        Datatype::contiguous(5, &Datatype::structure(&[])),
+        empty,
+    ];
+    for dt in &cases {
+        for count in [0usize, 1, 3] {
+            let src = source_buffer(dt, count.max(1));
+            let reference = reference_pack(dt, count, &src);
+            let c = Committed::commit(dt);
+            let mut sink = ff::VecSink::default();
+            ff::pack_ff(&c, count, &src, 0, 0, usize::MAX, &mut sink).unwrap();
+            assert_eq!(sink.data, reference, "degenerate {dt} x{count}");
+            assert_eq!(sink.data.len(), dt.size() * count);
+        }
+    }
+}
