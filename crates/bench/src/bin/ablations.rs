@@ -182,7 +182,7 @@ fn main() {
     // latencies have to agree to within 1%.
     {
         let lat_for = |obs: ObsConfig| {
-            let spec = internode_spec().with_obs(obs);
+            let spec = internode_spec().obs(obs);
             repro_bench::pingpong(spec, 64 * 1024, 8).0
         };
         let wall = std::time::Instant::now();

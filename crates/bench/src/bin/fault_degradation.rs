@@ -40,12 +40,12 @@ const RECOVERY: [(&str, Counter); 8] = [
 
 fn spec_for(rate: f64) -> ClusterSpec {
     let mut spec = ClusterSpec::multi_ring(2, 4)
-        .with_errors(ErrorMode::ErrorsReturn)
-        .with_tuning(Tuning {
+        .errors(ErrorMode::ErrorsReturn)
+        .tuning(Tuning {
             osc_fallback_threshold: 1,
             ..Tuning::default()
         })
-        .with_obs(ObsConfig::enabled());
+        .obs(ObsConfig::enabled());
     spec.faults = FaultConfig {
         error_rate: rate,
         max_retries: 1,
@@ -59,21 +59,21 @@ fn spec_for(rate: f64) -> ClusterSpec {
 fn throughput_at(rate: f64) -> f64 {
     let times: Vec<SimTime> = scimpi::run(spec_for(rate), |r| {
         let size = r.size();
-        let mem = r.alloc_mem(PUT_SIZE);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
+        let mem = r.alloc_mem(PUT_SIZE).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
         let data = vec![r.rank() as u8; PUT_SIZE];
-        win.fence(r);
+        win.fence(r).unwrap();
         for _ in 0..ROUNDS {
             let target = (r.rank() + 1) % size;
             // With `osc_fallback_threshold: 1` a hard failure demotes the
             // target and the same call is served by the emulation path, so
             // the put itself never errors — its *cost* is what degrades.
-            win.try_put(r, target, 0, &data)
+            win.put(r, target, 0, &data)
                 .expect("fallback absorbs hard failures");
             // The fence re-promotes demoted targets (the admin route is
             // healthy; only random transaction faults are injected), so
             // every round re-attempts the direct path first.
-            win.fence(r);
+            win.fence(r).unwrap();
         }
         r.now()
     });

@@ -29,8 +29,8 @@ fn main() {
         let bw = scaling_put_bandwidth(spec, n, n - 1, access, winsize);
         sci.push(n as f64, bw.mib_per_sec());
 
-        let spec200 = ClusterSpec::ringlet(n)
-            .with_params(sci_fabric::SciParams::default().with_link_200mhz());
+        let spec200 =
+            ClusterSpec::ringlet(n).params(sci_fabric::SciParams::default().with_link_200mhz());
         let bw200 = scaling_put_bandwidth(spec200, n, n - 1, access, winsize);
         sci200.push(n as f64, bw200.mib_per_sec());
         eprint!(".");

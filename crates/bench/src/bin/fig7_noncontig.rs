@@ -64,7 +64,7 @@ fn main() {
     // so the Chrome trace and counter dump land next to the JSON table.
     // The run re-commits the datatype every repetition, so everything
     // after the first resolve is a layout-cache hit.
-    let traced = internode_spec().with_obs(
+    let traced = internode_spec().obs(
         ObsConfig::with_trace("TRACE_fig7_noncontig.json")
             .and_counters("COUNTERS_fig7_noncontig.jsonl"),
     );

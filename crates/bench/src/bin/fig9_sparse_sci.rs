@@ -43,7 +43,7 @@ fn main() {
     doc.write_and_report();
 
     // Representative traced run (shared-window puts at 4 kiB accesses).
-    let traced = internode_spec().with_obs(
+    let traced = internode_spec().obs(
         ObsConfig::with_trace("TRACE_fig9_sparse_sci.json")
             .and_counters("COUNTERS_fig9_sparse_sci.jsonl"),
     );

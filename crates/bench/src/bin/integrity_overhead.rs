@@ -46,12 +46,12 @@ fn mode_name(mode: IntegrityMode) -> &'static str {
 
 fn spec_for(mode: IntegrityMode, corrupt: f64) -> ClusterSpec {
     let mut spec = ClusterSpec::ringlet(4)
-        .with_tuning(Tuning {
+        .tuning(Tuning {
             integrity_mode: mode,
             max_retransmits: 64,
             ..Tuning::default()
         })
-        .with_obs(ObsConfig::enabled());
+        .obs(ObsConfig::enabled());
     spec.faults = FaultConfig::silent(corrupt, corrupt / 4.0);
     spec.seed = 20020415; // IPPS 2002
     spec
@@ -66,22 +66,24 @@ fn throughput(mode: IntegrityMode, corrupt: f64) -> f64 {
         let left = (r.rank() + size - 1) % size;
         let msg = vec![r.rank() as u8; MSG_SIZE];
         let put = vec![0x5A; PUT_SIZE];
-        let mem = r.alloc_mem(PUT_SIZE);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(PUT_SIZE).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         for _ in 0..ROUNDS {
             let mut buf = vec![0u8; MSG_SIZE];
             // Even ranks send first — a deadlock-free ring shift through
             // the rendezvous protocol (ringlet sizes are even).
             if r.rank() % 2 == 0 {
-                r.send(right, 7, &msg);
-                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf);
+                r.send(right, 7, &msg).unwrap();
+                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf)
+                    .unwrap();
             } else {
-                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf);
-                r.send(right, 7, &msg);
+                r.recv(Source::Rank(left), TagSel::Value(7), &mut buf)
+                    .unwrap();
+                r.send(right, 7, &msg).unwrap();
             }
             win.put(r, right, 0, &put).expect("put");
-            win.fence(r);
+            win.fence(r).unwrap();
         }
         r.now()
     });

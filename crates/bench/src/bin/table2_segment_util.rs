@@ -29,7 +29,7 @@ fn measure(params: SciParams, label: &str, doc: &mut BenchDoc) {
     let access = 16 * 1024;
     let winsize = 128 * 1024;
     for n in 4..=8usize {
-        let spec = || ClusterSpec::ringlet(8).with_params(params.clone());
+        let spec = || ClusterSpec::ringlet(8).params(params.clone());
         let neigh = scaling_put_bandwidth(spec(), n, 1, access, winsize).mib_per_sec();
         let sat = scaling_put_bandwidth(spec(), n, 7, access, winsize).mib_per_sec();
         doc.push(

@@ -42,13 +42,13 @@ impl BenchPoint {
         }
     }
 
-    /// Set the mean latency [µs].
+    /// Set the mean latency \[µs\].
     pub fn mean_us(mut self, v: f64) -> Self {
         self.mean_us = Some(v);
         self
     }
 
-    /// Set the latency standard deviation [µs].
+    /// Set the latency standard deviation \[µs\].
     pub fn stddev(mut self, v: f64) -> Self {
         self.stddev = Some(v);
         self

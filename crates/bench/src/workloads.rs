@@ -66,7 +66,7 @@ pub fn noncontig_bandwidth(
                 let buf = vec![1u8; total];
                 r.barrier();
                 for _ in 0..reps {
-                    r.send(1, 0, &buf);
+                    r.send(1, 0, &buf).unwrap();
                 }
                 r.barrier();
                 SimDuration::ZERO
@@ -79,7 +79,7 @@ pub fn noncontig_bandwidth(
                     // a datatype across iterations would: with the layout
                     // cache on, every commit after the first is a hit.
                     let c = Committed::commit(committed.datatype());
-                    r.send_typed(1, 0, &c, 1, &buf, 0);
+                    r.send_typed(1, 0, &c, 1, &buf, 0).unwrap();
                 }
                 r.barrier();
                 SimDuration::ZERO
@@ -89,7 +89,7 @@ pub fn noncontig_bandwidth(
                 r.barrier();
                 let t0 = r.now();
                 for _ in 0..reps {
-                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
                 }
                 let elapsed = r.now() - t0;
                 r.barrier();
@@ -101,7 +101,8 @@ pub fn noncontig_bandwidth(
                 let t0 = r.now();
                 for _ in 0..reps {
                     let c = Committed::commit(committed.datatype());
-                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0);
+                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0)
+                        .unwrap();
                 }
                 let elapsed = r.now() - t0;
                 r.barrier();
@@ -150,7 +151,7 @@ pub fn sparse(
 ) -> SparseResult {
     let out = run(spec, move |r| {
         let mut win = make_window(r, winsize, shared_window);
-        win.fence(r);
+        win.fence(r).unwrap();
         let mut calls = 0usize;
         let t0 = r.now();
         if r.rank() == 0 {
@@ -167,7 +168,7 @@ pub fn sparse(
                 offset += stride;
             }
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         (r.now() - t0, calls)
     });
     let (elapsed, calls) = out[0];
@@ -186,10 +187,11 @@ pub fn sparse(
 /// private (emulation path) on every rank.
 pub fn make_window(r: &mut Rank, winsize: usize, shared: bool) -> Window {
     if shared {
-        let mem = r.alloc_mem(winsize);
-        r.win_create(WinMemory::Alloc(mem))
+        let mem = r.alloc_mem(winsize).expect("pool holds the window");
+        r.win_create(WinMemory::Alloc(mem)).expect("registration")
     } else {
         r.win_create(WinMemory::Private(winsize))
+            .expect("registration")
     }
 }
 
@@ -206,7 +208,7 @@ pub fn scaling_put_bandwidth(
 ) -> Bandwidth {
     let out = run(spec, move |r| {
         let mut win = make_window(r, winsize, true);
-        win.fence(r);
+        win.fence(r).unwrap();
         let size = r.size();
         let mut moved = 0usize;
         let t0 = r.now();
@@ -221,7 +223,7 @@ pub fn scaling_put_bandwidth(
                 offset += stride;
             }
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         let elapsed = r.now() - t0;
         if moved > 0 {
             Bandwidth::observed(moved as u64, elapsed)
@@ -242,11 +244,11 @@ pub fn pingpong(spec: ClusterSpec, bytes: usize, reps: usize) -> (SimDuration, B
         let t0 = r.now();
         for _ in 0..reps {
             if r.rank() == 0 {
-                r.send(1, 0, &buf);
-                r.recv(Source::Rank(1), TagSel::Value(0), &mut buf);
+                r.send(1, 0, &buf).unwrap();
+                r.recv(Source::Rank(1), TagSel::Value(0), &mut buf).unwrap();
             } else if r.rank() == 1 {
-                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
-                r.send(0, 0, &buf);
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                r.send(0, 0, &buf).unwrap();
             }
         }
         r.barrier();

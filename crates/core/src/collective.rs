@@ -11,6 +11,13 @@
 //! `EndToEnd` each hop of the tree is individually checksummed and
 //! retransmitted, so a corrupted link taints at most one edge, not the
 //! whole reduction.
+//!
+//! Every collective returns `Result<_, ScimpiError>`: a dead partner
+//! surfaces as [`ScimpiError::PeerDead`] at the first failed tree edge
+//! instead of hanging the collective. Under the default
+//! [`crate::ErrorMode::ErrorsAreFatal`] the error aborts the run before the
+//! `Err` is ever observed, so infallible call sites can simply `.unwrap()`
+//! (or use [`crate::Done::done`]).
 
 use crate::error::ScimpiError;
 use crate::mailbox::{Source, TagSel};
@@ -45,11 +52,11 @@ impl ReduceOp {
 
 impl Rank {
     /// Broadcast `buf` from `root` to all ranks (binomial tree).
-    pub fn bcast(&mut self, root: usize, buf: &mut [u8]) {
+    pub fn bcast(&mut self, root: usize, buf: &mut [u8]) -> Result<(), ScimpiError> {
         assert!(root < self.size, "bcast root out of range");
         let size = self.size;
         if size == 1 {
-            return;
+            return Ok(());
         }
         let vrank = (self.rank + size - root) % size;
         // Receive phase.
@@ -57,7 +64,7 @@ impl Rank {
         while mask < size {
             if vrank & mask != 0 {
                 let src = (vrank - mask + root) % size;
-                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), buf);
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), buf)?;
                 break;
             }
             mask <<= 1;
@@ -68,15 +75,21 @@ impl Rank {
             if vrank + mask < size {
                 let dst = (vrank + mask + root) % size;
                 let copy = buf.to_vec();
-                self.send(dst, COLL_TAG, &copy);
+                self.send(dst, COLL_TAG, &copy)?;
             }
             mask >>= 1;
         }
+        Ok(())
     }
 
     /// Reduce `values` element-wise onto `root` (binomial tree). Returns
     /// the result on `root`, `None` elsewhere.
-    pub fn reduce_f64(&mut self, root: usize, values: &[f64], op: ReduceOp) -> Option<Vec<f64>> {
+    pub fn reduce_f64(
+        &mut self,
+        root: usize,
+        values: &[f64],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<f64>>, ScimpiError> {
         assert!(root < self.size, "reduce root out of range");
         let size = self.size;
         let vrank = (self.rank + size - root) % size;
@@ -86,13 +99,13 @@ impl Rank {
             if vrank & mask != 0 {
                 let dst = (vrank - mask + root) % size;
                 let bytes = typed::to_bytes(&acc);
-                self.send(dst, COLL_TAG, &bytes);
-                return None;
+                self.send(dst, COLL_TAG, &bytes)?;
+                return Ok(None);
             }
             if vrank + mask < size {
                 let src = (vrank + mask + root) % size;
                 let mut bytes = vec![0u8; acc.len() * 8];
-                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut bytes);
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut bytes)?;
                 let other: Vec<f64> = typed::from_bytes(&bytes);
                 for (a, b) in acc.iter_mut().zip(other) {
                     *a = op.apply(*a, b);
@@ -100,39 +113,40 @@ impl Rank {
             }
             mask <<= 1;
         }
-        if self.rank == root {
-            Some(acc)
-        } else {
-            None
-        }
+        Ok(if self.rank == root { Some(acc) } else { None })
     }
 
     /// All-reduce: reduce onto rank 0, then broadcast.
-    pub fn allreduce_f64(&mut self, values: &[f64], op: ReduceOp) -> Vec<f64> {
-        let reduced = self.reduce_f64(0, values, op);
+    pub fn allreduce_f64(&mut self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>, ScimpiError> {
+        let reduced = self.reduce_f64(0, values, op)?;
         let mut bytes = match reduced {
             Some(v) => typed::to_bytes(&v),
             None => vec![0u8; values.len() * 8],
         };
-        self.bcast(0, &mut bytes);
-        typed::from_bytes(&bytes)
+        self.bcast(0, &mut bytes)?;
+        Ok(typed::from_bytes(&bytes))
     }
 
     /// The sender side of [`Rank::gatherv`]'s two-message protocol.
-    fn gather_send(&mut self, root: usize, mine: &[u8]) {
+    fn gather_send(&mut self, root: usize, mine: &[u8]) -> Result<(), ScimpiError> {
         let len = (mine.len() as u64).to_le_bytes();
-        self.send(root, COLL_TAG + 1, &len);
+        self.send(root, COLL_TAG + 1, &len)?;
         if !mine.is_empty() {
-            self.send(root, COLL_TAG, mine);
+            self.send(root, COLL_TAG, mine)?;
         }
+        Ok(())
     }
 
     /// Gather with variable sizes (`MPI_Gatherv`-style).
-    pub fn gatherv(&mut self, root: usize, mine: &[u8]) -> Option<Vec<Vec<u8>>> {
+    pub fn gatherv(
+        &mut self,
+        root: usize,
+        mine: &[u8],
+    ) -> Result<Option<Vec<Vec<u8>>>, ScimpiError> {
         assert!(root < self.size, "gather root out of range");
         if self.rank != root {
-            self.gather_send(root, mine);
-            return None;
+            self.gather_send(root, mine)?;
+            return Ok(None);
         }
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[root] = mine.to_vec();
@@ -144,22 +158,22 @@ impl Rank {
                 continue;
             }
             let mut len_buf = [0u8; 8];
-            self.recv(Source::Rank(src), TagSel::Value(COLL_TAG + 1), &mut len_buf);
+            self.recv(Source::Rank(src), TagSel::Value(COLL_TAG + 1), &mut len_buf)?;
             let len = u64::from_le_bytes(len_buf) as usize;
             let mut data = vec![0u8; len];
             if len > 0 {
-                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut data);
+                self.recv(Source::Rank(src), TagSel::Value(COLL_TAG), &mut data)?;
             }
             out[src] = data;
         }
-        Some(out)
+        Ok(Some(out))
     }
 
     /// All-gather: every rank contributes `mine` and receives every
     /// rank's contribution (gatherv to rank 0 + broadcast of the
     /// concatenation — MPICH's small-message strategy).
-    pub fn allgather(&mut self, mine: &[u8]) -> Vec<Vec<u8>> {
-        let gathered = self.gatherv(0, mine);
+    pub fn allgather(&mut self, mine: &[u8]) -> Result<Vec<Vec<u8>>, ScimpiError> {
+        let gathered = self.gatherv(0, mine)?;
         // Serialise as length-prefixed stream and broadcast.
         let mut stream = Vec::new();
         if let Some(parts) = gathered {
@@ -169,10 +183,10 @@ impl Rank {
             }
         }
         let mut len_buf = (stream.len() as u64).to_le_bytes();
-        self.bcast(0, &mut len_buf);
+        self.bcast(0, &mut len_buf)?;
         let total = u64::from_le_bytes(len_buf) as usize;
         stream.resize(total, 0);
-        self.bcast(0, &mut stream);
+        self.bcast(0, &mut stream)?;
         // Deserialise.
         let mut out = Vec::with_capacity(self.size);
         let mut at = 0usize;
@@ -182,12 +196,12 @@ impl Rank {
             out.push(stream[at..at + len].to_vec());
             at += len;
         }
-        out
+        Ok(out)
     }
 
     /// Inclusive prefix sum (`MPI_Scan` with `MPI_SUM`): rank k receives
     /// the element-wise sum of the values of ranks `0..=k`.
-    pub fn scan_sum_f64(&mut self, values: &[f64]) -> Vec<f64> {
+    pub fn scan_sum_f64(&mut self, values: &[f64]) -> Result<Vec<f64>, ScimpiError> {
         let mut acc = values.to_vec();
         if self.rank > 0 {
             let mut bytes = vec![0u8; values.len() * 8];
@@ -195,7 +209,7 @@ impl Rank {
                 Source::Rank(self.rank - 1),
                 TagSel::Value(COLL_TAG + 3),
                 &mut bytes,
-            );
+            )?;
             let prev: Vec<f64> = typed::from_bytes(&bytes);
             for (a, p) in acc.iter_mut().zip(prev) {
                 *a += p;
@@ -203,24 +217,16 @@ impl Rank {
         }
         if self.rank + 1 < self.size {
             let bytes = typed::to_bytes(&acc);
-            self.send(self.rank + 1, COLL_TAG + 3, &bytes);
+            self.send(self.rank + 1, COLL_TAG + 3, &bytes)?;
         }
-        acc
+        Ok(acc)
     }
 
     /// Exchange equal-size byte blocks with every rank (`MPI_Alltoall`,
-    /// pairwise-exchange algorithm).
-    pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        match self.try_alltoall(sendblocks) {
-            Ok(out) => out,
-            Err(e) => panic!("alltoall failed: {e}"),
-        }
-    }
-
-    /// Fallible variant of [`Rank::alltoall`]: the pairwise exchange
-    /// aborts at the first failed step (a dead partner surfaces as
-    /// [`ScimpiError::PeerDead`] instead of hanging the collective).
-    pub fn try_alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
+    /// pairwise-exchange algorithm). The exchange aborts at the first
+    /// failed step: a dead partner surfaces as
+    /// [`ScimpiError::PeerDead`] instead of hanging the collective.
+    pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
         assert_eq!(sendblocks.len(), self.size, "one block per rank");
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = sendblocks[self.rank].clone();
@@ -228,7 +234,7 @@ impl Rank {
             let dst = (self.rank + step) % self.size;
             let src = (self.rank + self.size - step) % self.size;
             let mut buf = vec![0u8; sendblocks[dst].len().max(1 << 20)];
-            let st = self.try_sendrecv(
+            let st = self.sendrecv(
                 dst,
                 COLL_TAG + 2,
                 SendData::Bytes(&sendblocks[dst]),
@@ -257,7 +263,7 @@ mod tests {
                 } else {
                     vec![0; 1000]
                 };
-                r.bcast(root, &mut buf);
+                r.bcast(root, &mut buf).unwrap();
                 buf
             });
             for v in out {
@@ -270,7 +276,7 @@ mod tests {
     fn reduce_sums_across_ranks() {
         let out = run(ClusterSpec::ringlet(6), |r| {
             let values = vec![r.rank() as f64, 1.0];
-            r.reduce_f64(0, &values, ReduceOp::Sum)
+            r.reduce_f64(0, &values, ReduceOp::Sum).unwrap()
         });
         assert_eq!(out[0], Some(vec![15.0, 6.0]));
         assert!(out[1..].iter().all(Option::is_none));
@@ -280,8 +286,8 @@ mod tests {
     fn allreduce_max_and_min() {
         let out = run(ClusterSpec::ringlet(4), |r| {
             let v = [r.rank() as f64 * 2.0];
-            let mx = r.allreduce_f64(&v, ReduceOp::Max);
-            let mn = r.allreduce_f64(&v, ReduceOp::Min);
+            let mx = r.allreduce_f64(&v, ReduceOp::Max).unwrap();
+            let mn = r.allreduce_f64(&v, ReduceOp::Min).unwrap();
             (mx[0], mn[0])
         });
         assert!(out.iter().all(|&(mx, mn)| mx == 6.0 && mn == 0.0));
@@ -291,7 +297,7 @@ mod tests {
     fn gatherv_collects_ragged_data() {
         let out = run(ClusterSpec::ringlet(4), |r| {
             let mine = vec![r.rank() as u8; r.rank()]; // rank k sends k bytes
-            r.gatherv(0, &mine)
+            r.gatherv(0, &mine).unwrap()
         });
         let gathered = out[0].as_ref().unwrap();
         for (k, v) in gathered.iter().enumerate() {
@@ -306,7 +312,7 @@ mod tests {
             let blocks: Vec<Vec<u8>> = (0..r.size())
                 .map(|d| vec![(r.rank() * 10 + d) as u8; 64])
                 .collect();
-            r.alltoall(&blocks)
+            r.alltoall(&blocks).unwrap()
         });
         for (me, blocks) in out.iter().enumerate() {
             for (src, b) in blocks.iter().enumerate() {
@@ -320,7 +326,7 @@ mod tests {
     fn allgather_collects_everything_everywhere() {
         let out = run(ClusterSpec::ringlet(4), |r| {
             let mine = vec![r.rank() as u8 + 1; r.rank() + 1]; // ragged
-            r.allgather(&mine)
+            r.allgather(&mine).unwrap()
         });
         for per_rank in out {
             assert_eq!(per_rank.len(), 4);
@@ -334,7 +340,7 @@ mod tests {
     #[test]
     fn scan_gives_prefix_sums() {
         let out = run(ClusterSpec::ringlet(5), |r| {
-            r.scan_sum_f64(&[r.rank() as f64, 1.0])
+            r.scan_sum_f64(&[r.rank() as f64, 1.0]).unwrap()
         });
         for (k, v) in out.iter().enumerate() {
             let expect0: f64 = (0..=k).map(|i| i as f64).sum();
@@ -347,9 +353,9 @@ mod tests {
     fn single_rank_collectives_are_identity() {
         let out = run(ClusterSpec::ringlet(1), |r| {
             let mut b = vec![9u8; 10];
-            r.bcast(0, &mut b);
-            let red = r.reduce_f64(0, &[5.0], ReduceOp::Sum).unwrap();
-            let all = r.allreduce_f64(&[3.0], ReduceOp::Max);
+            r.bcast(0, &mut b).unwrap();
+            let red = r.reduce_f64(0, &[5.0], ReduceOp::Sum).unwrap().unwrap();
+            let all = r.allreduce_f64(&[3.0], ReduceOp::Max).unwrap();
             (b, red, all)
         });
         assert_eq!(out[0].0, vec![9u8; 10]);
@@ -362,7 +368,7 @@ mod tests {
         let time_for = |n: usize| {
             let out = run(ClusterSpec::ringlet(n), |r| {
                 let mut b = vec![1u8; 4096];
-                r.bcast(0, &mut b);
+                r.bcast(0, &mut b).unwrap();
                 r.barrier();
                 r.now()
             });

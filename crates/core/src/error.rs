@@ -6,9 +6,9 @@
 //!
 //! * [`ScimpiError`] is the protocol-level error taxonomy;
 //! * [`ErrorMode`] selects between `MPI_ERRORS_ARE_FATAL` (the default —
-//!   any communication error aborts the run, matching the historical
-//!   panic behaviour) and `MPI_ERRORS_RETURN` (the `try_*` call variants
-//!   return the error as a value);
+//!   any communication error aborts the run before the `Err` is
+//!   observable) and `MPI_ERRORS_RETURN` (every communication verb
+//!   returns the error as a value through its `Result`);
 //! * [`death_delay`] is the deterministic virtual-time budget after which
 //!   a silent peer is declared dead: a bounded sequence of timeout
 //!   windows growing by `timeout_backoff`, each followed by a connection
@@ -104,12 +104,12 @@ impl From<SciError> for ScimpiError {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ErrorMode {
     /// `MPI_ERRORS_ARE_FATAL`: any communication error panics the rank
-    /// (and thereby tears down the run). The default, matching the
-    /// behaviour before errors became values.
+    /// (and thereby tears down the run) before the `Err` reaches the
+    /// caller, so infallible call sites can unwrap freely. The default.
     #[default]
     ErrorsAreFatal,
-    /// `MPI_ERRORS_RETURN`: the `try_*` call variants return errors as
-    /// values; the panicking variants still abort on error.
+    /// `MPI_ERRORS_RETURN`: communication verbs hand the error back
+    /// through their `Result` for the application to recover from.
     ErrorsReturn,
 }
 

@@ -16,16 +16,24 @@
 //! Ranks run as OS threads with per-rank virtual clocks; all timing is the
 //! fabric cost model's, so results are deterministic.
 //!
-//! ```
-//! use scimpi::{run, ClusterSpec, Source, TagSel};
+//! Every communication verb returns `Result<_, ScimpiError>`; under the
+//! default [`ErrorMode::ErrorsAreFatal`] a communication error aborts the
+//! run before the `Err` is observable, so infallible call sites can
+//! append [`Done::done`] (or `.unwrap()`) without ever seeing a panic of
+//! their own making. Nonblocking operations ([`Rank::isend`],
+//! [`Rank::irecv`], ...) return typed [`Request`] handles — see
+//! [`request`] and `docs/ASYNC.md`.
 //!
-//! let results = run(ClusterSpec::ringlet(2), |rank| {
+//! ```
+//! use scimpi::prelude::*;
+//!
+//! let results = run(ClusterSpec::ringlet(2).build(), |rank| {
 //!     if rank.rank() == 0 {
-//!         rank.send(1, 99, b"ping");
+//!         rank.send(1, 99, b"ping").done();
 //!         0
 //!     } else {
 //!         let mut buf = [0u8; 4];
-//!         let status = rank.recv(Source::Rank(0), TagSel::Value(99), &mut buf);
+//!         let status = rank.recv(Source::Rank(0), TagSel::Value(99), &mut buf).done();
 //!         status.len
 //!     }
 //! });
@@ -37,6 +45,7 @@ pub mod error;
 pub mod mailbox;
 pub mod osc;
 pub mod p2p;
+pub mod request;
 pub mod runtime;
 pub mod sink;
 pub mod tuning;
@@ -46,6 +55,43 @@ pub use error::{death_delay, ErrorMode, ScimpiError};
 pub use mailbox::{Source, Tag, TagSel};
 pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};
+pub use request::{PersistentRecv, PersistentSend, RecvDone, Request};
 pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource};
 pub use tuning::{IntegrityMode, NoncontigMode, Tuning};
+
+/// Thin infallible wrapper over the `Result`-based surface: `.done()`
+/// unwraps with a call-site-attributed panic message. Meant for
+/// applications running under the default
+/// [`ErrorMode::ErrorsAreFatal`], where a surfaced `Err` is impossible
+/// (the handler aborts first) and propagating `Result` is pure noise.
+pub trait Done {
+    /// The success value.
+    type Output;
+    /// Unwrap, panicking at the caller's location on `Err`.
+    fn done(self) -> Self::Output;
+}
+
+impl<T> Done for Result<T, ScimpiError> {
+    type Output = T;
+    #[track_caller]
+    fn done(self) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => panic!("communication failed: {e}"),
+        }
+    }
+}
+
+/// One-stop imports for applications: `use scimpi::prelude::*;`.
+pub mod prelude {
+    pub use crate::collective::ReduceOp;
+    pub use crate::error::{ErrorMode, ScimpiError};
+    pub use crate::mailbox::{Source, Tag, TagSel};
+    pub use crate::osc::{AccumulateOp, WinMemory, Window};
+    pub use crate::p2p::{RecvBuf, RecvStatus, SendData};
+    pub use crate::request::{PersistentRecv, PersistentSend, RecvDone, Request};
+    pub use crate::runtime::{run, ClusterSpec, ObsConfig, Rank};
+    pub use crate::tuning::{IntegrityMode, Tuning};
+    pub use crate::Done;
+}

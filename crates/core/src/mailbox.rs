@@ -129,6 +129,60 @@ pub enum Ctrl {
 struct Queues {
     msgs: VecDeque<Envelope>,
     ctrl: HashMap<u64, VecDeque<Ctrl>>,
+    /// MPI's posted-receive queue, in posted (program) order. With
+    /// nonblocking receives running on engine threads, two in-flight
+    /// receives whose patterns overlap would otherwise race for the
+    /// message queue and break determinism: a receive may only take an
+    /// envelope no *earlier-posted* unmatched receive also matches —
+    /// exactly MPI's arrival-time scan of the posted queue. Receives with
+    /// disjoint patterns (a halo exchange from distinct neighbours)
+    /// proceed fully concurrently.
+    posted: Vec<PostedRecv>,
+    next_ticket: u64,
+}
+
+impl Queues {
+    /// Try to match the posted receive `ticket` against the message
+    /// queue: first envelope (arrival order) that satisfies its pattern
+    /// and is not claimed by an earlier-posted unmatched receive. On
+    /// success the envelope and the posted entry both leave their queues.
+    fn gated_match(&mut self, ticket: u64) -> Option<Envelope> {
+        let me = *self.posted.iter().find(|p| p.ticket == ticket)?;
+        let idx = self.msgs.iter().position(|e| {
+            env_matches(e, me.src, me.tag)
+                && !self
+                    .posted
+                    .iter()
+                    .any(|p| p.ticket < ticket && env_matches(e, p.src, p.tag))
+        })?;
+        let env = self.msgs.remove(idx).expect("index valid under lock");
+        let pi = self
+            .posted
+            .iter()
+            .position(|p| p.ticket == ticket)
+            .expect("entry present");
+        self.posted.remove(pi);
+        Some(env)
+    }
+}
+
+/// A receive registered in the posted-receive table.
+#[derive(Clone, Copy, Debug)]
+struct PostedRecv {
+    ticket: u64,
+    src: Source,
+    tag: TagSel,
+}
+
+/// Does this envelope satisfy the pattern?
+fn env_matches(e: &Envelope, src: Source, tag: TagSel) -> bool {
+    (match src {
+        Source::Any => true,
+        Source::Rank(r) => e.src == r,
+    }) && (match tag {
+        TagSel::Any => true,
+        TagSel::Value(t) => e.tag == t,
+    })
 }
 
 /// One rank's mailbox.
@@ -274,6 +328,68 @@ impl Mailbox {
         }
     }
 
+    /// Register a receive in the posted-receive queue. Must be called on
+    /// the posting rank's own thread so tickets reflect program order;
+    /// the matching itself ([`Self::match_recv_posted`]) may then run on
+    /// an engine thread.
+    pub fn post_recv(&self, src: Source, tag: TagSel) -> u64 {
+        let mut q = self.q.lock().unwrap();
+        let ticket = q.next_ticket;
+        q.next_ticket += 1;
+        q.posted.push(PostedRecv { ticket, src, tag });
+        ticket
+    }
+
+    /// Withdraw a posted receive without matching (error paths: the
+    /// monitored peer died). Idempotent; unblocks later overlapping
+    /// receives.
+    pub fn abandon_recv(&self, ticket: u64) {
+        let mut q = self.q.lock().unwrap();
+        if let Some(i) = q.posted.iter().position(|p| p.ticket == ticket) {
+            q.posted.remove(i);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until the posted receive `ticket` can claim an envelope (no
+    /// earlier-posted unmatched receive also matches it) and remove it.
+    pub fn match_recv_posted(&self, ticket: u64) -> Envelope {
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(env) = q.gated_match(ticket) {
+                // Our posted entry left the queue: later receives it was
+                // shadowing may now be eligible.
+                self.cv.notify_all();
+                return env;
+            }
+            q = self.cv.wait(q).unwrap();
+        }
+    }
+
+    /// Like [`Self::match_recv_posted`], but give up after `timeout` of
+    /// *real* time (polling slice — see [`Self::match_recv_for`] for the
+    /// virtual-time contract). The posted entry stays registered on
+    /// expiry.
+    pub fn match_recv_posted_for(
+        &self,
+        ticket: u64,
+        timeout: std::time::Duration,
+    ) -> Option<Envelope> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.q.lock().unwrap();
+        loop {
+            if let Some(env) = q.gated_match(ticket) {
+                self.cv.notify_all();
+                return Some(env);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            q = self.cv.wait_timeout(q, deadline - now).unwrap().0;
+        }
+    }
+
     /// Number of queued (unmatched) messages — diagnostics only.
     pub fn backlog(&self) -> usize {
         self.q.lock().unwrap().msgs.len()
@@ -374,6 +490,56 @@ mod tests {
             Some((4, 2, SimTime::ZERO))
         );
         assert_eq!(mb.backlog(), 1);
+    }
+
+    #[test]
+    fn posted_disjoint_patterns_match_concurrently() {
+        let mb = Mailbox::new();
+        let a = mb.post_recv(Source::Rank(1), TagSel::Value(5));
+        let b = mb.post_recv(Source::Rank(2), TagSel::Value(5));
+        // b is later-posted but src-disjoint from a: an envelope from
+        // rank 2 goes to b even while a is still unmatched.
+        mb.post(env(2, 5));
+        let e = mb.match_recv_posted_for(b, std::time::Duration::ZERO);
+        assert_eq!(e.expect("disjoint recv must match").src, 2);
+        mb.post(env(1, 5));
+        assert!(mb
+            .match_recv_posted_for(a, std::time::Duration::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn posted_wildcard_shadows_later_overlapping_recv() {
+        let mb = Mailbox::new();
+        let a = mb.post_recv(Source::Any, TagSel::Value(5));
+        let b = mb.post_recv(Source::Rank(2), TagSel::Value(5));
+        mb.post(env(2, 5));
+        // The earlier wildcard claims the envelope; b must not steal it.
+        assert!(mb
+            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .is_none());
+        let e = mb.match_recv_posted(a);
+        assert_eq!(e.src, 2);
+        // With the wildcard gone, a fresh envelope satisfies b.
+        mb.post(env(2, 5));
+        assert!(mb
+            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .is_some());
+    }
+
+    #[test]
+    fn abandoned_recv_unblocks_later_ones() {
+        let mb = Mailbox::new();
+        let a = mb.post_recv(Source::Any, TagSel::Any);
+        let b = mb.post_recv(Source::Rank(3), TagSel::Value(1));
+        mb.post(env(3, 1));
+        assert!(mb
+            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .is_none());
+        mb.abandon_recv(a);
+        assert!(mb
+            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .is_some());
     }
 
     #[test]

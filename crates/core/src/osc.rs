@@ -22,6 +22,7 @@
 
 use crate::error::ScimpiError;
 use crate::mailbox::Ctrl;
+use crate::request::Request;
 use crate::runtime::Rank;
 use crate::tuning::{IntegrityMode, PackPath};
 use mpi_datatype::{ff, Committed};
@@ -165,17 +166,9 @@ fn pscw_handle(win: u64, from: usize, to: usize, phase: u64) -> u64 {
 
 impl Rank {
     /// `MPI_Alloc_mem`: allocate remotely accessible memory from this
-    /// rank's shared-segment pool.
-    pub fn alloc_mem(&mut self, len: usize) -> AllocMem {
-        match self.try_alloc_mem(len) {
-            Ok(mem) => mem,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible variant of [`Rank::alloc_mem`]: pool exhaustion comes back
-    /// as [`ScimpiError::WindowError`] instead of panicking.
-    pub fn try_alloc_mem(&mut self, len: usize) -> Result<AllocMem, ScimpiError> {
+    /// rank's shared-segment pool. Pool exhaustion comes back as
+    /// [`ScimpiError::WindowError`].
+    pub fn alloc_mem(&mut self, len: usize) -> Result<AllocMem, ScimpiError> {
         let offset = self.world.alloc_pools[self.rank]
             .lock()
             .unwrap()
@@ -204,16 +197,8 @@ impl Rank {
     }
 
     /// `MPI_Win_create` (collective): expose `mem` to all ranks.
-    pub fn win_create(&mut self, mem: WinMemory) -> Window {
-        match self.try_win_create(mem) {
-            Ok(win) => win,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible variant of [`Rank::win_create`]: registration failures
-    /// come back as [`ScimpiError::WindowError`] instead of panicking.
-    pub fn try_win_create(&mut self, mem: WinMemory) -> Result<Window, ScimpiError> {
+    /// Registration failures come back as [`ScimpiError::WindowError`].
+    pub fn win_create(&mut self, mem: WinMemory) -> Result<Window, ScimpiError> {
         let contrib: (TargetMem, usize) = match mem {
             WinMemory::Alloc(am) => {
                 assert_eq!(am.rank, self.rank, "alloc_mem from another rank");
@@ -591,8 +576,7 @@ impl Window {
         (slot.as_mut().expect("just created"), *offset)
     }
 
-    /// `MPI_Put` of contiguous bytes.
-    pub fn put(
+    fn put_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -639,10 +623,8 @@ impl Window {
         Ok(())
     }
 
-    /// `MPI_Put` of a committed datatype — `direct_pack_ff` streams the
-    /// blocks straight into the remote window.
     #[allow(clippy::too_many_arguments)]
-    pub fn put_typed(
+    fn put_typed_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -665,7 +647,7 @@ impl Window {
             .tuning
             .select_path_recorded(c, total, self.direct_active(target));
         if path == PackPath::Dma {
-            return self.put_typed_dma(rank, target, target_off, c, count, buf, origin);
+            return self.put_typed_dma_inner(rank, target, target_off, c, count, buf, origin);
         }
         if self.direct_active(target) {
             obs::inc(obs::Counter::OscPutShared);
@@ -775,7 +757,7 @@ impl Window {
     /// large payloads of small blocks, where PIO per-block costs dominate.
     /// Shared windows only.
     #[allow(clippy::too_many_arguments)]
-    pub fn put_typed_dma(
+    fn put_typed_dma_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -823,8 +805,7 @@ impl Window {
         Ok(())
     }
 
-    /// `MPI_Get` of contiguous bytes.
-    pub fn get(
+    fn get_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -917,18 +898,11 @@ impl Window {
             + params.cache.copy_cost(len, len)
     }
 
-    /// Fallible variant of [`Window::put`] in [`ScimpiError`] terms:
-    /// out-of-bounds errors are returned directly (a caller bug, not a
-    /// communication fault); fabric errors go through the error-handler
-    /// machinery ([`crate::ErrorMode`]).
-    pub fn try_put(
-        &mut self,
-        rank: &mut Rank,
-        target: usize,
-        target_off: usize,
-        data: &[u8],
-    ) -> Result<(), ScimpiError> {
-        self.put(rank, target, target_off, data).map_err(|e| {
+    /// Route an operation result to the surface: out-of-bounds errors are
+    /// returned directly (a caller bug, not a communication fault); fabric
+    /// errors go through the error-handler machinery ([`crate::ErrorMode`]).
+    fn surface(rank: &Rank, res: Result<(), ScimpiError>) -> Result<(), ScimpiError> {
+        res.map_err(|e| {
             if matches!(e, ScimpiError::Fabric(SciError::OutOfBounds(_))) {
                 e
             } else {
@@ -937,21 +911,103 @@ impl Window {
         })
     }
 
-    /// Fallible variant of [`Window::get`] (see [`Window::try_put`]).
-    pub fn try_get(
+    /// `MPI_Put` of contiguous bytes.
+    pub fn put(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        data: &[u8],
+    ) -> Result<(), ScimpiError> {
+        let res = self.put_inner(rank, target, target_off, data);
+        Self::surface(rank, res)
+    }
+
+    /// `MPI_Get` of contiguous bytes.
+    pub fn get(
         &mut self,
         rank: &mut Rank,
         target: usize,
         target_off: usize,
         dst: &mut [u8],
     ) -> Result<(), ScimpiError> {
-        self.get(rank, target, target_off, dst).map_err(|e| {
-            if matches!(e, ScimpiError::Fabric(SciError::OutOfBounds(_))) {
-                e
-            } else {
-                rank.world.escalate(e)
-            }
-        })
+        let res = self.get_inner(rank, target, target_off, dst);
+        Self::surface(rank, res)
+    }
+
+    /// `MPI_Put` of a committed datatype — `direct_pack_ff` streams the
+    /// blocks straight into the remote window.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_typed(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<(), ScimpiError> {
+        let res = self.put_typed_inner(rank, target, target_off, c, count, buf, origin);
+        Self::surface(rank, res)
+    }
+
+    /// `MPI_Put` of a committed datatype forced through the DMA
+    /// scatter/gather descriptor list (see [`Window::put_typed`], which
+    /// selects this path adaptively). Shared windows only.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put_typed_dma(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<(), ScimpiError> {
+        let res = self.put_typed_dma_inner(rank, target, target_off, c, count, buf, origin);
+        Self::surface(rank, res)
+    }
+
+    /// `MPI_Put` posted nonblocking. The store is issued inline on the
+    /// origin's clock (puts are posted writes: the CPU hands the data to
+    /// the fabric and moves on; draining is the synchronisation call's
+    /// job), so the returned [`Request`] is already complete — it exists
+    /// so puts compose with [`Rank::waitall`] alongside [`Window::iget`]
+    /// and point-to-point requests. See `docs/ASYNC.md`.
+    pub fn iput(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        data: &[u8],
+    ) -> Result<Request<()>, ScimpiError> {
+        let posted_at = rank.account_post();
+        let res = self.put(rank, target, target_off, data);
+        let end = rank.clock.now();
+        Ok(Request::ready(rank, "iput", posted_at, end, res))
+    }
+
+    /// `MPI_Get` posted nonblocking: the transfer runs on a fork of the
+    /// origin's clock, so compute issued before [`Rank::wait`] overlaps
+    /// the read stalls. Returns the gathered bytes at completion.
+    pub fn iget(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        len: usize,
+    ) -> Result<Request<Vec<u8>>, ScimpiError> {
+        let posted_at = rank.account_post();
+        let main = rank.clock.clone();
+        let mut dst = vec![0u8; len];
+        let res = self.get(rank, target, target_off, &mut dst).map(|()| dst);
+        let end = rank.clock.now();
+        // The transfer ran on a fork: restore the origin's compute
+        // frontier; completion merges `end` back at wait/test time.
+        rank.clock = main;
+        Ok(Request::ready(rank, "iget", posted_at, end, res))
     }
 
     /// `MPI_Get` of a committed datatype: gather the target's
@@ -963,6 +1019,21 @@ impl Window {
     /// packs with `direct_pack_ff` on its side.
     #[allow(clippy::too_many_arguments)]
     pub fn get_typed(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        c: &Committed,
+        count: usize,
+        buf: &mut [u8],
+        origin: usize,
+    ) -> Result<(), ScimpiError> {
+        let res = self.get_typed_inner(rank, target, target_off, c, count, buf, origin);
+        Self::surface(rank, res)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn get_typed_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -1099,6 +1170,18 @@ impl Window {
 
     /// `MPI_Accumulate`: combine `data` into the target window.
     pub fn accumulate(
+        &mut self,
+        rank: &mut Rank,
+        target: usize,
+        target_off: usize,
+        op: AccumulateOp,
+        data: &[u8],
+    ) -> Result<(), ScimpiError> {
+        let res = self.accumulate_inner(rank, target, target_off, op, data);
+        Self::surface(rank, res)
+    }
+
+    fn accumulate_inner(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -1381,18 +1464,10 @@ impl Window {
     /// `MPI_Win_fence`: complete all outstanding accesses and synchronise
     /// all ranks of the window (active target, collective).
     ///
-    /// Panics on a detected integrity failure; see [`Window::try_fence`].
-    pub fn fence(&mut self, rank: &mut Rank) {
-        if let Err(e) = self.try_fence(rank) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible fence. The collective synchronisation itself always runs —
-    /// even when this rank's flush detects corruption — so peers are not
-    /// deadlocked; the error goes through the error-handler machinery
-    /// after the barrier.
-    pub fn try_fence(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
+    /// The collective synchronisation itself always runs — even when this
+    /// rank's flush detects corruption — so peers are not deadlocked; the
+    /// error goes through the error-handler machinery after the barrier.
+    pub fn fence(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
         let res = self.try_flush(rank);
         self.maybe_repromote(rank);
         self.shared.fence.wait(&mut rank.clock);
@@ -1470,20 +1545,11 @@ impl Window {
     }
 
     /// `MPI_Win_complete`: close the access epoch (flushes and notifies
-    /// the targets).
-    ///
-    /// Panics on a detected integrity failure; see [`Window::try_complete`].
-    pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) {
-        if let Err(e) = self.try_complete(rank, targets) {
-            panic!("{e}");
-        }
-    }
-
-    /// Fallible complete: the targets are notified even when this rank's
+    /// the targets). The targets are notified even when this rank's
     /// flush detects corruption, so their [`Window::wait`] is not
     /// deadlocked; the error goes through the error-handler machinery
     /// after the notifications.
-    pub fn try_complete(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
+    pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
         let res = self.try_flush(rank);
         for &t in targets {
             rank.clock.advance(rank.world.tuning.ctrl_send_cost);
@@ -1528,24 +1594,11 @@ impl Window {
     /// then unlock with completion semantics.
     ///
     /// The closure style keeps the real lock guard inside one stack frame,
-    /// mirroring `MPI_Win_lock`/`MPI_Win_unlock` bracketing.
+    /// mirroring `MPI_Win_lock`/`MPI_Win_unlock` bracketing. The lock is
+    /// always released — even when the unlock flush detects corruption —
+    /// so waiting ranks are not deadlocked; the error goes through the
+    /// error-handler machinery after the release.
     pub fn locked<R>(
-        &mut self,
-        rank: &mut Rank,
-        target: usize,
-        body: impl FnOnce(&mut Window, &mut Rank) -> R,
-    ) -> R {
-        match self.try_locked(rank, target, body) {
-            Ok(result) => result,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible lock-unlock epoch: the lock is always released — even when
-    /// the unlock flush detects corruption — so waiting ranks are not
-    /// deadlocked; the error goes through the error-handler machinery
-    /// after the release.
-    pub fn try_locked<R>(
         &mut self,
         rank: &mut Rank,
         target: usize,
@@ -1608,8 +1661,8 @@ mod tests {
     use mpi_datatype::{typed, Datatype};
 
     fn shared_window(rank: &mut Rank, len: usize) -> Window {
-        let mem = rank.alloc_mem(len);
-        rank.win_create(WinMemory::Alloc(mem))
+        let mem = rank.alloc_mem(len).unwrap();
+        rank.win_create(WinMemory::Alloc(mem)).unwrap()
     }
 
     #[test]
@@ -1619,7 +1672,7 @@ mod tests {
             if r.rank() == 0 {
                 win.put(r, 1, 128, b"one-sided put").unwrap();
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 1 {
                 let mut local = [0u8; 13];
                 win.read_local(r, 128, &mut local);
@@ -1629,31 +1682,31 @@ mod tests {
             if r.rank() == 1 {
                 win.write_local(r, 0, b"reply");
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 0 {
                 let mut buf = [0u8; 5];
                 win.get(r, 1, 0, &mut buf).unwrap();
                 assert_eq!(&buf, b"reply");
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
     #[test]
     fn private_window_uses_emulation_and_works() {
         run(ClusterSpec::ringlet(2), |r| {
-            let mut win = r.win_create(WinMemory::Private(1024));
+            let mut win = r.win_create(WinMemory::Private(1024)).unwrap();
             assert!(!win.is_shared(0));
             if r.rank() == 0 {
                 win.put(r, 1, 0, &[7u8; 256]).unwrap();
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 1 {
                 let mut buf = [0u8; 256];
                 win.read_local(r, 0, &mut buf);
                 assert!(buf.iter().all(|&b| b == 7));
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
@@ -1662,17 +1715,17 @@ mod tests {
         let time_with = |private: bool| {
             let out = run(ClusterSpec::ringlet(2), move |r| {
                 let mut win = if private {
-                    r.win_create(WinMemory::Private(8192))
+                    r.win_create(WinMemory::Private(8192)).unwrap()
                 } else {
                     shared_window(r, 8192)
                 };
-                win.fence(r);
+                win.fence(r).unwrap();
                 if r.rank() == 0 {
                     for i in 0..16 {
                         win.put(r, 1, i * 256, &[1u8; 128]).unwrap();
                     }
                 }
-                win.fence(r);
+                win.fence(r).unwrap();
                 r.now()
             });
             out[0]
@@ -1691,7 +1744,7 @@ mod tests {
         // thanks to the remote-put conversion.
         let out = run(ClusterSpec::ringlet(2), |r| {
             let mut win = shared_window(r, 256 * 1024);
-            win.fence(r);
+            win.fence(r).unwrap();
             let mut elapsed = SimDuration::ZERO;
             if r.rank() == 0 {
                 let mut buf = vec![0u8; 128 * 1024];
@@ -1699,7 +1752,7 @@ mod tests {
                 win.get(r, 1, 0, &mut buf).unwrap();
                 elapsed = r.now() - t0;
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             elapsed
         });
         let remote_put_time = out[0];
@@ -1718,7 +1771,7 @@ mod tests {
             if r.rank() == 1 {
                 win.write_local(r, 64, &[0xEE; 8]);
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             let mut lat = SimDuration::ZERO;
             if r.rank() == 0 {
                 let t0 = r.now();
@@ -1727,7 +1780,7 @@ mod tests {
                 lat = r.now() - t0;
                 assert_eq!(b, [0xEE; 8]);
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             lat
         });
         // One stalling read transaction: a handful of microseconds.
@@ -1741,7 +1794,7 @@ mod tests {
             if r.rank() == 0 {
                 win.write_local(r, 0, &typed::to_bytes(&[10.0f64]));
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             // Ranks 1..4 each add their rank value, one after another
             // under lock (concurrent accumulates to the same location
             // need mutual exclusion in this implementation).
@@ -1750,9 +1803,10 @@ mod tests {
                     let data = typed::to_bytes(&[r.rank() as f64]);
                     win.locked(r, 0, |w, r| {
                         w.accumulate(r, 0, 0, AccumulateOp::SumF64, &data).unwrap();
-                    });
+                    })
+                    .unwrap();
                 }
-                win.fence(r);
+                win.fence(r).unwrap();
             }
             if r.rank() == 0 {
                 let mut buf = [0u8; 8];
@@ -1780,7 +1834,7 @@ mod tests {
                 let v = if r.rank() == 1 { [11u8] } else { [22u8] };
                 let off = if r.rank() == 1 { 100 } else { 200 };
                 win.put(r, 0, off, &v).unwrap();
-                win.complete(r, &[0]);
+                win.complete(r, &[0]).unwrap();
             }
         });
     }
@@ -1789,21 +1843,23 @@ mod tests {
     fn lock_unlock_passive_target() {
         run(ClusterSpec::ringlet(2), |r| {
             let mut win = shared_window(r, 64);
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 0 {
                 // Passive target: rank 1 takes no action at all.
                 win.locked(r, 1, |w, r| {
                     w.put(r, 1, 0, &[42u8; 16]).unwrap();
-                });
-                r.send(1, 1, b"done");
+                })
+                .unwrap();
+                r.send(1, 1, b"done").unwrap();
             } else {
                 let mut sig = [0u8; 4];
-                r.recv(crate::Source::Rank(0), crate::TagSel::Value(1), &mut sig);
+                r.recv(crate::Source::Rank(0), crate::TagSel::Value(1), &mut sig)
+                    .unwrap();
                 let mut buf = [0u8; 16];
                 win.read_local(r, 0, &mut buf);
                 assert!(buf.iter().all(|&b| b == 42));
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
@@ -1817,7 +1873,7 @@ mod tests {
                 let src: Vec<u8> = (0..c.extent()).map(|i| i as u8).collect();
                 win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 1 {
                 // Extent is 3 full strides + one final block (no trailing
                 // gap): 56 bytes.
@@ -1834,7 +1890,7 @@ mod tests {
                     }
                 }
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
@@ -1847,18 +1903,18 @@ mod tests {
                 let mut buf = [0u8; 8];
                 assert!(win.get(r, 1, 60, &mut buf).is_err());
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
     #[test]
     fn alloc_mem_pool_alloc_free_cycle() {
         run(ClusterSpec::ringlet(1), |r| {
-            let a = r.alloc_mem(1024);
-            let b = r.alloc_mem(2048);
+            let a = r.alloc_mem(1024).unwrap();
+            let b = r.alloc_mem(2048).unwrap();
             assert_ne!(a.offset, b.offset);
             r.free_mem(a);
-            let c = r.alloc_mem(512);
+            let c = r.alloc_mem(512).unwrap();
             // First-fit reuses the freed block.
             assert_eq!(c.offset, 0);
             r.free_mem(b);
@@ -1876,7 +1932,7 @@ mod tests {
                 let img: Vec<u8> = (0..c.extent()).map(|i| (i ^ 0x3C) as u8).collect();
                 win.write_local(r, 0, &img);
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 0 {
                 let mut buf = vec![0u8; c.extent()];
                 win.get_typed(r, 1, 0, &c, 1, &mut buf, 0).unwrap();
@@ -1889,7 +1945,7 @@ mod tests {
                     core::ops::ControlFlow::Continue(())
                 });
             }
-            win.fence(r);
+            win.fence(r).unwrap();
         });
     }
 
@@ -1901,7 +1957,7 @@ mod tests {
             let dt = Datatype::vector(4096, 2, 4, &Datatype::double()); // 64 KiB
             let c = Committed::commit(&dt);
             let mut win = shared_window(r, 2 * c.extent());
-            win.fence(r);
+            win.fence(r).unwrap();
             let mut elapsed = SimDuration::ZERO;
             if r.rank() == 0 {
                 let mut buf = vec![0u8; c.extent()];
@@ -1909,7 +1965,7 @@ mod tests {
                 win.get_typed(r, 1, 0, &c, 1, &mut buf, 0).unwrap();
                 elapsed = r.now() - t0;
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             elapsed
         });
         // 4096 stalling reads would cost ~14 ms; remote-put stays ~1 ms.
@@ -1928,18 +1984,18 @@ mod tests {
             } else {
                 crate::tuning::Tuning::default().full_ff_comparison()
             };
-            let out = run(ClusterSpec::ringlet(2).with_tuning(tuning), move |r| {
+            let out = run(ClusterSpec::ringlet(2).tuning(tuning), move |r| {
                 // 512 KiB of 64-byte blocks: PIO pays per-block flushes,
                 // DMA pays one descriptor-list setup.
                 let dt = Datatype::vector(8192, 8, 16, &Datatype::double());
                 let c = Committed::commit(&dt);
                 let mut win = shared_window(r, c.extent() + 64);
-                win.fence(r);
+                win.fence(r).unwrap();
                 if r.rank() == 0 {
                     let src = vec![5u8; c.extent()];
                     win.put_typed(r, 1, 0, &c, 1, &src, 0).unwrap();
                 }
-                win.fence(r);
+                win.fence(r).unwrap();
                 r.now()
             });
             out[0]
@@ -1959,7 +2015,7 @@ mod tests {
                 let src: Vec<u8> = (0..c.extent()).map(|i| i as u8 + 1).collect();
                 win.put_typed_dma(r, 1, 0, &c, 1, &src, 0).unwrap();
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             if r.rank() == 1 {
                 let mut buf = vec![0u8; c.extent()];
                 win.read_local(r, 0, &mut buf);
@@ -1971,7 +2027,35 @@ mod tests {
                         .all(|(i, &b)| b == (at + i) as u8 + 1));
                 }
             }
-            win.fence(r);
+            win.fence(r).unwrap();
+        });
+    }
+
+    #[test]
+    fn iput_iget_roundtrip_with_overlap() {
+        run(ClusterSpec::ringlet(2), |r| {
+            let mut win = shared_window(r, 4096);
+            if r.rank() == 0 {
+                let mut req = win.iput(r, 1, 0, &[9u8; 64]).unwrap();
+                r.wait(&mut req).unwrap();
+            }
+            win.fence(r).unwrap();
+            if r.rank() == 1 {
+                let mut buf = [0u8; 64];
+                win.read_local(r, 0, &mut buf);
+                assert!(buf.iter().all(|&b| b == 9));
+            }
+            win.fence(r).unwrap();
+            if r.rank() == 0 {
+                let mut req = win.iget(r, 1, 0, 64).unwrap();
+                let t0 = r.now();
+                r.compute(SimDuration::from_ms(5));
+                let got = r.wait(&mut req).unwrap();
+                assert!(got.iter().all(|&b| b == 9));
+                // The read stalls hid entirely behind the compute block.
+                assert_eq!(r.now() - t0, SimDuration::from_ms(5));
+            }
+            win.fence(r).unwrap();
         });
     }
 
@@ -1982,7 +2066,7 @@ mod tests {
         let time_with_stride = |stride: usize| {
             let out = run(ClusterSpec::ringlet(2), move |r| {
                 let mut win = shared_window(r, 1 << 20);
-                win.fence(r);
+                win.fence(r).unwrap();
                 if r.rank() == 0 {
                     let data = [1u8; 8];
                     let mut off = 0;
@@ -1991,7 +2075,7 @@ mod tests {
                         off += stride;
                     }
                 }
-                win.fence(r);
+                win.fence(r).unwrap();
                 r.now()
             });
             out[0]

@@ -83,17 +83,32 @@ pub enum RecvBuf<'a> {
     },
 }
 
-/// An in-flight send (used by [`Rank::sendrecv`] to avoid rendezvous
-/// deadlock: start the send, service the receive, then finish).
+/// An in-flight send (used by [`Rank::sendrecv`] and the request engine
+/// to avoid rendezvous deadlock: start the send, service the receive or
+/// interleave compute, then finish).
 pub struct SendOp<'a> {
-    dst: usize,
-    data: SendData<'a>,
-    kind: SendOpKind,
+    pub(crate) dst: usize,
+    pub(crate) data: SendData<'a>,
+    pub(crate) kind: SendOpKind,
 }
 
-enum SendOpKind {
+impl SendOp<'_> {
+    /// True once the transfer is locally complete (eager path): no
+    /// rendezvous conversation remains.
+    pub fn is_done(&self) -> bool {
+        matches!(self.kind, SendOpKind::Done)
+    }
+}
+
+pub(crate) enum SendOpKind {
     Done,
-    Rendezvous { handle: u64 },
+    Rendezvous {
+        handle: u64,
+        /// Send-turn ticket on the pair ring (see
+        /// [`crate::runtime::PairRing`]): serialises concurrent sends to
+        /// the same destination in posted order.
+        ticket: u64,
+    },
 }
 
 /// Should this typed transfer use `direct_pack_ff`? Two-sided transfers
@@ -182,19 +197,25 @@ fn receiver_handle(h: u64) -> u64 {
 
 /// The sender side of the rendezvous protocol: wait for CTS, then stream
 /// the payload through the pair ring in chunks. Runs either on the rank's
-/// own thread ([`Rank::finish_send`]) or on a helper thread with a forked
-/// clock ([`Rank::sendrecv`] — MPI_Sendrecv semantics let both transfers
-/// progress concurrently).
-fn try_finish_send_inner(
+/// own thread ([`Rank::finish_send`]) or on an engine thread with a
+/// forked clock ([`Rank::sendrecv`], [`Rank::isend`] — the transfer
+/// progresses while the posting rank computes).
+pub(crate) fn finish_send_inner(
     world: &Arc<WorldState>,
     rank: usize,
     clock: &mut Clock,
     op: SendOp<'_>,
 ) -> Result<(), ScimpiError> {
-    let SendOpKind::Rendezvous { handle } = op.kind else {
+    let SendOpKind::Rendezvous { handle, ticket } = op.kind else {
         return Ok(());
     };
     let dst = op.dst;
+    let ring = world.ring(rank, dst);
+    // Serialise concurrent rendezvous sends to the same destination in
+    // posted order (real-time wait, zero virtual cost). The guard passes
+    // the turn on at every exit — error returns and panics included — so
+    // a failed send never wedges the pair.
+    let _turn = ring.await_turn(ticket);
     // Wait for clear-to-send (sender-side handle space), guarding against
     // the receiver dying before it answers.
     match world
@@ -212,7 +233,6 @@ fn try_finish_send_inner(
             }))
         }
     }
-    let ring = world.ring(rank, dst);
     let total = op.data.total_len();
     let chunk_size = ring.chunk;
     let data_start = clock.now();
@@ -459,11 +479,264 @@ fn try_finish_send_inner(
     Ok(())
 }
 
+/// Unpack `data` (a packed-stream chunk starting at stream offset `skip`)
+/// into the receive buffer, charging copy costs. `charge_copy` is false
+/// for short messages that are consumed in place.
+fn unpack_into(
+    world: &WorldState,
+    clock: &mut Clock,
+    into: &mut RecvBuf<'_>,
+    skip: usize,
+    data: &[u8],
+    charge_copy: bool,
+) {
+    match into {
+        RecvBuf::Bytes(buf) => {
+            assert!(
+                skip + data.len() <= buf.len(),
+                "receive buffer too small: {} < {}",
+                buf.len(),
+                skip + data.len()
+            );
+            buf[skip..skip + data.len()].copy_from_slice(data);
+            if charge_copy {
+                let cost = world
+                    .fabric
+                    .params()
+                    .cache
+                    .copy_cost(data.len(), data.len());
+                clock.advance(cost);
+            }
+        }
+        RecvBuf::Typed {
+            c,
+            count,
+            buf,
+            origin,
+        } => {
+            let total = c.size() * *count;
+            let ff_engine = use_ff(&world.tuning, c, total);
+            let stats = if ff_engine {
+                let mut source = SliceSource::new(data);
+                ff::unpack_ff(c, *count, buf, *origin, skip, data.len(), &mut source)
+                    .expect("SliceSource is infallible")
+            } else {
+                tree::unpack_range(c.datatype(), *count, buf, *origin, skip, data)
+            };
+            let cost = local_copy_cost(world, &stats, total.min(data.len().max(1)), ff_engine);
+            clock.advance(cost);
+        }
+    }
+}
+
+/// The receive protocol: claim an envelope through the posted-receive
+/// queue (`ticket` was registered by the caller at post time, in program
+/// order), then consume the eager payload or drive the rendezvous
+/// receiver side. Runs either on the rank's own thread
+/// ([`Rank::recv_into`]) or on an engine thread with a forked clock
+/// ([`Rank::irecv`]).
+pub(crate) fn recv_into_inner(
+    world: &Arc<WorldState>,
+    rank: usize,
+    clock: &mut Clock,
+    ticket: u64,
+    src: Source,
+    mut into: RecvBuf<'_>,
+) -> Result<RecvStatus, ScimpiError> {
+    let recv_start = clock.now();
+    if let RecvBuf::Typed { c, .. } = &into {
+        // The receiver resolves the same committed layout to unpack.
+        clock.advance(world.tuning.layout_resolve_cost(c));
+    }
+    let env = match src {
+        Source::Any => world.mailboxes[rank].match_recv_posted(ticket),
+        Source::Rank(peer) => loop {
+            if let Some(e) = world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE) {
+                break e;
+            }
+            if !world.peer_dead(peer) {
+                continue;
+            }
+            // Final drain: the message may have landed between the last
+            // poll slice and the death check.
+            if let Some(e) =
+                world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
+            {
+                break e;
+            }
+            world.mailboxes[rank].abandon_recv(ticket);
+            let err = world.declare_dead(clock, peer, "message");
+            return Err(world.escalate(err));
+        },
+    };
+    clock.merge(env.arrival);
+    clock.advance(world.tuning.ctrl_recv_cost);
+    match env.head {
+        Head::Eager { data, crc, .. } => {
+            let len = data.len();
+            if let Some(expect) = crc {
+                // Defensive re-verification of the sender-verified
+                // payload: a mismatch here means the framing itself is
+                // broken, not the fabric.
+                clock.advance(world.crc_cost(len));
+                if crc32(&data) != expect {
+                    obs::inc(obs::Counter::CorruptionsDetected);
+                    return Err(world.escalate(ScimpiError::DataCorruption {
+                        peer: env.src,
+                        what: "eager message",
+                        retransmits: 0,
+                    }));
+                }
+            }
+            unpack_into(
+                world,
+                clock,
+                &mut into,
+                0,
+                &data,
+                len > world.tuning.short_threshold,
+            );
+            if obs::is_enabled() {
+                obs::span(
+                    "p2p.recv",
+                    recv_start,
+                    clock.now(),
+                    vec![
+                        ("bytes", obs::Arg::U64(len as u64)),
+                        ("src", obs::Arg::U64(env.src as u64)),
+                        ("path", obs::Arg::Str("eager".into())),
+                    ],
+                );
+            }
+            Ok(RecvStatus {
+                src: env.src,
+                tag: env.tag,
+                len,
+            })
+        }
+        Head::Rts { size, handle } => {
+            // Clear-to-send.
+            clock.advance(world.tuning.ctrl_send_cost);
+            let cts_arrival = clock.now() + world.ctrl_latency(rank, env.src);
+            world.mailboxes[env.src].post_ctrl(
+                sender_handle(handle),
+                Ctrl::Cts {
+                    arrival: cts_arrival,
+                },
+            );
+            let ring = world.ring(env.src, rank);
+            let mut skip = 0usize;
+            loop {
+                let c = world
+                    .await_ctrl(rank, clock, receiver_handle(handle), env.src, "chunk")
+                    .map_err(|e| world.escalate(e))?;
+                let (slot, len, arrival, last, crc) = match c {
+                    Ctrl::Chunk {
+                        slot,
+                        len,
+                        blocks: _,
+                        arrival,
+                        last,
+                        crc,
+                    } => (slot, len, arrival, last, crc),
+                    Ctrl::Abort {
+                        arrival,
+                        retransmits,
+                    } => {
+                        // The sender detected corruption it could not
+                        // repair and gave up on the transfer.
+                        clock.merge(arrival);
+                        clock.advance(world.tuning.ctrl_recv_cost);
+                        return Err(world.escalate(ScimpiError::DataCorruption {
+                            peer: env.src,
+                            what: "rendezvous transfer",
+                            retransmits,
+                        }));
+                    }
+                    other => {
+                        return Err(world.escalate(ScimpiError::ProtocolViolation {
+                            expected: "chunk",
+                            got: format!("{other:?}"),
+                        }));
+                    }
+                };
+                clock.merge(arrival);
+                clock.advance(world.tuning.ctrl_recv_cost);
+                let slot_off = ring.slot_offset(slot);
+                // Unpack straight out of the (receiver-local) ring.
+                let mut data = vec![0u8; len];
+                ring.region
+                    .segment()
+                    .mem()
+                    .read(slot_off, &mut data)
+                    .expect("slot read in range");
+                if let Some(expect) = crc {
+                    // EndToEnd framing: verify the slot image and
+                    // acknowledge. A NACK keeps the slot held so the
+                    // sender can rewrite it in place.
+                    clock.advance(world.crc_cost(len));
+                    let ok = crc32(&data) == expect;
+                    clock.advance(world.tuning.ctrl_send_cost);
+                    let ack_arrival = clock.now() + world.ctrl_latency(rank, env.src);
+                    world.mailboxes[env.src].post_ctrl(
+                        sender_handle(handle),
+                        Ctrl::ChunkAck {
+                            arrival: ack_arrival,
+                            ok,
+                        },
+                    );
+                    if !ok {
+                        obs::inc(obs::Counter::CorruptionsDetected);
+                        obs::instant(
+                            "ft.integrity.detected",
+                            clock.now(),
+                            vec![
+                                ("path", obs::Arg::Str("rendezvous".into())),
+                                ("peer", obs::Arg::U64(env.src as u64)),
+                            ],
+                        );
+                        continue; // await the retransmission (or abort)
+                    }
+                }
+                unpack_into(world, clock, &mut into, skip, &data, true);
+                ring.release(slot, clock.now());
+                skip += len;
+                if last {
+                    break;
+                }
+            }
+            if obs::is_enabled() {
+                obs::span(
+                    "p2p.recv",
+                    recv_start,
+                    clock.now(),
+                    vec![
+                        ("bytes", obs::Arg::U64(size as u64)),
+                        ("src", obs::Arg::U64(env.src as u64)),
+                        ("path", obs::Arg::Str("rendezvous".into())),
+                    ],
+                );
+            }
+            Ok(RecvStatus {
+                src: env.src,
+                tag: env.tag,
+                len: size,
+            })
+        }
+    }
+}
+
 impl Rank {
     /// Blocking standard-mode send (`MPI_Send`) of contiguous bytes.
-    pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) {
-        let op = self.start_send(dst, tag, SendData::Bytes(data));
-        self.finish_send(op);
+    ///
+    /// Errors detected by the protocol come back through the `Result`
+    /// after passing the configured error handler: under the default
+    /// [`crate::ErrorMode::ErrorsAreFatal`] the rank panics instead.
+    /// Append `.done()` (from [`crate::prelude`]) at call sites that
+    /// treat any surfaced error as fatal.
+    pub fn send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<(), ScimpiError> {
+        let op = self.start_send(dst, tag, SendData::Bytes(data))?;
+        self.finish_send(op)
     }
 
     /// Blocking send of a committed datatype.
@@ -475,7 +748,7 @@ impl Rank {
         count: usize,
         buf: &[u8],
         origin: usize,
-    ) {
+    ) -> Result<(), ScimpiError> {
         let op = self.start_send(
             dst,
             tag,
@@ -485,22 +758,14 @@ impl Rank {
                 buf,
                 origin,
             },
-        );
-        self.finish_send(op);
+        )?;
+        self.finish_send(op)
     }
 
     /// Start a send: eager sends complete immediately, rendezvous sends
-    /// post their RTS and return an op to [`Rank::finish_send`].
-    pub fn start_send<'a>(&mut self, dst: usize, tag: Tag, data: SendData<'a>) -> SendOp<'a> {
-        match self.try_start_send(dst, tag, data) {
-            Ok(op) => op,
-            Err(e) => panic!("send failed: {e}"),
-        }
-    }
-
-    /// Fallible variant of [`Rank::start_send`]: eager sends can detect
-    /// unrepairable corruption while starting.
-    pub fn try_start_send<'a>(
+    /// post their RTS and return an op for [`Rank::finish_send`]. Eager
+    /// sends can detect unrepairable corruption while starting.
+    pub fn start_send<'a>(
         &mut self,
         dst: usize,
         tag: Tag,
@@ -541,6 +806,10 @@ impl Rank {
         } else {
             obs::inc(obs::Counter::RendezvousSends);
             let handle = self.world.handle();
+            // Take the pair's send-turn ticket here, on the posting
+            // rank's own thread, so turn order is program order even when
+            // the chunk loop later runs on an engine thread.
+            let ticket = self.world.ring(self.rank, dst).take_turn_ticket();
             self.clock.advance(t.ctrl_send_cost);
             let arrival = self.clock.now() + self.world.ctrl_latency(self.rank, dst);
             self.world.mailboxes[dst].post(Envelope {
@@ -562,53 +831,17 @@ impl Rank {
             Ok(SendOp {
                 dst,
                 data,
-                kind: SendOpKind::Rendezvous { handle },
+                kind: SendOpKind::Rendezvous { handle, ticket },
             })
         }
     }
 
-    /// Complete a send started with [`Rank::start_send`].
-    pub fn finish_send(&mut self, op: SendOp<'_>) {
-        if let Err(e) = self.try_finish_send(op) {
-            panic!("send failed: {e}");
-        }
-    }
-
-    /// Fallible variant of [`Rank::finish_send`]: under
+    /// Complete a send started with [`Rank::start_send`]: under
     /// [`crate::ErrorMode::ErrorsReturn`] communication errors come back
     /// as values instead of panicking.
-    pub fn try_finish_send(&mut self, op: SendOp<'_>) -> Result<(), ScimpiError> {
+    pub fn finish_send(&mut self, op: SendOp<'_>) -> Result<(), ScimpiError> {
         let world = Arc::clone(&self.world);
-        try_finish_send_inner(&world, self.rank, &mut self.clock, op)
-    }
-
-    /// Fallible variant of [`Rank::send`].
-    pub fn try_send(&mut self, dst: usize, tag: Tag, data: &[u8]) -> Result<(), ScimpiError> {
-        let op = self.try_start_send(dst, tag, SendData::Bytes(data))?;
-        self.try_finish_send(op)
-    }
-
-    /// Fallible variant of [`Rank::send_typed`].
-    pub fn try_send_typed(
-        &mut self,
-        dst: usize,
-        tag: Tag,
-        c: &Committed,
-        count: usize,
-        buf: &[u8],
-        origin: usize,
-    ) -> Result<(), ScimpiError> {
-        let op = self.try_start_send(
-            dst,
-            tag,
-            SendData::Typed {
-                c,
-                count,
-                buf,
-                origin,
-            },
-        )?;
-        self.try_finish_send(op)
+        finish_send_inner(&world, self.rank, &mut self.clock, op)
     }
 
     fn send_eager(&mut self, dst: usize, tag: Tag, data: &SendData<'_>) -> Result<(), ScimpiError> {
@@ -738,7 +971,18 @@ impl Rank {
     }
 
     /// Blocking receive (`MPI_Recv`) into contiguous bytes.
-    pub fn recv(&mut self, src: Source, tag: TagSel, buf: &mut [u8]) -> RecvStatus {
+    ///
+    /// With a specific [`Source::Rank`], a sender that dies before its
+    /// message (or the next rendezvous chunk) arrives is detected and
+    /// reported as [`ScimpiError::PeerDead`] after the deterministic
+    /// [`crate::death_delay`] virtual-time schedule. `Source::Any` has no
+    /// single peer to monitor, so it blocks until a message arrives.
+    pub fn recv(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        buf: &mut [u8],
+    ) -> Result<RecvStatus, ScimpiError> {
         self.recv_into(src, tag, RecvBuf::Bytes(buf))
     }
 
@@ -751,7 +995,7 @@ impl Rank {
         count: usize,
         buf: &mut [u8],
         origin: usize,
-    ) -> RecvStatus {
+    ) -> Result<RecvStatus, ScimpiError> {
         self.recv_into(
             src,
             tag,
@@ -764,288 +1008,17 @@ impl Rank {
         )
     }
 
-    /// Fallible variant of [`Rank::recv`].
-    pub fn try_recv(
+    /// Receive into either buffer shape (see [`Rank::recv`] for the
+    /// error contract).
+    pub fn recv_into(
         &mut self,
         src: Source,
         tag: TagSel,
-        buf: &mut [u8],
+        into: RecvBuf<'_>,
     ) -> Result<RecvStatus, ScimpiError> {
-        self.try_recv_into(src, tag, RecvBuf::Bytes(buf))
-    }
-
-    /// Fallible variant of [`Rank::recv_typed`].
-    pub fn try_recv_typed(
-        &mut self,
-        src: Source,
-        tag: TagSel,
-        c: &Committed,
-        count: usize,
-        buf: &mut [u8],
-        origin: usize,
-    ) -> Result<RecvStatus, ScimpiError> {
-        self.try_recv_into(
-            src,
-            tag,
-            RecvBuf::Typed {
-                c,
-                count,
-                buf,
-                origin,
-            },
-        )
-    }
-
-    /// Receive into either buffer shape.
-    pub fn recv_into(&mut self, src: Source, tag: TagSel, into: RecvBuf<'_>) -> RecvStatus {
-        match self.try_recv_into(src, tag, into) {
-            Ok(st) => st,
-            Err(e) => panic!("receive failed: {e}"),
-        }
-    }
-
-    /// Fallible receive into either buffer shape.
-    ///
-    /// With a specific [`Source::Rank`], a sender that dies before its
-    /// message (or the next rendezvous chunk) arrives is detected and
-    /// reported as [`ScimpiError::PeerDead`] after the deterministic
-    /// [`crate::death_delay`] virtual-time schedule. `Source::Any` has no
-    /// single peer to monitor, so it blocks until a message arrives.
-    pub fn try_recv_into(
-        &mut self,
-        src: Source,
-        tag: TagSel,
-        mut into: RecvBuf<'_>,
-    ) -> Result<RecvStatus, ScimpiError> {
-        let recv_start = self.clock.now();
-        if let RecvBuf::Typed { c, .. } = &into {
-            // The receiver resolves the same committed layout to unpack.
-            self.clock.advance(self.world.tuning.layout_resolve_cost(c));
-        }
-        let env = match src {
-            Source::Any => self.world.mailboxes[self.rank].match_recv(src, tag),
-            Source::Rank(peer) => loop {
-                if let Some(e) =
-                    self.world.mailboxes[self.rank].match_recv_for(src, tag, POLL_SLICE)
-                {
-                    break e;
-                }
-                if !self.world.peer_dead(peer) {
-                    continue;
-                }
-                // Final drain: the message may have landed between the
-                // last poll slice and the death check.
-                if let Some(e) = self.world.mailboxes[self.rank].match_recv_for(
-                    src,
-                    tag,
-                    std::time::Duration::ZERO,
-                ) {
-                    break e;
-                }
-                let err = self.world.declare_dead(&mut self.clock, peer, "message");
-                return Err(self.world.escalate(err));
-            },
-        };
-        self.clock.merge(env.arrival);
-        self.clock.advance(self.world.tuning.ctrl_recv_cost);
-        match env.head {
-            Head::Eager { data, crc, .. } => {
-                let len = data.len();
-                if let Some(expect) = crc {
-                    // Defensive re-verification of the sender-verified
-                    // payload: a mismatch here means the framing itself is
-                    // broken, not the fabric.
-                    self.clock.advance(self.world.crc_cost(len));
-                    if crc32(&data) != expect {
-                        obs::inc(obs::Counter::CorruptionsDetected);
-                        return Err(self.world.escalate(ScimpiError::DataCorruption {
-                            peer: env.src,
-                            what: "eager message",
-                            retransmits: 0,
-                        }));
-                    }
-                }
-                self.unpack_into(&mut into, 0, &data, len > self.world.tuning.short_threshold);
-                if obs::is_enabled() {
-                    obs::span(
-                        "p2p.recv",
-                        recv_start,
-                        self.clock.now(),
-                        vec![
-                            ("bytes", obs::Arg::U64(len as u64)),
-                            ("src", obs::Arg::U64(env.src as u64)),
-                            ("path", obs::Arg::Str("eager".into())),
-                        ],
-                    );
-                }
-                Ok(RecvStatus {
-                    src: env.src,
-                    tag: env.tag,
-                    len,
-                })
-            }
-            Head::Rts { size, handle } => {
-                // Clear-to-send.
-                self.clock.advance(self.world.tuning.ctrl_send_cost);
-                let cts_arrival = self.clock.now() + self.world.ctrl_latency(self.rank, env.src);
-                self.world.mailboxes[env.src].post_ctrl(
-                    sender_handle(handle),
-                    Ctrl::Cts {
-                        arrival: cts_arrival,
-                    },
-                );
-                let ring = self.world.ring(env.src, self.rank);
-                let world = Arc::clone(&self.world);
-                let mut skip = 0usize;
-                loop {
-                    let c = world
-                        .await_ctrl(
-                            self.rank,
-                            &mut self.clock,
-                            receiver_handle(handle),
-                            env.src,
-                            "chunk",
-                        )
-                        .map_err(|e| world.escalate(e))?;
-                    let (slot, len, arrival, last, crc) = match c {
-                        Ctrl::Chunk {
-                            slot,
-                            len,
-                            blocks: _,
-                            arrival,
-                            last,
-                            crc,
-                        } => (slot, len, arrival, last, crc),
-                        Ctrl::Abort {
-                            arrival,
-                            retransmits,
-                        } => {
-                            // The sender detected corruption it could not
-                            // repair and gave up on the transfer.
-                            self.clock.merge(arrival);
-                            self.clock.advance(self.world.tuning.ctrl_recv_cost);
-                            return Err(world.escalate(ScimpiError::DataCorruption {
-                                peer: env.src,
-                                what: "rendezvous transfer",
-                                retransmits,
-                            }));
-                        }
-                        other => {
-                            return Err(world.escalate(ScimpiError::ProtocolViolation {
-                                expected: "chunk",
-                                got: format!("{other:?}"),
-                            }));
-                        }
-                    };
-                    self.clock.merge(arrival);
-                    self.clock.advance(self.world.tuning.ctrl_recv_cost);
-                    let slot_off = ring.slot_offset(slot);
-                    // Unpack straight out of the (receiver-local) ring.
-                    let mut data = vec![0u8; len];
-                    ring.region
-                        .segment()
-                        .mem()
-                        .read(slot_off, &mut data)
-                        .expect("slot read in range");
-                    if let Some(expect) = crc {
-                        // EndToEnd framing: verify the slot image and
-                        // acknowledge. A NACK keeps the slot held so the
-                        // sender can rewrite it in place.
-                        self.clock.advance(self.world.crc_cost(len));
-                        let ok = crc32(&data) == expect;
-                        self.clock.advance(self.world.tuning.ctrl_send_cost);
-                        let ack_arrival = self.clock.now() + world.ctrl_latency(self.rank, env.src);
-                        world.mailboxes[env.src].post_ctrl(
-                            sender_handle(handle),
-                            Ctrl::ChunkAck {
-                                arrival: ack_arrival,
-                                ok,
-                            },
-                        );
-                        if !ok {
-                            obs::inc(obs::Counter::CorruptionsDetected);
-                            obs::instant(
-                                "ft.integrity.detected",
-                                self.clock.now(),
-                                vec![
-                                    ("path", obs::Arg::Str("rendezvous".into())),
-                                    ("peer", obs::Arg::U64(env.src as u64)),
-                                ],
-                            );
-                            continue; // await the retransmission (or abort)
-                        }
-                    }
-                    self.unpack_into(&mut into, skip, &data, true);
-                    ring.release(slot, self.clock.now());
-                    skip += len;
-                    if last {
-                        break;
-                    }
-                }
-                if obs::is_enabled() {
-                    obs::span(
-                        "p2p.recv",
-                        recv_start,
-                        self.clock.now(),
-                        vec![
-                            ("bytes", obs::Arg::U64(size as u64)),
-                            ("src", obs::Arg::U64(env.src as u64)),
-                            ("path", obs::Arg::Str("rendezvous".into())),
-                        ],
-                    );
-                }
-                Ok(RecvStatus {
-                    src: env.src,
-                    tag: env.tag,
-                    len: size,
-                })
-            }
-        }
-    }
-
-    /// Unpack `data` (a packed-stream chunk starting at stream offset
-    /// `skip`) into the receive buffer, charging copy costs. `charge_copy`
-    /// is false for short messages that are consumed in place.
-    fn unpack_into(&mut self, into: &mut RecvBuf<'_>, skip: usize, data: &[u8], charge_copy: bool) {
-        match into {
-            RecvBuf::Bytes(buf) => {
-                assert!(
-                    skip + data.len() <= buf.len(),
-                    "receive buffer too small: {} < {}",
-                    buf.len(),
-                    skip + data.len()
-                );
-                buf[skip..skip + data.len()].copy_from_slice(data);
-                if charge_copy {
-                    let cost = self
-                        .world
-                        .fabric
-                        .params()
-                        .cache
-                        .copy_cost(data.len(), data.len());
-                    self.clock.advance(cost);
-                }
-            }
-            RecvBuf::Typed {
-                c,
-                count,
-                buf,
-                origin,
-            } => {
-                let total = c.size() * *count;
-                let ff_engine = use_ff(&self.world.tuning, c, total);
-                let stats = if ff_engine {
-                    let mut source = SliceSource::new(data);
-                    ff::unpack_ff(c, *count, buf, *origin, skip, data.len(), &mut source)
-                        .expect("SliceSource is infallible")
-                } else {
-                    tree::unpack_range(c.datatype(), *count, buf, *origin, skip, data)
-                };
-                let cost =
-                    local_copy_cost(&self.world, &stats, total.min(data.len().max(1)), ff_engine);
-                self.clock.advance(cost);
-            }
-        }
+        let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
+        let world = Arc::clone(&self.world);
+        recv_into_inner(&world, self.rank, &mut self.clock, ticket, src, into)
     }
 
     /// Combined send+receive (`MPI_Sendrecv`): deadlock-free even when all
@@ -1057,6 +1030,10 @@ impl Rank {
     /// promises (and the only way a symmetric exchange can avoid circular
     /// waits without an asynchronous progress engine). On completion the
     /// rank's clock merges the later of the two finish times.
+    ///
+    /// If both halves fail, the send-side error wins (it is reported
+    /// first in MPI practice too — the sendrecv completes as a unit
+    /// either way).
     pub fn sendrecv(
         &mut self,
         dst: usize,
@@ -1065,39 +1042,25 @@ impl Rank {
         src: Source,
         rtag: TagSel,
         rbuf: RecvBuf<'_>,
-    ) -> RecvStatus {
-        match self.try_sendrecv(dst, stag, sdata, src, rtag, rbuf) {
-            Ok(st) => st,
-            Err(e) => panic!("sendrecv failed: {e}"),
-        }
-    }
-
-    /// Fallible variant of [`Rank::sendrecv`]. If both halves fail, the
-    /// send-side error wins (it is reported first in MPI practice too —
-    /// the sendrecv completes as a unit either way).
-    pub fn try_sendrecv(
-        &mut self,
-        dst: usize,
-        stag: Tag,
-        sdata: SendData<'_>,
-        src: Source,
-        rtag: TagSel,
-        rbuf: RecvBuf<'_>,
     ) -> Result<RecvStatus, ScimpiError> {
-        let op = self.try_start_send(dst, stag, sdata)?;
-        if matches!(op.kind, SendOpKind::Done) {
-            // Eager sends already completed locally.
-            return self.try_recv_into(src, rtag, rbuf);
-        }
+        let op = self.start_send(dst, stag, sdata)?;
+        let ticket = self.world.mailboxes[self.rank].post_recv(src, rtag);
         let world = Arc::clone(&self.world);
         let rank = self.rank;
+        if op.is_done() {
+            // Eager sends already completed locally.
+            return recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf);
+        }
         let mut send_clock = self.clock.clone();
         std::thread::scope(|scope| {
-            let sender = scope.spawn(move || {
-                let res = try_finish_send_inner(&world, rank, &mut send_clock, op);
-                (res, send_clock)
+            let sender = scope.spawn({
+                let world = Arc::clone(&world);
+                move || {
+                    let res = finish_send_inner(&world, rank, &mut send_clock, op);
+                    (res, send_clock)
+                }
             });
-            let status = self.try_recv_into(src, rtag, rbuf);
+            let status = recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf);
             let (send_res, send_clock) = sender.join().expect("send side panicked");
             self.clock.merge(send_clock.now());
             send_res?;
@@ -1125,10 +1088,10 @@ mod tests {
     fn eager_send_recv_roundtrip() {
         run(ClusterSpec::ringlet(2), |r| {
             if r.rank() == 0 {
-                r.send(1, 7, b"hello sci");
+                r.send(1, 7, b"hello sci").unwrap();
             } else {
                 let mut buf = [0u8; 9];
-                let st = r.recv(Source::Rank(0), TagSel::Value(7), &mut buf);
+                let st = r.recv(Source::Rank(0), TagSel::Value(7), &mut buf).unwrap();
                 assert_eq!(&buf, b"hello sci");
                 assert_eq!(
                     st,
@@ -1149,10 +1112,10 @@ mod tests {
         let expect = data.clone();
         run(ClusterSpec::ringlet(2), move |r| {
             if r.rank() == 0 {
-                r.send(1, 1, &data);
+                r.send(1, 1, &data).unwrap();
             } else {
                 let mut buf = vec![0u8; 200_000];
-                let st = r.recv(Source::Any, TagSel::Any, &mut buf);
+                let st = r.recv(Source::Any, TagSel::Any, &mut buf).unwrap();
                 assert_eq!(st.len, 200_000);
                 assert_eq!(buf, expect);
             }
@@ -1169,14 +1132,15 @@ mod tests {
             let c = Committed::commit(&dt);
             let src_buf: Vec<u8> = (0..dt.extent()).map(|i| (i * 7) as u8).collect();
             let expected = src_buf.clone();
-            let spec = ClusterSpec::ringlet(2).with_tuning(tuning);
+            let spec = ClusterSpec::ringlet(2).tuning(tuning);
             let c2 = c.clone();
             run(spec, move |r| {
                 if r.rank() == 0 {
-                    r.send_typed(1, 3, &c2, 1, &src_buf, 0);
+                    r.send_typed(1, 3, &c2, 1, &src_buf, 0).unwrap();
                 } else {
                     let mut buf = vec![0u8; c2.extent()];
-                    r.recv_typed(Source::Rank(0), TagSel::Value(3), &c2, 1, &mut buf, 0);
+                    r.recv_typed(Source::Rank(0), TagSel::Value(3), &c2, 1, &mut buf, 0)
+                        .unwrap();
                     // Data bytes match; gaps remain zero.
                     let mut ok_data = true;
                     mpi_datatype::tree::for_each_segment(c2.datatype(), 1, |d, l| {
@@ -1199,14 +1163,15 @@ mod tests {
         let run_mode = |tuning: Tuning| {
             let c = Committed::commit(&dt);
             let src_buf = vec![7u8; dt.extent()];
-            let out = run(ClusterSpec::ringlet(2).with_tuning(tuning), move |r| {
+            let out = run(ClusterSpec::ringlet(2).tuning(tuning), move |r| {
                 if r.rank() == 0 {
-                    r.send_typed(1, 0, &c, 1, &src_buf, 0);
+                    r.send_typed(1, 0, &c, 1, &src_buf, 0).unwrap();
                     r.barrier();
                     r.now()
                 } else {
                     let mut buf = vec![0u8; c.extent()];
-                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0);
+                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0)
+                        .unwrap();
                     r.barrier();
                     r.now()
                 }
@@ -1230,14 +1195,15 @@ mod tests {
         let run_mode = |tuning: Tuning| {
             let c = Committed::commit(&dt);
             let src_buf = vec![3u8; dt.extent()];
-            let out = run(ClusterSpec::ringlet(2).with_tuning(tuning), move |r| {
+            let out = run(ClusterSpec::ringlet(2).tuning(tuning), move |r| {
                 if r.rank() == 0 {
-                    r.send_typed(1, 0, &c, 1, &src_buf, 0);
+                    r.send_typed(1, 0, &c, 1, &src_buf, 0).unwrap();
                     r.barrier();
                     r.now()
                 } else {
                     let mut buf = vec![0u8; c.extent()];
-                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0);
+                    r.recv_typed(Source::Rank(0), TagSel::Value(0), &c, 1, &mut buf, 0)
+                        .unwrap();
                     r.barrier();
                     r.now()
                 }
@@ -1267,14 +1233,16 @@ mod tests {
             let mut buf = vec![0u8; len];
             let dst = (r.rank() + 1) % r.size();
             let src = (r.rank() + r.size() - 1) % r.size();
-            let st = r.sendrecv(
-                dst,
-                5,
-                SendData::Bytes(&data),
-                Source::Rank(src),
-                TagSel::Value(5),
-                RecvBuf::Bytes(&mut buf),
-            );
+            let st = r
+                .sendrecv(
+                    dst,
+                    5,
+                    SendData::Bytes(&data),
+                    Source::Rank(src),
+                    TagSel::Value(5),
+                    RecvBuf::Bytes(&mut buf),
+                )
+                .unwrap();
             assert_eq!(st.src, src);
             buf.iter().all(|&b| b == src as u8)
         });
@@ -1286,12 +1254,12 @@ mod tests {
         run(ClusterSpec::ringlet(2), |r| {
             if r.rank() == 0 {
                 for i in 0..20u8 {
-                    r.send(1, 9, &[i; 16]);
+                    r.send(1, 9, &[i; 16]).unwrap();
                 }
             } else {
                 for i in 0..20u8 {
                     let mut buf = [0u8; 16];
-                    r.recv(Source::Rank(0), TagSel::Value(9), &mut buf);
+                    r.recv(Source::Rank(0), TagSel::Value(9), &mut buf).unwrap();
                     assert_eq!(buf[0], i, "message overtook");
                 }
             }
@@ -1302,12 +1270,12 @@ mod tests {
     fn wildcard_recv_matches_any_sender() {
         run(ClusterSpec::ringlet(4), |r| {
             if r.rank() != 0 {
-                r.send(0, r.rank() as Tag, &[r.rank() as u8; 4]);
+                r.send(0, r.rank() as Tag, &[r.rank() as u8; 4]).unwrap();
             } else {
                 let mut seen = [false; 4];
                 for _ in 0..3 {
                     let mut buf = [0u8; 4];
-                    let st = r.recv(Source::Any, TagSel::Any, &mut buf);
+                    let st = r.recv(Source::Any, TagSel::Any, &mut buf).unwrap();
                     assert_eq!(st.tag as usize, st.src);
                     seen[st.src] = true;
                 }
@@ -1322,11 +1290,11 @@ mod tests {
         let time_for = |spec: ClusterSpec| {
             let out = run(spec, move |r| {
                 if r.rank() == 0 {
-                    r.send(1, 0, &vec![1u8; len]);
+                    r.send(1, 0, &vec![1u8; len]).unwrap();
                     r.barrier();
                 } else {
                     let mut buf = vec![0u8; len];
-                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
                     r.barrier();
                 }
                 r.now()
@@ -1345,7 +1313,7 @@ mod tests {
     fn send_to_invalid_rank_panics() {
         run(ClusterSpec::ringlet(2), |r| {
             if r.rank() == 0 {
-                r.send(5, 0, b"x");
+                r.send(5, 0, b"x").unwrap();
             }
         });
     }

@@ -1,0 +1,848 @@
+//! Nonblocking request engine: `isend`/`irecv`/`ialltoall` and the
+//! `wait`/`test`/`waitall`/`waitany` completion surface.
+//!
+//! # Overlap model
+//!
+//! A nonblocking operation forks the posting rank's [`simclock::Clock`]
+//! at post time and drives the transfer protocol on an *engine thread*
+//! against the fork, while the rank's own clock keeps advancing through
+//! [`Rank::compute`]. Completion merges the fork back:
+//!
+//! ```text
+//! completion = max(compute frontier, link-drain time of the transfer)
+//! ```
+//!
+//! which is exactly the overlap a real asynchronous progress engine
+//! (or NIC-driven RDMA) buys — communication hides behind computation
+//! up to the point where the wire is the bottleneck. The virtual time
+//! saved relative to a blocking call, `min(end, now) - posted_at`, is
+//! accumulated in the [`obs::Counter::OverlapSavedNs`] counter.
+//!
+//! Everything stays deterministic: the engine thread charges cost to its
+//! forked clock only, turn tickets and receive tickets are taken on the
+//! posting rank's own thread at post time (program order — see
+//! [`crate::mailbox::Mailbox::post_recv`] and the send-turn ticketing on
+//! `PairRing`), and completion verdicts compare virtual times, never
+//! real ones. Same seed, same answer, bit for bit.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! post (isend/irecv/...) ──► Running ──wait/test──► Done
+//!          │                    │
+//!          │  eager / iput      │ drop unwaited
+//!          ▼                    ▼
+//!        Ready ────────────► DropBin (reaped at the next compute /
+//!                            barrier / teardown — no virtual time lost)
+//! ```
+//!
+//! Dropping a request without waiting is *allowed* (fire-and-forget
+//! puts/sends): the drop joins the engine thread — so the peer is never
+//! left mid-handshake — and parks the completion time in the rank's
+//! [`DropBin`]; the next synchronisation point merges it. A dropped
+//! request that completed with an error trips a debug assertion (the
+//! error would otherwise vanish silently) and is counted under
+//! [`obs::Counter::RequestsCompletedByDrop`] either way.
+//!
+//! See `docs/ASYNC.md` for the full narrative and the migration table
+//! from the old `try_*` API.
+
+use crate::error::ScimpiError;
+use crate::mailbox::{Source, TagSel};
+use crate::p2p::{finish_send_inner, recv_into_inner, RecvBuf, RecvStatus, SendData, SendOpKind};
+use crate::runtime::Rank;
+use mpi_datatype::Committed;
+use simclock::{Clock, SimTime};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Completion times of requests that were dropped unwaited. Engine
+/// threads deposit here from [`Request::drop`]; the owning rank drains
+/// it at every synchronisation point ([`Rank::compute`],
+/// [`Rank::barrier`], teardown) so the virtual time of a
+/// fire-and-forget transfer is never lost.
+#[derive(Default)]
+pub struct DropBin {
+    times: Mutex<Vec<SimTime>>,
+}
+
+impl DropBin {
+    fn push(&self, t: SimTime) {
+        self.times.lock().unwrap().push(t);
+    }
+
+    fn drain(&self) -> Vec<SimTime> {
+        std::mem::take(&mut *self.times.lock().unwrap())
+    }
+}
+
+/// A completed receive: the matched status plus the received bytes.
+///
+/// `irecv` cannot borrow the destination buffer for the lifetime of the
+/// transfer (the engine thread outlives the call), so the payload lands
+/// in an owned buffer handed back at completion. For
+/// [`Rank::irecv`] the data is truncated to the received length; for
+/// [`Rank::irecv_typed`] it is the full typed extent (gaps zeroed).
+#[derive(Clone, Debug)]
+pub struct RecvDone {
+    /// Matched source/tag/length.
+    pub status: RecvStatus,
+    /// The received payload.
+    pub data: Vec<u8>,
+}
+
+/// What an in-flight isend owns (the engine thread needs `'static`
+/// data; borrowing the caller's buffer would tie the request to it).
+enum OwnedSend {
+    Bytes(Vec<u8>),
+    Typed {
+        c: Committed,
+        count: usize,
+        buf: Vec<u8>,
+        origin: usize,
+    },
+}
+
+impl OwnedSend {
+    fn as_data(&self) -> SendData<'_> {
+        match self {
+            OwnedSend::Bytes(b) => SendData::Bytes(b),
+            OwnedSend::Typed {
+                c,
+                count,
+                buf,
+                origin,
+            } => SendData::Typed {
+                c,
+                count: *count,
+                buf,
+                origin: *origin,
+            },
+        }
+    }
+}
+
+enum State<T> {
+    /// The transfer is being driven on an engine thread against a forked
+    /// clock; the handle yields the fork's final state and the result.
+    Running(JoinHandle<(Clock, Result<T, ScimpiError>)>),
+    /// The transfer's virtual end time is known but the completion has
+    /// not been folded into the rank's clock yet.
+    Ready(SimTime, Result<T, ScimpiError>),
+    /// Completion observed through `wait`/`test`; re-waiting returns the
+    /// stored result (idempotent, like waiting an inactive MPI request).
+    Done(SimTime, Result<T, ScimpiError>),
+}
+
+/// A nonblocking communication request (`MPI_Request`).
+///
+/// Obtain one from [`Rank::isend`], [`Rank::irecv`],
+/// [`Rank::ialltoall`], `Window::iput`/`iget`, or a persistent
+/// [`PersistentSend::start`]/[`PersistentRecv::start`]; complete it with
+/// [`Rank::wait`]/[`Rank::test`]/[`Rank::waitall`]/[`Rank::waitany`].
+/// Dropping it unwaited is safe (see the module docs).
+#[must_use = "a request completes the rank's virtual time only through wait/test or its drop bin"]
+pub struct Request<T> {
+    state: Option<State<T>>,
+    /// Virtual time at which the operation was posted.
+    posted_at: SimTime,
+    /// Operation kind for the lifecycle span ("isend", "irecv", ...).
+    kind: &'static str,
+    drop_bin: Arc<DropBin>,
+}
+
+impl<T: Send + 'static> Request<T> {
+    /// An already-complete request (eager sends, posted-store `iput`).
+    pub(crate) fn ready(
+        rank: &Rank,
+        kind: &'static str,
+        posted_at: SimTime,
+        end: SimTime,
+        result: Result<T, ScimpiError>,
+    ) -> Self {
+        Request {
+            state: Some(State::Ready(end, result)),
+            posted_at,
+            kind,
+            drop_bin: Arc::clone(&rank.drop_bin),
+        }
+    }
+
+    /// A request driven by `f` on an engine thread against `clock` (a
+    /// fork of the rank's clock taken at post time).
+    pub(crate) fn spawn<F>(
+        rank: &Rank,
+        kind: &'static str,
+        posted_at: SimTime,
+        mut clock: Clock,
+        f: F,
+    ) -> Self
+    where
+        F: FnOnce(&mut Clock) -> Result<T, ScimpiError> + Send + 'static,
+    {
+        let id = rank.rank as u32;
+        let handle = std::thread::spawn(move || {
+            obs::set_thread_rank(id);
+            let res = f(&mut clock);
+            (clock, res)
+        });
+        Request {
+            state: Some(State::Running(handle)),
+            posted_at,
+            kind,
+            drop_bin: Arc::clone(&rank.drop_bin),
+        }
+    }
+
+    /// Join the engine thread if still running, leaving the state at
+    /// `Ready` or `Done`. Blocks real time only; the completion verdict
+    /// stays a pure virtual-time comparison.
+    fn settle(&mut self) {
+        if let Some(State::Running(_)) = self.state {
+            let Some(State::Running(handle)) = self.state.take() else {
+                unreachable!()
+            };
+            let (clock, res) = match handle.join() {
+                Ok(v) => v,
+                // The engine thread panicked (ErrorsAreFatal escalation):
+                // the run is being torn down — propagate.
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            self.state = Some(State::Ready(clock.now(), res));
+        }
+    }
+
+    fn end_time(&mut self) -> SimTime {
+        self.settle();
+        match self.state.as_ref().expect("request state present") {
+            State::Ready(end, _) | State::Done(end, _) => *end,
+            State::Running(_) => unreachable!("settled above"),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, Some(State::Done(..)))
+    }
+}
+
+impl<T> Drop for Request<T> {
+    fn drop(&mut self) {
+        match self.state.take() {
+            None | Some(State::Done(..)) => {}
+            Some(State::Running(handle)) => match handle.join() {
+                Ok((clock, res)) => {
+                    debug_assert!(
+                        res.is_ok(),
+                        "request dropped unwaited after failing: the error would be lost \
+                         (wait or test the request to observe it)"
+                    );
+                    let _ = res;
+                    obs::inc(obs::Counter::RequestsCompleted);
+                    obs::inc(obs::Counter::RequestsCompletedByDrop);
+                    self.drop_bin.push(clock.now());
+                }
+                Err(p) => {
+                    // Engine-thread panic (fatal escalation). If we are
+                    // already unwinding, swallow it — a double panic
+                    // aborts without a message.
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(p);
+                    }
+                }
+            },
+            Some(State::Ready(end, res)) => {
+                debug_assert!(
+                    res.is_ok(),
+                    "request dropped unwaited after failing: the error would be lost \
+                     (wait or test the request to observe it)"
+                );
+                let _ = res;
+                obs::inc(obs::Counter::RequestsCompleted);
+                obs::inc(obs::Counter::RequestsCompletedByDrop);
+                self.drop_bin.push(end);
+            }
+        }
+    }
+}
+
+/// A persistent send (`MPI_Send_init`): captured arguments that can be
+/// [`start`](PersistentSend::start)ed any number of times. Each start is
+/// indistinguishable — in timing and semantics — from a fresh
+/// [`Rank::isend`] with the same arguments.
+pub struct PersistentSend {
+    dst: usize,
+    tag: crate::mailbox::Tag,
+    data: Vec<u8>,
+}
+
+impl PersistentSend {
+    /// Post one instance of the captured send.
+    pub fn start(&self, rank: &mut Rank) -> Result<Request<()>, ScimpiError> {
+        rank.isend(self.dst, self.tag, &self.data)
+    }
+}
+
+/// A persistent receive (`MPI_Recv_init`); see [`PersistentSend`].
+pub struct PersistentRecv {
+    src: Source,
+    tag: TagSel,
+    max_len: usize,
+}
+
+impl PersistentRecv {
+    /// Post one instance of the captured receive.
+    pub fn start(&self, rank: &mut Rank) -> Result<Request<RecvDone>, ScimpiError> {
+        rank.irecv(self.src, self.tag, self.max_len)
+    }
+}
+
+impl Rank {
+    /// Fold in requests that completed by being dropped: merge their
+    /// virtual end times and retire them from the pending table. Called
+    /// from every synchronisation point.
+    pub(crate) fn reap_dropped(&mut self) {
+        let times = self.drop_bin.drain();
+        for t in times {
+            self.clock.merge(t);
+            self.pending_requests = self.pending_requests.saturating_sub(1);
+        }
+    }
+
+    /// Post-time accounting shared by every nonblocking operation.
+    pub(crate) fn account_post(&mut self) -> SimTime {
+        let posted_at = self.clock.now();
+        self.clock.advance(self.world.tuning.request_post_cost);
+        self.pending_requests += 1;
+        obs::inc(obs::Counter::RequestsPosted);
+        posted_at
+    }
+
+    /// Completion accounting: merge the transfer's end time into the
+    /// rank's clock (completion = max(compute frontier, link drain)) and
+    /// credit the overlap the application bought by not blocking.
+    fn account_complete(&mut self, kind: &'static str, posted_at: SimTime, end: SimTime) {
+        let frontier = self.clock.now();
+        let saved = end.min(frontier).duration_since(posted_at);
+        obs::add(obs::Counter::OverlapSavedNs, saved.as_ns());
+        obs::inc(obs::Counter::RequestsCompleted);
+        self.pending_requests = self.pending_requests.saturating_sub(1);
+        self.clock.merge(end);
+        if obs::is_enabled() {
+            obs::span(
+                "req.lifetime",
+                posted_at,
+                self.clock.now(),
+                vec![
+                    ("kind", obs::Arg::Str(kind.into())),
+                    ("saved_ns", obs::Arg::U64(saved.as_ns())),
+                ],
+            );
+        }
+    }
+
+    /// Nonblocking send (`MPI_Isend`) of contiguous bytes. The payload
+    /// is captured at post time (standard-mode buffering); eager sends
+    /// complete immediately, rendezvous sends progress on an engine
+    /// thread while this rank computes.
+    pub fn isend(
+        &mut self,
+        dst: usize,
+        tag: crate::mailbox::Tag,
+        data: &[u8],
+    ) -> Result<Request<()>, ScimpiError> {
+        self.isend_owned(dst, tag, OwnedSend::Bytes(data.to_vec()))
+    }
+
+    /// Nonblocking send of a committed datatype (`MPI_Isend` with a
+    /// derived type). The (sparse) user buffer is captured at post time.
+    pub fn isend_typed(
+        &mut self,
+        dst: usize,
+        tag: crate::mailbox::Tag,
+        c: &Committed,
+        count: usize,
+        buf: &[u8],
+        origin: usize,
+    ) -> Result<Request<()>, ScimpiError> {
+        self.isend_owned(
+            dst,
+            tag,
+            OwnedSend::Typed {
+                c: c.clone(),
+                count,
+                buf: buf.to_vec(),
+                origin,
+            },
+        )
+    }
+
+    /// Shared isend body over the owned payload.
+    fn isend_owned(
+        &mut self,
+        dst: usize,
+        tag: crate::mailbox::Tag,
+        owned: OwnedSend,
+    ) -> Result<Request<()>, ScimpiError> {
+        let posted_at = self.account_post();
+        // The protocol's start runs inline on the posting thread — the
+        // same costs a blocking send charges before it can return to
+        // the application (RTS post, eager burst).
+        let kind = {
+            let op = self.start_send(dst, tag, owned.as_data())?;
+            op.kind
+        };
+        match kind {
+            SendOpKind::Done => {
+                let end = self.clock.now();
+                Ok(Request::ready(self, "isend", posted_at, end, Ok(())))
+            }
+            SendOpKind::Rendezvous { handle, ticket } => {
+                let world = Arc::clone(&self.world);
+                let me = self.rank;
+                let fork = self.clock.clone();
+                Ok(Request::spawn(
+                    self,
+                    "isend",
+                    posted_at,
+                    fork,
+                    move |clock| {
+                        let op = crate::p2p::SendOp {
+                            dst,
+                            data: owned.as_data(),
+                            kind: SendOpKind::Rendezvous { handle, ticket },
+                        };
+                        finish_send_inner(&world, me, clock, op)
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Nonblocking receive (`MPI_Irecv`) into an owned buffer of
+    /// `max_len` bytes. The receive ticket is taken here, in program
+    /// order — posted receives match arrivals with MPI's posted-queue
+    /// semantics even while the transfer itself progresses on an engine
+    /// thread. The payload comes back in [`RecvDone::data`], truncated
+    /// to the received length.
+    pub fn irecv(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        max_len: usize,
+    ) -> Result<Request<RecvDone>, ScimpiError> {
+        let posted_at = self.account_post();
+        let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
+        let world = Arc::clone(&self.world);
+        let me = self.rank;
+        let fork = self.clock.clone();
+        Ok(Request::spawn(
+            self,
+            "irecv",
+            posted_at,
+            fork,
+            move |clock| {
+                let mut buf = vec![0u8; max_len];
+                let st = recv_into_inner(&world, me, clock, ticket, src, RecvBuf::Bytes(&mut buf))?;
+                buf.truncate(st.len);
+                Ok(RecvDone {
+                    status: st,
+                    data: buf,
+                })
+            },
+        ))
+    }
+
+    /// Nonblocking receive into a committed datatype layout. The
+    /// returned [`RecvDone::data`] holds the full typed extent
+    /// (`c.extent() * count` bytes) with gaps zeroed.
+    pub fn irecv_typed(
+        &mut self,
+        src: Source,
+        tag: TagSel,
+        c: &Committed,
+        count: usize,
+    ) -> Result<Request<RecvDone>, ScimpiError> {
+        let posted_at = self.account_post();
+        let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
+        let world = Arc::clone(&self.world);
+        let me = self.rank;
+        let fork = self.clock.clone();
+        let c = c.clone();
+        Ok(Request::spawn(
+            self,
+            "irecv",
+            posted_at,
+            fork,
+            move |clock| {
+                let mut buf = vec![0u8; c.extent() * count.max(1)];
+                let st = recv_into_inner(
+                    &world,
+                    me,
+                    clock,
+                    ticket,
+                    src,
+                    RecvBuf::Typed {
+                        c: &c,
+                        count,
+                        buf: &mut buf,
+                        origin: 0,
+                    },
+                )?;
+                Ok(RecvDone {
+                    status: st,
+                    data: buf,
+                })
+            },
+        ))
+    }
+
+    /// Kick off a nonblocking all-to-all exchange (`MPI_Ialltoall`,
+    /// pairwise algorithm): the whole collective progresses on an engine
+    /// thread while this rank computes. At most one collective may be in
+    /// flight per rank at a time, and wildcard (`Source::Any`) receives
+    /// must not be posted while it runs — both mirror MPI's
+    /// one-outstanding-collective-per-communicator rule.
+    pub fn ialltoall(
+        &mut self,
+        sendblocks: &[Vec<u8>],
+    ) -> Result<Request<Vec<Vec<u8>>>, ScimpiError> {
+        assert_eq!(sendblocks.len(), self.size, "one block per rank");
+        let posted_at = self.account_post();
+        let blocks = sendblocks.to_vec();
+        // A shadow Rank over the same world, on a forked clock: the
+        // collective body is exactly the blocking pairwise exchange.
+        let mut shadow = Rank {
+            rank: self.rank,
+            size: self.size,
+            clock: self.clock.clone(),
+            world: Arc::clone(&self.world),
+            coll_seq: 0,
+            drop_bin: Arc::new(DropBin::default()),
+            pending_requests: 0,
+        };
+        let fork = self.clock.clone();
+        Ok(Request::spawn(
+            self,
+            "ialltoall",
+            posted_at,
+            fork,
+            move |clock| {
+                let out = shadow.alltoall(&blocks)?;
+                *clock = shadow.clock.clone();
+                Ok(out)
+            },
+        ))
+    }
+
+    /// Capture a persistent send (`MPI_Send_init`); post instances with
+    /// [`PersistentSend::start`].
+    pub fn send_init(
+        &mut self,
+        dst: usize,
+        tag: crate::mailbox::Tag,
+        data: &[u8],
+    ) -> PersistentSend {
+        PersistentSend {
+            dst,
+            tag,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Capture a persistent receive (`MPI_Recv_init`); post instances
+    /// with [`PersistentRecv::start`].
+    pub fn recv_init(&mut self, src: Source, tag: TagSel, max_len: usize) -> PersistentRecv {
+        PersistentRecv { src, tag, max_len }
+    }
+
+    /// Block until `req` completes (`MPI_Wait`), folding the transfer's
+    /// virtual time into this rank's clock. Waiting an already-waited
+    /// request is idempotent: it returns the stored result again without
+    /// touching the clock or the counters.
+    pub fn wait<T: Clone + Send + 'static>(
+        &mut self,
+        req: &mut Request<T>,
+    ) -> Result<T, ScimpiError> {
+        self.reap_dropped();
+        let end = req.end_time();
+        match req.state.take().expect("request state present") {
+            State::Done(e, res) => {
+                req.state = Some(State::Done(e, res.clone()));
+                res
+            }
+            State::Ready(_, res) => {
+                self.account_complete(req.kind, req.posted_at, end);
+                req.state = Some(State::Done(end, res.clone()));
+                res
+            }
+            State::Running(_) => unreachable!("end_time settles the request"),
+        }
+    }
+
+    /// Nonblocking completion check (`MPI_Test`): `Some(result)` once
+    /// the transfer's virtual end time has been reached by this rank's
+    /// clock, `None` otherwise (charging
+    /// [`crate::Tuning::progress_poll_cost`] per unsuccessful poll, like
+    /// a real progress-engine tick). The verdict compares virtual times
+    /// only, so test loops are deterministic.
+    pub fn test<T: Clone + Send + 'static>(
+        &mut self,
+        req: &mut Request<T>,
+    ) -> Option<Result<T, ScimpiError>> {
+        self.reap_dropped();
+        if req.is_done() {
+            // Re-testing a completed request stays complete.
+            return Some(self.wait(req));
+        }
+        let end = req.end_time();
+        if end <= self.clock.now() {
+            Some(self.wait(req))
+        } else {
+            self.clock.advance(self.world.tuning.progress_poll_cost);
+            None
+        }
+    }
+
+    /// Wait for every request, in posted order (`MPI_Waitall`). All
+    /// requests complete — and their virtual time merges — even when one
+    /// fails; the first error (in slice order) is reported.
+    pub fn waitall<T: Clone + Send + 'static>(
+        &mut self,
+        reqs: &mut [Request<T>],
+    ) -> Result<Vec<T>, ScimpiError> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut first_err = None;
+        for req in reqs.iter_mut() {
+            match self.wait(req) {
+                Ok(v) => out.push(v),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Wait for whichever active request finishes first in *virtual*
+    /// time (`MPI_Waitany`), returning its index and result. Ties break
+    /// towards the earlier index (posted order), so the pick is
+    /// deterministic. Only the winner's time merges into this rank's
+    /// clock; the rest stay pending.
+    ///
+    /// # Panics
+    ///
+    /// If every request in the slice has already been waited.
+    pub fn waitany<T: Clone + Send + 'static>(
+        &mut self,
+        reqs: &mut [Request<T>],
+    ) -> (usize, Result<T, ScimpiError>) {
+        self.reap_dropped();
+        let mut best: Option<(SimTime, usize)> = None;
+        for (i, req) in reqs.iter_mut().enumerate() {
+            if req.is_done() {
+                continue;
+            }
+            let end = req.end_time();
+            if best.map(|(t, _)| end < t).unwrap_or(true) {
+                best = Some((end, i));
+            }
+        }
+        let (_, idx) = best.expect("waitany needs at least one active request");
+        let res = self.wait(&mut reqs[idx]);
+        (idx, res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{run, ClusterSpec};
+    use simclock::SimDuration;
+
+    const RDV: usize = 150_000; // > eager threshold: rendezvous path
+
+    #[test]
+    fn isend_irecv_roundtrip_eager_and_rendezvous() {
+        for len in [64usize, RDV] {
+            let out = run(ClusterSpec::ringlet(2), move |r| {
+                if r.rank() == 0 {
+                    let data = vec![0xA5u8; len];
+                    let mut req = r.isend(1, 4, &data).unwrap();
+                    r.compute(SimDuration::from_us(30));
+                    r.wait(&mut req).unwrap();
+                    Vec::new()
+                } else {
+                    let mut req = r.irecv(Source::Rank(0), TagSel::Value(4), len).unwrap();
+                    r.compute(SimDuration::from_us(30));
+                    let done = r.wait(&mut req).unwrap();
+                    assert_eq!(done.status.len, len);
+                    done.data
+                }
+            });
+            assert!(out[1].iter().all(|&b| b == 0xA5), "len {len}");
+        }
+    }
+
+    #[test]
+    fn overlap_hides_transfer_behind_compute() {
+        // A rank that computes while a rendezvous transfer is in flight
+        // must finish earlier than one that blocks first and computes
+        // after.
+        let compute = SimDuration::from_ms(5);
+        let t_nonblocking = run(ClusterSpec::ringlet(2), move |r| {
+            if r.rank() == 0 {
+                let data = vec![1u8; RDV];
+                let mut req = r.isend(1, 0, &data).unwrap();
+                r.compute(compute);
+                r.wait(&mut req).unwrap();
+            } else {
+                let mut req = r.irecv(Source::Rank(0), TagSel::Value(0), RDV).unwrap();
+                r.compute(compute);
+                r.wait(&mut req).unwrap();
+            }
+            r.barrier();
+            r.now()
+        })[0];
+        let t_blocking = run(ClusterSpec::ringlet(2), move |r| {
+            if r.rank() == 0 {
+                let data = vec![1u8; RDV];
+                r.send(1, 0, &data).unwrap();
+                r.compute(compute);
+            } else {
+                let mut buf = vec![0u8; RDV];
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                r.compute(compute);
+            }
+            r.barrier();
+            r.now()
+        })[0];
+        assert!(
+            t_nonblocking < t_blocking,
+            "overlap {t_nonblocking:?} should beat blocking {t_blocking:?}"
+        );
+    }
+
+    #[test]
+    fn isend_wait_without_compute_matches_blocking_send() {
+        // request_post_cost defaults to zero, so posting and immediately
+        // waiting must be bit-identical to the blocking call.
+        let run_pair = |nonblocking: bool| {
+            run(ClusterSpec::ringlet(2), move |r| {
+                if r.rank() == 0 {
+                    let data = vec![2u8; RDV];
+                    if nonblocking {
+                        let mut req = r.isend(1, 0, &data).unwrap();
+                        r.wait(&mut req).unwrap();
+                    } else {
+                        r.send(1, 0, &data).unwrap();
+                    }
+                } else {
+                    let mut buf = vec![0u8; RDV];
+                    r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                }
+                r.barrier();
+                r.now()
+            })
+        };
+        assert_eq!(run_pair(true), run_pair(false));
+    }
+
+    #[test]
+    fn test_polls_deterministically_until_complete() {
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            if r.rank() == 0 {
+                let data = vec![3u8; RDV];
+                let mut req = r.isend(1, 0, &data).unwrap();
+                let mut polls = 0u32;
+                loop {
+                    match r.test(&mut req) {
+                        Some(res) => {
+                            res.unwrap();
+                            break;
+                        }
+                        None => {
+                            polls += 1;
+                            r.compute(SimDuration::from_us(100));
+                        }
+                    }
+                }
+                polls
+            } else {
+                let mut buf = vec![0u8; RDV];
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                0
+            }
+        });
+        let again = run(ClusterSpec::ringlet(2), |r| {
+            if r.rank() == 0 {
+                let data = vec![3u8; RDV];
+                let mut req = r.isend(1, 0, &data).unwrap();
+                let mut polls = 0u32;
+                loop {
+                    match r.test(&mut req) {
+                        Some(res) => {
+                            res.unwrap();
+                            break;
+                        }
+                        None => {
+                            polls += 1;
+                            r.compute(SimDuration::from_us(100));
+                        }
+                    }
+                }
+                polls
+            } else {
+                let mut buf = vec![0u8; RDV];
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                0
+            }
+        });
+        assert_eq!(out, again, "poll count must be deterministic");
+    }
+
+    #[test]
+    fn dropped_request_time_reaps_at_barrier() {
+        let out = run(ClusterSpec::ringlet(2), |r| {
+            if r.rank() == 0 {
+                let data = vec![4u8; RDV];
+                let req = r.isend(1, 0, &data).unwrap();
+                drop(req); // fire-and-forget
+                assert_eq!(r.pending_requests(), 1);
+                r.barrier(); // reaps the drop bin
+                assert_eq!(r.pending_requests(), 0);
+            } else {
+                let mut buf = vec![0u8; RDV];
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+                r.barrier();
+            }
+            r.now()
+        });
+        // The sender's clock must include the transfer it dropped.
+        assert!(out[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn ialltoall_matches_blocking_alltoall() {
+        let blocks_for = |r: &Rank| -> Vec<Vec<u8>> {
+            (0..r.size())
+                .map(|d| vec![(r.rank() * 16 + d) as u8; 2048])
+                .collect()
+        };
+        let nb = run(ClusterSpec::ringlet(4), move |r| {
+            let blocks = blocks_for(r);
+            let mut req = r.ialltoall(&blocks).unwrap();
+            r.compute(SimDuration::from_us(200));
+            r.wait(&mut req).unwrap()
+        });
+        let bl = run(ClusterSpec::ringlet(4), move |r| {
+            let blocks = blocks_for(r);
+            r.alltoall(&blocks).unwrap()
+        });
+        assert_eq!(nb, bl);
+    }
+}

@@ -42,7 +42,8 @@ pub struct ClusterSpec {
     /// Observability: event tracing, counters and exports.
     pub obs: ObsConfig,
     /// MPI-style error-handler semantics: abort on communication error
-    /// (the default) or return errors from the `try_*` call variants.
+    /// (the default) or hand errors back through the `Result` returned by
+    /// every communication verb.
     pub errors: ErrorMode,
 }
 
@@ -70,27 +71,56 @@ impl ClusterSpec {
         }
     }
 
-    /// Same topology with different protocol tuning.
-    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+    /// Builder: replace the protocol tuning.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
         self.tuning = tuning;
         self
     }
 
-    /// Same topology with different fabric calibration.
-    pub fn with_params(mut self, params: SciParams) -> Self {
+    /// Builder: replace the fabric calibration.
+    pub fn params(mut self, params: SciParams) -> Self {
         self.params = params;
         self
     }
 
-    /// Same cluster with a different observability configuration.
-    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+    /// Builder: replace the observability configuration.
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
         self
     }
 
-    /// Same cluster with different error-handler semantics.
-    pub fn with_errors(mut self, errors: ErrorMode) -> Self {
+    /// Builder: replace the error-handler semantics.
+    pub fn errors(mut self, errors: ErrorMode) -> Self {
         self.errors = errors;
+        self
+    }
+
+    /// Builder: replace the fault-injection configuration.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Builder: replace the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: replace the ranks-per-node count.
+    pub fn procs_per_node(mut self, procs: usize) -> Self {
+        self.procs_per_node = procs;
+        self
+    }
+
+    /// Finish the builder chain, validating the spec. Purely a
+    /// readability terminator: the spec is already usable, but `build()`
+    /// catches empty clusters at construction instead of inside [`run`].
+    pub fn build(self) -> Self {
+        assert!(
+            self.topology.node_count() > 0 && self.procs_per_node > 0,
+            "cluster needs at least one node and one proc per node"
+        );
         self
     }
 
@@ -113,6 +143,23 @@ pub(crate) struct PairRing {
     cv: Condvar,
     /// Bytes per slot.
     pub chunk: usize,
+    /// Send-turn ticketing: with nonblocking sends, two rendezvous
+    /// transfers to the same destination can be in flight at once, and
+    /// their engine threads would race for ring slots — making the
+    /// `freed_at` merge order depend on real-time interleaving. Each
+    /// rendezvous send takes a turn ticket when its RTS is posted (program
+    /// order on the sending rank's thread) and the chunk loop runs only
+    /// when its ticket comes up, so the per-pair data stream is serialised
+    /// in posted order. Blocking sends pass straight through (their ticket
+    /// is always current) at zero virtual cost.
+    turn: Mutex<TurnState>,
+    turn_cv: Condvar,
+}
+
+#[derive(Default)]
+struct TurnState {
+    next_ticket: u64,
+    current: u64,
 }
 
 impl PairRing {
@@ -122,9 +169,49 @@ impl PairRing {
             free: Mutex::new((0..slots).map(|s| (s, SimTime::ZERO)).collect()),
             cv: Condvar::new(),
             chunk,
+            turn: Mutex::new(TurnState::default()),
+            turn_cv: Condvar::new(),
         }
     }
 
+    /// Take the next send-turn ticket. Must be called on the sending
+    /// rank's own thread (at RTS-post time) so tickets reflect program
+    /// order.
+    pub fn take_turn_ticket(&self) -> u64 {
+        let mut t = self.turn.lock().unwrap();
+        let ticket = t.next_ticket;
+        t.next_ticket += 1;
+        ticket
+    }
+
+    /// Block (real time only) until `ticket`'s turn comes up, returning a
+    /// guard that passes the turn on when dropped — including on error
+    /// and panic paths, so a failed send never wedges the pair.
+    pub fn await_turn(&self, ticket: u64) -> TurnGuard<'_> {
+        let mut t = self.turn.lock().unwrap();
+        while t.current != ticket {
+            t = self.turn_cv.wait(t).unwrap();
+        }
+        TurnGuard { ring: self, ticket }
+    }
+}
+
+/// Holds one send's turn on a [`PairRing`]; passing it on at drop.
+pub(crate) struct TurnGuard<'a> {
+    ring: &'a PairRing,
+    ticket: u64,
+}
+
+impl Drop for TurnGuard<'_> {
+    fn drop(&mut self) {
+        let mut t = self.ring.turn.lock().unwrap();
+        debug_assert_eq!(t.current, self.ticket, "turn released out of order");
+        t.current = self.ticket + 1;
+        self.ring.turn_cv.notify_all();
+    }
+}
+
+impl PairRing {
     /// Acquire the earliest-freed slot (merging the slot's free-time into
     /// the clock — the sender virtually waits for the receiver to drain),
     /// giving up after `timeout` of *real* time. Returns `None` on expiry
@@ -300,6 +387,12 @@ pub struct Rank {
     pub(crate) clock: Clock,
     pub(crate) world: Arc<WorldState>,
     pub(crate) coll_seq: u64,
+    /// Completion times of requests that were dropped unwaited; merged at
+    /// the next synchronisation point (see [`crate::request`]).
+    pub(crate) drop_bin: Arc<crate::request::DropBin>,
+    /// Nonblocking requests posted but not yet completed (the pending-
+    /// request table; entries leave through `wait`/`test`/drop).
+    pub(crate) pending_requests: usize,
 }
 
 impl Rank {
@@ -324,9 +417,17 @@ impl Rank {
     }
 
     /// Charge local computation to this rank's clock (simulated
-    /// application work between communication calls).
+    /// application work between communication calls). Every advance also
+    /// ticks the progress engine, folding in requests that completed by
+    /// being dropped.
     pub fn compute(&mut self, cost: SimDuration) {
         self.clock.advance(cost);
+        self.reap_dropped();
+    }
+
+    /// Number of posted-but-uncompleted nonblocking requests.
+    pub fn pending_requests(&self) -> usize {
+        self.pending_requests
     }
 
     /// The node hosting this rank.
@@ -351,6 +452,7 @@ impl Rank {
 
     /// Barrier over all ranks (`MPI_Barrier` on `MPI_COMM_WORLD`).
     pub fn barrier(&mut self) {
+        self.reap_dropped();
         self.world.barrier.wait(&mut self.clock);
     }
 
@@ -414,7 +516,7 @@ where
 {
     assert!(
         spec.topology.node_count() > 0 && spec.procs_per_node > 0,
-        "empty cluster"
+        "cluster needs at least one node and one proc per node"
     );
     if spec.obs.enabled {
         if spec.obs.reset_on_start {
@@ -468,8 +570,15 @@ where
                     clock: Clock::new(),
                     world,
                     coll_seq: 0,
+                    drop_bin: Arc::new(crate::request::DropBin::default()),
+                    pending_requests: 0,
                 };
-                f(&mut r)
+                let out = f(&mut r);
+                // Teardown: requests dropped inside `f` completed on
+                // their engine threads; fold their virtual time in so a
+                // fire-and-forget isend is never lost.
+                r.reap_dropped();
+                out
             }));
         }
         joins
@@ -613,22 +722,24 @@ mod tests {
             match r.rank() {
                 // Intra-ring pair 0 -> 1.
                 0 => {
-                    r.send(1, 0, &payload);
+                    r.send(1, 0, &payload).unwrap();
                     SimDuration::ZERO
                 }
                 1 => {
                     let t0 = r.now();
-                    r.recv(crate::Source::Rank(0), crate::TagSel::Value(0), &mut buf);
+                    r.recv(crate::Source::Rank(0), crate::TagSel::Value(0), &mut buf)
+                        .unwrap();
                     r.now() - t0
                 }
                 // Cross-ring pair 2 -> 6.
                 2 => {
-                    r.send(6, 0, &payload);
+                    r.send(6, 0, &payload).unwrap();
                     SimDuration::ZERO
                 }
                 6 => {
                     let t0 = r.now();
-                    r.recv(crate::Source::Rank(2), crate::TagSel::Value(0), &mut buf);
+                    r.recv(crate::Source::Rank(2), crate::TagSel::Value(0), &mut buf)
+                        .unwrap();
                     r.now() - t0
                 }
                 _ => SimDuration::ZERO,

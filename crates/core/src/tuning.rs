@@ -153,6 +153,15 @@ pub struct Tuning {
     /// considered: long contiguous runs stream faster through PIO than
     /// through the DMA engine, so only fine-grained layouts convert.
     pub dma_max_block: usize,
+    /// CPU cost charged on the posting rank's clock when a nonblocking
+    /// request (`isend`/`irecv`/`iput`/`iget`/`ialltoall`) is posted:
+    /// allocating the request record and kicking the progress engine.
+    /// Defaults to zero so `isend + wait` is bit-identical to `send`;
+    /// raise it to model descriptor-queue overhead.
+    pub request_post_cost: SimDuration,
+    /// CPU cost charged each time `Rank::test` polls an incomplete
+    /// request (the completion check against the link timeline).
+    pub progress_poll_cost: SimDuration,
 }
 
 impl Default for Tuning {
@@ -184,6 +193,8 @@ impl Default for Tuning {
             layout_flatten_op_cost: SimDuration::from_ns(25),
             dma_min_total: 128 * 1024,
             dma_max_block: 256,
+            request_post_cost: SimDuration::ZERO,
+            progress_poll_cost: SimDuration::from_ns(50),
         }
     }
 }

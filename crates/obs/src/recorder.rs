@@ -1,7 +1,7 @@
 //! The process-wide recorder: enabled flag, counters, trace events and
 //! link snapshots.
 //!
-//! Everything funnels through one static [`Recorder`]. Hooks check the
+//! Everything funnels through one static `Recorder`. Hooks check the
 //! enabled flag with a single `Relaxed` atomic load before doing any
 //! work, so a disabled recorder costs one predictable branch per hook.
 
@@ -95,6 +95,20 @@ pub enum Counter {
     PathSelectedStaged,
     /// Typed transfers routed to DMA scatter/gather.
     PathSelectedDma,
+    /// Nonblocking requests posted (`isend`/`irecv`/`iput`/`iget`/
+    /// `ialltoall` and persistent-request starts).
+    RequestsPosted,
+    /// Nonblocking requests completed through `wait`/`test`/`waitall`/
+    /// `waitany`.
+    RequestsCompleted,
+    /// Requests completed implicitly because they were dropped before
+    /// being waited on (their completion time is merged at the next
+    /// synchronisation point).
+    RequestsCompletedByDrop,
+    /// Virtual nanoseconds of communication hidden behind compute by the
+    /// nonblocking engine (blocking-equivalent cost minus time actually
+    /// stalled in `wait`).
+    OverlapSavedNs,
 }
 
 impl Counter {
@@ -133,6 +147,10 @@ impl Counter {
         "path_selected_direct_ff",
         "path_selected_staged",
         "path_selected_dma",
+        "requests_posted",
+        "requests_completed",
+        "requests_completed_by_drop",
+        "overlap_saved_ns",
     ];
 
     /// The export name of this counter.
@@ -142,7 +160,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 33;
+pub const COUNTER_COUNT: usize = 37;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -382,7 +400,7 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::PathSelectedDma as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::OverlapSavedNs as usize, COUNTER_COUNT - 1);
         assert_eq!(Counter::CorruptionsInjected.name(), "corruptions_injected");
         assert_eq!(Counter::Retransmits.name(), "retransmits");
         assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");

@@ -4,27 +4,27 @@
 //!
 //! The scenario mirrors what the fault-tolerant layer does on a real
 //! SCI cluster: with every direct route to the target severed, a one-sided
-//! `try_put` first reports the failure, the retry demotes the target to
+//! `put` first reports the failure, the retry demotes the target to
 //! control-message emulation and succeeds, and the fence after the cables
 //! return re-promotes the target to the direct path.
 //!
 //! Run: `cargo run --release --example errors_quickstart`
 
 use sci_fabric::LinkId;
-use scimpi::{run, ClusterSpec, ErrorMode, ObsConfig, WinMemory};
+use scimpi::prelude::*;
 
 fn main() {
     // Two rings of four nodes: node 0 reaches node 2 either via [0,1] or
     // via the reverse direction [3,2]. ErrorsReturn turns every escalation
     // into an `Err` the application can handle.
     let spec = ClusterSpec::multi_ring(2, 4)
-        .with_errors(ErrorMode::ErrorsReturn)
-        .with_obs(ObsConfig::enabled());
+        .errors(ErrorMode::ErrorsReturn)
+        .obs(ObsConfig::enabled());
 
     run(spec, |rank| {
-        let mem = rank.alloc_mem(4096);
-        let mut win = rank.win_create(WinMemory::Alloc(mem));
-        win.fence(rank);
+        let mem = rank.alloc_mem(4096).done();
+        let mut win = rank.win_create(WinMemory::Alloc(mem)).done();
+        win.fence(rank).expect("clean fence");
 
         if rank.rank() == 0 {
             // Pull both cables on the 0→2 routes: the direct path is gone.
@@ -33,7 +33,7 @@ fn main() {
 
             // First attempt: the direct path fails and, under
             // ErrorsReturn, the error comes back instead of panicking.
-            match win.try_put(rank, 2, 0, b"hello, remote memory") {
+            match win.put(rank, 2, 0, b"hello, remote memory") {
                 Ok(()) => println!("rank 0: unexpected success (routes are down)"),
                 Err(e) => println!("rank 0: direct put failed as expected: {e}"),
             }
@@ -41,7 +41,7 @@ fn main() {
             // Retry: the failure count crossed the fallback threshold, so
             // the window demotes target 2 and serves the put through
             // control-message emulation — same bytes, higher latency.
-            win.try_put(rank, 2, 0, b"hello, remote memory")
+            win.put(rank, 2, 0, b"hello, remote memory")
                 .expect("the emulated path must absorb the severed routes");
             println!("rank 0: retry delivered via emulation");
 
@@ -51,14 +51,14 @@ fn main() {
             rank.fabric().faults().restore_link(LinkId(2));
         }
 
-        win.fence(rank);
+        win.fence(rank).expect("clean fence");
 
         if rank.rank() == 0 {
-            win.try_put(rank, 2, 2048, b"direct again")
+            win.put(rank, 2, 2048, b"direct again")
                 .expect("the healed route must serve direct puts");
             println!("rank 0: post-heal put went direct");
         }
-        win.fence(rank);
+        win.fence(rank).expect("clean fence");
 
         if rank.rank() == 2 {
             let mut buf = [0u8; 20];
@@ -66,7 +66,7 @@ fn main() {
             assert_eq!(&buf, b"hello, remote memory");
             println!("rank 2: payload arrived bit-perfect despite the outage");
         }
-        win.fence(rank);
+        win.fence(rank).expect("clean fence");
     });
 
     println!("\nrecovery machinery engaged:");

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release --example load_balance`
 
-use scimpi::{run, AccumulateOp, ClusterSpec, ReduceOp, WinMemory};
+use scimpi::prelude::*;
 use simclock::{SimDuration, SplitMix64};
 
 const TASKS: usize = 200;
@@ -21,10 +21,10 @@ fn main() {
         let me = r.rank();
         // Window: one i64 counter at rank 0 (everyone contributes their
         // 8 bytes so the window exists everywhere; only rank 0's is used).
-        let mem = r.alloc_mem(8);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
+        let mem = r.alloc_mem(8).done();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).done();
         win.write_local(r, 0, &0i64.to_le_bytes());
-        win.fence(r);
+        win.fence(r).done();
 
         // Deterministic per-task costs, heavy-tailed: most tasks cheap,
         // a few 50x more expensive.
@@ -43,14 +43,16 @@ fn main() {
         loop {
             // Atomic fetch-and-add(1) on the global counter: lock the
             // target, read the value, bump it, unlock.
-            let task = win.locked(r, 0, |w, r| {
-                let mut cur = [0u8; 8];
-                w.get(r, 0, 0, &mut cur).expect("counter read");
-                let t = i64::from_le_bytes(cur);
-                w.accumulate(r, 0, 0, AccumulateOp::SumI64, &1i64.to_le_bytes())
-                    .expect("counter bump");
-                t
-            });
+            let task = win
+                .locked(r, 0, |w, r| {
+                    let mut cur = [0u8; 8];
+                    w.get(r, 0, 0, &mut cur).expect("counter read");
+                    let t = i64::from_le_bytes(cur);
+                    w.accumulate(r, 0, 0, AccumulateOp::SumI64, &1i64.to_le_bytes())
+                        .expect("counter bump");
+                    t
+                })
+                .done();
             if task as usize >= TASKS {
                 break;
             }
@@ -60,7 +62,9 @@ fn main() {
         }
         r.barrier();
         let my_work: f64 = done.iter().map(|&t| costs[t] as f64).sum();
-        let totals = r.allreduce_f64(&[my_work, done.len() as f64], ReduceOp::Sum);
+        let totals = r
+            .allreduce_f64(&[my_work, done.len() as f64], ReduceOp::Sum)
+            .done();
         let finish = r.now();
         (me, done, my_work, totals, finish)
     });

@@ -16,7 +16,7 @@
 //! Run: `cargo run --release --example ocean`
 
 use mpi_datatype::{typed, Committed, Datatype};
-use scimpi::{run, ClusterSpec, RecvBuf, SendData, Source, TagSel, Tuning};
+use scimpi::prelude::*;
 use simclock::SimDuration;
 
 /// Local grid: NX × NY columns × NZ depth levels per rank (f64 cells),
@@ -55,7 +55,7 @@ struct HaloTime {
 
 fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
     // 2×2 process grid on 4 nodes.
-    let spec = ClusterSpec::ringlet(4).with_tuning(tuning);
+    let spec = ClusterSpec::ringlet(4).tuning(tuning);
     run(spec, move |r| {
         let me = r.rank();
         let (px, py) = (me % 2, me / 2);
@@ -100,7 +100,8 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
                     buf: &mut bytes,
                     origin: recv_off,
                 },
-            );
+            )
+            .done();
             let send_off = idx(NX - 2, 0, 0) * 8;
             let recv_off = idx(0, 0, 0) * 8;
             r.sendrecv(
@@ -120,7 +121,8 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
                     buf: &mut bytes,
                     origin: recv_off,
                 },
-            );
+            )
+            .done();
             // North-south: row y=1 down, row y=NY-2 up.
             let send_off = idx(0, 1, 0) * 8;
             let recv_off = idx(0, NY - 1, 0) * 8;
@@ -141,7 +143,8 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
                     buf: &mut bytes,
                     origin: recv_off,
                 },
-            );
+            )
+            .done();
             let send_off = idx(0, NY - 2, 0) * 8;
             let recv_off = idx(0, 0, 0) * 8;
             r.sendrecv(
@@ -161,7 +164,8 @@ fn simulate(tuning: Tuning, steps: usize) -> Vec<HaloTime> {
                     buf: &mut bytes,
                     origin: recv_off,
                 },
-            );
+            )
+            .done();
             comm += r.now() - t0;
             grid = typed::from_bytes(&bytes);
 

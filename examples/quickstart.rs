@@ -8,11 +8,11 @@
 //! Run: `cargo run --release --example quickstart`
 
 use mpi_datatype::{Committed, Datatype};
-use scimpi::{run, ClusterSpec, Source, TagSel, WinMemory};
+use scimpi::prelude::*;
 
 fn main() {
     // A 4-node SCI ringlet, one rank per node — the paper's testbed shape.
-    let spec = ClusterSpec::ringlet(4);
+    let spec = ClusterSpec::ringlet(4).build();
 
     let reports = run(spec, |rank| {
         let me = rank.rank();
@@ -22,9 +22,12 @@ fn main() {
         // --- 1. Two-sided messaging -----------------------------------
         let next = (me + 1) % n;
         let prev = (me + n - 1) % n;
-        rank.send(next, 1, format!("hello from rank {me}").as_bytes());
+        rank.send(next, 1, format!("hello from rank {me}").as_bytes())
+            .done();
         let mut buf = vec![0u8; 64];
-        let st = rank.recv(Source::Rank(prev), TagSel::Value(1), &mut buf);
+        let st = rank
+            .recv(Source::Rank(prev), TagSel::Value(1), &mut buf)
+            .done();
         log.push(format!(
             "recv: \"{}\"",
             String::from_utf8_lossy(&buf[..st.len])
@@ -38,7 +41,7 @@ fn main() {
         let committed = Committed::commit(&dt);
         if me == 0 {
             let data: Vec<u8> = (0..committed.extent()).map(|i| i as u8).collect();
-            rank.send_typed(1, 2, &committed, 1, &data, 0);
+            rank.send_typed(1, 2, &committed, 1, &data, 0).done();
             log.push(format!(
                 "sent strided vector: {} blocks of {} bytes each",
                 committed.blocks_per_instance(),
@@ -53,24 +56,25 @@ fn main() {
                 1,
                 &mut data,
                 0,
-            );
+            )
+            .done();
             log.push("received strided vector via direct_pack_ff".to_string());
         }
         rank.barrier();
 
         // --- 3. One-sided communication --------------------------------
-        let mem = rank.alloc_mem(4096); // SCI shared memory: direct RMA
-        let mut win = rank.win_create(WinMemory::Alloc(mem));
-        win.fence(rank);
+        let mem = rank.alloc_mem(4096).done(); // SCI shared memory: direct RMA
+        let mut win = rank.win_create(WinMemory::Alloc(mem)).done();
+        win.fence(rank).done();
         if me == 0 {
             // Write into every other rank's window without their
             // involvement.
             for target in 1..n {
                 let msg = format!("rma to {target}");
-                win.put(rank, target, 0, msg.as_bytes()).unwrap();
+                win.put(rank, target, 0, msg.as_bytes()).done();
             }
         }
-        win.fence(rank);
+        win.fence(rank).done();
         if me != 0 {
             let mut got = vec![0u8; 8];
             win.read_local(rank, 0, &mut got);
@@ -79,7 +83,7 @@ fn main() {
                 String::from_utf8_lossy(&got)
             ));
         }
-        win.fence(rank);
+        win.fence(rank).done();
 
         (me, rank.wtime(), log)
     });

@@ -10,7 +10,7 @@
 //! Run: `cargo run --release --example sparse_matrix`
 
 use mpi_datatype::typed;
-use scimpi::{run, ClusterSpec, WinMemory};
+use scimpi::prelude::*;
 use simclock::{SimDuration, SplitMix64};
 
 const N: usize = 2048; // global vector length
@@ -26,10 +26,10 @@ fn main() {
         let x_local: Vec<f64> = (0..local_n)
             .map(|i| ((me * local_n + i) as f64).sin())
             .collect();
-        let mem = r.alloc_mem(local_n * 8);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
+        let mem = r.alloc_mem(local_n * 8).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
         win.write_local(r, 0, &typed::to_bytes(&x_local));
-        win.fence(r);
+        win.fence(r).unwrap();
 
         // --- my sparse rows (deterministic random pattern) ------------
         let mut rng = SplitMix64::new(0xBEEF + me as u64);
@@ -65,7 +65,7 @@ fn main() {
                 fetched.insert(col, v);
             }
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         let gather_time = r.now() - t0;
 
         // --- local SpMV ------------------------------------------------

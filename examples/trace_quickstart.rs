@@ -6,10 +6,10 @@
 //! Then open `trace_quickstart.json` in Perfetto (ui.perfetto.dev) or
 //! `chrome://tracing` — one lane per rank, virtual time on the axis.
 
-use scimpi::{run, ClusterSpec, ObsConfig, Source, TagSel, WinMemory};
+use scimpi::prelude::*;
 
 fn main() {
-    let spec = ClusterSpec::ringlet(4).with_obs(
+    let spec = ClusterSpec::ringlet(4).obs(
         ObsConfig::with_trace("trace_quickstart.json")
             .and_counters("trace_quickstart_counters.jsonl"),
     );
@@ -17,23 +17,25 @@ fn main() {
     run(spec, |rank| {
         // A small eager message and a large rendezvous message 0 -> 1.
         if rank.rank() == 0 {
-            rank.send(1, 0, &[1u8; 256]);
-            rank.send(1, 1, &vec![2u8; 128 * 1024]);
+            rank.send(1, 0, &[1u8; 256]).done();
+            rank.send(1, 1, &vec![2u8; 128 * 1024]).done();
         } else if rank.rank() == 1 {
             let mut small = [0u8; 256];
-            rank.recv(Source::Rank(0), TagSel::Value(0), &mut small);
+            rank.recv(Source::Rank(0), TagSel::Value(0), &mut small)
+                .done();
             let mut large = vec![0u8; 128 * 1024];
-            rank.recv(Source::Rank(0), TagSel::Value(1), &mut large);
+            rank.recv(Source::Rank(0), TagSel::Value(1), &mut large)
+                .done();
         }
 
         // A shared window and a direct one-sided put 2 -> 3.
-        let mem = rank.alloc_mem(4096);
-        let mut win = rank.win_create(WinMemory::Alloc(mem));
-        win.fence(rank);
+        let mem = rank.alloc_mem(4096).done();
+        let mut win = rank.win_create(WinMemory::Alloc(mem)).done();
+        win.fence(rank).done();
         if rank.rank() == 2 {
-            win.put(rank, 3, 0, b"one-sided").unwrap();
+            win.put(rank, 3, 0, b"one-sided").done();
         }
-        win.fence(rank);
+        win.fence(rank).done();
     });
 
     // Counters survive the run (the files were written at teardown, but

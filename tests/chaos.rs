@@ -33,7 +33,7 @@ static OBS_SERIAL: Mutex<()> = Mutex::new(());
 /// quarter of the rate) ride under `EndToEnd` integrity, so every
 /// bit-perfect assertion doubles as a corruption-recovery check.
 fn chaos_spec() -> ClusterSpec {
-    let mut spec = ClusterSpec::multi_ring(2, 4).with_errors(ErrorMode::ErrorsReturn);
+    let mut spec = ClusterSpec::multi_ring(2, 4).errors(ErrorMode::ErrorsReturn);
     if let Ok(seed) = std::env::var("CHAOS_SEED") {
         spec.seed = seed.parse().expect("CHAOS_SEED must be an integer");
     }
@@ -41,7 +41,7 @@ fn chaos_spec() -> ClusterSpec {
         let rate: f64 = rate.parse().expect("CHAOS_CORRUPT_RATE must be a float");
         spec.faults.corrupt_rate = rate;
         spec.faults.drop_rate = rate / 4.0;
-        spec = spec.with_tuning(Tuning {
+        spec = spec.tuning(Tuning {
             integrity_mode: IntegrityMode::EndToEnd,
             max_retransmits: 64,
             ..Tuning::default()
@@ -57,7 +57,7 @@ fn link_failure_reroutes_rendezvous_traffic() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let payload: Vec<u8> = (0..200_000).map(|i| (i * 37) as u8).collect();
     let expect = payload.clone();
-    let spec = chaos_spec().with_obs(obs::ObsConfig::enabled());
+    let spec = chaos_spec().obs(obs::ObsConfig::enabled());
     run(spec, move |r| {
         // Sever node1→node2, the middle of the primary route 0→2.
         if r.rank() == 0 {
@@ -65,12 +65,12 @@ fn link_failure_reroutes_rendezvous_traffic() {
         }
         r.barrier();
         if r.rank() == 0 {
-            r.try_send(2, 7, &payload)
+            r.send(2, 7, &payload)
                 .expect("failover should absorb the cable pull");
         } else if r.rank() == 2 {
             let mut buf = vec![0u8; 200_000];
             let st = r
-                .try_recv(Source::Rank(0), TagSel::Value(7), &mut buf)
+                .recv(Source::Rank(0), TagSel::Value(7), &mut buf)
                 .expect("delivery over the alternate route");
             assert_eq!(st.len, 200_000);
             assert_eq!(buf, expect, "payload must be bit-perfect after reroute");
@@ -92,20 +92,20 @@ fn link_failure_reroutes_rendezvous_traffic() {
 #[test]
 fn window_stream_fails_over_and_heals() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec = chaos_spec().with_obs(obs::ObsConfig::enabled());
+    let spec = chaos_spec().obs(obs::ObsConfig::enabled());
     run(spec, move |r| {
-        let mem = r.alloc_mem(1 << 16);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(1 << 16).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         if r.rank() == 0 {
             r.fabric().faults().fail_link(LinkId(1));
             // First put rides the alternate (degraded) route.
-            win.try_put(r, 2, 0, &[0xAA; 4096]).expect("failover");
+            win.put(r, 2, 0, &[0xAA; 4096]).expect("failover");
             r.fabric().faults().restore_link(LinkId(1));
             // The stream notices the healthy primary and switches back.
-            win.try_put(r, 2, 4096, &[0xBB; 4096]).expect("healed");
+            win.put(r, 2, 4096, &[0xBB; 4096]).expect("healed");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 2 {
             let mut buf = vec![0u8; 4096];
             win.read_local(r, 0, &mut buf);
@@ -113,7 +113,7 @@ fn window_stream_fails_over_and_heals() {
             win.read_local(r, 4096, &mut buf);
             assert!(buf.iter().all(|&b| b == 0xBB), "post-heal put landed");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert!(obs::counter_value(obs::Counter::RouteFailovers) > 0);
     assert!(
@@ -128,11 +128,11 @@ fn window_stream_fails_over_and_heals() {
 #[test]
 fn one_sided_falls_back_to_emulation_and_repromotes() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec = chaos_spec().with_obs(obs::ObsConfig::enabled());
+    let spec = chaos_spec().obs(obs::ObsConfig::enabled());
     run(spec, move |r| {
-        let mem = r.alloc_mem(1 << 16);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(1 << 16).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         if r.rank() == 0 {
             // Primary 0→2 is [0,1]; the alternate rides [3,2]. Severing
             // one link of each leaves no direct route at all.
@@ -141,22 +141,22 @@ fn one_sided_falls_back_to_emulation_and_repromotes() {
             // Default threshold is 2 consecutive failures: the first put
             // errors out, the retry demotes the target and is served by
             // the emulation path.
-            let first = win.try_put(r, 2, 0, &[0x11; 2048]);
+            let first = win.put(r, 2, 0, &[0x11; 2048]);
             assert!(first.is_err(), "no route: first direct put must fail");
-            win.try_put(r, 2, 0, &[0x22; 2048])
+            win.put(r, 2, 0, &[0x22; 2048])
                 .expect("fallback must serve the retry via emulation");
             // Still under fallback: a get is emulated, not direct.
             let mut back = [0u8; 16];
-            win.try_get(r, 2, 0, &mut back).expect("emulated get");
+            win.get(r, 2, 0, &mut back).expect("emulated get");
             assert_eq!(back, [0x22; 16]);
             r.fabric().faults().restore_link(LinkId(1));
             r.fabric().faults().restore_link(LinkId(2));
         }
-        win.fence(r); // fence probes the healed primary and re-promotes
+        win.fence(r).unwrap(); // fence probes the healed primary and re-promotes
         if r.rank() == 0 {
-            win.try_put(r, 2, 4096, &[0x33; 64]).expect("direct again");
+            win.put(r, 2, 4096, &[0x33; 64]).expect("direct again");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 2 {
             let mut buf = [0u8; 64];
             win.read_local(r, 0, &mut buf[..16]);
@@ -164,7 +164,7 @@ fn one_sided_falls_back_to_emulation_and_repromotes() {
             win.read_local(r, 4096, &mut buf);
             assert_eq!(buf, [0x33; 64]);
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert!(
         obs::counter_value(obs::Counter::OscFallbacks) > 0,
@@ -185,27 +185,27 @@ fn one_sided_falls_back_to_emulation_and_repromotes() {
 #[test]
 fn emulated_one_sided_sweep_under_link_failure() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec = chaos_spec().with_obs(obs::ObsConfig::enabled());
+    let spec = chaos_spec().obs(obs::ObsConfig::enabled());
     run(spec, move |r| {
-        let mem = r.alloc_mem(1 << 16);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(1 << 16).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         if r.rank() == 0 {
             // No direct route 0→2 at all (see the fallback test above).
             r.fabric().faults().fail_link(LinkId(1));
             r.fabric().faults().fail_link(LinkId(2));
-            let first = win.try_put(r, 2, 0, &[0x01; 512]);
+            let first = win.put(r, 2, 0, &[0x01; 512]);
             assert!(first.is_err(), "no route: first direct put must fail");
-            win.try_put(r, 2, 0, &[0x01; 512]).expect("demoted retry");
+            win.put(r, 2, 0, &[0x01; 512]).expect("demoted retry");
             // Multi-round emulated put/get round trips, each bit-checked.
             for round in 0..4usize {
                 let off = round * 4096;
                 let pattern: Vec<u8> = (0..2048)
                     .map(|i: usize| (i * 13 + round * 7) as u8)
                     .collect();
-                win.try_put(r, 2, off, &pattern).expect("emulated put");
+                win.put(r, 2, off, &pattern).expect("emulated put");
                 let mut back = vec![0u8; 2048];
-                win.try_get(r, 2, off, &mut back).expect("emulated get");
+                win.get(r, 2, off, &mut back).expect("emulated get");
                 assert_eq!(back, pattern, "round {round}: emulated round trip");
             }
             // Emulated read-modify-write: ordered accumulates in one epoch.
@@ -225,11 +225,11 @@ fn emulated_one_sided_sweep_under_link_failure() {
             r.fabric().faults().restore_link(LinkId(1));
             r.fabric().faults().restore_link(LinkId(2));
         }
-        win.fence(r); // fence probes the healed primary and re-promotes
+        win.fence(r).unwrap(); // fence probes the healed primary and re-promotes
         if r.rank() == 0 {
-            win.try_put(r, 2, 24576, &[0x44; 64]).expect("direct again");
+            win.put(r, 2, 24576, &[0x44; 64]).expect("direct again");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 2 {
             for round in 0..4usize {
                 let off = round * 4096;
@@ -260,7 +260,7 @@ fn emulated_one_sided_sweep_under_link_failure() {
             win.read_local(r, 24576, &mut direct);
             assert_eq!(direct, [0x44; 64]);
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert!(
         obs::counter_value(obs::Counter::OscFallbacks) > 0,
@@ -285,7 +285,7 @@ fn dead_peer_is_detected_within_the_virtual_time_budget() {
             let t0 = r.now();
             let mut buf = [0u8; 8];
             let err = r
-                .try_recv(Source::Rank(7), TagSel::Value(1), &mut buf)
+                .recv(Source::Rank(7), TagSel::Value(1), &mut buf)
                 .expect_err("rank 7 is dead and never sent");
             assert_eq!(err, ScimpiError::PeerDead { peer: 7 });
             assert_eq!(
@@ -314,10 +314,10 @@ fn chaos_outcome_is_deterministic() {
             r.barrier();
             let mut digest = 0u64;
             if r.rank() == 0 {
-                r.try_send(2, 7, &payload).expect("failover");
+                r.send(2, 7, &payload).expect("failover");
             } else if r.rank() == 2 {
                 let mut buf = vec![0u8; 100_000];
-                r.try_recv(Source::Rank(0), TagSel::Value(7), &mut buf)
+                r.recv(Source::Rank(0), TagSel::Value(7), &mut buf)
                     .expect("delivery");
                 digest = buf.iter().map(|&b| u64::from(b)).sum();
             }
@@ -330,7 +330,7 @@ fn chaos_outcome_is_deterministic() {
                 r.fabric().faults().kill_node(7);
                 let mut buf = [0u8; 8];
                 let err = r
-                    .try_recv(Source::Rank(7), TagSel::Value(1), &mut buf)
+                    .recv(Source::Rank(7), TagSel::Value(1), &mut buf)
                     .expect_err("dead peer");
                 assert_eq!(err, ScimpiError::PeerDead { peer: 7 });
                 r.fabric().faults().revive_node(7);

@@ -20,12 +20,12 @@ fn lossy_fabric_is_correct_but_slower() {
         let expect = payload.clone();
         let out = run(spec, move |r| {
             if r.rank() == 0 {
-                r.send(1, 0, &payload);
+                r.send(1, 0, &payload).unwrap();
                 r.barrier();
                 SimTime::ZERO
             } else {
                 let mut buf = vec![0u8; 200_000];
-                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
                 assert_eq!(buf, expect, "corrupted payload on lossy fabric");
                 r.barrier();
                 r.now()
@@ -52,10 +52,10 @@ fn fault_injection_is_deterministic() {
 
         run(spec, |r| {
             if r.rank() == 0 {
-                r.send(1, 0, &vec![9u8; 100_000]);
+                r.send(1, 0, &vec![9u8; 100_000]).unwrap();
             } else {
                 let mut buf = vec![0u8; 100_000];
-                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
             }
             r.barrier();
             r.now()
@@ -164,7 +164,7 @@ fn end_to_end_under_sustained_loss() {
         let blocks: Vec<Vec<u8>> = (0..n)
             .map(|d| vec![(r.rank() * 16 + d) as u8; 4096])
             .collect();
-        let got = r.alltoall(&blocks);
+        let got = r.alltoall(&blocks).unwrap();
         for (src, b) in got.iter().enumerate() {
             assert!(b.iter().all(|&x| x == (src * 16 + r.rank()) as u8));
         }

@@ -194,7 +194,7 @@ fn table2_link_upgrade_restores_bandwidth() {
     use repro_bench::scaling_put_bandwidth;
     let bw = |params: SciParams| {
         scaling_put_bandwidth(
-            ClusterSpec::ringlet(8).with_params(params),
+            ClusterSpec::ringlet(8).params(params),
             8,
             7,
             16 * 1024,

@@ -40,7 +40,7 @@ fn lossy_spec(ranks: usize, mode: IntegrityMode, corrupt: f64, drop: f64) -> Clu
         max_retransmits: 64,
         ..Tuning::default()
     };
-    let mut spec = ClusterSpec::ringlet(ranks).with_tuning(tuning);
+    let mut spec = ClusterSpec::ringlet(ranks).tuning(tuning);
     spec.faults = FaultConfig::silent(corrupt, drop);
     spec.seed = seed();
     spec
@@ -52,20 +52,19 @@ fn lossy_spec(ranks: usize, mode: IntegrityMode, corrupt: f64, drop: f64) -> Clu
 #[test]
 fn end_to_end_delivers_bit_identical_p2p() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec =
-        lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4).with_obs(obs::ObsConfig::enabled());
+    let spec = lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4).obs(obs::ObsConfig::enabled());
     let eager: Vec<u8> = (0..4096).map(|i| (i * 13) as u8).collect();
     let large: Vec<u8> = (0..600_000).map(|i| (i * 31) as u8).collect();
     run(spec, move |r| {
         if r.rank() == 0 {
-            r.send(1, 1, &eager);
-            r.send(1, 2, &large);
+            r.send(1, 1, &eager).unwrap();
+            r.send(1, 2, &large).unwrap();
         } else {
             let mut a = vec![0u8; eager.len()];
-            r.recv(Source::Rank(0), TagSel::Value(1), &mut a);
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut a).unwrap();
             assert_eq!(a, eager, "eager payload must be bit-identical");
             let mut b = vec![0u8; large.len()];
-            r.recv(Source::Rank(0), TagSel::Value(2), &mut b);
+            r.recv(Source::Rank(0), TagSel::Value(2), &mut b).unwrap();
             assert_eq!(b, large, "rendezvous payload must be bit-identical");
         }
     });
@@ -97,7 +96,7 @@ fn end_to_end_collective_delivers() {
         } else {
             vec![0u8; expect.len()]
         };
-        r.bcast(0, &mut buf);
+        r.bcast(0, &mut buf).unwrap();
         assert_eq!(buf, expect, "bcast must be bit-identical on every rank");
     });
 }
@@ -110,20 +109,20 @@ fn end_to_end_one_sided_paths_deliver() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let spec = lossy_spec(2, IntegrityMode::EndToEnd, 3e-4, 1e-4);
     run(spec, |r| {
-        let mem = r.alloc_mem(1 << 16);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(1 << 16).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         let pat: Vec<u8> = (0..32_768).map(|i| (i * 7) as u8).collect();
         if r.rank() == 0 {
             win.put(r, 1, 0, &pat).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 1 {
             let mut got = vec![0u8; pat.len()];
             win.read_local(r, 0, &mut got);
             assert_eq!(got, pat, "direct put must survive epoch verification");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         // Gets: small rides the direct read, large the remote-put
         // conversion; both returns are integrity-checked.
         if r.rank() == 0 {
@@ -134,7 +133,7 @@ fn end_to_end_one_sided_paths_deliver() {
             win.get(r, 1, 0, &mut big).unwrap();
             assert_eq!(big, pat[..4096], "remote-put get must be exact");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         // Ordered accumulates within one epoch: the ledger keeps only the
         // final image per region, and the combine stays exact.
         let ones: Vec<u8> = (0..8i64).flat_map(|i| (i + 1).to_le_bytes()).collect();
@@ -146,7 +145,7 @@ fn end_to_end_one_sided_paths_deliver() {
             win.accumulate(r, 1, 0, AccumulateOp::SumI64, &ones)
                 .unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 1 {
             let mut got = [0u8; 64];
             win.read_local(r, 0, &mut got);
@@ -155,20 +154,20 @@ fn end_to_end_one_sided_paths_deliver() {
                 assert_eq!(v, 2 * (i as i64 + 1), "accumulate must be exact");
             }
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         // Private window: the one-sided emulation packet path.
-        let mut priv_win = r.win_create(WinMemory::Private(8192));
-        priv_win.fence(r);
+        let mut priv_win = r.win_create(WinMemory::Private(8192)).unwrap();
+        priv_win.fence(r).unwrap();
         if r.rank() == 0 {
             priv_win.put(r, 1, 16, &pat[..4096]).unwrap();
         }
-        priv_win.fence(r);
+        priv_win.fence(r).unwrap();
         if r.rank() == 1 {
             let mut got = vec![0u8; 4096];
             priv_win.read_local(r, 16, &mut got);
             assert_eq!(got, pat[..4096], "emulated put must be bit-identical");
         }
-        priv_win.fence(r);
+        priv_win.fence(r).unwrap();
     });
 }
 
@@ -177,21 +176,21 @@ fn end_to_end_one_sided_paths_deliver() {
 #[test]
 fn off_mode_observably_corrupts() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec = lossy_spec(2, IntegrityMode::Off, 1.0, 0.0).with_obs(obs::ObsConfig::enabled());
+    let spec = lossy_spec(2, IntegrityMode::Off, 1.0, 0.0).obs(obs::ObsConfig::enabled());
     let payload: Vec<u8> = (0..4096).map(|i| (i * 11) as u8).collect();
     run(spec, move |r| {
-        let mem = r.alloc_mem(8192);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(8192).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         if r.rank() == 0 {
-            r.send(1, 1, &payload);
+            r.send(1, 1, &payload).unwrap();
             win.put(r, 1, 0, &[0xAB; 2048]).unwrap();
         } else {
             let mut buf = vec![0u8; payload.len()];
-            r.recv(Source::Rank(0), TagSel::Value(1), &mut buf);
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut buf).unwrap();
             assert_ne!(buf, payload, "Off must deliver the corrupted eager bytes");
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 1 {
             let mut local = [0u8; 2048];
             win.read_local(r, 0, &mut local);
@@ -201,7 +200,7 @@ fn off_mode_observably_corrupts() {
                 "Off must land corrupted puts"
             );
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert!(
         obs::counter_value(obs::Counter::CorruptionsInjected) > 0,
@@ -225,14 +224,14 @@ fn off_mode_observably_corrupts() {
 fn sequence_check_detects_and_errors() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let spec = lossy_spec(2, IntegrityMode::SequenceCheck, 1.0, 0.0)
-        .with_errors(ErrorMode::ErrorsReturn)
-        .with_obs(obs::ObsConfig::enabled());
+        .errors(ErrorMode::ErrorsReturn)
+        .obs(obs::ObsConfig::enabled());
     run(spec, |r| {
         // Eager: the sender's sequence bracket catches the flipped burst
         // before posting; nothing is delivered.
         if r.rank() == 0 {
             let err = r
-                .try_send(1, 1, &[1u8; 4096][..])
+                .send(1, 1, &[1u8; 4096][..])
                 .expect_err("eager corruption must be detected");
             assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
         }
@@ -242,13 +241,13 @@ fn sequence_check_detects_and_errors() {
         let big = vec![2u8; 200_000];
         if r.rank() == 0 {
             let err = r
-                .try_send(1, 2, &big)
+                .send(1, 2, &big)
                 .expect_err("rendezvous corruption must be detected");
             assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
         } else {
             let mut buf = vec![0u8; big.len()];
             let err = r
-                .try_recv(Source::Rank(0), TagSel::Value(2), &mut buf)
+                .recv(Source::Rank(0), TagSel::Value(2), &mut buf)
                 .expect_err("the abort must reach the receiver");
             assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
         }
@@ -256,18 +255,18 @@ fn sequence_check_detects_and_errors() {
         // One-sided: the put lands unchecked; the guard trips at the
         // synchronisation, after the collective part has completed (no
         // deadlocked peers).
-        let mem = r.alloc_mem(4096);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.try_fence(r).expect("empty epoch");
+        let mem = r.alloc_mem(4096).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).expect("empty epoch");
         if r.rank() == 0 {
-            win.try_put(r, 1, 0, &[7u8; 1024])
+            win.put(r, 1, 0, &[7u8; 1024])
                 .expect("detection happens at the fence, not the put");
             let err = win
-                .try_fence(r)
+                .fence(r)
                 .expect_err("the epoch sequence guard must trip");
             assert!(matches!(err, ScimpiError::DataCorruption { .. }), "{err}");
         } else {
-            win.try_fence(r).expect("no accesses, no taint");
+            win.fence(r).expect("no accesses, no taint");
         }
         r.barrier();
     });
@@ -284,22 +283,22 @@ fn sequence_check_detects_and_errors() {
 #[test]
 fn zero_fault_rate_end_to_end_never_retransmits() {
     let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let spec = lossy_spec(2, IntegrityMode::EndToEnd, 0.0, 0.0).with_obs(obs::ObsConfig::enabled());
+    let spec = lossy_spec(2, IntegrityMode::EndToEnd, 0.0, 0.0).obs(obs::ObsConfig::enabled());
     run(spec, |r| {
-        let mem = r.alloc_mem(8192);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(8192).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         if r.rank() == 0 {
-            r.send(1, 1, &[3u8; 4096]);
-            r.send(1, 2, &vec![4u8; 100_000]);
+            r.send(1, 1, &[3u8; 4096]).unwrap();
+            r.send(1, 2, &vec![4u8; 100_000]).unwrap();
             win.put(r, 1, 0, &[5u8; 2048]).unwrap();
         } else {
             let mut a = [0u8; 4096];
-            r.recv(Source::Rank(0), TagSel::Value(1), &mut a);
+            r.recv(Source::Rank(0), TagSel::Value(1), &mut a).unwrap();
             let mut b = vec![0u8; 100_000];
-            r.recv(Source::Rank(0), TagSel::Value(2), &mut b);
+            r.recv(Source::Rank(0), TagSel::Value(2), &mut b).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert_eq!(obs::counter_value(obs::Counter::CorruptionsInjected), 0);
     assert_eq!(obs::counter_value(obs::Counter::CorruptionsDetected), 0);
@@ -319,10 +318,10 @@ fn lossy_end_to_end_is_deterministic() {
             move |r| {
                 let mut digest = 0u64;
                 if r.rank() == 0 {
-                    r.send(1, 9, &payload);
+                    r.send(1, 9, &payload).unwrap();
                 } else {
                     let mut buf = vec![0u8; payload.len()];
-                    r.recv(Source::Rank(0), TagSel::Value(9), &mut buf);
+                    r.recv(Source::Rank(0), TagSel::Value(9), &mut buf).unwrap();
                     digest = buf.iter().map(|&b| u64::from(b)).sum();
                 }
                 r.barrier();

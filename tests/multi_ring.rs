@@ -11,12 +11,12 @@ fn collectives_across_rings() {
     // 3 ringlets of 4: collectives span the switch transparently.
     let out = run(ClusterSpec::multi_ring(3, 4), |r| {
         assert_eq!(r.size(), 12);
-        let sum = r.allreduce_f64(&[r.rank() as f64], ReduceOp::Sum);
+        let sum = r.allreduce_f64(&[r.rank() as f64], ReduceOp::Sum).unwrap();
         let mut token = vec![0u8; 8];
         if r.rank() == 0 {
             token = 0xDEADBEEFu64.to_le_bytes().to_vec();
         }
-        r.bcast(0, &mut token);
+        r.bcast(0, &mut token).unwrap();
         (
             sum[0],
             u64::from_le_bytes(token.try_into().expect("8 bytes")),
@@ -29,16 +29,16 @@ fn collectives_across_rings() {
 #[test]
 fn one_sided_across_the_switch() {
     run(ClusterSpec::multi_ring(2, 4), |r| {
-        let mem = r.alloc_mem(256);
-        let mut win = r.win_create(WinMemory::Alloc(mem));
-        win.fence(r);
+        let mem = r.alloc_mem(256).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
         // Rank 0 (ring 0) puts into rank 5 (ring 1) and vice versa.
         if r.rank() == 0 {
             win.put(r, 5, 0, &[0xA1; 32]).unwrap();
         } else if r.rank() == 5 {
             win.put(r, 0, 0, &[0xB2; 32]).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 5 {
             let mut b = [0u8; 32];
             win.read_local(r, 0, &mut b);
@@ -49,7 +49,7 @@ fn one_sided_across_the_switch() {
             win.read_local(r, 0, &mut b);
             assert!(b.iter().all(|&x| x == 0xB2));
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
 }
 
@@ -63,12 +63,14 @@ fn cross_ring_latency_exceeds_intra_ring() {
             let mut buf = [0u8; 64];
             if r.rank() == a {
                 let t0 = r.now();
-                r.send(b, tag, &buf);
-                r.recv(Source::Rank(b), TagSel::Value(tag), &mut buf);
+                r.send(b, tag, &buf).unwrap();
+                r.recv(Source::Rank(b), TagSel::Value(tag), &mut buf)
+                    .unwrap();
                 lat = r.now() - t0;
             } else if r.rank() == b {
-                r.recv(Source::Rank(a), TagSel::Value(tag), &mut buf);
-                r.send(a, tag, &buf);
+                r.recv(Source::Rank(a), TagSel::Value(tag), &mut buf)
+                    .unwrap();
+                r.send(a, tag, &buf).unwrap();
             }
             r.barrier();
         }
@@ -100,9 +102,10 @@ fn large_system_smoke() {
             Source::Rank(prev),
             TagSel::Value(3),
             scimpi::RecvBuf::Bytes(&mut got),
-        );
+        )
+        .unwrap();
         assert!(got.iter().all(|&b| b == prev as u8));
-        let total = r.allreduce_f64(&[1.0], ReduceOp::Sum);
+        let total = r.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap();
         total[0] as usize
     });
     assert!(out.iter().all(|&v| v == 64));

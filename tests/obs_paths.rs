@@ -11,12 +11,12 @@ use scimpi::{run, ClusterSpec, ObsConfig, Rank, Source, TagSel, WinMemory};
 
 fn enabled_spec() -> ClusterSpec {
     // `reset_on_start` wipes the previous scenario's counters.
-    ClusterSpec::ringlet(2).with_obs(ObsConfig::enabled())
+    ClusterSpec::ringlet(2).obs(ObsConfig::enabled())
 }
 
 fn shared_window(r: &mut Rank, len: usize) -> scimpi::Window {
-    let mem = r.alloc_mem(len);
-    r.win_create(WinMemory::Alloc(mem))
+    let mem = r.alloc_mem(len).unwrap();
+    r.win_create(WinMemory::Alloc(mem)).unwrap()
 }
 
 #[test]
@@ -24,10 +24,10 @@ fn counters_attribute_protocol_paths() {
     // --- 1. Small message: eager, no rendezvous traffic. ---
     run(enabled_spec(), |r| {
         if r.rank() == 0 {
-            r.send(1, 0, &[7u8; 128]);
+            r.send(1, 0, &[7u8; 128]).unwrap();
         } else {
             let mut buf = [0u8; 128];
-            r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+            r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
         }
     });
     assert_eq!(obs::counter_value(Counter::EagerSends), 1);
@@ -41,10 +41,10 @@ fn counters_attribute_protocol_paths() {
     let expected_chunks = total.div_ceil(spec.tuning.rendezvous_chunk) as u64;
     run(spec, move |r| {
         if r.rank() == 0 {
-            r.send(1, 0, &vec![1u8; total]);
+            r.send(1, 0, &vec![1u8; total]).unwrap();
         } else {
             let mut buf = vec![0u8; total];
-            r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
+            r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
         }
     });
     assert_eq!(obs::counter_value(Counter::EagerSends), 0);
@@ -60,18 +60,18 @@ fn counters_attribute_protocol_paths() {
         if r.rank() == 0 {
             win.put(r, 1, 0, &[3u8; 64]).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert_eq!(obs::counter_value(Counter::OscPutShared), 1);
     assert_eq!(obs::counter_value(Counter::OscPutEmulated), 0);
 
     // --- 4. Put into a private window: emulation path. ---
     run(enabled_spec(), |r| {
-        let mut win = r.win_create(WinMemory::Private(1024));
+        let mut win = r.win_create(WinMemory::Private(1024)).unwrap();
         if r.rank() == 0 {
             win.put(r, 1, 0, &[4u8; 64]).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert_eq!(obs::counter_value(Counter::OscPutShared), 0);
     assert_eq!(obs::counter_value(Counter::OscPutEmulated), 1);
@@ -81,34 +81,31 @@ fn counters_attribute_protocol_paths() {
     let threshold = spec.tuning.get_remote_put_threshold;
     run(spec, move |r| {
         let mut win = shared_window(r, 2 * threshold);
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 0 {
             let mut small = vec![0u8; 16];
             win.get(r, 1, 0, &mut small).unwrap();
             let mut large = vec![0u8; threshold];
             win.get(r, 1, 0, &mut large).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
     assert_eq!(obs::counter_value(Counter::OscGetDirect), 1);
     assert_eq!(obs::counter_value(Counter::OscGetRemotePut), 1);
 
     // --- 6. Disabled recorder: the same traffic moves no counter. ---
     obs::reset();
-    run(
-        ClusterSpec::ringlet(2).with_obs(ObsConfig::disabled()),
-        |r| {
-            let mut win = shared_window(r, 1024);
-            if r.rank() == 0 {
-                r.send(1, 0, &[7u8; 128]);
-                win.put(r, 1, 0, &[3u8; 64]).unwrap();
-            } else {
-                let mut buf = [0u8; 128];
-                r.recv(Source::Rank(0), TagSel::Value(0), &mut buf);
-            }
-            win.fence(r);
-        },
-    );
+    run(ClusterSpec::ringlet(2).obs(ObsConfig::disabled()), |r| {
+        let mut win = shared_window(r, 1024);
+        if r.rank() == 0 {
+            r.send(1, 0, &[7u8; 128]).unwrap();
+            win.put(r, 1, 0, &[3u8; 64]).unwrap();
+        } else {
+            let mut buf = [0u8; 128];
+            r.recv(Source::Rank(0), TagSel::Value(0), &mut buf).unwrap();
+        }
+        win.fence(r).unwrap();
+    });
     for (name, value) in obs::counters_snapshot() {
         assert_eq!(value, 0, "counter {name} moved while disabled");
     }

@@ -8,8 +8,8 @@ use scimpi::{run, AccumulateOp, ClusterSpec, Rank, WinMemory, Window};
 use simclock::SimDuration;
 
 fn shared_window(r: &mut Rank, len: usize) -> Window {
-    let mem = r.alloc_mem(len);
-    r.win_create(WinMemory::Alloc(mem))
+    let mem = r.alloc_mem(len).unwrap();
+    r.win_create(WinMemory::Alloc(mem)).unwrap()
 }
 
 /// Several windows coexist: operations through one never touch another.
@@ -22,8 +22,8 @@ fn multiple_windows_are_isolated() {
             w1.put(r, 1, 0, &[0xAA; 64]).unwrap();
             w2.put(r, 1, 0, &[0xBB; 64]).unwrap();
         }
-        w1.fence(r);
-        w2.fence(r);
+        w1.fence(r).unwrap();
+        w2.fence(r).unwrap();
         if r.rank() == 1 {
             let mut a = [0u8; 64];
             let mut b = [0u8; 64];
@@ -32,8 +32,8 @@ fn multiple_windows_are_isolated() {
             assert!(a.iter().all(|&x| x == 0xAA));
             assert!(b.iter().all(|&x| x == 0xBB));
         }
-        w1.fence(r);
-        w2.fence(r);
+        w1.fence(r).unwrap();
+        w2.fence(r).unwrap();
     });
 }
 
@@ -61,12 +61,12 @@ fn pscw_disjoint_groups() {
             1 => {
                 win.start(r, &[0]);
                 win.put(r, 0, 0, &[1; 4]).unwrap();
-                win.complete(r, &[0]);
+                win.complete(r, &[0]).unwrap();
             }
             _ => {
                 win.start(r, &[3]);
                 win.put(r, 3, 0, &[2; 4]).unwrap();
-                win.complete(r, &[3]);
+                win.complete(r, &[3]).unwrap();
             }
         }
         // Cleanly end the program for everyone.
@@ -89,7 +89,7 @@ fn pscw_repeated_epochs() {
             } else {
                 win.start(r, &[0]);
                 win.put(r, 0, 0, &[round]).unwrap();
-                win.complete(r, &[0]);
+                win.complete(r, &[0]).unwrap();
             }
         }
     });
@@ -104,7 +104,7 @@ fn accumulate_operators() {
             win.write_local(r, 0, &typed::to_bytes(&[10.0f64, -4.0]));
             win.write_local(r, 16, &5i64.to_le_bytes());
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 0 {
             win.accumulate(
                 r,
@@ -127,7 +127,7 @@ fn accumulate_operators() {
             win.accumulate(r, 1, 24, AccumulateOp::Replace, &[9u8; 8])
                 .unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 1 {
             let mut f = [0u8; 16];
             win.read_local(r, 0, &mut f);
@@ -140,7 +140,7 @@ fn accumulate_operators() {
             win.read_local(r, 24, &mut rep);
             assert_eq!(rep, [9u8; 8]);
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
 }
 
@@ -151,23 +151,23 @@ fn mixed_shared_private_empty_window() {
     run(ClusterSpec::ringlet(3), |r| {
         let mut win = match r.rank() {
             0 => {
-                let mem = r.alloc_mem(128);
-                r.win_create(WinMemory::Alloc(mem))
+                let mem = r.alloc_mem(128).unwrap();
+                r.win_create(WinMemory::Alloc(mem)).unwrap()
             }
-            1 => r.win_create(WinMemory::Private(128)),
-            _ => r.win_create(WinMemory::Private(0)),
+            1 => r.win_create(WinMemory::Private(128)).unwrap(),
+            _ => r.win_create(WinMemory::Private(0)).unwrap(),
         };
         assert!(win.is_shared(0));
         assert!(!win.is_shared(1));
         assert!(win.is_empty(2));
-        win.fence(r);
+        win.fence(r).unwrap();
         if r.rank() == 2 {
             win.put(r, 0, 0, &[1; 16]).unwrap();
             win.put(r, 1, 0, &[2; 16]).unwrap();
             // Out of range on the empty window.
             assert!(win.put(r, 2, 0, &[3; 1]).is_err());
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         match r.rank() {
             0 => {
                 let mut b = [0u8; 16];
@@ -181,7 +181,7 @@ fn mixed_shared_private_empty_window() {
             }
             _ => {}
         }
-        win.fence(r);
+        win.fence(r).unwrap();
     });
 }
 
@@ -196,16 +196,17 @@ fn lock_rmw_from_all_ranks() {
         if r.rank() == 0 {
             win.write_local(r, 0, &0i64.to_le_bytes());
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         for _ in 0..per_rank {
             win.locked(r, 0, |w, r| {
                 let mut cur = [0u8; 8];
                 w.get(r, 0, 0, &mut cur).unwrap();
                 let v = i64::from_le_bytes(cur) + 1;
                 w.put(r, 0, 0, &v.to_le_bytes()).unwrap();
-            });
+            })
+            .unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         // Everyone reads the counter from rank 0's window part.
         let mut b = [0u8; 8];
         if r.rank() == 0 {
@@ -213,7 +214,7 @@ fn lock_rmw_from_all_ranks() {
         } else {
             win.get(r, 0, 0, &mut b).unwrap();
         }
-        win.fence(r);
+        win.fence(r).unwrap();
         i64::from_le_bytes(b)
     });
     assert!(
@@ -227,15 +228,15 @@ fn lock_rmw_from_all_ranks() {
 fn emulation_parallel_across_targets() {
     let time_to = |targets: usize| {
         let out = run(ClusterSpec::ringlet(4), move |r| {
-            let mut win = r.win_create(WinMemory::Private(8192));
-            win.fence(r);
+            let mut win = r.win_create(WinMemory::Private(8192)).unwrap();
+            win.fence(r).unwrap();
             if r.rank() == 0 {
                 for i in 0..12 {
                     let t = 1 + (i % targets);
                     win.put(r, t, (i / targets) * 512, &[1u8; 512]).unwrap();
                 }
             }
-            win.fence(r);
+            win.fence(r).unwrap();
             r.now()
         });
         out[0]
@@ -252,16 +253,16 @@ fn emulation_parallel_across_targets() {
 #[test]
 fn alloc_mem_lifecycle_with_windows() {
     run(ClusterSpec::ringlet(2), |r| {
-        let a = r.alloc_mem(4096);
+        let a = r.alloc_mem(4096).unwrap();
         let first_offset = a.offset;
-        let mut w1 = r.win_create(WinMemory::Alloc(a));
-        w1.fence(r);
+        let mut w1 = r.win_create(WinMemory::Alloc(a)).unwrap();
+        w1.fence(r).unwrap();
         if r.rank() == 0 {
             w1.put(r, 1, 0, &[3; 32]).unwrap();
         }
-        w1.fence(r);
+        w1.fence(r).unwrap();
         // A second allocation lands elsewhere while the first is live.
-        let b = r.alloc_mem(4096);
+        let b = r.alloc_mem(4096).unwrap();
         assert_ne!(b.offset, first_offset);
         r.free_mem(b);
         // Charging time keeps clocks moving even without comms.
