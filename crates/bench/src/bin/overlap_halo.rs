@@ -20,7 +20,7 @@
 //! Run: `cargo run --release -p repro-bench --bin overlap_halo`
 
 use obs::json::num;
-use obs::Counter;
+use obs::{Counter, WaitKind};
 use scimpi::{ClusterSpec, ObsConfig, RecvBuf, SendData, Source, TagSel};
 use simclock::stats::Table;
 use simclock::{SimDuration, SimTime};
@@ -40,8 +40,21 @@ fn spec() -> ClusterSpec {
     spec
 }
 
-/// One full run of the halo loop; returns the cluster-wide finish time.
-fn halo_run(nonblocking: bool, compute: SimDuration) -> SimTime {
+/// What one full run of the halo loop measured: the cluster-wide finish
+/// time plus the wait-state attribution the profiler recorded for it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RunStats {
+    finish: SimTime,
+    /// Sum of every rank's classified wait time \[ps\].
+    wait_ps: u64,
+    /// The request-wait share of `wait_ps` \[ps\].
+    request_wait_ps: u64,
+    /// `Counter::OverlapSavedNs` credited by the request engine \[ns\].
+    credited_ns: u64,
+}
+
+/// One full run of the halo loop.
+fn halo_run(nonblocking: bool, compute: SimDuration) -> RunStats {
     let times = scimpi::run(spec(), move |r| {
         let me = r.rank();
         let n = r.size();
@@ -91,12 +104,23 @@ fn halo_run(nonblocking: bool, compute: SimDuration) -> SimTime {
         }
         r.now()
     });
-    times.into_iter().max().expect("nonempty cluster")
+    let finish = times.into_iter().max().expect("nonempty cluster");
+    let profile = obs::report::last_profile().expect("observability enabled");
+    RunStats {
+        finish,
+        wait_ps: profile.total_wait_ps(),
+        request_wait_ps: profile
+            .ranks
+            .iter()
+            .map(|r| r.wait_ps[WaitKind::RequestWait as usize])
+            .sum(),
+        credited_ns: obs::counter_value(Counter::OverlapSavedNs),
+    }
 }
 
 fn main() {
     // Calibrate: the blocking arm with zero compute is pure exchange.
-    let comm_only = halo_run(false, SimDuration::ZERO);
+    let comm_only = halo_run(false, SimDuration::ZERO).finish;
     let comm_per_iter = SimDuration::from_ps(comm_only.as_ps() / ITERS as u64);
     println!(
         "== Overlap on a {RANKS}-rank ring halo exchange \
@@ -113,34 +137,94 @@ fn main() {
         "blocking [us]",
         "nonblocking [us]",
         "saved",
+        "wait blk [us]",
+        "wait nb [us]",
         "overlap credited [us]",
     ]);
     let mut points = Vec::new();
     let mut saving_at_parity = 0.0;
     for &grain in &GRAINS {
         let compute = SimDuration::from_ps((comm_per_iter.as_ps() as f64 * grain) as u64);
-        let t_blocking = halo_run(false, compute);
-        let t_nonblocking = halo_run(true, compute);
-        let credited_ns = obs::counter_value(Counter::OverlapSavedNs);
+        let blocking = halo_run(false, compute);
+        let nonblocking = halo_run(true, compute);
+        let t_blocking = blocking.finish;
+        let t_nonblocking = nonblocking.finish;
+        let credited_ns = nonblocking.credited_ns;
         let saving = 1.0 - t_nonblocking.as_ps() as f64 / t_blocking.as_ps() as f64;
         if grain == 1.0 {
             saving_at_parity = saving;
         }
+
+        // The profiler must agree with the clocks: overlapping transfers
+        // with compute removes classified wait time, so the nonblocking
+        // arm has to wait strictly less than the blocking arm at every
+        // grain.
+        assert!(
+            nonblocking.wait_ps < blocking.wait_ps,
+            "attribution: nonblocking arm must wait less than blocking \
+             at grain {grain} (blocking {} ps, nonblocking {} ps)",
+            blocking.wait_ps,
+            nonblocking.wait_ps
+        );
+
+        // Cross-check the engine's self-reported overlap against the
+        // profiler. The counter credits every request for the time it was
+        // in flight while its rank advanced, so four concurrent requests
+        // hiding behind the same compute interval each earn credit for
+        // it — the counter upper-bounds the wall-clock wait reduction
+        // (measured ratio here: ~0.1 at thin grains, ~0.3 once the
+        // transfers hide fully) and can never under-report it.
+        let delta_wait_ns = (blocking.wait_ps - nonblocking.wait_ps) / 1_000;
+        assert!(
+            delta_wait_ns <= credited_ns,
+            "attribution: wall-clock wait cut ({delta_wait_ns} ns) cannot \
+             exceed the per-request overlap credit ({credited_ns} ns) at \
+             grain {grain}"
+        );
+
         table.push_row(vec![
             format!("{grain:.2}"),
             format!("{:.1}", t_blocking.as_ps() as f64 / 1e6),
             format!("{:.1}", t_nonblocking.as_ps() as f64 / 1e6),
             format!("{:.1}%", saving * 100.0),
+            format!("{:.1}", blocking.wait_ps as f64 / 1e6),
+            format!("{:.1}", nonblocking.wait_ps as f64 / 1e6),
             format!("{:.1}", credited_ns as f64 / 1e3),
         ]);
         points.push(format!(
             "{{\"compute_to_comm\":{},\"blocking_us\":{},\"nonblocking_us\":{},\
-             \"saving_pct\":{},\"overlap_saved_ns\":{credited_ns}}}",
+             \"saving_pct\":{},\"wait_blocking_us\":{},\"wait_nonblocking_us\":{},\
+             \"request_wait_us\":{},\"overlap_saved_ns\":{credited_ns}}}",
             num(grain),
             num(t_blocking.as_ps() as f64 / 1e6),
             num(t_nonblocking.as_ps() as f64 / 1e6),
             num(saving * 100.0),
+            num(blocking.wait_ps as f64 / 1e6),
+            num(nonblocking.wait_ps as f64 / 1e6),
+            num(nonblocking.request_wait_ps as f64 / 1e6),
         ));
+
+        println!(
+            "grain {grain:.2}: wait cut by {:.1} us, engine credited {:.1} us \
+             (ratio {:.3})",
+            delta_wait_ns as f64 / 1e3,
+            credited_ns as f64 / 1e3,
+            delta_wait_ns as f64 / credited_ns as f64
+        );
+
+        // At a 1:1 grain the compute interval is long enough to hide the
+        // whole exchange: the profiler must show the blocking arm's wait
+        // time at least 95% eliminated.
+        if grain == 1.0 {
+            assert!(
+                nonblocking.wait_ps * 20 <= blocking.wait_ps,
+                "attribution: at 1:1 grain the residual nonblocking wait \
+                 ({} ps) must be within 5% of eliminating the blocking \
+                 arm's wait ({} ps)",
+                nonblocking.wait_ps,
+                blocking.wait_ps
+            );
+        }
     }
     println!("{}", table.render());
 
@@ -154,18 +238,24 @@ fn main() {
     );
 
     // Determinism: the same seed must reproduce the nonblocking arm's
-    // virtual time exactly, engine threads and all.
+    // virtual time — and the profiler's attribution of it — exactly,
+    // engine threads and all. The overlap credit is deliberately left
+    // out: a request whose transfer drains below the compute frontier
+    // earns a credit that depends on engine-thread arbitration order,
+    // which never moves any clock and so is allowed to jitter.
     let compute = comm_per_iter;
     let once = halo_run(true, compute);
     let twice = halo_run(true, compute);
     assert_eq!(
-        once, twice,
+        (once.finish, once.wait_ps, once.request_wait_ps),
+        (twice.finish, twice.wait_ps, twice.request_wait_ps),
         "same-seed nonblocking runs must be bit-identical"
     );
     println!(
         "\nsaving at 1:1 grain: {:.1}% (>= 25% required); \
-         same-seed virtual times bit-identical ({once})",
-        saving_at_parity * 100.0
+         same-seed virtual times and wait attribution bit-identical ({})",
+        saving_at_parity * 100.0,
+        once.finish
     );
 
     let json = format!(
@@ -179,5 +269,12 @@ fn main() {
     match std::fs::write("BENCH_overlap_halo.json", &json) {
         Ok(()) => println!("wrote BENCH_overlap_halo.json"),
         Err(e) => eprintln!("BENCH_overlap_halo.json not written: {e}"),
+    }
+    // The wait-state profile of the last (parity-grain) run travels next
+    // to the bench document, like every BenchDoc-based binary.
+    match obs::report::write_profile_for("overlap_halo") {
+        Ok(Some(path)) => println!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("PROFILE_overlap_halo.json not written: {e}"),
     }
 }

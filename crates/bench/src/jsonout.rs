@@ -134,10 +134,13 @@ impl BenchDoc {
     }
 
     /// Write `BENCH_<name>.json` in the current directory and return the
-    /// path.
+    /// path. When the run recorded a wait-state profile (observability
+    /// enabled), the matching `PROFILE_<name>.json` is written next to it
+    /// so the regression gate and CI artifacts always travel as a pair.
     pub fn write(&self) -> std::io::Result<PathBuf> {
         let path = PathBuf::from(format!("BENCH_{}.json", self.name));
         std::fs::write(&path, self.to_json())?;
+        obs::report::write_profile_for(&self.name)?;
         Ok(path)
     }
 

@@ -13,10 +13,13 @@
 //! | `fig12_scaling` | Figure 12 — one-sided scaling with process count |
 //! | `table2_segment_util` | Table 2 — ring-segment utilisation study |
 //! | `ablations` | DESIGN.md §5 — ablation studies |
+//! | `overlap_halo` | docs/ASYNC.md — request-engine overlap study |
+//! | `bench_diff` | regression gate: current JSON vs `bench/baselines/` |
 //!
 //! This library holds the shared workload generators and measurement
 //! loops so that every binary measures the *same* workloads the same way.
 
+pub mod diff;
 pub mod jsonout;
 pub mod workloads;
 

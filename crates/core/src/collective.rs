@@ -25,9 +25,25 @@ use crate::p2p::RecvBuf;
 use crate::runtime::Rank;
 use crate::SendData;
 use mpi_datatype::typed;
+use simclock::SimTime;
 
 /// Internal tag space for collectives (kept out of user tag space).
 const COLL_TAG: i32 = i32::MIN + 7;
+
+/// Record a collective-operation span (a single relaxed load when
+/// recording is off). Spans feed the per-family latency histograms of the
+/// `PROFILE` report as well as the Chrome trace; they never touch the
+/// clock, so enabling them cannot perturb virtual time.
+fn coll_span(rank: &Rank, name: &'static str, start: SimTime, bytes: usize) {
+    if obs::is_enabled() {
+        obs::span(
+            name,
+            start,
+            rank.clock.now(),
+            vec![("bytes", obs::Arg::U64(bytes as u64))],
+        );
+    }
+}
 
 /// Reduction operators for the numeric collectives.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,6 +74,7 @@ impl Rank {
         if size == 1 {
             return Ok(());
         }
+        let start = self.clock.now();
         let vrank = (self.rank + size - root) % size;
         // Receive phase.
         let mut mask = 1usize;
@@ -79,6 +96,7 @@ impl Rank {
             }
             mask >>= 1;
         }
+        coll_span(self, "coll.bcast", start, buf.len());
         Ok(())
     }
 
@@ -92,6 +110,7 @@ impl Rank {
     ) -> Result<Option<Vec<f64>>, ScimpiError> {
         assert!(root < self.size, "reduce root out of range");
         let size = self.size;
+        let start = self.clock.now();
         let vrank = (self.rank + size - root) % size;
         let mut acc = values.to_vec();
         let mut mask = 1usize;
@@ -100,6 +119,7 @@ impl Rank {
                 let dst = (vrank - mask + root) % size;
                 let bytes = typed::to_bytes(&acc);
                 self.send(dst, COLL_TAG, &bytes)?;
+                coll_span(self, "coll.reduce", start, values.len() * 8);
                 return Ok(None);
             }
             if vrank + mask < size {
@@ -113,17 +133,20 @@ impl Rank {
             }
             mask <<= 1;
         }
+        coll_span(self, "coll.reduce", start, values.len() * 8);
         Ok(if self.rank == root { Some(acc) } else { None })
     }
 
     /// All-reduce: reduce onto rank 0, then broadcast.
     pub fn allreduce_f64(&mut self, values: &[f64], op: ReduceOp) -> Result<Vec<f64>, ScimpiError> {
+        let start = self.clock.now();
         let reduced = self.reduce_f64(0, values, op)?;
         let mut bytes = match reduced {
             Some(v) => typed::to_bytes(&v),
             None => vec![0u8; values.len() * 8],
         };
         self.bcast(0, &mut bytes)?;
+        coll_span(self, "coll.allreduce", start, values.len() * 8);
         Ok(typed::from_bytes(&bytes))
     }
 
@@ -144,8 +167,10 @@ impl Rank {
         mine: &[u8],
     ) -> Result<Option<Vec<Vec<u8>>>, ScimpiError> {
         assert!(root < self.size, "gather root out of range");
+        let start = self.clock.now();
         if self.rank != root {
             self.gather_send(root, mine)?;
+            coll_span(self, "coll.gatherv", start, mine.len());
             return Ok(None);
         }
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
@@ -166,6 +191,7 @@ impl Rank {
             }
             out[src] = data;
         }
+        coll_span(self, "coll.gatherv", start, mine.len());
         Ok(Some(out))
     }
 
@@ -228,6 +254,8 @@ impl Rank {
     /// [`ScimpiError::PeerDead`] instead of hanging the collective.
     pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
         assert_eq!(sendblocks.len(), self.size, "one block per rank");
+        let start = self.clock.now();
+        let total: usize = sendblocks.iter().map(Vec::len).sum();
         let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
         out[self.rank] = sendblocks[self.rank].clone();
         for step in 1..self.size {
@@ -245,6 +273,7 @@ impl Rank {
             buf.truncate(st.len);
             out[src] = buf;
         }
+        coll_span(self, "coll.alltoall", start, total);
         Ok(out)
     }
 }

@@ -26,6 +26,7 @@ use crate::request::Request;
 use crate::runtime::Rank;
 use crate::tuning::{IntegrityMode, PackPath};
 use mpi_datatype::{ff, Committed};
+use obs::attrib::{self, Bucket, WaitKind};
 use sci_fabric::{crc32, ConnectionMonitor, PioStream, SciError, SeqStatus, SharedMem};
 use simclock::{SimDuration, SimTime};
 use smi::{ProcId, SharedRegion, SmiLock, TimeBarrier};
@@ -402,7 +403,11 @@ impl Window {
     /// accumulates, notably) supersedes its record — only the final image
     /// can verify against memory.
     fn record_put(&mut self, rank: &mut Rank, target: usize, offset: usize, data: &[u8]) {
-        rank.clock.advance(rank.world.crc_cost(data.len()));
+        attrib::advance(
+            &mut rank.clock,
+            Bucket::Pack,
+            rank.world.crc_cost(data.len()),
+        );
         let (lo, hi) = (offset, offset + data.len());
         self.put_records
             .retain(|r| r.target != target || r.offset + r.data.len() <= lo || hi <= r.offset);
@@ -428,7 +433,11 @@ impl Window {
         let pair = (rank.node().0, rank.world.node_of(target).0);
         let mut retransmits = 0u32;
         loop {
-            rank.clock.advance(rank.world.crc_cost(data.len()));
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Pack,
+                rank.world.crc_cost(data.len()),
+            );
             let mut wire = data.to_vec();
             let n = Self::corrupt_wire(rank, pair, &mut wire);
             if n == 0 {
@@ -444,8 +453,8 @@ impl Window {
             }
             retransmits += 1;
             Self::note_retransmit(rank, "osc.emulated", retransmits);
-            rank.clock
-                .advance(Self::handler_roundtrip_cost(rank, target, data.len()));
+            let roundtrip = Self::handler_roundtrip_cost(rank, target, data.len());
+            attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         }
     }
 
@@ -470,7 +479,11 @@ impl Window {
                 Self::note_uncovered(rank, n, what);
                 return Ok(());
             }
-            rank.clock.advance(rank.world.crc_cost(dst.len()));
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Pack,
+                rank.world.crc_cost(dst.len()),
+            );
             if n == 0 {
                 return Ok(());
             }
@@ -484,8 +497,8 @@ impl Window {
             }
             retransmits += 1;
             Self::note_retransmit(rank, what, retransmits);
-            rank.clock
-                .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+            let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+            attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         }
     }
 
@@ -503,14 +516,19 @@ impl Window {
         let mode = rank.world.tuning.integrity_mode;
         let mut retransmits = 0u32;
         loop {
-            let n = reader
-                .read_counted(&mut rank.clock, at, dst)
-                .map_err(ScimpiError::Fabric)?;
+            let n = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                reader.read_counted(clock, at, dst)
+            })
+            .map_err(ScimpiError::Fabric)?;
             if mode != IntegrityMode::EndToEnd {
                 Self::note_uncovered(rank, n as usize, what);
                 return Ok(());
             }
-            rank.clock.advance(rank.world.crc_cost(dst.len()));
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Pack,
+                rank.world.crc_cost(dst.len()),
+            );
             if n == 0 {
                 return Ok(());
             }
@@ -589,7 +607,10 @@ impl Window {
             obs::inc(obs::Counter::OscPutShared);
             let (stream, base) =
                 Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
-            match stream.write(&mut rank.clock, base + target_off, data) {
+            let res = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                stream.write(clock, base + target_off, data)
+            });
+            match res {
                 Ok(()) => {
                     self.note_direct_success(target);
                     if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
@@ -641,7 +662,11 @@ impl Window {
         // let the adaptive selector pick the pack path from its density.
         // DMA is only on offer where the descriptor-list engine can reach
         // the target: a healthy shared window.
-        rank.clock.advance(rank.world.tuning.layout_resolve_cost(c));
+        attrib::advance(
+            &mut rank.clock,
+            Bucket::Pack,
+            rank.world.tuning.layout_resolve_cost(c),
+        );
         let path = rank
             .world
             .tuning
@@ -657,36 +682,39 @@ impl Window {
             // written at its own displacement. With WC batching, adjacent
             // blocks coalesce in the stream's write-combining window.
             let use_wc = rank.world.tuning.wc_batching;
-            let mut err = None;
-            let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                let src_at = (origin as i64 + disp) as usize;
-                let dst_at = base + target_off + disp as usize;
-                let data = &buf[src_at..src_at + len];
-                let res = if use_wc {
-                    stream.write_batched(&mut rank.clock, dst_at, data)
-                } else {
-                    stream.write(&mut rank.clock, dst_at, data)
-                };
-                match res {
-                    Ok(()) => core::ops::ControlFlow::Continue(()),
-                    Err(e) => {
+            let ff_block_cost = rank.world.tuning.ff_block_cost;
+            let (stats, err) = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                let mut err = None;
+                let stats = ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                    let src_at = (origin as i64 + disp) as usize;
+                    let dst_at = base + target_off + disp as usize;
+                    let data = &buf[src_at..src_at + len];
+                    let res = if use_wc {
+                        stream.write_batched(clock, dst_at, data)
+                    } else {
+                        stream.write(clock, dst_at, data)
+                    };
+                    match res {
+                        Ok(()) => core::ops::ControlFlow::Continue(()),
+                        Err(e) => {
+                            err = Some(e);
+                            core::ops::ControlFlow::Break(())
+                        }
+                    }
+                });
+                if err.is_none() {
+                    if let Err(e) = stream.flush_wc(clock) {
                         err = Some(e);
-                        core::ops::ControlFlow::Break(())
                     }
                 }
+                (stats, err)
             });
-            if err.is_none() {
-                if let Err(e) = stream.flush_wc(&mut rank.clock) {
-                    err = Some(e);
-                }
-            }
             match err {
                 None => {
-                    rank.clock.advance(
-                        rank.world
-                            .tuning
-                            .ff_block_cost
-                            .saturating_mul(stats.blocks as u64),
+                    attrib::advance(
+                        &mut rank.clock,
+                        Bucket::Pack,
+                        ff_block_cost.saturating_mul(stats.blocks as u64),
                     );
                     self.note_direct_success(target);
                     if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
@@ -715,7 +743,9 @@ impl Window {
         let mut sink = ff::VecSink::default();
         let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
             .expect("VecSink infallible");
-        rank.clock.advance(
+        attrib::advance(
+            &mut rank.clock,
+            Bucket::Pack,
             rank.world
                 .tuning
                 .ff_block_cost
@@ -784,7 +814,9 @@ impl Window {
             core::ops::ControlFlow::Continue(())
         });
         let dma = rank.world.fabric.dma_engine(rank.node(), region.segment());
-        let completion = dma.write_sg(&mut rank.clock, &entries, buf)?;
+        let completion = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+            dma.write_sg(clock, &entries, buf)
+        })?;
         self.emu_outstanding = self.emu_outstanding.max(completion.done);
         if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
             // The DMA engine has no sequence guard; epoch verification is
@@ -853,8 +885,10 @@ impl Window {
                     .mem()
                     .read(offset + target_off, dst)
                     .map_err(SciError::from)?;
-                rank.clock
-                    .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+                {
+                    let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+                    attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
+                }
                 let clean = dst.to_vec();
                 Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
                 osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
@@ -868,8 +902,8 @@ impl Window {
         obs::inc(obs::Counter::OscGetRemotePut);
         Self::ensure_alive(rank, target)?;
         self.backing_read(target, target_off, dst)?;
-        rank.clock
-            .advance(Self::handler_roundtrip_cost(rank, target, dst.len()));
+        let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+        attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         let clean = dst.to_vec();
         Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
         osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
@@ -1002,8 +1036,14 @@ impl Window {
         let posted_at = rank.account_post();
         let main = rank.clock.clone();
         let mut dst = vec![0u8; len];
-        let res = self.get(rank, target, target_off, &mut dst).map(|()| dst);
-        let end = rank.clock.now();
+        // The excursion below is rolled back (the transfer effectively ran
+        // on a fork), so none of its time may land in the attribution
+        // table; the wait/test merge accounts it as request-wait.
+        let (res, end) = attrib::paused(|| {
+            let res = self.get(rank, target, target_off, &mut dst).map(|()| dst);
+            let end = rank.clock.now();
+            (res, end)
+        });
         // The transfer ran on a fork: restore the origin's compute
         // frontier; completion merges `end` back at wait/test time.
         rank.clock = main;
@@ -1046,7 +1086,11 @@ impl Window {
         self.check(target, target_off, c.extent() * count)?;
         let total = c.size() * count;
         // Unpacking at the origin resolves the same committed layout.
-        rank.clock.advance(rank.world.tuning.layout_resolve_cost(c));
+        attrib::advance(
+            &mut rank.clock,
+            Bucket::Pack,
+            rank.world.tuning.layout_resolve_cost(c),
+        );
         let threshold = rank.world.tuning.get_remote_put_threshold;
         if self.direct_active(target) && total < threshold {
             let (region, offset) = match &self.shared.targets[target].0 {
@@ -1062,21 +1106,24 @@ impl Window {
             let mode = rank.world.tuning.integrity_mode;
             let mut retransmits = 0u32;
             let outcome = loop {
-                let mut err = None;
-                let mut faults = 0u64;
-                ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
-                    let src = (base + disp) as usize;
-                    let dst = (origin as i64 + disp) as usize;
-                    match reader.read_counted(&mut rank.clock, src, &mut buf[dst..dst + len]) {
-                        Ok(n) => {
-                            faults += n;
-                            core::ops::ControlFlow::Continue(())
+                let (err, faults) = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                    let mut err = None;
+                    let mut faults = 0u64;
+                    ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
+                        let src = (base + disp) as usize;
+                        let dst = (origin as i64 + disp) as usize;
+                        match reader.read_counted(clock, src, &mut buf[dst..dst + len]) {
+                            Ok(n) => {
+                                faults += n;
+                                core::ops::ControlFlow::Continue(())
+                            }
+                            Err(e) => {
+                                err = Some(e);
+                                core::ops::ControlFlow::Break(())
+                            }
                         }
-                        Err(e) => {
-                            err = Some(e);
-                            core::ops::ControlFlow::Break(())
-                        }
-                    }
+                    });
+                    (err, faults)
                 });
                 if let Some(e) = err {
                     break Some(e);
@@ -1085,7 +1132,7 @@ impl Window {
                     Self::note_uncovered(rank, faults as usize, "osc.get_typed");
                     break None;
                 }
-                rank.clock.advance(rank.world.crc_cost(total));
+                attrib::advance(&mut rank.clock, Bucket::Pack, rank.world.crc_cost(total));
                 if faults == 0 {
                     break None;
                 }
@@ -1155,7 +1202,7 @@ impl Window {
                 .cost(total as u64)
             + params.wire_latency(hops).saturating_mul(2)
             + params.cache.copy_cost(total, total);
-        rank.clock.advance(cost);
+        attrib::advance(&mut rank.clock, Bucket::Transfer, cost);
         let clean = packed.clone();
         Self::verify_return(rank, target, &mut packed, &clean, "one-sided get")?;
         let mut pos = 0usize;
@@ -1214,7 +1261,10 @@ impl Window {
                     apply_op(op, &mut current, data);
                     let (stream, base) =
                         Self::stream(&mut self.streams, &self.shared, rank, target, data.len());
-                    match stream.write(&mut rank.clock, base + target_off, &current) {
+                    let res = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                        stream.write(clock, base + target_off, &current)
+                    });
+                    match res {
                         Ok(()) => {
                             self.note_direct_success(target);
                             if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
@@ -1283,7 +1333,7 @@ impl Window {
             .params()
             .cache
             .copy_cost(dst.len(), dst.len());
-        rank.clock.advance(cost);
+        attrib::advance(&mut rank.clock, Bucket::Pack, cost);
     }
 
     /// Write into this rank's own window memory (local store).
@@ -1311,7 +1361,7 @@ impl Window {
             .params()
             .cache
             .copy_cost(data.len(), data.len());
-        rank.clock.advance(cost);
+        attrib::advance(&mut rank.clock, Bucket::Pack, cost);
     }
 
     /// Model one emulation round trip (control message + remote interrupt +
@@ -1335,7 +1385,7 @@ impl Window {
                 .min(params.node_injection_cap)
                 .cost(len as u64)
             + params.cache.copy_cost(len, len);
-        rank.clock.advance(origin_cost);
+        attrib::advance(&mut rank.clock, Bucket::Transfer, origin_cost);
         // Handler at the target: starts once the request has arrived AND
         // the handler is free (serialisation), then pays the interrupt
         // dispatch plus the copy-in.
@@ -1351,9 +1401,18 @@ impl Window {
     /// burst state (the store-barrier part of every synchronisation).
     fn flush_streams(&mut self, rank: &mut Rank) {
         for stream in self.streams.iter_mut().flatten() {
-            stream.barrier(&mut rank.clock);
+            attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                stream.barrier(clock)
+            });
         }
-        rank.clock.merge(self.emu_outstanding);
+        // Draining the emulation handlers is waiting on remote progress,
+        // the same class of stall as completing an outstanding request.
+        attrib::merge_waited(
+            &mut rank.clock,
+            self.emu_outstanding,
+            WaitKind::RequestWait,
+            None,
+        );
         self.emu_outstanding = SimTime::ZERO;
     }
 
@@ -1376,11 +1435,16 @@ impl Window {
                 let mut tainted = None;
                 for (target, stream) in self.streams.iter_mut().enumerate() {
                     let Some(stream) = stream else { continue };
-                    if stream.check_sequence(&mut rank.clock) == SeqStatus::Tainted {
+                    let status = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                        stream.check_sequence(clock)
+                    });
+                    if status == SeqStatus::Tainted {
                         Self::note_detected(rank, "osc.flush", target);
                         tainted.get_or_insert(target);
                     }
-                    stream.start_sequence(&mut rank.clock);
+                    attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                        stream.start_sequence(clock)
+                    });
                 }
                 match tainted {
                     None => Ok(()),
@@ -1410,7 +1474,11 @@ impl Window {
         for rec in &records {
             let mut retransmits = 0u32;
             loop {
-                rank.clock.advance(rank.world.crc_cost(rec.data.len()));
+                attrib::advance(
+                    &mut rank.clock,
+                    Bucket::Pack,
+                    rank.world.crc_cost(rec.data.len()),
+                );
                 let mut image = vec![0u8; rec.data.len()];
                 self.backing_read(rec.target, rec.offset, &mut image)?;
                 if crc32(&image) == rec.crc {
@@ -1443,10 +1511,13 @@ impl Window {
                 rec.target,
                 rec.data.len(),
             );
-            stream
-                .write(&mut rank.clock, base + rec.offset, &rec.data)
-                .map_err(ScimpiError::Fabric)?;
-            stream.barrier(&mut rank.clock);
+            attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                stream.write(clock, base + rec.offset, &rec.data)
+            })
+            .map_err(ScimpiError::Fabric)?;
+            attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                stream.barrier(clock)
+            });
             stream.take_silent_faults();
         } else {
             Self::ensure_alive(rank, rec.target)?;
@@ -1455,7 +1526,12 @@ impl Window {
             Self::corrupt_wire(rank, pair, &mut wire);
             self.backing_write(rec.target, rec.offset, &wire)?;
             self.emulate(rank, rec.target, rec.data.len());
-            rank.clock.merge(self.emu_outstanding);
+            attrib::merge_waited(
+                &mut rank.clock,
+                self.emu_outstanding,
+                WaitKind::RequestWait,
+                None,
+            );
             self.emu_outstanding = SimTime::ZERO;
         }
         Ok(())
@@ -1490,7 +1566,10 @@ impl Window {
             let primary = rank.world.fabric.topology().route(rank.node(), owner);
             let monitor =
                 ConnectionMonitor::new(rank.world.fabric.faults(), rank.world.tuning.probe_cost);
-            if monitor.probe(&mut rank.clock, owner.0, &primary).is_ok() {
+            let probe = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
+                monitor.probe(clock, owner.0, &primary)
+            });
+            if probe.is_ok() {
                 self.fallback[target] = FallbackState::default();
                 obs::inc(obs::Counter::OscRepromotions);
                 if obs::is_enabled() {
@@ -1508,7 +1587,11 @@ impl Window {
     /// target, paired with [`Window::start`] at the origins).
     pub fn post(&mut self, rank: &mut Rank, origins: &[usize]) {
         for &o in origins {
-            rank.clock.advance(rank.world.tuning.ctrl_send_cost);
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Transfer,
+                rank.world.tuning.ctrl_send_cost,
+            );
             let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), o);
             rank.world.mailboxes[o].post_ctrl(
                 pscw_handle(self.shared.id, rank.rank(), o, 0),
@@ -1539,8 +1622,19 @@ impl Window {
                     }
                 );
             };
-            rank.clock.merge(arrival);
-            rank.clock.advance(rank.world.tuning.ctrl_recv_cost);
+            // Blocked until the target's post signal lands: the peer is
+            // "late" in exactly the late-sender sense.
+            attrib::merge_waited(
+                &mut rank.clock,
+                arrival,
+                WaitKind::LateSender,
+                Some(t as u32),
+            );
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Transfer,
+                rank.world.tuning.ctrl_recv_cost,
+            );
         }
     }
 
@@ -1552,7 +1646,11 @@ impl Window {
     pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
         let res = self.try_flush(rank);
         for &t in targets {
-            rank.clock.advance(rank.world.tuning.ctrl_send_cost);
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Transfer,
+                rank.world.tuning.ctrl_send_cost,
+            );
             let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), t);
             rank.world.mailboxes[t].post_ctrl(
                 pscw_handle(self.shared.id, rank.rank(), t, 1),
@@ -1584,8 +1682,18 @@ impl Window {
                     }
                 );
             };
-            rank.clock.merge(arrival);
-            rank.clock.advance(rank.world.tuning.ctrl_recv_cost);
+            // Exposure epoch held open by a slow origin's complete.
+            attrib::merge_waited(
+                &mut rank.clock,
+                arrival,
+                WaitKind::LateSender,
+                Some(o as u32),
+            );
+            attrib::advance(
+                &mut rank.clock,
+                Bucket::Transfer,
+                rank.world.tuning.ctrl_recv_cost,
+            );
         }
     }
 

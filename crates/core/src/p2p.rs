@@ -22,6 +22,7 @@ use crate::runtime::{Rank, WorldState, POLL_SLICE};
 use crate::sink::PioSink;
 use crate::tuning::{IntegrityMode, PackPath, Tuning};
 use mpi_datatype::{ff, tree, Committed, PackStats, SliceSource};
+use obs::attrib::{self, Bucket, WaitKind};
 use sci_fabric::{crc32, SeqStatus};
 use simclock::{Clock, SimDuration};
 use smi::ProcId;
@@ -174,7 +175,7 @@ fn pack_local(
                 tree::pack_range(c.datatype(), *count, buf, *origin, skip, max, &mut out)
             };
             let cost = local_copy_cost(world, &stats, total, ff_engine);
-            clock.advance(cost);
+            attrib::advance(clock, Bucket::Pack, cost);
             out
         }
     }
@@ -223,8 +224,8 @@ pub(crate) fn finish_send_inner(
         .map_err(|e| world.escalate(e))?
     {
         Ctrl::Cts { arrival } => {
-            clock.merge(arrival);
-            clock.advance(world.tuning.ctrl_recv_cost);
+            attrib::merge_waited(clock, arrival, WaitKind::LateReceiver, Some(dst as u32));
+            attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_recv_cost);
         }
         other => {
             return Err(world.escalate(ScimpiError::ProtocolViolation {
@@ -246,6 +247,7 @@ pub(crate) fn finish_send_inner(
         // Ring-slot acquisition with the same liveness guard: if the
         // receiver dies while holding every slot, the sender must not
         // wait forever.
+        let slot_wait_start = clock.now();
         let slot = loop {
             if let Some(s) = ring.acquire_for(clock, POLL_SLICE) {
                 break s;
@@ -258,6 +260,14 @@ pub(crate) fn finish_send_inner(
             }
             return Err(world.escalate(world.declare_dead(clock, dst, "ring slot")));
         };
+        // Slot reuse carries the receiver's drain time: any forward jump
+        // is the sender waiting for the receiver to free ring space.
+        attrib::wait(
+            WaitKind::LateReceiver,
+            slot_wait_start,
+            clock.now(),
+            Some(dst as u32),
+        );
         let slot_off = ring.slot_offset(slot);
         let mode = world.tuning.integrity_mode;
         // `EndToEnd` frames each chunk with a CRC32 over its packed image,
@@ -267,7 +277,7 @@ pub(crate) fn finish_send_inner(
         // by the `integrity_overhead` bench).
         let staged: Option<(u32, Vec<u8>)> = if mode == IntegrityMode::EndToEnd {
             let packed = pack_local(world, clock, &op.data, skip, this);
-            clock.advance(world.crc_cost(packed.len()));
+            attrib::advance(clock, Bucket::Pack, world.crc_cost(packed.len()));
             Some((crc32(&packed), packed))
         } else {
             None
@@ -275,19 +285,23 @@ pub(crate) fn finish_send_inner(
         let mut retransmits = 0u32;
         let blocks = loop {
             if mode == IntegrityMode::SequenceCheck {
-                stream.start_sequence(clock);
+                attrib::charged(clock, Bucket::Transfer, |clock| {
+                    stream.start_sequence(clock)
+                });
             }
             let blocks = if let Some((_, packed)) = &staged {
-                stream
-                    .write(clock, slot_off, packed)
-                    .map_err(|e| world.escalate(e.into()))?;
+                attrib::charged(clock, Bucket::Transfer, |clock| {
+                    stream.write(clock, slot_off, packed)
+                })
+                .map_err(|e| world.escalate(e.into()))?;
                 1
             } else {
                 match &op.data {
                     SendData::Bytes(b) => {
-                        stream
-                            .write(clock, slot_off, &b[skip..skip + this])
-                            .map_err(|e| world.escalate(e.into()))?;
+                        attrib::charged(clock, Bucket::Transfer, |clock| {
+                            stream.write(clock, slot_off, &b[skip..skip + this])
+                        })
+                        .map_err(|e| world.escalate(e.into()))?;
                         1
                     }
                     SendData::Typed {
@@ -301,16 +315,22 @@ pub(crate) fn finish_send_inner(
                             // no intermediate copy. With WC batching the
                             // sink coalesces sub-transaction blocks into
                             // full aligned stream-buffer flushes.
-                            let stats = {
-                                let mut sink = PioSink::new(&mut stream, clock, slot_off)
-                                    .with_batching(world.tuning.wc_batching);
-                                let stats =
-                                    ff::pack_ff(c, *count, buf, *origin, skip, this, &mut sink)
-                                        .map_err(|e| world.escalate(e.into()))?;
-                                sink.finish().map_err(|e| world.escalate(e.into()))?;
-                                stats
-                            };
-                            clock.advance(
+                            let stats = attrib::charged(
+                                clock,
+                                Bucket::Transfer,
+                                |clock| -> Result<_, ScimpiError> {
+                                    let mut sink = PioSink::new(&mut stream, clock, slot_off)
+                                        .with_batching(world.tuning.wc_batching);
+                                    let stats =
+                                        ff::pack_ff(c, *count, buf, *origin, skip, this, &mut sink)
+                                            .map_err(|e| world.escalate(e.into()))?;
+                                    sink.finish().map_err(|e| world.escalate(e.into()))?;
+                                    Ok(stats)
+                                },
+                            )?;
+                            attrib::advance(
+                                clock,
+                                Bucket::Pack,
                                 world
                                     .tuning
                                     .ff_block_cost
@@ -321,9 +341,10 @@ pub(crate) fn finish_send_inner(
                             // Generic: pack locally, then one contiguous
                             // write.
                             let packed = pack_local(world, clock, &op.data, skip, this);
-                            stream
-                                .write(clock, slot_off, &packed)
-                                .map_err(|e| world.escalate(e.into()))?;
+                            attrib::charged(clock, Bucket::Transfer, |clock| {
+                                stream.write(clock, slot_off, &packed)
+                            })
+                            .map_err(|e| world.escalate(e.into()))?;
                             1
                         }
                     }
@@ -331,7 +352,7 @@ pub(crate) fn finish_send_inner(
             };
             // Store barrier: the chunk must be fully delivered before the
             // notification overtakes it (§2).
-            stream.barrier(clock);
+            attrib::charged(clock, Bucket::Transfer, |clock| stream.barrier(clock));
             match mode {
                 IntegrityMode::Off => {
                     let n = stream.take_silent_faults();
@@ -350,7 +371,10 @@ pub(crate) fn finish_send_inner(
                 }
                 IntegrityMode::SequenceCheck => {
                     stream.take_silent_faults();
-                    if stream.check_sequence(clock) == SeqStatus::Tainted {
+                    let status = attrib::charged(clock, Bucket::Transfer, |clock| {
+                        stream.check_sequence(clock)
+                    });
+                    if status == SeqStatus::Tainted {
                         obs::inc(obs::Counter::CorruptionsDetected);
                         obs::instant(
                             "ft.integrity.detected",
@@ -383,7 +407,7 @@ pub(crate) fn finish_send_inner(
                     // Stop-and-wait: every chunk is acknowledged before the
                     // next slot fills (the pipelining loss is part of the
                     // integrity tax).
-                    clock.advance(world.tuning.ctrl_send_cost);
+                    attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_send_cost);
                     let arrival = clock.now() + world.ctrl_latency(rank, dst);
                     world.mailboxes[dst].post_ctrl(
                         receiver_handle(handle),
@@ -401,8 +425,13 @@ pub(crate) fn finish_send_inner(
                         .map_err(|e| world.escalate(e))?
                     {
                         Ctrl::ChunkAck { arrival, ok } => {
-                            clock.merge(arrival);
-                            clock.advance(world.tuning.ctrl_recv_cost);
+                            attrib::merge_waited(
+                                clock,
+                                arrival,
+                                WaitKind::LateReceiver,
+                                Some(dst as u32),
+                            );
+                            attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_recv_cost);
                             if ok {
                                 break blocks;
                             }
@@ -444,7 +473,7 @@ pub(crate) fn finish_send_inner(
         };
         skip += this;
         if mode != IntegrityMode::EndToEnd {
-            clock.advance(world.tuning.ctrl_send_cost);
+            attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_send_cost);
             let arrival = clock.now() + world.ctrl_latency(rank, dst);
             world.mailboxes[dst].post_ctrl(
                 receiver_handle(handle),
@@ -505,7 +534,7 @@ fn unpack_into(
                     .params()
                     .cache
                     .copy_cost(data.len(), data.len());
-                clock.advance(cost);
+                attrib::advance(clock, Bucket::Pack, cost);
             }
         }
         RecvBuf::Typed {
@@ -524,7 +553,7 @@ fn unpack_into(
                 tree::unpack_range(c.datatype(), *count, buf, *origin, skip, data)
             };
             let cost = local_copy_cost(world, &stats, total.min(data.len().max(1)), ff_engine);
-            clock.advance(cost);
+            attrib::advance(clock, Bucket::Pack, cost);
         }
     }
 }
@@ -546,7 +575,7 @@ pub(crate) fn recv_into_inner(
     let recv_start = clock.now();
     if let RecvBuf::Typed { c, .. } = &into {
         // The receiver resolves the same committed layout to unpack.
-        clock.advance(world.tuning.layout_resolve_cost(c));
+        attrib::advance(clock, Bucket::Pack, world.tuning.layout_resolve_cost(c));
     }
     let env = match src {
         Source::Any => world.mailboxes[rank].match_recv_posted(ticket),
@@ -569,8 +598,13 @@ pub(crate) fn recv_into_inner(
             return Err(world.escalate(err));
         },
     };
-    clock.merge(env.arrival);
-    clock.advance(world.tuning.ctrl_recv_cost);
+    attrib::merge_waited(
+        clock,
+        env.arrival,
+        WaitKind::LateSender,
+        Some(env.src as u32),
+    );
+    attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_recv_cost);
     match env.head {
         Head::Eager { data, crc, .. } => {
             let len = data.len();
@@ -578,7 +612,7 @@ pub(crate) fn recv_into_inner(
                 // Defensive re-verification of the sender-verified
                 // payload: a mismatch here means the framing itself is
                 // broken, not the fabric.
-                clock.advance(world.crc_cost(len));
+                attrib::advance(clock, Bucket::Pack, world.crc_cost(len));
                 if crc32(&data) != expect {
                     obs::inc(obs::Counter::CorruptionsDetected);
                     return Err(world.escalate(ScimpiError::DataCorruption {
@@ -616,7 +650,7 @@ pub(crate) fn recv_into_inner(
         }
         Head::Rts { size, handle } => {
             // Clear-to-send.
-            clock.advance(world.tuning.ctrl_send_cost);
+            attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_send_cost);
             let cts_arrival = clock.now() + world.ctrl_latency(rank, env.src);
             world.mailboxes[env.src].post_ctrl(
                 sender_handle(handle),
@@ -645,8 +679,13 @@ pub(crate) fn recv_into_inner(
                     } => {
                         // The sender detected corruption it could not
                         // repair and gave up on the transfer.
-                        clock.merge(arrival);
-                        clock.advance(world.tuning.ctrl_recv_cost);
+                        attrib::merge_waited(
+                            clock,
+                            arrival,
+                            WaitKind::LateSender,
+                            Some(env.src as u32),
+                        );
+                        attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_recv_cost);
                         return Err(world.escalate(ScimpiError::DataCorruption {
                             peer: env.src,
                             what: "rendezvous transfer",
@@ -660,8 +699,8 @@ pub(crate) fn recv_into_inner(
                         }));
                     }
                 };
-                clock.merge(arrival);
-                clock.advance(world.tuning.ctrl_recv_cost);
+                attrib::merge_waited(clock, arrival, WaitKind::LateSender, Some(env.src as u32));
+                attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_recv_cost);
                 let slot_off = ring.slot_offset(slot);
                 // Unpack straight out of the (receiver-local) ring.
                 let mut data = vec![0u8; len];
@@ -674,9 +713,9 @@ pub(crate) fn recv_into_inner(
                     // EndToEnd framing: verify the slot image and
                     // acknowledge. A NACK keeps the slot held so the
                     // sender can rewrite it in place.
-                    clock.advance(world.crc_cost(len));
+                    attrib::advance(clock, Bucket::Pack, world.crc_cost(len));
                     let ok = crc32(&data) == expect;
-                    clock.advance(world.tuning.ctrl_send_cost);
+                    attrib::advance(clock, Bucket::Transfer, world.tuning.ctrl_send_cost);
                     let ack_arrival = clock.now() + world.ctrl_latency(rank, env.src);
                     world.mailboxes[env.src].post_ctrl(
                         sender_handle(handle),
@@ -779,7 +818,7 @@ impl Rank {
             // layout cache is on, or a full re-flatten when it is off; the
             // adaptive selector then records which pack path this layout's
             // density chose.
-            self.clock.advance(t.layout_resolve_cost(c));
+            attrib::advance(&mut self.clock, Bucket::Pack, t.layout_resolve_cost(c));
             t.select_path_recorded(c, len, false);
         }
         if len <= t.eager_threshold {
@@ -810,7 +849,7 @@ impl Rank {
             // rank's own thread, so turn order is program order even when
             // the chunk loop later runs on an engine thread.
             let ticket = self.world.ring(self.rank, dst).take_turn_ticket();
-            self.clock.advance(t.ctrl_send_cost);
+            attrib::advance(&mut self.clock, Bucket::Transfer, t.ctrl_send_cost);
             let arrival = self.clock.now() + self.world.ctrl_latency(self.rank, dst);
             self.world.mailboxes[dst].post(Envelope {
                 src: self.rank,
@@ -858,7 +897,7 @@ impl Rank {
         } else {
             params.txn_overhead + params.pio_stream_bw(len).cost(len as u64) + params.store_barrier
         };
-        self.clock.advance(ctrl_cost + cpu);
+        attrib::advance(&mut self.clock, Bucket::Transfer, ctrl_cost + cpu);
         // The eager payload travels with the envelope rather than through
         // `SharedMem`, so the fabric's silent faults are applied to the
         // wire image here (same per-pair streams, same burst geometry).
@@ -885,8 +924,11 @@ impl Rank {
                 IntegrityMode::SequenceCheck => {
                     // Bracket the modeled PIO burst with the sequence guard
                     // (one CSR read before, one after).
-                    self.clock
-                        .advance(params.sequence_check_cost + params.sequence_check_cost);
+                    attrib::advance(
+                        &mut self.clock,
+                        Bucket::Transfer,
+                        params.sequence_check_cost + params.sequence_check_cost,
+                    );
                     let n = faults.corrupt_buffer(pair, params.stream_buffer_bytes, &mut payload);
                     if n > 0 {
                         obs::inc(obs::Counter::CorruptionsDetected);
@@ -914,7 +956,7 @@ impl Rank {
                     let clean = payload.clone();
                     let mut retransmits = 0u32;
                     loop {
-                        self.clock.advance(world.crc_cost(len));
+                        attrib::advance(&mut self.clock, Bucket::Pack, world.crc_cost(len));
                         let mut wire = clean.clone();
                         let n = faults.corrupt_buffer(pair, params.stream_buffer_bytes, &mut wire);
                         if n == 0 {
@@ -931,7 +973,7 @@ impl Rank {
                             ],
                         );
                         let rtt = world.ctrl_latency(self.rank, dst);
-                        self.clock.advance(rtt + rtt);
+                        attrib::advance(&mut self.clock, Bucket::Transfer, rtt + rtt);
                         if retransmits >= world.tuning.max_retransmits {
                             return Err(world.escalate(ScimpiError::DataCorruption {
                                 peer: dst,
@@ -950,7 +992,7 @@ impl Rank {
                             ],
                         );
                         // Resend the payload burst.
-                        self.clock.advance(cpu);
+                        attrib::advance(&mut self.clock, Bucket::Transfer, cpu);
                     }
                     crc = Some(crc32(&payload));
                 }
@@ -1056,13 +1098,24 @@ impl Rank {
             let sender = scope.spawn({
                 let world = Arc::clone(&world);
                 move || {
+                    // Bind the helper to the rank's trace lane but leave
+                    // it out of attribution (its clock is a fork; the
+                    // rank accounts the join below as a request-wait).
+                    obs::set_thread_rank(rank as u32);
                     let res = finish_send_inner(&world, rank, &mut send_clock, op);
                     (res, send_clock)
                 }
             });
             let status = recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf);
             let (send_res, send_clock) = sender.join().expect("send side panicked");
-            self.clock.merge(send_clock.now());
+            // Joining the helper's forked clock: any jump is the rank
+            // blocked on its own outstanding send half.
+            attrib::merge_waited(
+                &mut self.clock,
+                send_clock.now(),
+                WaitKind::RequestWait,
+                Some(dst as u32),
+            );
             send_res?;
             status
         })

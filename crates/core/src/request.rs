@@ -303,7 +303,7 @@ impl Rank {
     pub(crate) fn reap_dropped(&mut self) {
         let times = self.drop_bin.drain();
         for t in times {
-            self.clock.merge(t);
+            obs::attrib::merge_waited(&mut self.clock, t, obs::WaitKind::RequestWait, None);
             self.pending_requests = self.pending_requests.saturating_sub(1);
         }
     }
@@ -311,7 +311,11 @@ impl Rank {
     /// Post-time accounting shared by every nonblocking operation.
     pub(crate) fn account_post(&mut self) -> SimTime {
         let posted_at = self.clock.now();
-        self.clock.advance(self.world.tuning.request_post_cost);
+        obs::attrib::advance(
+            &mut self.clock,
+            obs::Bucket::Transfer,
+            self.world.tuning.request_post_cost,
+        );
         self.pending_requests += 1;
         obs::inc(obs::Counter::RequestsPosted);
         posted_at
@@ -326,7 +330,7 @@ impl Rank {
         obs::add(obs::Counter::OverlapSavedNs, saved.as_ns());
         obs::inc(obs::Counter::RequestsCompleted);
         self.pending_requests = self.pending_requests.saturating_sub(1);
-        self.clock.merge(end);
+        obs::attrib::merge_waited(&mut self.clock, end, obs::WaitKind::RequestWait, None);
         if obs::is_enabled() {
             obs::span(
                 "req.lifetime",
@@ -598,7 +602,11 @@ impl Rank {
         if end <= self.clock.now() {
             Some(self.wait(req))
         } else {
-            self.clock.advance(self.world.tuning.progress_poll_cost);
+            obs::attrib::advance(
+                &mut self.clock,
+                obs::Bucket::Transfer,
+                self.world.tuning.progress_poll_cost,
+            );
             None
         }
     }

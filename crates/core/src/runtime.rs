@@ -421,7 +421,7 @@ impl Rank {
     /// ticks the progress engine, folding in requests that completed by
     /// being dropped.
     pub fn compute(&mut self, cost: SimDuration) {
-        self.clock.advance(cost);
+        obs::attrib::advance(&mut self.clock, obs::Bucket::Compute, cost);
         self.reap_dropped();
     }
 
@@ -564,6 +564,10 @@ where
             let f = &f;
             joins.push(scope.spawn(move || {
                 obs::set_thread_rank(rank as u32);
+                // Only rank threads contribute to time attribution;
+                // engine/helper threads with forked clocks stay unmarked
+                // so no picosecond is charged twice.
+                obs::attrib::set_thread_attrib(true);
                 let mut r = Rank {
                     rank,
                     size,
@@ -578,6 +582,7 @@ where
                 // their engine threads; fold their virtual time in so a
                 // fire-and-forget isend is never lost.
                 r.reap_dropped();
+                obs::attrib::record_makespan(rank as u32, r.clock.now());
                 out
             }));
         }
@@ -602,6 +607,12 @@ where
                 .map(|(id, t)| (id.0, t.data_bytes, t.fc_bytes))
                 .collect(),
         );
+        // Build the profile (attribution table, span histograms,
+        // critical path) from a snapshot of the events so the trace
+        // exporter below still sees them; the profile stays readable
+        // in-process via `obs::report::last_profile()`.
+        let events = obs::events_snapshot();
+        obs::report::set_last(obs::report::build(&events));
         if let Some(path) = &spec.obs.trace_path {
             if let Err(e) = obs::write_chrome_trace(path) {
                 eprintln!("obs: failed to write trace {}: {e}", path.display());
@@ -610,6 +621,11 @@ where
         if let Some(path) = &spec.obs.counters_path {
             if let Err(e) = obs::write_counters_jsonl(path) {
                 eprintln!("obs: failed to write counters {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &spec.obs.profile_path {
+            if let Err(e) = obs::report::write_last(path) {
+                eprintln!("obs: failed to write profile {}: {e}", path.display());
             }
         }
     }

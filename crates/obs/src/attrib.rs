@@ -1,0 +1,372 @@
+//! Per-rank virtual-time attribution: busy buckets and classified waits.
+//!
+//! Every picosecond a rank's clock moves is charged to exactly one
+//! bucket: it either advanced doing local work (**compute**, **pack**,
+//! **transfer**) or it was pushed forward by a merge while blocked on a
+//! peer (**wait**, sub-classified Scalasca-style: late-sender,
+//! late-receiver, wait-at-barrier, lock-contention, request-wait). Time
+//! charged to no bucket surfaces as *other* in the report, so the
+//! decomposition is conservative by construction:
+//! `compute + pack + transfer + wait + other == makespan`, exactly.
+//!
+//! Attribution never touches the clocks themselves — the helpers here
+//! ([`advance`], [`merge_waited`], [`charged`]) perform the identical
+//! clock mutation the call site performed before and only *observe* the
+//! delta, so virtual time is bit-identical with attribution on or off.
+//!
+//! Only threads explicitly marked with [`set_thread_attrib`] contribute
+//! (the runtime marks rank threads; request-engine helper threads stay
+//! unmarked so forked clocks are not double-counted — their time shows
+//! up at rank level as a request-wait when the completion time merges).
+
+use crate::recorder::{self, is_enabled};
+use simclock::{Clock, SimDuration, SimTime};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Buckets for time a rank spends moving its own clock forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Bucket {
+    /// Application compute charged through `Rank::compute`.
+    Compute,
+    /// Datatype handling: pack/unpack engines, layout resolution,
+    /// checksums, local copies.
+    Pack,
+    /// Wire work: PIO/DMA stores and reads, control messages, handler
+    /// round-trips, stream drains.
+    Transfer,
+}
+
+/// Number of busy buckets.
+pub const BUCKET_COUNT: usize = 3;
+
+impl Bucket {
+    /// Stable export names, indexable by `Bucket as usize`.
+    pub const NAMES: [&'static str; BUCKET_COUNT] = ["compute", "pack", "transfer"];
+
+    /// The export name of this bucket.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+}
+
+/// Scalasca-style wait-state classification for merges that pushed a
+/// rank's clock forward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum WaitKind {
+    /// A receiver blocked because the matching send started too late
+    /// (envelope or data chunk not yet arrived).
+    LateSender,
+    /// A sender blocked because the receiver was not ready (CTS pending,
+    /// ring slot still occupied, chunk ack outstanding).
+    LateReceiver,
+    /// Blocked in a barrier (or barrier-backed fence) for the last
+    /// arriver.
+    Barrier,
+    /// Blocked acquiring a shared-memory lock held by another rank.
+    Lock,
+    /// Blocked on a nonblocking request's completion (`wait`/`waitall`,
+    /// drop-bin reaping, helper-clock joins, stream flushes).
+    RequestWait,
+}
+
+/// Number of wait kinds.
+pub const WAIT_KIND_COUNT: usize = 5;
+
+impl WaitKind {
+    /// Stable export names, indexable by `WaitKind as usize`.
+    pub const NAMES: [&'static str; WAIT_KIND_COUNT] = [
+        "late_sender",
+        "late_receiver",
+        "barrier",
+        "lock",
+        "request_wait",
+    ];
+
+    /// The export name of this wait kind.
+    pub fn name(self) -> &'static str {
+        Self::NAMES[self as usize]
+    }
+}
+
+/// One classified wait: rank `rank` was blocked over
+/// `[start_ps, end_ps)` of virtual time, optionally on a known peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WaitEvent {
+    /// The rank that was blocked.
+    pub rank: u32,
+    /// Why it was blocked.
+    pub kind: WaitKind,
+    /// Virtual time the wait began (clock value before the merge), ps.
+    pub start_ps: u64,
+    /// Virtual time the wait ended (clock value after the merge), ps.
+    pub end_ps: u64,
+    /// The peer whose lateness caused the wait, when known.
+    pub peer: Option<u32>,
+}
+
+impl WaitEvent {
+    /// Length of the wait in picoseconds.
+    pub fn dur_ps(&self) -> u64 {
+        self.end_ps.saturating_sub(self.start_ps)
+    }
+}
+
+#[derive(Default)]
+struct AttribState {
+    /// Per-rank busy sums in picoseconds, indexed by [`Bucket`].
+    busy: BTreeMap<u32, [u64; BUCKET_COUNT]>,
+    /// Every classified wait, in recording order (order is *not*
+    /// deterministic across threads; consumers must sort).
+    waits: Vec<WaitEvent>,
+    /// Per-rank final clock value at teardown, ps.
+    makespans: BTreeMap<u32, u64>,
+}
+
+static STATE: Mutex<AttribState> = Mutex::new(AttribState {
+    busy: BTreeMap::new(),
+    waits: Vec::new(),
+    makespans: BTreeMap::new(),
+});
+
+thread_local! {
+    static THREAD_ATTRIB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Mark (or unmark) the calling thread as contributing to attribution.
+/// The runtime marks rank threads; engine/helper threads with forked
+/// clocks must stay unmarked to keep the per-rank sums conservative.
+pub fn set_thread_attrib(on: bool) {
+    THREAD_ATTRIB.with(|a| a.set(on));
+}
+
+/// Is the calling thread marked for attribution?
+pub fn thread_attrib() -> bool {
+    THREAD_ATTRIB.with(|a| a.get())
+}
+
+/// Run `f` with attribution suppressed on this thread, restoring the
+/// previous state after. Used around speculative clock excursions that
+/// are later rolled back (e.g. `iget` running on a forked-then-restored
+/// clock), which must not inflate the rank's busy sums.
+pub fn paused<R>(f: impl FnOnce() -> R) -> R {
+    let was = thread_attrib();
+    set_thread_attrib(false);
+    let r = f();
+    set_thread_attrib(was);
+    r
+}
+
+#[inline]
+fn active() -> bool {
+    is_enabled() && thread_attrib()
+}
+
+/// Charge `dur` of busy time to `bucket` on the calling thread's rank.
+/// No-op unless the recorder is enabled and the thread is marked.
+#[inline]
+pub fn busy(bucket: Bucket, dur: SimDuration) {
+    if !active() || dur.is_zero() {
+        return;
+    }
+    let rank = recorder::thread_rank();
+    let mut st = STATE.lock().unwrap();
+    st.busy.entry(rank).or_default()[bucket as usize] += dur.as_ps();
+}
+
+/// Record a classified wait over `[start, end)` on the calling thread's
+/// rank. Zero-length waits are dropped. No-op unless active.
+pub fn wait(kind: WaitKind, start: SimTime, end: SimTime, peer: Option<u32>) {
+    if !active() || end <= start {
+        return;
+    }
+    let rank = recorder::thread_rank();
+    STATE.lock().unwrap().waits.push(WaitEvent {
+        rank,
+        kind,
+        start_ps: start.as_ps(),
+        end_ps: end.as_ps(),
+        peer,
+    });
+}
+
+/// `clock.advance(cost)` plus attribution of `cost` to `bucket`.
+/// Returns the new time, exactly like [`Clock::advance`].
+#[inline]
+pub fn advance(clock: &mut Clock, bucket: Bucket, cost: SimDuration) -> SimTime {
+    let t = clock.advance(cost);
+    busy(bucket, cost);
+    t
+}
+
+/// `clock.merge(t)` plus classification of any forward jump as a `kind`
+/// wait on `peer`. Returns the wait, exactly like [`Clock::merge`].
+#[inline]
+pub fn merge_waited(
+    clock: &mut Clock,
+    t: SimTime,
+    kind: WaitKind,
+    peer: Option<u32>,
+) -> SimDuration {
+    let start = clock.now();
+    let w = clock.merge(t);
+    if !w.is_zero() {
+        wait(kind, start, clock.now(), peer);
+    }
+    w
+}
+
+/// Run `f` and charge however far it moved `clock` to `bucket`. Used to
+/// bracket regions whose costs are charged inside lower layers (PIO
+/// stream writes, DMA posts, read stalls). Do not nest with the other
+/// helpers — every picosecond must be charged exactly once.
+pub fn charged<R>(clock: &mut Clock, bucket: Bucket, f: impl FnOnce(&mut Clock) -> R) -> R {
+    let t0 = clock.now();
+    let r = f(clock);
+    let d = clock.now().duration_since(t0);
+    busy(bucket, d);
+    r
+}
+
+/// Record rank `rank`'s final clock value. The runtime calls this as
+/// each rank thread finishes; the report uses it as the makespan the
+/// buckets must sum to.
+pub fn record_makespan(rank: u32, t: SimTime) {
+    if !is_enabled() {
+        return;
+    }
+    let mut st = STATE.lock().unwrap();
+    let entry = st.makespans.entry(rank).or_insert(0);
+    *entry = (*entry).max(t.as_ps());
+}
+
+/// Clear all attribution state (called from `obs::reset`).
+pub(crate) fn reset() {
+    let mut st = STATE.lock().unwrap();
+    st.busy.clear();
+    st.waits.clear();
+    st.makespans.clear();
+}
+
+/// Per-rank busy sums `(rank, [compute, pack, transfer])` in ps, sorted
+/// by rank.
+pub fn busy_table() -> Vec<(u32, [u64; BUCKET_COUNT])> {
+    STATE
+        .lock()
+        .unwrap()
+        .busy
+        .iter()
+        .map(|(&r, &b)| (r, b))
+        .collect()
+}
+
+/// Clone of every recorded wait event (recording order; sort before
+/// using in anything that must be deterministic).
+pub fn wait_events() -> Vec<WaitEvent> {
+    STATE.lock().unwrap().waits.clone()
+}
+
+/// Per-rank makespans `(rank, ps)`, sorted by rank.
+pub fn makespans() -> Vec<(u32, u64)> {
+    STATE
+        .lock()
+        .unwrap()
+        .makespans
+        .iter()
+        .map(|(&r, &m)| (r, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Attribution state is process-global; serialize tests.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_clean<R>(f: impl FnOnce() -> R) -> R {
+        let _g = LOCK.lock().unwrap();
+        crate::recorder::reset();
+        crate::recorder::enable();
+        set_thread_attrib(true);
+        crate::recorder::set_thread_rank(0);
+        let r = f();
+        set_thread_attrib(false);
+        crate::recorder::disable();
+        crate::recorder::reset();
+        r
+    }
+
+    #[test]
+    fn helpers_mutate_clock_identically() {
+        with_clean(|| {
+            let mut a = Clock::new();
+            let mut b = Clock::new();
+            a.advance(SimDuration::from_ns(50));
+            advance(&mut b, Bucket::Pack, SimDuration::from_ns(50));
+            a.merge(SimTime::from_ps(999_000));
+            merge_waited(
+                &mut b,
+                SimTime::from_ps(999_000),
+                WaitKind::LateSender,
+                Some(1),
+            );
+            assert_eq!(a, b);
+        });
+    }
+
+    #[test]
+    fn busy_and_waits_accumulate_per_rank() {
+        with_clean(|| {
+            let mut c = Clock::new();
+            advance(&mut c, Bucket::Compute, SimDuration::from_ns(10));
+            advance(&mut c, Bucket::Compute, SimDuration::from_ns(5));
+            advance(&mut c, Bucket::Transfer, SimDuration::from_ns(2));
+            merge_waited(&mut c, SimTime::from_ps(100_000), WaitKind::Barrier, None);
+            // Merge into the past: no wait recorded.
+            merge_waited(&mut c, SimTime::ZERO, WaitKind::Barrier, None);
+            let busy = busy_table();
+            assert_eq!(busy.len(), 1);
+            assert_eq!(busy[0].1[Bucket::Compute as usize], 15_000);
+            assert_eq!(busy[0].1[Bucket::Transfer as usize], 2_000);
+            let waits = wait_events();
+            assert_eq!(waits.len(), 1);
+            assert_eq!(waits[0].kind, WaitKind::Barrier);
+            assert_eq!(waits[0].start_ps, 17_000);
+            assert_eq!(waits[0].end_ps, 100_000);
+        });
+    }
+
+    #[test]
+    fn unmarked_threads_do_not_contribute() {
+        with_clean(|| {
+            paused(|| {
+                let mut c = Clock::new();
+                advance(&mut c, Bucket::Compute, SimDuration::from_ns(10));
+                // The clock still moved (the helper is transparent) ...
+                assert_eq!(c.now(), SimTime::from_ps(10_000));
+            });
+            // ... but nothing was attributed.
+            assert!(busy_table().is_empty());
+        });
+    }
+
+    #[test]
+    fn charged_brackets_inner_motion() {
+        with_clean(|| {
+            let mut c = Clock::new();
+            let out = charged(&mut c, Bucket::Transfer, |c| {
+                c.advance(SimDuration::from_ns(7));
+                c.merge(SimTime::from_ps(12_000));
+                42
+            });
+            assert_eq!(out, 42);
+            let busy = busy_table();
+            assert_eq!(busy[0].1[Bucket::Transfer as usize], 12_000);
+        });
+    }
+}

@@ -18,6 +18,9 @@ pub struct ObsConfig {
     pub trace_path: Option<PathBuf>,
     /// If set, write the JSONL counter dump here at teardown.
     pub counters_path: Option<PathBuf>,
+    /// If set, write the `PROFILE` report (attribution table, span
+    /// histograms, critical path) here at teardown.
+    pub profile_path: Option<PathBuf>,
     /// Reset counters/events when the run starts (default `true`), so a
     /// run's exports describe only that run. Set to `false` to
     /// accumulate across several `run` calls.
@@ -36,6 +39,7 @@ impl ObsConfig {
             enabled: true,
             trace_path: None,
             counters_path: None,
+            profile_path: None,
             reset_on_start: true,
         }
     }
@@ -55,6 +59,14 @@ impl ObsConfig {
         self
     }
 
+    /// Add a `PROFILE` report (attribution + histograms + critical
+    /// path) at `path`.
+    pub fn and_profile(mut self, path: impl Into<PathBuf>) -> Self {
+        self.profile_path = Some(path.into());
+        self.enabled = true;
+        self
+    }
+
     /// Keep counters/events from previous runs instead of resetting.
     pub fn accumulate(mut self) -> Self {
         self.reset_on_start = false;
@@ -70,8 +82,11 @@ mod tests {
     fn constructors() {
         assert!(!ObsConfig::disabled().enabled);
         assert!(ObsConfig::enabled().enabled);
-        let c = ObsConfig::with_trace("/tmp/t.json").and_counters("/tmp/c.jsonl");
+        let c = ObsConfig::with_trace("/tmp/t.json")
+            .and_counters("/tmp/c.jsonl")
+            .and_profile("/tmp/p.json");
         assert!(c.enabled && c.trace_path.is_some() && c.counters_path.is_some());
+        assert!(c.profile_path.is_some());
         assert!(c.reset_on_start);
         assert!(!c.accumulate().reset_on_start);
     }

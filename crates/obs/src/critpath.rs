@@ -1,0 +1,309 @@
+//! Cross-rank critical-path extraction from the recorded wait graph.
+//!
+//! The classified waits ([`crate::attrib::WaitEvent`]) are the edges of
+//! a dependency graph: a rank that waited resumed exactly when some
+//! remote event happened, so walking backwards from the rank that
+//! finished last — alternating local busy segments and the waits that
+//! interrupted them, hopping to the blamed peer at each wait — yields
+//! the chain of operations that bounded the run. Each wait hop carries
+//! its duration as *slack*: the time the makespan would shrink if that
+//! one dependency were satisfied instantly (to first order).
+//!
+//! Extraction is deterministic: waits are sorted by
+//! `(rank, end, start, kind, peer)` before the walk and every selection
+//! is a maximum under that total order, so same-seed runs produce the
+//! same path byte for byte.
+
+use crate::attrib::{WaitEvent, WaitKind};
+
+/// One step of the critical path (oldest first in the report).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// Rank on whose timeline this segment lies.
+    pub rank: u32,
+    /// Segment start, virtual ps.
+    pub start_ps: u64,
+    /// Segment end, virtual ps.
+    pub end_ps: u64,
+    /// `None` for a local busy segment; `Some(kind)` for a wait.
+    pub wait: Option<WaitKind>,
+    /// The blamed peer, when the wait names one.
+    pub peer: Option<u32>,
+}
+
+impl Hop {
+    /// First-order slack: the wait's duration, zero for busy segments.
+    pub fn slack_ps(&self) -> u64 {
+        if self.wait.is_some() {
+            self.end_ps.saturating_sub(self.start_ps)
+        } else {
+            0
+        }
+    }
+}
+
+/// The extracted path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The run's makespan (latest rank finish), ps.
+    pub makespan_ps: u64,
+    /// The rank that finished last (walk origin).
+    pub bound_rank: u32,
+    /// Path segments, oldest first.
+    pub hops: Vec<Hop>,
+    /// Sum of wait-hop durations along the path, ps.
+    pub total_slack_ps: u64,
+}
+
+/// Safety valve: a path longer than this is truncated (cannot trigger
+/// in practice because each wait is followed at most once).
+const MAX_HOPS: usize = 4096;
+
+/// Extract the critical path from per-rank makespans and the classified
+/// waits. Returns an empty path when no makespans were recorded.
+pub fn extract(makespans: &[(u32, u64)], waits: &[WaitEvent]) -> CriticalPath {
+    let Some(&(origin, makespan)) = makespans
+        .iter()
+        .max_by_key(|&&(r, m)| (m, std::cmp::Reverse(r)))
+    else {
+        return CriticalPath::default();
+    };
+    let mut rank = origin;
+
+    let mut sorted: Vec<&WaitEvent> = waits.iter().collect();
+    sorted.sort_by_key(|w| (w.rank, w.end_ps, w.start_ps, w.kind, w.peer));
+
+    let mut t = makespan;
+    let mut rev: Vec<Hop> = Vec::new();
+    let mut used = vec![false; sorted.len()];
+
+    while rev.len() < MAX_HOPS {
+        // Latest unused wait on `rank` ending at or before `t`; the sort
+        // order makes "last match wins" the deterministic maximum.
+        let pick = sorted
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| !used[*i] && w.rank == rank && w.end_ps <= t)
+            .map(|(i, _)| i)
+            .next_back();
+
+        let Some(i) = pick else {
+            // No earlier dependency on this timeline: everything back to
+            // the epoch is local work.
+            if t > 0 {
+                rev.push(Hop {
+                    rank,
+                    start_ps: 0,
+                    end_ps: t,
+                    wait: None,
+                    peer: None,
+                });
+            }
+            break;
+        };
+        used[i] = true;
+        let w = sorted[i];
+
+        if w.end_ps < t {
+            rev.push(Hop {
+                rank,
+                start_ps: w.end_ps,
+                end_ps: t,
+                wait: None,
+                peer: None,
+            });
+        }
+        rev.push(Hop {
+            rank,
+            start_ps: w.start_ps,
+            end_ps: w.end_ps,
+            wait: Some(w.kind),
+            peer: w.peer,
+        });
+
+        match (w.peer, w.kind) {
+            (Some(p), _) => {
+                // The waiter resumed when the peer's event (send, CTS,
+                // ack) reached it: continue on the peer's timeline at
+                // that moment.
+                rank = p;
+                t = w.end_ps;
+            }
+            (None, WaitKind::Barrier) => {
+                // The barrier released at the last arrival; the recorded
+                // wait with the latest start is the closest proxy for
+                // the last arriver (which itself waited zero time and
+                // left no event).
+                let co = sorted
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, v)| {
+                        !used[*j] && v.kind == WaitKind::Barrier && v.end_ps == w.end_ps
+                    })
+                    .max_by_key(|(_, v)| (v.start_ps, v.rank));
+                if let Some((j, v)) = co {
+                    used[j] = true;
+                    rank = v.rank;
+                    t = v.start_ps;
+                } else {
+                    t = w.start_ps;
+                }
+            }
+            (None, _) => {
+                // Cause unattributable to a specific peer: keep walking
+                // this rank's own timeline from before the wait.
+                t = w.start_ps;
+            }
+        }
+        if t == 0 {
+            break;
+        }
+    }
+
+    rev.reverse();
+    let total_slack_ps = rev.iter().map(Hop::slack_ps).sum();
+    CriticalPath {
+        makespan_ps: makespan,
+        bound_rank: origin,
+        hops: rev,
+        total_slack_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(rank: u32, kind: WaitKind, start: u64, end: u64, peer: Option<u32>) -> WaitEvent {
+        WaitEvent {
+            rank,
+            kind,
+            start_ps: start,
+            end_ps: end,
+            peer,
+        }
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_path() {
+        let p = extract(&[], &[]);
+        assert_eq!(p, CriticalPath::default());
+    }
+
+    #[test]
+    fn no_waits_is_one_local_segment_on_slowest_rank() {
+        let p = extract(&[(0, 500), (1, 900), (2, 700)], &[]);
+        assert_eq!(p.makespan_ps, 900);
+        assert_eq!(p.bound_rank, 1);
+        assert_eq!(p.hops.len(), 1);
+        assert_eq!(
+            p.hops[0],
+            Hop {
+                rank: 1,
+                start_ps: 0,
+                end_ps: 900,
+                wait: None,
+                peer: None
+            }
+        );
+        assert_eq!(p.total_slack_ps, 0);
+    }
+
+    #[test]
+    fn late_sender_chain_hops_to_the_peer() {
+        // Rank 1 computes 0..800; its send reaches rank 0 at 1000.
+        // Rank 0 posted its recv at 100 and waited 100..1000, then
+        // worked 1000..1500.
+        let makespans = [(0, 1500), (1, 800)];
+        let waits = [w(0, WaitKind::LateSender, 100, 1000, Some(1))];
+        let p = extract(&makespans, &waits);
+        assert_eq!(p.bound_rank, 0);
+        // tail local [1000,1500) on 0, the wait, then local on rank 1.
+        assert_eq!(p.hops.len(), 3);
+        assert_eq!(p.hops[0].rank, 1);
+        assert_eq!(p.hops[0].wait, None);
+        assert_eq!(p.hops[0].end_ps, 1000);
+        assert_eq!(p.hops[1].wait, Some(WaitKind::LateSender));
+        assert_eq!(p.hops[1].peer, Some(1));
+        assert_eq!(p.hops[1].slack_ps(), 900);
+        assert_eq!(
+            p.hops[2],
+            Hop {
+                rank: 0,
+                start_ps: 1000,
+                end_ps: 1500,
+                wait: None,
+                peer: None
+            }
+        );
+        assert_eq!(p.total_slack_ps, 900);
+    }
+
+    #[test]
+    fn barrier_hops_to_last_recorded_arriver() {
+        // Three ranks meet a barrier releasing at 1000; rank 2 arrived
+        // last among the *waiters* (start 900). Rank 0 finishes last.
+        let makespans = [(0, 1200), (1, 1000), (2, 1000)];
+        let waits = [
+            w(0, WaitKind::Barrier, 300, 1000, None),
+            w(1, WaitKind::Barrier, 500, 1000, None),
+            w(2, WaitKind::Barrier, 900, 1000, None),
+        ];
+        let p = extract(&makespans, &waits);
+        // Walk: local [1000,1200) on 0 ← barrier wait on 0 ← hop to
+        // rank 2 (latest start) at t=900 ← local [0,900) on 2.
+        let ranks: Vec<u32> = p.hops.iter().map(|h| h.rank).collect();
+        assert_eq!(ranks, vec![2, 0, 0]);
+        assert_eq!(p.hops[0].end_ps, 900);
+        assert_eq!(p.hops[1].wait, Some(WaitKind::Barrier));
+        assert_eq!(p.total_slack_ps, 700);
+    }
+
+    #[test]
+    fn two_hop_relay_is_followed_transitively() {
+        // 2 → 1 → 0 relay: rank 2 works til 400, rank 1 waits on 2
+        // (100..500) then works til 700, rank 0 waits on 1 (50..900)
+        // and finishes at 1000.
+        let makespans = [(0, 1000), (1, 700), (2, 400)];
+        let waits = [
+            w(0, WaitKind::LateSender, 50, 900, Some(1)),
+            w(1, WaitKind::LateSender, 100, 500, Some(2)),
+        ];
+        let p = extract(&makespans, &waits);
+        let ranks: Vec<u32> = p.hops.iter().map(|h| h.rank).collect();
+        assert_eq!(ranks, vec![2, 1, 1, 0, 0]);
+        assert_eq!(p.total_slack_ps, (900 - 50) + (500 - 100));
+        // Hops are time-ordered oldest-first along the walk.
+        assert!(p.hops.first().unwrap().start_ps == 0);
+        assert_eq!(p.hops.last().unwrap().end_ps, 1000);
+    }
+
+    #[test]
+    fn mutual_waits_terminate() {
+        // Degenerate ping-pong: both ranks blame each other at the same
+        // instant. Each wait may be followed at most once, so the walk
+        // terminates.
+        let makespans = [(0, 100), (1, 100)];
+        let waits = [
+            w(0, WaitKind::LateSender, 50, 100, Some(1)),
+            w(1, WaitKind::LateSender, 50, 100, Some(0)),
+        ];
+        let p = extract(&makespans, &waits);
+        assert!(p.hops.len() <= 6);
+        assert_eq!(p.makespan_ps, 100);
+    }
+
+    #[test]
+    fn extraction_is_deterministic_under_input_order() {
+        let makespans = [(0, 1000), (1, 700), (2, 400)];
+        let mut waits = vec![
+            w(0, WaitKind::LateSender, 50, 900, Some(1)),
+            w(1, WaitKind::LateSender, 100, 500, Some(2)),
+            w(2, WaitKind::Lock, 10, 20, None),
+        ];
+        let a = extract(&makespans, &waits);
+        waits.reverse();
+        let b = extract(&makespans, &waits);
+        assert_eq!(a, b);
+    }
+}

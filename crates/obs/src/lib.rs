@@ -36,15 +36,22 @@
 //! obs::disable();
 //! ```
 
+pub mod attrib;
 pub mod config;
+pub mod critpath;
 pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod recorder;
+pub mod report;
 
+pub use attrib::{Bucket, WaitKind};
 pub use config::ObsConfig;
 pub use export::{chrome_trace_json, counters_jsonl, write_chrome_trace, write_counters_jsonl};
+pub use histogram::Histogram;
 pub use recorder::{
-    add, counter_value, counters_snapshot, disable, enable, inc, instant, is_enabled,
-    link_snapshots, record_link_snapshot, reset, set_thread_rank, span, take_events, Arg, Counter,
-    EventKind, LinkSnapshot, TraceEvent,
+    add, counter_value, counters_snapshot, disable, enable, events_snapshot, inc, instant,
+    is_enabled, link_snapshots, record_link_snapshot, reset, set_thread_rank, span, take_events,
+    thread_rank, Arg, Counter, EventKind, LinkSnapshot, TraceEvent,
 };
+pub use report::Profile;

@@ -237,6 +237,11 @@ pub fn set_thread_rank(rank: u32) {
     THREAD_RANK.with(|r| r.set(rank));
 }
 
+/// The rank lane the calling thread is bound to (0 if never bound).
+pub fn thread_rank() -> u32 {
+    THREAD_RANK.with(|r| r.get())
+}
+
 /// Turn recording on.
 pub fn enable() {
     GLOBAL.enabled.store(true, Ordering::Relaxed);
@@ -261,6 +266,8 @@ pub fn reset() {
     }
     GLOBAL.events.lock().unwrap().clear();
     GLOBAL.links.lock().unwrap().clear();
+    crate::attrib::reset();
+    crate::report::reset();
 }
 
 /// Increment a counter by one. No-op when disabled.
@@ -343,6 +350,13 @@ pub fn record_link_snapshot(label: String, per_link: Vec<(usize, u64, u64)>) {
 /// Drain and return all buffered trace events (oldest first).
 pub fn take_events() -> Vec<TraceEvent> {
     std::mem::take(&mut *GLOBAL.events.lock().unwrap())
+}
+
+/// Clone the buffered trace events without draining them (the report
+/// builder reads them at teardown while leaving them for the trace
+/// exporter or in-process inspection).
+pub fn events_snapshot() -> Vec<TraceEvent> {
+    GLOBAL.events.lock().unwrap().clone()
 }
 
 /// Clone the recorded link snapshots.

@@ -1,0 +1,370 @@
+//! The profile report: per-rank attribution table, span-family latency
+//! histograms, and the critical path, serialized as
+//! `PROFILE_<name>.json`.
+//!
+//! `scimpi::run` builds the profile at teardown (after the per-rank
+//! makespans are recorded) and stores it as the process-wide "last
+//! profile"; harnesses read it back in-process via [`last_profile`] or
+//! write it next to their `BENCH_<name>.json` via [`write_profile_for`].
+//! Every field is an integer picosecond/nanosecond count, so same-seed
+//! runs serialize byte-identically.
+
+use crate::attrib::{self, Bucket, WaitKind, BUCKET_COUNT, WAIT_KIND_COUNT};
+use crate::critpath::{self, CriticalPath};
+use crate::histogram::Histogram;
+use crate::json::escape;
+use crate::recorder::{EventKind, TraceEvent};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One rank's virtual-time decomposition. The identity
+/// `compute + pack + transfer + wait + other == makespan` holds exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RankProfile {
+    /// The rank.
+    pub rank: u32,
+    /// Final clock value, ps.
+    pub makespan_ps: u64,
+    /// Busy sums indexed by [`Bucket`], ps.
+    pub busy_ps: [u64; BUCKET_COUNT],
+    /// Wait sums indexed by [`WaitKind`], ps.
+    pub wait_ps: [u64; WAIT_KIND_COUNT],
+    /// Time charged to no bucket (uninstrumented costs), ps.
+    pub other_ps: u64,
+}
+
+impl RankProfile {
+    /// Total classified wait time, ps.
+    pub fn total_wait_ps(&self) -> u64 {
+        self.wait_ps.iter().sum()
+    }
+
+    /// Total busy time across the three buckets, ps.
+    pub fn total_busy_ps(&self) -> u64 {
+        self.busy_ps.iter().sum()
+    }
+}
+
+/// Latency histogram for one span family (all spans sharing a name).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanFamily {
+    /// The span name (e.g. `p2p.recv`).
+    pub name: String,
+    /// Histogram over the spans' durations.
+    pub hist: Histogram,
+}
+
+/// The full report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Profile {
+    /// Per-rank decomposition, sorted by rank.
+    pub ranks: Vec<RankProfile>,
+    /// Per-family latency histograms, sorted by name.
+    pub families: Vec<SpanFamily>,
+    /// The cross-rank critical path.
+    pub critical_path: CriticalPath,
+}
+
+impl Profile {
+    /// Sum of every rank's classified wait time, ps.
+    pub fn total_wait_ps(&self) -> u64 {
+        self.ranks.iter().map(RankProfile::total_wait_ps).sum()
+    }
+
+    /// The histogram for one span family, if recorded.
+    pub fn family(&self, name: &str) -> Option<&Histogram> {
+        self.families
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| &f.hist)
+    }
+}
+
+/// Build a profile from the attribution state and the given trace
+/// events (span durations feed the histograms; attribution and
+/// makespans come from [`crate::attrib`]).
+pub fn build(events: &[TraceEvent]) -> Profile {
+    let busy = attrib::busy_table();
+    let waits = attrib::wait_events();
+    let makespans = attrib::makespans();
+
+    let mut ranks: BTreeMap<u32, RankProfile> = BTreeMap::new();
+    fn touch(map: &mut BTreeMap<u32, RankProfile>, r: u32) -> &mut RankProfile {
+        map.entry(r).or_insert_with(|| RankProfile {
+            rank: r,
+            ..RankProfile::default()
+        })
+    }
+    for (r, b) in &busy {
+        touch(&mut ranks, *r).busy_ps = *b;
+    }
+    for w in &waits {
+        touch(&mut ranks, w.rank).wait_ps[w.kind as usize] += w.dur_ps();
+    }
+    for (r, m) in &makespans {
+        touch(&mut ranks, *r).makespan_ps = *m;
+    }
+    for p in ranks.values_mut() {
+        let classified = p.total_busy_ps() + p.total_wait_ps();
+        // The instrumentation charges each clock movement at most once,
+        // so classified time can never exceed the recorded makespan; a
+        // rank seen only through busy/wait records (no recorded
+        // makespan) gets the classified sum as its makespan.
+        debug_assert!(
+            p.makespan_ps == 0 || classified <= p.makespan_ps,
+            "rank {} over-attributed: {} classified vs {} makespan",
+            p.rank,
+            classified,
+            p.makespan_ps
+        );
+        p.makespan_ps = p.makespan_ps.max(classified);
+        p.other_ps = p.makespan_ps - classified;
+    }
+
+    let mut fams: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+    for ev in events {
+        if let EventKind::Span { dur_ps } = ev.kind {
+            fams.entry(ev.name).or_default().record(dur_ps);
+        }
+    }
+
+    Profile {
+        ranks: ranks.into_values().collect(),
+        families: fams
+            .into_iter()
+            .map(|(name, hist)| SpanFamily {
+                name: name.to_string(),
+                hist,
+            })
+            .collect(),
+        critical_path: critpath::extract(&makespans, &waits),
+    }
+}
+
+/// Serialize a profile as deterministic JSON (integers only, fixed key
+/// order).
+pub fn profile_json(p: &Profile) -> String {
+    let mut out = String::from("{\"schema\":\"scimpi-profile-v1\",\n\"ranks\":[\n");
+    let ranks: Vec<String> = p
+        .ranks
+        .iter()
+        .map(|r| {
+            let waits: Vec<String> = WaitKind::NAMES
+                .iter()
+                .zip(&r.wait_ps)
+                .map(|(n, v)| format!("\"{n}_ps\":{v}"))
+                .collect();
+            format!(
+                "{{\"rank\":{},\"makespan_ps\":{},\"compute_ps\":{},\"pack_ps\":{},\"transfer_ps\":{},\"wait_ps\":{},\"other_ps\":{},\"wait_breakdown\":{{{}}}}}",
+                r.rank,
+                r.makespan_ps,
+                r.busy_ps[Bucket::Compute as usize],
+                r.busy_ps[Bucket::Pack as usize],
+                r.busy_ps[Bucket::Transfer as usize],
+                r.total_wait_ps(),
+                r.other_ps,
+                waits.join(",")
+            )
+        })
+        .collect();
+    out.push_str(&ranks.join(",\n"));
+    out.push_str("\n],\n\"span_histograms\":[\n");
+    let fams: Vec<String> = p
+        .families
+        .iter()
+        .map(|f| {
+            let buckets: Vec<String> = f
+                .hist
+                .nonzero_buckets()
+                .iter()
+                .map(|(i, c)| format!("[{i},{c}]"))
+                .collect();
+            format!(
+                "{{\"span\":\"{}\",\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+                escape(&f.name),
+                f.hist.count(),
+                f.hist.mean_ps() / 1000,
+                f.hist.p50() / 1000,
+                f.hist.p95() / 1000,
+                f.hist.p99() / 1000,
+                f.hist.max_ps() / 1000,
+                buckets.join(",")
+            )
+        })
+        .collect();
+    out.push_str(&fams.join(",\n"));
+    out.push_str("\n],\n\"critical_path\":{");
+    let cp = &p.critical_path;
+    out.push_str(&format!(
+        "\"makespan_ps\":{},\"bound_rank\":{},\"total_slack_ps\":{},\"hops\":[\n",
+        cp.makespan_ps, cp.bound_rank, cp.total_slack_ps
+    ));
+    let hops: Vec<String> = cp
+        .hops
+        .iter()
+        .map(|h| {
+            let kind = h.wait.map(WaitKind::name).unwrap_or("local");
+            let peer = h
+                .peer
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "null".into());
+            format!(
+                "{{\"rank\":{},\"kind\":\"{}\",\"start_ps\":{},\"end_ps\":{},\"peer\":{},\"slack_ps\":{}}}",
+                h.rank,
+                kind,
+                h.start_ps,
+                h.end_ps,
+                peer,
+                h.slack_ps()
+            )
+        })
+        .collect();
+    out.push_str(&hops.join(",\n"));
+    out.push_str("\n]}}\n");
+    out
+}
+
+static LAST: Mutex<Option<Profile>> = Mutex::new(None);
+
+/// Store `p` as the process-wide last profile (`scimpi::run` does this
+/// at teardown).
+pub fn set_last(p: Profile) {
+    *LAST.lock().unwrap() = Some(p);
+}
+
+/// Clone of the most recently built profile, if any.
+pub fn last_profile() -> Option<Profile> {
+    LAST.lock().unwrap().clone()
+}
+
+/// Clear the stored profile (called from `obs::reset`).
+pub(crate) fn reset() {
+    *LAST.lock().unwrap() = None;
+}
+
+/// Write the last profile to `path`. No-op (Ok) when none was built.
+pub fn write_last(path: &Path) -> std::io::Result<()> {
+    if let Some(p) = last_profile() {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(profile_json(&p).as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Write the last profile as `PROFILE_<name>.json` in the current
+/// directory (the convention next to `BENCH_<name>.json`). Returns the
+/// path written, or `None` when no profile was built.
+pub fn write_profile_for(name: &str) -> std::io::Result<Option<PathBuf>> {
+    if last_profile().is_none() {
+        return Ok(None);
+    }
+    let path = PathBuf::from(format!("PROFILE_{name}.json"));
+    write_last(&path)?;
+    Ok(Some(path))
+}
+
+/// Render a compact human-readable attribution table (used by examples
+/// and harness printouts).
+pub fn render_table(p: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "rank", "makespan_us", "compute_us", "pack_us", "transfer_us", "wait_us", "other_us"
+    ));
+    let us = |ps: u64| ps as f64 / 1e6;
+    for r in &p.ranks {
+        out.push_str(&format!(
+            "{:>4} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+            r.rank,
+            us(r.makespan_ps),
+            us(r.busy_ps[Bucket::Compute as usize]),
+            us(r.busy_ps[Bucket::Pack as usize]),
+            us(r.busy_ps[Bucket::Transfer as usize]),
+            us(r.total_wait_ps()),
+            us(r.other_ps),
+        ));
+    }
+    out
+}
+
+/// Render the critical path as one line per hop.
+pub fn render_critical_path(p: &Profile) -> String {
+    let cp = &p.critical_path;
+    let mut out = format!(
+        "critical path (bounding rank {}, makespan {:.1} us, recoverable slack {:.1} us):\n",
+        cp.bound_rank,
+        cp.makespan_ps as f64 / 1e6,
+        cp.total_slack_ps as f64 / 1e6
+    );
+    for h in &cp.hops {
+        let label = match (h.wait, h.peer) {
+            (Some(k), Some(peer)) => format!("wait[{}] on rank {}", k.name(), peer),
+            (Some(k), None) => format!("wait[{}]", k.name()),
+            (None, _) => "busy".to_string(),
+        };
+        out.push_str(&format!(
+            "  rank {:>3}  {:>10.1} .. {:>10.1} us  {}\n",
+            h.rank,
+            h.start_ps as f64 / 1e6,
+            h.end_ps as f64 / 1e6,
+            label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{Arg, EventKind, TraceEvent};
+
+    #[test]
+    fn profile_json_is_deterministic_and_balanced() {
+        let p = Profile {
+            ranks: vec![RankProfile {
+                rank: 0,
+                makespan_ps: 100,
+                busy_ps: [10, 20, 30],
+                wait_ps: [5, 5, 10, 0, 10],
+                other_ps: 10,
+            }],
+            families: vec![SpanFamily {
+                name: "p2p.send".into(),
+                hist: {
+                    let mut h = Histogram::new();
+                    h.record(1000);
+                    h.record(3000);
+                    h
+                },
+            }],
+            critical_path: CriticalPath::default(),
+        };
+        let a = profile_json(&p);
+        let b = profile_json(&p.clone());
+        assert_eq!(a, b);
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+        assert!(a.contains("\"compute_ps\":10"));
+        assert!(a.contains("\"late_sender_ps\":5"));
+        assert!(a.contains("\"span\":\"p2p.send\""));
+    }
+
+    #[test]
+    fn build_groups_span_families() {
+        let ev = |name: &'static str, dur: u64| TraceEvent {
+            rank: 0,
+            name,
+            kind: EventKind::Span { dur_ps: dur },
+            ts_ps: 0,
+            args: vec![("bytes", Arg::U64(1))],
+        };
+        let events = vec![ev("a", 10), ev("b", 20), ev("a", 30)];
+        let p = build(&events);
+        assert_eq!(p.families.len(), 2);
+        assert_eq!(p.family("a").unwrap().count(), 2);
+        assert_eq!(p.family("b").unwrap().count(), 1);
+        assert!(p.family("nope").is_none());
+    }
+}

@@ -77,8 +77,8 @@ impl SmiLock {
         let guard = self.state.lock().unwrap();
         obs::inc(obs::Counter::SmiLockAcquires);
         // Wait (in virtual time) for the previous holder's release.
-        clock.merge(*guard);
-        clock.advance(self.acquire_cost(p));
+        obs::attrib::merge_waited(clock, *guard, obs::WaitKind::Lock, None);
+        obs::attrib::advance(clock, obs::Bucket::Transfer, self.acquire_cost(p));
         SmiLockGuard { inner: Some(guard) }
     }
 
@@ -89,12 +89,12 @@ impl SmiLock {
         match self.state.try_lock() {
             Ok(guard) => {
                 obs::inc(obs::Counter::SmiLockAcquires);
-                clock.merge(*guard);
-                clock.advance(probe);
+                obs::attrib::merge_waited(clock, *guard, obs::WaitKind::Lock, None);
+                obs::attrib::advance(clock, obs::Bucket::Transfer, probe);
                 Some(SmiLockGuard { inner: Some(guard) })
             }
             Err(_) => {
-                clock.advance(probe);
+                obs::attrib::advance(clock, obs::Bucket::Transfer, probe);
                 None
             }
         }
@@ -110,7 +110,7 @@ impl SmiLockGuard<'_> {
     /// Unlock, recording the holder's current virtual time so the next
     /// acquirer waits for it.
     pub fn release(mut self, clock: &mut Clock) {
-        clock.advance(SmiLock::LOCAL_OP);
+        obs::attrib::advance(clock, obs::Bucket::Transfer, SmiLock::LOCAL_OP);
         if let Some(mut inner) = self.inner.take() {
             *inner = clock.now();
         }
@@ -172,7 +172,7 @@ impl TimeBarrier {
             let release = st.release;
             drop(st);
             self.cv.notify_all();
-            clock.merge(release);
+            obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
             true
         } else {
             let gen = st.generation;
@@ -181,7 +181,7 @@ impl TimeBarrier {
             }
             let release = st.release;
             drop(st);
-            clock.merge(release);
+            obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
             false
         }
     }

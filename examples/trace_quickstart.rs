@@ -1,6 +1,6 @@
 //! Observability quickstart: run a tiny workload with the recorder on,
-//! inspect counters in-process, and write the Chrome trace + counter
-//! dump.
+//! inspect counters and the wait-state profile in-process, and write
+//! the Chrome trace + counter dump + `PROFILE` document.
 //!
 //! Run: `cargo run --release --example trace_quickstart`
 //! Then open `trace_quickstart.json` in Perfetto (ui.perfetto.dev) or
@@ -11,7 +11,8 @@ use scimpi::prelude::*;
 fn main() {
     let spec = ClusterSpec::ringlet(4).obs(
         ObsConfig::with_trace("trace_quickstart.json")
-            .and_counters("trace_quickstart_counters.jsonl"),
+            .and_counters("trace_quickstart_counters.jsonl")
+            .and_profile("PROFILE_trace_quickstart.json"),
     );
 
     run(spec, |rank| {
@@ -46,6 +47,14 @@ fn main() {
             println!("  {name:<22} {value}");
         }
     }
-    println!("\nwrote trace_quickstart.json (open in Perfetto / chrome://tracing)");
+    // The wait-state profile is also readable in-process: where each
+    // rank's virtual time went, and which dependency chain bounded the
+    // run.
+    let profile = obs::report::last_profile().expect("profile built at teardown");
+    println!("\n{}", obs::report::render_table(&profile));
+    println!("{}", obs::report::render_critical_path(&profile));
+
+    println!("wrote trace_quickstart.json (open in Perfetto / chrome://tracing)");
     println!("wrote trace_quickstart_counters.jsonl");
+    println!("wrote PROFILE_trace_quickstart.json");
 }
