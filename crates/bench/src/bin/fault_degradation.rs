@@ -17,10 +17,10 @@
 
 use obs::json::num;
 use obs::Counter;
-use sci_fabric::FaultConfig;
-use scimpi::{ClusterSpec, ErrorMode, ObsConfig, Tuning, WinMemory};
+use sci_fabric::{death_schedule, FaultConfig};
+use scimpi::{shrink, ClusterSpec, ErrorMode, ObsConfig, Tuning, WinMemory};
 use simclock::stats::Table;
-use simclock::SimTime;
+use simclock::{SimDuration, SimTime};
 
 const PUT_SIZE: usize = 128 * 1024;
 const ROUNDS: usize = 8;
@@ -82,11 +82,57 @@ fn throughput_at(rate: f64) -> f64 {
     total_bytes / (1024.0 * 1024.0) / max_time.as_secs_f64()
 }
 
+/// Same streaming workload, but one seeded rank dies halfway through:
+/// the survivors shrink to the new membership, rebuild their window, and
+/// finish the remaining rounds. The returned MiB/s is the job's
+/// aggregate over its whole (stalled-and-shrunk) lifetime — what a user
+/// actually retains when a rank is lost at this fault rate.
+fn survivor_throughput_at(rate: f64) -> f64 {
+    let victim = death_schedule(20020415, 8, 1, SimDuration::from_ms(10))[0].node;
+    let results: Vec<(SimTime, usize)> = scimpi::run(spec_for(rate), move |r| {
+        let mem = r.alloc_mem(PUT_SIZE).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        let data = vec![r.rank() as u8; PUT_SIZE];
+        win.fence(r).unwrap();
+        let mut sent = 0usize;
+        for _ in 0..ROUNDS / 2 {
+            let target = (r.rank() + 1) % r.size();
+            win.put(r, target, 0, &data)
+                .expect("fallback absorbs hard failures");
+            win.fence(r).unwrap();
+            sent += PUT_SIZE;
+        }
+        r.barrier();
+        if r.world_rank() == victim {
+            r.fabric().faults().kill_node(r.node().0);
+            return (r.now(), sent);
+        }
+        shrink(r).expect("survivors agree on the shrunk membership");
+        // The old window is pinned to the dead epoch; stream the second
+        // half through a fresh one over the survivors.
+        let mem = r.alloc_mem(PUT_SIZE).unwrap();
+        let mut win = r.win_create(WinMemory::Alloc(mem)).unwrap();
+        win.fence(r).unwrap();
+        for _ in 0..ROUNDS / 2 {
+            let target = (r.rank() + 1) % r.size();
+            win.put(r, target, 0, &data)
+                .expect("fallback absorbs hard failures");
+            win.fence(r).unwrap();
+            sent += PUT_SIZE;
+        }
+        (r.now(), sent)
+    });
+    let total_bytes: f64 = results.iter().map(|&(_, b)| b as f64).sum();
+    let max_time = results.iter().map(|&(t, _)| t).max().expect("nonempty");
+    total_bytes / (1024.0 * 1024.0) / max_time.as_secs_f64()
+}
+
 fn main() {
     let mut table = Table::new(vec![
         "error rate",
         "throughput [MiB/s]",
         "degradation",
+        "survivor [MiB/s]",
         "hard failures",
         "failovers",
         "fallbacks",
@@ -118,11 +164,19 @@ fn main() {
                 "error rate {rate} engaged no recovery machinery"
             );
         }
+        // Runs after the counter snapshot: the kill-one scenario trips
+        // death/agreement counters that must not pollute the sweep's.
+        let survivor_mbps = survivor_throughput_at(rate);
+        assert!(
+            survivor_mbps < mbps,
+            "losing a rank at rate {rate} cannot speed the job up"
+        );
         let find = |name: &str| counters.iter().find(|&&(n, _)| n == name).unwrap().1;
         table.push_row(vec![
             format!("{rate}"),
             format!("{mbps:.1}"),
             format!("{:.1}%", (1.0 - mbps / baseline) * 100.0),
+            format!("{survivor_mbps:.1}"),
             format!("{}", find("link_hard_failures")),
             format!("{}", find("route_failovers")),
             format!("{}", find("osc_fallbacks")),
@@ -134,10 +188,11 @@ fn main() {
             .collect::<Vec<_>>()
             .join(",");
         points.push(format!(
-            "{{\"error_rate\":{},\"mbps\":{},\"degradation_pct\":{},\"recovery\":{{{}}}}}",
+            "{{\"error_rate\":{},\"mbps\":{},\"degradation_pct\":{},\"survivor_mbps\":{},\"recovery\":{{{}}}}}",
             num(rate),
             num(mbps),
             num((1.0 - mbps / baseline) * 100.0),
+            num(survivor_mbps),
             recovery_json
         ));
     }

@@ -69,13 +69,13 @@ impl ReduceOp {
 impl Rank {
     /// Broadcast `buf` from `root` to all ranks (binomial tree).
     pub fn bcast(&mut self, root: usize, buf: &mut [u8]) -> Result<(), ScimpiError> {
-        assert!(root < self.size, "bcast root out of range");
-        let size = self.size;
+        assert!(root < self.size(), "bcast root out of range");
+        let size = self.size();
         if size == 1 {
             return Ok(());
         }
         let start = self.clock.now();
-        let vrank = (self.rank + size - root) % size;
+        let vrank = (self.rank() + size - root) % size;
         // Receive phase.
         let mut mask = 1usize;
         while mask < size {
@@ -108,10 +108,10 @@ impl Rank {
         values: &[f64],
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>, ScimpiError> {
-        assert!(root < self.size, "reduce root out of range");
-        let size = self.size;
+        assert!(root < self.size(), "reduce root out of range");
+        let size = self.size();
         let start = self.clock.now();
-        let vrank = (self.rank + size - root) % size;
+        let vrank = (self.rank() + size - root) % size;
         let mut acc = values.to_vec();
         let mut mask = 1usize;
         while mask < size {
@@ -134,7 +134,7 @@ impl Rank {
             mask <<= 1;
         }
         coll_span(self, "coll.reduce", start, values.len() * 8);
-        Ok(if self.rank == root { Some(acc) } else { None })
+        Ok(if self.rank() == root { Some(acc) } else { None })
     }
 
     /// All-reduce: reduce onto rank 0, then broadcast.
@@ -166,19 +166,19 @@ impl Rank {
         root: usize,
         mine: &[u8],
     ) -> Result<Option<Vec<Vec<u8>>>, ScimpiError> {
-        assert!(root < self.size, "gather root out of range");
+        assert!(root < self.size(), "gather root out of range");
         let start = self.clock.now();
-        if self.rank != root {
+        if self.rank() != root {
             self.gather_send(root, mine)?;
             coll_span(self, "coll.gatherv", start, mine.len());
             return Ok(None);
         }
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size()];
         out[root] = mine.to_vec();
         // Indexed loop: the body needs `&mut self` for recv, which rules
         // out iterating `out` directly.
         #[allow(clippy::needless_range_loop)]
-        for src in 0..self.size {
+        for src in 0..self.size() {
             if src == root {
                 continue;
             }
@@ -214,9 +214,9 @@ impl Rank {
         stream.resize(total, 0);
         self.bcast(0, &mut stream)?;
         // Deserialise.
-        let mut out = Vec::with_capacity(self.size);
+        let mut out = Vec::with_capacity(self.size());
         let mut at = 0usize;
-        for _ in 0..self.size {
+        for _ in 0..self.size() {
             let len = u64::from_le_bytes(stream[at..at + 8].try_into().expect("8 bytes")) as usize;
             at += 8;
             out.push(stream[at..at + len].to_vec());
@@ -229,10 +229,10 @@ impl Rank {
     /// the element-wise sum of the values of ranks `0..=k`.
     pub fn scan_sum_f64(&mut self, values: &[f64]) -> Result<Vec<f64>, ScimpiError> {
         let mut acc = values.to_vec();
-        if self.rank > 0 {
+        if self.rank() > 0 {
             let mut bytes = vec![0u8; values.len() * 8];
             self.recv(
-                Source::Rank(self.rank - 1),
+                Source::Rank(self.rank() - 1),
                 TagSel::Value(COLL_TAG + 3),
                 &mut bytes,
             )?;
@@ -241,9 +241,9 @@ impl Rank {
                 *a += p;
             }
         }
-        if self.rank + 1 < self.size {
+        if self.rank() + 1 < self.size() {
             let bytes = typed::to_bytes(&acc);
-            self.send(self.rank + 1, COLL_TAG + 3, &bytes)?;
+            self.send(self.rank() + 1, COLL_TAG + 3, &bytes)?;
         }
         Ok(acc)
     }
@@ -253,14 +253,16 @@ impl Rank {
     /// failed step: a dead partner surfaces as
     /// [`ScimpiError::PeerDead`] instead of hanging the collective.
     pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
-        assert_eq!(sendblocks.len(), self.size, "one block per rank");
+        assert_eq!(sendblocks.len(), self.size(), "one block per rank");
         let start = self.clock.now();
         let total: usize = sendblocks.iter().map(Vec::len).sum();
-        let mut out: Vec<Vec<u8>> = vec![Vec::new(); self.size];
-        out[self.rank] = sendblocks[self.rank].clone();
-        for step in 1..self.size {
-            let dst = (self.rank + step) % self.size;
-            let src = (self.rank + self.size - step) % self.size;
+        let me = self.rank();
+        let n = self.size();
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = sendblocks[me].clone();
+        for step in 1..n {
+            let dst = (me + step) % n;
+            let src = (me + n - step) % n;
             let mut buf = vec![0u8; sendblocks[dst].len().max(1 << 20)];
             let st = self.sendrecv(
                 dst,

@@ -52,6 +52,12 @@ pub enum ScimpiError {
     /// Window creation or registration failed (missing registration,
     /// type mismatch, exhausted shared-segment pool).
     WindowError(String),
+    /// The communicator was revoked: some rank observed a dead peer and
+    /// invalidated the current membership epoch, so every blocked
+    /// communication call errors out instead of running its timeout
+    /// schedule. Recover by agreeing on a new epoch via
+    /// `recovery::shrink`.
+    Revoked,
     /// Payload corruption detected by the integrity machinery (sequence
     /// check or CRC mismatch) that the retransmission budget could not
     /// repair. In `SequenceCheck` mode `retransmits` is always 0: the
@@ -80,6 +86,9 @@ impl fmt::Display for ScimpiError {
                 write!(f, "protocol violation: expected {expected}, got {got}")
             }
             ScimpiError::WindowError(msg) => write!(f, "window error: {msg}"),
+            ScimpiError::Revoked => {
+                write!(f, "communicator revoked: membership epoch invalidated")
+            }
             ScimpiError::DataCorruption {
                 peer,
                 what,
@@ -182,6 +191,7 @@ mod tests {
         };
         let s = e.to_string();
         assert!(s.contains("rendezvous chunk") && s.contains("rank 1") && s.contains('4'));
+        assert!(ScimpiError::Revoked.to_string().contains("revoked"));
     }
 
     #[test]

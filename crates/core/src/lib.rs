@@ -45,6 +45,7 @@ pub mod error;
 pub mod mailbox;
 pub mod osc;
 pub mod p2p;
+pub mod recovery;
 pub mod request;
 pub mod runtime;
 pub mod sink;
@@ -55,6 +56,7 @@ pub use error::{death_delay, ErrorMode, ScimpiError};
 pub use mailbox::{Source, Tag, TagSel};
 pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};
+pub use recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
 pub use request::{PersistentRecv, PersistentSend, RecvDone, Request};
 pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource};
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::mailbox::{Source, Tag, TagSel};
     pub use crate::osc::{AccumulateOp, WinMemory, Window};
     pub use crate::p2p::{RecvBuf, RecvStatus, SendData};
+    pub use crate::recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
     pub use crate::request::{PersistentRecv, PersistentSend, RecvDone, Request};
     pub use crate::runtime::{run, ClusterSpec, ObsConfig, Rank};
     pub use crate::tuning::{IntegrityMode, Tuning};

@@ -84,6 +84,14 @@ struct WindowShared {
     targets: Vec<(TargetMem, usize)>,
     locks: Vec<SmiLock>,
     fence: TimeBarrier,
+    /// World rank of each window target: windows are created over the
+    /// membership epoch current at creation, and target indices are
+    /// *logical* ranks of that epoch.
+    members: Arc<Vec<usize>>,
+    /// Per-window integrity override; `None` follows
+    /// `Tuning::integrity_mode`. Recovery-critical windows (buddy
+    /// checkpoints) force `EndToEnd` regardless of the run's default.
+    integrity_override: Option<IntegrityMode>,
 }
 
 /// Per-target direct-path health, driving the graceful degradation of §4:
@@ -197,12 +205,25 @@ impl Rank {
             .expect("double free of alloc_mem");
     }
 
-    /// `MPI_Win_create` (collective): expose `mem` to all ranks.
-    /// Registration failures come back as [`ScimpiError::WindowError`].
+    /// `MPI_Win_create` (collective): expose `mem` to all ranks of the
+    /// current membership epoch. Registration failures come back as
+    /// [`ScimpiError::WindowError`].
     pub fn win_create(&mut self, mem: WinMemory) -> Result<Window, ScimpiError> {
+        self.win_create_with_integrity(mem, None)
+    }
+
+    /// [`Rank::win_create`] with a per-window integrity override:
+    /// `Some(mode)` pins this window's put/get verification to `mode`
+    /// regardless of `Tuning::integrity_mode` (the buddy-checkpoint
+    /// window forces `EndToEnd` this way); `None` follows the tuning.
+    pub fn win_create_with_integrity(
+        &mut self,
+        mem: WinMemory,
+        integrity_override: Option<IntegrityMode>,
+    ) -> Result<Window, ScimpiError> {
         let contrib: (TargetMem, usize) = match mem {
             WinMemory::Alloc(am) => {
-                assert_eq!(am.rank, self.rank, "alloc_mem from another rank");
+                assert_eq!(am.rank, self.world_rank(), "alloc_mem from another rank");
                 (
                     TargetMem::Shared {
                         region: am.region,
@@ -218,20 +239,25 @@ impl Rank {
                 len,
             ),
         };
+        let size = self.size();
+        let members = Arc::clone(&self.members);
         let targets = self.collective_gather(contrib);
-        let id = self.collective_gather(if self.rank == 0 {
+        let id = self.collective_gather(if self.rank() == 0 {
             self.world.handle()
         } else {
             0
         })[0];
-        if self.rank == 0 {
+        if self.rank() == 0 {
             let shared = Arc::new(WindowShared {
                 id,
-                locks: (0..self.size)
-                    .map(|t| SmiLock::new(Arc::clone(&self.world.smi), ProcId(t)))
+                locks: members
+                    .iter()
+                    .map(|&w| SmiLock::new(Arc::clone(&self.world.smi), ProcId(w)))
                     .collect(),
-                fence: TimeBarrier::new(self.size, self.world.tuning.barrier_hop),
+                fence: TimeBarrier::new(size, self.world.tuning.barrier_hop),
                 targets,
+                members: Arc::clone(&members),
+                integrity_override,
             });
             self.world
                 .windows
@@ -256,9 +282,9 @@ impl Rank {
                 ScimpiError::WindowError(format!("window {id} registered with a mismatched type"))
             })?;
         Ok(Window {
-            streams: (0..self.size).map(|_| None).collect(),
-            emu_busy: vec![SimTime::ZERO; self.size],
-            fallback: vec![FallbackState::default(); self.size],
+            streams: (0..size).map(|_| None).collect(),
+            emu_busy: vec![SimTime::ZERO; size],
+            fallback: vec![FallbackState::default(); size],
             shared,
             emu_outstanding: SimTime::ZERO,
             put_records: Vec::new(),
@@ -281,6 +307,34 @@ impl Window {
     /// shared memory.
     pub fn is_shared(&self, target: usize) -> bool {
         matches!(self.shared.targets[target].0, TargetMem::Shared { .. })
+    }
+
+    /// The integrity mode governing this window's transfers: the
+    /// per-window override when one was pinned at creation, otherwise
+    /// the run's `Tuning::integrity_mode`.
+    fn imode(&self, rank: &Rank) -> IntegrityMode {
+        self.shared
+            .integrity_override
+            .unwrap_or(rank.world.tuning.integrity_mode)
+    }
+
+    /// World rank of (logical) window target `target`.
+    fn world_of(&self, target: usize) -> usize {
+        self.shared.members[target]
+    }
+
+    /// This rank's target index inside the window. Windows are pinned to
+    /// the membership epoch current at creation, so after a
+    /// [`crate::recovery::shrink`] a survivor's *logical* rank may no
+    /// longer equal its index here — resolve through the world rank,
+    /// which never changes.
+    fn local_index(&self, rank: &Rank) -> usize {
+        let me = rank.world_rank();
+        self.shared
+            .members
+            .iter()
+            .position(|&w| w == me)
+            .expect("rank is a member of its own window")
     }
 
     fn check(&self, target: usize, offset: usize, len: usize) -> Result<(), SciError> {
@@ -336,10 +390,11 @@ impl Window {
     }
 
     /// Every emulated round trip needs the target's CPU to run the
-    /// handler — a dead target is an error, not a hang.
-    fn ensure_alive(rank: &Rank, target: usize) -> Result<(), SciError> {
-        if rank.world.peer_dead(target) {
-            return Err(SciError::PeerDead(target));
+    /// handler — a dead target is an error, not a hang. `target_w` is
+    /// the target's *world* rank.
+    fn ensure_alive(rank: &Rank, target_w: usize) -> Result<(), SciError> {
+        if rank.world.peer_dead(target_w) {
+            return Err(SciError::PeerDead(target_w));
         }
         Ok(())
     }
@@ -426,11 +481,11 @@ impl Window {
     /// retransmission. Returns the delivered (clean) payload.
     fn deliver_packet(
         rank: &mut Rank,
-        target: usize,
+        target_w: usize,
         data: &[u8],
         what: &'static str,
     ) -> Result<Vec<u8>, ScimpiError> {
-        let pair = (rank.node().0, rank.world.node_of(target).0);
+        let pair = (rank.node().0, rank.world.node_of(target_w).0);
         let mut retransmits = 0u32;
         loop {
             attrib::advance(
@@ -443,17 +498,17 @@ impl Window {
             if n == 0 {
                 return Ok(wire);
             }
-            Self::note_detected(rank, "osc.emulated", target);
+            Self::note_detected(rank, "osc.emulated", target_w);
             if retransmits >= rank.world.tuning.max_retransmits {
                 return Err(ScimpiError::DataCorruption {
-                    peer: target,
+                    peer: target_w,
                     what,
                     retransmits,
                 });
             }
             retransmits += 1;
             Self::note_retransmit(rank, "osc.emulated", retransmits);
-            let roundtrip = Self::handler_roundtrip_cost(rank, target, data.len());
+            let roundtrip = Self::handler_roundtrip_cost(rank, target_w, data.len());
             attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         }
     }
@@ -464,13 +519,13 @@ impl Window {
     /// uncovered.
     fn verify_return(
         rank: &mut Rank,
-        target: usize,
+        target_w: usize,
+        mode: IntegrityMode,
         dst: &mut [u8],
         clean: &[u8],
         what: &'static str,
     ) -> Result<(), ScimpiError> {
-        let pair = (rank.world.node_of(target).0, rank.node().0);
-        let mode = rank.world.tuning.integrity_mode;
+        let pair = (rank.world.node_of(target_w).0, rank.node().0);
         let mut retransmits = 0u32;
         loop {
             dst.copy_from_slice(clean);
@@ -487,17 +542,17 @@ impl Window {
             if n == 0 {
                 return Ok(());
             }
-            Self::note_detected(rank, what, target);
+            Self::note_detected(rank, what, target_w);
             if retransmits >= rank.world.tuning.max_retransmits {
                 return Err(ScimpiError::DataCorruption {
-                    peer: target,
+                    peer: target_w,
                     what,
                     retransmits,
                 });
             }
             retransmits += 1;
             Self::note_retransmit(rank, what, retransmits);
-            let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+            let roundtrip = Self::handler_roundtrip_cost(rank, target_w, dst.len());
             attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         }
     }
@@ -510,10 +565,10 @@ impl Window {
         reader: &sci_fabric::PioReader,
         at: usize,
         dst: &mut [u8],
-        target: usize,
+        target_w: usize,
+        mode: IntegrityMode,
         what: &'static str,
     ) -> Result<(), ScimpiError> {
-        let mode = rank.world.tuning.integrity_mode;
         let mut retransmits = 0u32;
         loop {
             let n = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
@@ -532,10 +587,10 @@ impl Window {
             if n == 0 {
                 return Ok(());
             }
-            Self::note_detected(rank, what, target);
+            Self::note_detected(rank, what, target_w);
             if retransmits >= rank.world.tuning.max_retransmits {
                 return Err(ScimpiError::DataCorruption {
-                    peer: target,
+                    peer: target_w,
                     what,
                     retransmits,
                 });
@@ -584,7 +639,9 @@ impl Window {
         };
         let slot = &mut streams[target];
         if slot.is_none() {
-            let mut stream = region.map(ProcId(rank.rank())).pio_stream(working_set);
+            let mut stream = region
+                .map(ProcId(rank.world_rank()))
+                .pio_stream(working_set);
             // Window streams are long-running: sustained MPI-level puts
             // saturate at the node injection cap (the Figure 12 plateau),
             // unlike short raw bursts.
@@ -602,6 +659,8 @@ impl Window {
         data: &[u8],
     ) -> Result<(), ScimpiError> {
         self.check(target, target_off, data.len())?;
+        let target_w = self.world_of(target);
+        let mode = self.imode(rank);
         let start = rank.clock.now();
         if self.direct_active(target) {
             obs::inc(obs::Counter::OscPutShared);
@@ -613,7 +672,7 @@ impl Window {
             match res {
                 Ok(()) => {
                     self.note_direct_success(target);
-                    if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                    if mode == IntegrityMode::EndToEnd {
                         self.record_put(rank, target, target_off, data);
                     }
                     osc_span(rank, "osc.put", start, data.len(), target, "shared");
@@ -628,13 +687,13 @@ impl Window {
         // already have moved some bytes; the handler's copy lands the full
         // payload either way.
         obs::inc(obs::Counter::OscPutEmulated);
-        Self::ensure_alive(rank, target)?;
-        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
-            let wire = Self::deliver_packet(rank, target, data, "one-sided put")?;
+        Self::ensure_alive(rank, target_w)?;
+        if mode == IntegrityMode::EndToEnd {
+            let wire = Self::deliver_packet(rank, target_w, data, "one-sided put")?;
             self.backing_write(target, target_off, &wire)?;
         } else {
             let mut wire = data.to_vec();
-            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let pair = (rank.node().0, rank.world.node_of(target_w).0);
             let n = Self::corrupt_wire(rank, pair, &mut wire);
             Self::note_uncovered(rank, n, "osc.put");
             self.backing_write(target, target_off, &wire)?;
@@ -657,6 +716,8 @@ impl Window {
     ) -> Result<(), ScimpiError> {
         let total = c.size() * count;
         self.check(target, target_off, c.extent() * count)?;
+        let target_w = self.world_of(target);
+        let mode = self.imode(rank);
         let start = rank.clock.now();
         // Resolve the committed layout (cache lookup vs re-flatten), then
         // let the adaptive selector pick the pack path from its density.
@@ -717,7 +778,7 @@ impl Window {
                         ff_block_cost.saturating_mul(stats.blocks as u64),
                     );
                     self.note_direct_success(target);
-                    if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                    if mode == IntegrityMode::EndToEnd {
                         // One epoch record per block: verification needs
                         // the layout, not the packed stream.
                         ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
@@ -739,7 +800,7 @@ impl Window {
         }
         // Emulation (private windows, or shared targets under fallback).
         obs::inc(obs::Counter::OscPutEmulated);
-        Self::ensure_alive(rank, target)?;
+        Self::ensure_alive(rank, target_w)?;
         let mut sink = ff::VecSink::default();
         let stats = ff::pack_ff(c, count, buf, origin, 0, usize::MAX, &mut sink)
             .expect("VecSink infallible");
@@ -753,10 +814,10 @@ impl Window {
         );
         // The packed stream is one emulation packet on the wire.
         let mut payload = sink.data;
-        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
-            payload = Self::deliver_packet(rank, target, &payload, "one-sided put")?;
+        if mode == IntegrityMode::EndToEnd {
+            payload = Self::deliver_packet(rank, target_w, &payload, "one-sided put")?;
         } else {
-            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let pair = (rank.node().0, rank.world.node_of(target_w).0);
             let n = Self::corrupt_wire(rank, pair, &mut payload);
             Self::note_uncovered(rank, n, "osc.put_typed");
         }
@@ -818,7 +879,7 @@ impl Window {
             dma.write_sg(clock, &entries, buf)
         })?;
         self.emu_outstanding = self.emu_outstanding.max(completion.done);
-        if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+        if self.imode(rank) == IntegrityMode::EndToEnd {
             // The DMA engine has no sequence guard; epoch verification is
             // the only net under the descriptor-list path.
             ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
@@ -845,6 +906,8 @@ impl Window {
         dst: &mut [u8],
     ) -> Result<(), ScimpiError> {
         self.check(target, target_off, dst.len())?;
+        let target_w = self.world_of(target);
+        let mode = self.imode(rank);
         let threshold = rank.world.tuning.get_remote_put_threshold;
         let start = rank.clock.now();
         if self.direct_active(target) {
@@ -862,7 +925,8 @@ impl Window {
                     &reader,
                     offset + target_off,
                     dst,
-                    target,
+                    target_w,
+                    mode,
                     "one-sided get",
                 ) {
                     Ok(()) => {
@@ -879,18 +943,18 @@ impl Window {
                 // data into the origin's address space at SCI write
                 // bandwidth instead of the origin reading it at SCI
                 // read bandwidth (needs the target's CPU).
-                Self::ensure_alive(rank, target)?;
+                Self::ensure_alive(rank, target_w)?;
                 region
                     .segment()
                     .mem()
                     .read(offset + target_off, dst)
                     .map_err(SciError::from)?;
                 {
-                    let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+                    let roundtrip = Self::handler_roundtrip_cost(rank, target_w, dst.len());
                     attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
                 }
                 let clean = dst.to_vec();
-                Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
+                Self::verify_return(rank, target_w, mode, dst, &clean, "one-sided get")?;
                 osc_span(rank, "osc.get", start, dst.len(), target, "remote_put");
                 return Ok(());
             }
@@ -900,26 +964,27 @@ impl Window {
         // disabled too): interrupt the target, handler sends the data back
         // with the ordinary protocols.
         obs::inc(obs::Counter::OscGetRemotePut);
-        Self::ensure_alive(rank, target)?;
+        Self::ensure_alive(rank, target_w)?;
         self.backing_read(target, target_off, dst)?;
-        let roundtrip = Self::handler_roundtrip_cost(rank, target, dst.len());
+        let roundtrip = Self::handler_roundtrip_cost(rank, target_w, dst.len());
         attrib::advance(&mut rank.clock, Bucket::Transfer, roundtrip);
         let clean = dst.to_vec();
-        Self::verify_return(rank, target, dst, &clean, "one-sided get")?;
+        Self::verify_return(rank, target_w, mode, dst, &clean, "one-sided get")?;
         osc_span(rank, "osc.get", start, dst.len(), target, "emulated");
         Ok(())
     }
 
     /// Cost of one target-executed data return (remote-put conversion or
     /// emulation): request + interrupt + handler + streamed write back.
-    fn handler_roundtrip_cost(rank: &Rank, target: usize, len: usize) -> SimDuration {
+    /// `target_w` is the target's world rank.
+    fn handler_roundtrip_cost(rank: &Rank, target_w: usize, len: usize) -> SimDuration {
         let params = rank.world.fabric.params();
         let t = &rank.world.tuning;
         let hops = rank
             .world
             .fabric
             .topology()
-            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target_w)));
         t.ctrl_send_cost
             + params.remote_interrupt
             + HANDLER_COST
@@ -1084,6 +1149,8 @@ impl Window {
         origin: usize,
     ) -> Result<(), ScimpiError> {
         self.check(target, target_off, c.extent() * count)?;
+        let target_w = self.world_of(target);
+        let mode = self.imode(rank);
         let total = c.size() * count;
         // Unpacking at the origin resolves the same committed layout.
         attrib::advance(
@@ -1103,7 +1170,6 @@ impl Window {
             // handshake per attempt), bounded by the retransmit budget.
             let reader = rank.world.fabric.pio_reader(rank.node(), region.segment());
             let base = (offset + target_off) as i64;
-            let mode = rank.world.tuning.integrity_mode;
             let mut retransmits = 0u32;
             let outcome = loop {
                 let (err, faults) = attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
@@ -1136,10 +1202,10 @@ impl Window {
                 if faults == 0 {
                     break None;
                 }
-                Self::note_detected(rank, "osc.get_typed", target);
+                Self::note_detected(rank, "osc.get_typed", target_w);
                 if retransmits >= rank.world.tuning.max_retransmits {
                     return Err(ScimpiError::DataCorruption {
-                        peer: target,
+                        peer: target_w,
                         what: "one-sided get",
                         retransmits,
                     });
@@ -1162,7 +1228,7 @@ impl Window {
         // bandwidth. The packed stream is the wire image: it is gathered
         // first, checked as one return, then scattered into the origin
         // layout.
-        Self::ensure_alive(rank, target)?;
+        Self::ensure_alive(rank, target_w)?;
         let base = target_off as i64;
         let mut packed = vec![0u8; total];
         let mut err = None;
@@ -1189,7 +1255,7 @@ impl Window {
             .world
             .fabric
             .topology()
-            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target_w)));
         // Target-side ff pack + streamed write back + origin unpack.
         let cost = t.ctrl_send_cost
             + params.remote_interrupt
@@ -1204,7 +1270,7 @@ impl Window {
             + params.cache.copy_cost(total, total);
         attrib::advance(&mut rank.clock, Bucket::Transfer, cost);
         let clean = packed.clone();
-        Self::verify_return(rank, target, &mut packed, &clean, "one-sided get")?;
+        Self::verify_return(rank, target_w, mode, &mut packed, &clean, "one-sided get")?;
         let mut pos = 0usize;
         ff::for_each_block(c, count, 0, usize::MAX, |disp, len| {
             let dst = (origin as i64 + disp) as usize;
@@ -1237,6 +1303,8 @@ impl Window {
         data: &[u8],
     ) -> Result<(), ScimpiError> {
         self.check(target, target_off, data.len())?;
+        let target_w = self.world_of(target);
+        let mode = self.imode(rank);
         // Read-modify-write. On the direct path this is a stalling remote
         // read plus a remote write; on the emulation path the handler does
         // the combine locally at the target.
@@ -1254,7 +1322,8 @@ impl Window {
                 &reader,
                 offset + target_off,
                 &mut current,
-                target,
+                target_w,
+                mode,
                 "one-sided accumulate",
             ) {
                 Ok(()) => {
@@ -1267,7 +1336,7 @@ impl Window {
                     match res {
                         Ok(()) => {
                             self.note_direct_success(target);
-                            if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
+                            if mode == IntegrityMode::EndToEnd {
                                 // Record the *combined* image: a verify-pass
                                 // rewrite then replaces rather than re-adds.
                                 self.record_put(rank, target, target_off, &current);
@@ -1283,12 +1352,12 @@ impl Window {
             }
         }
         obs::inc(obs::Counter::OscAccEmulated);
-        Self::ensure_alive(rank, target)?;
-        let incoming = if rank.world.tuning.integrity_mode == IntegrityMode::EndToEnd {
-            Self::deliver_packet(rank, target, data, "one-sided accumulate")?
+        Self::ensure_alive(rank, target_w)?;
+        let incoming = if mode == IntegrityMode::EndToEnd {
+            Self::deliver_packet(rank, target_w, data, "one-sided accumulate")?
         } else {
             let mut wire = data.to_vec();
-            let pair = (rank.node().0, rank.world.node_of(target).0);
+            let pair = (rank.node().0, rank.world.node_of(target_w).0);
             let n = Self::corrupt_wire(rank, pair, &mut wire);
             Self::note_uncovered(rank, n, "osc.accumulate");
             wire
@@ -1310,9 +1379,10 @@ impl Window {
 
     /// Read from this rank's own window memory (local load).
     pub fn read_local(&self, rank: &mut Rank, offset: usize, dst: &mut [u8]) {
-        self.check(rank.rank(), offset, dst.len())
+        let me = self.local_index(rank);
+        self.check(me, offset, dst.len())
             .expect("local read in range");
-        match &self.shared.targets[rank.rank()].0 {
+        match &self.shared.targets[me].0 {
             TargetMem::Shared {
                 region,
                 offset: base,
@@ -1338,9 +1408,10 @@ impl Window {
 
     /// Write into this rank's own window memory (local store).
     pub fn write_local(&self, rank: &mut Rank, offset: usize, data: &[u8]) {
-        self.check(rank.rank(), offset, data.len())
+        let me = self.local_index(rank);
+        self.check(me, offset, data.len())
             .expect("local write in range");
-        match &self.shared.targets[rank.rank()].0 {
+        match &self.shared.targets[me].0 {
             TargetMem::Shared {
                 region,
                 offset: base,
@@ -1370,13 +1441,14 @@ impl Window {
     /// "the required signalling of the remote process and the message
     /// exchange involved" for every single call.
     fn emulate(&mut self, rank: &mut Rank, target: usize, len: usize) {
+        let target_w = self.world_of(target);
         let params = rank.world.fabric.params();
         let t = &rank.world.tuning;
         let hops = rank
             .world
             .fabric
             .topology()
-            .distance(rank.node(), rank.world.smi.node_of(ProcId(target)));
+            .distance(rank.node(), rank.world.smi.node_of(ProcId(target_w)));
         // Origin: builds the request, pays the transfer.
         let origin_cost = t.ctrl_send_cost
             + params.txn_overhead
@@ -1423,7 +1495,7 @@ impl Window {
     /// rewrites corrupted regions within the retransmit budget.
     fn try_flush(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
         self.flush_streams(rank);
-        match rank.world.tuning.integrity_mode {
+        match self.imode(rank) {
             IntegrityMode::Off => {
                 for stream in self.streams.iter_mut().flatten() {
                     let n = stream.take_silent_faults();
@@ -1439,7 +1511,7 @@ impl Window {
                         stream.check_sequence(clock)
                     });
                     if status == SeqStatus::Tainted {
-                        Self::note_detected(rank, "osc.flush", target);
+                        Self::note_detected(rank, "osc.flush", self.shared.members[target]);
                         tainted.get_or_insert(target);
                     }
                     attrib::charged(&mut rank.clock, Bucket::Transfer, |clock| {
@@ -1449,7 +1521,7 @@ impl Window {
                 match tainted {
                     None => Ok(()),
                     Some(target) => Err(ScimpiError::DataCorruption {
-                        peer: target,
+                        peer: self.world_of(target),
                         what: "one-sided epoch",
                         retransmits: 0,
                     }),
@@ -1484,10 +1556,10 @@ impl Window {
                 if crc32(&image) == rec.crc {
                     break;
                 }
-                Self::note_detected(rank, "osc.epoch", rec.target);
+                Self::note_detected(rank, "osc.epoch", self.world_of(rec.target));
                 if retransmits >= rank.world.tuning.max_retransmits {
                     return Err(ScimpiError::DataCorruption {
-                        peer: rec.target,
+                        peer: self.world_of(rec.target),
                         what: "one-sided epoch",
                         retransmits,
                     });
@@ -1520,8 +1592,11 @@ impl Window {
             });
             stream.take_silent_faults();
         } else {
-            Self::ensure_alive(rank, rec.target)?;
-            let pair = (rank.node().0, rank.world.node_of(rec.target).0);
+            Self::ensure_alive(rank, self.world_of(rec.target))?;
+            let pair = (
+                rank.node().0,
+                rank.world.node_of(self.world_of(rec.target)).0,
+            );
             let mut wire = rec.data.clone();
             Self::corrupt_wire(rank, pair, &mut wire);
             self.backing_write(rec.target, rec.offset, &wire)?;
@@ -1543,10 +1618,27 @@ impl Window {
     /// The collective synchronisation itself always runs — even when this
     /// rank's flush detects corruption — so peers are not deadlocked; the
     /// error goes through the error-handler machinery after the barrier.
+    /// A rank blocked in the fence while the communicator is revoked
+    /// errors out with [`ScimpiError::Revoked`] at the gossip-front
+    /// arrival time instead of waiting for dead members.
     pub fn fence(&mut self, rank: &mut Rank) -> Result<(), ScimpiError> {
         let res = self.try_flush(rank);
         self.maybe_repromote(rank);
-        self.shared.fence.wait(&mut rank.clock);
+        let me_w = rank.world_rank();
+        let world = Arc::clone(&rank.world);
+        if self
+            .shared
+            .fence
+            .wait_cancel(&mut rank.clock, || {
+                world.revoke_arrival(me_w).map(|(at, _)| at)
+            })
+            .is_err()
+        {
+            let e = world
+                .check_revoked(&mut rank.clock, me_w)
+                .expect("cancellation implies an installed revocation");
+            return Err(world.escalate(e));
+        }
         res.map_err(|e| rank.world.escalate(e))
     }
 
@@ -1586,15 +1678,17 @@ impl Window {
     /// `MPI_Win_post`: open an exposure epoch for `origins` (active
     /// target, paired with [`Window::start`] at the origins).
     pub fn post(&mut self, rank: &mut Rank, origins: &[usize]) {
+        let me_w = rank.world_rank();
         for &o in origins {
+            let o_w = self.world_of(o);
             attrib::advance(
                 &mut rank.clock,
                 Bucket::Transfer,
                 rank.world.tuning.ctrl_send_cost,
             );
-            let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), o);
-            rank.world.mailboxes[o].post_ctrl(
-                pscw_handle(self.shared.id, rank.rank(), o, 0),
+            let arrival = rank.clock.now() + rank.world.ctrl_latency(me_w, o_w);
+            rank.world.mailboxes[o_w].post_ctrl(
+                pscw_handle(self.shared.id, me_w, o_w, 0),
                 Ctrl::Signal {
                     arrival,
                     data: Vec::new(),
@@ -1603,16 +1697,24 @@ impl Window {
         }
     }
 
-    /// `MPI_Win_start`: open an access epoch towards `targets` (waits for
-    /// their posts).
-    pub fn start(&mut self, rank: &mut Rank, targets: &[usize]) {
+    /// `MPI_Win_start`: open an access epoch towards `targets` (waits
+    /// for their posts). The wait is liveness- and revocation-guarded: a
+    /// target dying before its post, or a communicator revocation,
+    /// surfaces through the error-handler machinery instead of hanging.
+    pub fn start(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
+        let me_w = rank.world_rank();
         for &t in targets {
-            let c = rank.world.mailboxes[rank.rank()].wait_ctrl(pscw_handle(
-                self.shared.id,
-                t,
-                rank.rank(),
-                0,
-            ));
+            let t_w = self.world_of(t);
+            let c = rank
+                .world
+                .await_ctrl(
+                    me_w,
+                    &mut rank.clock,
+                    pscw_handle(self.shared.id, t_w, me_w, 0),
+                    t_w,
+                    "post signal",
+                )
+                .map_err(|e| rank.world.escalate(e))?;
             let Ctrl::Signal { arrival, .. } = c else {
                 panic!(
                     "{}",
@@ -1628,7 +1730,7 @@ impl Window {
                 &mut rank.clock,
                 arrival,
                 WaitKind::LateSender,
-                Some(t as u32),
+                Some(t_w as u32),
             );
             attrib::advance(
                 &mut rank.clock,
@@ -1636,6 +1738,7 @@ impl Window {
                 rank.world.tuning.ctrl_recv_cost,
             );
         }
+        Ok(())
     }
 
     /// `MPI_Win_complete`: close the access epoch (flushes and notifies
@@ -1645,15 +1748,17 @@ impl Window {
     /// after the notifications.
     pub fn complete(&mut self, rank: &mut Rank, targets: &[usize]) -> Result<(), ScimpiError> {
         let res = self.try_flush(rank);
+        let me_w = rank.world_rank();
         for &t in targets {
+            let t_w = self.world_of(t);
             attrib::advance(
                 &mut rank.clock,
                 Bucket::Transfer,
                 rank.world.tuning.ctrl_send_cost,
             );
-            let arrival = rank.clock.now() + rank.world.ctrl_latency(rank.rank(), t);
-            rank.world.mailboxes[t].post_ctrl(
-                pscw_handle(self.shared.id, rank.rank(), t, 1),
+            let arrival = rank.clock.now() + rank.world.ctrl_latency(me_w, t_w);
+            rank.world.mailboxes[t_w].post_ctrl(
+                pscw_handle(self.shared.id, me_w, t_w, 1),
                 Ctrl::Signal {
                     arrival,
                     data: Vec::new(),
@@ -1664,15 +1769,22 @@ impl Window {
     }
 
     /// `MPI_Win_wait`: close the exposure epoch (waits for all origins'
-    /// completes).
-    pub fn wait(&mut self, rank: &mut Rank, origins: &[usize]) {
+    /// completes). Liveness- and revocation-guarded like
+    /// [`Window::start`].
+    pub fn wait(&mut self, rank: &mut Rank, origins: &[usize]) -> Result<(), ScimpiError> {
+        let me_w = rank.world_rank();
         for &o in origins {
-            let c = rank.world.mailboxes[rank.rank()].wait_ctrl(pscw_handle(
-                self.shared.id,
-                o,
-                rank.rank(),
-                1,
-            ));
+            let o_w = self.world_of(o);
+            let c = rank
+                .world
+                .await_ctrl(
+                    me_w,
+                    &mut rank.clock,
+                    pscw_handle(self.shared.id, o_w, me_w, 1),
+                    o_w,
+                    "complete signal",
+                )
+                .map_err(|e| rank.world.escalate(e))?;
             let Ctrl::Signal { arrival, .. } = c else {
                 panic!(
                     "{}",
@@ -1687,7 +1799,7 @@ impl Window {
                 &mut rank.clock,
                 arrival,
                 WaitKind::LateSender,
-                Some(o as u32),
+                Some(o_w as u32),
             );
             attrib::advance(
                 &mut rank.clock,
@@ -1695,6 +1807,7 @@ impl Window {
                 rank.world.tuning.ctrl_recv_cost,
             );
         }
+        Ok(())
     }
 
     /// `MPI_Win_lock` (exclusive, passive target): acquire the
@@ -1712,7 +1825,7 @@ impl Window {
         target: usize,
         body: impl FnOnce(&mut Window, &mut Rank) -> R,
     ) -> Result<R, ScimpiError> {
-        let me = ProcId(rank.rank());
+        let me = ProcId(rank.world_rank());
         let shared = Arc::clone(&self.shared);
         let guard = {
             let lock = &shared.locks[target];
@@ -1932,13 +2045,13 @@ mod tests {
             // Rank 0 is the target; ranks 1 and 2 write disjoint areas.
             if r.rank() == 0 {
                 win.post(r, &[1, 2]);
-                win.wait(r, &[1, 2]);
+                win.wait(r, &[1, 2]).unwrap();
                 let mut buf = [0u8; 2];
                 win.read_local(r, 100, &mut buf[..1]);
                 win.read_local(r, 200, &mut buf[1..]);
                 assert_eq!(buf, [11, 22]);
             } else {
-                win.start(r, &[0]);
+                win.start(r, &[0]).unwrap();
                 let v = if r.rank() == 1 { [11u8] } else { [22u8] };
                 let off = if r.rank() == 1 { 100 } else { 200 };
                 win.put(r, 0, off, &v).unwrap();

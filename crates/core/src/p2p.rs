@@ -252,6 +252,15 @@ pub(crate) fn finish_send_inner(
             if let Some(s) = ring.acquire_for(clock, POLL_SLICE) {
                 break s;
             }
+            if world.revoke_arrival(rank).is_some() {
+                if let Some(s) = ring.acquire_for(clock, std::time::Duration::ZERO) {
+                    break s;
+                }
+                let err = world
+                    .check_revoked(clock, rank)
+                    .expect("revocation installed");
+                return Err(world.escalate(err));
+            }
             if !world.peer_dead(dst) {
                 continue;
             }
@@ -578,10 +587,40 @@ pub(crate) fn recv_into_inner(
         attrib::advance(clock, Bucket::Pack, world.tuning.layout_resolve_cost(c));
     }
     let env = match src {
-        Source::Any => world.mailboxes[rank].match_recv_posted(ticket),
+        Source::Any => loop {
+            if let Some(e) = world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE) {
+                break e;
+            }
+            // A wildcard receive has no single peer to monitor, so only a
+            // communicator revocation can unblock it early.
+            if world.revoke_arrival(rank).is_some() {
+                if let Some(e) =
+                    world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
+                {
+                    break e;
+                }
+                world.mailboxes[rank].abandon_recv(ticket);
+                let err = world
+                    .check_revoked(clock, rank)
+                    .expect("revocation installed");
+                return Err(world.escalate(err));
+            }
+        },
         Source::Rank(peer) => loop {
             if let Some(e) = world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE) {
                 break e;
+            }
+            if world.revoke_arrival(rank).is_some() {
+                if let Some(e) =
+                    world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
+                {
+                    break e;
+                }
+                world.mailboxes[rank].abandon_recv(ticket);
+                let err = world
+                    .check_revoked(clock, rank)
+                    .expect("revocation installed");
+                return Err(world.escalate(err));
             }
             if !world.peer_dead(peer) {
                 continue;
@@ -810,7 +849,9 @@ impl Rank {
         tag: Tag,
         data: SendData<'a>,
     ) -> Result<SendOp<'a>, ScimpiError> {
-        assert!(dst < self.size, "destination rank {dst} out of range");
+        // Translate the caller's logical rank into a world rank; all
+        // protocol state (mailboxes, rings, liveness) is world-indexed.
+        let dst = self.to_world(dst);
         let t = &self.world.tuning;
         let len = data.total_len();
         if let SendData::Typed { c, .. } = &data {
@@ -1058,9 +1099,27 @@ impl Rank {
         tag: TagSel,
         into: RecvBuf<'_>,
     ) -> Result<RecvStatus, ScimpiError> {
+        let src = self.src_to_world(src);
         let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
         let world = Arc::clone(&self.world);
         recv_into_inner(&world, self.rank, &mut self.clock, ticket, src, into)
+            .map(|st| self.status_to_logical(st))
+    }
+
+    /// Translate a caller-facing source selector (logical ranks) into the
+    /// world-rank space the mailboxes match on.
+    pub(crate) fn src_to_world(&self, src: Source) -> Source {
+        match src {
+            Source::Any => Source::Any,
+            Source::Rank(r) => Source::Rank(self.to_world(r)),
+        }
+    }
+
+    /// Translate a completed receive's world-rank source back into the
+    /// caller's logical rank space.
+    pub(crate) fn status_to_logical(&self, mut st: RecvStatus) -> RecvStatus {
+        st.src = self.to_logical(st.src);
+        st
     }
 
     /// Combined send+receive (`MPI_Sendrecv`): deadlock-free even when all
@@ -1086,12 +1145,15 @@ impl Rank {
         rbuf: RecvBuf<'_>,
     ) -> Result<RecvStatus, ScimpiError> {
         let op = self.start_send(dst, stag, sdata)?;
+        let src = self.src_to_world(src);
+        let dst = op.dst; // world rank (translated by start_send)
         let ticket = self.world.mailboxes[self.rank].post_recv(src, rtag);
         let world = Arc::clone(&self.world);
         let rank = self.rank;
         if op.is_done() {
             // Eager sends already completed locally.
-            return recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf);
+            return recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf)
+                .map(|st| self.status_to_logical(st));
         }
         let mut send_clock = self.clock.clone();
         std::thread::scope(|scope| {
@@ -1119,13 +1181,15 @@ impl Rank {
             send_res?;
             status
         })
+        .map(|st| self.status_to_logical(st))
     }
 
     /// Non-destructive probe for a matching message.
     pub fn probe(&mut self, src: Source, tag: TagSel) -> Option<(usize, Tag)> {
+        let src = self.src_to_world(src);
         self.world.mailboxes[self.rank]
             .probe(src, tag)
-            .map(|(s, t, _)| (s, t))
+            .map(|(s, t, _)| (self.to_logical(s), t))
     }
 }
 

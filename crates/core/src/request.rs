@@ -40,9 +40,11 @@
 //! puts/sends): the drop joins the engine thread — so the peer is never
 //! left mid-handshake — and parks the completion time in the rank's
 //! [`DropBin`]; the next synchronisation point merges it. A dropped
-//! request that completed with an error trips a debug assertion (the
-//! error would otherwise vanish silently) and is counted under
-//! [`obs::Counter::RequestsCompletedByDrop`] either way.
+//! request that completed with an error parks the error alongside the
+//! time: the next synchronisation point routes it through the rank's
+//! [`crate::ErrorMode`] handler (fatal mode aborts there; return mode
+//! records a `req.dropped_error` trace instant) — a failed transfer is
+//! never lost silently, even in release builds.
 //!
 //! See `docs/ASYNC.md` for the full narrative and the migration table
 //! from the old `try_*` API.
@@ -63,17 +65,29 @@ use std::thread::JoinHandle;
 /// fire-and-forget transfer is never lost.
 #[derive(Default)]
 pub struct DropBin {
-    times: Mutex<Vec<SimTime>>,
+    times: Mutex<Vec<(SimTime, Option<ScimpiError>)>>,
 }
 
 impl DropBin {
-    fn push(&self, t: SimTime) {
-        self.times.lock().unwrap().push(t);
+    fn push(&self, t: SimTime, err: Option<ScimpiError>) {
+        self.times.lock().unwrap().push((t, err));
     }
 
-    fn drain(&self) -> Vec<SimTime> {
+    fn drain(&self) -> Vec<(SimTime, Option<ScimpiError>)> {
         std::mem::take(&mut *self.times.lock().unwrap())
     }
+}
+
+/// Should this error pass the rank's error-handler machinery when a
+/// request completion first observes it at `wait`/`test` time? Caller
+/// bugs (out-of-range window arguments) are plain return values;
+/// communication faults (dead peers, corruption, revocation) escalate
+/// through [`crate::ErrorMode`] on the owning thread.
+fn escalates(e: &ScimpiError) -> bool {
+    !matches!(
+        e,
+        ScimpiError::WindowError(_) | ScimpiError::Fabric(sci_fabric::SciError::OutOfBounds(_))
+    )
 }
 
 /// A completed receive: the matched status plus the received bytes.
@@ -231,15 +245,9 @@ impl<T> Drop for Request<T> {
             None | Some(State::Done(..)) => {}
             Some(State::Running(handle)) => match handle.join() {
                 Ok((clock, res)) => {
-                    debug_assert!(
-                        res.is_ok(),
-                        "request dropped unwaited after failing: the error would be lost \
-                         (wait or test the request to observe it)"
-                    );
-                    let _ = res;
                     obs::inc(obs::Counter::RequestsCompleted);
                     obs::inc(obs::Counter::RequestsCompletedByDrop);
-                    self.drop_bin.push(clock.now());
+                    self.drop_bin.push(clock.now(), res.err());
                 }
                 Err(p) => {
                     // Engine-thread panic (fatal escalation). If we are
@@ -251,15 +259,9 @@ impl<T> Drop for Request<T> {
                 }
             },
             Some(State::Ready(end, res)) => {
-                debug_assert!(
-                    res.is_ok(),
-                    "request dropped unwaited after failing: the error would be lost \
-                     (wait or test the request to observe it)"
-                );
-                let _ = res;
                 obs::inc(obs::Counter::RequestsCompleted);
                 obs::inc(obs::Counter::RequestsCompletedByDrop);
-                self.drop_bin.push(end);
+                self.drop_bin.push(end, res.err());
             }
         }
     }
@@ -301,10 +303,24 @@ impl Rank {
     /// virtual end times and retire them from the pending table. Called
     /// from every synchronisation point.
     pub(crate) fn reap_dropped(&mut self) {
-        let times = self.drop_bin.drain();
-        for t in times {
+        let entries = self.drop_bin.drain();
+        for (t, err) in entries {
             obs::attrib::merge_waited(&mut self.clock, t, obs::WaitKind::RequestWait, None);
             self.pending_requests = self.pending_requests.saturating_sub(1);
+            if let Some(e) = err {
+                // A dropped request that failed: the error still passes
+                // the rank's error handler. Fatal mode aborts here (at
+                // the next synchronisation point — the earliest moment
+                // the owning thread can observe it); return mode has no
+                // caller to hand the value to, so it is traced and
+                // released.
+                obs::instant(
+                    "req.dropped_error",
+                    self.clock.now(),
+                    vec![("error", obs::Arg::Str(e.to_string()))],
+                );
+                let _ = self.world.escalate(e);
+            }
         }
     }
 
@@ -390,10 +406,12 @@ impl Rank {
         let posted_at = self.account_post();
         // The protocol's start runs inline on the posting thread — the
         // same costs a blocking send charges before it can return to
-        // the application (RTS post, eager burst).
-        let kind = {
+        // the application (RTS post, eager burst). `start_send`
+        // translates the caller's logical destination into a world rank;
+        // the engine thread below must reuse that translation.
+        let (dst, kind) = {
             let op = self.start_send(dst, tag, owned.as_data())?;
-            op.kind
+            (op.dst, op.kind)
         };
         match kind {
             SendOpKind::Done => {
@@ -435,9 +453,11 @@ impl Rank {
         max_len: usize,
     ) -> Result<Request<RecvDone>, ScimpiError> {
         let posted_at = self.account_post();
+        let src = self.src_to_world(src);
         let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
         let world = Arc::clone(&self.world);
         let me = self.rank;
+        let members = Arc::clone(&self.members);
         let fork = self.clock.clone();
         Ok(Request::spawn(
             self,
@@ -446,7 +466,9 @@ impl Rank {
             fork,
             move |clock| {
                 let mut buf = vec![0u8; max_len];
-                let st = recv_into_inner(&world, me, clock, ticket, src, RecvBuf::Bytes(&mut buf))?;
+                let mut st =
+                    recv_into_inner(&world, me, clock, ticket, src, RecvBuf::Bytes(&mut buf))?;
+                st.src = members.binary_search(&st.src).unwrap_or(st.src);
                 buf.truncate(st.len);
                 Ok(RecvDone {
                     status: st,
@@ -467,9 +489,11 @@ impl Rank {
         count: usize,
     ) -> Result<Request<RecvDone>, ScimpiError> {
         let posted_at = self.account_post();
+        let src = self.src_to_world(src);
         let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
         let world = Arc::clone(&self.world);
         let me = self.rank;
+        let members = Arc::clone(&self.members);
         let fork = self.clock.clone();
         let c = c.clone();
         Ok(Request::spawn(
@@ -479,7 +503,7 @@ impl Rank {
             fork,
             move |clock| {
                 let mut buf = vec![0u8; c.extent() * count.max(1)];
-                let st = recv_into_inner(
+                let mut st = recv_into_inner(
                     &world,
                     me,
                     clock,
@@ -492,6 +516,7 @@ impl Rank {
                         origin: 0,
                     },
                 )?;
+                st.src = members.binary_search(&st.src).unwrap_or(st.src);
                 Ok(RecvDone {
                     status: st,
                     data: buf,
@@ -510,11 +535,13 @@ impl Rank {
         &mut self,
         sendblocks: &[Vec<u8>],
     ) -> Result<Request<Vec<Vec<u8>>>, ScimpiError> {
-        assert_eq!(sendblocks.len(), self.size, "one block per rank");
+        assert_eq!(sendblocks.len(), self.size(), "one block per rank");
         let posted_at = self.account_post();
         let blocks = sendblocks.to_vec();
         // A shadow Rank over the same world, on a forked clock: the
-        // collective body is exactly the blocking pairwise exchange.
+        // collective body is exactly the blocking pairwise exchange. It
+        // carries the same membership view so the exchange runs in the
+        // posting epoch even if a shrink happens before completion.
         let mut shadow = Rank {
             rank: self.rank,
             size: self.size,
@@ -523,6 +550,10 @@ impl Rank {
             coll_seq: 0,
             drop_bin: Arc::new(DropBin::default()),
             pending_requests: 0,
+            members: Arc::clone(&self.members),
+            my_index: self.my_index,
+            epoch: self.epoch,
+            epoch_barrier: self.epoch_barrier.clone(),
         };
         let fork = self.clock.clone();
         Ok(Request::spawn(
@@ -576,6 +607,15 @@ impl Rank {
             }
             State::Ready(_, res) => {
                 self.account_complete(req.kind, req.posted_at, end);
+                // First observation of the completion: communication
+                // faults route through the rank's error handler *here*,
+                // on the owning thread — an engine thread that saw the
+                // peer die only produced the verdict, it must not decide
+                // the response to it.
+                let res = match res {
+                    Err(e) if escalates(&e) => Err(self.world.escalate(e)),
+                    other => other,
+                };
                 req.state = Some(State::Done(end, res.clone()));
                 res
             }

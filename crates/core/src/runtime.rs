@@ -247,6 +247,18 @@ impl PairRing {
     }
 }
 
+/// An installed communicator revocation: who revoked, and at which
+/// virtual time. The revocation reaches every other rank through a
+/// deterministic binomial gossip front (see
+/// [`WorldState::revoke_arrival`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RevokeInfo {
+    /// Virtual time the revoker installed the revocation.
+    pub at: SimTime,
+    /// World rank of the revoker.
+    pub by: usize,
+}
+
 /// Shared state of one cluster run.
 pub(crate) struct WorldState {
     pub fabric: Arc<Fabric>,
@@ -261,6 +273,15 @@ pub(crate) struct WorldState {
     pub coll: Mutex<HashMap<u64, CollSlot>>,
     pub windows: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
     pub errors: ErrorMode,
+    /// The active revocation, min-merged on `(at, by)` so concurrent
+    /// revokers converge on one deterministic front. Cleared at `shrink`.
+    pub revoke: Mutex<Option<RevokeInfo>>,
+    /// The membership epoch most recently installed by `shrink` (0 = the
+    /// initial full-world membership).
+    pub current_epoch: AtomicU64,
+    /// Barriers for shrunken epochs, registered by the survivor leader
+    /// and keyed by epoch number (epoch 0 uses `barrier`).
+    pub epoch_barriers: Mutex<HashMap<u64, Arc<TimeBarrier>>>,
 }
 
 pub(crate) struct CollSlot {
@@ -295,6 +316,62 @@ impl WorldState {
         self.fabric.faults().node_dead(self.node_of(r).0)
     }
 
+    /// Install (or min-merge) a revocation at virtual time `at` by world
+    /// rank `by`. Returns `true` when this call changed the installed
+    /// front (first revoke, or an earlier `(at, by)` than the current
+    /// one), so concurrent revokers converge on one deterministic origin.
+    pub fn revoke_from(&self, at: SimTime, by: usize) -> bool {
+        let mut slot = self.revoke.lock().unwrap();
+        match &*slot {
+            Some(cur) if (cur.at, cur.by) <= (at, by) => false,
+            _ => {
+                *slot = Some(RevokeInfo { at, by });
+                true
+            }
+        }
+    }
+
+    /// Drop the installed revocation (the new epoch is in force).
+    pub fn clear_revoke(&self) {
+        *self.revoke.lock().unwrap() = None;
+    }
+
+    /// When does the active revocation front reach world rank `me`?
+    ///
+    /// Pure read: the front spreads as a binomial-tree gossip rooted at
+    /// the revoker, so the rank at hop distance `p = (me - by) mod n`
+    /// observes it `ceil(log2(p + 1))` hops of `revoke_hop_cost` after
+    /// the revoke time — a deterministic function of `(at, by, me)`
+    /// regardless of which thread asks first. Returns `None` when no
+    /// revocation is installed or the calling thread is running exempt
+    /// recovery-internal protocol (agreement, shrink).
+    pub fn revoke_arrival(&self, me: usize) -> Option<(SimTime, usize)> {
+        if crate::recovery::is_exempt() {
+            return None;
+        }
+        let slot = self.revoke.lock().unwrap();
+        slot.as_ref().map(|r| {
+            let n = self.mailboxes.len();
+            let p = (me + n - r.by) % n;
+            let depth = (usize::BITS - p.leading_zeros()) as u64;
+            (
+                r.at + self.tuning.revoke_hop_cost.saturating_mul(depth),
+                r.by,
+            )
+        })
+    }
+
+    /// Observe the active revocation from a blocked protocol wait on
+    /// world rank `me`: charge the gossip-front arrival as a `recovery`
+    /// wait and return [`ScimpiError::Revoked`]. `None` when there is no
+    /// revocation to observe (or the thread is exempt).
+    pub fn check_revoked(&self, clock: &mut Clock, me: usize) -> Option<ScimpiError> {
+        let (arrival, by) = self.revoke_arrival(me)?;
+        obs::inc(obs::Counter::RevokesObserved);
+        obs::attrib::merge_waited(clock, arrival, obs::WaitKind::Recovery, Some(by as u32));
+        Some(ScimpiError::Revoked)
+    }
+
     /// Wait for a protocol packet for `handle` on `rank`'s mailbox,
     /// guarding against `peer` dying mid-handshake.
     ///
@@ -313,6 +390,19 @@ impl WorldState {
         loop {
             if let Some(c) = self.mailboxes[rank].wait_ctrl_for(handle, POLL_SLICE) {
                 return Ok(c);
+            }
+            if self.revoke_arrival(rank).is_some() {
+                // Revoked: drain once more (the packet may have landed
+                // between expiry and the check), then error out at the
+                // gossip-front arrival time.
+                if let Some(c) =
+                    self.mailboxes[rank].wait_ctrl_for(handle, std::time::Duration::ZERO)
+                {
+                    return Ok(c);
+                }
+                return Err(self
+                    .check_revoked(clock, rank)
+                    .expect("revocation installed"));
             }
             if !self.peer_dead(peer) {
                 continue;
@@ -381,8 +471,20 @@ impl WorldState {
 }
 
 /// The per-rank handle passed to user code: the MPI interface.
+///
+/// Rank identity is two-layered since the recovery subsystem landed:
+/// the *world rank* (`world_rank`, the thread's immutable position in
+/// the launched cluster, which all transport internals — mailboxes,
+/// rings, windows, routes — are indexed by) and the *logical rank*
+/// (`rank()`, this rank's dense index in the current membership
+/// epoch). At epoch 0 the two coincide for every rank; after a
+/// [`crate::recovery::shrink`] the survivors are re-ranked densely and
+/// every public communication verb translates logical ranks at the API
+/// boundary.
 pub struct Rank {
+    /// World rank: immutable transport identity.
     pub(crate) rank: usize,
+    /// World size: immutable transport extent.
     pub(crate) size: usize,
     pub(crate) clock: Clock,
     pub(crate) world: Arc<WorldState>,
@@ -393,17 +495,81 @@ pub struct Rank {
     /// Nonblocking requests posted but not yet completed (the pending-
     /// request table; entries leave through `wait`/`test`/drop).
     pub(crate) pending_requests: usize,
+    /// World ranks in the current membership epoch, sorted ascending.
+    pub(crate) members: Arc<Vec<usize>>,
+    /// This rank's dense index in `members` (== its logical rank).
+    pub(crate) my_index: usize,
+    /// Current membership epoch (0 = the launch membership).
+    pub(crate) epoch: u64,
+    /// Barrier of the current epoch; `None` means epoch 0 (the world
+    /// barrier).
+    pub(crate) epoch_barrier: Option<Arc<TimeBarrier>>,
+}
+
+/// Wait on the current epoch's barrier (disjoint-field helper so the
+/// clock can be borrowed mutably next to the barrier reference).
+fn epoch_barrier_wait(clock: &mut Clock, eb: &Option<Arc<TimeBarrier>>, world: &WorldState) {
+    match eb {
+        Some(b) => {
+            b.wait(clock);
+        }
+        None => {
+            world.barrier.wait(clock);
+        }
+    }
 }
 
 impl Rank {
-    /// This rank's id (`MPI_Comm_rank`).
+    /// This rank's id (`MPI_Comm_rank`): the dense logical rank in the
+    /// current membership epoch. Equal to [`Rank::world_rank`] until a
+    /// `shrink` installs a smaller membership.
+    // Not the `rank` field: that holds the immutable world rank, while
+    // the MPI-facing id is the epoch-local index.
+    #[allow(clippy::misnamed_getters)]
     pub fn rank(&self) -> usize {
+        self.my_index
+    }
+
+    /// Communicator size (`MPI_Comm_size`): members of the current
+    /// epoch. Equal to the launched world size until a `shrink`.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This rank's immutable world rank (its position in the launched
+    /// cluster, independent of membership epochs).
+    pub fn world_rank(&self) -> usize {
         self.rank
     }
 
-    /// World size (`MPI_Comm_size`).
-    pub fn size(&self) -> usize {
-        self.size
+    /// The current membership epoch (0 = launch membership; each
+    /// successful `shrink` advances it by one).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// World ranks of the current epoch's members, sorted ascending.
+    /// The logical rank of member `i` is `i`.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Translate a logical rank of the current epoch to a world rank,
+    /// panicking (like every out-of-range rank argument) when it is not
+    /// a member.
+    pub(crate) fn to_world(&self, logical: usize) -> usize {
+        assert!(
+            logical < self.members.len(),
+            "destination rank {logical} out of range"
+        );
+        self.members[logical]
+    }
+
+    /// Translate a world rank back to the logical rank of the current
+    /// epoch; falls back to the world value when it is not a member
+    /// (e.g. a straggler message from a pre-shrink epoch).
+    pub(crate) fn to_logical(&self, world: usize) -> usize {
+        self.members.binary_search(&world).unwrap_or(world)
     }
 
     /// Virtual wall-clock (`MPI_Wtime`), in seconds.
@@ -450,19 +616,52 @@ impl Rank {
         self.clock.total_waited()
     }
 
-    /// Barrier over all ranks (`MPI_Barrier` on `MPI_COMM_WORLD`).
+    /// Barrier over the current membership (`MPI_Barrier`). Infallible
+    /// wrapper kept for the overwhelmingly common fault-free call sites:
+    /// a revocation surfacing mid-barrier is escalated through the error
+    /// handler by [`Rank::barrier_checked`], and under `ErrorsReturn`
+    /// this wrapper discards the `Revoked` value (revocation-aware code
+    /// calls `barrier_checked` directly).
     pub fn barrier(&mut self) {
+        let _ = self.barrier_checked();
+    }
+
+    /// Barrier over the current membership that observes revocation: a
+    /// rank blocked here while some peer revokes the communicator errors
+    /// out with [`ScimpiError::Revoked`] at the deterministic gossip-
+    /// front arrival time instead of waiting forever for dead members.
+    pub fn barrier_checked(&mut self) -> Result<(), ScimpiError> {
         self.reap_dropped();
-        self.world.barrier.wait(&mut self.clock);
+        let me = self.rank;
+        let world = Arc::clone(&self.world);
+        let barrier = match &self.epoch_barrier {
+            Some(b) => b.as_ref(),
+            None => &world.barrier,
+        };
+        match barrier.wait_cancel(&mut self.clock, || {
+            world.revoke_arrival(me).map(|(at, _)| at)
+        }) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                let e = world
+                    .check_revoked(&mut self.clock, me)
+                    .expect("cancellation implies an installed revocation");
+                Err(world.escalate(e))
+            }
+        }
     }
 
     /// Gather one value from every rank, returning the full vector to all
     /// (a control-plane helper used by collective constructors; charged a
     /// barrier, not modelled as a data all-gather).
     pub(crate) fn collective_gather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
-        let seq = self.coll_seq;
+        // Key the slot table by (epoch, seq): per-rank sequence counters
+        // reset to 0 when a shrink installs a new epoch, and pre-shrink
+        // slots must never collide with post-shrink ones.
+        debug_assert!(self.coll_seq < 1 << 32, "collective sequence overflow");
+        let seq = (self.epoch << 32) | self.coll_seq;
         self.coll_seq += 1;
-        let size = self.size;
+        let size = self.members.len();
         {
             let mut tbl = self.world.coll.lock().unwrap();
             let slot = tbl.entry(seq).or_insert_with(|| CollSlot {
@@ -472,9 +671,9 @@ impl Rank {
             if slot.values.len() != size {
                 slot.values = std::iter::repeat_with(|| None).take(size).collect();
             }
-            slot.values[self.rank] = Some(Box::new(value));
+            slot.values[self.my_index] = Some(Box::new(value));
         }
-        self.world.barrier.wait(&mut self.clock);
+        epoch_barrier_wait(&mut self.clock, &self.epoch_barrier, &self.world);
         let result: Vec<T> = {
             let tbl = self.world.coll.lock().unwrap();
             let slot = tbl.get(&seq).expect("slot deposited");
@@ -555,6 +754,9 @@ where
         coll: Mutex::new(HashMap::new()),
         windows: Mutex::new(HashMap::new()),
         errors: spec.errors,
+        revoke: Mutex::new(None),
+        current_epoch: AtomicU64::new(0),
+        epoch_barriers: Mutex::new(HashMap::new()),
     });
 
     let results = std::thread::scope(|scope| {
@@ -576,6 +778,10 @@ where
                     coll_seq: 0,
                     drop_bin: Arc::new(crate::request::DropBin::default()),
                     pending_requests: 0,
+                    members: Arc::new((0..size).collect()),
+                    my_index: rank,
+                    epoch: 0,
+                    epoch_barrier: None,
                 };
                 let out = f(&mut r);
                 // Teardown: requests dropped inside `f` completed on

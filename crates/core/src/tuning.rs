@@ -162,6 +162,17 @@ pub struct Tuning {
     /// CPU cost charged each time `Rank::test` polls an incomplete
     /// request (the completion check against the link timeline).
     pub progress_poll_cost: SimDuration,
+    /// Per-hop propagation cost of the revocation gossip front: after a
+    /// rank revokes the communicator at virtual time `t`, a rank at
+    /// binomial-tree depth `d` from the revoker observes the revocation
+    /// at `t + d * revoke_hop_cost` (deterministic virtual-time gossip).
+    pub revoke_hop_cost: SimDuration,
+    /// Hypercube sweeps the fault-tolerant agreement collective runs over
+    /// the member set. Each sweep is a full log2-round exchange of dead
+    /// bitmaps; `k` sweeps tolerate `k - 1` additional deaths striking
+    /// mid-agreement while still converging all survivors to the same
+    /// verdict.
+    pub agreement_sweeps: u32,
 }
 
 impl Default for Tuning {
@@ -195,6 +206,8 @@ impl Default for Tuning {
             dma_max_block: 256,
             request_post_cost: SimDuration::ZERO,
             progress_poll_cost: SimDuration::from_ns(50),
+            revoke_hop_cost: SimDuration::from_us(5),
+            agreement_sweeps: 3,
         }
     }
 }

@@ -71,10 +71,14 @@ pub enum WaitKind {
     /// Blocked on a nonblocking request's completion (`wait`/`waitall`,
     /// drop-bin reaping, helper-clock joins, stream flushes).
     RequestWait,
+    /// Blocked in the recovery machinery: a revocation front reaching
+    /// this rank, a fault-tolerant agreement round, or a declared-dead
+    /// schedule charged while agreeing on membership.
+    Recovery,
 }
 
 /// Number of wait kinds.
-pub const WAIT_KIND_COUNT: usize = 5;
+pub const WAIT_KIND_COUNT: usize = 6;
 
 impl WaitKind {
     /// Stable export names, indexable by `WaitKind as usize`.
@@ -84,6 +88,7 @@ impl WaitKind {
         "barrier",
         "lock",
         "request_wait",
+        "recovery",
     ];
 
     /// The export name of this wait kind.

@@ -109,6 +109,21 @@ pub enum Counter {
     /// nonblocking engine (blocking-equivalent cost minus time actually
     /// stalled in `wait`).
     OverlapSavedNs,
+    /// Communicator revocations initiated (one per `revoke()` call that
+    /// actually installed a revocation front).
+    Revocations,
+    /// Blocking paths that errored out with `ScimpiError::Revoked` after
+    /// observing a revocation front.
+    RevokesObserved,
+    /// Fault-tolerant agreement exchange rounds executed (one per
+    /// pairwise exchange per sweep per rank).
+    AgreementRounds,
+    /// Buddy checkpoints taken (`Checkpointer::checkpoint` calls).
+    CheckpointsTaken,
+    /// Payload bytes replicated to buddy ranks by checkpoints.
+    CheckpointBytes,
+    /// Checkpoint restores performed (`Checkpointer::restore` calls).
+    RecoveryRestores,
 }
 
 impl Counter {
@@ -151,6 +166,12 @@ impl Counter {
         "requests_completed",
         "requests_completed_by_drop",
         "overlap_saved_ns",
+        "revocations",
+        "revokes_observed",
+        "agreement_rounds",
+        "checkpoints_taken",
+        "checkpoint_bytes",
+        "recovery_restores",
     ];
 
     /// The export name of this counter.
@@ -160,7 +181,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 37;
+pub const COUNTER_COUNT: usize = 43;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -414,7 +435,9 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::OverlapSavedNs as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::RecoveryRestores as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::Revocations.name(), "revocations");
+        assert_eq!(Counter::CheckpointsTaken.name(), "checkpoints_taken");
         assert_eq!(Counter::CorruptionsInjected.name(), "corruptions_injected");
         assert_eq!(Counter::Retransmits.name(), "retransmits");
         assert_eq!(Counter::FfLeafMerges.name(), "ff_leaf_merges");

@@ -387,6 +387,66 @@ impl FaultInjector {
     }
 }
 
+/// One entry of a node-death schedule: `node` is to be killed once the
+/// driving harness reaches virtual-time offset `after` in its own
+/// schedule. Produced by [`death_schedule`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeathEvent {
+    /// The node to kill.
+    pub node: usize,
+    /// Virtual-time offset at which the death takes effect, relative to
+    /// whatever origin the harness anchors the schedule to.
+    pub after: SimDuration,
+}
+
+/// Draw a seed-deterministic schedule of up to `deaths` *distinct* node
+/// deaths among `nodes` nodes, each with an independent virtual-time
+/// offset in `[0, horizon)`.
+///
+/// The function is pure: it forks a private RNG stream off `seed` and
+/// never reads or advances any [`FaultInjector`] state, so computing a
+/// schedule cannot perturb retry draws or per-pair silent-fault streams
+/// — runs with and without a schedule stay bit-identical until the
+/// first kill actually lands. Events come back sorted by `(after,
+/// node)` so harnesses can replay them in one deterministic pass.
+///
+/// Node 0 is never scheduled to die: the recovery protocols treat the
+/// lowest-ranked survivor as the shrink leader, and chaos harnesses need
+/// one rank that is guaranteed to outlive every schedule to collect
+/// verdicts from. With `nodes <= 1` or `deaths == 0` the schedule is
+/// empty.
+pub fn death_schedule(
+    seed: u64,
+    nodes: usize,
+    deaths: usize,
+    horizon: SimDuration,
+) -> Vec<DeathEvent> {
+    if nodes <= 1 || deaths == 0 {
+        return Vec::new();
+    }
+    let mut rng = SplitMix64::new(seed).fork(0xDEAD);
+    let deaths = deaths.min(nodes - 1);
+    let mut victims: Vec<usize> = Vec::with_capacity(deaths);
+    while victims.len() < deaths {
+        // Rejection-sample distinct victims from 1..nodes. Each accepted
+        // draw shrinks the candidate set, so termination is certain and
+        // the draw sequence is a pure function of the seed.
+        let n = 1 + rng.next_below(nodes as u64 - 1) as usize;
+        if !victims.contains(&n) {
+            victims.push(n);
+        }
+    }
+    let mut events: Vec<DeathEvent> = victims
+        .into_iter()
+        .map(|node| DeathEvent {
+            node,
+            after: SimDuration::from_ps(rng.next_below(horizon.as_ps().max(1))),
+        })
+        .collect();
+    events.sort_unstable_by_key(|e| (e.after, e.node));
+    events
+}
+
 /// Land `data` at `mem[dst_offset..]` with `faults` applied. Fault
 /// positions are relative to the burst's byte stream; `stream_pos` is the
 /// stream position of `data[0]` (nonzero for scatter/gather entries in the
@@ -669,6 +729,57 @@ mod tests {
             "dropped store left previous content"
         );
         assert!(snap[128..].iter().all(|&b| b == 0xEE), "untouched tail");
+    }
+
+    #[test]
+    fn death_schedule_is_pure_and_deterministic() {
+        let horizon = SimDuration::from_ms(5);
+        let a = death_schedule(11, 8, 3, horizon);
+        let b = death_schedule(11, 8, 3, horizon);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(
+            death_schedule(11, 8, 3, horizon),
+            death_schedule(12, 8, 3, horizon),
+            "different seeds differ"
+        );
+        // Distinct victims, node 0 spared, offsets inside the horizon,
+        // events sorted by time.
+        assert_eq!(a.len(), 3);
+        let mut nodes: Vec<usize> = a.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3, "victims are distinct");
+        assert!(a.iter().all(|e| e.node != 0 && e.node < 8));
+        assert!(a.iter().all(|e| e.after < horizon));
+        assert!(a.windows(2).all(|w| w[0].after <= w[1].after));
+    }
+
+    #[test]
+    fn death_schedule_caps_at_survivable_population() {
+        // Asking for more deaths than killable nodes caps at nodes-1
+        // (node 0 always survives); degenerate worlds get no deaths.
+        let horizon = SimDuration::from_ms(1);
+        assert_eq!(death_schedule(5, 4, 10, horizon).len(), 3);
+        assert!(death_schedule(5, 1, 2, horizon).is_empty());
+        assert!(death_schedule(5, 0, 2, horizon).is_empty());
+        assert!(death_schedule(5, 8, 0, horizon).is_empty());
+    }
+
+    #[test]
+    fn death_schedule_leaves_injector_streams_untouched() {
+        // Computing a schedule must not perturb any injector RNG: two
+        // injectors, one alongside schedule draws and one without, stay
+        // in lockstep.
+        let a = FaultInjector::new(FaultConfig::lossy(0.3), 5);
+        let b = FaultInjector::new(FaultConfig::lossy(0.3), 5);
+        let _ = death_schedule(5, 8, 4, SimDuration::from_ms(2));
+        let draws_a: Vec<u32> = (0..50)
+            .map(|_| a.transact(&route()).unwrap().retries)
+            .collect();
+        let draws_b: Vec<u32> = (0..50)
+            .map(|_| b.transact(&route()).unwrap().retries)
+            .collect();
+        assert_eq!(draws_a, draws_b);
     }
 
     #[test]

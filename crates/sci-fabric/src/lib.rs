@@ -44,8 +44,8 @@ pub mod topology;
 
 pub use dma::{DmaCompletion, DmaEngine, SgEntry};
 pub use fault::{
-    ConnectionMonitor, FailedTransaction, FaultConfig, FaultInjector, SciError, SeqStatus,
-    SilentFault,
+    death_schedule, ConnectionMonitor, DeathEvent, FailedTransaction, FaultConfig, FaultInjector,
+    SciError, SeqStatus, SilentFault,
 };
 pub use hash::{crc32, fnv1a};
 pub use link::{LinkRegistry, TrafficStats};

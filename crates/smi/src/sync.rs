@@ -185,6 +185,56 @@ impl TimeBarrier {
             false
         }
     }
+
+    /// Enter the barrier, but keep polling `cancel` while blocked: if it
+    /// returns `Some(at)` before the barrier completes, withdraw this
+    /// participant's arrival and return `Err(at)` (the caller converts
+    /// `at` into its own cancellation accounting). The leader path — the
+    /// last arriver — always completes the barrier exactly like
+    /// [`TimeBarrier::wait`], and a completion that races a cancellation
+    /// wins: the generation change is checked before `cancel` under the
+    /// same lock. With a `cancel` that never fires, the virtual-time
+    /// semantics are identical to `wait`.
+    pub fn wait_cancel(
+        &self,
+        clock: &mut Clock,
+        mut cancel: impl FnMut() -> Option<SimTime>,
+    ) -> Result<(), SimTime> {
+        obs::inc(obs::Counter::BarrierCrossings);
+        let mut st = self.state.lock().unwrap();
+        st.arrived += 1;
+        st.max_arrival = st.max_arrival.max(clock.now());
+        if st.arrived == self.n {
+            let arrivals = [st.max_arrival];
+            st.release = barrier_release(&arrivals, self.per_hop, self.n);
+            st.arrived = 0;
+            st.max_arrival = SimTime::ZERO;
+            st.generation += 1;
+            let release = st.release;
+            drop(st);
+            self.cv.notify_all();
+            obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
+            return Ok(());
+        }
+        let gen = st.generation;
+        loop {
+            if st.generation != gen {
+                let release = st.release;
+                drop(st);
+                obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
+                return Ok(());
+            }
+            if let Some(at) = cancel() {
+                st.arrived -= 1;
+                return Err(at);
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(st, std::time::Duration::from_millis(10))
+                .unwrap();
+            st = guard;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -330,5 +380,42 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_party_barrier_panics() {
         let _ = TimeBarrier::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_cancel_completes_like_wait_when_not_cancelled() {
+        let barrier = Arc::new(TimeBarrier::new(2, SimDuration::from_us(1)));
+        let b = Arc::clone(&barrier);
+        let t = thread::spawn(move || {
+            let mut c = Clock::new();
+            b.wait_cancel(&mut c, || None).unwrap();
+            c.now()
+        });
+        let mut c = Clock::new();
+        c.advance(SimDuration::from_us(50));
+        barrier.wait(&mut c);
+        assert_eq!(t.join().unwrap(), c.now());
+    }
+
+    #[test]
+    fn wait_cancel_withdraws_and_leaves_barrier_reusable() {
+        let barrier = Arc::new(TimeBarrier::new(2, SimDuration::from_us(1)));
+        let mut c = Clock::new();
+        let cancel_at = SimTime::ZERO + SimDuration::from_us(7);
+        let err = barrier
+            .wait_cancel(&mut c, || Some(cancel_at))
+            .expect_err("must cancel");
+        assert_eq!(err, cancel_at);
+        // The withdrawn arrival must not linger: a fresh pair of waiters
+        // completes normally.
+        let b = Arc::clone(&barrier);
+        let t = thread::spawn(move || {
+            let mut c = Clock::new();
+            b.wait(&mut c);
+            c.now()
+        });
+        let mut c2 = Clock::new();
+        barrier.wait(&mut c2);
+        assert_eq!(t.join().unwrap(), c2.now());
     }
 }

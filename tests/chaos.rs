@@ -18,9 +18,10 @@
 use mpi_datatype::{Committed, Datatype};
 use sci_fabric::LinkId;
 use scimpi::{
-    death_delay, run, AccumulateOp, ClusterSpec, ErrorMode, IntegrityMode, ScimpiError, Source,
-    TagSel, Tuning, WinMemory,
+    death_delay, revoke, run, AccumulateOp, ClusterSpec, ErrorMode, IntegrityMode, Rank, ReduceOp,
+    ScimpiError, Source, TagSel, Tuning, WinMemory,
 };
+use simclock::SimDuration;
 use std::sync::Mutex;
 
 /// The obs recorder (and its enable switch, which `run` flips per spec) is
@@ -342,4 +343,275 @@ fn chaos_outcome_is_deterministic() {
     let a = scenario();
     let b = scenario();
     assert_eq!(a, b, "same seed, same faults ⇒ same virtual-time outcome");
+}
+
+// ---------------------------------------------------------------------------
+// Dying collectives: a rank's node crashes while a collective operation is
+// in flight. Every survivor must come back within the deterministic
+// timeout budget — `PeerDead` for ranks talking to the corpse directly,
+// `Revoked` for ranks stranded on live peers that aborted — and the
+// per-rank error-site map must be bit-identical across same-seed runs.
+// ---------------------------------------------------------------------------
+
+/// Rendezvous-sized payload: eager sends to a dead peer complete locally
+/// (fire-and-forget), so only rendezvous traffic exposes the death.
+const RDV: usize = 150_000;
+/// The same threshold in f64 elements (160 kB) for the typed collectives.
+const F64_RDV: usize = 20_000;
+
+/// Drive one collective on the chaos cluster while `victim` crashes right
+/// after the opening barrier, so the operation is in flight when the
+/// death is discovered. `revoker` — always a rank whose tree/chain edges
+/// touch the victim, hence guaranteed `PeerDead` — then revokes the
+/// communicator to unblock survivors stranded on live-but-aborted peers.
+///
+/// The revoke is held back behind a real-time pause: whether a rank
+/// blocked on the *dead* peer observes `PeerDead` or `Revoked` first
+/// depends on which check its poll loop hits first, so installing the
+/// revocation only after the fault has quiesced keeps the error-site map
+/// a pure function of the collective's structure. The pause costs no
+/// virtual time (determinism is virtual-time determinism).
+///
+/// Returns per-rank `(outcome, virtual elapsed since the barrier)`.
+fn dying_collective<F>(victim: usize, revoker: usize, op: F) -> Vec<(String, SimDuration)>
+where
+    F: Fn(&mut Rank) -> Result<(), ScimpiError> + Send + Sync,
+{
+    run(chaos_spec(), move |r| {
+        r.barrier();
+        let t0 = r.now();
+        if r.rank() == victim {
+            r.fabric().faults().kill_node(victim);
+            return ("dead".to_string(), r.now() - t0);
+        }
+        let outcome = match op(r) {
+            Ok(()) => "ok".to_string(),
+            Err(e) => format!("{e:?}"),
+        };
+        if r.rank() == revoker {
+            std::thread::sleep(std::time::Duration::from_millis(800));
+            revoke(r);
+        }
+        (outcome, r.now() - t0)
+    })
+}
+
+/// Assert the per-rank outcome map (`"ok"`, `"dead"`, `"pd"` =
+/// `PeerDead{victim}`, `"rev"` = `Revoked`) and that every error
+/// surfaced within a budget-scale bound rather than a hang-scale one.
+fn check_dying_outcomes(
+    name: &str,
+    victim: usize,
+    expect: &[&str; 8],
+    outcomes: &[(String, SimDuration)],
+    budget: SimDuration,
+) {
+    let pd = format!("{:?}", ScimpiError::PeerDead { peer: victim });
+    let rv = format!("{:?}", ScimpiError::Revoked);
+    let want: Vec<String> = expect
+        .iter()
+        .map(|w| match *w {
+            "pd" => pd.clone(),
+            "rev" => rv.clone(),
+            other => other.to_string(),
+        })
+        .collect();
+    let got: Vec<String> = outcomes.iter().map(|(o, _)| o.clone()).collect();
+    assert_eq!(got, want, "{name}: per-rank outcome map");
+    // One death schedule plus transfer costs plus the revocation gossip:
+    // generous, but distinguishes "bounded detection" from a hang.
+    let bound = budget * 2 + SimDuration::from_ms(50);
+    for (rank, (outcome, elapsed)) in outcomes.iter().enumerate() {
+        if outcome != "ok" && outcome != "dead" {
+            assert!(
+                *elapsed <= bound,
+                "{name}: rank {rank} took {elapsed:?} (> {bound:?}) to surface {outcome}"
+            );
+        }
+    }
+}
+
+/// Broadcast with a dying interior (non-leaf) tree node: the root stalls
+/// sending to the corpse, the corpse's child stalls receiving from it,
+/// the still-unserved subtree is stranded and needs the revocation,
+/// while the subtree served before the death completes bit-perfectly.
+#[test]
+fn dying_interior_rank_cuts_bcast_deterministically() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    // Binomial tree from root 0 over 8 ranks: 0→{4,2,1}, 2→3, 4→{6,5},
+    // 6→7, and the root sends highest-mask-first. Victim 2: rank 0 serves
+    // 4's subtree, then dies on the send to 2 (never reaching 1); rank 3
+    // dies on the recv from its parent 2.
+    let scenario = || {
+        dying_collective(2, 3, |r| {
+            let mut buf = vec![0u8; RDV];
+            if r.rank() == 0 {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = (i * 31) as u8;
+                }
+            }
+            r.bcast(0, &mut buf)?;
+            for (i, b) in buf.iter().enumerate() {
+                assert_eq!(*b, (i * 31) as u8, "completed bcast must be bit-perfect");
+            }
+            Ok(())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "bcast",
+        2,
+        &["pd", "rev", "dead", "pd", "ok", "ok", "ok", "ok"],
+        &a,
+        budget,
+    );
+    // Rank 3's first action is the recv from its dead parent, so its
+    // clock charges exactly the death schedule — nothing more.
+    assert_eq!(
+        a[3].1, budget,
+        "child of the corpse pays exactly the schedule"
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
+}
+
+/// All-reduce with the dying rank being the reduce root: every survivor
+/// surfaces an error — the root's reduce children get `PeerDead`, the
+/// rest finish the reduce but strand in the broadcast and get `Revoked`.
+#[test]
+fn dying_root_fails_allreduce_on_every_survivor() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    let scenario = || {
+        dying_collective(0, 1, |r| {
+            r.allreduce_f64(&vec![1.0f64; F64_RDV], ReduceOp::Sum)
+                .map(|_| ())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "allreduce",
+        0,
+        &["dead", "pd", "pd", "rev", "pd", "rev", "rev", "rev"],
+        &a,
+        budget,
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
+}
+
+/// Gatherv with a dying contributor: the root collects the ranks before
+/// the corpse, dies on it, and the contributors after it — whose
+/// rendezvous payloads now wait on a root that gave up — are released by
+/// the revocation instead of hanging on a live peer.
+#[test]
+fn dying_sender_mid_gather_strands_then_revokes() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    let scenario = || {
+        dying_collective(3, 0, |r| {
+            let mine = vec![r.rank() as u8; RDV];
+            r.gatherv(0, &mine).map(|_| ())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "gatherv",
+        3,
+        &["pd", "ok", "ok", "dead", "rev", "rev", "rev", "rev"],
+        &a,
+        budget,
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
+}
+
+/// All-gather with a dying contributor: the gather phase dies at the
+/// root, so no rank ever reaches the broadcast payload — everyone except
+/// the root is stranded (in the gather or in the broadcast prefix) and
+/// must be released by the revocation.
+#[test]
+fn dying_contributor_fails_allgather_everywhere() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    let scenario = || {
+        dying_collective(5, 0, |r| {
+            let mine = vec![r.rank() as u8; RDV];
+            r.allgather(&mine).map(|_| ())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "allgather",
+        5,
+        &["pd", "rev", "rev", "rev", "rev", "dead", "rev", "rev"],
+        &a,
+        budget,
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
+}
+
+/// Prefix-sum chain with a dying middle link: ranks before the corpse
+/// complete with correct prefixes, its chain neighbours get `PeerDead`,
+/// and the tail of the chain is stranded until the revocation.
+#[test]
+fn dying_link_in_scan_chain_splits_outcomes() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    let scenario = || {
+        dying_collective(4, 5, |r| {
+            let me = r.rank();
+            let out = r.scan_sum_f64(&vec![1.0f64; F64_RDV])?;
+            assert_eq!(
+                out[0],
+                (me + 1) as f64,
+                "completed scan must hold the exact prefix"
+            );
+            Ok(())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "scan",
+        4,
+        &["ok", "ok", "ok", "pd", "dead", "pd", "rev", "rev"],
+        &a,
+        budget,
+    );
+    // Rank 5's first action is the recv from its dead predecessor, so
+    // its clock charges exactly the death schedule.
+    assert_eq!(
+        a[5].1, budget,
+        "successor of the corpse pays exactly the schedule"
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
+}
+
+/// Pairwise all-to-all with a dying rank: each step's partner of the
+/// corpse gets `PeerDead` as the steps sweep past it, and ranks whose
+/// step-partners aborted earlier are stranded until the revocation.
+#[test]
+fn dying_rank_aborts_alltoall_pairwise_exchange() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let budget = death_delay(&Tuning::default());
+    let scenario = || {
+        dying_collective(6, 5, |r| {
+            let me = r.rank();
+            let blocks: Vec<Vec<u8>> = (0..8).map(|d| vec![(me * 8 + d) as u8; RDV]).collect();
+            r.alltoall(&blocks).map(|_| ())
+        })
+    };
+    let a = scenario();
+    check_dying_outcomes(
+        "alltoall",
+        6,
+        &["pd", "rev", "rev", "rev", "pd", "pd", "dead", "pd"],
+        &a,
+        budget,
+    );
+    let b = scenario();
+    assert_eq!(a, b, "same seed ⇒ identical error sites and virtual times");
 }

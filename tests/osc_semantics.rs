@@ -46,25 +46,25 @@ fn pscw_disjoint_groups() {
         match r.rank() {
             0 => {
                 win.post(r, &[1]);
-                win.wait(r, &[1]);
+                win.wait(r, &[1]).unwrap();
                 let mut b = [0u8; 4];
                 win.read_local(r, 0, &mut b);
                 assert_eq!(b, [1; 4]);
             }
             3 => {
                 win.post(r, &[2]);
-                win.wait(r, &[2]);
+                win.wait(r, &[2]).unwrap();
                 let mut b = [0u8; 4];
                 win.read_local(r, 0, &mut b);
                 assert_eq!(b, [2; 4]);
             }
             1 => {
-                win.start(r, &[0]);
+                win.start(r, &[0]).unwrap();
                 win.put(r, 0, 0, &[1; 4]).unwrap();
                 win.complete(r, &[0]).unwrap();
             }
             _ => {
-                win.start(r, &[3]);
+                win.start(r, &[3]).unwrap();
                 win.put(r, 3, 0, &[2; 4]).unwrap();
                 win.complete(r, &[3]).unwrap();
             }
@@ -82,12 +82,12 @@ fn pscw_repeated_epochs() {
         for round in 0..5u8 {
             if r.rank() == 0 {
                 win.post(r, &[1]);
-                win.wait(r, &[1]);
+                win.wait(r, &[1]).unwrap();
                 let mut b = [0u8; 1];
                 win.read_local(r, 0, &mut b);
                 assert_eq!(b[0], round);
             } else {
-                win.start(r, &[0]);
+                win.start(r, &[0]).unwrap();
                 win.put(r, 0, 0, &[round]).unwrap();
                 win.complete(r, &[0]).unwrap();
             }

@@ -5,7 +5,8 @@
 //! fault injection. CI sweeps `REQUESTS_SEED` over several values.
 
 use scimpi::{
-    run, ClusterSpec, IntegrityMode, RecvBuf, SendData, Source, TagSel, Tuning, WinMemory,
+    death_delay, run, ClusterSpec, ErrorMode, IntegrityMode, RecvBuf, ScimpiError, SendData,
+    Source, TagSel, Tuning, WinMemory,
 };
 use simclock::{SimDuration, SimTime};
 use std::sync::Mutex;
@@ -288,5 +289,71 @@ fn request_counters_balance_and_overlap_is_credited() {
     assert!(
         obs::counter_value(obs::Counter::OverlapSavedNs) > 0,
         "hiding a rendezvous transfer behind 2 ms of compute saves time"
+    );
+}
+
+/// A peer death detected on the engine thread must come back through
+/// `wait` as an error value under `ErrorsReturn` — the engine helper
+/// only records it; the rank's error mode is consulted at the sync point.
+#[test]
+fn wait_surfaces_engine_detected_peer_death() {
+    let budget = death_delay(&Tuning::default());
+    run(
+        seeded(ClusterSpec::ringlet(2)).errors(ErrorMode::ErrorsReturn),
+        move |r| {
+            r.barrier();
+            if r.rank() == 0 {
+                r.fabric().faults().kill_node(1);
+                let t0 = r.now();
+                let data = vec![3u8; RDV];
+                let mut req = r.isend(1, 9, &data).unwrap();
+                let err = r
+                    .wait(&mut req)
+                    .expect_err("the rendezvous peer is dead: wait must escalate");
+                assert_eq!(err, ScimpiError::PeerDead { peer: 1 });
+                assert!(
+                    r.now() - t0 >= budget,
+                    "the engine's death schedule must be merged into the waiter"
+                );
+                r.fabric().faults().revive_node(1);
+            }
+            // Rank 1 idles (its node was dead); both meet at the barrier.
+            r.barrier();
+        },
+    );
+}
+
+/// A *dropped* failing request must route its error through the rank's
+/// error handler at reap time (under `ErrorsReturn`: counted and traced,
+/// not silently swallowed in the drop bin).
+#[test]
+fn dropped_failing_request_routes_through_error_handler() {
+    let _g = OBS_SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let spec = seeded(ClusterSpec::ringlet(2))
+        .errors(ErrorMode::ErrorsReturn)
+        .obs(obs::ObsConfig::enabled());
+    run(spec, |r| {
+        r.barrier();
+        if r.rank() == 0 {
+            r.fabric().faults().kill_node(1);
+            // Fire-and-forget to a corpse: the engine observes PeerDead,
+            // the handle is dropped without ever being waited on.
+            let data = vec![3u8; RDV];
+            drop(r.isend(1, 9, &data).unwrap());
+            r.fabric().faults().revive_node(1);
+        }
+        r.barrier(); // the barrier reaps the drop bin
+        assert_eq!(r.pending_requests(), 0, "the dropped request is retired");
+    });
+    assert_eq!(
+        obs::counter_value(obs::Counter::RequestsCompletedByDrop),
+        1,
+        "the dropped request still completes through the drop bin"
+    );
+    assert!(
+        obs::events_snapshot()
+            .iter()
+            .any(|e| e.name == "req.dropped_error"),
+        "the dropped request's PeerDead must surface through the error handler trace"
     );
 }
