@@ -79,6 +79,9 @@ impl BenchPoint {
 pub struct BenchDoc {
     name: String,
     series: Vec<(String, Vec<BenchPoint>)>,
+    /// Labelled per-rank mailbox high-water snapshots (see
+    /// [`BenchDoc::record_peak_backlog`]); empty unless a bench opts in.
+    backlogs: Vec<(String, Vec<obs::PeakBacklog>)>,
 }
 
 impl BenchDoc {
@@ -87,6 +90,7 @@ impl BenchDoc {
         BenchDoc {
             name: name.into(),
             series: Vec::new(),
+            backlogs: Vec::new(),
         }
     }
 
@@ -112,6 +116,15 @@ impl BenchDoc {
         }
     }
 
+    /// Snapshot the per-rank peak-backlog gauges of the run that just
+    /// finished (`obs::peak_backlogs`, recorded at teardown from the
+    /// mailbox's virtual-time event log) under `label`. The document
+    /// gains a `"peak_backlog"` section listing every snapshot taken.
+    pub fn record_peak_backlog(&mut self, label: &str) {
+        self.backlogs
+            .push((label.to_string(), obs::peak_backlogs()));
+    }
+
     /// Render the whole document.
     pub fn to_json(&self) -> String {
         let series: Vec<String> = self
@@ -126,10 +139,36 @@ impl BenchDoc {
                 )
             })
             .collect();
+        let backlog = if self.backlogs.is_empty() {
+            String::new()
+        } else {
+            let snaps: Vec<String> = self
+                .backlogs
+                .iter()
+                .map(|(label, ranks)| {
+                    let per_rank: Vec<String> = ranks
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{{\"rank\":{},\"msgs\":{},\"eager_bytes\":{}}}",
+                                p.rank, p.msgs, p.eager_bytes
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{{\"label\":\"{}\",\"ranks\":[{}]}}",
+                        escape(label),
+                        per_rank.join(",")
+                    )
+                })
+                .collect();
+            format!(",\"peak_backlog\":[\n{}\n]", snaps.join(",\n"))
+        };
         format!(
-            "{{\"bench\":\"{}\",\"series\":[\n{}\n]}}\n",
+            "{{\"bench\":\"{}\",\"series\":[\n{}\n]{}}}\n",
             escape(&self.name),
-            series.join(",\n")
+            series.join(",\n"),
+            backlog
         )
     }
 
@@ -168,6 +207,27 @@ mod tests {
         assert!(j.contains("\"label\":\"a\""));
         assert!(j.contains("{\"x\":8,\"mean_us\":3,\"stddev\":null,\"mbps\":12.500000}"));
         assert!(j.contains("{\"x\":8,\"mean_us\":null,\"stddev\":0.250000,\"mbps\":null}"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn peak_backlog_section_is_opt_in() {
+        let mut doc = BenchDoc::new("unit");
+        doc.push("a", BenchPoint::at(1.0).mbps(1.0));
+        assert!(!doc.to_json().contains("peak_backlog"));
+        doc.backlogs.push((
+            "flood".into(),
+            vec![obs::PeakBacklog {
+                rank: 1,
+                msgs: 4,
+                eager_bytes: 16384,
+            }],
+        ));
+        let j = doc.to_json();
+        assert!(j.contains(
+            "\"peak_backlog\":[\n{\"label\":\"flood\",\"ranks\":[{\"rank\":1,\"msgs\":4,\"eager_bytes\":16384}]}\n]"
+        ));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
     }

@@ -12,6 +12,14 @@
 //! retransmitted, so a corrupted link taints at most one edge, not the
 //! whole reduction.
 //!
+//! The same transparency applies to eager-credit flow control (see
+//! `docs/BACKPRESSURE.md`): each tree edge consumes and returns credits
+//! like any send. Collectives do, however, run as *reliable sections* —
+//! a lossy [`crate::OverloadPolicy`] (`Shed` drops the message, `Error`
+//! aborts mid-tree) applied to an internal edge would wedge peers that
+//! are already committed to the collective, so inside a collective
+//! credit exhaustion always falls back to `Stall`.
+//!
 //! Every collective returns `Result<_, ScimpiError>`: a dead partner
 //! surfaces as [`ScimpiError::PeerDead`] at the first failed tree edge
 //! instead of hanging the collective. Under the default
@@ -70,6 +78,7 @@ impl Rank {
     /// Broadcast `buf` from `root` to all ranks (binomial tree).
     pub fn bcast(&mut self, root: usize, buf: &mut [u8]) -> Result<(), ScimpiError> {
         assert!(root < self.size(), "bcast root out of range");
+        let _reliable = crate::p2p::reliable_section();
         let size = self.size();
         if size == 1 {
             return Ok(());
@@ -109,6 +118,7 @@ impl Rank {
         op: ReduceOp,
     ) -> Result<Option<Vec<f64>>, ScimpiError> {
         assert!(root < self.size(), "reduce root out of range");
+        let _reliable = crate::p2p::reliable_section();
         let size = self.size();
         let start = self.clock.now();
         let vrank = (self.rank() + size - root) % size;
@@ -152,6 +162,7 @@ impl Rank {
 
     /// The sender side of [`Rank::gatherv`]'s two-message protocol.
     fn gather_send(&mut self, root: usize, mine: &[u8]) -> Result<(), ScimpiError> {
+        let _reliable = crate::p2p::reliable_section();
         let len = (mine.len() as u64).to_le_bytes();
         self.send(root, COLL_TAG + 1, &len)?;
         if !mine.is_empty() {
@@ -167,6 +178,7 @@ impl Rank {
         mine: &[u8],
     ) -> Result<Option<Vec<Vec<u8>>>, ScimpiError> {
         assert!(root < self.size(), "gather root out of range");
+        let _reliable = crate::p2p::reliable_section();
         let start = self.clock.now();
         if self.rank() != root {
             self.gather_send(root, mine)?;
@@ -228,6 +240,7 @@ impl Rank {
     /// Inclusive prefix sum (`MPI_Scan` with `MPI_SUM`): rank k receives
     /// the element-wise sum of the values of ranks `0..=k`.
     pub fn scan_sum_f64(&mut self, values: &[f64]) -> Result<Vec<f64>, ScimpiError> {
+        let _reliable = crate::p2p::reliable_section();
         let mut acc = values.to_vec();
         if self.rank() > 0 {
             let mut bytes = vec![0u8; values.len() * 8];
@@ -254,6 +267,7 @@ impl Rank {
     /// [`ScimpiError::PeerDead`] instead of hanging the collective.
     pub fn alltoall(&mut self, sendblocks: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, ScimpiError> {
         assert_eq!(sendblocks.len(), self.size(), "one block per rank");
+        let _reliable = crate::p2p::reliable_section();
         let start = self.clock.now();
         let total: usize = sendblocks.iter().map(Vec::len).sum();
         let me = self.rank();

@@ -70,6 +70,21 @@ pub enum ScimpiError {
         /// Retransmissions attempted before giving up.
         retransmits: u32,
     },
+    /// A governed resource (eager credits, window memory, staging
+    /// buffers, the request engine's in-flight set) had no capacity left
+    /// for the operation and the active [`crate::OverloadPolicy`] chose
+    /// to refuse rather than stall or degrade.
+    ResourceExhausted {
+        /// Which resource ran out.
+        what: &'static str,
+        /// What the operation asked for (bytes, slots, requests).
+        needed: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A [`crate::Tuning`] failed its invariant check
+    /// (`Tuning::validate`) before the cluster was built.
+    InvalidConfig(String),
 }
 
 impl fmt::Display for ScimpiError {
@@ -97,6 +112,15 @@ impl fmt::Display for ScimpiError {
                 f,
                 "data corruption on {what} with rank {peer} ({retransmits} retransmissions attempted)"
             ),
+            ScimpiError::ResourceExhausted {
+                what,
+                needed,
+                limit,
+            } => write!(
+                f,
+                "resource exhausted: {what} (needed {needed}, limit {limit})"
+            ),
+            ScimpiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
 }
@@ -192,6 +216,15 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("rendezvous chunk") && s.contains("rank 1") && s.contains('4'));
         assert!(ScimpiError::Revoked.to_string().contains("revoked"));
+        let e = ScimpiError::ResourceExhausted {
+            what: "eager credits",
+            needed: 4096,
+            limit: 1024,
+        };
+        let s = e.to_string();
+        assert!(s.contains("eager credits") && s.contains("4096") && s.contains("1024"));
+        let e = ScimpiError::InvalidConfig("ring_slots must be at least 1".into());
+        assert!(e.to_string().contains("ring_slots"));
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub use p2p::{RecvBuf, RecvStatus, SendData};
 pub use recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
 pub use request::{PersistentRecv, PersistentSend, RecvDone, Request};
 pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
-pub use sink::{PioSink, RegionSource};
-pub use tuning::{IntegrityMode, NoncontigMode, Tuning};
+pub use sink::{PioSink, RegionSource, StagingLease, StagingLedger};
+pub use tuning::{IntegrityMode, NoncontigMode, OverloadPolicy, Tuning};
 
 /// Thin infallible wrapper over the `Result`-based surface: `.done()`
 /// unwraps with a call-site-attributed panic message. Meant for
@@ -95,6 +95,6 @@ pub mod prelude {
     pub use crate::recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
     pub use crate::request::{PersistentRecv, PersistentSend, RecvDone, Request};
     pub use crate::runtime::{run, ClusterSpec, ObsConfig, Rank};
-    pub use crate::tuning::{IntegrityMode, Tuning};
+    pub use crate::tuning::{IntegrityMode, OverloadPolicy, Tuning};
     pub use crate::Done;
 }

@@ -139,9 +139,41 @@ struct Queues {
     /// proceed fully concurrently.
     posted: Vec<PostedRecv>,
     next_ticket: u64,
+    /// Backlog event log for the deterministic peak-queue gauge
+    /// (recorded only while obs is enabled): `(virtual time, Δmessages,
+    /// Δeager payload bytes)` at every post and removal. The runtime
+    /// sweeps it at teardown — see `runtime::run`.
+    backlog_log: Vec<(SimTime, i64, i64)>,
+}
+
+/// Eager payload bytes carried by an envelope (rendezvous RTS heads
+/// queue an envelope but stage their payload in the ring, not here).
+fn eager_bytes(env: &Envelope) -> i64 {
+    match &env.head {
+        Head::Eager { data, .. } => data.len() as i64,
+        Head::Rts { .. } => 0,
+    }
 }
 
 impl Queues {
+    /// Log an envelope entering the message queue at its arrival time.
+    fn log_posted(&mut self, env: &Envelope) {
+        if obs::is_enabled() {
+            self.backlog_log.push((env.arrival, 1, eager_bytes(env)));
+        }
+    }
+
+    /// Log an envelope leaving the message queue. A message is queued
+    /// until the *later* of its arrival and the receiver's match time:
+    /// a receive posted before the data lands holds it for zero
+    /// virtual time.
+    fn log_removed(&mut self, env: &Envelope, now: SimTime) {
+        if obs::is_enabled() {
+            self.backlog_log
+                .push((now.max(env.arrival), -1, -eager_bytes(env)));
+        }
+    }
+
     /// Try to match the posted receive `ticket` against the message
     /// queue: first envelope (arrival order) that satisfies its pattern
     /// and is not claimed by an earlier-posted unmatched receive. On
@@ -200,7 +232,10 @@ impl Mailbox {
 
     /// Deposit a message envelope (sender side).
     pub fn post(&self, env: Envelope) {
-        self.q.lock().unwrap().msgs.push_back(env);
+        let mut q = self.q.lock().unwrap();
+        q.log_posted(&env);
+        q.msgs.push_back(env);
+        drop(q);
         self.cv.notify_all();
     }
 
@@ -218,7 +253,9 @@ impl Mailbox {
 
     /// Block until an envelope matching `(src, tag)` is available and
     /// remove it (first match in arrival order — MPI non-overtaking).
-    pub fn match_recv(&self, src: Source, tag: TagSel) -> Envelope {
+    /// `now` is the caller's virtual time at the call, feeding the
+    /// backlog gauge (it never affects matching or the clock).
+    pub fn match_recv(&self, src: Source, tag: TagSel, now: SimTime) -> Envelope {
         let mut q = self.q.lock().unwrap();
         loop {
             if let Some(idx) = q.msgs.iter().position(|e| {
@@ -230,7 +267,9 @@ impl Mailbox {
                     TagSel::Value(t) => e.tag == t,
                 })
             }) {
-                return q.msgs.remove(idx).expect("index valid under lock");
+                let env = q.msgs.remove(idx).expect("index valid under lock");
+                q.log_removed(&env, now);
+                return env;
             }
             q = self.cv.wait(q).unwrap();
         }
@@ -248,6 +287,7 @@ impl Mailbox {
         src: Source,
         tag: TagSel,
         timeout: std::time::Duration,
+        now: SimTime,
     ) -> Option<Envelope> {
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.q.lock().unwrap();
@@ -261,7 +301,9 @@ impl Mailbox {
                     TagSel::Value(t) => e.tag == t,
                 })
             }) {
-                return Some(q.msgs.remove(idx).expect("index valid under lock"));
+                let env = q.msgs.remove(idx).expect("index valid under lock");
+                q.log_removed(&env, now);
+                return Some(env);
             }
             let now = std::time::Instant::now();
             if now >= deadline {
@@ -353,10 +395,11 @@ impl Mailbox {
 
     /// Block until the posted receive `ticket` can claim an envelope (no
     /// earlier-posted unmatched receive also matches it) and remove it.
-    pub fn match_recv_posted(&self, ticket: u64) -> Envelope {
+    pub fn match_recv_posted(&self, ticket: u64, now: SimTime) -> Envelope {
         let mut q = self.q.lock().unwrap();
         loop {
             if let Some(env) = q.gated_match(ticket) {
+                q.log_removed(&env, now);
                 // Our posted entry left the queue: later receives it was
                 // shadowing may now be eligible.
                 self.cv.notify_all();
@@ -374,11 +417,13 @@ impl Mailbox {
         &self,
         ticket: u64,
         timeout: std::time::Duration,
+        now: SimTime,
     ) -> Option<Envelope> {
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.q.lock().unwrap();
         loop {
             if let Some(env) = q.gated_match(ticket) {
+                q.log_removed(&env, now);
                 self.cv.notify_all();
                 return Some(env);
             }
@@ -393,6 +438,13 @@ impl Mailbox {
     /// Number of queued (unmatched) messages — diagnostics only.
     pub fn backlog(&self) -> usize {
         self.q.lock().unwrap().msgs.len()
+    }
+
+    /// Drain the backlog event log (runtime teardown). Each entry is
+    /// `(virtual time, Δmessages, Δeager payload bytes)`; sorting by
+    /// time and sweeping yields the peak queue depth.
+    pub fn take_backlog_events(&self) -> Vec<(SimTime, i64, i64)> {
+        std::mem::take(&mut self.q.lock().unwrap().backlog_log)
     }
 }
 
@@ -421,11 +473,11 @@ mod tests {
         mb.post(env(1, 10));
         mb.post(env(2, 10));
         mb.post(env(1, 20));
-        let e = mb.match_recv(Source::Rank(2), TagSel::Value(10));
+        let e = mb.match_recv(Source::Rank(2), TagSel::Value(10), SimTime::ZERO);
         assert_eq!(e.src, 2);
-        let e = mb.match_recv(Source::Rank(1), TagSel::Value(20));
+        let e = mb.match_recv(Source::Rank(1), TagSel::Value(20), SimTime::ZERO);
         assert_eq!(e.tag, 20);
-        let e = mb.match_recv(Source::Any, TagSel::Any);
+        let e = mb.match_recv(Source::Any, TagSel::Any, SimTime::ZERO);
         assert_eq!((e.src, e.tag), (1, 10));
     }
 
@@ -438,7 +490,7 @@ mod tests {
             mb.post(e);
         }
         for i in 0..5 {
-            let e = mb.match_recv(Source::Rank(3), TagSel::Value(7));
+            let e = mb.match_recv(Source::Rank(3), TagSel::Value(7), SimTime::ZERO);
             assert_eq!(e.arrival, SimTime::from_ps(i), "overtook at {i}");
         }
     }
@@ -447,7 +499,8 @@ mod tests {
     fn blocking_recv_wakes_on_post() {
         let mb = Arc::new(Mailbox::new());
         let mb2 = Arc::clone(&mb);
-        let t = thread::spawn(move || mb2.match_recv(Source::Any, TagSel::Value(42)));
+        let t =
+            thread::spawn(move || mb2.match_recv(Source::Any, TagSel::Value(42), SimTime::ZERO));
         thread::sleep(std::time::Duration::from_millis(20));
         mb.post(env(0, 41)); // wrong tag: should not satisfy
         mb.post(env(0, 42));
@@ -500,11 +553,11 @@ mod tests {
         // b is later-posted but src-disjoint from a: an envelope from
         // rank 2 goes to b even while a is still unmatched.
         mb.post(env(2, 5));
-        let e = mb.match_recv_posted_for(b, std::time::Duration::ZERO);
+        let e = mb.match_recv_posted_for(b, std::time::Duration::ZERO, SimTime::ZERO);
         assert_eq!(e.expect("disjoint recv must match").src, 2);
         mb.post(env(1, 5));
         assert!(mb
-            .match_recv_posted_for(a, std::time::Duration::ZERO)
+            .match_recv_posted_for(a, std::time::Duration::ZERO, SimTime::ZERO)
             .is_some());
     }
 
@@ -516,14 +569,14 @@ mod tests {
         mb.post(env(2, 5));
         // The earlier wildcard claims the envelope; b must not steal it.
         assert!(mb
-            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .match_recv_posted_for(b, std::time::Duration::ZERO, SimTime::ZERO)
             .is_none());
-        let e = mb.match_recv_posted(a);
+        let e = mb.match_recv_posted(a, SimTime::ZERO);
         assert_eq!(e.src, 2);
         // With the wildcard gone, a fresh envelope satisfies b.
         mb.post(env(2, 5));
         assert!(mb
-            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .match_recv_posted_for(b, std::time::Duration::ZERO, SimTime::ZERO)
             .is_some());
     }
 
@@ -534,11 +587,11 @@ mod tests {
         let b = mb.post_recv(Source::Rank(3), TagSel::Value(1));
         mb.post(env(3, 1));
         assert!(mb
-            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .match_recv_posted_for(b, std::time::Duration::ZERO, SimTime::ZERO)
             .is_none());
         mb.abandon_recv(a);
         assert!(mb
-            .match_recv_posted_for(b, std::time::Duration::ZERO)
+            .match_recv_posted_for(b, std::time::Duration::ZERO, SimTime::ZERO)
             .is_some());
     }
 

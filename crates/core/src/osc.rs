@@ -178,16 +178,23 @@ impl Rank {
     /// rank's shared-segment pool. Pool exhaustion comes back as
     /// [`ScimpiError::WindowError`].
     pub fn alloc_mem(&mut self, len: usize) -> Result<AllocMem, ScimpiError> {
-        let offset = self.world.alloc_pools[self.rank]
-            .lock()
-            .unwrap()
-            .alloc(len)
-            .map_err(|e| {
-                ScimpiError::WindowError(format!(
+        // Governed resource: remotely accessible memory counts against
+        // `Tuning::window_budget_bytes` before the pool is consulted.
+        self.world
+            .charge_window(self.rank, len)
+            .map_err(|e| self.world.escalate(e))?;
+        let alloced = self.world.alloc_pools[self.rank].lock().unwrap().alloc(len);
+        let offset = match alloced {
+            Ok(o) => o,
+            Err(e) => {
+                // The charge is returned when the pool itself refuses.
+                self.world.release_window(self.rank, len);
+                return Err(ScimpiError::WindowError(format!(
                     "shared-segment pool exhausted allocating {len} bytes on rank {}: {e:?}",
                     self.rank
-                ))
-            })?;
+                )));
+            }
+        };
         Ok(AllocMem {
             rank: self.rank,
             region: Arc::clone(&self.world.alloc_regions[self.rank]),
@@ -203,6 +210,7 @@ impl Rank {
             .unwrap()
             .free(mem.offset)
             .expect("double free of alloc_mem");
+        self.world.release_window(self.rank, mem.len);
     }
 
     /// `MPI_Win_create` (collective): expose `mem` to all ranks of the
@@ -224,6 +232,8 @@ impl Rank {
         let contrib: (TargetMem, usize) = match mem {
             WinMemory::Alloc(am) => {
                 assert_eq!(am.rank, self.world_rank(), "alloc_mem from another rank");
+                // Already charged against the window budget by
+                // `alloc_mem`; don't double-count the same bytes.
                 (
                     TargetMem::Shared {
                         region: am.region,
@@ -232,12 +242,20 @@ impl Rank {
                     am.len,
                 )
             }
-            WinMemory::Private(len) => (
-                TargetMem::Private {
-                    mem: Arc::new(SharedMem::new(len)),
-                },
-                len,
-            ),
+            WinMemory::Private(len) => {
+                // Private window memory is allocated here, so it is
+                // charged here (windows live until teardown; there is
+                // no `MPI_Win_free` in this subset yet).
+                self.world
+                    .charge_window(self.rank, len)
+                    .map_err(|e| self.world.escalate(e))?;
+                (
+                    TargetMem::Private {
+                        mem: Arc::new(SharedMem::new(len)),
+                    },
+                    len,
+                )
+            }
         };
         let size = self.size();
         let members = Arc::clone(&self.members);
@@ -728,10 +746,13 @@ impl Window {
             Bucket::Pack,
             rank.world.tuning.layout_resolve_cost(c),
         );
-        let path = rank
-            .world
-            .tuning
-            .select_path_recorded(c, total, self.direct_active(target));
+        // The staging budget governs the verdict: a DMA pack buffer the
+        // ledger cannot cover degrades to the staged engine, and a
+        // staged bounce buffer it cannot cover degrades to the
+        // bufferless direct path. The lease is held for the transfer.
+        let world = Arc::clone(&rank.world);
+        let (path, _staging_lease) =
+            world.governed_path(rank.rank, c, total, self.direct_active(target));
         if path == PackPath::Dma {
             return self.put_typed_dma_inner(rank, target, target_off, c, count, buf, origin);
         }
@@ -1082,7 +1103,7 @@ impl Window {
         target_off: usize,
         data: &[u8],
     ) -> Result<Request<()>, ScimpiError> {
-        let posted_at = rank.account_post();
+        let posted_at = rank.account_post()?;
         let res = self.put(rank, target, target_off, data);
         let end = rank.clock.now();
         Ok(Request::ready(rank, "iput", posted_at, end, res))
@@ -1098,7 +1119,7 @@ impl Window {
         target_off: usize,
         len: usize,
     ) -> Result<Request<Vec<u8>>, ScimpiError> {
-        let posted_at = rank.account_post();
+        let posted_at = rank.account_post()?;
         let main = rank.clock.clone();
         let mut dst = vec![0u8; len];
         // The excursion below is rolled back (the transfer effectively ran

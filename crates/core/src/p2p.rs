@@ -20,7 +20,7 @@ use crate::error::ScimpiError;
 use crate::mailbox::{Ctrl, Envelope, Head, Source, Tag, TagSel};
 use crate::runtime::{Rank, WorldState, POLL_SLICE};
 use crate::sink::PioSink;
-use crate::tuning::{IntegrityMode, PackPath, Tuning};
+use crate::tuning::{IntegrityMode, OverloadPolicy, PackPath, Tuning};
 use mpi_datatype::{ff, tree, Committed, PackStats, SliceSource};
 use obs::attrib::{self, Bucket, WaitKind};
 use sci_fabric::{crc32, SeqStatus};
@@ -110,6 +110,51 @@ pub(crate) enum SendOpKind {
         /// the same destination in posted order.
         ticket: u64,
     },
+}
+
+thread_local! {
+    /// True while this thread runs protocol that must not lose or fail
+    /// messages (collective tree edges, recovery-internal traffic): the
+    /// lossy/failing overload policies (`Shed`, `Error`, `Degrade`)
+    /// fall back to `Stall` inside such a section, because a dropped
+    /// tree edge would wedge the peer forever and a surfaced error
+    /// would tear a half-finished collective.
+    static RELIABLE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Enter a reliable protocol section (see [`RELIABLE`]); the returned
+/// guard restores the previous state on drop, so sections nest.
+pub(crate) fn reliable_section() -> ReliableGuard {
+    let prev = RELIABLE.with(|r| r.replace(true));
+    ReliableGuard { prev }
+}
+
+/// Is this thread inside a reliable protocol section?
+fn is_reliable() -> bool {
+    RELIABLE.with(|r| r.get())
+}
+
+/// Guard returned by [`reliable_section`].
+pub(crate) struct ReliableGuard {
+    prev: bool,
+}
+
+impl Drop for ReliableGuard {
+    fn drop(&mut self) {
+        RELIABLE.with(|r| r.set(self.prev));
+    }
+}
+
+/// Outcome of an eager credit acquisition (see
+/// [`Rank::acquire_eager_credits`] and `Tuning::overload_policy`).
+enum CreditVerdict {
+    /// Credits consumed: proceed on the eager path.
+    Granted,
+    /// Budget exhausted under `OverloadPolicy::Degrade`: fall back to
+    /// the rendezvous protocol.
+    Degrade,
+    /// Budget exhausted under `OverloadPolicy::Shed`: drop the message.
+    Shed,
 }
 
 /// Should this typed transfer use `direct_pack_ff`? Two-sided transfers
@@ -588,15 +633,19 @@ pub(crate) fn recv_into_inner(
     }
     let env = match src {
         Source::Any => loop {
-            if let Some(e) = world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE) {
+            if let Some(e) =
+                world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE, clock.now())
+            {
                 break e;
             }
             // A wildcard receive has no single peer to monitor, so only a
             // communicator revocation can unblock it early.
             if world.revoke_arrival(rank).is_some() {
-                if let Some(e) =
-                    world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
-                {
+                if let Some(e) = world.mailboxes[rank].match_recv_posted_for(
+                    ticket,
+                    std::time::Duration::ZERO,
+                    clock.now(),
+                ) {
                     break e;
                 }
                 world.mailboxes[rank].abandon_recv(ticket);
@@ -607,13 +656,17 @@ pub(crate) fn recv_into_inner(
             }
         },
         Source::Rank(peer) => loop {
-            if let Some(e) = world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE) {
+            if let Some(e) =
+                world.mailboxes[rank].match_recv_posted_for(ticket, POLL_SLICE, clock.now())
+            {
                 break e;
             }
             if world.revoke_arrival(rank).is_some() {
-                if let Some(e) =
-                    world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
-                {
+                if let Some(e) = world.mailboxes[rank].match_recv_posted_for(
+                    ticket,
+                    std::time::Duration::ZERO,
+                    clock.now(),
+                ) {
                     break e;
                 }
                 world.mailboxes[rank].abandon_recv(ticket);
@@ -627,9 +680,11 @@ pub(crate) fn recv_into_inner(
             }
             // Final drain: the message may have landed between the last
             // poll slice and the death check.
-            if let Some(e) =
-                world.mailboxes[rank].match_recv_posted_for(ticket, std::time::Duration::ZERO)
-            {
+            if let Some(e) = world.mailboxes[rank].match_recv_posted_for(
+                ticket,
+                std::time::Duration::ZERO,
+                clock.now(),
+            ) {
                 break e;
             }
             world.mailboxes[rank].abandon_recv(ticket);
@@ -669,6 +724,12 @@ pub(crate) fn recv_into_inner(
                 &data,
                 len > world.tuning.short_threshold,
             );
+            // Return the message's flow-control credits to the sender:
+            // the grant becomes collectable at the match time plus one
+            // control-packet latency. The sender folds it in inside a
+            // backpressure stall or at the next barrier.
+            let grant_at = clock.now() + world.ctrl_latency(rank, env.src);
+            world.credit(env.src, rank).deposit(len, grant_at);
             if obs::is_enabled() {
                 obs::span(
                     "p2p.recv",
@@ -852,17 +913,37 @@ impl Rank {
         // Translate the caller's logical rank into a world rank; all
         // protocol state (mailboxes, rings, liveness) is world-indexed.
         let dst = self.to_world(dst);
-        let t = &self.world.tuning;
         let len = data.total_len();
         if let SendData::Typed { c, .. } = &data {
             // Resolving the committed layout costs a cache lookup when the
             // layout cache is on, or a full re-flatten when it is off; the
             // adaptive selector then records which pack path this layout's
-            // density chose.
-            attrib::advance(&mut self.clock, Bucket::Pack, t.layout_resolve_cost(c));
-            t.select_path_recorded(c, len, false);
+            // density chose — governed by the rank's staging budget.
+            let resolve = self.world.tuning.layout_resolve_cost(c);
+            attrib::advance(&mut self.clock, Bucket::Pack, resolve);
+            let _lease = self.world.governed_path(self.rank, c, len, false);
         }
-        if len <= t.eager_threshold {
+        // Eager messages (short ones included) consume flow-control
+        // credits at post time; an exhausted budget resolves per
+        // `Tuning::overload_policy` before any protocol cost is charged.
+        let mut eager = len <= self.world.tuning.eager_threshold;
+        if eager {
+            match self.acquire_eager_credits(dst, len)? {
+                CreditVerdict::Granted => {}
+                CreditVerdict::Degrade => eager = false,
+                CreditVerdict::Shed => {
+                    // The message is dropped sender-side: the send
+                    // "completes" without posting anything.
+                    return Ok(SendOp {
+                        dst,
+                        data,
+                        kind: SendOpKind::Done,
+                    });
+                }
+            }
+        }
+        let t = &self.world.tuning;
+        if eager {
             obs::inc(obs::Counter::EagerSends);
             let start = self.clock.now();
             self.send_eager(dst, tag, &data)?;
@@ -922,6 +1003,112 @@ impl Rank {
     pub fn finish_send(&mut self, op: SendOp<'_>) -> Result<(), ScimpiError> {
         let world = Arc::clone(&self.world);
         finish_send_inner(&world, self.rank, &mut self.clock, op)
+    }
+
+    /// Acquire eager flow-control credits (`len` payload bytes + one
+    /// envelope slot) toward world rank `dst`, resolving an exhausted
+    /// budget per [`OverloadPolicy`]:
+    ///
+    /// * `Stall` — block in a liveness-guarded backpressure wait until
+    ///   the receiver returns enough credits, charging the wait to the
+    ///   `backpressure` bucket at the deterministic grant timestamps;
+    /// * `Degrade` — fall back to the rendezvous protocol (its ring
+    ///   slots are themselves flow-controlled);
+    /// * `Shed` — drop the message sender-side;
+    /// * `Error` — surface [`ScimpiError::ResourceExhausted`].
+    ///
+    /// The consume/deny verdict only reads sender-local credit state, so
+    /// it — and everything downstream of it — is deterministic.
+    fn acquire_eager_credits(
+        &mut self,
+        dst: usize,
+        len: usize,
+    ) -> Result<CreditVerdict, ScimpiError> {
+        let credits = self.world.credit(self.rank, dst);
+        if credits.try_consume(len) {
+            return Ok(CreditVerdict::Granted);
+        }
+        let policy = if is_reliable() {
+            OverloadPolicy::Stall
+        } else {
+            self.world.tuning.overload_policy
+        };
+        match policy {
+            OverloadPolicy::Stall => {
+                obs::inc(obs::Counter::EagerCreditStalls);
+                let world = Arc::clone(&self.world);
+                // Collect grants one at a time, merging each grant's
+                // arrival (receiver match time + control latency) as a
+                // backpressure wait, until the pool covers the message.
+                // The guard mirrors `WorldState::await_ctrl`: a revoked
+                // communicator or a dead receiver must unblock the
+                // stall, or backpressure would deadlock recovery.
+                let collect = |clock: &mut Clock, timeout| -> bool {
+                    match credits.await_grant_for(timeout) {
+                        Some((glen, at)) => {
+                            attrib::merge_waited(
+                                clock,
+                                at,
+                                WaitKind::Backpressure,
+                                Some(dst as u32),
+                            );
+                            credits.restore(glen);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                loop {
+                    if collect(&mut self.clock, POLL_SLICE) {
+                        if credits.try_consume(len) {
+                            return Ok(CreditVerdict::Granted);
+                        }
+                        continue;
+                    }
+                    if world.revoke_arrival(self.rank).is_some() {
+                        // Final drain: a grant may have landed between
+                        // expiry and the revocation check.
+                        if collect(&mut self.clock, std::time::Duration::ZERO) {
+                            if credits.try_consume(len) {
+                                return Ok(CreditVerdict::Granted);
+                            }
+                            continue;
+                        }
+                        let err = world
+                            .check_revoked(&mut self.clock, self.rank)
+                            .expect("revocation installed");
+                        return Err(world.escalate(err));
+                    }
+                    if !world.peer_dead(dst) {
+                        continue;
+                    }
+                    if collect(&mut self.clock, std::time::Duration::ZERO) {
+                        if credits.try_consume(len) {
+                            return Ok(CreditVerdict::Granted);
+                        }
+                        continue;
+                    }
+                    let err = world.declare_dead(&mut self.clock, dst, "eager credits");
+                    return Err(world.escalate(err));
+                }
+            }
+            OverloadPolicy::Degrade => {
+                obs::inc(obs::Counter::DegradedPaths);
+                Ok(CreditVerdict::Degrade)
+            }
+            OverloadPolicy::Shed => {
+                obs::inc(obs::Counter::MessagesShed);
+                Ok(CreditVerdict::Shed)
+            }
+            OverloadPolicy::Error => {
+                obs::inc(obs::Counter::BudgetDenials);
+                Err(self.world.escalate(ScimpiError::ResourceExhausted {
+                    what: "eager credits",
+                    needed: len,
+                    limit: self.world.tuning.eager_credits_bytes,
+                }))
+            }
+        }
     }
 
     fn send_eager(&mut self, dst: usize, tag: Tag, data: &SendData<'_>) -> Result<(), ScimpiError> {

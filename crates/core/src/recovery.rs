@@ -299,11 +299,16 @@ fn shrink_inner(
         .expect("a shrinking survivor is a member of the new epoch");
     let world = Arc::clone(&rank.world);
     if me_w == members[0] {
-        // Survivor leader: register the new epoch's barrier, then lift
-        // the revocation and publish the epoch. By the time the leader
-        // finishes agreement every survivor has entered shrink (its
-        // final-sweep partners must have posted), so no rank still
-        // needs the revocation to escape a blocked wait.
+        // Survivor leader: reclaim the eager flow-control credits owed
+        // by (or to) the dead ranks — a sender backpressure-stalled on
+        // grants a dead receiver will never return must find its budget
+        // restored, or flow control would deadlock recovery. Then
+        // register the new epoch's barrier, lift the revocation and
+        // publish the epoch. By the time the leader finishes agreement
+        // every survivor has entered shrink (its final-sweep partners
+        // must have posted), so no rank still needs the revocation to
+        // escape a blocked wait.
+        world.reclaim_credits(&dead);
         let barrier = Arc::new(TimeBarrier::new(members.len(), world.tuning.barrier_hop));
         world
             .epoch_barriers

@@ -325,7 +325,20 @@ impl Rank {
     }
 
     /// Post-time accounting shared by every nonblocking operation.
-    pub(crate) fn account_post(&mut self) -> SimTime {
+    /// Denies the post with [`ScimpiError::ResourceExhausted`] when the
+    /// pending-request table is already at
+    /// `Tuning::max_inflight_requests` — the request engine's in-flight
+    /// set is a governed resource like any other buffer pool.
+    pub(crate) fn account_post(&mut self) -> Result<SimTime, ScimpiError> {
+        let limit = self.world.tuning.max_inflight_requests;
+        if self.pending_requests >= limit {
+            obs::inc(obs::Counter::BudgetDenials);
+            return Err(self.world.escalate(ScimpiError::ResourceExhausted {
+                what: "in-flight requests",
+                needed: self.pending_requests + 1,
+                limit,
+            }));
+        }
         let posted_at = self.clock.now();
         obs::attrib::advance(
             &mut self.clock,
@@ -334,7 +347,7 @@ impl Rank {
         );
         self.pending_requests += 1;
         obs::inc(obs::Counter::RequestsPosted);
-        posted_at
+        Ok(posted_at)
     }
 
     /// Completion accounting: merge the transfer's end time into the
@@ -403,7 +416,7 @@ impl Rank {
         tag: crate::mailbox::Tag,
         owned: OwnedSend,
     ) -> Result<Request<()>, ScimpiError> {
-        let posted_at = self.account_post();
+        let posted_at = self.account_post()?;
         // The protocol's start runs inline on the posting thread — the
         // same costs a blocking send charges before it can return to
         // the application (RTS post, eager burst). `start_send`
@@ -452,7 +465,7 @@ impl Rank {
         tag: TagSel,
         max_len: usize,
     ) -> Result<Request<RecvDone>, ScimpiError> {
-        let posted_at = self.account_post();
+        let posted_at = self.account_post()?;
         let src = self.src_to_world(src);
         let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
         let world = Arc::clone(&self.world);
@@ -488,7 +501,7 @@ impl Rank {
         c: &Committed,
         count: usize,
     ) -> Result<Request<RecvDone>, ScimpiError> {
-        let posted_at = self.account_post();
+        let posted_at = self.account_post()?;
         let src = self.src_to_world(src);
         let ticket = self.world.mailboxes[self.rank].post_recv(src, tag);
         let world = Arc::clone(&self.world);
@@ -536,7 +549,7 @@ impl Rank {
         sendblocks: &[Vec<u8>],
     ) -> Result<Request<Vec<Vec<u8>>>, ScimpiError> {
         assert_eq!(sendblocks.len(), self.size(), "one block per rank");
-        let posted_at = self.account_post();
+        let posted_at = self.account_post()?;
         let blocks = sendblocks.to_vec();
         // A shadow Rank over the same world, on a forked clock: the
         // collective body is exactly the blocking pairwise exchange. It

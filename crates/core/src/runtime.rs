@@ -121,6 +121,9 @@ impl ClusterSpec {
             self.topology.node_count() > 0 && self.procs_per_node > 0,
             "cluster needs at least one node and one proc per node"
         );
+        if let Err(e) = self.tuning.validate() {
+            panic!("invalid cluster spec: {e}");
+        }
         self
     }
 
@@ -247,6 +250,140 @@ impl PairRing {
     }
 }
 
+/// Credit-based eager flow control for one (sender, receiver) pair.
+///
+/// The sender owns a finite eager budget
+/// ([`Tuning::eager_credits_bytes`] payload bytes plus
+/// [`Tuning::eager_credit_slots`] envelope slots) and spends from it at
+/// post time on its own thread; the receiver *returns* credits by
+/// depositing a timestamped grant when the message is matched and
+/// unpacked. Grants flow back into the spendable pool either inside a
+/// backpressure stall ([`PairCredits::await_grant_for`] — the sender
+/// merges the grant time, virtually waiting for the receiver to drain)
+/// or in bulk at synchronisation points
+/// ([`PairCredits::collect_ready`]).
+///
+/// Keeping the spendable pool strictly sender-thread-local is what makes
+/// the overload verdict — and thus the virtual timeline — deterministic:
+/// a grant deposited concurrently by the receiver's thread is never
+/// observed by a non-blocking read, only by a blocking collect whose
+/// timestamp is merged, or by a barrier that already orders it into the
+/// sender's causal past.
+pub(crate) struct PairCredits {
+    /// Spendable (payload bytes, envelope slots). Only the sending
+    /// rank's own thread mutates this (consume + collect), so its value
+    /// at any program point is a deterministic function of the rank's
+    /// send/collect history.
+    avail: Mutex<(usize, usize)>,
+    /// Returned credits awaiting collection: payload length and the
+    /// virtual time the grant reaches the sender (receiver match time
+    /// plus one control-packet latency). FIFO, like `PairRing::free`:
+    /// collecting the front grant keeps the sender's virtual wait
+    /// independent of real-time interleaving.
+    granted: Mutex<std::collections::VecDeque<(usize, SimTime)>>,
+    cv: Condvar,
+    /// Full budget, for peak-outstanding accounting and recovery resets.
+    budget_bytes: usize,
+    budget_slots: usize,
+}
+
+impl PairCredits {
+    fn new(bytes: usize, slots: usize) -> Self {
+        PairCredits {
+            avail: Mutex::new((bytes, slots)),
+            granted: Mutex::new(std::collections::VecDeque::new()),
+            cv: Condvar::new(),
+            budget_bytes: bytes,
+            budget_slots: slots,
+        }
+    }
+
+    /// Spend `len` payload bytes and one envelope slot, if the pool
+    /// covers both. On success the new outstanding byte total is folded
+    /// into the `credit_bytes_peak` gauge.
+    pub fn try_consume(&self, len: usize) -> bool {
+        let mut a = self.avail.lock().unwrap();
+        if a.0 >= len && a.1 >= 1 {
+            a.0 -= len;
+            a.1 -= 1;
+            obs::max(
+                obs::Counter::CreditBytesPeak,
+                (self.budget_bytes - a.0) as u64,
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Receiver side: return `len` bytes plus one slot, visible to the
+    /// sender at virtual time `at`.
+    pub fn deposit(&self, len: usize, at: SimTime) {
+        self.granted.lock().unwrap().push_back((len, at));
+        self.cv.notify_all();
+    }
+
+    /// Sender side, at a synchronisation point: fold every deposited
+    /// grant back into the spendable pool. No clock merge — the caller
+    /// just completed a barrier the depositing receiver also passed, so
+    /// the grants are already in its causal past.
+    pub fn collect_ready(&self) {
+        let mut g = self.granted.lock().unwrap();
+        if g.is_empty() {
+            return;
+        }
+        let mut a = self.avail.lock().unwrap();
+        while let Some((len, _)) = g.pop_front() {
+            a.0 = (a.0 + len).min(self.budget_bytes);
+            a.1 = (a.1 + 1).min(self.budget_slots);
+        }
+    }
+
+    /// Sender side, inside a backpressure stall: block (real time only)
+    /// for the earliest deposited grant, giving up after `timeout`.
+    /// Returns `None` on expiry without touching any state — callers
+    /// loop, checking receiver liveness and revocation between slices.
+    /// The popped grant is NOT yet spendable: the caller merges its
+    /// timestamp and then folds it in with [`PairCredits::restore`].
+    pub fn await_grant_for(&self, timeout: std::time::Duration) -> Option<(usize, SimTime)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.granted.lock().unwrap();
+        loop {
+            if let Some(grant) = g.pop_front() {
+                return Some(grant);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            g = self.cv.wait_timeout(g, deadline - now).unwrap().0;
+        }
+    }
+
+    /// Fold a grant popped by [`PairCredits::await_grant_for`] into the
+    /// spendable pool (after the caller merged its timestamp).
+    pub fn restore(&self, len: usize) {
+        let mut a = self.avail.lock().unwrap();
+        a.0 = (a.0 + len).min(self.budget_bytes);
+        a.1 = (a.1 + 1).min(self.budget_slots);
+    }
+
+    /// Snapshot of the spendable pool (tests and diagnostics). Grants
+    /// deposited but not yet collected are not included.
+    pub fn available(&self) -> (usize, usize) {
+        *self.avail.lock().unwrap()
+    }
+
+    /// Recovery: restore the full budget and drop pending grants. Used
+    /// when one end of the pair died — credits owed by the dead rank are
+    /// reclaimed so backpressure can never deadlock a shrink.
+    pub fn reset_full(&self) {
+        self.granted.lock().unwrap().clear();
+        *self.avail.lock().unwrap() = (self.budget_bytes, self.budget_slots);
+        self.cv.notify_all();
+    }
+}
+
 /// An installed communicator revocation: who revoked, and at which
 /// virtual time. The revocation reaches every other rank through a
 /// deterministic binomial gossip front (see
@@ -282,6 +419,17 @@ pub(crate) struct WorldState {
     /// Barriers for shrunken epochs, registered by the survivor leader
     /// and keyed by epoch number (epoch 0 uses `barrier`).
     pub epoch_barriers: Mutex<HashMap<u64, Arc<TimeBarrier>>>,
+    /// Eager flow-control credit pools, keyed by (sender, receiver)
+    /// world-rank pair and created lazily like `rings`.
+    pub credits: Mutex<HashMap<(usize, usize), Arc<PairCredits>>>,
+    /// Per-rank bytes currently charged against the window memory
+    /// budget ([`Tuning::window_budget_bytes`]). Indexed by world rank;
+    /// only that rank's thread charges or releases, so the balance is
+    /// deterministic.
+    pub window_bytes: Vec<std::sync::atomic::AtomicUsize>,
+    /// Per-rank staging-buffer ledgers governing pack-path selection
+    /// ([`Tuning::staging_budget_bytes`]). Indexed by world rank.
+    pub staging: Vec<crate::sink::StagingLedger>,
 }
 
 pub(crate) struct CollSlot {
@@ -304,6 +452,121 @@ impl WorldState {
             let region = self.smi.create_region(ProcId(dst), slots * chunk);
             Arc::new(PairRing::new(region, slots, chunk))
         }))
+    }
+
+    /// The eager credit pool for messages `src → dst`, created lazily.
+    pub fn credit(&self, src: usize, dst: usize) -> Arc<PairCredits> {
+        let mut credits = self.credits.lock().unwrap();
+        Arc::clone(credits.entry((src, dst)).or_insert_with(|| {
+            Arc::new(PairCredits::new(
+                self.tuning.eager_credits_bytes,
+                self.tuning.eager_credit_slots,
+            ))
+        }))
+    }
+
+    /// Collect returned eager credits on every pair whose sender is
+    /// `me`. Called at barriers: the depositing receivers passed the
+    /// same barrier, so every pending grant is in `me`'s causal past.
+    pub fn collect_credits(&self, me: usize) {
+        let pairs: Vec<Arc<PairCredits>> = {
+            let credits = self.credits.lock().unwrap();
+            credits
+                .iter()
+                .filter(|(&(s, _), _)| s == me)
+                .map(|(_, c)| Arc::clone(c))
+                .collect()
+        };
+        for c in pairs {
+            c.collect_ready();
+        }
+    }
+
+    /// Recovery: reclaim eager credits on every pair touching a dead
+    /// rank, so a sender stalled on credits owed by the dead rank makes
+    /// progress once the shrink installs the new epoch.
+    pub fn reclaim_credits(&self, dead: &[usize]) {
+        let credits = self.credits.lock().unwrap();
+        for (&(s, d), c) in credits.iter() {
+            if dead.contains(&s) || dead.contains(&d) {
+                c.reset_full();
+            }
+        }
+    }
+
+    /// Pack-path selection under the staging budget: the tuning
+    /// selector's verdict is downgraded `Dma → Staged → DirectFf` when
+    /// `rank`'s staging ledger cannot cover the lease the chosen path
+    /// needs. The DMA path stages the whole message in a pinned pack
+    /// buffer; the generic staged engine recycles one
+    /// `rendezvous_chunk`-sized bounce buffer; `direct_pack_ff` streams
+    /// with no staging at all — which is why it is the terminal
+    /// degradation step. Returns the governed path plus the staging
+    /// lease held for the transfer (drop it when the transfer is done).
+    pub fn governed_path(
+        &self,
+        rank: usize,
+        c: &mpi_datatype::Committed,
+        total: usize,
+        dma_available: bool,
+    ) -> (
+        crate::tuning::PackPath,
+        Option<crate::sink::StagingLease<'_>>,
+    ) {
+        use crate::tuning::PackPath;
+        let ledger = &self.staging[rank];
+        let staged_need = self.tuning.rendezvous_chunk.min(total);
+        let (path, lease) = match self.tuning.select_path(c, total, dma_available) {
+            PackPath::Dma => match ledger.try_acquire(total) {
+                Some(l) => (PackPath::Dma, Some(l)),
+                None => {
+                    obs::inc(obs::Counter::BudgetDenials);
+                    obs::inc(obs::Counter::DegradedPaths);
+                    match ledger.try_acquire(staged_need) {
+                        Some(l) => (PackPath::Staged, Some(l)),
+                        None => (PackPath::DirectFf, None),
+                    }
+                }
+            },
+            PackPath::Staged => match ledger.try_acquire(staged_need) {
+                Some(l) => (PackPath::Staged, Some(l)),
+                None => {
+                    obs::inc(obs::Counter::BudgetDenials);
+                    obs::inc(obs::Counter::DegradedPaths);
+                    (PackPath::DirectFf, None)
+                }
+            },
+            PackPath::DirectFf => (PackPath::DirectFf, None),
+        };
+        obs::inc(match path {
+            PackPath::DirectFf => obs::Counter::PathSelectedDirectFf,
+            PackPath::Staged => obs::Counter::PathSelectedStaged,
+            PackPath::Dma => obs::Counter::PathSelectedDma,
+        });
+        (path, lease)
+    }
+
+    /// Charge `len` bytes of window / `MPI_Alloc_mem` memory on `rank`
+    /// against [`Tuning::window_budget_bytes`].
+    pub fn charge_window(&self, rank: usize, len: usize) -> Result<(), ScimpiError> {
+        let limit = self.tuning.window_budget_bytes;
+        let used = self.window_bytes[rank].load(Ordering::Relaxed);
+        if used.saturating_add(len) > limit {
+            obs::inc(obs::Counter::BudgetDenials);
+            return Err(ScimpiError::ResourceExhausted {
+                what: "window memory",
+                needed: len,
+                limit,
+            });
+        }
+        self.window_bytes[rank].fetch_add(len, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Return window memory charged by [`WorldState::charge_window`].
+    pub fn release_window(&self, rank: usize, len: usize) {
+        let prev = self.window_bytes[rank].fetch_sub(len, Ordering::Relaxed);
+        debug_assert!(prev >= len, "window budget release underflow");
     }
 
     /// The node hosting rank `r`.
@@ -596,6 +859,15 @@ impl Rank {
         self.pending_requests
     }
 
+    /// Spendable eager flow-control credits (payload bytes, envelope
+    /// slots) toward logical rank `dst` — a sender-side diagnostic for
+    /// flow-control tests. Grants deposited by the receiver but not yet
+    /// collected (at a stall or a barrier) are not included.
+    pub fn eager_credits_available(&self, dst: usize) -> (usize, usize) {
+        let dst_w = self.to_world(dst);
+        self.world.credit(self.rank, dst_w).available()
+    }
+
     /// The node hosting this rank.
     pub fn node(&self) -> sci_fabric::NodeId {
         self.world.smi.node_of(ProcId(self.rank))
@@ -641,7 +913,13 @@ impl Rank {
         match barrier.wait_cancel(&mut self.clock, || {
             world.revoke_arrival(me).map(|(at, _)| at)
         }) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                // Every member passed the barrier, so credits returned
+                // by receivers before it are in our causal past: fold
+                // them back into the spendable pools.
+                world.collect_credits(me);
+                Ok(())
+            }
             Err(_) => {
                 let e = world
                     .check_revoked(&mut self.clock, me)
@@ -717,6 +995,9 @@ where
         spec.topology.node_count() > 0 && spec.procs_per_node > 0,
         "cluster needs at least one node and one proc per node"
     );
+    if let Err(e) = spec.tuning.validate() {
+        panic!("invalid cluster spec: {e}");
+    }
     if spec.obs.enabled {
         if spec.obs.reset_on_start {
             obs::reset();
@@ -757,6 +1038,13 @@ where
         revoke: Mutex::new(None),
         current_epoch: AtomicU64::new(0),
         epoch_barriers: Mutex::new(HashMap::new()),
+        credits: Mutex::new(HashMap::new()),
+        window_bytes: (0..size)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect(),
+        staging: (0..size)
+            .map(|_| crate::sink::StagingLedger::new(spec.tuning.staging_budget_bytes))
+            .collect(),
     });
 
     let results = std::thread::scope(|scope| {
@@ -802,6 +1090,28 @@ where
     });
 
     if spec.obs.enabled {
+        // Deterministic peak-backlog gauge: each mailbox logged
+        // (virtual time, Δmessages, Δeager-bytes) events at post and at
+        // match time; sweeping them in virtual-time order — removals
+        // before additions at equal times, so a credit recycled at time
+        // T never double-counts — yields the peak queue depth
+        // independent of real-time thread interleaving.
+        for (rank, mb) in world.mailboxes.iter().enumerate() {
+            let mut events = mb.take_backlog_events();
+            if events.is_empty() {
+                continue;
+            }
+            events.sort_by_key(|&(at, dmsgs, dbytes)| (at, dmsgs, dbytes));
+            let (mut msgs, mut bytes) = (0i64, 0i64);
+            let (mut peak_msgs, mut peak_bytes) = (0i64, 0i64);
+            for (_, dmsgs, dbytes) in events {
+                msgs += dmsgs;
+                bytes += dbytes;
+                peak_msgs = peak_msgs.max(msgs);
+                peak_bytes = peak_bytes.max(bytes);
+            }
+            obs::record_peak_backlog(rank as u32, peak_msgs as u64, peak_bytes as u64);
+        }
         obs::record_link_snapshot(
             "end-of-run".to_string(),
             world

@@ -6,6 +6,7 @@
 //! calibrated so the benchmark harnesses reproduce the *shapes* of the
 //! paper's figures (see EXPERIMENTS.md).
 
+use crate::error::ScimpiError;
 use mpi_datatype::Committed;
 use simclock::SimDuration;
 
@@ -68,6 +69,30 @@ pub enum IntegrityMode {
     EndToEnd,
 }
 
+/// What a sender does when its per-pair eager credit budget
+/// ([`Tuning::eager_credits_bytes`] / [`Tuning::eager_credit_slots`]) is
+/// exhausted. See `docs/BACKPRESSURE.md` for the full lifecycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block on a deterministic virtual-time `backpressure` wait until
+    /// the receiver returns enough credits (matched messages grant them
+    /// back in FIFO order). The default — lossless flow control, exactly
+    /// the behaviour of a finite pre-posted eager buffer pool.
+    #[default]
+    Stall,
+    /// Downgrade the message to the rendezvous protocol, which carries
+    /// its own backpressure (CTS handshake plus bounded ring slots) and
+    /// consumes no eager credits. Lossless, never blocks at post time.
+    Degrade,
+    /// Drop the message entirely (load shedding): the send completes as
+    /// a no-op and the payload never reaches the receiver. Receivers
+    /// must reconcile delivered counts out of band.
+    Shed,
+    /// Refuse the send with [`ScimpiError::ResourceExhausted`] through
+    /// the configured [`crate::ErrorMode`].
+    Error,
+}
+
 /// Protocol and cost-model knobs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuning {
@@ -75,7 +100,8 @@ pub struct Tuning {
     /// ("short" protocol).
     pub short_threshold: usize,
     /// Messages up to this size are sent eagerly into the receiver's
-    /// pre-posted buffer space; larger ones use rendezvous.
+    /// pre-posted buffer space; larger ones use rendezvous. `0`
+    /// disables the eager path entirely (the rendezvous-only ablation).
     pub eager_threshold: usize,
     /// Rendezvous ring-buffer chunk size. Kept at or below the L2 capacity
     /// to avoid cache-line thrashing with `direct_pack_ff` (§3.3.2).
@@ -173,6 +199,30 @@ pub struct Tuning {
     /// mid-agreement while still converging all survivors to the same
     /// verdict.
     pub agreement_sweeps: u32,
+    /// Per sender/receiver pair eager-buffer byte budget: the sum of
+    /// eager payload bytes a sender may have posted but not yet credited
+    /// back by the receiver. Models the finite pre-posted receive buffer
+    /// space of the adapter.
+    pub eager_credits_bytes: usize,
+    /// Per sender/receiver pair envelope-slot budget: outstanding eager
+    /// messages (of any size, including short protocol) a sender may
+    /// have in flight towards one receiver.
+    pub eager_credit_slots: usize,
+    /// What a sender does when the pair's eager credits run out.
+    pub overload_policy: OverloadPolicy,
+    /// Per-rank byte budget for one-sided window and `alloc_mem`
+    /// registrations; exceeding it surfaces
+    /// [`ScimpiError::ResourceExhausted`]. `usize::MAX` = ungoverned.
+    pub window_budget_bytes: usize,
+    /// Per-rank byte budget for staged pack buffers. When a transfer the
+    /// selector would stage (or DMA) does not fit the remaining budget,
+    /// the path degrades Dma → Staged → DirectFf instead of allocating.
+    /// `usize::MAX` = ungoverned.
+    pub staging_budget_bytes: usize,
+    /// Cap on one rank's simultaneously pending nonblocking requests;
+    /// posting past it surfaces [`ScimpiError::ResourceExhausted`].
+    /// `usize::MAX` = ungoverned.
+    pub max_inflight_requests: usize,
 }
 
 impl Default for Tuning {
@@ -208,6 +258,12 @@ impl Default for Tuning {
             progress_poll_cost: SimDuration::from_ns(50),
             revoke_hop_cost: SimDuration::from_us(5),
             agreement_sweeps: 3,
+            eager_credits_bytes: 4 * 1024 * 1024,
+            eager_credit_slots: 256,
+            overload_policy: OverloadPolicy::Stall,
+            window_budget_bytes: usize::MAX,
+            staging_budget_bytes: usize::MAX,
+            max_inflight_requests: usize::MAX,
         }
     }
 }
@@ -295,6 +351,54 @@ impl Tuning {
         });
         path
     }
+
+    /// Check the cross-field invariants the protocol depends on.
+    /// `ClusterSpec::build` (and `run`) call this, so a bad tuning fails
+    /// fast at configuration time instead of corrupting a run.
+    pub fn validate(&self) -> Result<(), ScimpiError> {
+        let fail = |msg: String| Err(ScimpiError::InvalidConfig(msg));
+        // `eager_threshold == 0` disables the eager path outright (the
+        // rendezvous-only ablation), so the short/eager ordering only
+        // binds when eager messages can exist at all.
+        if self.eager_threshold > 0 && self.short_threshold >= self.eager_threshold {
+            return fail(format!(
+                "short_threshold ({}) must be below eager_threshold ({})",
+                self.short_threshold, self.eager_threshold
+            ));
+        }
+        if self.ring_slots < 1 {
+            return fail("ring_slots must be at least 1".into());
+        }
+        if self.eager_threshold > self.rendezvous_chunk * self.ring_slots {
+            return fail(format!(
+                "eager_threshold ({}) must not exceed rendezvous_chunk * ring_slots ({})",
+                self.eager_threshold,
+                self.rendezvous_chunk * self.ring_slots
+            ));
+        }
+        if self.ff_block_cost >= self.generic_visit_cost {
+            return fail(format!(
+                "ff_block_cost ({:?}) must be below generic_visit_cost ({:?})",
+                self.ff_block_cost, self.generic_visit_cost
+            ));
+        }
+        if self.timeout_backoff < 1.0 {
+            return fail(format!(
+                "timeout_backoff ({}) must be at least 1.0 or the timeout schedule shrinks",
+                self.timeout_backoff
+            ));
+        }
+        if self.eager_credits_bytes < self.eager_threshold {
+            return fail(format!(
+                "eager_credits_bytes ({}) must cover at least one eager_threshold message ({})",
+                self.eager_credits_bytes, self.eager_threshold
+            ));
+        }
+        if self.eager_credit_slots < 1 {
+            return fail("eager_credit_slots must be at least 1".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +411,77 @@ mod tests {
         assert!(t.short_threshold < t.eager_threshold);
         assert!(t.eager_threshold < t.rendezvous_chunk * t.ring_slots);
         assert!(t.ff_block_cost < t.generic_visit_cost);
+        t.validate().expect("the default tuning is valid");
+    }
+
+    /// Assert that `mutate` breaks exactly the invariant whose message
+    /// contains `needle`.
+    fn assert_invalid(mutate: impl FnOnce(&mut Tuning), needle: &str) {
+        let mut t = Tuning::default();
+        mutate(&mut t);
+        match t.validate() {
+            Err(ScimpiError::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "expected '{needle}' in '{msg}'")
+            }
+            other => panic!("expected InvalidConfig containing '{needle}', got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_short_at_or_above_eager() {
+        assert_invalid(|t| t.short_threshold = t.eager_threshold, "short_threshold");
+    }
+
+    #[test]
+    fn validate_accepts_disabled_eager_path() {
+        let t = Tuning {
+            eager_threshold: 0,
+            ..Tuning::default()
+        };
+        t.validate()
+            .expect("eager_threshold 0 is the rendezvous-only ablation");
+    }
+
+    #[test]
+    fn validate_rejects_eager_above_ring_capacity() {
+        assert_invalid(
+            |t| t.eager_threshold = t.rendezvous_chunk * t.ring_slots + 1,
+            "rendezvous_chunk * ring_slots",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_ring_slots() {
+        assert_invalid(|t| t.ring_slots = 0, "ring_slots");
+    }
+
+    #[test]
+    fn validate_rejects_ff_cost_at_or_above_generic() {
+        assert_invalid(|t| t.ff_block_cost = t.generic_visit_cost, "ff_block_cost");
+    }
+
+    #[test]
+    fn validate_rejects_shrinking_backoff() {
+        assert_invalid(|t| t.timeout_backoff = 0.5, "timeout_backoff");
+    }
+
+    #[test]
+    fn validate_rejects_credits_below_one_eager_message() {
+        assert_invalid(
+            |t| t.eager_credits_bytes = t.eager_threshold - 1,
+            "eager_credits_bytes",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_zero_credit_slots() {
+        assert_invalid(|t| t.eager_credit_slots = 0, "eager_credit_slots");
+    }
+
+    #[test]
+    fn default_overload_policy_is_stall() {
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::Stall);
+        assert_eq!(Tuning::default().overload_policy, OverloadPolicy::Stall);
     }
 
     #[test]

@@ -75,10 +75,14 @@ pub enum WaitKind {
     /// this rank, a fault-tolerant agreement round, or a declared-dead
     /// schedule charged while agreeing on membership.
     Recovery,
+    /// A sender blocked on exhausted eager credits under
+    /// `OverloadPolicy::Stall`, waiting for the receiver to match
+    /// messages and grant the credits back (flow-control backpressure).
+    Backpressure,
 }
 
 /// Number of wait kinds.
-pub const WAIT_KIND_COUNT: usize = 6;
+pub const WAIT_KIND_COUNT: usize = 7;
 
 impl WaitKind {
     /// Stable export names, indexable by `WaitKind as usize`.
@@ -89,6 +93,7 @@ impl WaitKind {
         "lock",
         "request_wait",
         "recovery",
+        "backpressure",
     ];
 
     /// The export name of this wait kind.

@@ -51,7 +51,8 @@ pub use export::{chrome_trace_json, counters_jsonl, write_chrome_trace, write_co
 pub use histogram::Histogram;
 pub use recorder::{
     add, counter_value, counters_snapshot, disable, enable, events_snapshot, inc, instant,
-    is_enabled, link_snapshots, record_link_snapshot, reset, set_thread_rank, span, take_events,
-    thread_rank, Arg, Counter, EventKind, LinkSnapshot, TraceEvent,
+    is_enabled, link_snapshots, max, peak_backlogs, record_link_snapshot, record_peak_backlog,
+    reset, set_thread_rank, span, take_events, thread_rank, Arg, Counter, EventKind, LinkSnapshot,
+    PeakBacklog, TraceEvent,
 };
 pub use report::Profile;

@@ -124,6 +124,22 @@ pub enum Counter {
     CheckpointBytes,
     /// Checkpoint restores performed (`Checkpointer::restore` calls).
     RecoveryRestores,
+    /// Eager sends that stalled on exhausted pair credits under
+    /// `OverloadPolicy::Stall` (one tick per message that had to wait).
+    EagerCreditStalls,
+    /// Peak outstanding eager credit bytes observed on any single
+    /// sender/receiver pair (a high-water gauge kept with `max`).
+    CreditBytesPeak,
+    /// Messages dropped at post time under `OverloadPolicy::Shed`.
+    MessagesShed,
+    /// Operations refused (or forcibly rerouted) because a resource
+    /// budget was exhausted: `OverloadPolicy::Error` sends, window and
+    /// staging budget misses, in-flight request cap hits.
+    BudgetDenials,
+    /// Transfers that left their preferred path because of governance:
+    /// credit-exhausted eager sends downgraded to rendezvous, pack paths
+    /// degraded Dma→Staged→DirectFf on staging-budget misses.
+    DegradedPaths,
 }
 
 impl Counter {
@@ -172,6 +188,11 @@ impl Counter {
         "checkpoints_taken",
         "checkpoint_bytes",
         "recovery_restores",
+        "eager_credit_stalls",
+        "credit_bytes_peak",
+        "messages_shed",
+        "budget_denials",
+        "degraded_paths",
     ];
 
     /// The export name of this counter.
@@ -181,7 +202,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 43;
+pub const COUNTER_COUNT: usize = 48;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -230,11 +251,25 @@ pub struct LinkSnapshot {
     pub per_link: Vec<(usize, u64, u64)>,
 }
 
+/// One rank's mailbox high-water marks over the virtual timeline (see
+/// `Mailbox::drain_backlog_events` in `scimpi`): peak queued envelopes
+/// and peak queued eager payload bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeakBacklog {
+    /// The receiving rank.
+    pub rank: u32,
+    /// Peak simultaneously queued envelopes (any head kind).
+    pub msgs: u64,
+    /// Peak simultaneously queued eager payload bytes.
+    pub eager_bytes: u64,
+}
+
 struct Recorder {
     enabled: AtomicBool,
     counters: [AtomicU64; COUNTER_COUNT],
     events: Mutex<Vec<TraceEvent>>,
     links: Mutex<Vec<LinkSnapshot>>,
+    backlogs: Mutex<Vec<PeakBacklog>>,
 }
 
 #[allow(clippy::declare_interior_mutable_const)]
@@ -245,6 +280,7 @@ static GLOBAL: Recorder = Recorder {
     counters: [ZERO; COUNTER_COUNT],
     events: Mutex::new(Vec::new()),
     links: Mutex::new(Vec::new()),
+    backlogs: Mutex::new(Vec::new()),
 };
 
 thread_local! {
@@ -287,6 +323,7 @@ pub fn reset() {
     }
     GLOBAL.events.lock().unwrap().clear();
     GLOBAL.links.lock().unwrap().clear();
+    GLOBAL.backlogs.lock().unwrap().clear();
     crate::attrib::reset();
     crate::report::reset();
 }
@@ -304,6 +341,16 @@ pub fn add(counter: Counter, n: u64) {
         return;
     }
     GLOBAL.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Raise a counter to at least `v` (a high-water gauge). No-op when
+/// disabled.
+#[inline]
+pub fn max(counter: Counter, v: u64) {
+    if !is_enabled() {
+        return;
+    }
+    GLOBAL.counters[counter as usize].fetch_max(v, Ordering::Relaxed);
 }
 
 /// Current value of a counter.
@@ -385,6 +432,27 @@ pub fn link_snapshots() -> Vec<LinkSnapshot> {
     GLOBAL.links.lock().unwrap().clone()
 }
 
+/// Record one rank's mailbox peak backlog (taken at teardown by
+/// `scimpi::run`). No-op when disabled.
+pub fn record_peak_backlog(rank: u32, msgs: u64, eager_bytes: u64) {
+    if !is_enabled() {
+        return;
+    }
+    GLOBAL.backlogs.lock().unwrap().push(PeakBacklog {
+        rank,
+        msgs,
+        eager_bytes,
+    });
+}
+
+/// Per-rank mailbox peak backlogs recorded by the most recent run,
+/// sorted by rank. Cleared by [`reset`].
+pub fn peak_backlogs() -> Vec<PeakBacklog> {
+    let mut v = GLOBAL.backlogs.lock().unwrap().clone();
+    v.sort_by_key(|b| b.rank);
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,9 +501,31 @@ mod tests {
     }
 
     #[test]
+    fn max_and_peak_backlogs_record_when_enabled() {
+        let _g = LOCK.lock().unwrap();
+        reset();
+        enable();
+        max(Counter::CreditBytesPeak, 10);
+        max(Counter::CreditBytesPeak, 5);
+        assert_eq!(counter_value(Counter::CreditBytesPeak), 10);
+        record_peak_backlog(1, 3, 4096);
+        record_peak_backlog(0, 2, 64);
+        let p = peak_backlogs();
+        assert_eq!((p[0].rank, p[0].msgs, p[0].eager_bytes), (0, 2, 64));
+        assert_eq!((p[1].rank, p[1].msgs, p[1].eager_bytes), (1, 3, 4096));
+        disable();
+        reset();
+        assert!(peak_backlogs().is_empty());
+    }
+
+    #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::RecoveryRestores as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::DegradedPaths as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::EagerCreditStalls.name(), "eager_credit_stalls");
+        assert_eq!(Counter::CreditBytesPeak.name(), "credit_bytes_peak");
+        assert_eq!(Counter::MessagesShed.name(), "messages_shed");
+        assert_eq!(Counter::BudgetDenials.name(), "budget_denials");
         assert_eq!(Counter::Revocations.name(), "revocations");
         assert_eq!(Counter::CheckpointsTaken.name(), "checkpoints_taken");
         assert_eq!(Counter::CorruptionsInjected.name(), "corruptions_injected");

@@ -327,7 +327,7 @@ mod tests {
                 rank: 0,
                 makespan_ps: 100,
                 busy_ps: [10, 20, 30],
-                wait_ps: [5, 5, 10, 0, 10, 0],
+                wait_ps: [5, 5, 10, 0, 10, 0, 0],
                 other_ps: 10,
             }],
             families: vec![SpanFamily {
