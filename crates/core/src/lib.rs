@@ -58,7 +58,7 @@ pub use osc::{AccumulateOp, WinMemory, Window};
 pub use p2p::{RecvBuf, RecvStatus, SendData};
 pub use recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
 pub use request::{PersistentRecv, PersistentSend, RecvDone, Request};
-pub use runtime::{run, ClusterSpec, ObsConfig, Rank};
+pub use runtime::{last_event_stats, run, Backend, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource, StagingLease, StagingLedger};
 pub use tuning::{IntegrityMode, NoncontigMode, OverloadPolicy, Tuning};
 
@@ -94,7 +94,7 @@ pub mod prelude {
     pub use crate::p2p::{RecvBuf, RecvStatus, SendData};
     pub use crate::recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
     pub use crate::request::{PersistentRecv, PersistentSend, RecvDone, Request};
-    pub use crate::runtime::{run, ClusterSpec, ObsConfig, Rank};
+    pub use crate::runtime::{run, Backend, ClusterSpec, ObsConfig, Rank};
     pub use crate::tuning::{IntegrityMode, OverloadPolicy, Tuning};
     pub use crate::Done;
 }

@@ -222,6 +222,9 @@ fn env_matches(e: &Envelope, src: Source, tag: TagSel) -> bool {
 pub struct Mailbox {
     q: Mutex<Queues>,
     cv: Condvar,
+    /// Event-backend tasks parked on an empty match (`docs/SCHEDULER.md`);
+    /// empty — and the wakes free — under the thread backend.
+    waiters: sched::WaitQueue,
 }
 
 impl Mailbox {
@@ -237,6 +240,7 @@ impl Mailbox {
         q.msgs.push_back(env);
         drop(q);
         self.cv.notify_all();
+        self.waiters.wake_all();
     }
 
     /// Deposit a protocol packet for `handle`.
@@ -249,6 +253,7 @@ impl Mailbox {
             .or_default()
             .push_back(ctrl);
         self.cv.notify_all();
+        self.waiters.wake_all();
     }
 
     /// Block until an envelope matching `(src, tag)` is available and
@@ -289,6 +294,25 @@ impl Mailbox {
         timeout: std::time::Duration,
         now: SimTime,
     ) -> Option<Envelope> {
+        if sched::is_event_task() && !timeout.is_zero() {
+            // Event backend: park instead of polling real time. A stall
+            // round plays the role of slice expiry — return None so the
+            // caller re-checks liveness, exactly like a timed-out wait.
+            let mut q = self.q.lock().unwrap();
+            loop {
+                if let Some(idx) = q.msgs.iter().position(|e| env_matches(e, src, tag)) {
+                    let env = q.msgs.remove(idx).expect("index valid under lock");
+                    q.log_removed(&env, now);
+                    return Some(env);
+                }
+                self.waiters.register_current();
+                drop(q);
+                if sched::park(now) == sched::Wake::Stalled {
+                    return None;
+                }
+                q = self.q.lock().unwrap();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.q.lock().unwrap();
         loop {
@@ -351,6 +375,27 @@ impl Mailbox {
     /// time. Returns `None` on expiry. See [`Self::match_recv_for`] for
     /// the virtual-time contract.
     pub fn wait_ctrl_for(&self, handle: u64, timeout: std::time::Duration) -> Option<Ctrl> {
+        if sched::is_event_task() && !timeout.is_zero() {
+            let mut q = self.q.lock().unwrap();
+            loop {
+                if let Some(dq) = q.ctrl.get_mut(&handle) {
+                    if let Some(c) = dq.pop_front() {
+                        if dq.is_empty() {
+                            q.ctrl.remove(&handle);
+                        }
+                        return Some(c);
+                    }
+                }
+                self.waiters.register_current();
+                drop(q);
+                // Ctrl waits carry no timestamp of their own: park at the
+                // task's last recorded virtual time.
+                if sched::park_stale() == sched::Wake::Stalled {
+                    return None;
+                }
+                q = self.q.lock().unwrap();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.q.lock().unwrap();
         loop {
@@ -389,7 +434,9 @@ impl Mailbox {
         let mut q = self.q.lock().unwrap();
         if let Some(i) = q.posted.iter().position(|p| p.ticket == ticket) {
             q.posted.remove(i);
+            drop(q);
             self.cv.notify_all();
+            self.waiters.wake_all();
         }
     }
 
@@ -403,6 +450,7 @@ impl Mailbox {
                 // Our posted entry left the queue: later receives it was
                 // shadowing may now be eligible.
                 self.cv.notify_all();
+                self.waiters.wake_all();
                 return env;
             }
             q = self.cv.wait(q).unwrap();
@@ -419,6 +467,23 @@ impl Mailbox {
         timeout: std::time::Duration,
         now: SimTime,
     ) -> Option<Envelope> {
+        if sched::is_event_task() && !timeout.is_zero() {
+            let mut q = self.q.lock().unwrap();
+            loop {
+                if let Some(env) = q.gated_match(ticket) {
+                    q.log_removed(&env, now);
+                    self.cv.notify_all();
+                    self.waiters.wake_all();
+                    return Some(env);
+                }
+                self.waiters.register_current();
+                drop(q);
+                if sched::park(now) == sched::Wake::Stalled {
+                    return None;
+                }
+                q = self.q.lock().unwrap();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut q = self.q.lock().unwrap();
         loop {

@@ -197,7 +197,7 @@ impl Rank {
         };
         Ok(AllocMem {
             rank: self.rank,
-            region: Arc::clone(&self.world.alloc_regions[self.rank]),
+            region: self.world.alloc_region(self.rank),
             offset,
             len,
         })

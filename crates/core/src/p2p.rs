@@ -1343,19 +1343,49 @@ impl Rank {
                 .map(|st| self.status_to_logical(st));
         }
         let mut send_clock = self.clock.clone();
+        // Event backend: the send half runs as its own scheduler task so
+        // its blocking sites (ring slots, CTS waits) park in virtual time
+        // concurrently with the recv half below.
+        let task = sched::spawn_handle(rank as u32, send_clock.now());
         std::thread::scope(|scope| {
             let sender = scope.spawn({
                 let world = Arc::clone(&world);
+                let task = task.clone();
                 move || {
                     // Bind the helper to the rank's trace lane but leave
                     // it out of attribution (its clock is a fork; the
                     // rank accounts the join below as a request-wait).
                     obs::set_thread_rank(rank as u32);
-                    let res = finish_send_inner(&world, rank, &mut send_clock, op);
-                    (res, send_clock)
+                    match task {
+                        Some(h) => {
+                            let out =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    h.adopt();
+                                    finish_send_inner(&world, rank, &mut send_clock, op)
+                                }));
+                            match out {
+                                Ok(res) => {
+                                    sched::retire();
+                                    (res, send_clock)
+                                }
+                                Err(p) => {
+                                    sched::abort_current(p);
+                                    sched::retire();
+                                    std::panic::panic_any(sched::Aborted);
+                                }
+                            }
+                        }
+                        None => {
+                            let res = finish_send_inner(&world, rank, &mut send_clock, op);
+                            (res, send_clock)
+                        }
+                    }
                 }
             });
             let status = recv_into_inner(&world, rank, &mut self.clock, ticket, src, rbuf);
+            if let Some(h) = &task {
+                sched::join_task(h);
+            }
             let (send_res, send_clock) = sender.join().expect("send side panicked");
             // Joining the helper's forked clock: any jump is the rank
             // blocked on its own outstanding send half.

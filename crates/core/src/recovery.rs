@@ -317,6 +317,7 @@ fn shrink_inner(
             .insert(new_epoch, barrier);
         world.clear_revoke();
         world.current_epoch.store(new_epoch, Ordering::SeqCst);
+        world.epoch_waiters.wake_all();
     }
     // Everyone (leader included): pick up the new epoch's barrier. Real
     // time only — no virtual cost for registration latency.
@@ -326,7 +327,14 @@ fn shrink_inner(
                 break Arc::clone(b);
             }
         }
-        std::thread::sleep(std::time::Duration::from_micros(200));
+        if sched::is_event_task() {
+            // Park until the leader publishes the epoch; a stalled wake
+            // simply re-runs the check like a sleep expiry would.
+            world.epoch_waiters.register_current();
+            sched::park_stale();
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
     };
     rank.members = Arc::new(members);
     rank.my_index = my_index;

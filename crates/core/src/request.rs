@@ -139,7 +139,12 @@ impl OwnedSend {
 enum State<T> {
     /// The transfer is being driven on an engine thread against a forked
     /// clock; the handle yields the fork's final state and the result.
-    Running(JoinHandle<(Clock, Result<T, ScimpiError>)>),
+    /// Under the event backend the engine thread is also a scheduler
+    /// task, carried here so completion can join it in virtual time.
+    Running(
+        JoinHandle<(Clock, Result<T, ScimpiError>)>,
+        Option<sched::Handle>,
+    ),
     /// The transfer's virtual end time is known but the completion has
     /// not been folded into the rank's clock yet.
     Ready(SimTime, Result<T, ScimpiError>),
@@ -195,13 +200,45 @@ impl<T: Send + 'static> Request<T> {
         F: FnOnce(&mut Clock) -> Result<T, ScimpiError> + Send + 'static,
     {
         let id = rank.rank as u32;
+        // Under the event backend the engine runs as a scheduler task so
+        // its blocking sites park in virtual time like any rank.
+        let task = sched::spawn_handle(id, clock.now());
+        let child_task = task.clone();
         let handle = std::thread::spawn(move || {
             obs::set_thread_rank(id);
-            let res = f(&mut clock);
-            (clock, res)
+            match child_task {
+                Some(h) => {
+                    // Adoption sits inside the catch_unwind: waiting for
+                    // the first grant can itself abort if another task
+                    // panics before this one ever runs.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        h.adopt();
+                        f(&mut clock)
+                    }));
+                    match out {
+                        Ok(res) => {
+                            sched::retire();
+                            (clock, res)
+                        }
+                        Err(p) => {
+                            // Record the real payload with the scheduler
+                            // (first panic wins), release the run token,
+                            // and surface the teardown sentinel through
+                            // the JoinHandle for settle()/drop to see.
+                            sched::abort_current(p);
+                            sched::retire();
+                            std::panic::panic_any(sched::Aborted);
+                        }
+                    }
+                }
+                None => {
+                    let res = f(&mut clock);
+                    (clock, res)
+                }
+            }
         });
         Request {
-            state: Some(State::Running(handle)),
+            state: Some(State::Running(handle, task)),
             posted_at,
             kind,
             drop_bin: Arc::clone(&rank.drop_bin),
@@ -212,10 +249,16 @@ impl<T: Send + 'static> Request<T> {
     /// `Ready` or `Done`. Blocks real time only; the completion verdict
     /// stays a pure virtual-time comparison.
     fn settle(&mut self) {
-        if let Some(State::Running(_)) = self.state {
-            let Some(State::Running(handle)) = self.state.take() else {
+        if let Some(State::Running(..)) = self.state {
+            let Some(State::Running(handle, task)) = self.state.take() else {
                 unreachable!()
             };
+            // Event backend: wait for the engine task in virtual time
+            // first — joining the OS thread directly while holding the
+            // run token would deadlock the scheduler.
+            if let Some(h) = &task {
+                sched::join_task(h);
+            }
             let (clock, res) = match handle.join() {
                 Ok(v) => v,
                 // The engine thread panicked (ErrorsAreFatal escalation):
@@ -230,7 +273,7 @@ impl<T: Send + 'static> Request<T> {
         self.settle();
         match self.state.as_ref().expect("request state present") {
             State::Ready(end, _) | State::Done(end, _) => *end,
-            State::Running(_) => unreachable!("settled above"),
+            State::Running(..) => unreachable!("settled above"),
         }
     }
 
@@ -243,21 +286,34 @@ impl<T> Drop for Request<T> {
     fn drop(&mut self) {
         match self.state.take() {
             None | Some(State::Done(..)) => {}
-            Some(State::Running(handle)) => match handle.join() {
-                Ok((clock, res)) => {
-                    obs::inc(obs::Counter::RequestsCompleted);
-                    obs::inc(obs::Counter::RequestsCompletedByDrop);
-                    self.drop_bin.push(clock.now(), res.err());
+            Some(State::Running(handle, task)) => {
+                if let Some(h) = &task {
+                    if std::thread::panicking() {
+                        // Dropped mid-unwind on the event backend:
+                        // parking to join would panic again (the abort
+                        // sentinel) and turn the unwind into an abort.
+                        // Detach — the scheduler's abort broadcast wakes
+                        // and retires the engine task on its own.
+                        return;
+                    }
+                    sched::join_task(h);
                 }
-                Err(p) => {
-                    // Engine-thread panic (fatal escalation). If we are
-                    // already unwinding, swallow it — a double panic
-                    // aborts without a message.
-                    if !std::thread::panicking() {
-                        std::panic::resume_unwind(p);
+                match handle.join() {
+                    Ok((clock, res)) => {
+                        obs::inc(obs::Counter::RequestsCompleted);
+                        obs::inc(obs::Counter::RequestsCompletedByDrop);
+                        self.drop_bin.push(clock.now(), res.err());
+                    }
+                    Err(p) => {
+                        // Engine-thread panic (fatal escalation). If we are
+                        // already unwinding, swallow it — a double panic
+                        // aborts without a message.
+                        if !std::thread::panicking() {
+                            std::panic::resume_unwind(p);
+                        }
                     }
                 }
-            },
+            }
             Some(State::Ready(end, res)) => {
                 obs::inc(obs::Counter::RequestsCompleted);
                 obs::inc(obs::Counter::RequestsCompletedByDrop);
@@ -632,7 +688,7 @@ impl Rank {
                 req.state = Some(State::Done(end, res.clone()));
                 res
             }
-            State::Running(_) => unreachable!("end_time settles the request"),
+            State::Running(..) => unreachable!("end_time settles the request"),
         }
     }
 

@@ -1,9 +1,19 @@
-//! Cluster runtime: rank threads over the simulated fabric.
+//! Cluster runtime: rank execution over the simulated fabric.
 //!
-//! [`run`] spawns one OS thread per MPI rank and executes the user
-//! closure in each; ranks communicate through the [`crate::mailbox`]
-//! transport and the SCI fabric. Virtual time lives in each rank's
-//! [`simclock::Clock`]; `MPI_Wtime` reads it.
+//! [`run`] executes the user closure on every MPI rank; ranks communicate
+//! through the [`crate::mailbox`] transport and the SCI fabric. Virtual
+//! time lives in each rank's [`simclock::Clock`]; `MPI_Wtime` reads it.
+//!
+//! Two execution backends share one protocol implementation (selected by
+//! [`ClusterSpec::backend`], see `docs/SCHEDULER.md`):
+//!
+//! * [`Backend::Thread`] — one free-running OS thread per rank, blocking
+//!   on condvars with real-time poll slices (the reference backend);
+//! * [`Backend::Event`] — ranks are cooperative tasks under a
+//!   deterministic discrete-event scheduler; exactly one task runs at a
+//!   time and blocking sites park on the virtual-time event queue, which
+//!   decouples simulated rank count from host threads' wall-clock cost
+//!   and scales to 10k+ ranks.
 
 use crate::error::{ErrorMode, ScimpiError};
 use crate::mailbox::Mailbox;
@@ -15,14 +25,46 @@ use smi::{ProcId, SharedRegion, ShregAllocator, SmiWorld, TimeBarrier};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Size of each rank's `MPI_Alloc_mem` shared-segment pool.
 pub const ALLOC_POOL_BYTES: usize = 8 << 20;
 
 /// Real-time polling slice for liveness-guarded protocol waits. Purely a
-/// responsiveness/CPU trade-off: virtual time never depends on it.
+/// responsiveness/CPU trade-off: virtual time never depends on it. Under
+/// the event backend the same waits park on the scheduler instead and a
+/// stall round substitutes for slice expiry.
 pub(crate) const POLL_SLICE: std::time::Duration = std::time::Duration::from_millis(10);
+
+/// Stack size for event-backend rank tasks. Parked tasks touch only a
+/// few pages, so 10k ranks cost ~10 GiB of *address space* but only the
+/// touched pages of RSS; the thread backend keeps the platform default.
+const EVENT_TASK_STACK: usize = 1 << 20;
+
+/// Execution backend for [`run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// One free-running OS thread per rank (the reference
+    /// implementation). Wall-clock cost scales with rank count.
+    #[default]
+    Thread,
+    /// Deterministic discrete-event scheduler: ranks are cooperative
+    /// tasks dispatched in `(virtual time, rank, sequence)` order by a
+    /// single run token. Bit-identical results to [`Backend::Thread`]
+    /// (enforced by `tests/backend_diff.rs`) at a fraction of the
+    /// scheduling cost for large rank counts.
+    Event,
+}
+
+/// Statistics of the most recent [`Backend::Event`] run on this thread's
+/// process (None before the first event run). Benchmarks read the event
+/// count and queue high-water mark from here.
+static LAST_EVENT_STATS: Mutex<Option<sched::Stats>> = Mutex::new(None);
+
+/// Scheduler statistics of the most recent [`Backend::Event`] run.
+pub fn last_event_stats() -> Option<sched::Stats> {
+    *LAST_EVENT_STATS.lock().unwrap()
+}
 
 /// Everything needed to launch a simulated cluster run.
 #[derive(Clone, Debug)]
@@ -45,6 +87,9 @@ pub struct ClusterSpec {
     /// (the default) or hand errors back through the `Result` returned by
     /// every communication verb.
     pub errors: ErrorMode,
+    /// Execution backend: free-running threads (default) or the
+    /// deterministic event scheduler.
+    pub backend: Backend,
 }
 
 impl ClusterSpec {
@@ -59,6 +104,7 @@ impl ClusterSpec {
             tuning: Tuning::default(),
             obs: ObsConfig::disabled(),
             errors: ErrorMode::default(),
+            backend: Backend::default(),
         }
     }
 
@@ -113,6 +159,12 @@ impl ClusterSpec {
         self
     }
 
+    /// Builder: replace the execution backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Finish the builder chain, validating the spec. Purely a
     /// readability terminator: the spec is already usable, but `build()`
     /// catches empty clusters at construction instead of inside [`run`].
@@ -157,6 +209,10 @@ pub(crate) struct PairRing {
     /// is always current) at zero virtual cost.
     turn: Mutex<TurnState>,
     turn_cv: Condvar,
+    /// Event-backend tasks parked on an empty free list.
+    waiters: sched::WaitQueue,
+    /// Event-backend tasks parked on a turn ticket.
+    turn_waiters: sched::WaitQueue,
 }
 
 #[derive(Default)]
@@ -174,6 +230,8 @@ impl PairRing {
             chunk,
             turn: Mutex::new(TurnState::default()),
             turn_cv: Condvar::new(),
+            waiters: sched::WaitQueue::new(),
+            turn_waiters: sched::WaitQueue::new(),
         }
     }
 
@@ -192,8 +250,18 @@ impl PairRing {
     /// and panic paths, so a failed send never wedges the pair.
     pub fn await_turn(&self, ticket: u64) -> TurnGuard<'_> {
         let mut t = self.turn.lock().unwrap();
-        while t.current != ticket {
-            t = self.turn_cv.wait(t).unwrap();
+        if sched::is_event_task() {
+            while t.current != ticket {
+                self.turn_waiters.register_current();
+                drop(t);
+                // Turns carry no timestamp: park at the task's last time.
+                sched::park_stale();
+                t = self.turn.lock().unwrap();
+            }
+        } else {
+            while t.current != ticket {
+                t = self.turn_cv.wait(t).unwrap();
+            }
         }
         TurnGuard { ring: self, ticket }
     }
@@ -210,7 +278,9 @@ impl Drop for TurnGuard<'_> {
         let mut t = self.ring.turn.lock().unwrap();
         debug_assert_eq!(t.current, self.ticket, "turn released out of order");
         t.current = self.ticket + 1;
+        drop(t);
         self.ring.turn_cv.notify_all();
+        self.ring.turn_waiters.wake_all();
     }
 }
 
@@ -222,6 +292,22 @@ impl PairRing {
     /// liveness between slices, and charge virtual time only from the
     /// deterministic timeout schedule.
     pub fn acquire_for(&self, clock: &mut Clock, timeout: std::time::Duration) -> Option<usize> {
+        if sched::is_event_task() && !timeout.is_zero() {
+            let mut free = self.free.lock().unwrap();
+            loop {
+                if let Some((slot, freed_at)) = free.pop_front() {
+                    drop(free);
+                    clock.merge(freed_at);
+                    return Some(slot);
+                }
+                self.waiters.register_current();
+                drop(free);
+                if sched::park(clock.now()) == sched::Wake::Stalled {
+                    return None;
+                }
+                free = self.free.lock().unwrap();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut free = self.free.lock().unwrap();
         loop {
@@ -242,6 +328,7 @@ impl PairRing {
     pub fn release(&self, slot: usize, at: SimTime) {
         self.free.lock().unwrap().push_back((slot, at));
         self.cv.notify_all();
+        self.waiters.wake_all();
     }
 
     /// Byte offset of a slot.
@@ -282,6 +369,8 @@ pub(crate) struct PairCredits {
     /// independent of real-time interleaving.
     granted: Mutex<std::collections::VecDeque<(usize, SimTime)>>,
     cv: Condvar,
+    /// Event-backend tasks parked in a backpressure stall.
+    waiters: sched::WaitQueue,
     /// Full budget, for peak-outstanding accounting and recovery resets.
     budget_bytes: usize,
     budget_slots: usize,
@@ -293,6 +382,7 @@ impl PairCredits {
             avail: Mutex::new((bytes, slots)),
             granted: Mutex::new(std::collections::VecDeque::new()),
             cv: Condvar::new(),
+            waiters: sched::WaitQueue::new(),
             budget_bytes: bytes,
             budget_slots: slots,
         }
@@ -321,6 +411,7 @@ impl PairCredits {
     pub fn deposit(&self, len: usize, at: SimTime) {
         self.granted.lock().unwrap().push_back((len, at));
         self.cv.notify_all();
+        self.waiters.wake_all();
     }
 
     /// Sender side, at a synchronisation point: fold every deposited
@@ -346,6 +437,22 @@ impl PairCredits {
     /// The popped grant is NOT yet spendable: the caller merges its
     /// timestamp and then folds it in with [`PairCredits::restore`].
     pub fn await_grant_for(&self, timeout: std::time::Duration) -> Option<(usize, SimTime)> {
+        if sched::is_event_task() && !timeout.is_zero() {
+            let mut g = self.granted.lock().unwrap();
+            loop {
+                if let Some(grant) = g.pop_front() {
+                    return Some(grant);
+                }
+                self.waiters.register_current();
+                drop(g);
+                // Grant waits carry no timestamp: park at the task's
+                // last recorded time.
+                if sched::park_stale() == sched::Wake::Stalled {
+                    return None;
+                }
+                g = self.granted.lock().unwrap();
+            }
+        }
         let deadline = std::time::Instant::now() + timeout;
         let mut g = self.granted.lock().unwrap();
         loop {
@@ -381,6 +488,7 @@ impl PairCredits {
         self.granted.lock().unwrap().clear();
         *self.avail.lock().unwrap() = (self.budget_bytes, self.budget_slots);
         self.cv.notify_all();
+        self.waiters.wake_all();
     }
 }
 
@@ -406,7 +514,10 @@ pub(crate) struct WorldState {
     pub rings: Mutex<HashMap<(usize, usize), Arc<PairRing>>>,
     pub next_handle: AtomicU64,
     pub alloc_pools: Vec<Mutex<ShregAllocator>>,
-    pub alloc_regions: Vec<Arc<SharedRegion>>,
+    /// Per-rank `MPI_Alloc_mem` backing regions, created on first use:
+    /// an eager 8 MiB segment per rank would commit 80 GiB at 10k ranks
+    /// before any rank allocates a byte.
+    pub alloc_regions: Vec<OnceLock<Arc<SharedRegion>>>,
     pub coll: Mutex<HashMap<u64, CollSlot>>,
     pub windows: Mutex<HashMap<u64, Arc<dyn Any + Send + Sync>>>,
     pub errors: ErrorMode,
@@ -430,6 +541,9 @@ pub(crate) struct WorldState {
     /// Per-rank staging-buffer ledgers governing pack-path selection
     /// ([`Tuning::staging_budget_bytes`]). Indexed by world rank.
     pub staging: Vec<crate::sink::StagingLedger>,
+    /// Event-backend tasks parked waiting for a shrink leader to publish
+    /// a new membership epoch (see `recovery::shrink`).
+    pub epoch_waiters: sched::WaitQueue,
 }
 
 pub(crate) struct CollSlot {
@@ -441,6 +555,15 @@ impl WorldState {
     /// Allocate a globally unique protocol handle.
     pub fn handle(&self) -> u64 {
         self.next_handle.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The `MPI_Alloc_mem` backing region of `rank`, created on first
+    /// use (its segment commits [`ALLOC_POOL_BYTES`] of host memory).
+    pub fn alloc_region(&self, rank: usize) -> Arc<SharedRegion> {
+        Arc::clone(
+            self.alloc_regions[rank]
+                .get_or_init(|| self.smi.create_region(ProcId(rank), ALLOC_POOL_BYTES)),
+        )
     }
 
     /// The rendezvous ring for messages `src → dst`, created lazily.
@@ -1016,9 +1139,8 @@ where
     let size = spec.num_ranks();
     let mut mailboxes = Vec::with_capacity(size);
     mailboxes.resize_with(size, Mailbox::new);
-    let alloc_regions: Vec<Arc<SharedRegion>> = (0..size)
-        .map(|r| smi.create_region(ProcId(r), ALLOC_POOL_BYTES))
-        .collect();
+    let alloc_regions: Vec<OnceLock<Arc<SharedRegion>>> =
+        (0..size).map(|_| OnceLock::new()).collect();
     let alloc_pools: Vec<Mutex<ShregAllocator>> = (0..size)
         .map(|_| Mutex::new(ShregAllocator::new(ALLOC_POOL_BYTES)))
         .collect();
@@ -1045,49 +1167,116 @@ where
         staging: (0..size)
             .map(|_| crate::sink::StagingLedger::new(spec.tuning.staging_budget_bytes))
             .collect(),
+        epoch_waiters: sched::WaitQueue::new(),
     });
 
-    let results = std::thread::scope(|scope| {
-        let mut joins = Vec::with_capacity(size);
-        for rank in 0..size {
-            let world = Arc::clone(&world);
-            let f = &f;
-            joins.push(scope.spawn(move || {
-                obs::set_thread_rank(rank as u32);
-                // Only rank threads contribute to time attribution;
-                // engine/helper threads with forked clocks stay unmarked
-                // so no picosecond is charged twice.
-                obs::attrib::set_thread_attrib(true);
-                let mut r = Rank {
-                    rank,
-                    size,
-                    clock: Clock::new(),
-                    world,
-                    coll_seq: 0,
-                    drop_bin: Arc::new(crate::request::DropBin::default()),
-                    pending_requests: 0,
-                    members: Arc::new((0..size).collect()),
-                    my_index: rank,
-                    epoch: 0,
-                    epoch_barrier: None,
-                };
-                let out = f(&mut r);
-                // Teardown: requests dropped inside `f` completed on
-                // their engine threads; fold their virtual time in so a
-                // fire-and-forget isend is never lost.
-                r.reap_dropped();
-                obs::attrib::record_makespan(rank as u32, r.clock.now());
-                out
-            }));
+    let rank_body = |rank: usize, world: Arc<WorldState>, f: &F| -> T {
+        let mut r = Rank {
+            rank,
+            size,
+            clock: Clock::new(),
+            world,
+            coll_seq: 0,
+            drop_bin: Arc::new(crate::request::DropBin::default()),
+            pending_requests: 0,
+            members: Arc::new((0..size).collect()),
+            my_index: rank,
+            epoch: 0,
+            epoch_barrier: None,
+        };
+        let out = f(&mut r);
+        // Teardown: requests dropped inside `f` completed on
+        // their engine threads; fold their virtual time in so a
+        // fire-and-forget isend is never lost.
+        r.reap_dropped();
+        obs::attrib::record_makespan(rank as u32, r.clock.now());
+        out
+    };
+
+    let results = match spec.backend {
+        Backend::Thread => std::thread::scope(|scope| {
+            let mut joins = Vec::with_capacity(size);
+            for rank in 0..size {
+                let world = Arc::clone(&world);
+                let f = &f;
+                let rank_body = &rank_body;
+                joins.push(scope.spawn(move || {
+                    obs::set_thread_rank(rank as u32);
+                    // Only rank threads contribute to time attribution;
+                    // engine/helper threads with forked clocks stay unmarked
+                    // so no picosecond is charged twice.
+                    obs::attrib::set_thread_attrib(true);
+                    rank_body(rank, world, f)
+                }));
+            }
+            joins
+                .into_iter()
+                .map(|j| match j.join() {
+                    Ok(v) => v,
+                    Err(p) => std::panic::resume_unwind(p),
+                })
+                .collect()
+        }),
+        Backend::Event => {
+            let sched = sched::Scheduler::new(size);
+            let mut outs: Vec<Option<T>> = std::thread::scope(|scope| {
+                let mut joins = Vec::with_capacity(size);
+                for rank in 0..size {
+                    let world = Arc::clone(&world);
+                    let f = &f;
+                    let rank_body = &rank_body;
+                    let h = sched.create_root(rank as u32);
+                    let builder = std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(EVENT_TASK_STACK);
+                    joins.push(
+                        builder
+                            .spawn_scoped(scope, move || {
+                                obs::set_thread_rank(rank as u32);
+                                obs::attrib::set_thread_attrib(true);
+                                // Adoption must sit inside the catch_unwind:
+                                // waiting for the first grant can itself
+                                // abort if another task panics first.
+                                let out =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        h.adopt();
+                                        rank_body(rank, world, f)
+                                    }));
+                                match out {
+                                    Ok(v) => {
+                                        sched::retire();
+                                        Some(v)
+                                    }
+                                    Err(p) => {
+                                        sched::abort_current(p);
+                                        sched::retire();
+                                        None
+                                    }
+                                }
+                            })
+                            .expect("spawn rank task"),
+                    );
+                }
+                joins
+                    .into_iter()
+                    .map(|j| j.join().unwrap_or(None))
+                    .collect()
+            });
+            *LAST_EVENT_STATS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(sched.stats());
+            if let Some(p) = sched.take_panic() {
+                std::panic::resume_unwind(p);
+            }
+            outs.iter_mut()
+                .enumerate()
+                .map(|(rank, o)| {
+                    o.take()
+                        .unwrap_or_else(|| panic!("rank {rank} produced no result"))
+                })
+                .collect()
         }
-        joins
-            .into_iter()
-            .map(|j| match j.join() {
-                Ok(v) => v,
-                Err(p) => std::panic::resume_unwind(p),
-            })
-            .collect()
-    });
+    };
 
     if spec.obs.enabled {
         // Deterministic peak-backlog gauge: each mailbox logged

@@ -1,0 +1,846 @@
+//! # sched — deterministic discrete-event task scheduler
+//!
+//! Replaces free-running thread-per-rank execution with a **cooperative
+//! virtual-time scheduler**: every rank (and every request-engine worker)
+//! is a *task* backed by an OS thread, but exactly one task holds the
+//! **run token** at any moment. A task keeps the token until it reaches a
+//! blocking site (mailbox match, ring-slot acquisition, barrier, lock,
+//! request wait, backpressure stall) and parks; parking hands the token to
+//! the runnable task with the smallest `(virtual time, rank, sequence)`
+//! key. Dispatch order is therefore a pure function of the simulation
+//! state — same seed, same interleaving, bit for bit — and wall-clock
+//! cost per rank is one parked thread, not one spinning poll loop.
+//!
+//! The protocol code stays *scheduler-agnostic*: blocking primitives call
+//! [`is_event_task`] and either park here (event backend) or fall through
+//! to their existing `Condvar` timeout loop (thread backend). Producers
+//! call [`WaitQueue::wake_all`] next to their existing `notify_all`; on
+//! the thread backend the queue is empty and the call is a no-op.
+//!
+//! ## Ordering and tie-break
+//!
+//! The ready queue is a min-heap over `(SimTime, rank, seq, task-id)`:
+//! earliest virtual time first, then lowest rank, then creation sequence
+//! number (so a rank's request-engine tasks dispatch in post order).
+//! A task parks *at* its current virtual time; primitives with no
+//! timestamp of their own (turn tickets, task joins) park at the task's
+//! last recorded time, which keeps the key deterministic.
+//!
+//! ## Stalls — virtual-time liveness
+//!
+//! The thread backend discovers rank death, revocation, and lost grants
+//! by letting its condvar waits time out every `POLL_SLICE` of *real*
+//! time. The event backend has no real time, so when every live task is
+//! blocked and nothing is in flight the scheduler runs a **stall round**:
+//! all blocked tasks wake with [`Wake::Stalled`] and re-check liveness
+//! (dead peer? revoked epoch? cancelled barrier?) exactly as a timed-out
+//! wait would. Progress is counted (unparks, adoptions, retirements);
+//! consecutive stall rounds without progress mean a genuine deadlock and
+//! panic with a task-table dump instead of hanging CI.
+//!
+//! See `docs/SCHEDULER.md` for the full model.
+
+use simclock::SimTime;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::panic_any;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Sentinel panic payload used to unwind tasks after another task has
+/// aborted the run. Wrappers around task bodies treat it as "shut down
+/// quietly"; the first *real* panic is stored and re-thrown by the
+/// launcher. Taking the run down is the abort's job, not every task's.
+#[derive(Debug, Clone, Copy)]
+pub struct Aborted;
+
+/// Why a parked task resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// A producer woke this task; its condition may now hold.
+    Woken,
+    /// Scheduler stall round: nothing else can run. Re-check liveness
+    /// (dead peers, revocation, cancellation) and park again.
+    Stalled,
+}
+
+/// Identifies a task within its [`Scheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(usize);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Created but its thread has not adopted it yet.
+    Created,
+    /// In the ready heap awaiting dispatch.
+    Ready,
+    /// Holds the run token.
+    Running,
+    /// Parked at a blocking site.
+    Blocked,
+    /// Finished.
+    Exited,
+}
+
+struct Task {
+    rank: u32,
+    seq: u64,
+    /// Virtual time of the last park — the heap key's primary component.
+    time: SimTime,
+    status: Status,
+    /// A wake arrived while the task was not parked; the next park
+    /// returns immediately instead of blocking (no lost wakeups).
+    pending_wake: bool,
+    /// The pending dispatch is a stall round, not a producer wake.
+    stalled: bool,
+    root: bool,
+    /// Per-task condvar (all waiting on the scheduler mutex) so a grant
+    /// wakes exactly one thread instead of storming all 10k of them.
+    cv: Arc<Condvar>,
+    /// Tasks parked in `join` on this task's exit.
+    exit_waiters: Vec<usize>,
+}
+
+struct Inner {
+    tasks: Vec<Task>,
+    /// Min-heap of runnable tasks keyed `(time, rank, seq, id)`.
+    ready: BinaryHeap<Reverse<(SimTime, u32, u64, usize)>>,
+    /// The task currently holding the run token, if any.
+    running: Option<usize>,
+    /// Root tasks created but not yet adopted; dispatch is gated until
+    /// every root has checked in so the first grant is deterministic.
+    gate: usize,
+    /// Dynamically created tasks not yet adopted by their thread.
+    /// Dispatch *waits* while this is non-zero: a freshly spawned task
+    /// must be in the heap before the next pop, or adoption timing
+    /// (real time!) would leak into dispatch order.
+    incoming: usize,
+    blocked: usize,
+    live: usize,
+    next_seq: u64,
+    /// Unparks + adoptions + retirements — the progress measure that
+    /// separates productive stall rounds from deadlock.
+    progress: u64,
+    progress_at_stall: u64,
+    barren_stalls: u32,
+    aborted: bool,
+    stats: Stats,
+}
+
+/// Scheduler run statistics, for benches and the megascale smoke test.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stats {
+    /// Total park/dispatch events processed.
+    pub events: u64,
+    /// High-water mark of the ready heap (memory-boundedness proxy).
+    pub ready_high_water: usize,
+    /// Peak number of simultaneously live tasks.
+    pub tasks_high_water: usize,
+    /// Stall rounds run (deterministic liveness sweeps).
+    pub stalls: u64,
+}
+
+/// A deterministic cooperative scheduler over OS-thread-backed tasks.
+pub struct Scheduler {
+    inner: Mutex<Inner>,
+    /// Signalled on adoption; dispatchers wait here while `incoming > 0`.
+    adopt_cv: Condvar,
+    /// First non-[`Aborted`] panic payload, re-thrown by the launcher.
+    first_panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+// Scheduler-internal locks tolerate poisoning: a panicking task unwinds
+// through park/retire and the launcher still needs the lock to tear the
+// run down and re-throw the stored panic.
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Scheduler {
+    /// A scheduler expecting `roots` root tasks (one per rank). Dispatch
+    /// opens once all roots have been adopted.
+    pub fn new(roots: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            inner: Mutex::new(Inner {
+                tasks: Vec::with_capacity(roots),
+                ready: BinaryHeap::with_capacity(roots),
+                running: None,
+                gate: roots,
+                incoming: 0,
+                blocked: 0,
+                live: 0,
+                next_seq: 0,
+                progress: 0,
+                progress_at_stall: 0,
+                barren_stalls: 0,
+                aborted: false,
+                stats: Stats::default(),
+            }),
+            adopt_cv: Condvar::new(),
+            first_panic: Mutex::new(None),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        relock(self.inner.lock())
+    }
+
+    /// Create a root task for `rank` starting at virtual time zero.
+    /// Called by the launcher before spawning the rank's thread; the
+    /// thread itself must [`Handle::adopt`] the returned handle.
+    pub fn create_root(self: &Arc<Self>, rank: u32) -> Handle {
+        let mut g = self.lock();
+        let id = Self::create_in(&mut g, rank, SimTime::ZERO, true);
+        Handle {
+            sched: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Create a dynamic task (request engine, sendrecv fork) starting at
+    /// `time`. The creating task keeps running; dispatch will not pop the
+    /// heap again until the new task's thread has adopted it.
+    pub fn create_task(self: &Arc<Self>, rank: u32, time: SimTime) -> Handle {
+        let mut g = self.lock();
+        g.incoming += 1;
+        let id = Self::create_in(&mut g, rank, time, false);
+        Handle {
+            sched: Arc::clone(self),
+            id,
+        }
+    }
+
+    fn create_in(g: &mut Inner, rank: u32, time: SimTime, root: bool) -> TaskId {
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.tasks.push(Task {
+            rank,
+            seq,
+            time,
+            status: Status::Created,
+            pending_wake: false,
+            stalled: false,
+            root,
+            cv: Arc::new(Condvar::new()),
+            exit_waiters: Vec::new(),
+        });
+        g.live += 1;
+        g.stats.tasks_high_water = g.stats.tasks_high_water.max(g.live);
+        TaskId(g.tasks.len() - 1)
+    }
+
+    /// Abort the run: store the first real panic payload and wake every
+    /// task so it unwinds with the [`Aborted`] sentinel.
+    pub fn abort_with(&self, payload: Box<dyn Any + Send + 'static>) {
+        {
+            let mut fp = relock(self.first_panic.lock());
+            if fp.is_none() && !payload.is::<Aborted>() {
+                *fp = Some(payload);
+            }
+        }
+        let mut g = self.lock();
+        if g.aborted {
+            return;
+        }
+        g.aborted = true;
+        for t in &g.tasks {
+            t.cv.notify_all();
+        }
+        self.adopt_cv.notify_all();
+    }
+
+    /// The stored first panic, if any task aborted. The launcher resumes
+    /// unwinding with it after joining all task threads.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        relock(self.first_panic.lock()).take()
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> Stats {
+        let g = self.lock();
+        g.stats
+    }
+
+    /// Wake `task` if it is parked; remember the wake otherwise.
+    /// Callable from any thread (producers hold no scheduler state).
+    pub fn unpark(&self, task: TaskId) {
+        let mut g = self.lock();
+        Self::unpark_in(&mut g, task.0);
+    }
+
+    fn unpark_in(g: &mut Inner, id: usize) {
+        match g.tasks[id].status {
+            Status::Blocked => {
+                g.tasks[id].status = Status::Ready;
+                g.tasks[id].stalled = false;
+                g.blocked -= 1;
+                g.progress += 1;
+                let key = (g.tasks[id].time, g.tasks[id].rank, g.tasks[id].seq, id);
+                g.ready.push(Reverse(key));
+                g.stats.ready_high_water = g.stats.ready_high_water.max(g.ready.len());
+            }
+            Status::Ready => {
+                if g.tasks[id].stalled {
+                    // Upgrade a stall round to a real wake.
+                    g.tasks[id].stalled = false;
+                    g.progress += 1;
+                } else {
+                    g.tasks[id].pending_wake = true;
+                }
+            }
+            Status::Running | Status::Created => g.tasks[id].pending_wake = true,
+            Status::Exited => {}
+        }
+    }
+
+    /// Hand the run token to the best ready task. Called with no task
+    /// running; returns once a grant happened, the run aborted, or no
+    /// live task remains. Blocks (deterministically) while spawned tasks
+    /// have not yet been adopted.
+    fn dispatch<'a>(&'a self, mut g: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        debug_assert!(g.running.is_none());
+        loop {
+            if g.aborted || g.gate > 0 || g.live == 0 {
+                return g;
+            }
+            if g.incoming > 0 {
+                g = relock(self.adopt_cv.wait(g));
+                continue;
+            }
+            if let Some(Reverse((_, _, _, id))) = g.ready.pop() {
+                debug_assert_eq!(g.tasks[id].status, Status::Ready);
+                g.tasks[id].status = Status::Running;
+                g.running = Some(id);
+                g.tasks[id].cv.notify_all();
+                return g;
+            }
+            // Ready heap empty, nothing incoming, nothing running, yet
+            // live tasks exist: everyone is blocked. Stall round.
+            self.stall_round(&mut g);
+        }
+    }
+
+    fn stall_round(&self, g: &mut Inner) {
+        if g.stats.stalls > 0 && g.progress == g.progress_at_stall {
+            g.barren_stalls += 1;
+            if g.barren_stalls >= 2 {
+                let dump = Self::render_tasks(g);
+                panic!(
+                    "event scheduler deadlock: every live task is blocked and \
+                     {} consecutive stall rounds made no progress\n{dump}",
+                    g.barren_stalls
+                );
+            }
+        } else {
+            g.barren_stalls = 0;
+        }
+        g.stats.stalls += 1;
+        g.progress_at_stall = g.progress;
+        for id in 0..g.tasks.len() {
+            if g.tasks[id].status == Status::Blocked {
+                g.tasks[id].status = Status::Ready;
+                g.tasks[id].stalled = true;
+                g.blocked -= 1;
+                let key = (g.tasks[id].time, g.tasks[id].rank, g.tasks[id].seq, id);
+                g.ready.push(Reverse(key));
+            }
+        }
+        g.stats.ready_high_water = g.stats.ready_high_water.max(g.ready.len());
+    }
+
+    fn render_tasks(g: &Inner) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("task table (first 64):\n");
+        for (id, t) in g.tasks.iter().enumerate().take(64) {
+            let _ = writeln!(
+                out,
+                "  #{id} rank={} seq={} {:?} t={:?}{}",
+                t.rank,
+                t.seq,
+                t.status,
+                t.time,
+                if t.root { " root" } else { "" }
+            );
+        }
+        if g.tasks.len() > 64 {
+            let _ = writeln!(out, "  … {} more", g.tasks.len() - 64);
+        }
+        out
+    }
+
+    /// Park body shared by `park`, `join` and adoption: caller has set up
+    /// the task's blocked/ready state; waits until granted the run token.
+    fn wait_for_grant<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+        me: usize,
+    ) -> (MutexGuard<'a, Inner>, Wake) {
+        let cv = Arc::clone(&g.tasks[me].cv);
+        loop {
+            if g.aborted {
+                drop(g);
+                panic_any(Aborted);
+            }
+            if g.tasks[me].status == Status::Running {
+                let stalled = std::mem::take(&mut g.tasks[me].stalled);
+                let wake = if stalled { Wake::Stalled } else { Wake::Woken };
+                return (g, wake);
+            }
+            g = relock(cv.wait(g));
+        }
+    }
+
+    /// Park the current task (`me`) at virtual time `now` (or its last
+    /// recorded time if `None`) and hand the token over. Returns when the
+    /// task is granted the token again.
+    fn park_task(&self, me: usize, now: Option<SimTime>) -> Wake {
+        let mut g = self.lock();
+        g.stats.events += 1;
+        debug_assert_eq!(g.running, Some(me));
+        if g.aborted {
+            drop(g);
+            panic_any(Aborted);
+        }
+        if let Some(now) = now {
+            g.tasks[me].time = now;
+        }
+        if std::mem::take(&mut g.tasks[me].pending_wake) {
+            return Wake::Woken;
+        }
+        g.tasks[me].status = Status::Blocked;
+        g.tasks[me].stalled = false;
+        g.blocked += 1;
+        g.running = None;
+        g = self.dispatch(g);
+        let (_g, wake) = self.wait_for_grant(g, me);
+        wake
+    }
+
+    /// Retire the current task (`me`): mark it exited, wake joiners,
+    /// dispatch a successor. The task's thread must not touch the
+    /// scheduler afterwards.
+    fn retire_task(&self, me: usize) {
+        let mut g = self.lock();
+        g.stats.events += 1;
+        g.tasks[me].status = Status::Exited;
+        g.live -= 1;
+        g.progress += 1;
+        let waiters = std::mem::take(&mut g.tasks[me].exit_waiters);
+        for w in waiters {
+            Self::unpark_in(&mut g, w);
+        }
+        if g.running == Some(me) {
+            g.running = None;
+            let _g = self.dispatch(g);
+        }
+    }
+
+    /// Block the current task (`me`) until `target` exits.
+    fn join_task_inner(&self, me: usize, target: usize) {
+        loop {
+            let mut g = self.lock();
+            if g.aborted {
+                drop(g);
+                panic_any(Aborted);
+            }
+            if g.tasks[target].status == Status::Exited {
+                return;
+            }
+            if !g.tasks[target].exit_waiters.contains(&me) {
+                g.tasks[target].exit_waiters.push(me);
+            }
+            g.stats.events += 1;
+            debug_assert_eq!(g.running, Some(me));
+            if std::mem::take(&mut g.tasks[me].pending_wake) {
+                continue;
+            }
+            g.tasks[me].status = Status::Blocked;
+            g.tasks[me].stalled = false;
+            g.blocked += 1;
+            g.running = None;
+            g = self.dispatch(g);
+            let (_g, _wake) = self.wait_for_grant(g, me);
+            // Re-check the target (stall rounds wake joiners too).
+        }
+    }
+
+    /// Adopt `id` on the calling thread: register it with the scheduler,
+    /// install the thread-local handle, and wait for the first grant.
+    fn adopt_task(self: &Arc<Self>, id: usize) {
+        let mut g = self.lock();
+        debug_assert_eq!(g.tasks[id].status, Status::Created);
+        g.tasks[id].status = Status::Ready;
+        let key = (g.tasks[id].time, g.tasks[id].rank, g.tasks[id].seq, id);
+        g.ready.push(Reverse(key));
+        g.stats.ready_high_water = g.stats.ready_high_water.max(g.ready.len());
+        if g.tasks[id].root {
+            g.gate -= 1;
+            if g.gate == 0 {
+                // Last root opens the gate and runs the first dispatch.
+                debug_assert!(g.running.is_none());
+                g = self.dispatch(g);
+            }
+        } else {
+            g.incoming -= 1;
+            g.progress += 1;
+            self.adopt_cv.notify_all();
+        }
+        let (_g, _wake) = self.wait_for_grant(g, id);
+    }
+}
+
+/// A reference to one task of one scheduler — cloneable, sendable, and
+/// the registration unit of [`WaitQueue`].
+#[derive(Clone)]
+pub struct Handle {
+    sched: Arc<Scheduler>,
+    id: TaskId,
+}
+
+impl Handle {
+    /// This task's id.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The scheduler owning this task.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Bind this task to the calling thread and block until it is first
+    /// granted the run token. From then on the thread runs under the
+    /// scheduler until [`retire`].
+    pub fn adopt(&self) {
+        CURRENT.with(|c| {
+            debug_assert!(c.borrow().is_none(), "thread already runs a task");
+            *c.borrow_mut() = Some(self.clone());
+        });
+        self.sched.adopt_task(self.id.0);
+    }
+
+    /// Wake this task if parked (remembering the wake otherwise).
+    pub fn unpark(&self) {
+        self.sched.unpark(self.id);
+    }
+
+    fn same_task(&self, other: &Handle) -> bool {
+        self.id == other.id && Arc::ptr_eq(&self.sched, &other.sched)
+    }
+}
+
+impl std::fmt::Debug for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handle").field("id", &self.id).finish()
+    }
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Handle>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The current thread's task handle, if it runs under a scheduler.
+pub fn current() -> Option<Handle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the current thread is an event-scheduler task. Blocking
+/// primitives branch on this: park here vs the thread backend's condvar
+/// timeout loop.
+pub fn is_event_task() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Park the current task at virtual time `now`. Panics (by design) if
+/// the thread is not a task — callers must check [`is_event_task`].
+pub fn park(now: SimTime) -> Wake {
+    let h = current().expect("sched::park outside a task");
+    h.sched.park_task(h.id.0, Some(now))
+}
+
+/// Park at the task's last recorded virtual time — for blocking sites
+/// with no timestamp of their own (turn tickets, joins), keeping the
+/// dispatch key deterministic.
+pub fn park_stale() -> Wake {
+    let h = current().expect("sched::park_stale outside a task");
+    h.sched.park_task(h.id.0, None)
+}
+
+/// Retire the current task and clear the thread-local binding. The
+/// thread may outlive the task (e.g. to return a value) but must not
+/// call back into the scheduler.
+pub fn retire() {
+    let h = CURRENT.with(|c| c.borrow_mut().take());
+    if let Some(h) = h {
+        h.sched.retire_task(h.id.0);
+    }
+}
+
+/// Spawn a dynamic task for `rank` starting at `time` under the current
+/// task's scheduler. Returns `None` on a non-task thread (thread
+/// backend). The returned handle must be [`Handle::adopt`]ed by the new
+/// task's thread before the simulation can advance.
+pub fn spawn_handle(rank: u32, time: SimTime) -> Option<Handle> {
+    current().map(|h| h.sched.create_task(rank, time))
+}
+
+/// Block the current task until `target` retires. No-op (falls through
+/// to the caller's real `JoinHandle::join`) when the current thread is
+/// not a task of the same scheduler.
+pub fn join_task(target: &Handle) {
+    if let Some(me) = current() {
+        if Arc::ptr_eq(&me.sched, &target.sched) {
+            me.sched.join_task_inner(me.id.0, target.id.0);
+        }
+    }
+}
+
+/// Abort the current task's run with `payload` (stored as the run's
+/// first panic unless it is the [`Aborted`] sentinel). No-op outside a
+/// task.
+pub fn abort_current(payload: Box<dyn Any + Send + 'static>) {
+    if let Some(h) = current() {
+        h.sched.abort_with(payload);
+    }
+}
+
+/// A list of parked tasks waiting on one condition — the event-backend
+/// twin of a `Condvar`. Consumers register *before* re-checking their
+/// condition and park while still holding the run token (producers are
+/// tasks too, so no wake can slip between check and park); producers
+/// `wake_all` right after their `notify_all`. Empty (and nearly free) on
+/// the thread backend.
+#[derive(Default)]
+pub struct WaitQueue {
+    waiters: Mutex<Vec<Handle>>,
+}
+
+impl WaitQueue {
+    /// A fresh, empty queue.
+    pub const fn new() -> Self {
+        WaitQueue {
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Register the current task (if any); duplicates are ignored, so
+    /// re-registering on every loop iteration is fine.
+    pub fn register_current(&self) {
+        if let Some(h) = current() {
+            let mut w = relock(self.waiters.lock());
+            if !w.iter().any(|x| x.same_task(&h)) {
+                w.push(h);
+            }
+        }
+    }
+
+    /// Wake every registered task and clear the queue.
+    pub fn wake_all(&self) {
+        let drained = {
+            let mut w = relock(self.waiters.lock());
+            if w.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *w)
+        };
+        for h in drained {
+            h.unpark();
+        }
+    }
+}
+
+impl std::fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = relock(self.waiters.lock()).len();
+        f.debug_struct("WaitQueue").field("waiters", &n).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimDuration;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Run `bodies` as root tasks under one scheduler; returns stats.
+    fn run_tasks(bodies: Vec<Box<dyn FnOnce() + Send>>) -> Stats {
+        let sched = Scheduler::new(bodies.len());
+        let handles: Vec<Handle> = (0..bodies.len())
+            .map(|i| sched.create_root(i as u32))
+            .collect();
+        std::thread::scope(|s| {
+            for (h, body) in handles.into_iter().zip(bodies) {
+                s.spawn(move || {
+                    // Adoption itself can unwind with the Aborted
+                    // sentinel (another task died before our first
+                    // grant), so it lives inside the catch too.
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        h.adopt();
+                        body()
+                    }));
+                    if let Err(p) = r {
+                        abort_current(p);
+                    }
+                    retire();
+                });
+            }
+        });
+        if let Some(p) = sched.take_panic() {
+            std::panic::resume_unwind(p);
+        }
+        sched.stats()
+    }
+
+    #[test]
+    fn two_tasks_ping_pong_deterministically() {
+        // Task 0 produces 100 items; task 1 consumes them through a
+        // WaitQueue-guarded slot. Order of consumption is pinned.
+        let slot = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let wq = Arc::new(WaitQueue::new());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let (s2, w2, e2) = (Arc::clone(&slot), Arc::clone(&wq), Arc::clone(&seen));
+        let (s1, w1) = (Arc::clone(&slot), Arc::clone(&wq));
+        let stats = run_tasks(vec![
+            Box::new(move || {
+                let mut t = SimTime::ZERO;
+                for i in 0..100 {
+                    t += SimDuration::from_ns(10);
+                    s1.lock().unwrap().push(i);
+                    w1.wake_all();
+                    park(t);
+                }
+            }),
+            Box::new(move || {
+                let mut t = SimTime::ZERO;
+                let mut got = 0usize;
+                while got < 100 {
+                    let drained: Vec<usize> = std::mem::take(&mut *s2.lock().unwrap());
+                    if drained.is_empty() {
+                        w2.register_current();
+                        park(t);
+                        continue;
+                    }
+                    got += drained.len();
+                    e2.lock().unwrap().extend(drained);
+                    t += SimDuration::from_ns(10);
+                }
+            }),
+        ]);
+        let seen = seen.lock().unwrap();
+        assert_eq!(*seen, (0..100).collect::<Vec<_>>());
+        assert!(stats.events > 0);
+        assert_eq!(stats.tasks_high_water, 2);
+    }
+
+    #[test]
+    fn tie_break_is_time_then_rank() {
+        // Three tasks all parked at the same virtual time resume in rank
+        // order; at different times, in time order.
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let bodies: Vec<Box<dyn FnOnce() + Send>> = (0..3u32)
+            .map(|rank| {
+                let order = Arc::clone(&order);
+                Box::new(move || {
+                    // Park at t=100 for everyone: wake order = rank order.
+                    let w = park(SimTime::ZERO + SimDuration::from_ns(100));
+                    assert_eq!(w, Wake::Stalled);
+                    order.lock().unwrap().push(rank);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_tasks(bodies);
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stall_round_wakes_blocked_tasks() {
+        // A task parked with nobody to wake it gets a Stalled wake
+        // instead of hanging.
+        let stalls = Arc::new(AtomicUsize::new(0));
+        let s = Arc::clone(&stalls);
+        let stats = run_tasks(vec![Box::new(move || {
+            if park(SimTime::ZERO) == Wake::Stalled {
+                s.fetch_add(1, Ordering::Relaxed);
+            }
+        })]);
+        assert_eq!(stalls.load(Ordering::Relaxed), 1);
+        assert!(stats.stalls >= 1);
+    }
+
+    #[test]
+    fn barren_stalls_panic_with_task_table() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(vec![Box::new(|| loop {
+                park(SimTime::ZERO);
+            })]);
+        });
+        let p = r.expect_err("deadlock must panic");
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()).unwrap());
+        assert!(msg.contains("deadlock"), "{msg}");
+        assert!(msg.contains("task table"), "{msg}");
+    }
+
+    #[test]
+    fn dynamic_task_spawn_and_join() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = Arc::clone(&log);
+        run_tasks(vec![Box::new(move || {
+            let child = spawn_handle(0, SimTime::ZERO + SimDuration::from_ns(5)).unwrap();
+            let lc = Arc::clone(&l);
+            let hc = child.clone();
+            let jh = std::thread::spawn(move || {
+                hc.adopt();
+                lc.lock().unwrap().push("child");
+                retire();
+            });
+            join_task(&child);
+            l.lock().unwrap().push("parent-after-join");
+            jh.join().unwrap();
+        })]);
+        assert_eq!(*log.lock().unwrap(), vec!["child", "parent-after-join"]);
+    }
+
+    #[test]
+    fn panic_in_one_task_aborts_all() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(vec![
+                Box::new(|| panic!("boom in task 0")),
+                Box::new(|| {
+                    // Would deadlock forever without the abort.
+                    loop {
+                        park(SimTime::ZERO);
+                    }
+                }),
+            ]);
+        });
+        let p = r.expect_err("panic must propagate");
+        let msg = p.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom in task 0");
+    }
+
+    #[test]
+    fn pending_wake_is_not_lost() {
+        // Producer wakes the consumer *before* it parks; the park must
+        // return immediately rather than deadlock.
+        let wq = Arc::new(WaitQueue::new());
+        let w1 = Arc::clone(&wq);
+        let w2 = Arc::clone(&wq);
+        run_tasks(vec![
+            Box::new(move || {
+                w1.register_current();
+                // Let the producer run first (it has rank 1 but we park).
+                if park(SimTime::ZERO) == Wake::Stalled {
+                    // Producer hadn't run yet; re-register and park again.
+                    w1.register_current();
+                    park(SimTime::ZERO);
+                }
+            }),
+            Box::new(move || {
+                w2.wake_all();
+            }),
+        ]);
+    }
+}

@@ -48,7 +48,7 @@ pub use fault::{
     SciError, SeqStatus, SilentFault,
 };
 pub use hash::{crc32, fnv1a};
-pub use link::{LinkRegistry, TrafficStats};
+pub use link::{LinkRegistry, StreamGuard, TrafficStats};
 pub use mem::SharedMem;
 pub use params::{CacheModel, SciParams};
 pub use pio::{PioReader, PioStream};

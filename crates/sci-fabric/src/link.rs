@@ -14,13 +14,19 @@ use crate::params::SciParams;
 use crate::topology::{LinkId, Route, Topology};
 use simclock::Bandwidth;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Per-segment state.
 #[derive(Debug, Default)]
 struct LinkState {
     /// Streams currently crossing this segment.
     active: AtomicU32,
+    /// Arrival-ordered sequence numbers of the streams currently open on
+    /// this segment. This is the registry's *arbitration order*: shares
+    /// resolve against the streams on this list, and the list mutates in
+    /// the order streams open and close. Kept beside `active` (which
+    /// stays a bare atomic so the share math is untouched).
+    open: Mutex<Vec<u64>>,
     /// Cumulative payload bytes carried.
     data_bytes: AtomicU64,
     /// Cumulative flow-control / echo bytes carried.
@@ -31,6 +37,12 @@ struct LinkState {
 #[derive(Debug)]
 pub struct LinkRegistry {
     links: Vec<LinkState>,
+    /// Monotonic arrival stamp handed to each stream as it opens. The
+    /// assignment order *is* the arbitration order: under the event
+    /// backend streams open in virtual-time dispatch order, so the
+    /// sequence is deterministic; under the thread backend it is host
+    /// order unless the program pins it (see `docs/ASYNC.md`).
+    next_seq: AtomicU64,
 }
 
 impl LinkRegistry {
@@ -38,7 +50,10 @@ impl LinkRegistry {
     pub fn new(topology: &Topology) -> Self {
         let mut links = Vec::with_capacity(topology.link_count());
         links.resize_with(topology.link_count(), LinkState::default);
-        LinkRegistry { links }
+        LinkRegistry {
+            links,
+            next_seq: AtomicU64::new(0),
+        }
     }
 
     /// Number of segments tracked.
@@ -53,19 +68,36 @@ impl LinkRegistry {
     /// populated ring, so small echoes must not count as competitors.
     /// Returns a guard that deregisters on drop.
     pub fn start_stream(self: &Arc<Self>, route: &Route) -> StreamGuard {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
         let links: Vec<LinkId> = route.links.clone();
         for l in &links {
             self.links[l.0].active.fetch_add(1, Ordering::Relaxed);
+            self.links[l.0].open.lock().unwrap().push(seq);
         }
         StreamGuard {
             registry: Arc::clone(self),
             links,
+            seq,
         }
     }
 
     /// Current number of active streams on a segment.
     pub fn active_on(&self, link: LinkId) -> u32 {
         self.links[link.0].active.load(Ordering::Relaxed)
+    }
+
+    /// Arrival-ordered sequence numbers of the streams currently open on
+    /// `link` — the order contention shares resolve in. Deterministic
+    /// under the event backend (streams open in virtual-time dispatch
+    /// order); host order under the thread backend unless the program
+    /// pins arrivals itself.
+    pub fn open_streams(&self, link: LinkId) -> Vec<u64> {
+        self.links[link.0].open.lock().unwrap().clone()
+    }
+
+    /// Total streams ever opened on this registry.
+    pub fn streams_opened(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
     }
 
     /// The maximum active-stream count over the request path of `route`
@@ -153,6 +185,14 @@ impl LinkRegistry {
 pub struct StreamGuard {
     registry: Arc<LinkRegistry>,
     links: Vec<LinkId>,
+    seq: u64,
+}
+
+impl StreamGuard {
+    /// The arrival stamp this stream was assigned when it opened.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl Drop for StreamGuard {
@@ -161,6 +201,11 @@ impl Drop for StreamGuard {
             self.registry.links[l.0]
                 .active
                 .fetch_sub(1, Ordering::Relaxed);
+            self.registry.links[l.0]
+                .open
+                .lock()
+                .unwrap()
+                .retain(|&s| s != self.seq);
         }
     }
 }
@@ -346,6 +391,32 @@ mod tests {
         // Link 2 carries both.
         assert_eq!(reg.bottleneck_utilisation(&long), 2);
         assert_eq!(reg.bottleneck_utilisation(&short), 2);
+    }
+
+    #[test]
+    fn arrival_sequence_is_the_arbitration_order() {
+        let (_, t, reg) = setup();
+        let long = t.route(NodeId(0), NodeId(3)); // L0 L1 L2
+        let short = t.route(NodeId(2), NodeId(3)); // L2
+        let g1 = reg.start_stream(&long);
+        let g2 = reg.start_stream(&short);
+        let g3 = reg.start_stream(&short);
+        // Stamps are handed out in open order and every shared segment
+        // lists its competitors in that order.
+        assert!(g1.seq() < g2.seq() && g2.seq() < g3.seq());
+        assert_eq!(
+            reg.open_streams(LinkId(2)),
+            vec![g1.seq(), g2.seq(), g3.seq()]
+        );
+        assert_eq!(reg.open_streams(LinkId(0)), vec![g1.seq()]);
+        // Closing the *middle* competitor keeps the survivors in arrival
+        // order — the list is order-preserving, not a stack.
+        drop(g2);
+        assert_eq!(reg.open_streams(LinkId(2)), vec![g1.seq(), g3.seq()]);
+        drop(g1);
+        drop(g3);
+        assert!(reg.open_streams(LinkId(2)).is_empty());
+        assert_eq!(reg.streams_opened(), 3);
     }
 
     #[test]

@@ -13,11 +13,17 @@
 //! RMW, a remote acquisition costs an SCI read (check) plus an SCI write
 //! (set); contended acquisitions additionally wait for the holder's
 //! virtual release time.
+//!
+//! Under the event backend (`docs/SCHEDULER.md`) a contended acquisition
+//! or barrier arrival parks the calling *task* instead of blocking on the
+//! condvar: release/completion wakes the registered waiters through a
+//! [`sched::WaitQueue`], so dispatch order — and therefore lock handover
+//! order — is the scheduler's deterministic `(time, rank, seq)` order.
 
 use crate::{ProcId, SmiWorld};
 use simclock::{clock::barrier_release, Clock, SimDuration, SimTime};
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
 
 /// A lock whose lock word lives in the shared memory of `owner`'s node.
 #[derive(Debug)]
@@ -27,6 +33,8 @@ pub struct SmiLock {
     /// Virtual time at which the lock was last released, protected by the
     /// real mutex that provides actual exclusion between rank threads.
     state: Mutex<SimTime>,
+    /// Event-backend tasks parked on a contended acquire.
+    waiters: sched::WaitQueue,
 }
 
 /// Exclusive access to an [`SmiLock`]. Call [`SmiLockGuard::release`] to
@@ -36,6 +44,7 @@ pub struct SmiLock {
 #[derive(Debug)]
 pub struct SmiLockGuard<'a> {
     inner: Option<MutexGuard<'a, SimTime>>,
+    waiters: &'a sched::WaitQueue,
 }
 
 impl SmiLock {
@@ -48,6 +57,7 @@ impl SmiLock {
             world,
             owner,
             state: Mutex::new(SimTime::ZERO),
+            waiters: sched::WaitQueue::new(),
         }
     }
 
@@ -74,12 +84,34 @@ impl SmiLock {
     /// the real mutex is free and charging `clock` for the SCI traffic and
     /// for any virtual wait on the previous holder.
     pub fn acquire<'a>(&'a self, clock: &mut Clock, p: ProcId) -> SmiLockGuard<'a> {
-        let guard = self.state.lock().unwrap();
+        let guard = if sched::is_event_task() {
+            // A task must never block on the real mutex while holding the
+            // run token (the holder may itself be parked): try, park,
+            // retry on wake. The scheduler's dispatch order makes the
+            // handover deterministic.
+            loop {
+                match self.state.try_lock() {
+                    Ok(g) => break g,
+                    Err(TryLockError::WouldBlock) => {
+                        self.waiters.register_current();
+                        sched::park(clock.now());
+                    }
+                    Err(TryLockError::Poisoned(e)) => {
+                        panic!("SmiLock state poisoned: {e}")
+                    }
+                }
+            }
+        } else {
+            self.state.lock().unwrap()
+        };
         obs::inc(obs::Counter::SmiLockAcquires);
         // Wait (in virtual time) for the previous holder's release.
         obs::attrib::merge_waited(clock, *guard, obs::WaitKind::Lock, None);
         obs::attrib::advance(clock, obs::Bucket::Transfer, self.acquire_cost(p));
-        SmiLockGuard { inner: Some(guard) }
+        SmiLockGuard {
+            inner: Some(guard),
+            waiters: &self.waiters,
+        }
     }
 
     /// Try to acquire without blocking the thread. Charges the probe cost
@@ -91,7 +123,10 @@ impl SmiLock {
                 obs::inc(obs::Counter::SmiLockAcquires);
                 obs::attrib::merge_waited(clock, *guard, obs::WaitKind::Lock, None);
                 obs::attrib::advance(clock, obs::Bucket::Transfer, probe);
-                Some(SmiLockGuard { inner: Some(guard) })
+                Some(SmiLockGuard {
+                    inner: Some(guard),
+                    waiters: &self.waiters,
+                })
             }
             Err(_) => {
                 obs::attrib::advance(clock, obs::Bucket::Transfer, probe);
@@ -113,6 +148,18 @@ impl SmiLockGuard<'_> {
         obs::attrib::advance(clock, obs::Bucket::Transfer, SmiLock::LOCAL_OP);
         if let Some(mut inner) = self.inner.take() {
             *inner = clock.now();
+            drop(inner);
+            self.waiters.wake_all();
+        }
+    }
+}
+
+impl Drop for SmiLockGuard<'_> {
+    fn drop(&mut self) {
+        // Drop-without-release (poisoned paths) must still wake parked
+        // event tasks or they would stall until the next liveness sweep.
+        if self.inner.take().is_some() {
+            self.waiters.wake_all();
         }
     }
 }
@@ -126,6 +173,8 @@ pub struct TimeBarrier {
     per_hop: SimDuration,
     state: Mutex<BarrierState>,
     cv: Condvar,
+    /// Event-backend tasks parked waiting for the generation to advance.
+    waiters: sched::WaitQueue,
 }
 
 #[derive(Debug, Default)]
@@ -146,6 +195,7 @@ impl TimeBarrier {
             per_hop,
             state: Mutex::new(BarrierState::default()),
             cv: Condvar::new(),
+            waiters: sched::WaitQueue::new(),
         }
     }
 
@@ -172,12 +222,22 @@ impl TimeBarrier {
             let release = st.release;
             drop(st);
             self.cv.notify_all();
+            self.waiters.wake_all();
             obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
             true
         } else {
             let gen = st.generation;
-            while st.generation == gen {
-                st = self.cv.wait(st).unwrap();
+            if sched::is_event_task() {
+                while st.generation == gen {
+                    self.waiters.register_current();
+                    drop(st);
+                    sched::park(clock.now());
+                    st = self.state.lock().unwrap();
+                }
+            } else {
+                while st.generation == gen {
+                    st = self.cv.wait(st).unwrap();
+                }
             }
             let release = st.release;
             drop(st);
@@ -213,6 +273,7 @@ impl TimeBarrier {
             let release = st.release;
             drop(st);
             self.cv.notify_all();
+            self.waiters.wake_all();
             obs::attrib::merge_waited(clock, release, obs::WaitKind::Barrier, None);
             return Ok(());
         }
@@ -228,11 +289,20 @@ impl TimeBarrier {
                 st.arrived -= 1;
                 return Err(at);
             }
-            let (guard, _timeout) = self
-                .cv
-                .wait_timeout(st, std::time::Duration::from_millis(10))
-                .unwrap();
-            st = guard;
+            if sched::is_event_task() {
+                // A stall round re-runs `cancel` — the event-backend
+                // equivalent of this condvar's 10 ms poll slice.
+                self.waiters.register_current();
+                drop(st);
+                sched::park(clock.now());
+                st = self.state.lock().unwrap();
+            } else {
+                let (guard, _timeout) = self
+                    .cv
+                    .wait_timeout(st, std::time::Duration::from_millis(10))
+                    .unwrap();
+                st = guard;
+            }
         }
     }
 }

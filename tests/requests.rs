@@ -205,6 +205,13 @@ fn nonblocking_delivers_blocking_payloads_under_end_to_end_integrity() {
     }
 }
 
+// Known rare flake on the thread backend: the two concurrent isends to
+// one neighbour drain on separate engine threads and interleave their
+// draws on the injector's shared per-pair fault stream in host order,
+// so retransmit counts — and with them the finish time — can be
+// bimodal while every payload stays exact. See the thread-backend
+// nondeterminism notes in docs/SCHEDULER.md; the event backend pins
+// this scenario.
 #[test]
 fn nonblocking_halo_is_deterministic_across_same_seed_runs() {
     let spec = || {
