@@ -68,7 +68,8 @@ fn megascale_run(ranks: usize) -> (SimTime, sched::Stats) {
             r.send(right, 7, &payload).unwrap();
         }
         assert_eq!(buf[0] as usize, left & 0xff, "ring payload corrupted");
-        let sum = r.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap();
+        let mut sum = [1.0f64];
+        r.allreduce(&mut sum, ReduceOp::Sum).unwrap();
         assert_eq!(sum[0] as usize, n, "allreduce lost a rank");
         r.barrier();
         r.now()

@@ -48,7 +48,8 @@ fn checkpoint_run(interval: usize) -> (SimTime, u64, u64) {
         let mut ckpt = (interval > 0).then(|| Checkpointer::new(r, IMAGE).unwrap());
         let image = vec![0xA5u8; IMAGE];
         for round in 1..=ROUNDS {
-            let sum = r.allreduce_f64(&state, ReduceOp::Sum).unwrap();
+            let mut sum = state.clone();
+            r.allreduce(&mut sum, ReduceOp::Sum).unwrap();
             for (s, t) in state.iter_mut().zip(sum) {
                 *s = 0.5 * (*s + t);
             }

@@ -1,0 +1,203 @@
+//! Rank-symmetric communication plans for the collective engine.
+//!
+//! Every schedule here is a pure function of `(rank, size)` — no clocks,
+//! no transport — so each member of a collective derives the *same* plan
+//! independently and the wire conversation is symmetric by construction.
+//! The executors in [`super::algos`] walk these plans over the actual
+//! primitives (sendrecv, nonblocking requests, one-sided windows).
+
+/// Lowest set bit of `v` (`v` must be non-zero).
+pub(crate) fn lowest_set_bit(v: usize) -> usize {
+    v & v.wrapping_neg()
+}
+
+/// Largest power of two at or below `n` (`n` must be non-zero).
+pub(crate) fn pow2_floor(n: usize) -> usize {
+    let mut p = 1usize;
+    while p * 2 <= n {
+        p *= 2;
+    }
+    p
+}
+
+/// Parent of `vrank` in the binomial tree rooted at vrank 0: the vrank
+/// with the lowest set bit cleared. `vrank` must be non-zero.
+pub(crate) fn binomial_parent(vrank: usize) -> usize {
+    vrank & (vrank - 1)
+}
+
+/// Children of `vrank` in the binomial tree over `n` vranks, ascending:
+/// `vrank + m` for each power of two `m` below `vrank`'s lowest set bit
+/// (unbounded for the root) that stays inside the tree. Each child is
+/// returned with the size of the subtree hanging off it.
+pub(crate) fn binomial_children(vrank: usize, n: usize) -> Vec<(usize, usize)> {
+    let cap = if vrank == 0 { n } else { lowest_set_bit(vrank) };
+    let mut out = Vec::new();
+    let mut m = 1usize;
+    while m < cap && vrank + m < n {
+        out.push((vrank + m, subtree_span(vrank + m, n)));
+        m <<= 1;
+    }
+    out
+}
+
+/// Number of vranks in the subtree rooted at `vrank` (itself included).
+pub(crate) fn subtree_span(vrank: usize, n: usize) -> usize {
+    let reach = if vrank == 0 { n } else { lowest_set_bit(vrank) };
+    reach.min(n - vrank)
+}
+
+/// A rank's role in the non-power-of-two recursive-doubling fold
+/// (MPICH's scheme): with `p2 = pow2_floor(n)` and `rem = n - p2`, the
+/// first `2 * rem` ranks pair up — evens fold their contribution into
+/// the odd partner and sit out the core exchange — leaving exactly `p2`
+/// core participants with dense `newrank`s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RecDblRole {
+    /// Even rank below `2 * rem`: sends its data to `partner`
+    /// (`rank + 1`), then receives the finished result back from it.
+    Fold {
+        /// The odd partner absorbing this rank's contribution.
+        partner: usize,
+    },
+    /// Core participant of the power-of-two exchange.
+    Core {
+        /// Dense rank in `0..p2` used for partner arithmetic.
+        newrank: usize,
+        /// `Some(rank - 1)` for odd ranks below `2 * rem`: the folded
+        /// partner the result is returned to afterwards.
+        folded: Option<usize>,
+    },
+}
+
+/// This rank's role in the recursive-doubling fold over `n` ranks.
+pub(crate) fn recdbl_role(rank: usize, n: usize) -> RecDblRole {
+    let rem = n - pow2_floor(n);
+    if rank < 2 * rem {
+        if rank.is_multiple_of(2) {
+            RecDblRole::Fold { partner: rank + 1 }
+        } else {
+            RecDblRole::Core {
+                newrank: rank / 2,
+                folded: Some(rank - 1),
+            }
+        }
+    } else {
+        RecDblRole::Core {
+            newrank: rank - rem,
+            folded: None,
+        }
+    }
+}
+
+/// Inverse of the core mapping: the real rank holding dense `newrank`.
+pub(crate) fn recdbl_rank_of(newrank: usize, n: usize) -> usize {
+    let rem = n - pow2_floor(n);
+    if newrank < rem {
+        2 * newrank + 1
+    } else {
+        newrank + rem
+    }
+}
+
+/// Bruck round distances for `n` ranks: the powers of two below `n`.
+pub(crate) fn bruck_rounds(n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 1usize;
+    while d < n {
+        out.push(d);
+        d <<= 1;
+    }
+    out
+}
+
+/// Element range `[lo, hi)` of ring-allreduce segment `s` over `len`
+/// elements split `n` ways (the standard balanced split; segments may be
+/// empty when `len < n`).
+pub(crate) fn ring_segment(s: usize, len: usize, n: usize) -> (usize, usize) {
+    (s * len / n, (s + 1) * len / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_tree_is_consistent_for_all_sizes() {
+        for n in 1..=17 {
+            // Every non-root vrank appears exactly once as a child of its
+            // parent, and subtree spans tile the tree.
+            let mut seen = vec![false; n];
+            seen[0] = true;
+            for v in 0..n {
+                for (c, span) in binomial_children(v, n) {
+                    assert_eq!(binomial_parent(c), v, "n={n} child {c}");
+                    assert_eq!(span, subtree_span(c, n));
+                    assert!(!seen[c], "n={n} vrank {c} reached twice");
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "n={n} unreached vranks");
+            assert_eq!(subtree_span(0, n), n);
+        }
+    }
+
+    #[test]
+    fn recdbl_fold_partitions_ranks() {
+        for n in 1..=17 {
+            let p2 = pow2_floor(n);
+            let mut core_seen = vec![false; p2];
+            for rank in 0..n {
+                match recdbl_role(rank, n) {
+                    RecDblRole::Fold { partner } => {
+                        assert_eq!(partner, rank + 1);
+                        // The partner is a core rank that points back.
+                        match recdbl_role(partner, n) {
+                            RecDblRole::Core { folded, .. } => assert_eq!(folded, Some(rank)),
+                            other => panic!("n={n}: fold partner has role {other:?}"),
+                        }
+                    }
+                    RecDblRole::Core { newrank, .. } => {
+                        assert!(newrank < p2);
+                        assert!(!core_seen[newrank], "n={n} newrank {newrank} duplicated");
+                        core_seen[newrank] = true;
+                        assert_eq!(recdbl_rank_of(newrank, n), rank);
+                    }
+                }
+            }
+            assert!(core_seen.iter().all(|&s| s), "n={n} core ranks missing");
+        }
+    }
+
+    #[test]
+    fn bruck_rounds_cover_all_distances() {
+        assert_eq!(bruck_rounds(1), Vec::<usize>::new());
+        assert_eq!(bruck_rounds(2), vec![1]);
+        assert_eq!(bruck_rounds(8), vec![1, 2, 4]);
+        assert_eq!(bruck_rounds(10), vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn ring_segments_tile_the_buffer() {
+        for n in 1..=9 {
+            for len in [0usize, 1, 5, 64, 1000] {
+                let mut covered = 0usize;
+                for s in 0..n {
+                    let (lo, hi) = ring_segment(s, len, n);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_helpers() {
+        assert_eq!(lowest_set_bit(12), 4);
+        assert_eq!(lowest_set_bit(7), 1);
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(9), 8);
+        assert_eq!(pow2_floor(16), 16);
+    }
+}

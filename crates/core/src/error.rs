@@ -85,6 +85,18 @@ pub enum ScimpiError {
     /// A [`crate::Tuning`] failed its invariant check
     /// (`Tuning::validate`) before the cluster was built.
     InvalidConfig(String),
+    /// A caller-supplied argument was out of range for the communicator
+    /// (e.g. a collective root outside `0..size`, or counts/displs that
+    /// don't cover the supplied buffer). Surfaced through the normal
+    /// [`ErrorMode`] path like every other communication error.
+    InvalidArg {
+        /// Which argument was rejected.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+        /// Exclusive upper bound (or required value) for the argument.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ScimpiError {
@@ -121,6 +133,9 @@ impl fmt::Display for ScimpiError {
                 "resource exhausted: {what} (needed {needed}, limit {limit})"
             ),
             ScimpiError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ScimpiError::InvalidArg { what, got, limit } => {
+                write!(f, "invalid argument: {what} = {got} (limit {limit})")
+            }
         }
     }
 }
@@ -225,6 +240,13 @@ mod tests {
         assert!(s.contains("eager credits") && s.contains("4096") && s.contains("1024"));
         let e = ScimpiError::InvalidConfig("ring_slots must be at least 1".into());
         assert!(e.to_string().contains("ring_slots"));
+        let e = ScimpiError::InvalidArg {
+            what: "bcast root",
+            got: 9,
+            limit: 8,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bcast root") && s.contains('9') && s.contains('8'));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod runtime;
 pub mod sink;
 pub mod tuning;
 
-pub use collective::ReduceOp;
+pub use collective::{ReduceOp, Typed};
 pub use error::{death_delay, ErrorMode, ScimpiError};
 pub use mailbox::{Source, Tag, TagSel};
 pub use osc::{AccumulateOp, WinMemory, Window};
@@ -60,7 +60,7 @@ pub use recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport
 pub use request::{PersistentRecv, PersistentSend, RecvDone, Request};
 pub use runtime::{last_event_stats, run, Backend, ClusterSpec, ObsConfig, Rank};
 pub use sink::{PioSink, RegionSource, StagingLease, StagingLedger};
-pub use tuning::{IntegrityMode, NoncontigMode, OverloadPolicy, Tuning};
+pub use tuning::{CollectiveAlgo, IntegrityMode, NoncontigMode, OverloadPolicy, Tuning};
 
 /// Thin infallible wrapper over the `Result`-based surface: `.done()`
 /// unwraps with a call-site-attributed panic message. Meant for
@@ -87,7 +87,7 @@ impl<T> Done for Result<T, ScimpiError> {
 
 /// One-stop imports for applications: `use scimpi::prelude::*;`.
 pub mod prelude {
-    pub use crate::collective::ReduceOp;
+    pub use crate::collective::{ReduceOp, Typed};
     pub use crate::error::{ErrorMode, ScimpiError};
     pub use crate::mailbox::{Source, Tag, TagSel};
     pub use crate::osc::{AccumulateOp, WinMemory, Window};
@@ -95,6 +95,6 @@ pub mod prelude {
     pub use crate::recovery::{revoke, shrink, shrink_with_fault, Checkpointer, ShrinkReport};
     pub use crate::request::{PersistentRecv, PersistentSend, RecvDone, Request};
     pub use crate::runtime::{run, Backend, ClusterSpec, ObsConfig, Rank};
-    pub use crate::tuning::{IntegrityMode, OverloadPolicy, Tuning};
+    pub use crate::tuning::{CollectiveAlgo, IntegrityMode, OverloadPolicy, Tuning};
     pub use crate::Done;
 }

@@ -597,10 +597,9 @@ mod tests {
                 assert_eq!(report.rank, r.world_rank());
                 assert_eq!(r.epoch(), 1);
                 // The new epoch's collectives work.
-                let sum = r
-                    .allreduce_f64(&[r.rank() as f64], crate::ReduceOp::Sum)
-                    .unwrap();
-                assert_eq!(sum, vec![6.0]);
+                let mut sum = [r.rank() as f64];
+                r.allreduce(&mut sum, crate::ReduceOp::Sum).unwrap();
+                assert_eq!(sum, [6.0]);
                 report.epoch
             },
         );

@@ -623,6 +623,7 @@ impl Rank {
             my_index: self.my_index,
             epoch: self.epoch,
             epoch_barrier: self.epoch_barrier.clone(),
+            coll_win: None,
         };
         let fork = self.clock.clone();
         Ok(Request::spawn(

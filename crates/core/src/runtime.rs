@@ -890,6 +890,10 @@ pub struct Rank {
     /// Barrier of the current epoch; `None` means epoch 0 (the world
     /// barrier).
     pub(crate) epoch_barrier: Option<Arc<TimeBarrier>>,
+    /// Lazily created PSCW window the one-sided collective schedules
+    /// stage chunks through, reused across collectives of the same
+    /// membership epoch (see [`crate::collective`]).
+    pub(crate) coll_win: Option<crate::collective::CollWin>,
 }
 
 /// Wait on the current epoch's barrier (disjoint-field helper so the
@@ -1183,6 +1187,7 @@ where
             my_index: rank,
             epoch: 0,
             epoch_barrier: None,
+            coll_win: None,
         };
         let out = f(&mut r);
         // Teardown: requests dropped inside `f` completed on

@@ -93,6 +93,35 @@ pub enum OverloadPolicy {
     Error,
 }
 
+/// Which schedule the collective engine runs a given operation with.
+///
+/// `Auto` (the default) selects per call from message size, member
+/// count, and fabric topology (ring schedules prefer ringlet locality);
+/// the forced variants pin every collective to one schedule family for
+/// ablation. Schedules that make no sense for a particular operation
+/// alias to the closest meaningful one — the full matrix is documented
+/// in `docs/COLLECTIVES.md`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CollectiveAlgo {
+    /// Size/count/topology-driven selection per operation.
+    #[default]
+    Auto,
+    /// The legacy linear/binomial reference schedules (bit-identical to
+    /// the pre-engine collectives; the differential baseline).
+    Naive,
+    /// Ring schedules: pipelined neighbour exchanges, bandwidth-optimal
+    /// for large payloads on ringlet topologies.
+    Ring,
+    /// Recursive-doubling schedules: log2 rounds of pairwise exchange,
+    /// latency-optimal for small payloads.
+    RecursiveDoubling,
+    /// Binomial-tree schedules: rooted log2 fan-out/fan-in.
+    Binomial,
+    /// Bruck schedules: log2 rounds with rotated indexing, strongest for
+    /// small all-to-all/allgather payloads.
+    Bruck,
+}
+
 /// Protocol and cost-model knobs.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Tuning {
@@ -223,6 +252,24 @@ pub struct Tuning {
     /// posting past it surfaces [`ScimpiError::ResourceExhausted`].
     /// `usize::MAX` = ungoverned.
     pub max_inflight_requests: usize,
+    /// Collective schedule selection (see [`CollectiveAlgo`]).
+    pub collective_algo: CollectiveAlgo,
+    /// `Auto` treats collectives at or below this payload size as
+    /// latency-bound: allreduce/allgather pick recursive-doubling or
+    /// Bruck instead of the bandwidth-optimal ring. The default sits at
+    /// the measured crossover of the `coll_sweep` bench (ring overtakes
+    /// the log-round schedules between 1 kiB and 8 kiB at 8 ranks).
+    pub coll_small_max: usize,
+    /// Smallest bcast payload for which `Auto` picks the one-sided
+    /// pipelined ring over the binomial tree (only on ringlet
+    /// topologies, where neighbour puts ride the hardware ring).
+    pub coll_ring_min: usize,
+    /// Largest equal-size alltoall block for which `Auto` picks the
+    /// Bruck schedule over pairwise exchange.
+    pub coll_bruck_max: usize,
+    /// Pipeline chunk size for the one-sided ring bcast (each chunk is
+    /// one window put forwarded down the ring).
+    pub coll_ring_chunk: usize,
 }
 
 impl Default for Tuning {
@@ -264,6 +311,11 @@ impl Default for Tuning {
             window_budget_bytes: usize::MAX,
             staging_budget_bytes: usize::MAX,
             max_inflight_requests: usize::MAX,
+            collective_algo: CollectiveAlgo::Auto,
+            coll_small_max: 4 * 1024,
+            coll_ring_min: 256 * 1024,
+            coll_bruck_max: 512,
+            coll_ring_chunk: 32 * 1024,
         }
     }
 }
@@ -397,6 +449,9 @@ impl Tuning {
         if self.eager_credit_slots < 1 {
             return fail("eager_credit_slots must be at least 1".into());
         }
+        if self.coll_ring_chunk == 0 {
+            return fail("coll_ring_chunk must be at least 1".into());
+        }
         Ok(())
     }
 }
@@ -476,6 +531,21 @@ mod tests {
     #[test]
     fn validate_rejects_zero_credit_slots() {
         assert_invalid(|t| t.eager_credit_slots = 0, "eager_credit_slots");
+    }
+
+    #[test]
+    fn validate_rejects_zero_ring_chunk() {
+        assert_invalid(|t| t.coll_ring_chunk = 0, "coll_ring_chunk");
+    }
+
+    #[test]
+    fn default_collective_algo_is_auto() {
+        assert_eq!(CollectiveAlgo::default(), CollectiveAlgo::Auto);
+        let t = Tuning::default();
+        assert_eq!(t.collective_algo, CollectiveAlgo::Auto);
+        assert!(t.coll_bruck_max < t.coll_small_max);
+        assert!(t.coll_small_max < t.coll_ring_min);
+        assert!(t.coll_ring_chunk > 0);
     }
 
     #[test]

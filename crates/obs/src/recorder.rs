@@ -140,6 +140,24 @@ pub enum Counter {
     /// credit-exhausted eager sends downgraded to rendezvous, pack paths
     /// degraded Dma→Staged→DirectFf on staging-budget misses.
     DegradedPaths,
+    /// Collective operations executed with the naive linear/legacy
+    /// schedule (one tick per collective call per rank).
+    CollAlgoNaive,
+    /// Collective operations executed with a ring schedule.
+    CollAlgoRing,
+    /// Collective operations executed with a recursive-doubling schedule.
+    CollAlgoRecursiveDoubling,
+    /// Collective operations executed with a binomial-tree schedule.
+    CollAlgoBinomial,
+    /// Collective operations executed with a Bruck schedule.
+    CollAlgoBruck,
+    /// Payload bytes moved by collectives over one-sided window puts
+    /// instead of two-sided p2p.
+    CollOnesidedBytes,
+    /// Payload bytes that datatype-aware collectives had to stage through
+    /// an explicit pack buffer (zero when the direct flattened-layout
+    /// path wins everywhere, which is the Träff acceptance bar).
+    CollPackedBytes,
 }
 
 impl Counter {
@@ -193,6 +211,13 @@ impl Counter {
         "messages_shed",
         "budget_denials",
         "degraded_paths",
+        "coll_algo_naive",
+        "coll_algo_ring",
+        "coll_algo_recursive_doubling",
+        "coll_algo_binomial",
+        "coll_algo_bruck",
+        "coll_onesided_bytes",
+        "coll_packed_bytes",
     ];
 
     /// The export name of this counter.
@@ -202,7 +227,7 @@ impl Counter {
 }
 
 /// Number of counters in the registry.
-pub const COUNTER_COUNT: usize = 48;
+pub const COUNTER_COUNT: usize = 55;
 
 /// A trace-event argument value.
 #[derive(Clone, Debug)]
@@ -521,7 +546,18 @@ mod tests {
     #[test]
     fn counter_names_cover_all_variants() {
         assert_eq!(Counter::NAMES.len(), COUNTER_COUNT);
-        assert_eq!(Counter::DegradedPaths as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::CollPackedBytes as usize, COUNTER_COUNT - 1);
+        assert_eq!(Counter::DegradedPaths.name(), "degraded_paths");
+        assert_eq!(Counter::CollAlgoNaive.name(), "coll_algo_naive");
+        assert_eq!(Counter::CollAlgoRing.name(), "coll_algo_ring");
+        assert_eq!(
+            Counter::CollAlgoRecursiveDoubling.name(),
+            "coll_algo_recursive_doubling"
+        );
+        assert_eq!(Counter::CollAlgoBinomial.name(), "coll_algo_binomial");
+        assert_eq!(Counter::CollAlgoBruck.name(), "coll_algo_bruck");
+        assert_eq!(Counter::CollOnesidedBytes.name(), "coll_onesided_bytes");
+        assert_eq!(Counter::CollPackedBytes.name(), "coll_packed_bytes");
         assert_eq!(Counter::EagerCreditStalls.name(), "eager_credit_stalls");
         assert_eq!(Counter::CreditBytesPeak.name(), "credit_bytes_peak");
         assert_eq!(Counter::MessagesShed.name(), "messages_shed");

@@ -62,9 +62,8 @@ fn main() {
         }
         r.barrier();
         let my_work: f64 = done.iter().map(|&t| costs[t] as f64).sum();
-        let totals = r
-            .allreduce_f64(&[my_work, done.len() as f64], ReduceOp::Sum)
-            .done();
+        let mut totals = [my_work, done.len() as f64];
+        r.allreduce(&mut totals, ReduceOp::Sum).done();
         let finish = r.now();
         (me, done, my_work, totals, finish)
     });

@@ -146,9 +146,8 @@ fn diff_collectives() {
             root_msg = (0..64).map(|i| (i * 3) as u8).collect();
         }
         r.bcast(0, &mut root_msg).unwrap();
-        let summed = r
-            .allreduce_f64(&[me as f64, 1.0, me as f64 * 0.5], ReduceOp::Sum)
-            .unwrap();
+        let mut summed = [me as f64, 1.0, me as f64 * 0.5];
+        r.allreduce(&mut summed, ReduceOp::Sum).unwrap();
         let blocks: Vec<Vec<u8>> = (0..n).map(|dst| vec![(me * 16 + dst) as u8; 128]).collect();
         let gathered = r.alltoall(&blocks).unwrap();
         r.barrier();
@@ -317,8 +316,8 @@ fn diff_chaos_death_and_shrink() {
             revoke(r);
         }
         let report = shrink(r).expect("survivors agree in one epoch");
-        let sum = r
-            .allreduce_f64(&[me as f64 + 1.0], ReduceOp::Sum)
+        let mut sum = [me as f64 + 1.0];
+        r.allreduce(&mut sum, ReduceOp::Sum)
             .expect("post-shrink collective");
         let mut out = sum.iter().flat_map(|v| v.to_le_bytes()).collect::<Vec<_>>();
         out.push(report.dead.len() as u8);
@@ -612,9 +611,8 @@ impl Workload {
         }
         // Phase 4: optional collective.
         if self.collective {
-            let s = r
-                .allreduce_f64(&[me as f64 + 0.5, self.seed as u32 as f64], ReduceOp::Max)
-                .unwrap();
+            let mut s = [me as f64 + 0.5, self.seed as u32 as f64];
+            r.allreduce(&mut s, ReduceOp::Max).unwrap();
             out.extend(s.iter().flat_map(|v| v.to_le_bytes()));
         }
         // Phase 5: optional governed flood 0 -> 1 (stall policy).

@@ -18,8 +18,8 @@
 use mpi_datatype::{Committed, Datatype};
 use sci_fabric::LinkId;
 use scimpi::{
-    death_delay, revoke, run, AccumulateOp, ClusterSpec, ErrorMode, IntegrityMode, Rank, ReduceOp,
-    ScimpiError, Source, TagSel, Tuning, WinMemory,
+    death_delay, revoke, run, AccumulateOp, ClusterSpec, CollectiveAlgo, ErrorMode, IntegrityMode,
+    Rank, ReduceOp, ScimpiError, Source, TagSel, Tuning, WinMemory,
 };
 use simclock::SimDuration;
 use std::sync::Mutex;
@@ -34,6 +34,13 @@ static OBS_SERIAL: Mutex<()> = Mutex::new(());
 /// quarter of the rate) ride under `EndToEnd` integrity, so every
 /// bit-perfect assertion doubles as a corruption-recovery check.
 fn chaos_spec() -> ClusterSpec {
+    // The dying-collective scenarios assert rank-by-rank outcomes against
+    // the naive schedules, so pin the algorithm rather than letting the
+    // engine's Auto selection reshape who talks to whom.
+    let mut tuning = Tuning {
+        collective_algo: CollectiveAlgo::Naive,
+        ..Tuning::default()
+    };
     let mut spec = ClusterSpec::multi_ring(2, 4).errors(ErrorMode::ErrorsReturn);
     if let Ok(seed) = std::env::var("CHAOS_SEED") {
         spec.seed = seed.parse().expect("CHAOS_SEED must be an integer");
@@ -42,13 +49,10 @@ fn chaos_spec() -> ClusterSpec {
         let rate: f64 = rate.parse().expect("CHAOS_CORRUPT_RATE must be a float");
         spec.faults.corrupt_rate = rate;
         spec.faults.drop_rate = rate / 4.0;
-        spec = spec.tuning(Tuning {
-            integrity_mode: IntegrityMode::EndToEnd,
-            max_retransmits: 64,
-            ..Tuning::default()
-        });
+        tuning.integrity_mode = IntegrityMode::EndToEnd;
+        tuning.max_retransmits = 64;
     }
-    spec
+    spec.tuning(tuning)
 }
 
 /// Pulling a cable on the primary route mid-run reroutes rendezvous
@@ -485,8 +489,8 @@ fn dying_root_fails_allreduce_on_every_survivor() {
     let budget = death_delay(&Tuning::default());
     let scenario = || {
         dying_collective(0, 1, |r| {
-            r.allreduce_f64(&vec![1.0f64; F64_RDV], ReduceOp::Sum)
-                .map(|_| ())
+            let mut buf = vec![1.0f64; F64_RDV];
+            r.allreduce(&mut buf, ReduceOp::Sum)
         })
     };
     let a = scenario();
@@ -563,7 +567,8 @@ fn dying_link_in_scan_chain_splits_outcomes() {
     let scenario = || {
         dying_collective(4, 5, |r| {
             let me = r.rank();
-            let out = r.scan_sum_f64(&vec![1.0f64; F64_RDV])?;
+            let mut out = vec![1.0f64; F64_RDV];
+            r.scan(&mut out, ReduceOp::Sum)?;
             assert_eq!(
                 out[0],
                 (me + 1) as f64,

@@ -70,7 +70,8 @@ fn mixed_two_sided_and_one_sided() {
         assert_eq!(sum, 1.5 * (0..n).sum::<usize>() as f64);
 
         // Phase 3: collective check.
-        let total = r.allreduce_f64(&[sum], ReduceOp::Sum).unwrap();
+        let mut total = [sum];
+        r.allreduce(&mut total, ReduceOp::Sum).unwrap();
         assert_eq!(total[0], sum * n as f64);
     });
 }

@@ -11,7 +11,8 @@ fn collectives_across_rings() {
     // 3 ringlets of 4: collectives span the switch transparently.
     let out = run(ClusterSpec::multi_ring(3, 4), |r| {
         assert_eq!(r.size(), 12);
-        let sum = r.allreduce_f64(&[r.rank() as f64], ReduceOp::Sum).unwrap();
+        let mut sum = [r.rank() as f64];
+        r.allreduce(&mut sum, ReduceOp::Sum).unwrap();
         let mut token = vec![0u8; 8];
         if r.rank() == 0 {
             token = 0xDEADBEEFu64.to_le_bytes().to_vec();
@@ -105,7 +106,8 @@ fn large_system_smoke() {
         )
         .unwrap();
         assert!(got.iter().all(|&b| b == prev as u8));
-        let total = r.allreduce_f64(&[1.0], ReduceOp::Sum).unwrap();
+        let mut total = [1.0f64];
+        r.allreduce(&mut total, ReduceOp::Sum).unwrap();
         total[0] as usize
     });
     assert!(out.iter().all(|&v| v == 64));

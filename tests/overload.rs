@@ -514,8 +514,8 @@ fn rank_dying_with_held_credits_never_deadlocks() {
                 // The shrunk world is fully live: collectives (which
                 // ride the same credited sends) and fresh eager pairs
                 // both work.
-                let sums = r
-                    .allreduce_f64(&[1.0], ReduceOp::Sum)
+                let mut sums = [1.0f64];
+                r.allreduce(&mut sums, ReduceOp::Sum)
                     .expect("post-shrink collective");
                 assert_eq!(sums[0], 3.0);
                 if r.rank() == 0 {

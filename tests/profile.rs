@@ -56,7 +56,8 @@ fn workload(r: &mut Rank) -> SimTime {
     let mut root_word = if me == 0 { [42u8; 32] } else { [0u8; 32] };
     r.bcast(0, &mut root_word).unwrap();
     assert_eq!(root_word, [42u8; 32]);
-    let sums = r.allreduce_f64(&[me as f64], ReduceOp::Sum).unwrap();
+    let mut sums = [me as f64];
+    r.allreduce(&mut sums, ReduceOp::Sum).unwrap();
     assert_eq!(sums[0], (0..n).map(|x| x as f64).sum::<f64>());
 
     // One-sided traffic through a shared window.

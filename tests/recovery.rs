@@ -54,7 +54,8 @@ fn from_bytes(b: &[u8]) -> Vec<f64> {
 /// One work round: allreduce the state and fold half the global sum back
 /// into every element (stays exact: integers and halves only).
 fn advance(r: &mut Rank, state: &mut [f64]) -> Result<(), ScimpiError> {
-    let sum = r.allreduce_f64(state, ReduceOp::Sum)?;
+    let mut sum = state.to_vec();
+    r.allreduce(&mut sum, ReduceOp::Sum)?;
     for (s, t) in state.iter_mut().zip(sum) {
         *s += 0.5 * t;
     }
